@@ -1,0 +1,74 @@
+"""E14 (ablation): interval-join strategies -- tree vs sweep vs searchsorted.
+
+DESIGN.md calls out the choice of overlap kernel as a design decision;
+this ablation measures the three implementations on uniform and clustered
+workloads, where the crossover between index-probe and streaming
+strategies lives.
+"""
+
+import pytest
+
+from repro.engine.columnar import _chrom_arrays, count_overlaps_vectorised
+from repro.intervals import (
+    GenomeIndex,
+    binned_count_overlaps,
+    sweep_count_overlaps,
+)
+from repro.simulate import region_sample
+
+N = 4_000
+
+
+@pytest.fixture(scope="module", params=["uniform", "clustered"])
+def workload(request):
+    clustered = request.param == "clustered"
+    references = region_sample(61, N, clustered=clustered)
+    probes = region_sample(62, N, clustered=clustered)
+    return request.param, references, probes
+
+
+def _tree_counts(references, probes):
+    index = GenomeIndex(probes)
+    return [sum(1 for __ in index.overlapping(r)) for r in references]
+
+
+def _vector_counts(references, probes):
+    return count_overlaps_vectorised(references, _chrom_arrays(probes)).tolist()
+
+
+def test_interval_tree(benchmark, workload):
+    shape, references, probes = workload
+    benchmark.group = f"join-{shape}"
+    counts = benchmark(_tree_counts, references, probes)
+    benchmark.extra_info["total_overlaps"] = sum(counts)
+
+
+def test_sweep(benchmark, workload):
+    shape, references, probes = workload
+    benchmark.group = f"join-{shape}"
+    counts = benchmark(sweep_count_overlaps, references, probes)
+    benchmark.extra_info["total_overlaps"] = sum(counts)
+
+
+def test_searchsorted(benchmark, workload):
+    shape, references, probes = workload
+    benchmark.group = f"join-{shape}"
+    counts = benchmark(_vector_counts, references, probes)
+    benchmark.extra_info["total_overlaps"] = sum(counts)
+
+
+def test_binned(benchmark, workload):
+    shape, references, probes = workload
+    benchmark.group = f"join-{shape}"
+    counts = benchmark(binned_count_overlaps, references, probes, 50_000)
+    benchmark.extra_info["total_overlaps"] = sum(counts)
+
+
+def test_all_strategies_agree(workload):
+    __, references, probes = workload
+    assert (
+        _tree_counts(references, probes)
+        == sweep_count_overlaps(references, probes)
+        == _vector_counts(references, probes)
+        == binned_count_overlaps(references, probes, 50_000)
+    )

@@ -1,0 +1,73 @@
+"""E15 (ablation): the logical optimizer's rewrites.
+
+Measures the same program with and without the optimizer on the shapes
+its rules target: chained SELECTs (fusion) and SELECT-over-UNION
+(pushdown).  Programmatically generated GMQL routinely contains both.
+"""
+
+import pytest
+
+from repro.gmql.lang import compile_program, execute, optimize
+from repro.simulate import workload_dataset
+
+CHAINED_SELECTS = """
+A = SELECT(dataType == 'ChipSeq') DATA;
+B = SELECT(region: score > 0.2) A;
+C = SELECT(region: score > 0.4) B;
+D = SELECT(region: score > 0.6) C;
+E = SELECT(region: score > 0.8) D;
+MATERIALIZE E;
+"""
+
+SELECT_OVER_UNION = """
+U = UNION() DATA OTHER;
+S = SELECT(cell == 'cell1'; region: left > 5000000) U;
+MATERIALIZE S;
+"""
+
+
+@pytest.fixture(scope="module")
+def data():
+    return workload_dataset(seed=71, n_samples=8, regions_per_sample=5_000)
+
+
+@pytest.fixture(scope="module")
+def other():
+    return workload_dataset(seed=72, n_samples=8, regions_per_sample=5_000,
+                            name="OTHER")
+
+
+@pytest.mark.parametrize("optimized", [True, False],
+                         ids=["optimized", "unoptimized"])
+def test_chained_selects(benchmark, data, optimized):
+    benchmark.group = "chained-selects"
+    result = benchmark(
+        lambda: execute(CHAINED_SELECTS, {"DATA": data},
+                        optimized=optimized)["E"]
+    )
+    benchmark.extra_info["regions_out"] = result.region_count()
+
+
+@pytest.mark.parametrize("optimized", [True, False],
+                         ids=["optimized", "unoptimized"])
+def test_select_over_union(benchmark, data, other, optimized):
+    benchmark.group = "select-over-union"
+    result = benchmark(
+        lambda: execute(SELECT_OVER_UNION, {"DATA": data, "OTHER": other},
+                        optimized=optimized)["S"]
+    )
+    benchmark.extra_info["regions_out"] = result.region_count()
+
+
+def test_rewrites_fire_and_preserve_semantics(data, other):
+    compiled = compile_program(CHAINED_SELECTS)
+    optimized = optimize(compiled)
+    assert "fuse-selects" in optimized.rewrites
+    compiled_union = optimize(compile_program(SELECT_OVER_UNION))
+    assert "push-select-through-union" in compiled_union.rewrites
+    sources = {"DATA": data, "OTHER": other}
+    for program, out in ((CHAINED_SELECTS, "E"), (SELECT_OVER_UNION, "S")):
+        fast = execute(program, sources, optimized=True)[out]
+        slow = execute(program, sources, optimized=False)[out]
+        assert fast.region_count() == slow.region_count()
+        assert len(fast) == len(slow)

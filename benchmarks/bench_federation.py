@@ -1,0 +1,75 @@
+"""E9 (Section 4.4): query shipping vs data shipping traffic.
+
+Measures, on a two-node federation, the bytes and message counts of both
+strategies for the promoter-MAP analysis, and checks the compile-time
+estimator points the planner at the cheaper one.  The paper's claim under
+test: "transferring only query results which are usually small in size".
+"""
+
+import pytest
+
+from repro.federation import FederatedClient, FederationNode, Network
+from repro.repository import Catalog
+from repro.simulate import EncodeRepository, GenomeLayout
+
+PROGRAM = """
+PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+CHIP = SELECT(dataType == 'ChipSeq') ENCODE;
+MAPPED = MAP(peak_count AS COUNT) PROMS CHIP;
+BEST = ORDER(order; top: 2) MAPPED;
+MATERIALIZE BEST;
+"""
+
+
+def build_federation():
+    layout = GenomeLayout.generate(seed=8, n_genes=120, n_enhancers=60)
+    repo = EncodeRepository.generate(seed=8, n_samples=36,
+                                     peaks_per_sample_mean=300, layout=layout)
+    network = Network()
+    consortium = Catalog("consortium")
+    consortium.register(repo.encode)
+    provider = Catalog("provider")
+    provider.register(repo.annotations)
+    nodes = [
+        FederationNode("consortium", consortium, network),
+        FederationNode("provider", provider, network),
+    ]
+    return FederatedClient(nodes, network), network
+
+
+def test_query_shipping(benchmark):
+    def run():
+        client, __ = build_federation()
+        return client.run_query_shipping(PROGRAM)
+
+    outcome = benchmark(run)
+    benchmark.extra_info.update(
+        {"bytes_moved": outcome.bytes_moved,
+         "messages": outcome.message_count}
+    )
+    assert outcome.executing_node == "consortium"
+
+
+def test_data_shipping(benchmark):
+    def run():
+        client, __ = build_federation()
+        return client.run_data_shipping(PROGRAM)
+
+    outcome = benchmark(run)
+    benchmark.extra_info.update(
+        {"bytes_moved": outcome.bytes_moved,
+         "messages": outcome.message_count}
+    )
+    assert outcome.executing_node == "client"
+
+
+def test_shipping_ratio_and_planner():
+    client, __ = build_federation()
+    query = client.run_query_shipping(PROGRAM)
+    data = client.run_data_shipping(PROGRAM)
+    ratio = data.bytes_moved / query.bytes_moved
+    # Results are small, sources are big: query shipping wins clearly.
+    assert ratio > 3
+    estimates = client.estimate_strategies(PROGRAM)
+    assert estimates["query-shipping"] < estimates["data-shipping"]
+    assert client.run(PROGRAM).strategy == "query-shipping"

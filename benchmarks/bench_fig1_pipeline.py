@@ -1,0 +1,103 @@
+"""E1 (Figure 1): primary/secondary/tertiary pipeline phase costs.
+
+The paper's Figure 1 is the phase diagram of genomic analysis; this bench
+regenerates it quantitatively: one benchmark per phase on a fixed
+simulated dataset, so the relative costs (secondary alignment dominating,
+tertiary being cheap *because* it consumes processed data) are visible in
+one table.
+"""
+
+import pytest
+
+from repro.gmql import Count, map_regions
+from repro.ngs import (
+    Aligner,
+    ReferenceGenome,
+    alignments_to_dataset,
+    call_peaks,
+    run_pipeline,
+    simulate_reads,
+)
+
+SIZES = {"chr1": 80_000, "chr2": 80_000}
+N_READS = 4_000
+
+
+@pytest.fixture(scope="module")
+def genome():
+    return ReferenceGenome.generate(seed=9, chromosome_sizes=SIZES)
+
+
+@pytest.fixture(scope="module")
+def sites():
+    return [("chr1", 10_000), ("chr1", 40_000), ("chr2", 25_000)]
+
+
+@pytest.fixture(scope="module")
+def reads(genome, sites):
+    return simulate_reads(genome, n_reads=N_READS, seed=9,
+                          binding_sites=sites, enrichment=0.6)
+
+
+@pytest.fixture(scope="module")
+def aligned(genome, reads):
+    return alignments_to_dataset(Aligner(genome).align(reads))
+
+
+def test_primary_read_simulation(benchmark, genome, sites):
+    result = benchmark(
+        simulate_reads, genome, n_reads=N_READS, seed=9,
+        binding_sites=sites, enrichment=0.6,
+    )
+    assert len(result) == N_READS
+    benchmark.extra_info["reads"] = N_READS
+
+
+def test_secondary_alignment(benchmark, genome, reads):
+    aligner = Aligner(genome)
+    alignments = benchmark(aligner.align, reads)
+    rate = len(alignments) / len(reads)
+    assert rate > 0.9
+    benchmark.extra_info["alignment_rate"] = round(rate, 3)
+
+
+def test_secondary_peak_calling(benchmark, genome, aligned, sites):
+    peaks = benchmark(call_peaks, aligned, genome_size=genome.total_size())
+    benchmark.extra_info["peaks"] = peaks.region_count()
+    assert peaks.region_count() >= len(sites)
+
+
+def test_tertiary_map(benchmark, genome, aligned, sites):
+    from repro.gdm import Dataset, GenomicRegion, Metadata, RegionSchema, Sample
+
+    promoters = Dataset(
+        "PROMS",
+        RegionSchema.of(("name", "STR")),
+        [
+            Sample(
+                1,
+                [
+                    GenomicRegion(chrom, max(0, pos - 1_000), pos + 1_000, "+",
+                                  (f"site{i}",))
+                    for i, (chrom, pos) in enumerate(sites)
+                ],
+                Metadata({"annType": "promoter"}),
+            )
+        ],
+    )
+    peaks = call_peaks(aligned, genome_size=genome.total_size())
+    result = benchmark(
+        map_regions, promoters, peaks, {"peak_count": (Count(), None)}
+    )
+    counts = [r.values[-1] for r in result[1].regions]
+    assert all(c > 0 for c in counts)  # every planted site was recovered
+
+
+def test_full_pipeline_shape():
+    """Non-timed sanity: the three phases hand GDM datasets downstream."""
+    result = run_pipeline(seed=4, n_reads=3_000, n_binding_sites=8, n_genes=12)
+    assert result.metrics["peak_recall"] > 0.6
+    assert (
+        result.metrics["tertiary_bound_promoters_hit"]
+        >= result.metrics["tertiary_unbound_promoters_hit"]
+    )

@@ -1,0 +1,68 @@
+"""E5 (Figure 4): MAP -> genome space -> gene network transformations.
+
+One benchmark per arrow of Figure 4: the MAP producing the space, the
+space construction from the MAP result, and the network interpretation of
+the space.
+"""
+
+import pytest
+
+from repro.analysis import (
+    GenomeSpace,
+    genome_space_to_network,
+    network_summary,
+)
+from repro.gmql import run
+
+
+@pytest.fixture(scope="module")
+def mapped(medium_repo):
+    return run(
+        """
+        GENES = SELECT(annType == 'promoter') ANNOTATIONS;
+        CHIP = SELECT(dataType == 'ChipSeq') ENCODE;
+        SPACE = MAP(hits AS COUNT) GENES CHIP;
+        MATERIALIZE SPACE;
+        """,
+        {"ANNOTATIONS": medium_repo.annotations,
+         "ENCODE": medium_repo.encode},
+        engine="columnar",
+    )["SPACE"]
+
+
+def test_map_produces_genome_space_input(benchmark, medium_repo):
+    sources = {"ANNOTATIONS": medium_repo.annotations,
+               "ENCODE": medium_repo.encode}
+    result = benchmark(
+        lambda: run(
+            """
+            GENES = SELECT(annType == 'promoter') ANNOTATIONS;
+            CHIP = SELECT(dataType == 'ChipSeq') ENCODE;
+            SPACE = MAP(hits AS COUNT) GENES CHIP;
+            MATERIALIZE SPACE;
+            """,
+            sources,
+            engine="columnar",
+        )["SPACE"]
+    )
+    assert len(result) == medium_repo.chipseq_sample_count()
+
+
+def test_genome_space_construction(benchmark, mapped):
+    space = benchmark(
+        GenomeSpace.from_map_result, mapped, label_attribute="name"
+    )
+    assert space.n_regions == len(mapped[1])
+    assert space.n_experiments == len(mapped)
+    benchmark.extra_info["cells"] = space.n_regions * space.n_experiments
+
+
+def test_network_extraction(benchmark, mapped):
+    space = GenomeSpace.from_map_result(mapped, label_attribute="name")
+    threshold = max(2, int(space.n_experiments * 0.8))
+    graph = benchmark(
+        genome_space_to_network, space, "coactivity", threshold
+    )
+    summary = network_summary(graph)
+    benchmark.extra_info.update(summary)
+    assert summary["nodes"] == space.n_regions

@@ -1,0 +1,42 @@
+"""E8 (Section 4.2 claim): "genome spaces of 10K genes and 100M
+relationships between them".
+
+The dense network of a G-gene genome space has G^2 relationships; this
+bench verifies the arithmetic at G = 10,000, measures dense similarity
+computation at tractable G, and shows the quadratic scaling that makes
+"large-scale network management packages" necessary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import GenomeSpace, relationship_count
+
+
+def make_space(n_regions: int, n_experiments: int = 20) -> GenomeSpace:
+    rng = np.random.default_rng(5)
+    matrix = rng.poisson(1.0, size=(n_regions, n_experiments)).astype(float)
+    labels = [f"g{i}" for i in range(n_regions)]
+    coordinates = [("chr1", i * 100, i * 100 + 50, "+") for i in range(n_regions)]
+    return GenomeSpace(matrix, labels, [f"e{j}" for j in range(n_experiments)],
+                       coordinates)
+
+
+def test_paper_relationship_arithmetic():
+    assert relationship_count(10_000) == 100_000_000
+
+
+@pytest.mark.parametrize("n_regions", [250, 500, 1_000])
+def test_dense_similarity_scaling(benchmark, n_regions):
+    benchmark.group = "dense-similarity"
+    space = make_space(n_regions)
+    similarity = benchmark(space.similarity_matrix, "coactivity")
+    assert similarity.shape == (n_regions, n_regions)
+    benchmark.extra_info["relationships"] = relationship_count(n_regions)
+
+
+def test_memory_model_at_paper_scale():
+    """10k x 10k float64 similarity = 800 MB: quantifying why the paper
+    says such analyses need large-scale network packages."""
+    bytes_needed = relationship_count(10_000) * 8
+    assert bytes_needed == 800_000_000

@@ -1,0 +1,83 @@
+"""E13 (Section 4.3): GREAT-like statistics over planted associations.
+
+A peak set planted at regulatory domains must come out significantly
+enriched (binomial over regions, hypergeometric over genes); a uniform
+control set must not.  Also measures the statistic's cost at realistic
+region counts.
+"""
+
+import pytest
+
+from repro.analysis import (
+    binomial_region_enrichment,
+    hypergeometric_gene_enrichment,
+)
+from repro.gdm import GenomicRegion
+from repro.simulate import generator
+
+GENOME_SIZE = 10_000_000
+N_DOMAINS = 300
+N_QUERY = 2_000
+
+
+@pytest.fixture(scope="module")
+def domains():
+    rng = generator(31, "domains")
+    return [
+        GenomicRegion("chr1", int(p), int(p) + 2_000)
+        for p in rng.integers(0, GENOME_SIZE - 2_000, size=N_DOMAINS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def enriched_query(domains):
+    rng = generator(31, "query")
+    regions = []
+    for i in range(N_QUERY):
+        if rng.random() < 0.5:
+            domain = domains[int(rng.integers(0, len(domains)))]
+            center = int(rng.integers(domain.left, domain.right))
+        else:
+            center = int(rng.integers(0, GENOME_SIZE))
+        regions.append(GenomicRegion("chr1", max(0, center - 100), center + 100))
+    return regions
+
+
+@pytest.fixture(scope="module")
+def uniform_query():
+    rng = generator(31, "uniform")
+    return [
+        GenomicRegion("chr1", int(p), int(p) + 200)
+        for p in rng.integers(0, GENOME_SIZE - 200, size=N_QUERY)
+    ]
+
+
+def test_binomial_on_enriched_set(benchmark, domains, enriched_query):
+    result = benchmark(
+        binomial_region_enrichment, enriched_query, domains, GENOME_SIZE
+    )
+    benchmark.extra_info.update(
+        {"fold": round(result.fold, 1), "p_value": f"{result.p_value:.2e}"}
+    )
+    assert result.fold > 3
+    assert result.p_value < 1e-10
+
+
+def test_binomial_on_uniform_control(benchmark, domains, uniform_query):
+    result = benchmark(
+        binomial_region_enrichment, uniform_query, domains, GENOME_SIZE
+    )
+    benchmark.extra_info["fold"] = round(result.fold, 2)
+    assert 0.5 < result.fold < 1.5
+    assert result.p_value > 1e-4
+
+
+def test_hypergeometric_gene_level(benchmark):
+    all_genes = {f"g{i}" for i in range(5_000)}
+    annotated = {f"g{i}" for i in range(400)}
+    hits = {f"g{i}" for i in range(200)} | {f"g{i}" for i in range(4_000, 4_100)}
+    result = benchmark(
+        hypergeometric_gene_enrichment, hits, annotated, all_genes
+    )
+    assert result.observed == 200
+    assert result.p_value < 1e-10

@@ -1,0 +1,89 @@
+"""E12 (Section 4.5): Internet-of-Genomes crawling -- coverage vs budget.
+
+Measures crawl-pass cost and the coverage/freshness curves as the
+politeness budget varies: the trade-off a third-party search service over
+published genomic data must manage.
+"""
+
+import pytest
+
+from repro.federation import Network
+from repro.gdm import Dataset, Metadata, RegionSchema, Sample, region
+from repro.search import Crawler, GenomeHost, GenomeSearchService
+
+N_HOSTS = 8
+DATASETS_PER_HOST = 3
+
+
+def build_world():
+    network = Network()
+    hosts = []
+    for h in range(N_HOSTS):
+        host = GenomeHost(f"center{h}", network)
+        for d in range(DATASETS_PER_HOST):
+            ds = Dataset(f"DS_{h}_{d}", RegionSchema.empty())
+            ds.add_sample(
+                Sample(
+                    1,
+                    [region("chr1", i * 50, i * 50 + 30) for i in range(40)],
+                    Metadata({"cell": ("HeLa-S3", "K562", "GM12878")[d % 3],
+                              "dataType": "ChipSeq", "lab": f"lab{h}"}),
+                )
+            )
+            host.publish(ds)
+        hosts.append(host)
+    return hosts, network
+
+
+def test_full_crawl_pass(benchmark):
+    def crawl():
+        hosts, network = build_world()
+        service = GenomeSearchService()
+        crawler = Crawler(hosts, network)
+        report = crawler.crawl(service)
+        return service, report, hosts
+
+    service, report, hosts = benchmark(crawl)
+    assert report.links_new_or_updated == N_HOSTS * DATASETS_PER_HOST
+    assert service.coverage(hosts) == 1.0
+    benchmark.extra_info["links"] = report.links_seen
+
+
+@pytest.mark.parametrize("budget", [2, 4, 8])
+def test_coverage_vs_budget(benchmark, budget):
+    benchmark.group = "coverage-vs-budget"
+
+    def one_pass():
+        hosts, network = build_world()
+        service = GenomeSearchService()
+        crawler = Crawler(hosts, network)
+        crawler.crawl(service, max_hosts=budget)
+        return service.coverage(hosts)
+
+    coverage = benchmark(one_pass)
+    assert coverage == pytest.approx(budget / N_HOSTS)
+    benchmark.extra_info["coverage"] = round(coverage, 2)
+
+
+def test_freshness_decays_and_recovers():
+    hosts, network = build_world()
+    service = GenomeSearchService()
+    crawler = Crawler(hosts, network)
+    crawler.crawl(service)
+    # Half the hosts republish one dataset each.
+    for host in hosts[: N_HOSTS // 2]:
+        ds = Dataset(f"DS_{host.name[-1]}_0", RegionSchema.empty())
+        ds.add_sample(Sample(1, [region("chr1", 0, 99)],
+                             Metadata({"cell": "HepG2"})))
+        host.update(ds)
+    assert service.freshness(hosts) < 1.0
+    crawler.crawl(service)
+    assert service.freshness(hosts) == 1.0
+
+
+def test_search_latency_after_crawl(benchmark):
+    hosts, network = build_world()
+    service = GenomeSearchService()
+    Crawler(hosts, network).crawl(service)
+    results = benchmark(service.search, "HeLa ChipSeq", 10)
+    assert results

@@ -1,0 +1,89 @@
+"""E10 (Section 4.5): metadata search quality and speed.
+
+A labelled corpus (relevance = samples of cancer cell lines) is searched
+three ways -- keyword, free text, ontology-expanded -- measuring latency
+and "classical measures of precision and recall".  The expected shape:
+ontology expansion recovers relevant samples the literal modes miss.
+"""
+
+import pytest
+
+from repro.gdm import Dataset, Metadata, RegionSchema, Sample, region
+from repro.search import MetadataSearch, precision_recall
+from repro.simulate import generator
+
+CANCER_CELLS = ("HeLa-S3", "K562", "HepG2", "A549")
+NORMAL_CELLS = ("GM12878", "H1-hESC")
+
+
+def build_corpus(n_samples: int = 120):
+    """Corpus where only some cancer samples say 'cancer' literally."""
+    rng = generator(17, "corpus")
+    dataset = Dataset("CORPUS", RegionSchema.empty())
+    relevant = set()
+    for sample_id in range(1, n_samples + 1):
+        is_cancer = rng.random() < 0.5
+        cells = CANCER_CELLS if is_cancer else NORMAL_CELLS
+        meta = {
+            "cell": cells[int(rng.integers(0, len(cells)))],
+            "dataType": ("ChipSeq", "RnaSeq")[int(rng.integers(0, 2))],
+            "lab": f"lab{int(rng.integers(0, 5))}",
+        }
+        if is_cancer and rng.random() < 0.3:
+            meta["karyotype"] = "cancer"  # only 30% carry the literal word
+        if is_cancer:
+            relevant.add(("CORPUS", sample_id))
+        dataset.add_sample(
+            Sample(sample_id, [region("chr1", 0, 100)], Metadata(meta))
+        )
+    return dataset, relevant
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus()
+
+
+@pytest.fixture(scope="module")
+def search(corpus):
+    dataset, __ = corpus
+    service = MetadataSearch()
+    service.add_dataset(dataset)
+    return service
+
+
+def test_keyword_search(benchmark, corpus, search):
+    __, relevant = corpus
+    hits = benchmark(search.keyword_search, "cancer")
+    metrics = precision_recall(hits, relevant)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in metrics.items()})
+    # Literal keyword: perfect precision, poor recall.
+    assert metrics["precision"] == 1.0
+    assert metrics["recall"] < 0.5
+
+
+def test_free_text_search(benchmark, corpus, search):
+    __, relevant = corpus
+    ranked = benchmark(search.free_text_search, "cancer karyotype")
+    metrics = precision_recall(ranked, relevant)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in metrics.items()})
+    # Free text still only reaches samples carrying the literal tokens.
+    assert metrics["recall"] < 0.6
+    assert metrics["precision"] == 1.0
+
+
+def test_ontology_search(benchmark, corpus, search):
+    __, relevant = corpus
+    ranked = benchmark(search.ontology_search, "cancer")
+    metrics = precision_recall(ranked, relevant)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in metrics.items()})
+    # Expansion reaches HeLa/K562/... samples with no literal 'cancer'.
+    assert metrics["recall"] > 0.95
+
+
+def test_ontology_beats_literal_recall(corpus, search):
+    __, relevant = corpus
+    literal = precision_recall(search.keyword_search("cancer"), relevant)
+    expanded = precision_recall(search.ontology_search("cancer"), relevant)
+    assert expanded["recall"] > 2 * literal["recall"]
+    assert expanded["f1"] > literal["f1"]

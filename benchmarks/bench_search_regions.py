@@ -1,0 +1,68 @@
+"""E11 (Section 4.5): feature-based region search -- index vs compute.
+
+"For some regions it is possible to define a priori the typical features,
+store them as attributes, and then use indexing; but in general features
+should be computed."  The bench measures both routes: cold compute-then-
+rank over the full corpus, warm (cached) search, and candidate-restricted
+search where feature evaluation intertwines with a metadata pre-filter.
+"""
+
+import pytest
+
+from repro.search import MetadataSearch, RegionSearch
+from repro.simulate import workload_dataset
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return workload_dataset(seed=23, n_samples=40, regions_per_sample=800,
+                            name="CORPUS")
+
+
+TARGETS = {"region_count": 800, "mean_length": 300, "covered_positions": 200_000}
+
+
+def test_cold_compute_then_rank(benchmark, corpus):
+    def cold():
+        service = RegionSearch()
+        service.add_dataset(corpus)
+        return service.search(TARGETS, limit=5)
+
+    results = benchmark(cold)
+    assert len(results) == 5
+
+
+def test_warm_indexed_search(benchmark, corpus):
+    service = RegionSearch()
+    service.add_dataset(corpus, precompute=tuple(TARGETS))
+    results = benchmark(service.search, TARGETS, 5)
+    assert len(results) == 5
+    assert service.cache_stats()["computations"] == len(corpus) * len(TARGETS)
+
+
+def test_candidate_restricted_search(benchmark, corpus):
+    """Metadata search narrows candidates; features computed only there."""
+    metadata = MetadataSearch()
+    metadata.add_dataset(corpus)
+    candidates = metadata.keyword_search("chipseq")[:10]
+
+    def restricted():
+        service = RegionSearch()
+        service.add_dataset(corpus)
+        service.search(TARGETS, limit=5, candidates=candidates)
+        return service
+
+    service = benchmark(restricted)
+    assert (
+        service.cache_stats()["computations"]
+        == len(candidates) * len(TARGETS)
+    )
+
+
+def test_index_beats_cold_compute(corpus):
+    """The quality result: the warm path does no feature evaluations."""
+    warm = RegionSearch()
+    warm.add_dataset(corpus, precompute=tuple(TARGETS))
+    evaluations_before = warm.computations
+    warm.search(TARGETS)
+    assert warm.computations == evaluations_before

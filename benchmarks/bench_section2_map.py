@@ -1,0 +1,104 @@
+"""E3 (Section 2): the headline MAP query and its cardinality arithmetic.
+
+Paper numbers: 2,423 ENCODE ChIP samples, 83,899,526 peaks, 131,780
+promoters, 29 GB result.  The bench runs the exact GMQL text at reduced
+scale, asserts the structural invariants that make the paper's numbers
+reproducible arithmetic (output samples = promoter samples x ChIP
+samples; regions per output sample = promoter count), and extrapolates
+the measured result size to paper scale.
+"""
+
+import pytest
+
+from repro.gmql import run
+from repro.simulate import (
+    EncodeRepository,
+    GenomeLayout,
+    PAPER_PROMOTERS,
+    PAPER_RESULT_BYTES,
+    PAPER_SAMPLES,
+)
+
+PROGRAM = """
+PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+MATERIALIZE RESULT;
+"""
+
+
+@pytest.fixture(scope="module")
+def repo():
+    layout = GenomeLayout.generate(seed=42, n_genes=400, n_enhancers=200)
+    return EncodeRepository.generate(
+        seed=42, n_samples=32, peaks_per_sample_mean=400, layout=layout
+    )
+
+
+@pytest.mark.parametrize("engine", ["naive", "columnar"])
+def test_headline_query(benchmark, repo, engine):
+    sources = {"ANNOTATIONS": repo.annotations, "ENCODE": repo.encode}
+    result = benchmark(lambda: run(PROGRAM, sources, engine=engine)["RESULT"])
+
+    chip_samples = repo.chipseq_sample_count()
+    promoters = repo.promoter_count()
+    # The paper's cardinality invariants.
+    assert len(result) == chip_samples
+    assert all(len(sample) == promoters for sample in result)
+    assert result.schema.names[-1] == "peak_count"
+
+    measured = result.estimated_size_bytes()
+    paper_cells = PAPER_PROMOTERS * PAPER_SAMPLES
+    extrapolated = measured * paper_cells / (promoters * chip_samples)
+    benchmark.extra_info.update(
+        {
+            "chip_samples": chip_samples,
+            "peaks": repo.chipseq_peak_count(),
+            "promoters": promoters,
+            "result_regions": result.region_count(),
+            "extrapolated_gb": round(extrapolated / 1024**3, 1),
+            "paper_gb": round(PAPER_RESULT_BYTES / 1024**3, 1),
+        }
+    )
+    # Same order of magnitude as the paper's 29 GB.
+    assert 3 < extrapolated / 1024**3 < 300
+
+
+def test_cardinality_arithmetic_holds_across_scales():
+    """The paper's numbers are arithmetic: at every scale the output shape
+    is (chip samples) x (promoters), so per-cell size is constant and
+    extrapolation is exact."""
+    per_cell = []
+    for n_samples, n_genes in ((8, 100), (16, 200)):
+        layout = GenomeLayout.generate(seed=9, n_genes=n_genes,
+                                       n_enhancers=n_genes // 2)
+        repo = EncodeRepository.generate(
+            seed=9, n_samples=n_samples, peaks_per_sample_mean=120,
+            layout=layout,
+        )
+        result = run(
+            PROGRAM,
+            {"ANNOTATIONS": repo.annotations, "ENCODE": repo.encode},
+            engine="columnar",
+        )["RESULT"]
+        cells = repo.promoter_count() * repo.chipseq_sample_count()
+        assert result.region_count() == cells
+        per_cell.append(result.estimated_size_bytes() / cells)
+    # Constant bytes-per-cell across scales (same schema width).
+    assert per_cell[0] == pytest.approx(per_cell[1], rel=0.2)
+
+
+def test_counts_reflect_planted_enrichment(repo):
+    """MAP counts must be promoter-enriched -- the signal is real."""
+    sources = {"ANNOTATIONS": repo.annotations, "ENCODE": repo.encode}
+    result = run(PROGRAM, sources, engine="columnar")["RESULT"]
+    total_counted = sum(
+        region.values[-1] for sample in result for region in sample.regions
+    )
+    total_peaks = repo.chipseq_peak_count()
+    promoter_bases = sum(
+        p.length for p in repo.layout.promoter_regions()
+    )
+    genome_bases = sum(repo.layout.chromosome_sizes.values())
+    background = total_peaks * promoter_bases / genome_bases
+    assert total_counted > 3 * background

@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Data generation happens once per module/session so pytest-benchmark
+timings measure the system under test, not the generators.
+"""
+
+import pytest
+
+from repro.simulate import EncodeRepository, GenomeLayout
+
+
+@pytest.fixture(scope="session")
+def medium_layout():
+    return GenomeLayout.generate(seed=1, n_genes=300, n_enhancers=150)
+
+
+@pytest.fixture(scope="session")
+def medium_repo(medium_layout):
+    return EncodeRepository.generate(
+        seed=1, n_samples=24, peaks_per_sample_mean=400, layout=medium_layout
+    )

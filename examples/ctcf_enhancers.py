@@ -1,0 +1,78 @@
+"""Figure 3: CTCF loops, enhancer marks and gene regulation (experiment E4).
+
+Plants a genome where some gene-enhancer pairs sit inside CTCF loops,
+generates H3K27ac/H3K4me1/H3K4me3 mark samples, renders a Figure-3-style
+track view of one loop, then runs the loop-aware GMQL analysis and
+compares it against a distance-only baseline on precision/recall.
+
+Run with:  python examples/ctcf_enhancers.py
+"""
+
+from repro.gdm import Dataset, Metadata, RegionSchema, STR, Sample, render_tracks
+from repro.search import precision_recall
+from repro.simulate import (
+    CtcfScenario,
+    distance_baseline_pairs,
+    extract_candidate_pairs,
+)
+
+
+def show_one_loop(scenario: CtcfScenario) -> None:
+    """Render the marks inside the first regulatory loop, Figure-3 style."""
+    loops = [r for s in scenario.loops for r in s.regions
+             if str(r.values[0]).startswith("loop")]
+    if not loops:
+        return
+    loop = loops[0]
+    window = Dataset("VIEW", scenario.marks.schema)
+    for sample in scenario.marks:
+        antibody = sample.meta.first("antibody")
+        window.add_sample(
+            Sample(sample.id, sample.regions,
+                   Metadata({"name": antibody})),
+            validate=False,
+        )
+    loop_track = Dataset(
+        "LOOP",
+        RegionSchema.of(("name", STR)),
+        [Sample(1, [loop], Metadata({"name": "CTCF loop"}))],
+    )
+    print(f"One regulatory CTCF loop ({loop.chrom}:{loop.left:,}-"
+          f"{loop.right:,}):")
+    print(render_tracks(loop_track, loop.chrom, loop.left - 2_000,
+                        loop.right + 2_000))
+    print(render_tracks(window, loop.chrom, loop.left - 2_000,
+                        loop.right + 2_000).split("\n", 2)[2])
+
+
+def main() -> None:
+    scenario = CtcfScenario.generate(seed=11, n_loops=60)
+    print(f"Planted regulatory gene-enhancer pairs: "
+          f"{len(scenario.true_pairs)}")
+    print()
+    show_one_loop(scenario)
+    print()
+
+    candidates = extract_candidate_pairs(scenario)
+    baseline = distance_baseline_pairs(scenario)
+    truth = scenario.true_pairs
+
+    loop_metrics = precision_recall(list(candidates), truth)
+    base_metrics = precision_recall(list(baseline), truth)
+    print(f"{'method':<26} {'pairs':>6} {'precision':>10} {'recall':>8} "
+          f"{'F1':>6}")
+    print("-" * 60)
+    print(f"{'loop-aware GMQL query':<26} {len(candidates):>6} "
+          f"{loop_metrics['precision']:>10.2f} {loop_metrics['recall']:>8.2f} "
+          f"{loop_metrics['f1']:>6.2f}")
+    print(f"{'distance-only baseline':<26} {len(baseline):>6} "
+          f"{base_metrics['precision']:>10.2f} {base_metrics['recall']:>8.2f} "
+          f"{base_metrics['f1']:>6.2f}")
+    print()
+    print("Enclosing enhancers and promoters within CTCF loops (the paper's")
+    print("'spatial condition [that] may favor the enhancer-to-gene")
+    print("relationship') buys precision that distance alone cannot.")
+
+
+if __name__ == "__main__":
+    main()

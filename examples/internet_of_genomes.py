@@ -1,0 +1,77 @@
+"""Section 4.5: the Internet of Genomes (experiment E12).
+
+Six research centres publish genomic datasets under the simple publishing
+protocol; a third-party search service crawls them (with a politeness
+budget and a mirror budget), indexes the metadata, and answers queries
+with snippets and mirror indications; a user locates a dataset and
+downloads it asynchronously from its owning host.
+
+Run with:  python examples/internet_of_genomes.py
+"""
+
+from repro.federation import Network
+from repro.search import Crawler, GenomeHost, GenomeSearchService
+from repro.simulate import EncodeRepository, GenomeLayout
+
+
+def main() -> None:
+    network = Network()
+    layout = GenomeLayout.generate(seed=21, n_genes=80, n_enhancers=40)
+    hosts = []
+    for index in range(6):
+        host = GenomeHost(f"center{index}", network)
+        repo = EncodeRepository.generate(
+            seed=100 + index, n_samples=4, peaks_per_sample_mean=60,
+            layout=layout, name=f"EXPERIMENTS_{index}",
+        )
+        host.publish(repo.encode)
+        host.publish(repo.annotations.with_name(f"ANNOTATIONS_{index}"))
+        hosts.append(host)
+
+    service = GenomeSearchService()
+    crawler = Crawler(hosts, network, mirror_budget_bytes=60_000)
+
+    print("Crawling with a budget of 3 hosts per pass:")
+    for crawl_pass in range(1, 4):
+        report = crawler.crawl(service, max_hosts=3)
+        print(f"  pass {crawl_pass}: visited {report.hosts_visited} hosts, "
+              f"indexed {report.links_new_or_updated} new links, "
+              f"mirrored {report.datasets_mirrored}, "
+              f"coverage {service.coverage(hosts):.0%}")
+    print()
+
+    print("Search: 'CTCF HeLa ChipSeq'")
+    for result in service.search("CTCF HeLa ChipSeq", limit=5):
+        mirrored = "mirrored" if result["mirrored"] else "remote"
+        print(f"  [{result['score']:.2f}] {result['dataset']} @ "
+              f"{result['host']} ({mirrored})")
+        print(f"       {result['snippet']}")
+    print()
+
+    name = "EXPERIMENTS_2"
+    owners = service.locate(name)
+    print(f"Locating {name}: published by {owners}")
+    owner = next(h for h in hosts if h.name == owners[0])
+    dataset = owner.download(name, "user")
+    print(f"Asynchronous download complete: {len(dataset)} samples, "
+          f"{dataset.region_count()} regions")
+    print()
+
+    # Staleness: a host republishes; the next crawl refreshes the index.
+    repo = EncodeRepository.generate(seed=999, n_samples=5,
+                                     peaks_per_sample_mean=60, layout=layout,
+                                     name="EXPERIMENTS_0")
+    hosts[0].update(repo.encode)
+    print(f"After an update at center0: freshness "
+          f"{service.freshness(hosts):.0%}")
+    crawler.crawl(service)
+    print(f"After one more crawl pass:  freshness "
+          f"{service.freshness(hosts):.0%}")
+    print()
+    print(f"Total crawl+download traffic: "
+          f"{network.log.bytes_total / 1024:.0f} KiB in "
+          f"{network.log.message_count()} transfers")
+
+
+if __name__ == "__main__":
+    main()

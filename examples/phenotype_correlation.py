@@ -1,0 +1,116 @@
+"""Section 4.1: genotype-phenotype correlation and latent analysis.
+
+Builds a genome space from a MAP over samples whose metadata carries a
+phenotype (karyotype = cancer/normal, with planted cancer-specific
+binding), then:
+
+* correlates every gene's binding profile with the phenotype (Welch
+  t-test + Benjamini-Hochberg), recovering the planted cancer genes;
+* runs latent semantic analysis, whose first factors separate the
+  cancer-specific regulatory program from the shared one.
+
+Run with:  python examples/phenotype_correlation.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    GenomeSpace,
+    benjamini_hochberg,
+    correlate_phenotype,
+    latent_semantic_analysis,
+    phenotype_vector,
+)
+from repro.gdm import Dataset, Metadata, RegionSchema, STR, Sample, region
+from repro.gmql import Count, map_regions
+from repro.simulate import generator
+
+N_GENES = 40
+N_CANCER_GENES = 8
+N_SAMPLES = 16
+
+
+def build_world():
+    rng = generator(99, "phenotype")
+    genes = Dataset(
+        "GENES",
+        RegionSchema.of(("name", STR)),
+        [
+            Sample(
+                1,
+                [
+                    region("chr1", i * 10_000, i * 10_000 + 2_000, "+",
+                           f"gene{i:02d}")
+                    for i in range(N_GENES)
+                ],
+                Metadata({"annType": "gene"}),
+            )
+        ],
+    )
+    cancer_genes = {f"gene{i:02d}" for i in range(N_CANCER_GENES)}
+    experiments = Dataset("EXPS", RegionSchema.empty())
+    for sample_id in range(1, N_SAMPLES + 1):
+        is_cancer = sample_id <= N_SAMPLES // 2
+        regions = []
+        for i in range(N_GENES):
+            name = f"gene{i:02d}"
+            # Cancer-specific genes bind only in cancer samples (clean
+            # signal); the rest bind everywhere with dropout noise.
+            if name in cancer_genes:
+                active = is_cancer
+            else:
+                active = rng.random() < 0.7
+            if active:
+                center = i * 10_000 + int(rng.integers(0, 2_000))
+                regions.append(region("chr1", center, center + 200))
+        experiments.add_sample(
+            Sample(
+                sample_id,
+                regions,
+                Metadata({"karyotype": "cancer" if is_cancer else "normal"}),
+            )
+        )
+    return genes, experiments, cancer_genes
+
+
+def main() -> None:
+    genes, experiments, cancer_genes = build_world()
+    mapped = map_regions(genes, experiments, {"hits": (Count(), None)})
+    space = GenomeSpace.from_map_result(mapped, label_attribute="name")
+    phenotype = phenotype_vector(mapped, "right.karyotype")
+    print(f"Genome space: {space.n_regions} genes x "
+          f"{space.n_experiments} samples "
+          f"({phenotype.count('cancer')} cancer / "
+          f"{phenotype.count('normal')} normal)")
+    print()
+
+    associations = correlate_phenotype(space, phenotype)
+    survivors = benjamini_hochberg(associations, alpha=0.05)
+    called = {a.region for a in survivors}
+    print(f"Phenotype-associated genes after FDR control: {len(called)}")
+    hits = called & cancer_genes
+    print(f"  planted cancer genes recovered: {len(hits)}/{len(cancer_genes)}")
+    print("  top associations:")
+    for a in survivors[:5]:
+        print(f"    {a.region}: effect {a.effect:+.2f}, p = {a.p_value:.2e}")
+    print()
+
+    model = latent_semantic_analysis(space, k=2)
+    print(f"Latent semantic analysis (k=2): "
+          f"{model.explained_variance:.0%} variance explained")
+    # Factor 0 captures global activity; factor 1 is the contrast factor
+    # separating the cancer-specific program.
+    top_contrast = model.top_regions(1, top=N_CANCER_GENES)
+    recovered = sum(1 for name, __ in top_contrast if name in cancer_genes)
+    print(f"  top {N_CANCER_GENES} genes on the contrast factor: "
+          f"{recovered}/{N_CANCER_GENES} are the planted cancer genes")
+    for name, loading in top_contrast[:4]:
+        print(f"    {name}: loading {loading:+.2f}")
+    print()
+    print("The factor dominated by the planted cancer program shows how")
+    print("'advanced latent semantic analysis and topic modelling' (sec 4.1)")
+    print("surface regulatory programs directly from genome spaces.")
+
+
+if __name__ == "__main__":
+    main()

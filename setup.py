@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so modern
+PEP 660 editable installs cannot build; this shim lets
+``pip install -e . --no-build-isolation`` (or plain ``pip install -e .``
+with network access) fall back to ``setup.py develop``.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro: a full reproduction of "Data Management for Next Generation
+Genomic Computing" (Ceri et al., EDBT 2016).
+
+The package implements the paper's Genomic Data Model (GDM) and GenoMetric
+Query Language (GMQL), the substrates they depend on (interval algebra,
+format mediation, execution engines, an NGS pipeline simulator) and the
+vision systems of section 4 (genome spaces and gene networks, ontologies,
+repositories, federation, search and the Internet of Genomes).
+
+Quickstart::
+
+    from repro import gdm, gmql
+    from repro.simulate import encode
+
+    repo = encode.EncodeRepository.generate(seed=7, n_samples=40)
+    result = gmql.run(
+        '''
+        PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+        PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+        RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+        MATERIALIZE RESULT;
+        ''',
+        datasets={"ANNOTATIONS": repo.annotations, "ENCODE": repo.encode},
+    )["RESULT"]
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,57 @@
+"""Data analysis layer: genome spaces, gene networks, clustering, statistics.
+
+Implements the paper's section 4.1 (MAP result -> genome space -> gene
+network, clustering, genotype-phenotype correlation) and the GREAT-like
+statistics of section 4.3.
+"""
+
+from repro.analysis.clustering import (
+    hierarchical_regions,
+    kmeans_regions,
+    silhouette,
+)
+from repro.analysis.correlation import (
+    Association,
+    benjamini_hochberg,
+    correlate_phenotype,
+    phenotype_vector,
+)
+from repro.analysis.genomespace import GenomeSpace
+from repro.analysis.latent import LatentModel, latent_semantic_analysis
+from repro.analysis.network import (
+    genome_space_to_network,
+    hub_genes,
+    interaction_strengths,
+    network_communities,
+    network_summary,
+    relationship_count,
+)
+from repro.analysis.stats import (
+    EnrichmentResult,
+    binomial_region_enrichment,
+    describe_result,
+    hypergeometric_gene_enrichment,
+)
+
+__all__ = [
+    "Association",
+    "EnrichmentResult",
+    "GenomeSpace",
+    "LatentModel",
+    "benjamini_hochberg",
+    "binomial_region_enrichment",
+    "correlate_phenotype",
+    "describe_result",
+    "genome_space_to_network",
+    "hierarchical_regions",
+    "hub_genes",
+    "hypergeometric_gene_enrichment",
+    "interaction_strengths",
+    "kmeans_regions",
+    "latent_semantic_analysis",
+    "network_communities",
+    "network_summary",
+    "phenotype_vector",
+    "relationship_count",
+    "silhouette",
+]

@@ -1,0 +1,125 @@
+"""Genotype-phenotype correlation between genome spaces and metadata.
+
+"...relationships among genomic data, and between them and biological or
+clinical features of experimental samples expressed in their metadata,
+i.e., for genotype-phenotype correlation analysis" (paper, section 4.1).
+
+Given a genome space and a metadata attribute over its experiment columns
+(e.g. ``karyotype`` = cancer/normal), each region's signal profile is
+tested for association with the phenotype: two-sided Welch t-test for
+binary phenotypes, Pearson correlation for numeric ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.genomespace import GenomeSpace
+from repro.errors import EvaluationError
+from repro.gdm import Dataset
+
+
+@dataclass(frozen=True)
+class Association:
+    """One region/phenotype association."""
+
+    region: str
+    statistic: float
+    p_value: float
+    effect: float  # mean difference (binary) or correlation (numeric)
+
+
+def phenotype_vector(mapped: Dataset, attribute: str) -> list:
+    """The per-sample values of a metadata attribute, in sample order."""
+    return [sample.meta.first(attribute) for sample in mapped]
+
+
+def correlate_phenotype(
+    space: GenomeSpace,
+    phenotype: list,
+    min_group_size: int = 2,
+) -> list:
+    """Associate every region with a phenotype across experiments.
+
+    *phenotype* has one entry per experiment column.  With exactly two
+    distinct values a Welch t-test compares the groups; with numeric
+    values a Pearson correlation is computed.  Returns
+    :class:`Association` records sorted by ascending p-value.
+    """
+    if len(phenotype) != space.n_experiments:
+        raise EvaluationError(
+            f"phenotype has {len(phenotype)} values for "
+            f"{space.n_experiments} experiments"
+        )
+    values = list(phenotype)
+    distinct = sorted({str(v) for v in values})
+    matrix = np.nan_to_num(space.matrix, nan=0.0)
+    results = []
+    if len(distinct) == 2:
+        mask = np.array([str(v) == distinct[1] for v in values])
+        if mask.sum() < min_group_size or (~mask).sum() < min_group_size:
+            raise EvaluationError("phenotype groups too small for a t-test")
+        for label, row in zip(space.region_labels, matrix):
+            a, b = row[mask], row[~mask]
+            if np.allclose(a.std(), 0) and np.allclose(b.std(), 0):
+                if np.isclose(a.mean(), b.mean()):
+                    # Identical constant groups: no association.
+                    statistic, p_value = 0.0, 1.0
+                else:
+                    # Perfect separation with zero within-group variance:
+                    # the strongest possible association.  Assign the
+                    # permutation-test floor: 1 / C(n, |group|).
+                    from math import comb
+
+                    n = len(row)
+                    statistic = float("inf") if a.mean() > b.mean() else float(
+                        "-inf"
+                    )
+                    p_value = 2.0 / comb(n, int(mask.sum()))
+            else:
+                statistic, p_value = stats.ttest_ind(a, b, equal_var=False)
+            results.append(
+                Association(
+                    region=label,
+                    statistic=float(statistic),
+                    p_value=float(p_value),
+                    effect=float(a.mean() - b.mean()),
+                )
+            )
+    else:
+        try:
+            numeric = np.array([float(v) for v in values])
+        except (TypeError, ValueError) as exc:
+            raise EvaluationError(
+                "phenotype must be binary or numeric"
+            ) from exc
+        for label, row in zip(space.region_labels, matrix):
+            if np.allclose(row.std(), 0) or np.allclose(numeric.std(), 0):
+                statistic, p_value = 0.0, 1.0
+            else:
+                statistic, p_value = stats.pearsonr(row, numeric)
+            results.append(
+                Association(
+                    region=label,
+                    statistic=float(statistic),
+                    p_value=float(p_value),
+                    effect=float(statistic),
+                )
+            )
+    results.sort(key=lambda a: a.p_value)
+    return results
+
+
+def benjamini_hochberg(associations: list, alpha: float = 0.05) -> list:
+    """The associations surviving Benjamini-Hochberg FDR control."""
+    m = len(associations)
+    ordered = sorted(associations, key=lambda a: a.p_value)
+    survivors = []
+    threshold_rank = 0
+    for rank, association in enumerate(ordered, start=1):
+        if association.p_value <= alpha * rank / m:
+            threshold_rank = rank
+    return ordered[:threshold_rank]

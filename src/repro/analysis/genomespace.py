@@ -1,0 +1,240 @@
+"""Genome spaces: the region x experiment matrix of Figure 4.
+
+"Every map operation produces what we call a genome space, i.e., a tabular
+space of regions vs. experiments, which is the starting point for data
+analysis" (paper, section 4.1).  :class:`GenomeSpace` is built from a MAP
+result dataset: each output sample contributes one column, each reference
+region one row; cell values are the MAP aggregate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.gdm import Dataset
+
+
+class GenomeSpace:
+    """Dense region-by-experiment matrix with labelled axes.
+
+    Attributes
+    ----------
+    matrix:
+        ``(n_regions, n_experiments)`` float64 array (missing = nan).
+    region_labels:
+        One label per row (region name when available, else coordinates).
+    column_labels:
+        One label per column (from sample metadata).
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        region_labels: list,
+        column_labels: list,
+        region_coordinates: list,
+    ) -> None:
+        self.matrix = matrix
+        self.region_labels = list(region_labels)
+        self.column_labels = list(column_labels)
+        self.region_coordinates = list(region_coordinates)
+
+    @classmethod
+    def from_map_result(
+        cls,
+        mapped: Dataset,
+        value_attribute: str | None = None,
+        label_attribute: str | None = None,
+        column_attribute: str | None = None,
+    ) -> "GenomeSpace":
+        """Build a genome space from a MAP result.
+
+        Parameters
+        ----------
+        mapped:
+            A MAP result: every sample carries the same reference regions
+            in the same genome order (this is checked).
+        value_attribute:
+            Region attribute holding the cell value; defaults to the last
+            attribute (where MAP appends its aggregate).
+        label_attribute:
+            Region attribute used as row label; falls back to
+            ``chrom:left-right``.
+        column_attribute:
+            Metadata attribute used as the column label; defaults to the
+            sample id.
+        """
+        samples = list(mapped)
+        if not samples:
+            raise EvaluationError("cannot build a genome space from 0 samples")
+        value_index = (
+            mapped.schema.index_of(value_attribute)
+            if value_attribute is not None
+            else len(mapped.schema) - 1
+        )
+        if value_index < 0:
+            raise EvaluationError("MAP result has no variable attributes")
+        label_index = (
+            mapped.schema.index_of(label_attribute)
+            if label_attribute is not None
+            else None
+        )
+        first = samples[0]
+        coordinates = [region.coordinates() for region in first.regions]
+        for sample in samples[1:]:
+            if [r.coordinates() for r in sample.regions] != coordinates:
+                raise EvaluationError(
+                    "samples do not share reference regions; not a MAP result"
+                )
+        matrix = np.full((len(coordinates), len(samples)), np.nan)
+        for column, sample in enumerate(samples):
+            for row, region in enumerate(sample.regions):
+                value = region.values[value_index]
+                if value is not None:
+                    matrix[row, column] = float(value)
+        if label_index is not None:
+            region_labels = [
+                str(region.values[label_index]) for region in first.regions
+            ]
+        else:
+            region_labels = [
+                f"{chrom}:{left}-{right}"
+                for chrom, left, right, __ in coordinates
+            ]
+        if column_attribute is not None:
+            column_labels = [
+                str(sample.meta.first(column_attribute, sample.id))
+                for sample in samples
+            ]
+        else:
+            column_labels = [f"exp{sample.id}" for sample in samples]
+        return cls(matrix, region_labels, column_labels, coordinates)
+
+    # -- shape and access -------------------------------------------------------
+
+    @property
+    def n_regions(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_experiments(self) -> int:
+        return self.matrix.shape[1]
+
+    def row(self, label: str) -> np.ndarray:
+        """One region's profile across experiments."""
+        return self.matrix[self.region_labels.index(label)]
+
+    def column(self, label: str) -> np.ndarray:
+        """One experiment's profile across regions."""
+        return self.matrix[:, self.column_labels.index(label)]
+
+    # -- transformations ----------------------------------------------------------
+
+    def filter_active_regions(self, min_total: float = 1.0) -> "GenomeSpace":
+        """Drop rows whose total signal is below *min_total*."""
+        totals = np.nansum(self.matrix, axis=1)
+        keep = totals >= min_total
+        return GenomeSpace(
+            self.matrix[keep],
+            [l for l, k in zip(self.region_labels, keep) if k],
+            self.column_labels,
+            [c for c, k in zip(self.region_coordinates, keep) if k],
+        )
+
+    def normalized(self) -> "GenomeSpace":
+        """Column-wise z-normalised copy (nan-safe); constant columns -> 0."""
+        matrix = self.matrix.copy()
+        means = np.nanmean(matrix, axis=0)
+        stds = np.nanstd(matrix, axis=0)
+        stds[stds == 0] = 1.0
+        matrix = (matrix - means) / stds
+        return GenomeSpace(
+            matrix, self.region_labels, self.column_labels,
+            self.region_coordinates,
+        )
+
+    def similarity_matrix(self, method: str = "correlation") -> np.ndarray:
+        """Region-by-region similarity across experiments.
+
+        ``correlation`` -- Pearson correlation of rows;
+        ``cosine``      -- cosine similarity of rows;
+        ``coactivity``  -- dot products of binarised (value > 0) rows,
+        i.e. the number of experiments where both regions are active
+        (this is the paper's "aggregating properties across experiments").
+        """
+        matrix = np.nan_to_num(self.matrix, nan=0.0)
+        if method == "coactivity":
+            active = (matrix > 0).astype(np.float64)
+            return active @ active.T
+        if method == "cosine":
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            norms[norms == 0] = 1.0
+            unit = matrix / norms
+            return unit @ unit.T
+        if method == "correlation":
+            centered = matrix - matrix.mean(axis=1, keepdims=True)
+            norms = np.linalg.norm(centered, axis=1, keepdims=True)
+            norms[norms == 0] = 1.0
+            unit = centered / norms
+            return unit @ unit.T
+        raise EvaluationError(f"unknown similarity method {method!r}")
+
+    def to_dataset(self, name: str = "GENOME_SPACE") -> "Dataset":
+        """Convert the space back into a GDM dataset (one sample per
+        experiment column), closing the loop: analysis results become
+        queryable with GMQL again.
+
+        The variable schema is ``(label STR, value FLOAT)``.
+        """
+        from repro.gdm import (
+            FLOAT,
+            GenomicRegion,
+            Metadata,
+            RegionSchema,
+            STR,
+            Sample,
+        )
+
+        schema = RegionSchema.of(("label", STR), ("value", FLOAT))
+        dataset = Dataset(name, schema)
+        for column, column_label in enumerate(self.column_labels):
+            regions = []
+            for row, (chrom, left, right, strand) in enumerate(
+                self.region_coordinates
+            ):
+                value = self.matrix[row, column]
+                regions.append(
+                    GenomicRegion(
+                        chrom, left, right, strand,
+                        (
+                            self.region_labels[row],
+                            None if np.isnan(value) else float(value),
+                        ),
+                    )
+                )
+            dataset.add_sample(
+                Sample(column + 1, regions,
+                       Metadata({"experiment": column_label})),
+                validate=False,
+            )
+        return dataset
+
+    def to_rows(self) -> list:
+        """The matrix as ``(region_label, {column_label: value})`` rows."""
+        return [
+            (
+                label,
+                {
+                    column: (None if np.isnan(v) else float(v))
+                    for column, v in zip(self.column_labels, row)
+                },
+            )
+            for label, row in zip(self.region_labels, self.matrix)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"GenomeSpace({self.n_regions} regions x "
+            f"{self.n_experiments} experiments)"
+        )

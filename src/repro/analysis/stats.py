@@ -1,0 +1,118 @@
+"""GREAT-like enrichment statistics for custom queries.
+
+"Custom queries will need to be augmented with suitable mechanisms for
+reasoning about data; such services could imitate the GREAT service ...
+which includes powerful statistics to indicate the significance of query
+results" (paper, section 4.3).  GREAT (McLean et al. 2010) tests a region
+set against annotated regulatory domains with two statistics, both
+implemented here:
+
+* a **binomial test** over regions: if annotated domains cover fraction
+  ``p`` of the genome, the number of query regions hitting a domain is
+  Binomial(n, p) under the null;
+* a **hypergeometric test** over genes: drawing ``k`` of the ``n`` genes
+  hit by the query from the ``K`` annotated genes among ``N`` total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats
+
+from repro.errors import EvaluationError
+from repro.gdm import GenomicRegion
+from repro.intervals import GenomeIndex, merge_touching
+
+
+@dataclass(frozen=True)
+class EnrichmentResult:
+    """Outcome of one enrichment test."""
+
+    observed: int
+    expected: float
+    total: int
+    fraction_null: float
+    p_value: float
+    fold: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the enrichment clears *alpha*."""
+        return self.p_value < alpha
+
+
+def binomial_region_enrichment(
+    query_regions: list,
+    domain_regions: list,
+    genome_size: int,
+) -> EnrichmentResult:
+    """GREAT's binomial test of a region set against annotation domains.
+
+    ``p`` is the fraction of the genome covered by the (merged) domains;
+    the observed statistic is the number of query regions whose midpoint
+    falls inside a domain (GREAT uses midpoints too).
+    """
+    if genome_size <= 0:
+        raise EvaluationError("genome size must be positive")
+    merged = merge_touching(domain_regions)
+    covered = sum(region.length for region in merged)
+    p_null = min(1.0, covered / genome_size)
+    index = GenomeIndex(merged)
+    observed = 0
+    for region in query_regions:
+        midpoint = int(region.midpoint)
+        probe = GenomicRegion(region.chrom, midpoint, midpoint + 1)
+        if next(iter(index.overlapping(probe)), None) is not None:
+            observed += 1
+    n = len(query_regions)
+    expected = n * p_null
+    p_value = float(stats.binom.sf(observed - 1, n, p_null)) if n else 1.0
+    fold = observed / expected if expected > 0 else float("inf")
+    return EnrichmentResult(
+        observed=observed,
+        expected=expected,
+        total=n,
+        fraction_null=p_null,
+        p_value=p_value,
+        fold=fold,
+    )
+
+
+def hypergeometric_gene_enrichment(
+    hit_genes: set,
+    annotated_genes: set,
+    all_genes: set,
+) -> EnrichmentResult:
+    """GREAT's gene-based hypergeometric test.
+
+    Tests whether the genes hit by a query are over-represented among
+    the annotated genes.
+    """
+    if not all_genes:
+        raise EvaluationError("the gene universe is empty")
+    population = len(all_genes)
+    successes = len(annotated_genes & all_genes)
+    draws = len(hit_genes & all_genes)
+    observed = len(hit_genes & annotated_genes & all_genes)
+    expected = draws * successes / population if population else 0.0
+    p_value = float(
+        stats.hypergeom.sf(observed - 1, population, successes, draws)
+    )
+    fold = observed / expected if expected > 0 else float("inf")
+    return EnrichmentResult(
+        observed=observed,
+        expected=expected,
+        total=draws,
+        fraction_null=successes / population,
+        p_value=p_value,
+        fold=fold,
+    )
+
+
+def describe_result(name: str, result: EnrichmentResult) -> str:
+    """One-line GREAT-style report row."""
+    return (
+        f"{name}: {result.observed}/{result.total} hits "
+        f"(expected {result.expected:.1f}, fold {result.fold:.2f}, "
+        f"p = {result.p_value:.3g})"
+    )

@@ -1,0 +1,222 @@
+"""Command-line interface: run GMQL over on-disk datasets.
+
+The CLI is the thin end of the paper's "simple interfaces" vision: GMQL
+programs are short texts, datasets are directories in the GMQL repository
+layout (see :mod:`repro.formats.meta`), and results come back as the same
+kind of directory.
+
+Subcommands::
+
+    python -m repro run QUERY.gmql --source ENCODE=./encode_dir \
+        --engine columnar --out ./results [--stats] [--no-optimize]
+    python -m repro explain QUERY.gmql
+    python -m repro info DATASET_DIR
+    python -m repro convert input.narrowPeak output.bed
+    python -m repro formats
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.errors import ReproError
+
+
+def _parse_source(text: str) -> tuple:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"sources are NAME=DIRECTORY, got {text!r}"
+        )
+    name, __, directory = text.partition("=")
+    return (name, directory)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for shtab-style tooling/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GDM/GMQL genomic data management "
+                    "(EDBT 2016 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = commands.add_parser("run", help="execute a GMQL program")
+    run_cmd.add_argument("program", help="path to the GMQL text, or '-' for stdin")
+    run_cmd.add_argument(
+        "--source", action="append", default=[], type=_parse_source,
+        metavar="NAME=DIR", help="bind a source dataset directory",
+    )
+    run_cmd.add_argument("--engine", default="naive",
+                         help="execution backend (naive/columnar/parallel)")
+    run_cmd.add_argument("--out", default=None,
+                         help="directory to materialise results into")
+    run_cmd.add_argument("--no-optimize", action="store_true",
+                         help="skip the logical optimizer")
+    run_cmd.add_argument("--stats", action="store_true",
+                         help="print per-operator engine statistics")
+
+    explain_cmd = commands.add_parser(
+        "explain", help="show the (optimized) logical plan of a program"
+    )
+    explain_cmd.add_argument("program")
+    explain_cmd.add_argument("--no-optimize", action="store_true")
+
+    info_cmd = commands.add_parser("info", help="summarise a dataset directory")
+    info_cmd.add_argument("directory")
+
+    convert_cmd = commands.add_parser(
+        "convert", help="convert a region file between registered formats"
+    )
+    convert_cmd.add_argument("source")
+    convert_cmd.add_argument("destination")
+
+    commands.add_parser("formats", help="list registered file formats")
+    return parser
+
+
+def _read_program(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _load_sources(pairs: list) -> dict:
+    from repro.formats import read_dataset
+
+    sources = {}
+    for name, directory in pairs:
+        sources[name] = read_dataset(directory, name)
+    return sources
+
+
+def _command_run(args) -> int:
+    from repro.engine.dispatch import get_backend
+    from repro.formats import write_dataset
+    from repro.gmql.lang import Interpreter, compile_program, optimize
+
+    program = _read_program(args.program)
+    sources = _load_sources(args.source)
+    compiled = compile_program(program)
+    if not args.no_optimize:
+        compiled = optimize(compiled)
+    backend = get_backend(args.engine)
+    results = Interpreter(backend, sources).run_program(compiled)
+    for name, dataset in results.items():
+        summary = dataset.summary()
+        print(
+            f"{name}: {summary['samples']} sample(s), "
+            f"{summary['regions']} region(s), schema {summary['schema']}"
+        )
+        if args.out:
+            directory = os.path.join(args.out, name)
+            write_dataset(dataset, directory)
+            print(f"  materialised to {directory}")
+    if args.stats:
+        print()
+        print("engine statistics:")
+        for operator in sorted(backend.stats.operator_seconds):
+            seconds = backend.stats.operator_seconds[operator]
+            calls = backend.stats.operator_calls[operator]
+            print(f"  {operator:<12} {calls:>3} call(s)  {seconds * 1000:8.1f} ms")
+        print(f"  total kernel time: "
+              f"{backend.stats.total_seconds() * 1000:.1f} ms")
+    return 0
+
+
+def _command_explain(args) -> int:
+    from repro.gmql.lang import compile_program, optimize
+
+    compiled = compile_program(_read_program(args.program))
+    if not args.no_optimize:
+        compiled = optimize(compiled)
+    print(compiled.explain())
+    return 0
+
+
+def _command_info(args) -> int:
+    from repro.formats import read_dataset
+    from repro.gdm import render_tables
+
+    dataset = read_dataset(args.directory)
+    summary = dataset.summary()
+    print(f"dataset:        {summary['name']}")
+    print(f"samples:        {summary['samples']}")
+    print(f"regions:        {summary['regions']}")
+    print(f"metadata pairs: {summary['metadata_pairs']}")
+    print(f"schema:         {summary['schema']}")
+    print(f"chromosomes:    {list(dataset.chromosomes())}")
+    print(f"est. size:      {summary['size_bytes']:,} bytes")
+    print()
+    print(render_tables(dataset, max_rows=10))
+    return 0
+
+
+def _command_convert(args) -> int:
+    from repro.formats import format_for_path
+
+    source_format = format_for_path(args.source)
+    destination_format = format_for_path(args.destination)
+    with open(args.source) as handle:
+        regions = source_format.parse(handle)
+    # Remap values through the destination schema by attribute name.
+    src_schema = source_format.schema()
+    dst_schema = destination_format.schema()
+    converted = []
+    for region in regions:
+        values = []
+        for definition in dst_schema:
+            if definition.name in src_schema:
+                values.append(
+                    region.values[src_schema.index_of(definition.name)]
+                )
+            else:
+                values.append(None)
+        converted.append(region.with_values(tuple(values)))
+    with open(args.destination, "w") as handle:
+        handle.write(destination_format.serialize(converted))
+    print(f"converted {len(converted)} region(s): "
+          f"{source_format.name} -> {destination_format.name}")
+    return 0
+
+
+def _command_formats(args) -> int:
+    from repro.formats import available_formats, format_named
+
+    for name in available_formats():
+        fmt = format_named(name)
+        extensions = ", ".join(fmt.extensions) or "-"
+        print(f"{name:<12} {extensions}")
+    return 0
+
+
+_HANDLERS = {
+    "run": _command_run,
+    "explain": _command_explain,
+    "info": _command_info,
+    "convert": _command_convert,
+    "formats": _command_formats,
+}
+
+
+def main(argv: list | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output truncated by a downstream pager/head: not an error.
+        return 0
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

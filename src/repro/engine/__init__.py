@@ -1,0 +1,26 @@
+"""Execution engines: one logical plan, several backends.
+
+* ``naive``    -- record-at-a-time reference implementation;
+* ``columnar`` -- numpy columnar kernels (vectorised coordinates);
+* ``parallel`` -- genome-binned partitioning over a process pool.
+
+This mirrors the paper's section 4.2: only the ~20 operator encodings
+differ between backends, everything above them is shared.
+"""
+
+from repro.engine.base import Backend, EngineStats
+from repro.engine.dispatch import (
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.engine.naive import NaiveBackend
+
+__all__ = [
+    "Backend",
+    "EngineStats",
+    "NaiveBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

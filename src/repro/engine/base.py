@@ -1,0 +1,104 @@
+"""Execution backend interface.
+
+"The two implementations differ only in the encoding of about twenty GMQL
+language components, while the compiler, logical optimizer, and APIs/UIs
+are independent from the adoption of either framework" (paper, section
+4.2).  We reproduce exactly that architecture: one logical plan, several
+:class:`Backend` implementations that differ only in their operator
+kernels.  The interpreter (:mod:`repro.gmql.lang.interpreter`) calls the
+``run_*`` methods and never looks inside.
+
+Backends also collect :class:`EngineStats` (operator timings, rows
+processed) so the framework-comparison benchmark (experiment E7) can
+report per-operator breakdowns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.gdm import Dataset
+
+
+@dataclass
+class EngineStats:
+    """Accumulated execution statistics for one query run."""
+
+    operator_seconds: dict = field(default_factory=dict)
+    operator_calls: dict = field(default_factory=dict)
+    regions_produced: int = 0
+    samples_produced: int = 0
+
+    def record(self, operator: str, seconds: float, result: Dataset) -> None:
+        """Account one operator invocation."""
+        self.operator_seconds[operator] = (
+            self.operator_seconds.get(operator, 0.0) + seconds
+        )
+        self.operator_calls[operator] = self.operator_calls.get(operator, 0) + 1
+        self.regions_produced += result.region_count()
+        self.samples_produced += len(result)
+
+    def total_seconds(self) -> float:
+        """Total time spent inside operator kernels."""
+        return sum(self.operator_seconds.values())
+
+
+class Backend:
+    """Base class of execution backends.
+
+    Subclasses implement the ``run_*`` kernels; the base class provides
+    stats accounting via :meth:`timed`.
+    """
+
+    #: Backend name used by :func:`repro.engine.dispatch.get_backend`.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = EngineStats()
+
+    def reset_stats(self) -> None:
+        """Clear accumulated statistics (e.g. between benchmark runs)."""
+        self.stats = EngineStats()
+
+    def timed(self, operator: str, fn, *args, **kwargs) -> Dataset:
+        """Run an operator kernel and record its cost."""
+        started = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.stats.record(operator, time.perf_counter() - started, result)
+        return result
+
+    # -- operator kernels (one per logical plan node kind) ---------------------
+
+    def run_select(self, plan, child: Dataset, semijoin_data: Dataset | None):
+        raise NotImplementedError
+
+    def run_project(self, plan, child: Dataset):
+        raise NotImplementedError
+
+    def run_extend(self, plan, child: Dataset):
+        raise NotImplementedError
+
+    def run_merge(self, plan, child: Dataset):
+        raise NotImplementedError
+
+    def run_group(self, plan, child: Dataset):
+        raise NotImplementedError
+
+    def run_order(self, plan, child: Dataset):
+        raise NotImplementedError
+
+    def run_union(self, plan, left: Dataset, right: Dataset):
+        raise NotImplementedError
+
+    def run_difference(self, plan, left: Dataset, right: Dataset):
+        raise NotImplementedError
+
+    def run_cover(self, plan, child: Dataset):
+        raise NotImplementedError
+
+    def run_map(self, plan, reference: Dataset, experiment: Dataset):
+        raise NotImplementedError
+
+    def run_join(self, plan, anchor: Dataset, experiment: Dataset):
+        raise NotImplementedError

@@ -1,0 +1,527 @@
+"""The columnar backend: numpy kernels over coordinate arrays.
+
+Plays the part of the "vectorised cluster framework" in the paper's
+section 4.2 comparison.  Hot kernels are vectorised:
+
+* **MAP with COUNT** -- overlap counting via two ``searchsorted`` calls per
+  chromosome (``started_before_ref_end - ended_before_ref_start``), the
+  same trick distributed GMQL uses after binning;
+* **COVER** -- the depth profile is computed with ``argsort`` + ``cumsum``
+  over event arrays, then shares the run-merging logic with the naive
+  engine;
+* **DIFFERENCE** -- vectorised overlap counting keeps regions whose count
+  is zero;
+* **SELECT** -- region predicates over fixed coordinates and numeric
+  variable attributes evaluate as boolean array expressions.
+
+Everything else (metadata-centric operators, genometric joins with MD or
+stream clauses, non-COUNT map aggregates) falls back to the naive kernels:
+backends differ only where vectorisation pays, which is itself a faithful
+reproduction of how the Spark/Flink encodings share their front end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gdm import Dataset, GenomicRegion
+from repro.intervals.coverage import (
+    CoverageSegment,
+    cover_intervals_from_segments,
+    summit_intervals_from_segments,
+)
+from repro.engine.naive import NaiveBackend
+from repro.gmql.aggregates import Count
+from repro.gmql.operators.base import (
+    build_result,
+    group_samples,
+    merged_metadata,
+    sample_pairs,
+    union_group_metadata,
+)
+from repro.gmql.predicates import (
+    RegionAnd,
+    RegionCompare,
+    RegionNot,
+    RegionOr,
+)
+
+
+def _chrom_arrays(regions: list) -> dict:
+    """Group regions by chromosome into sorted coordinate arrays.
+
+    Returns ``{chrom: (sorted_lefts, sorted_rights)}`` where each array is
+    sorted independently (the counting kernel needs both orders).
+    """
+    grouped: dict = {}
+    for region in regions:
+        grouped.setdefault(region.chrom, []).append(region)
+    arrays = {}
+    for chrom, chrom_regions in grouped.items():
+        lefts = np.fromiter(
+            (r.left for r in chrom_regions), dtype=np.int64, count=len(chrom_regions)
+        )
+        rights = np.fromiter(
+            (r.right for r in chrom_regions), dtype=np.int64, count=len(chrom_regions)
+        )
+        lefts.sort()
+        rights.sort()
+        arrays[chrom] = (lefts, rights)
+    return arrays
+
+
+def count_overlaps_vectorised(references: list, probe_arrays: dict) -> np.ndarray:
+    """Overlap counts for each reference region against probe arrays.
+
+    ``count(ref) = |probes with left < ref.right| -
+    |probes with right <= ref.left|`` -- every probe starting before the
+    reference ends either overlaps it or has already ended.
+    """
+    counts = np.zeros(len(references), dtype=np.int64)
+    if not references:
+        return counts
+    by_chrom: dict = {}
+    for index, region in enumerate(references):
+        by_chrom.setdefault(region.chrom, []).append(index)
+    for chrom, indices in by_chrom.items():
+        probes = probe_arrays.get(chrom)
+        if probes is None:
+            continue
+        probe_lefts, probe_rights = probes
+        ref_lefts = np.fromiter(
+            (references[i].left for i in indices), dtype=np.int64, count=len(indices)
+        )
+        ref_rights = np.fromiter(
+            (references[i].right for i in indices), dtype=np.int64, count=len(indices)
+        )
+        started = np.searchsorted(probe_lefts, ref_rights, side="left")
+        ended = np.searchsorted(probe_rights, ref_lefts, side="right")
+        counts[np.asarray(indices)] = started - ended
+    return counts
+
+
+def coverage_segments_vectorised(regions: list):
+    """Numpy event-sweep depth profile; yields :class:`CoverageSegment`."""
+    grouped: dict = {}
+    for region in regions:
+        if region.right > region.left:
+            grouped.setdefault(region.chrom, []).append(region)
+    from repro.gdm import chromosome_sort_key
+
+    for chrom in sorted(grouped, key=chromosome_sort_key):
+        chrom_regions = grouped[chrom]
+        n = len(chrom_regions)
+        positions = np.empty(2 * n, dtype=np.int64)
+        deltas = np.empty(2 * n, dtype=np.int64)
+        for i, region in enumerate(chrom_regions):
+            positions[i] = region.left
+            positions[n + i] = region.right
+        deltas[:n] = 1
+        deltas[n:] = -1
+        order = np.argsort(positions, kind="stable")
+        positions = positions[order]
+        deltas = deltas[order]
+        # Collapse equal positions, then cumulative depth between them.
+        unique_positions, start_indices = np.unique(positions, return_index=True)
+        summed = np.add.reduceat(deltas, start_indices)
+        depths = np.cumsum(summed)
+        for i in range(len(unique_positions) - 1):
+            depth = int(depths[i])
+            if depth > 0:
+                yield CoverageSegment(
+                    chrom,
+                    int(unique_positions[i]),
+                    int(unique_positions[i + 1]),
+                    depth,
+                )
+
+
+def _vectorise_predicate(predicate, schema, regions: list):
+    """Evaluate a region predicate as a boolean numpy array, or ``None``.
+
+    Handles conjunction/disjunction/negation over comparisons on fixed
+    coordinates and numeric variable attributes; anything else returns
+    ``None`` and the caller falls back to per-region evaluation.
+    """
+    if not regions:
+        return np.zeros(0, dtype=bool)
+
+    columns: dict = {}
+
+    def column(name: str):
+        if name in columns:
+            return columns[name]
+        if name in ("left", "start"):
+            values = np.fromiter((r.left for r in regions), dtype=np.int64,
+                                 count=len(regions))
+        elif name in ("right", "stop"):
+            values = np.fromiter((r.right for r in regions), dtype=np.int64,
+                                 count=len(regions))
+        elif name in ("chrom", "chr"):
+            values = np.array([r.chrom for r in regions])
+        elif name == "strand":
+            values = np.array([r.strand for r in regions])
+        elif name in schema:
+            index = schema.index_of(name)
+            attr_type = schema[name].type.name
+            if attr_type in ("INT", "FLOAT"):
+                values = np.array(
+                    [
+                        np.nan if r.values[index] is None else float(r.values[index])
+                        for r in regions
+                    ],
+                    dtype=np.float64,
+                )
+            else:
+                values = np.array(
+                    ["" if r.values[index] is None else str(r.values[index])
+                     for r in regions]
+                )
+        else:
+            return None
+        columns[name] = values
+        return values
+
+    def walk(node):
+        if isinstance(node, RegionAnd):
+            left, right = walk(node.left), walk(node.right)
+            return None if left is None or right is None else left & right
+        if isinstance(node, RegionOr):
+            left, right = walk(node.left), walk(node.right)
+            return None if left is None or right is None else left | right
+        if isinstance(node, RegionNot):
+            inner = walk(node.inner)
+            return None if inner is None else ~inner
+        if isinstance(node, RegionCompare):
+            values = column(node.attribute)
+            if values is None:
+                return None
+            target = node.value
+            if np.issubdtype(values.dtype, np.number):
+                try:
+                    target = float(target)
+                except (TypeError, ValueError):
+                    return None
+            else:
+                target = str(target)
+            if node.operator == "==":
+                return values == target
+            if node.operator == "!=":
+                return values != target
+            if node.operator == "<":
+                return values < target
+            if node.operator == "<=":
+                return values <= target
+            if node.operator == ">":
+                return values > target
+            if node.operator == ">=":
+                return values >= target
+            return None
+        return None
+
+    return walk(predicate)
+
+
+class ColumnarBackend(NaiveBackend):
+    """Numpy-vectorised backend (falls back to naive where noted above)."""
+
+    name = "columnar"
+
+    # -- SELECT ----------------------------------------------------------------
+
+    def run_select(self, plan, child: Dataset, semijoin_data):
+        if plan.region_predicate is None:
+            return super().run_select(plan, child, semijoin_data)
+
+        def kernel():
+            from repro.gmql.operators.select import SemiJoin
+
+            semijoin = None
+            if semijoin_data is not None:
+                semijoin = SemiJoin(
+                    plan.semijoin_attributes, semijoin_data, plan.semijoin_negated
+                )
+
+            def parts():
+                for sample in child:
+                    if plan.meta_predicate is not None and not plan.meta_predicate(
+                        sample.meta
+                    ):
+                        continue
+                    if semijoin is not None and not semijoin.admits(sample):
+                        continue
+                    mask = _vectorise_predicate(
+                        plan.region_predicate, child.schema, sample.regions
+                    )
+                    if mask is None:
+                        bound = plan.region_predicate.bind(child.schema)
+                        regions = [r for r in sample.regions if bound(r)]
+                    else:
+                        regions = [
+                            r for r, keep in zip(sample.regions, mask) if keep
+                        ]
+                    yield (regions, sample.meta, [(child.name, sample.id)])
+
+            return build_result(
+                "SELECT", f"SELECT({child.name})", child.schema, parts(),
+                parameters="columnar",
+            )
+
+        return self.timed("SELECT", kernel)
+
+    # -- MAP ---------------------------------------------------------------------
+
+    def run_map(self, plan, reference: Dataset, experiment: Dataset):
+        aggregates = plan.aggregates or {"count": (Count(), None)}
+        only_counts = all(
+            isinstance(aggregate, Count) and attribute is None
+            for aggregate, attribute in aggregates.values()
+        )
+        if not only_counts:
+            return super().run_map(plan, reference, experiment)
+
+        def kernel():
+            from repro.gdm import AttributeDef, INT
+
+            schema = reference.schema.extend(
+                *(AttributeDef(name, INT) for name in aggregates)
+            )
+            arrays = {
+                sample.id: _chrom_arrays(sample.regions) for sample in experiment
+            }
+
+            def parts():
+                for ref_sample, exp_sample in sample_pairs(
+                    reference, experiment, plan.joinby
+                ):
+                    counts = count_overlaps_vectorised(
+                        ref_sample.regions, arrays[exp_sample.id]
+                    )
+                    width = len(aggregates)
+                    regions = [
+                        region.with_values(
+                            region.values + (int(count),) * width
+                        )
+                        for region, count in zip(ref_sample.regions, counts)
+                    ]
+                    yield (
+                        regions,
+                        merged_metadata(ref_sample, exp_sample),
+                        [
+                            (reference.name, ref_sample.id),
+                            (experiment.name, exp_sample.id),
+                        ],
+                    )
+
+            return build_result(
+                "MAP",
+                f"MAP({reference.name},{experiment.name})",
+                schema,
+                parts(),
+                parameters="columnar-count",
+            )
+
+        return self.timed("MAP", kernel)
+
+    # -- COVER --------------------------------------------------------------------
+
+    def run_cover(self, plan, child: Dataset):
+        if plan.variant == "FLAT":
+            # FLAT needs the original regions anyway; reuse the naive kernel.
+            return super().run_cover(plan, child)
+
+        def kernel():
+            from repro.gdm import AttributeDef, INT, RegionSchema
+
+            schema = RegionSchema((AttributeDef("acc_index", INT),))
+
+            def parts():
+                for __, samples in group_samples(child, plan.groupby):
+                    regions = [
+                        region for sample in samples for region in sample.regions
+                    ]
+                    lo = plan.min_acc.resolve(len(samples), is_lower=True)
+                    hi = plan.max_acc.resolve(len(samples), is_lower=False)
+                    segments = coverage_segments_vectorised(regions)
+                    if plan.variant == "COVER":
+                        rows = (
+                            (chrom, left, right, depth)
+                            for chrom, left, right, depth, __c
+                            in cover_intervals_from_segments(segments, lo, hi)
+                        )
+                    elif plan.variant == "SUMMIT":
+                        rows = summit_intervals_from_segments(segments, lo, hi)
+                    else:  # HISTOGRAM
+                        rows = (
+                            (s.chrom, s.left, s.right, s.depth)
+                            for s in segments
+                            if lo <= s.depth <= hi
+                        )
+                    out = [
+                        GenomicRegion(chrom, left, right, "*", (depth,))
+                        for chrom, left, right, depth in rows
+                    ]
+                    yield (
+                        out,
+                        union_group_metadata(samples),
+                        [(child.name, sample.id) for sample in samples],
+                    )
+
+            return build_result(
+                plan.variant,
+                f"{plan.variant}({child.name})",
+                schema,
+                parts(),
+                parameters="columnar",
+            )
+
+        return self.timed("COVER", kernel)
+
+    # -- JOIN -------------------------------------------------------------------------
+
+    def run_join(self, plan, anchor: Dataset, experiment: Dataset):
+        # Vectorised candidate windows need a finite DLE bound and no
+        # MD(k) clause (MD requires global ordering per anchor).
+        if (
+            plan.condition.min_distance_k() is not None
+            or plan.condition.max_distance() is None
+        ):
+            return super().run_join(plan, anchor, experiment)
+
+        def kernel():
+            from repro.gdm import AttributeDef, INT
+            from repro.gmql.operators.base import (
+                build_result,
+                merged_metadata,
+                sample_pairs,
+            )
+            from repro.gmql.operators.join import _combine_strand
+
+            merged = anchor.schema.merge(experiment.schema)
+            schema = merged.schema.extend(AttributeDef("dist", INT))
+            max_distance = plan.condition.max_distance()
+
+            # Per experiment sample: regions grouped by chromosome, sorted
+            # by left end, with numpy left arrays for window search.
+            prepared: dict = {}
+            for sample in experiment:
+                by_chrom: dict = {}
+                for exp_region in sample.regions:
+                    by_chrom.setdefault(exp_region.chrom, []).append(exp_region)
+                arrays = {}
+                for chrom, chrom_regions in by_chrom.items():
+                    chrom_regions.sort(key=lambda r: (r.left, r.right))
+                    lefts = np.fromiter(
+                        (r.left for r in chrom_regions),
+                        dtype=np.int64,
+                        count=len(chrom_regions),
+                    )
+                    max_width = max(r.length for r in chrom_regions)
+                    arrays[chrom] = (chrom_regions, lefts, max_width)
+                prepared[sample.id] = arrays
+
+            def emit(a, b, gap):
+                values = merged.combine(a.values, b.values) + (gap,)
+                if plan.output == "LEFT":
+                    return GenomicRegion(a.chrom, a.left, a.right, a.strand,
+                                         values)
+                if plan.output == "RIGHT":
+                    return GenomicRegion(b.chrom, b.left, b.right, b.strand,
+                                         values)
+                if plan.output == "INT":
+                    left = max(a.left, b.left)
+                    right = min(a.right, b.right)
+                    if right <= left:
+                        return None
+                    return GenomicRegion(a.chrom, left, right,
+                                         _combine_strand(a, b), values)
+                return GenomicRegion(
+                    a.chrom, min(a.left, b.left), max(a.right, b.right),
+                    _combine_strand(a, b), values,
+                )
+
+            def parts():
+                for anchor_sample, exp_sample in sample_pairs(
+                    anchor, experiment, plan.joinby
+                ):
+                    arrays = prepared[exp_sample.id]
+                    regions = []
+                    for a_region in anchor_sample.regions:
+                        entry = arrays.get(a_region.chrom)
+                        if entry is None:
+                            continue
+                        chrom_regions, lefts, max_width = entry
+                        lo = int(
+                            np.searchsorted(
+                                lefts,
+                                a_region.left - max_distance - max_width,
+                                side="left",
+                            )
+                        )
+                        hi = int(
+                            np.searchsorted(
+                                lefts, a_region.right + max_distance,
+                                side="right",
+                            )
+                        )
+                        for b_region in chrom_regions[lo:hi]:
+                            gap = a_region.distance(b_region)
+                            if gap is None or not plan.condition.pair_matches(
+                                a_region, b_region
+                            ):
+                                continue
+                            out = emit(a_region, b_region, gap)
+                            if out is not None:
+                                regions.append(out)
+                    regions.sort(key=GenomicRegion.sort_key)
+                    yield (
+                        regions,
+                        merged_metadata(anchor_sample, exp_sample),
+                        [
+                            (anchor.name, anchor_sample.id),
+                            (experiment.name, exp_sample.id),
+                        ],
+                    )
+
+            return build_result(
+                "JOIN",
+                f"JOIN({anchor.name},{experiment.name})",
+                schema,
+                parts(),
+                parameters="columnar-window",
+            )
+
+        return self.timed("JOIN", kernel)
+
+    # -- DIFFERENCE ------------------------------------------------------------------
+
+    def run_difference(self, plan, left: Dataset, right: Dataset):
+        if plan.exact or plan.joinby:
+            return super().run_difference(plan, left, right)
+
+        def kernel():
+            mask_arrays = _chrom_arrays(
+                [region for sample in right for region in sample.regions]
+            )
+
+            def parts():
+                for sample in left:
+                    counts = count_overlaps_vectorised(
+                        sample.regions, mask_arrays
+                    )
+                    kept = [
+                        region
+                        for region, count in zip(sample.regions, counts)
+                        if count == 0
+                    ]
+                    yield (kept, sample.meta, [(left.name, sample.id)])
+
+            return build_result(
+                "DIFFERENCE",
+                f"DIFFERENCE({left.name},{right.name})",
+                left.schema,
+                parts(),
+                parameters="columnar",
+            )
+
+        return self.timed("DIFFERENCE", kernel)

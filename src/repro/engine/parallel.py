@@ -1,0 +1,325 @@
+"""The parallel backend: genome-partitioned kernels over a process pool.
+
+Models the cluster execution of the paper's section 4.2 on a single
+machine: region-heavy operators (MAP, JOIN, DIFFERENCE, COVER) are split
+into independent tasks -- one per sample pair, plus per-chromosome
+splitting for COVER -- and executed by worker processes.  Everything else
+inherits the columnar kernels.
+
+Workers receive pickled region lists and resolved operator parameters
+(aggregates, genometric conditions); they never see plan or engine
+objects.  Task granularity mirrors the bin/partition scheme of
+:mod:`repro.intervals.bins`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.gdm import Dataset, GenomicRegion
+from repro.intervals import GenomeIndex, NearestIndex
+from repro.intervals.coverage import (
+    cover_intervals,
+    flat_intervals,
+    histogram_intervals,
+    summit_intervals,
+)
+from repro.engine.columnar import ColumnarBackend
+from repro.gmql.aggregates import Count
+from repro.gmql.operators.base import (
+    build_result,
+    group_samples,
+    merged_metadata,
+    sample_pairs,
+    union_group_metadata,
+)
+
+#: Default worker count: leave headroom for the parent process.
+DEFAULT_WORKERS = max(2, min(8, (os.cpu_count() or 2) - 1))
+
+
+# -- module-level task functions (must be picklable) ---------------------------
+
+
+def _map_task(ref_regions, exp_regions, resolved):
+    """Compute MAP output values for one (reference, experiment) pair.
+
+    *resolved* is ``[(aggregate, attr_index_or_None), ...]``; returns the
+    list of value tuples to append to each reference region.
+    """
+    index = GenomeIndex(exp_regions)
+    out = []
+    for region in ref_regions:
+        hits = list(index.overlapping(region))
+        extra = []
+        for aggregate, attr_index in resolved:
+            if attr_index is None:
+                extra.append(aggregate.compute(hits))
+            else:
+                extra.append(
+                    aggregate.compute([hit.values[attr_index] for hit in hits])
+                )
+        out.append(tuple(extra))
+    return out
+
+
+def _join_task(anchor_regions, exp_regions, condition, output, merged_schema):
+    """Compute JOIN output regions for one (anchor, experiment) pair."""
+    from repro.gmql.operators.join import _combine_strand
+
+    index = NearestIndex(exp_regions)
+    regions = []
+    for region in anchor_regions:
+        for hit, gap in condition.matches_for_anchor(region, index):
+            values = merged_schema.combine(region.values, hit.values) + (gap,)
+            if output == "LEFT":
+                out = GenomicRegion(
+                    region.chrom, region.left, region.right, region.strand, values
+                )
+            elif output == "RIGHT":
+                out = GenomicRegion(hit.chrom, hit.left, hit.right, hit.strand,
+                                    values)
+            elif output == "INT":
+                left = max(region.left, hit.left)
+                right = min(region.right, hit.right)
+                if right <= left:
+                    continue
+                out = GenomicRegion(
+                    region.chrom, left, right, _combine_strand(region, hit), values
+                )
+            else:  # CAT / CONTIG
+                out = GenomicRegion(
+                    region.chrom,
+                    min(region.left, hit.left),
+                    max(region.right, hit.right),
+                    _combine_strand(region, hit),
+                    values,
+                )
+            regions.append(out)
+    regions.sort(key=GenomicRegion.sort_key)
+    return regions
+
+
+def _cover_task(regions, lo, hi, variant):
+    """Compute one COVER group's output rows (chrom, left, right, depth)."""
+    if variant == "COVER":
+        return [
+            (chrom, left, right, depth)
+            for chrom, left, right, depth, __ in cover_intervals(regions, lo, hi)
+        ]
+    if variant == "FLAT":
+        return [
+            (chrom, left, right, depth)
+            for chrom, left, right, depth, __ in flat_intervals(regions, lo, hi)
+        ]
+    if variant == "SUMMIT":
+        return list(summit_intervals(regions, lo, hi))
+    return list(histogram_intervals(regions, lo, hi))
+
+
+def _difference_task(left_regions, mask_regions, exact):
+    """Compute the surviving regions of one DIFFERENCE sample."""
+    if exact:
+        coordinates = {r.coordinates() for r in mask_regions}
+        return [r for r in left_regions if r.coordinates() not in coordinates]
+    index = GenomeIndex(mask_regions)
+    return [
+        r
+        for r in left_regions
+        if next(iter(index.overlapping(r)), None) is None
+    ]
+
+
+class ParallelBackend(ColumnarBackend):
+    """Process-pool backend; inherits columnar kernels for the rest."""
+
+    name = "parallel"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
+        self._max_workers = max_workers or DEFAULT_WORKERS
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- MAP -------------------------------------------------------------------
+
+    def run_map(self, plan, reference: Dataset, experiment: Dataset):
+        aggregates = plan.aggregates or {"count": (Count(), None)}
+
+        def kernel():
+            from repro.gdm import AttributeDef, INT
+
+            resolved = []
+            defs = []
+            for out_name, (aggregate, attribute) in aggregates.items():
+                if aggregate.requires_attribute:
+                    attr_index = experiment.schema.index_of(attribute)
+                    input_type = experiment.schema[attribute].type
+                else:
+                    attr_index, input_type = None, None
+                resolved.append((aggregate, attr_index))
+                defs.append(
+                    AttributeDef(
+                        out_name,
+                        aggregate.result_type(input_type) if input_type else INT,
+                    )
+                )
+            schema = reference.schema.extend(*defs)
+            pairs = list(sample_pairs(reference, experiment, plan.joinby))
+            futures = [
+                self._executor().submit(
+                    _map_task, ref.regions, exp.regions, resolved
+                )
+                for ref, exp in pairs
+            ]
+
+            def parts():
+                for (ref, exp), future in zip(pairs, futures):
+                    extras = future.result()
+                    regions = [
+                        region.with_values(region.values + extra)
+                        for region, extra in zip(ref.regions, extras)
+                    ]
+                    yield (
+                        regions,
+                        merged_metadata(ref, exp),
+                        [(reference.name, ref.id), (experiment.name, exp.id)],
+                    )
+
+            return build_result(
+                "MAP",
+                f"MAP({reference.name},{experiment.name})",
+                schema,
+                parts(),
+                parameters="parallel",
+            )
+
+        return self.timed("MAP", kernel)
+
+    # -- JOIN ------------------------------------------------------------------
+
+    def run_join(self, plan, anchor: Dataset, experiment: Dataset):
+        def kernel():
+            from repro.gdm import AttributeDef, INT
+
+            merged = anchor.schema.merge(experiment.schema)
+            schema = merged.schema.extend(AttributeDef("dist", INT))
+            pairs = list(sample_pairs(anchor, experiment, plan.joinby))
+            futures = [
+                self._executor().submit(
+                    _join_task,
+                    a.regions,
+                    e.regions,
+                    plan.condition,
+                    plan.output,
+                    merged,
+                )
+                for a, e in pairs
+            ]
+
+            def parts():
+                for (a, e), future in zip(pairs, futures):
+                    yield (
+                        future.result(),
+                        merged_metadata(a, e),
+                        [(anchor.name, a.id), (experiment.name, e.id)],
+                    )
+
+            return build_result(
+                "JOIN",
+                f"JOIN({anchor.name},{experiment.name})",
+                schema,
+                parts(),
+                parameters="parallel",
+            )
+
+        return self.timed("JOIN", kernel)
+
+    # -- COVER -------------------------------------------------------------------
+
+    def run_cover(self, plan, child: Dataset):
+        def kernel():
+            from repro.gdm import AttributeDef, INT, RegionSchema
+
+            schema = RegionSchema((AttributeDef("acc_index", INT),))
+            groups = group_samples(child, plan.groupby)
+            futures = []
+            for __, samples in groups:
+                regions = [r for sample in samples for r in sample.regions]
+                lo = plan.min_acc.resolve(len(samples), is_lower=True)
+                hi = plan.max_acc.resolve(len(samples), is_lower=False)
+                futures.append(
+                    self._executor().submit(
+                        _cover_task, regions, lo, hi, plan.variant
+                    )
+                )
+
+            def parts():
+                for (__, samples), future in zip(groups, futures):
+                    rows = future.result()
+                    out = [
+                        GenomicRegion(chrom, left, right, "*", (depth,))
+                        for chrom, left, right, depth in rows
+                    ]
+                    yield (
+                        out,
+                        union_group_metadata(samples),
+                        [(child.name, sample.id) for sample in samples],
+                    )
+
+            return build_result(
+                plan.variant,
+                f"{plan.variant}({child.name})",
+                schema,
+                parts(),
+                parameters="parallel",
+            )
+
+        return self.timed("COVER", kernel)
+
+    # -- DIFFERENCE -----------------------------------------------------------------
+
+    def run_difference(self, plan, left: Dataset, right: Dataset):
+        if plan.joinby:
+            return super().run_difference(plan, left, right)
+
+        def kernel():
+            mask = [r for sample in right for r in sample.regions]
+            samples = list(left)
+            futures = [
+                self._executor().submit(
+                    _difference_task, sample.regions, mask, plan.exact
+                )
+                for sample in samples
+            ]
+
+            def parts():
+                for sample, future in zip(samples, futures):
+                    yield (future.result(), sample.meta, [(left.name, sample.id)])
+
+            return build_result(
+                "DIFFERENCE",
+                f"DIFFERENCE({left.name},{right.name})",
+                left.schema,
+                parts(),
+                parameters="parallel",
+            )
+
+        return self.timed("DIFFERENCE", kernel)

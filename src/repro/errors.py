@@ -1,0 +1,79 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class at API boundaries.  Sub-hierarchies mirror the
+package layout: data-model errors, format errors, query-language errors,
+engine errors and distributed-system errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GdmError(ReproError):
+    """Base class for Genomic Data Model violations."""
+
+
+class SchemaError(GdmError):
+    """A region schema is malformed, or a value does not fit its schema."""
+
+
+class CoordinateError(GdmError):
+    """A genomic coordinate is invalid (negative, inverted, bad strand...)."""
+
+
+class DatasetError(GdmError):
+    """A dataset-level invariant is violated (duplicate ids, schema drift)."""
+
+
+class FormatError(ReproError):
+    """A file could not be parsed or serialised in the requested format."""
+
+
+class QueryError(ReproError):
+    """Base class for GMQL language errors."""
+
+
+class GmqlSyntaxError(QueryError):
+    """The GMQL text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class GmqlCompileError(QueryError):
+    """The GMQL program parsed, but is semantically invalid."""
+
+
+class EvaluationError(QueryError):
+    """A predicate or aggregate failed while being evaluated on data."""
+
+
+class EngineError(ReproError):
+    """An execution backend failed or was misconfigured."""
+
+
+class OntologyError(ReproError):
+    """An ontology term or relation is invalid."""
+
+
+class RepositoryError(ReproError):
+    """A catalog or staging operation failed."""
+
+
+class FederationError(ReproError):
+    """A federated protocol exchange failed."""
+
+
+class SearchError(ReproError):
+    """A search-service operation failed."""
+
+
+class SimulationError(ReproError):
+    """A synthetic-data generator was given invalid parameters."""

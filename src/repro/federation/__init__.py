@@ -1,0 +1,42 @@
+"""Federated query processing (paper, section 4.4).
+
+Nodes own their data; queries move to the data; only results move back.
+Every protocol message crosses a simulated network that accounts bytes
+and latency, so the data-shipping/query-shipping trade-off is measurable
+(experiment E9).
+"""
+
+from repro.federation.estimator import Estimate, estimate_plan
+from repro.federation.node import FederationNode
+from repro.federation.planner import FederatedClient, FederatedOutcome
+from repro.federation.protocol import (
+    ChunkRequest,
+    ChunkResponse,
+    CompileRequest,
+    CompileResponse,
+    DatasetInfoRequest,
+    DatasetInfoResponse,
+    DatasetTransfer,
+    ExecuteRequest,
+    ExecuteResponse,
+)
+from repro.federation.transfer import Network, TransferLog
+
+__all__ = [
+    "ChunkRequest",
+    "ChunkResponse",
+    "CompileRequest",
+    "CompileResponse",
+    "DatasetInfoRequest",
+    "DatasetInfoResponse",
+    "DatasetTransfer",
+    "Estimate",
+    "ExecuteRequest",
+    "ExecuteResponse",
+    "FederatedClient",
+    "FederatedOutcome",
+    "FederationNode",
+    "Network",
+    "TransferLog",
+    "estimate_plan",
+]

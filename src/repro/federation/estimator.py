@@ -1,0 +1,144 @@
+"""Compile-time result-size estimation.
+
+The federation protocol of section 4.4 wants query compilation to return
+"estimates of the data sizes of results", so clients can plan staging and
+communication load *before* executing.  The estimator walks a logical
+plan bottom-up propagating (samples, regions-per-sample) cardinalities
+with per-operator selectivity heuristics, then converts to bytes with the
+same cost model as :meth:`Dataset.estimated_size_bytes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gmql.lang.plan import (
+    CoverPlan,
+    DifferencePlan,
+    ExtendPlan,
+    GroupPlan,
+    JoinPlan,
+    MapPlan,
+    MergePlan,
+    OrderPlan,
+    PlanNode,
+    ProjectPlan,
+    ScanPlan,
+    SelectPlan,
+    UnionPlan,
+)
+
+#: Default selectivities, deliberately coarse: the protocol's point is an
+#: order-of-magnitude figure, not a query optimizer's cost model.
+META_SELECT_SELECTIVITY = 0.5
+REGION_SELECT_SELECTIVITY = 0.5
+DIFFERENCE_SURVIVAL = 0.5
+JOIN_FANOUT = 2.0
+COVER_COMPRESSION = 0.5
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Estimated result shape."""
+
+    samples: float
+    regions: float          # total regions across samples
+    attributes: int         # variable attributes per region
+
+    def size_bytes(self) -> int:
+        """Bytes under the dataset cost model (32/region + 12/value)."""
+        return int(self.regions * (32 + 12 * self.attributes))
+
+
+def estimate_plan(node: PlanNode, catalog_summaries: dict) -> Estimate:
+    """Estimate one plan against ``{dataset_name: summary_dict}``.
+
+    Summaries are what :meth:`Catalog.summaries` publishes, so estimation
+    needs only protocol-level information about remote data.
+    """
+    if isinstance(node, ScanPlan):
+        summary = catalog_summaries.get(node.dataset_name)
+        if summary is None:
+            return Estimate(1, 1_000, 1)
+        return Estimate(
+            samples=max(1, summary["samples"]),
+            regions=max(1, summary["regions"]),
+            attributes=len(summary.get("schema", ())) or 1,
+        )
+    if isinstance(node, SelectPlan):
+        child = estimate_plan(node.child, catalog_summaries)
+        samples = child.samples
+        regions = child.regions
+        if node.meta_predicate is not None:
+            samples *= META_SELECT_SELECTIVITY
+            regions *= META_SELECT_SELECTIVITY
+        if node.region_predicate is not None:
+            regions *= REGION_SELECT_SELECTIVITY
+        return Estimate(max(samples, 1), regions, child.attributes)
+    if isinstance(node, (ProjectPlan,)):
+        child = estimate_plan(node.child, catalog_summaries)
+        kept = (
+            child.attributes
+            if node.region_attributes is None
+            else len(node.region_attributes)
+        )
+        return Estimate(
+            child.samples, child.regions, kept + len(node.new_region_attributes)
+        )
+    if isinstance(node, (ExtendPlan, OrderPlan)):
+        child = estimate_plan(node.child, catalog_summaries)
+        if isinstance(node, OrderPlan) and node.top is not None:
+            fraction = min(1.0, node.top / max(child.samples, 1))
+            return Estimate(
+                min(child.samples, node.top),
+                child.regions * fraction,
+                child.attributes,
+            )
+        return child
+    if isinstance(node, MergePlan):
+        child = estimate_plan(node.child, catalog_summaries)
+        groups = max(1, len(node.groupby) * 3) if node.groupby else 1
+        return Estimate(groups, child.regions, child.attributes)
+    if isinstance(node, GroupPlan):
+        child = estimate_plan(node.child, catalog_summaries)
+        return Estimate(child.samples, child.regions, child.attributes)
+    if isinstance(node, UnionPlan):
+        left = estimate_plan(node.left, catalog_summaries)
+        right = estimate_plan(node.right, catalog_summaries)
+        return Estimate(
+            left.samples + right.samples,
+            left.regions + right.regions,
+            left.attributes + right.attributes,
+        )
+    if isinstance(node, DifferencePlan):
+        left = estimate_plan(node.left, catalog_summaries)
+        return Estimate(
+            left.samples, left.regions * DIFFERENCE_SURVIVAL, left.attributes
+        )
+    if isinstance(node, CoverPlan):
+        child = estimate_plan(node.child, catalog_summaries)
+        return Estimate(1, child.regions * COVER_COMPRESSION, 1)
+    if isinstance(node, MapPlan):
+        reference = estimate_plan(node.reference, catalog_summaries)
+        experiment = estimate_plan(node.experiment, catalog_summaries)
+        ref_regions_per_sample = reference.regions / max(reference.samples, 1)
+        samples = reference.samples * experiment.samples
+        return Estimate(
+            samples,
+            samples * ref_regions_per_sample,
+            reference.attributes + max(1, len(node.aggregates)),
+        )
+    if isinstance(node, JoinPlan):
+        anchor = estimate_plan(node.anchor, catalog_summaries)
+        experiment = estimate_plan(node.experiment, catalog_summaries)
+        anchor_regions_per_sample = anchor.regions / max(anchor.samples, 1)
+        samples = anchor.samples * experiment.samples
+        return Estimate(
+            samples,
+            samples * anchor_regions_per_sample * JOIN_FANOUT,
+            anchor.attributes + experiment.attributes + 1,
+        )
+    # Unknown node kinds: propagate the first child or a token estimate.
+    if node.children:
+        return estimate_plan(node.children[0], catalog_summaries)
+    return Estimate(1, 1_000, 1)

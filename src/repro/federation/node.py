@@ -1,0 +1,149 @@
+"""Federation nodes: data owners that answer the section 4.4 protocol.
+
+"Each data repository will be the owner of the data that are locally
+produced, and nodes of cooperating organizations will be connected to
+form a federated database."  A :class:`FederationNode` owns a catalog and
+answers info/compile/execute/chunk messages; all traffic goes through the
+shared simulated :class:`~repro.federation.transfer.Network`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FederationError, QueryError
+from repro.federation.estimator import estimate_plan
+from repro.federation.protocol import (
+    ChunkRequest,
+    ChunkResponse,
+    CompileRequest,
+    CompileResponse,
+    DatasetInfoRequest,
+    DatasetInfoResponse,
+    DatasetTransfer,
+    ExecuteRequest,
+    ExecuteResponse,
+)
+from repro.federation.transfer import Network
+from repro.gdm import Dataset
+from repro.gmql.lang import Interpreter, compile_program, optimize
+from repro.engine.dispatch import get_backend
+from repro.repository.catalog import Catalog
+from repro.repository.staging import StagingArea
+
+
+class FederationNode:
+    """One node: a named catalog plus protocol handlers."""
+
+    def __init__(
+        self,
+        name: str,
+        catalog: Catalog,
+        network: Network,
+        staging_budget_bytes: int = 50_000_000,
+    ) -> None:
+        self.name = name
+        self.catalog = catalog
+        self.network = network
+        self.staging = StagingArea(budget_bytes=staging_budget_bytes)
+        #: Datasets shipped in from elsewhere (data-shipping execution).
+        self.foreign: dict = {}
+
+    # -- protocol handlers (each accounts its response on the network) -----------
+
+    def handle_info(self, requester: str) -> DatasetInfoResponse:
+        """Answer a dataset-information request."""
+        request = DatasetInfoRequest()
+        self.network.send(requester, self.name, "info-request",
+                          request.size_bytes())
+        response = DatasetInfoResponse(tuple(self.catalog.summaries()))
+        self.network.send(self.name, requester, "info-response",
+                          response.size_bytes())
+        return response
+
+    def handle_compile(self, requester: str, program: str) -> CompileResponse:
+        """Compile a program and estimate its outputs."""
+        request = CompileRequest(program)
+        self.network.send(requester, self.name, "compile-request",
+                          request.size_bytes())
+        try:
+            compiled = optimize(compile_program(program))
+        except QueryError as exc:
+            response = CompileResponse(ok=False, error=str(exc))
+        else:
+            summaries = {
+                summary["name"]: summary for summary in self.catalog.summaries()
+            }
+            for foreign_name, dataset in self.foreign.items():
+                summaries[foreign_name] = dataset.summary()
+            estimates = []
+            for output_name, plan in compiled.outputs.items():
+                estimate = estimate_plan(plan, summaries)
+                estimates.append(
+                    (
+                        output_name,
+                        int(estimate.samples),
+                        int(estimate.regions),
+                        estimate.size_bytes(),
+                    )
+                )
+            response = CompileResponse(ok=True, estimates=tuple(estimates))
+        self.network.send(self.name, requester, "compile-response",
+                          response.size_bytes())
+        return response
+
+    def handle_execute(
+        self, requester: str, program: str, engine: str = "naive"
+    ) -> ExecuteResponse:
+        """Execute a program over the local (+ shipped-in) datasets."""
+        request = ExecuteRequest(program, engine)
+        self.network.send(requester, self.name, "execute-request",
+                          request.size_bytes())
+        sources = self.catalog.as_sources()
+        sources.update(self.foreign)
+        compiled = optimize(compile_program(program))
+        missing = [s for s in compiled.sources if s not in sources]
+        if missing:
+            raise FederationError(
+                f"node {self.name!r} lacks source datasets {missing}"
+            )
+        results = Interpreter(get_backend(engine), sources).run_program(compiled)
+        tickets = []
+        for output_name, dataset in results.items():
+            ticket = self.staging.stage(dataset)
+            tickets.append(
+                (
+                    output_name,
+                    ticket,
+                    dataset.estimated_size_bytes(),
+                    self.staging.chunk_count(ticket),
+                )
+            )
+        response = ExecuteResponse(tuple(tickets))
+        self.network.send(self.name, requester, "execute-response",
+                          response.size_bytes())
+        return response
+
+    def handle_chunk(self, requester: str, ticket: str, index: int
+                     ) -> ChunkResponse:
+        """Serve one staged chunk."""
+        request = ChunkRequest(ticket, index)
+        self.network.send(requester, self.name, "chunk-request",
+                          request.size_bytes())
+        data = self.staging.retrieve_chunk(ticket, index)
+        response = ChunkResponse(ticket, index, data)
+        self.network.send(self.name, requester, "chunk-response",
+                          response.size_bytes())
+        return response
+
+    # -- data shipping -------------------------------------------------------------
+
+    def ship_dataset(self, name: str, destination: "FederationNode") -> None:
+        """Send one local dataset to another node (data shipping)."""
+        dataset = self.catalog.get(name)
+        transfer = DatasetTransfer(name, dataset.estimated_size_bytes())
+        self.network.send(self.name, destination.name, "dataset-transfer",
+                          transfer.size_bytes())
+        destination.foreign[name] = dataset
+
+    def receive_foreign(self, dataset: Dataset) -> None:
+        """Register a shipped-in dataset directly (used by the client)."""
+        self.foreign[dataset.name] = dataset

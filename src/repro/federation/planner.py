@@ -1,0 +1,163 @@
+"""Federated execution strategies: query shipping vs data shipping.
+
+"Queries move from a requesting node to a remote node, are locally
+executed, and results are communicated back to the requesting node; this
+paradigm allows for distributing the processing to data, transferring
+only query results which are usually small in size" (section 4.4).
+
+:class:`FederatedClient` implements both strategies over a set of
+:class:`~repro.federation.node.FederationNode` instances and a planner
+that picks the cheaper one from compile-time estimates -- letting
+experiment E9 report measured bytes for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FederationError
+from repro.federation.node import FederationNode
+from repro.federation.transfer import Network
+from repro.gmql.lang import compile_program, execute
+
+
+@dataclass
+class FederatedOutcome:
+    """Result of a federated execution, with its traffic bill."""
+
+    strategy: str
+    results: dict                 # output name -> summary dict
+    bytes_moved: int
+    message_count: int
+    executing_node: str
+
+
+class FederatedClient:
+    """A requesting site that knows every node but owns no data."""
+
+    def __init__(self, nodes: list, network: Network,
+                 name: str = "client") -> None:
+        if not nodes:
+            raise FederationError("a federation needs at least one node")
+        self.name = name
+        self.nodes = {node.name: node for node in nodes}
+        self.network = network
+
+    # -- discovery ----------------------------------------------------------------
+
+    def discover(self) -> dict:
+        """``{dataset_name: node_name}`` across the federation."""
+        location: dict = {}
+        for node in self.nodes.values():
+            info = node.handle_info(self.name)
+            for summary in info.summaries:
+                location[summary["name"]] = node.name
+        return location
+
+    def _plan_locations(self, program: str) -> dict:
+        compiled = compile_program(program)
+        location = self.discover()
+        missing = [s for s in compiled.sources if s not in location]
+        if missing:
+            raise FederationError(f"no node hosts {missing}")
+        return {source: location[source] for source in compiled.sources}
+
+    # -- strategies ------------------------------------------------------------------
+
+    def run_query_shipping(self, program: str, engine: str = "naive"
+                           ) -> FederatedOutcome:
+        """Ship the query to the node holding the most data; ship only the
+        (small) other sources there; pull back only result chunks."""
+        baseline_messages = self.network.log.message_count()
+        baseline_bytes = self.network.log.bytes_total
+        locations = self._plan_locations(program)
+        sizes = {
+            name: self.nodes[node_name].catalog.get(name).estimated_size_bytes()
+            for name, node_name in locations.items()
+        }
+        # Execute where the most bytes already live.
+        bytes_per_node: dict = {}
+        for name, node_name in locations.items():
+            bytes_per_node[node_name] = bytes_per_node.get(node_name, 0) + sizes[name]
+        target_name = max(bytes_per_node, key=lambda n: bytes_per_node[n])
+        target = self.nodes[target_name]
+        for name, node_name in locations.items():
+            if node_name != target_name:
+                self.nodes[node_name].ship_dataset(name, target)
+        compile_response = target.handle_compile(self.name, program)
+        if not compile_response.ok:
+            raise FederationError(f"remote compilation failed: "
+                                  f"{compile_response.error}")
+        execute_response = target.handle_execute(self.name, program, engine)
+        results = {}
+        for output_name, ticket, size, chunk_count in execute_response.tickets:
+            for index in range(chunk_count):
+                target.handle_chunk(self.name, ticket, index)
+            results[output_name] = {"size_bytes": size, "ticket": ticket}
+        return FederatedOutcome(
+            strategy="query-shipping",
+            results=results,
+            bytes_moved=self.network.log.bytes_total - baseline_bytes,
+            message_count=self.network.log.message_count() - baseline_messages,
+            executing_node=target_name,
+        )
+
+    def run_data_shipping(self, program: str, engine: str = "naive"
+                          ) -> FederatedOutcome:
+        """Fetch every source dataset to the client and execute locally --
+        "most of today's implementations" per the paper."""
+        baseline_messages = self.network.log.message_count()
+        baseline_bytes = self.network.log.bytes_total
+        locations = self._plan_locations(program)
+        sources = {}
+        for name, node_name in locations.items():
+            dataset = self.nodes[node_name].catalog.get(name)
+            from repro.federation.protocol import DatasetTransfer
+
+            transfer = DatasetTransfer(name, dataset.estimated_size_bytes())
+            self.network.send(node_name, self.name, "dataset-transfer",
+                              transfer.size_bytes())
+            sources[name] = dataset
+        results_data = execute(program, sources, engine=engine)
+        results = {
+            name: {"size_bytes": ds.estimated_size_bytes()}
+            for name, ds in results_data.items()
+        }
+        return FederatedOutcome(
+            strategy="data-shipping",
+            results=results,
+            bytes_moved=self.network.log.bytes_total - baseline_bytes,
+            message_count=self.network.log.message_count() - baseline_messages,
+            executing_node=self.name,
+        )
+
+    # -- the planner --------------------------------------------------------------------
+
+    def estimate_strategies(self, program: str) -> dict:
+        """Estimated bytes for each strategy, from summaries alone."""
+        locations = self._plan_locations(program)
+        source_bytes = 0
+        summaries: dict = {}
+        for name, node_name in locations.items():
+            dataset = self.nodes[node_name].catalog.get(name)
+            source_bytes += dataset.estimated_size_bytes()
+            summaries[name] = dataset.summary()
+        from repro.federation.estimator import estimate_plan
+        from repro.gmql.lang import optimize
+
+        compiled = optimize(compile_program(program))
+        result_bytes = sum(
+            estimate_plan(plan, summaries).size_bytes()
+            for plan in compiled.outputs.values()
+        )
+        return {
+            "data-shipping": source_bytes,
+            "query-shipping": result_bytes,
+        }
+
+    def run(self, program: str, engine: str = "naive") -> FederatedOutcome:
+        """Pick the cheaper strategy by estimate and execute it."""
+        estimates = self.estimate_strategies(program)
+        if estimates["query-shipping"] <= estimates["data-shipping"]:
+            return self.run_query_shipping(program, engine)
+        return self.run_data_shipping(program, engine)

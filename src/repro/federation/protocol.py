@@ -1,0 +1,123 @@
+"""The federated interaction protocol of section 4.4.
+
+Three interactions, exactly as the paper lists them:
+
+* **dataset information** -- metadata summaries and region schemas of a
+  node's catalog (for locating data and formalising queries);
+* **query compilation** -- a GMQL text is compiled remotely and answered
+  with correctness plus a result-size estimate;
+* **execution + controlled transfer** -- the query runs remotely, the
+  result is staged, and the client pulls chunks at its own pace.
+
+Message payload sizes are explicit so the simulated network can account
+them; GMQL programs are "short texts" (their size is just ``len(text)``)
+while datasets cost their serialised size.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+
+def _json_size(payload) -> int:
+    """Serialised size of a JSON-able payload, in bytes."""
+    return len(json.dumps(payload, default=str).encode())
+
+
+@dataclass(frozen=True)
+class DatasetInfoRequest:
+    """Ask a node what it hosts."""
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+@dataclass(frozen=True)
+class DatasetInfoResponse:
+    """Summaries (name, samples, regions, schema, size) per dataset."""
+
+    summaries: tuple
+
+    def size_bytes(self) -> int:
+        return _json_size(list(self.summaries))
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """Ship a GMQL text for remote compilation."""
+
+    program: str
+
+    def size_bytes(self) -> int:
+        return len(self.program.encode()) + 64
+
+
+@dataclass(frozen=True)
+class CompileResponse:
+    """Compilation outcome plus per-output size estimates."""
+
+    ok: bool
+    error: str = ""
+    estimates: tuple = ()  # of (output_name, samples, regions, bytes)
+
+    def size_bytes(self) -> int:
+        return _json_size(
+            {"ok": self.ok, "error": self.error,
+             "estimates": list(self.estimates)}
+        )
+
+
+@dataclass(frozen=True)
+class ExecuteRequest:
+    """Run a program remotely; results are staged, not returned inline."""
+
+    program: str
+    engine: str = "naive"
+
+    def size_bytes(self) -> int:
+        return len(self.program.encode()) + 96
+
+
+@dataclass(frozen=True)
+class ExecuteResponse:
+    """Tickets for the staged outputs."""
+
+    tickets: tuple  # of (output_name, ticket, size_bytes, chunk_count)
+
+    def size_bytes(self) -> int:
+        return _json_size(list(self.tickets))
+
+
+@dataclass(frozen=True)
+class ChunkRequest:
+    """Pull one chunk of a staged result."""
+
+    ticket: str
+    index: int
+
+    def size_bytes(self) -> int:
+        return 96
+
+
+@dataclass(frozen=True)
+class ChunkResponse:
+    """One chunk of serialised result data."""
+
+    ticket: str
+    index: int
+    data: bytes
+
+    def size_bytes(self) -> int:
+        return len(self.data) + 96
+
+
+@dataclass(frozen=True)
+class DatasetTransfer:
+    """A whole dataset shipped between nodes (the data-shipping path)."""
+
+    name: str
+    payload_bytes: int
+
+    def size_bytes(self) -> int:
+        return self.payload_bytes + 128

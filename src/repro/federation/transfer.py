@@ -1,0 +1,53 @@
+"""Simulated network transport with byte and latency accounting.
+
+The federation experiments (E9) need to *measure* what the paper argues
+qualitatively -- query shipping moves orders of magnitude fewer bytes
+than data shipping -- so every message crossing the simulated network is
+accounted here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TransferLog:
+    """Accumulated traffic between federation participants."""
+
+    messages: list = field(default_factory=list)
+    bytes_total: int = 0
+    simulated_seconds: float = 0.0
+
+    def record(self, sender: str, receiver: str, kind: str, size: int,
+               network: "Network") -> None:
+        """Account one message."""
+        self.messages.append((sender, receiver, kind, size))
+        self.bytes_total += size
+        self.simulated_seconds += network.latency_seconds + (
+            size / network.bandwidth_bytes_per_second
+        )
+
+    def bytes_by_kind(self) -> dict:
+        """Traffic broken down by message kind."""
+        out: dict = {}
+        for __, __r, kind, size in self.messages:
+            out[kind] = out.get(kind, 0) + size
+        return out
+
+    def message_count(self) -> int:
+        return len(self.messages)
+
+
+@dataclass
+class Network:
+    """A homogeneous simulated network."""
+
+    bandwidth_bytes_per_second: float = 100e6 / 8  # 100 Mbit/s
+    latency_seconds: float = 0.02
+    log: TransferLog = field(default_factory=TransferLog)
+
+    def send(self, sender: str, receiver: str, kind: str, payload_bytes: int
+             ) -> None:
+        """Transfer *payload_bytes* from sender to receiver."""
+        self.log.record(sender, receiver, kind, payload_bytes, self)

@@ -1,0 +1,65 @@
+"""Format mediation: every external format parses into GDM and back.
+
+"We propose an essential data model ... that guarantee[s] interoperability
+between existing data formats" (paper, abstract).  Supported formats: BED,
+GDM custom-schema BED, ENCODE narrowPeak/broadPeak, GTF, VCF and a
+simplified SAM; plus the ``.meta`` metadata files and whole-dataset
+directory layout of GMQL repositories.
+"""
+
+from repro.formats.base import RegionFormat
+from repro.formats.bed import (
+    BedFormat,
+    CustomBedFormat,
+    schema_from_header,
+    schema_to_header,
+)
+from repro.formats.bedgraph import (
+    BedGraphFormat,
+    coverage_to_bedgraph,
+    dataset_to_bedgraph,
+)
+from repro.formats.gtf import GtfFormat
+from repro.formats.meta import (
+    parse_meta,
+    read_dataset,
+    serialize_meta,
+    write_dataset,
+)
+from repro.formats.narrowpeak import BroadPeakFormat, NarrowPeakFormat
+from repro.formats.registry import (
+    available_formats,
+    dataset_from_documents,
+    format_for_path,
+    format_named,
+    register,
+)
+from repro.formats.sam import FLAG_REVERSE, FLAG_UNMAPPED, SamFormat
+from repro.formats.vcf import VcfFormat
+
+__all__ = [
+    "BedFormat",
+    "BedGraphFormat",
+    "BroadPeakFormat",
+    "CustomBedFormat",
+    "FLAG_REVERSE",
+    "FLAG_UNMAPPED",
+    "GtfFormat",
+    "NarrowPeakFormat",
+    "RegionFormat",
+    "SamFormat",
+    "VcfFormat",
+    "available_formats",
+    "coverage_to_bedgraph",
+    "dataset_from_documents",
+    "dataset_to_bedgraph",
+    "format_for_path",
+    "format_named",
+    "parse_meta",
+    "read_dataset",
+    "register",
+    "schema_from_header",
+    "schema_to_header",
+    "serialize_meta",
+    "write_dataset",
+]

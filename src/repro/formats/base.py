@@ -1,0 +1,97 @@
+"""Format mediation core: how external file formats map onto GDM.
+
+The paper's claim is that GDM "mediates all existing data formats": any
+technology-driven format (BED, narrowPeak, GTF, VCF, ...) is read into
+regions with a declared :class:`~repro.gdm.schema.RegionSchema` and written
+back out losslessly.  Each concrete format implements :class:`RegionFormat`;
+:mod:`repro.formats.registry` routes by name or file extension.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, Iterable, Iterator
+
+from repro.errors import FormatError
+from repro.gdm import GenomicRegion, RegionSchema
+
+
+class RegionFormat:
+    """Base class for region file formats.
+
+    Subclasses define a :attr:`name`, the file :attr:`extensions` they
+    claim, a :meth:`schema` describing the variable attributes they carry,
+    and line-level parse/serialise hooks.  The base class provides the
+    stream plumbing, comment/track-line handling and error reporting with
+    line numbers.
+    """
+
+    #: Format name used by the registry (override).
+    name = "abstract"
+    #: File extensions (lowercase, with dot) routed to this format.
+    extensions: tuple = ()
+    #: Line prefixes to skip silently while parsing.
+    comment_prefixes: tuple = ("#", "track ", "browser ")
+
+    def schema(self) -> RegionSchema:
+        """The region schema this format produces.  Override."""
+        raise NotImplementedError
+
+    def parse_line(self, fields: list) -> GenomicRegion:
+        """Build a region from the tab-separated fields of one line.  Override."""
+        raise NotImplementedError
+
+    def format_region(self, region: GenomicRegion) -> str:
+        """Serialise one region to a line (without newline).  Override."""
+        raise NotImplementedError
+
+    # -- plumbing -------------------------------------------------------------
+
+    def parse(self, source: str | IO[str]) -> list:
+        """Parse a whole document (text or open file) into a region list."""
+        return list(self.iter_parse(source))
+
+    def iter_parse(self, source: str | IO[str]) -> Iterator[GenomicRegion]:
+        """Stream regions out of a document, skipping comments and blanks."""
+        stream = io.StringIO(source) if isinstance(source, str) else source
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.rstrip("\n").rstrip("\r")
+            if not line.strip():
+                continue
+            if any(line.startswith(prefix) for prefix in self.comment_prefixes):
+                continue
+            fields = line.split("\t")
+            try:
+                yield self.parse_line(fields)
+            except (FormatError, ValueError, IndexError) as exc:
+                raise FormatError(
+                    f"{self.name}: line {line_number}: {exc}"
+                ) from exc
+
+    def serialize(self, regions: Iterable[GenomicRegion]) -> str:
+        """Serialise regions to a document string."""
+        return "".join(self.format_region(region) + "\n" for region in regions)
+
+    # -- shared field helpers -------------------------------------------------
+
+    @staticmethod
+    def require(fields: list, minimum: int) -> None:
+        """Raise when a line has fewer than *minimum* fields."""
+        if len(fields) < minimum:
+            raise FormatError(
+                f"expected at least {minimum} fields, got {len(fields)}"
+            )
+
+    @staticmethod
+    def parse_strand(text: str) -> str:
+        """Map the format's strand field to a GDM strand symbol."""
+        if text in ("+", "-"):
+            return text
+        if text in (".", "*", ""):
+            return "*"
+        raise FormatError(f"bad strand field {text!r}")
+
+    @staticmethod
+    def format_strand(strand: str) -> str:
+        """Map a GDM strand symbol back to the common file convention."""
+        return "." if strand == "*" else strand

@@ -1,0 +1,118 @@
+"""BED: the lingua franca of processed genomic regions.
+
+Implements BED3 through BED6 plus the generic "BED with custom schema" that
+GMQL repositories use: the first three (optionally six) columns are the
+fixed coordinates, the remaining columns are variable attributes declared by
+a :class:`~repro.gdm.schema.RegionSchema`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormatError
+from repro.formats.base import RegionFormat
+from repro.gdm import FLOAT, GenomicRegion, RegionSchema, STR
+
+
+class BedFormat(RegionFormat):
+    """Standard BED6: chrom, start, end, name, score, strand.
+
+    Shorter lines degrade gracefully (BED3/BED4/BED5); missing fields
+    become missing values.  The variable schema is
+    ``(name STR, score FLOAT)``.
+    """
+
+    name = "bed"
+    extensions = (".bed",)
+
+    def schema(self) -> RegionSchema:
+        return RegionSchema.of(("name", STR), ("score", FLOAT))
+
+    def parse_line(self, fields: list) -> GenomicRegion:
+        self.require(fields, 3)
+        chrom = fields[0]
+        left, right = int(fields[1]), int(fields[2])
+        name = fields[3] if len(fields) > 3 and fields[3] != "." else None
+        score = None
+        if len(fields) > 4 and fields[4] not in (".", ""):
+            score = float(fields[4])
+        strand = self.parse_strand(fields[5]) if len(fields) > 5 else "*"
+        return GenomicRegion(chrom, left, right, strand, (name, score))
+
+    def format_region(self, region: GenomicRegion) -> str:
+        name = region.values[0] if len(region.values) > 0 else None
+        score = region.values[1] if len(region.values) > 1 else None
+        return "\t".join(
+            [
+                region.chrom,
+                str(region.left),
+                str(region.right),
+                "." if name is None else str(name),
+                "." if score is None else f"{float(score):g}",
+                self.format_strand(region.strand),
+            ]
+        )
+
+
+class CustomBedFormat(RegionFormat):
+    """BED-like file with a caller-declared variable schema.
+
+    Layout: ``chrom  left  right  strand  v1  v2 ...`` where the ``v``
+    columns follow *schema*.  This is the on-disk sample layout of the
+    GMQL repository and of :class:`repro.repository.catalog.DatasetStore`.
+    """
+
+    name = "gdm"
+    extensions = (".gdm",)
+
+    def __init__(self, schema: RegionSchema) -> None:
+        self._schema = schema
+
+    def schema(self) -> RegionSchema:
+        return self._schema
+
+    def parse_line(self, fields: list) -> GenomicRegion:
+        self.require(fields, 4)
+        chrom = fields[0]
+        left, right = int(fields[1]), int(fields[2])
+        strand = self.parse_strand(fields[3])
+        raw_values = fields[4:]
+        if len(raw_values) > len(self._schema):
+            raise FormatError(
+                f"{len(raw_values)} variable fields for "
+                f"{len(self._schema)}-attribute schema"
+            )
+        values = tuple(
+            definition.type.parse(text)
+            for definition, text in zip(self._schema, raw_values)
+        )
+        return GenomicRegion(chrom, left, right, strand, values)
+
+    def format_region(self, region: GenomicRegion) -> str:
+        fields = [
+            region.chrom,
+            str(region.left),
+            str(region.right),
+            self.format_strand(region.strand),
+        ]
+        for definition, value in zip(self._schema, region.values):
+            fields.append(definition.type.format(value))
+        return "\t".join(fields)
+
+
+def schema_to_header(schema: RegionSchema) -> str:
+    """Serialise a schema to the one-line header used by ``.schema`` files."""
+    return "\t".join(f"{d.name}:{d.type.name}" for d in schema)
+
+
+def schema_from_header(header: str) -> RegionSchema:
+    """Parse a schema header line produced by :func:`schema_to_header`."""
+    header = header.strip()
+    if not header:
+        return RegionSchema.empty()
+    pairs = []
+    for token in header.split("\t"):
+        if ":" not in token:
+            raise FormatError(f"bad schema token {token!r}")
+        name, type_name = token.rsplit(":", 1)
+        pairs.append((name, type_name))
+    return RegionSchema.of(*pairs)

@@ -1,0 +1,99 @@
+"""bedGraph: the genome-browser track format for quantitative signals.
+
+"It will also be possible to visualize results on genome browsers"
+(paper, section 4.3).  bedGraph is how quantitative tracks (coverage
+depths, COVER accumulation indexes, MAP counts) reach UCSC-style
+browsers: four columns, ``chrom start end value``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.formats.base import RegionFormat
+from repro.gdm import Dataset, FLOAT, GenomicRegion, RegionSchema
+
+
+class BedGraphFormat(RegionFormat):
+    """bedGraph (UCSC): chrom, start, end, dataValue."""
+
+    name = "bedgraph"
+    extensions = (".bedgraph", ".bdg")
+
+    def schema(self) -> RegionSchema:
+        return RegionSchema.of(("value", FLOAT))
+
+    def parse_line(self, fields: list) -> GenomicRegion:
+        self.require(fields, 4)
+        return GenomicRegion(
+            fields[0],
+            int(fields[1]),
+            int(fields[2]),
+            "*",
+            (float(fields[3]),),
+        )
+
+    def format_region(self, region: GenomicRegion) -> str:
+        value = region.values[0] if region.values else None
+        return "\t".join(
+            [
+                region.chrom,
+                str(region.left),
+                str(region.right),
+                "0" if value is None else f"{float(value):g}",
+            ]
+        )
+
+
+def coverage_to_bedgraph(
+    regions: Iterable[GenomicRegion], track_name: str = "coverage"
+) -> str:
+    """Render the depth profile of a region bag as a bedGraph document.
+
+    Ready to load in a genome browser: a ``track`` line followed by one
+    row per constant-depth segment.
+    """
+    from repro.intervals import coverage_profile
+
+    fmt = BedGraphFormat()
+    lines = [
+        f'track type=bedGraph name="{track_name}" visibility=full'
+    ]
+    for segment in coverage_profile(list(regions)):
+        lines.append(
+            fmt.format_region(
+                GenomicRegion(
+                    segment.chrom, segment.left, segment.right, "*",
+                    (float(segment.depth),),
+                )
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def dataset_to_bedgraph(
+    dataset: Dataset, value_attribute: str, track_name: str | None = None
+) -> str:
+    """Render one dataset attribute as a browser track.
+
+    Typical use: a COVER result's ``acc_index`` or a MAP result's count.
+    All samples are merged into one track (browsers show one line per
+    track; per-sample tracks are a loop over samples at the call site).
+    """
+    fmt = BedGraphFormat()
+    index = dataset.schema.index_of(value_attribute)
+    lines = [
+        f'track type=bedGraph name="{track_name or dataset.name}" '
+        f"visibility=full"
+    ]
+    for sample in dataset:
+        for region in sample.sorted_regions():
+            value = region.values[index]
+            lines.append(
+                fmt.format_region(
+                    region.with_values(
+                        (float(value) if value is not None else None,)
+                    )
+                )
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,86 @@
+"""GTF/GFF2: gene annotation format (the UCSC/RefSeq side of the paper).
+
+GTF is 1-based closed-interval; GDM is 0-based half-open, so parsing
+subtracts one from the start and writing adds it back.  The free-form
+``attribute`` column (``key "value"; ...``) is flattened into the variable
+attributes we care about (``gene_id``, ``transcript_id``) plus ``source``,
+``feature``, ``score`` and ``frame``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import FormatError
+from repro.formats.base import RegionFormat
+from repro.gdm import FLOAT, GenomicRegion, RegionSchema, STR
+
+_ATTRIBUTE = re.compile(r'(\w+)\s+"([^"]*)"')
+
+
+class GtfFormat(RegionFormat):
+    """GTF (gene transfer format), GFF2 attribute syntax."""
+
+    name = "gtf"
+    extensions = (".gtf", ".gff")
+
+    def schema(self) -> RegionSchema:
+        return RegionSchema.of(
+            ("source", STR),
+            ("feature", STR),
+            ("score", FLOAT),
+            ("frame", STR),
+            ("gene_id", STR),
+            ("transcript_id", STR),
+        )
+
+    def parse_line(self, fields: list) -> GenomicRegion:
+        self.require(fields, 9)
+        chrom = fields[0]
+        source = None if fields[1] == "." else fields[1]
+        feature = None if fields[2] == "." else fields[2]
+        left = int(fields[3]) - 1  # GTF is 1-based closed
+        right = int(fields[4])
+        if left < 0:
+            raise FormatError(f"GTF start must be >= 1, got {fields[3]}")
+        score = None if fields[5] == "." else float(fields[5])
+        strand = self.parse_strand(fields[6])
+        frame = None if fields[7] == "." else fields[7]
+        attributes = dict(_ATTRIBUTE.findall(fields[8]))
+        return GenomicRegion(
+            chrom,
+            left,
+            right,
+            strand,
+            (
+                source,
+                feature,
+                score,
+                frame,
+                attributes.get("gene_id"),
+                attributes.get("transcript_id"),
+            ),
+        )
+
+    def format_region(self, region: GenomicRegion) -> str:
+        source, feature, score, frame, gene_id, transcript_id = (
+            tuple(region.values) + (None,) * 6
+        )[:6]
+        attribute_parts = []
+        if gene_id is not None:
+            attribute_parts.append(f'gene_id "{gene_id}";')
+        if transcript_id is not None:
+            attribute_parts.append(f'transcript_id "{transcript_id}";')
+        return "\t".join(
+            [
+                region.chrom,
+                "." if source is None else str(source),
+                "." if feature is None else str(feature),
+                str(region.left + 1),
+                str(region.right),
+                "." if score is None else f"{float(score):g}",
+                self.format_strand(region.strand),
+                "." if frame is None else str(frame),
+                " ".join(attribute_parts) if attribute_parts else ".",
+            ]
+        )

@@ -1,0 +1,98 @@
+"""GDM metadata files and whole-dataset directory serialisation.
+
+Metadata files follow the GMQL repository convention: one
+``<attribute>\\t<value>`` pair per line, one ``.meta`` file per sample
+file.  :func:`write_dataset` / :func:`read_dataset` persist a full dataset
+as a directory::
+
+    DATASET_DIR/
+      schema.txt          # one line, see bed.schema_to_header
+      S_00001.gdm         # region rows of sample 1
+      S_00001.gdm.meta    # metadata pairs of sample 1
+      ...
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import IO
+
+from repro.errors import FormatError
+from repro.formats.bed import CustomBedFormat, schema_from_header, schema_to_header
+from repro.gdm import Dataset, Metadata, Sample
+
+_SAMPLE_FILE = re.compile(r"^S_(\d+)\.gdm$")
+
+
+def parse_meta(source: str | IO[str]) -> Metadata:
+    """Parse a ``.meta`` document into a :class:`Metadata` instance."""
+    text = source if isinstance(source, str) else source.read()
+    pairs = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        if "\t" not in line:
+            raise FormatError(f"meta: line {line_number}: expected TAB separator")
+        attribute, value = line.split("\t", 1)
+        if not attribute:
+            raise FormatError(f"meta: line {line_number}: empty attribute")
+        pairs.append((attribute, _parse_value(value)))
+    return Metadata.from_pairs(pairs)
+
+
+def serialize_meta(meta: Metadata) -> str:
+    """Serialise metadata to the ``.meta`` pair-per-line layout."""
+    return "".join(f"{attribute}\t{value}\n" for attribute, value in meta)
+
+
+def _parse_value(text: str):
+    """Best-effort typing of metadata values: int, then float, else str."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def write_dataset(dataset: Dataset, directory: str) -> None:
+    """Persist *dataset* as a GMQL-style repository directory."""
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "schema.txt"), "w") as handle:
+        handle.write(schema_to_header(dataset.schema) + "\n")
+    region_format = CustomBedFormat(dataset.schema)
+    for sample in dataset:
+        base = os.path.join(directory, f"S_{sample.id:05d}.gdm")
+        with open(base, "w") as handle:
+            handle.write(region_format.serialize(sample.regions))
+        with open(base + ".meta", "w") as handle:
+            handle.write(serialize_meta(sample.meta))
+
+
+def read_dataset(directory: str, name: str | None = None) -> Dataset:
+    """Load a dataset previously written by :func:`write_dataset`."""
+    schema_path = os.path.join(directory, "schema.txt")
+    if not os.path.exists(schema_path):
+        raise FormatError(f"no schema.txt in {directory!r}")
+    with open(schema_path) as handle:
+        schema = schema_from_header(handle.readline())
+    region_format = CustomBedFormat(schema)
+    dataset = Dataset(name or os.path.basename(directory.rstrip("/")), schema)
+    for entry in sorted(os.listdir(directory)):
+        match = _SAMPLE_FILE.match(entry)
+        if not match:
+            continue
+        sample_id = int(match.group(1))
+        with open(os.path.join(directory, entry)) as handle:
+            regions = region_format.parse(handle)
+        meta_path = os.path.join(directory, entry + ".meta")
+        meta = Metadata()
+        if os.path.exists(meta_path):
+            with open(meta_path) as handle:
+                meta = parse_meta(handle)
+        dataset.add_sample(Sample(sample_id, regions, meta), validate=False)
+    return dataset

@@ -1,0 +1,113 @@
+"""ENCODE narrowPeak / broadPeak: ChIP-seq peak call formats.
+
+narrowPeak is BED6+4 (signalValue, pValue, qValue, peak offset); broadPeak
+is BED6+3 (no summit offset).  These are the formats of the paper's ENCODE
+examples -- the PEAKS dataset of Figure 2 carries the narrowPeak
+``p_value`` attribute.
+"""
+
+from __future__ import annotations
+
+from repro.formats.base import RegionFormat
+from repro.gdm import FLOAT, GenomicRegion, INT, RegionSchema, STR
+
+
+class NarrowPeakFormat(RegionFormat):
+    """ENCODE narrowPeak (BED6+4)."""
+
+    name = "narrowpeak"
+    extensions = (".narrowpeak", ".npk")
+
+    def schema(self) -> RegionSchema:
+        return RegionSchema.of(
+            ("name", STR),
+            ("score", INT),
+            ("signal_value", FLOAT),
+            ("p_value", FLOAT),
+            ("q_value", FLOAT),
+            ("peak", INT),
+        )
+
+    def parse_line(self, fields: list) -> GenomicRegion:
+        self.require(fields, 10)
+        chrom = fields[0]
+        left, right = int(fields[1]), int(fields[2])
+        strand = self.parse_strand(fields[5])
+        name = None if fields[3] == "." else fields[3]
+        score = None if fields[4] == "." else int(fields[4])
+        signal = None if fields[6] == "." else float(fields[6])
+        # ENCODE stores -log10 p/q; -1 means "not available".
+        p_value = None if fields[7] in (".", "-1") else float(fields[7])
+        q_value = None if fields[8] in (".", "-1") else float(fields[8])
+        peak = None if fields[9] in (".", "-1") else int(fields[9])
+        return GenomicRegion(
+            chrom, left, right, strand,
+            (name, score, signal, p_value, q_value, peak),
+        )
+
+    def format_region(self, region: GenomicRegion) -> str:
+        name, score, signal, p_value, q_value, peak = (
+            tuple(region.values) + (None,) * 6
+        )[:6]
+        return "\t".join(
+            [
+                region.chrom,
+                str(region.left),
+                str(region.right),
+                "." if name is None else str(name),
+                "0" if score is None else str(int(score)),
+                self.format_strand(region.strand),
+                "0" if signal is None else f"{float(signal):g}",
+                "-1" if p_value is None else f"{float(p_value):g}",
+                "-1" if q_value is None else f"{float(q_value):g}",
+                "-1" if peak is None else str(int(peak)),
+            ]
+        )
+
+
+class BroadPeakFormat(RegionFormat):
+    """ENCODE broadPeak (BED6+3): narrowPeak without the summit column."""
+
+    name = "broadpeak"
+    extensions = (".broadpeak", ".bpk")
+
+    def schema(self) -> RegionSchema:
+        return RegionSchema.of(
+            ("name", STR),
+            ("score", INT),
+            ("signal_value", FLOAT),
+            ("p_value", FLOAT),
+            ("q_value", FLOAT),
+        )
+
+    def parse_line(self, fields: list) -> GenomicRegion:
+        self.require(fields, 9)
+        chrom = fields[0]
+        left, right = int(fields[1]), int(fields[2])
+        strand = self.parse_strand(fields[5])
+        name = None if fields[3] == "." else fields[3]
+        score = None if fields[4] == "." else int(fields[4])
+        signal = None if fields[6] == "." else float(fields[6])
+        p_value = None if fields[7] in (".", "-1") else float(fields[7])
+        q_value = None if fields[8] in (".", "-1") else float(fields[8])
+        return GenomicRegion(
+            chrom, left, right, strand, (name, score, signal, p_value, q_value)
+        )
+
+    def format_region(self, region: GenomicRegion) -> str:
+        name, score, signal, p_value, q_value = (
+            tuple(region.values) + (None,) * 5
+        )[:5]
+        return "\t".join(
+            [
+                region.chrom,
+                str(region.left),
+                str(region.right),
+                "." if name is None else str(name),
+                "0" if score is None else str(int(score)),
+                self.format_strand(region.strand),
+                "0" if signal is None else f"{float(signal):g}",
+                "-1" if p_value is None else f"{float(p_value):g}",
+                "-1" if q_value is None else f"{float(q_value):g}",
+            ]
+        )

@@ -1,0 +1,111 @@
+"""SAM-lite: aligned reads, the interface between secondary and tertiary
+analysis.
+
+The NGS pipeline substrate (:mod:`repro.ngs`) aligns simulated reads and
+emits them in this simplified SAM dialect: the eleven mandatory columns,
+with CIGAR restricted to a single ``<n>M`` match operation (our simulated
+aligner is ungapped).  Unmapped reads (flag 0x4) have no coordinates and
+are skipped on parse.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormatError
+from repro.formats.base import RegionFormat
+from repro.gdm import GenomicRegion, INT, RegionSchema, STR
+
+#: SAM flag bits used by the simulator.
+FLAG_UNMAPPED = 0x4
+FLAG_REVERSE = 0x10
+
+
+class SamFormat(RegionFormat):
+    """Simplified SAM: mandatory columns, ungapped alignments only."""
+
+    name = "sam"
+    extensions = (".sam",)
+    comment_prefixes = ("@",)
+
+    def schema(self) -> RegionSchema:
+        return RegionSchema.of(
+            ("read_name", STR),
+            ("flag", INT),
+            ("mapq", INT),
+            ("cigar", STR),
+            ("sequence", STR),
+        )
+
+    def parse_line(self, fields: list) -> GenomicRegion:
+        self.require(fields, 11)
+        read_name = fields[0]
+        flag = int(fields[1])
+        chrom = fields[2]
+        position = int(fields[3]) - 1  # SAM POS is 1-based
+        mapq = int(fields[4])
+        cigar = fields[5]
+        sequence = fields[9]
+        if flag & FLAG_UNMAPPED or chrom == "*":
+            raise FormatError(f"read {read_name!r} is unmapped")
+        if position < 0:
+            raise FormatError(f"SAM POS must be >= 1, got {fields[3]}")
+        length = _cigar_reference_span(cigar, len(sequence))
+        strand = "-" if flag & FLAG_REVERSE else "+"
+        return GenomicRegion(
+            chrom,
+            position,
+            position + length,
+            strand,
+            (read_name, flag, mapq, cigar, sequence),
+        )
+
+    def iter_parse(self, source):
+        """Like the base parser, but silently drops unmapped records."""
+        import io
+
+        stream = io.StringIO(source) if isinstance(source, str) else source
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.rstrip("\n").rstrip("\r")
+            if not line.strip() or line.startswith("@"):
+                continue
+            fields = line.split("\t")
+            self.require(fields, 11)
+            if int(fields[1]) & FLAG_UNMAPPED or fields[2] == "*":
+                continue
+            try:
+                yield self.parse_line(fields)
+            except (ValueError, IndexError) as exc:
+                raise FormatError(f"sam: line {line_number}: {exc}") from exc
+
+    def format_region(self, region: GenomicRegion) -> str:
+        read_name, flag, mapq, cigar, sequence = (
+            tuple(region.values) + (None,) * 5
+        )[:5]
+        if flag is None:
+            flag = FLAG_REVERSE if region.strand == "-" else 0
+        return "\t".join(
+            [
+                "*" if read_name is None else str(read_name),
+                str(int(flag)),
+                region.chrom,
+                str(region.left + 1),
+                "0" if mapq is None else str(int(mapq)),
+                f"{region.length}M" if cigar is None else str(cigar),
+                "*",  # RNEXT
+                "0",  # PNEXT
+                "0",  # TLEN
+                "*" if sequence is None else str(sequence),
+                "*",  # QUAL
+            ]
+        )
+
+
+def _cigar_reference_span(cigar: str, sequence_length: int) -> int:
+    """Reference span of an ungapped CIGAR (``<n>M`` or ``*``)."""
+    if cigar in ("*", ""):
+        return sequence_length
+    if not cigar.endswith("M"):
+        raise FormatError(f"unsupported CIGAR {cigar!r} (ungapped dialect)")
+    try:
+        return int(cigar[:-1])
+    except ValueError:
+        raise FormatError(f"bad CIGAR {cigar!r}") from None

@@ -1,0 +1,70 @@
+"""VCF (variant call format), the mutation side of tertiary analysis.
+
+We implement the 8 fixed columns of VCF 4.x.  A variant becomes a region
+covering its reference allele span (1-based POS converted to 0-based
+half-open); SNVs are width-1 regions, deletions wider, and the variable
+attributes record id, ref, alt, qual and filter.  INFO is carried as an
+opaque semicolon string so round-trips are lossless.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormatError
+from repro.formats.base import RegionFormat
+from repro.gdm import FLOAT, GenomicRegion, RegionSchema, STR
+
+
+class VcfFormat(RegionFormat):
+    """VCF 4.x, fixed columns only (CHROM..INFO)."""
+
+    name = "vcf"
+    extensions = (".vcf",)
+    comment_prefixes = ("#",)
+
+    def schema(self) -> RegionSchema:
+        return RegionSchema.of(
+            ("variant_id", STR),
+            ("ref", STR),
+            ("alt", STR),
+            ("qual", FLOAT),
+            ("filter", STR),
+            ("info", STR),
+        )
+
+    def parse_line(self, fields: list) -> GenomicRegion:
+        self.require(fields, 8)
+        chrom = fields[0]
+        position = int(fields[1]) - 1  # VCF POS is 1-based
+        if position < 0:
+            raise FormatError(f"VCF POS must be >= 1, got {fields[1]}")
+        variant_id = None if fields[2] == "." else fields[2]
+        ref = fields[3]
+        alt = fields[4]
+        qual = None if fields[5] == "." else float(fields[5])
+        filter_field = None if fields[6] == "." else fields[6]
+        info = None if fields[7] == "." else fields[7]
+        right = position + max(1, len(ref))
+        return GenomicRegion(
+            chrom,
+            position,
+            right,
+            "*",
+            (variant_id, ref, alt, qual, filter_field, info),
+        )
+
+    def format_region(self, region: GenomicRegion) -> str:
+        variant_id, ref, alt, qual, filter_field, info = (
+            tuple(region.values) + (None,) * 6
+        )[:6]
+        return "\t".join(
+            [
+                region.chrom,
+                str(region.left + 1),
+                "." if variant_id is None else str(variant_id),
+                "N" if ref is None else str(ref),
+                "." if alt is None else str(alt),
+                "." if qual is None else f"{float(qual):g}",
+                "." if filter_field is None else str(filter_field),
+                "." if info is None else str(info),
+            ]
+        )

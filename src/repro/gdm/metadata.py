@@ -1,0 +1,151 @@
+"""Sample metadata: the second of the two GDM entities.
+
+Metadata are "arbitrary, semi-structured attribute-value pairs, extended into
+triples to include the sample identifier" (paper, section 2).  Inside the
+library a sample's metadata are held as a multi-valued mapping from attribute
+name to an ordered tuple of values; the triple form is recovered whenever the
+sample id is known (see :meth:`Metadata.triples`).
+
+Attributes are multi-valued because real repositories routinely attach, e.g.,
+several ``treatment`` values to one sample, and because GMQL's metadata
+union semantics require it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import GdmError
+
+
+class Metadata:
+    """Immutable multi-valued attribute/value mapping for one sample.
+
+    Values are kept as strings or numbers; comparisons in metadata
+    predicates try numeric comparison first and fall back to string
+    comparison (see :mod:`repro.gmql.predicates`).
+
+    >>> meta = Metadata({"antibody": "CTCF", "cell": ("HeLa", "K562")})
+    >>> meta.first("antibody")
+    'CTCF'
+    >>> sorted(meta.values("cell"))
+    ['HeLa', 'K562']
+    """
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, mapping: Mapping[str, Any] | None = None) -> None:
+        pairs: dict = {}
+        if mapping:
+            for attribute, value in mapping.items():
+                if isinstance(value, (tuple, list, set, frozenset)):
+                    values = tuple(value)
+                else:
+                    values = (value,)
+                if not attribute:
+                    raise GdmError("empty metadata attribute name")
+                if not values:
+                    continue  # an attribute with no values is absent
+                pairs[attribute] = values
+        self._pairs = pairs
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple]) -> "Metadata":
+        """Build metadata from an iterable of ``(attribute, value)`` pairs."""
+        accumulated: dict = {}
+        for attribute, value in pairs:
+            accumulated.setdefault(attribute, []).append(value)
+        return cls({k: tuple(v) for k, v in accumulated.items()})
+
+    # -- read access ----------------------------------------------------------
+
+    def attributes(self) -> tuple:
+        """Attribute names, sorted for deterministic iteration."""
+        return tuple(sorted(self._pairs))
+
+    def values(self, attribute: str) -> tuple:
+        """All values of *attribute* (empty tuple when absent)."""
+        return self._pairs.get(attribute, ())
+
+    def first(self, attribute: str, default: Any = None) -> Any:
+        """First value of *attribute*, or *default* when absent."""
+        values = self._pairs.get(attribute)
+        return values[0] if values else default
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._pairs
+
+    def __len__(self) -> int:
+        """Number of (attribute, value) pairs, i.e. triples minus the id."""
+        return sum(len(v) for v in self._pairs.values())
+
+    def __iter__(self) -> Iterator[tuple]:
+        """Iterate ``(attribute, value)`` pairs in sorted attribute order."""
+        for attribute in sorted(self._pairs):
+            for value in self._pairs[attribute]:
+                yield (attribute, value)
+
+    def triples(self, sample_id: int) -> Iterator[tuple]:
+        """Iterate the GDM ``(id, attribute, value)`` triples."""
+        for attribute, value in self:
+            yield (sample_id, attribute, value)
+
+    def to_dict(self) -> dict:
+        """Plain ``{attribute: (values...)}`` dictionary copy."""
+        return dict(self._pairs)
+
+    # -- derivation -----------------------------------------------------------
+
+    def with_pairs(self, pairs: Iterable[tuple]) -> "Metadata":
+        """Copy with extra ``(attribute, value)`` pairs appended."""
+        return Metadata.from_pairs(list(self) + list(pairs))
+
+    def without(self, attributes: Iterable[str]) -> "Metadata":
+        """Copy with the given attributes removed."""
+        dropped = set(attributes)
+        return Metadata(
+            {k: v for k, v in self._pairs.items() if k not in dropped}
+        )
+
+    def project(self, attributes: Iterable[str]) -> "Metadata":
+        """Copy keeping only the given attributes."""
+        kept = set(attributes)
+        return Metadata({k: v for k, v in self._pairs.items() if k in kept})
+
+    def prefixed(self, prefix: str) -> "Metadata":
+        """Copy with every attribute name prefixed (binary-operator semantics).
+
+        GMQL binary operators keep both operands' metadata, disambiguated
+        with prefixes such as ``left.`` and ``right.``.
+        """
+        return Metadata({f"{prefix}{k}": v for k, v in self._pairs.items()})
+
+    def union(self, other: "Metadata") -> "Metadata":
+        """Multiset union of two metadata sets (duplicate pairs collapse)."""
+        merged: dict = {}
+        for source in (self._pairs, other._pairs):
+            for attribute, values in source.items():
+                existing = merged.setdefault(attribute, [])
+                for value in values:
+                    if value not in existing:
+                        existing.append(value)
+        return Metadata({k: tuple(v) for k, v in merged.items()})
+
+    def matches(self, attribute: str, value: Any) -> bool:
+        """True when *attribute* carries *value* (string-insensitive compare)."""
+        for candidate in self._pairs.get(attribute, ()):
+            if candidate == value or str(candidate) == str(value):
+                return True
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Metadata):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k, v) for k, v in self)))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v!r}" for k, v in self)
+        return f"Metadata({body})"

@@ -1,0 +1,98 @@
+"""Text rendering of GDM datasets: tables and ASCII genome-browser tracks.
+
+The paper's Figure 2 shows a dataset as two tables (regions and metadata
+triples); :func:`render_tables` reproduces that layout.  :func:`render_tracks`
+draws samples as character tracks along a chromosome window, standing in for
+the genome-browser views of Figures 3 and 4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.gdm.dataset import Dataset
+
+
+def _format_table(headers: Iterable[str], rows: Iterable[tuple]) -> str:
+    headers = list(headers)
+    str_rows = [[("" if cell is None else str(cell)) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_tables(dataset: Dataset, max_rows: int = 50) -> str:
+    """Render a dataset in the two-table layout of the paper's Figure 2.
+
+    The upper table lists region rows (fixed attributes then the variable
+    schema), the lower table lists metadata triples.  At most *max_rows*
+    rows are shown per table.
+    """
+    region_headers = ["id", "chr", "left", "right", "strand"] + list(
+        dataset.schema.names
+    )
+    region_rows = list(dataset.region_rows())
+    truncated_regions = len(region_rows) - max_rows
+    meta_rows = list(dataset.metadata_triples())
+    truncated_meta = len(meta_rows) - max_rows
+
+    parts = [f"Dataset {dataset.name!r} -- {len(dataset)} sample(s)"]
+    parts.append("")
+    parts.append("Regions:")
+    parts.append(_format_table(region_headers, region_rows[:max_rows]))
+    if truncated_regions > 0:
+        parts.append(f"... {truncated_regions} more region row(s)")
+    parts.append("")
+    parts.append("Metadata:")
+    parts.append(_format_table(["id", "attribute", "value"], meta_rows[:max_rows]))
+    if truncated_meta > 0:
+        parts.append(f"... {truncated_meta} more metadata triple(s)")
+    return "\n".join(parts)
+
+
+def render_tracks(
+    dataset: Dataset,
+    chrom: str,
+    window_left: int,
+    window_right: int,
+    width: int = 80,
+) -> str:
+    """Render samples as ASCII tracks over a chromosome window.
+
+    Each sample becomes one line; a region covering a position paints it
+    with ``=`` (forward strand), ``-`` (reverse) or ``#`` (unstranded).
+    Used by the CTCF-loop and gene-network examples to visualise query
+    inputs the way the paper's Figure 3 does.
+    """
+    if window_right <= window_left:
+        raise ValueError("empty rendering window")
+    span = window_right - window_left
+    scale = width / span
+    glyphs = {"+": "=", "-": "-", "*": "#"}
+
+    lines = [f"{chrom}:{window_left:,}-{window_right:,} ({span:,} bp)"]
+    ruler = [" "] * width
+    for tick in range(0, width, 10):
+        ruler[tick] = "|"
+    lines.append("".join(ruler))
+    for sample in dataset:
+        track = [" "] * width
+        for region in sample.regions:
+            if region.chrom != chrom:
+                continue
+            if region.right <= window_left or region.left >= window_right:
+                continue
+            start = max(0, int((region.left - window_left) * scale))
+            stop = min(width, max(start + 1, int((region.right - window_left) * scale)))
+            for col in range(start, stop):
+                track[col] = glyphs[region.strand]
+        label = str(sample.meta.first("name", f"sample {sample.id}"))
+        lines.append("".join(track) + f"  {label}")
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""GenoMetric Query Language (GMQL).
+
+"A closed algebra over datasets: results are expressed as new datasets
+derived from their operands" (paper, section 2).  The package has three
+layers:
+
+* :mod:`repro.gmql.operators` -- the algebra itself, as Python functions;
+* :mod:`repro.gmql.lang` -- the textual language: lexer, parser, compiler
+  to logical plans, optimizer and interpreter;
+* support modules: predicates, aggregates, genometric conditions and
+  provenance.
+
+The one-call entry point for textual queries is :func:`repro.gmql.run`.
+"""
+
+from repro.gmql.aggregates import (
+    Aggregate,
+    Avg,
+    Bag,
+    Count,
+    Max,
+    Median,
+    Min,
+    Std,
+    Sum,
+    aggregate_named,
+    available_aggregates,
+    register_aggregate,
+)
+from repro.gmql.genometric import (
+    Downstream,
+    DistGreater,
+    DistLess,
+    GenometricCondition,
+    MinDistance,
+    Upstream,
+)
+from repro.gmql.operators import (
+    SemiJoin,
+    cover,
+    difference,
+    extend,
+    group,
+    join,
+    map_regions,
+    materialize,
+    merge,
+    order,
+    project,
+    select,
+    union,
+)
+from repro.gmql.predicates import (
+    MetaAll,
+    MetaAnd,
+    MetaCompare,
+    MetaExists,
+    MetaNot,
+    MetaOr,
+    MetaPredicate,
+    RegionAll,
+    RegionAnd,
+    RegionCompare,
+    RegionNot,
+    RegionOr,
+    RegionPredicate,
+)
+from repro.gmql.provenance import ProvenanceRecord, explain, lineage, record
+
+
+def run(program: str, datasets: dict, engine: str = "naive") -> dict:
+    """Parse, compile, optimize and execute a textual GMQL program.
+
+    Parameters
+    ----------
+    program:
+        GMQL text, e.g. the paper's three-operation example.
+    datasets:
+        Source datasets by the names the program refers to.
+    engine:
+        Execution backend name (see :mod:`repro.engine`).
+
+    Returns the materialised variables as ``{name: Dataset}``; when the
+    program has no MATERIALIZE statement, all assigned variables are
+    returned.
+    """
+    from repro.gmql.lang import execute
+
+    return execute(program, datasets, engine=engine)
+
+
+def run_with_stats(
+    program: str, datasets: dict, engine: str = "naive"
+) -> tuple:
+    """Like :func:`run`, but also returns the backend's
+    :class:`~repro.engine.base.EngineStats` (per-operator timings and
+    output volumes), for profiling and the framework-comparison benches.
+    """
+    from repro.engine.dispatch import get_backend
+    from repro.gmql.lang import Interpreter, compile_program, optimize
+
+    backend = get_backend(engine)
+    compiled = optimize(compile_program(program))
+    results = Interpreter(backend, datasets).run_program(compiled)
+    return results, backend.stats
+
+
+__all__ = [
+    "Aggregate",
+    "Avg",
+    "Bag",
+    "Count",
+    "DistGreater",
+    "DistLess",
+    "Downstream",
+    "GenometricCondition",
+    "Max",
+    "Median",
+    "MetaAll",
+    "MetaAnd",
+    "MetaCompare",
+    "MetaExists",
+    "MetaNot",
+    "MetaOr",
+    "MetaPredicate",
+    "Min",
+    "MinDistance",
+    "ProvenanceRecord",
+    "RegionAll",
+    "RegionAnd",
+    "RegionCompare",
+    "RegionNot",
+    "RegionOr",
+    "RegionPredicate",
+    "SemiJoin",
+    "Std",
+    "Sum",
+    "Upstream",
+    "aggregate_named",
+    "available_aggregates",
+    "cover",
+    "difference",
+    "explain",
+    "extend",
+    "group",
+    "join",
+    "lineage",
+    "map_regions",
+    "materialize",
+    "merge",
+    "order",
+    "project",
+    "record",
+    "register_aggregate",
+    "run",
+    "run_with_stats",
+    "select",
+    "union",
+]

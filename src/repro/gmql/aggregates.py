@@ -1,0 +1,165 @@
+"""GMQL aggregate functions.
+
+Aggregates appear in MAP (``peak_count AS COUNT``), EXTEND, GROUP, COVER
+and the genome-space builders.  Each aggregate reduces a list of region
+attribute values to one value and declares its result type so result
+schemas stay typed.  ``None`` inputs (missing values) are skipped, matching
+SQL semantics; an aggregate over an empty or all-missing list returns
+``None`` -- except COUNT, which returns 0.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Any, Sequence
+
+from repro.errors import EvaluationError
+from repro.gdm import AttributeType, FLOAT, INT, STR
+
+
+class Aggregate:
+    """One aggregate function: a name, a result type, and a reducer.
+
+    ``requires_attribute`` distinguishes COUNT-like aggregates (which
+    reduce the bag of regions itself) from value aggregates (which reduce
+    one attribute's values).
+    """
+
+    name = "ABSTRACT"
+    requires_attribute = True
+
+    def result_type(self, input_type: AttributeType) -> AttributeType:
+        """Result type given the aggregated attribute's type."""
+        return input_type
+
+    def compute(self, values: Sequence[Any]) -> Any:
+        """Reduce *values* (missing values not yet filtered).  Override."""
+        raise NotImplementedError
+
+    @staticmethod
+    def present(values: Sequence[Any]) -> list:
+        """The non-missing values."""
+        return [v for v in values if v is not None]
+
+    def __repr__(self) -> str:
+        return f"Aggregate({self.name})"
+
+
+class Count(Aggregate):
+    """Number of regions (missing values still count: COUNT is per region)."""
+
+    name = "COUNT"
+    requires_attribute = False
+
+    def result_type(self, input_type: AttributeType) -> AttributeType:
+        return INT
+
+    def compute(self, values: Sequence[Any]) -> int:
+        return len(values)
+
+
+class Sum(Aggregate):
+    name = "SUM"
+
+    def compute(self, values: Sequence[Any]) -> Any:
+        present = self.present(values)
+        return sum(present) if present else None
+
+
+class Avg(Aggregate):
+    name = "AVG"
+
+    def result_type(self, input_type: AttributeType) -> AttributeType:
+        return FLOAT
+
+    def compute(self, values: Sequence[Any]) -> Any:
+        present = self.present(values)
+        return sum(present) / len(present) if present else None
+
+
+class Min(Aggregate):
+    name = "MIN"
+
+    def compute(self, values: Sequence[Any]) -> Any:
+        present = self.present(values)
+        return min(present) if present else None
+
+
+class Max(Aggregate):
+    name = "MAX"
+
+    def compute(self, values: Sequence[Any]) -> Any:
+        present = self.present(values)
+        return max(present) if present else None
+
+
+class Median(Aggregate):
+    name = "MEDIAN"
+
+    def result_type(self, input_type: AttributeType) -> AttributeType:
+        return FLOAT
+
+    def compute(self, values: Sequence[Any]) -> Any:
+        present = self.present(values)
+        return float(statistics.median(present)) if present else None
+
+
+class Std(Aggregate):
+    """Population standard deviation."""
+
+    name = "STD"
+
+    def result_type(self, input_type: AttributeType) -> AttributeType:
+        return FLOAT
+
+    def compute(self, values: Sequence[Any]) -> Any:
+        present = self.present(values)
+        if not present:
+            return None
+        if len(present) == 1:
+            return 0.0
+        mean = sum(present) / len(present)
+        return math.sqrt(sum((v - mean) ** 2 for v in present) / len(present))
+
+
+class Bag(Aggregate):
+    """Space-joined sorted distinct values (GMQL's BAG)."""
+
+    name = "BAG"
+
+    def result_type(self, input_type: AttributeType) -> AttributeType:
+        return STR
+
+    def compute(self, values: Sequence[Any]) -> Any:
+        present = self.present(values)
+        if not present:
+            return None
+        return " ".join(sorted({str(v) for v in present}))
+
+
+_REGISTRY: dict = {}
+
+
+def register_aggregate(aggregate: Aggregate) -> None:
+    """Register an aggregate under its name (upper-cased)."""
+    _REGISTRY[aggregate.name.upper()] = aggregate
+
+
+def aggregate_named(name: str) -> Aggregate:
+    """Look up an aggregate by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown aggregate {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_aggregates() -> tuple:
+    """Sorted names of all registered aggregates."""
+    return tuple(sorted(_REGISTRY))
+
+
+for _aggregate in (Count(), Sum(), Avg(), Min(), Max(), Median(), Std(), Bag()):
+    register_aggregate(_aggregate)

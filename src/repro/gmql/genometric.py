@@ -1,0 +1,184 @@
+"""Genometric join conditions: DLE, DGE, MD(k), UPSTREAM, DOWNSTREAM.
+
+"GENOMETRIC JOIN selects region pairs based upon distance properties"
+(paper, section 2).  A :class:`GenometricCondition` is a conjunction of
+atomic clauses evaluated between an *anchor* region (from the left operand)
+and an *experiment* region (from the right operand):
+
+* ``DLE(n)`` -- distance less than or equal to ``n`` (``DLE(0)`` admits
+  touching or overlapping pairs; ``DLE(-1)`` requires true overlap);
+* ``DGE(n)`` -- distance greater than or equal to ``n``;
+* ``MD(k)`` -- the experiment region is among the ``k`` closest to the
+  anchor (evaluated per anchor over the whole experiment sample);
+* ``UP`` / ``DOWN`` -- the experiment region lies upstream/downstream of
+  the anchor, relative to the anchor's strand.
+
+Distances follow :meth:`GenomicRegion.distance`: negative inside overlaps,
+``0`` when adjacent, gap size otherwise, undefined across chromosomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+from repro.gdm import GenomicRegion
+from repro.intervals import NearestIndex, is_downstream, is_upstream
+
+
+@dataclass(frozen=True)
+class DistLess:
+    """``DLE(limit)``: genometric distance <= limit."""
+
+    limit: int
+
+
+@dataclass(frozen=True)
+class DistGreater:
+    """``DGE(limit)``: genometric distance >= limit."""
+
+    limit: int
+
+
+@dataclass(frozen=True)
+class MinDistance:
+    """``MD(k)``: among the k nearest experiment regions to the anchor."""
+
+    k: int
+
+
+@dataclass(frozen=True)
+class Upstream:
+    """``UP``: experiment region upstream of the anchor (strand-aware)."""
+
+
+@dataclass(frozen=True)
+class Downstream:
+    """``DOWN``: experiment region downstream of the anchor (strand-aware)."""
+
+
+_ATOMS = (DistLess, DistGreater, MinDistance, Upstream, Downstream)
+
+
+class GenometricCondition:
+    """Conjunction of atomic genometric clauses.
+
+    >>> cond = GenometricCondition(DistLess(1000), Upstream())
+    >>> cond.max_distance()
+    1000
+    """
+
+    __slots__ = ("clauses",)
+
+    def __init__(self, *clauses) -> None:
+        if not clauses:
+            raise EvaluationError("a genometric condition needs at least one clause")
+        for clause in clauses:
+            if not isinstance(clause, _ATOMS):
+                raise EvaluationError(f"not a genometric clause: {clause!r}")
+        if sum(isinstance(c, MinDistance) for c in clauses) > 1:
+            raise EvaluationError("at most one MD(k) clause is allowed")
+        self.clauses = tuple(clauses)
+
+    def min_distance_k(self) -> int | None:
+        """The MD(k) bound, or ``None`` when no MD clause is present."""
+        for clause in self.clauses:
+            if isinstance(clause, MinDistance):
+                return clause.k
+        return None
+
+    def max_distance(self) -> int | None:
+        """The tightest DLE limit, or ``None`` (unbounded)."""
+        limits = [c.limit for c in self.clauses if isinstance(c, DistLess)]
+        return min(limits) if limits else None
+
+    def min_distance(self) -> int | None:
+        """The tightest DGE limit, or ``None``."""
+        limits = [c.limit for c in self.clauses if isinstance(c, DistGreater)]
+        return max(limits) if limits else None
+
+    def pair_matches(self, anchor: GenomicRegion, other: GenomicRegion) -> bool:
+        """Evaluate all non-MD clauses on one pair."""
+        gap = anchor.distance(other)
+        if gap is None:
+            return False
+        for clause in self.clauses:
+            if isinstance(clause, DistLess) and gap > clause.limit:
+                return False
+            if isinstance(clause, DistGreater) and gap < clause.limit:
+                return False
+            if isinstance(clause, Upstream) and not is_upstream(anchor, other):
+                return False
+            if isinstance(clause, Downstream) and not is_downstream(anchor, other):
+                return False
+        return True
+
+    def matches_for_anchor(
+        self,
+        anchor: GenomicRegion,
+        index: NearestIndex,
+    ) -> list:
+        """All ``(experiment_region, distance)`` pairs satisfying the condition.
+
+        MD(k) is applied *after* the directional/stream clauses and
+        *before* the distance bounds, matching GMQL semantics: the k
+        nearest candidates are chosen among stream-compatible regions,
+        then distance limits filter them.
+        """
+        k = self.min_distance_k()
+        max_distance = self.max_distance()
+        if k is None:
+            if max_distance is not None:
+                candidates = index.within(anchor, max_distance)
+            else:
+                candidates = (
+                    (region, anchor.distance(region))
+                    for region, __ in index.nearest(anchor, k=len(index))
+                )
+            return [
+                (region, gap)
+                for region, gap in candidates
+                if self.pair_matches(anchor, region)
+            ]
+        directional = [
+            clause
+            for clause in self.clauses
+            if isinstance(clause, (Upstream, Downstream))
+        ]
+        pool = [
+            (region, gap)
+            for region, gap in index.nearest(anchor, k=len(index))
+            if all(
+                (
+                    is_upstream(anchor, region)
+                    if isinstance(clause, Upstream)
+                    else is_downstream(anchor, region)
+                )
+                for clause in directional
+            )
+        ]
+        nearest_k = pool[:k]
+        return [
+            (region, gap)
+            for region, gap in nearest_k
+            if self.pair_matches(anchor, region)
+        ]
+
+    def describe(self) -> str:
+        """Compact textual form, e.g. ``DLE(1000), UP``."""
+        parts = []
+        for clause in self.clauses:
+            if isinstance(clause, DistLess):
+                parts.append(f"DLE({clause.limit})")
+            elif isinstance(clause, DistGreater):
+                parts.append(f"DGE({clause.limit})")
+            elif isinstance(clause, MinDistance):
+                parts.append(f"MD({clause.k})")
+            elif isinstance(clause, Upstream):
+                parts.append("UP")
+            else:
+                parts.append("DOWN")
+        return ", ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"GenometricCondition({self.describe()})"

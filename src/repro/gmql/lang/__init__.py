@@ -1,0 +1,68 @@
+"""The textual GMQL language: lexer, parser, compiler, optimizer, interpreter.
+
+End-to-end entry point::
+
+    from repro.gmql.lang import execute
+    results = execute(program_text, {"ENCODE": encode_ds, ...})
+"""
+
+from repro.gmql.lang.ast_nodes import Program
+from repro.gmql.lang.compiler import compile_program
+from repro.gmql.lang.interpreter import Interpreter
+from repro.gmql.lang.lexer import tokenize
+from repro.gmql.lang.optimizer import optimize
+from repro.gmql.lang.parser import parse
+from repro.gmql.lang.plan import CompiledProgram, PlanNode
+
+
+def execute(
+    program: str,
+    datasets: dict,
+    engine: str = "naive",
+    optimized: bool = True,
+) -> dict:
+    """Parse, compile, (optionally) optimize and run a GMQL program.
+
+    Parameters
+    ----------
+    program:
+        GMQL text.
+    datasets:
+        Source datasets by name.
+    engine:
+        Backend name (``naive``, ``columnar``, ``parallel``).
+    optimized:
+        Apply the logical optimizer (disable for ablation runs).
+
+    Returns ``{output_name: Dataset}`` -- the MATERIALIZE targets, or all
+    assigned variables when nothing is materialised.
+    """
+    from repro.engine.dispatch import get_backend
+
+    compiled = compile_program(program)
+    if optimized:
+        compiled = optimize(compiled)
+    backend = get_backend(engine)
+    return Interpreter(backend, datasets).run_program(compiled)
+
+
+def explain(program: str, optimized: bool = True) -> str:
+    """EXPLAIN text for a GMQL program (no execution)."""
+    compiled = compile_program(program)
+    if optimized:
+        compiled = optimize(compiled)
+    return compiled.explain()
+
+
+__all__ = [
+    "CompiledProgram",
+    "Interpreter",
+    "PlanNode",
+    "Program",
+    "compile_program",
+    "execute",
+    "explain",
+    "optimize",
+    "parse",
+    "tokenize",
+]

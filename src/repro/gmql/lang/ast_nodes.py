@@ -1,0 +1,231 @@
+"""Abstract syntax tree of the textual GMQL dialect.
+
+The AST mirrors the surface syntax; name resolution and predicate/aggregate
+construction happen later, in :mod:`repro.gmql.lang.compiler`.  GMQL
+operations take *variables* as operands (no inline nesting), matching the
+paper's statement-per-line style::
+
+    PROMS  = SELECT(annType == 'promoter') ANNOTATIONS;
+    PEAKS  = SELECT(dataType == 'ChipSeq') ENCODE;
+    RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+    MATERIALIZE RESULT;
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+# -- boolean / comparison expressions (metadata and region predicates) --------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``attribute <op> literal``."""
+
+    attribute: str
+    operator: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class BoolAnd:
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class BoolOr:
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class BoolNot:
+    inner: Any
+
+
+# -- arithmetic expressions (PROJECT's new region attributes) -----------------
+
+
+@dataclass(frozen=True)
+class Num:
+    value: float
+
+
+@dataclass(frozen=True)
+class Attr:
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    operator: str
+    left: Any
+    right: Any
+
+
+# -- clauses -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``name AS AGG(attribute)`` (attribute ``None`` for COUNT)."""
+
+    target: str
+    function: str
+    attribute: str | None
+
+
+@dataclass(frozen=True)
+class SemiJoinClause:
+    """``semijoin: attr1, attr2 IN VAR`` (or ``NOT IN``)."""
+
+    attributes: tuple
+    variable: str
+    negated: bool
+
+
+@dataclass(frozen=True)
+class BoundExpr:
+    """A COVER accumulation bound.
+
+    ``kind`` is ``"INT"`` (use :attr:`value`), ``"ANY"``, or ``"ALL"``
+    (use ``offset``/``divisor``: bound = (ALL + offset) / divisor).
+    """
+
+    kind: str
+    value: int = 0
+    offset: int = 0
+    divisor: int = 1
+
+
+@dataclass(frozen=True)
+class GenometricClause:
+    """One genometric atom: kind in DLE/DGE/MD/UP/DOWN, with its argument."""
+
+    kind: str
+    argument: int | None = None
+
+
+# -- operations ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpSelect:
+    operand: str
+    meta: Any = None
+    region: Any = None
+    semijoin: SemiJoinClause | None = None
+
+
+@dataclass(frozen=True)
+class OpProject:
+    operand: str
+    region_attributes: tuple | None = None  # None = keep all
+    metadata_attributes: tuple | None = None
+    new_region_attributes: tuple = ()  # of (name, arith expr)
+
+
+@dataclass(frozen=True)
+class OpExtend:
+    operand: str
+    assignments: tuple = ()  # of AggregateCall
+
+
+@dataclass(frozen=True)
+class OpMerge:
+    operand: str
+    groupby: tuple = ()
+
+
+@dataclass(frozen=True)
+class OpGroup:
+    operand: str
+    meta_keys: tuple | None = None
+    meta_aggregates: tuple = ()  # of AggregateCall
+    region_aggregates: tuple = ()  # of AggregateCall
+
+
+@dataclass(frozen=True)
+class OpOrder:
+    operand: str
+    meta_keys: tuple = ()  # of (attribute, "ASC"/"DESC")
+    top: int | None = None
+    region_keys: tuple = ()
+    region_top: int | None = None
+
+
+@dataclass(frozen=True)
+class OpUnion:
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class OpDifference:
+    left: str
+    right: str
+    joinby: tuple = ()
+    exact: bool = False
+
+
+@dataclass(frozen=True)
+class OpCover:
+    operand: str
+    variant: str = "COVER"
+    min_acc: BoundExpr = BoundExpr("INT", 1)
+    max_acc: BoundExpr = BoundExpr("ANY")
+    groupby: tuple = ()
+
+
+@dataclass(frozen=True)
+class OpMap:
+    reference: str
+    experiment: str
+    assignments: tuple = ()  # of AggregateCall; empty = default count
+    joinby: tuple = ()
+
+
+@dataclass(frozen=True)
+class OpJoin:
+    anchor: str
+    experiment: str
+    clauses: tuple = ()  # of GenometricClause
+    output: str = "CAT"
+    joinby: tuple = ()
+
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    variable: str
+    operation: Any
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class MaterializeStmt:
+    variable: str
+    target: str | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    statements: tuple = ()
+
+    def materialized(self) -> tuple:
+        """Variables named by MATERIALIZE statements, in order."""
+        return tuple(
+            s.variable for s in self.statements if isinstance(s, MaterializeStmt)
+        )
+
+    def assigned(self) -> tuple:
+        """Variables assigned by the program, in order."""
+        return tuple(
+            s.variable for s in self.statements if isinstance(s, Assign)
+        )

@@ -1,0 +1,321 @@
+"""Compiler: GMQL AST -> logical plan DAG.
+
+Performs name resolution (variables vs source datasets), builds predicate,
+aggregate and genometric-condition objects, type-checks what can be checked
+without data (aggregate names, join options, MD arguments), and shares
+sub-plans between uses of the same variable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError, GmqlCompileError
+from repro.gdm import FLOAT, INT
+from repro.gmql.aggregates import aggregate_named
+from repro.gmql.genometric import (
+    DistGreater,
+    DistLess,
+    Downstream,
+    GenometricCondition,
+    MinDistance,
+    Upstream,
+)
+from repro.gmql.lang import ast_nodes as ast
+from repro.gmql.lang.parser import parse
+from repro.gmql.lang.plan import (
+    CompiledProgram,
+    CoverPlan,
+    DifferencePlan,
+    ExtendPlan,
+    GroupPlan,
+    JoinPlan,
+    MapPlan,
+    MergePlan,
+    OrderPlan,
+    PlanNode,
+    ProjectPlan,
+    ScanPlan,
+    SelectPlan,
+    UnionPlan,
+)
+from repro.gmql.operators.join import OUTPUT_OPTIONS
+from repro.gmql.predicates import (
+    MetaAnd,
+    MetaCompare,
+    MetaNot,
+    MetaOr,
+    MetaPredicate,
+    RegionAnd,
+    RegionCompare,
+    RegionNot,
+    RegionOr,
+    RegionPredicate,
+)
+from repro.intervals import AccumulationBound
+
+#: Names usable in arithmetic expressions that are always integers.
+_INT_ENV_NAMES = frozenset({"left", "right", "length"})
+
+
+def _meta_predicate(node) -> MetaPredicate:
+    if isinstance(node, ast.Comparison):
+        return MetaCompare(node.attribute, node.operator, node.value)
+    if isinstance(node, ast.BoolAnd):
+        return MetaAnd(_meta_predicate(node.left), _meta_predicate(node.right))
+    if isinstance(node, ast.BoolOr):
+        return MetaOr(_meta_predicate(node.left), _meta_predicate(node.right))
+    if isinstance(node, ast.BoolNot):
+        return MetaNot(_meta_predicate(node.inner))
+    raise GmqlCompileError(f"not a metadata predicate: {node!r}")
+
+
+def _region_predicate(node) -> RegionPredicate:
+    if isinstance(node, ast.Comparison):
+        return RegionCompare(node.attribute, node.operator, node.value)
+    if isinstance(node, ast.BoolAnd):
+        return RegionAnd(_region_predicate(node.left), _region_predicate(node.right))
+    if isinstance(node, ast.BoolOr):
+        return RegionOr(_region_predicate(node.left), _region_predicate(node.right))
+    if isinstance(node, ast.BoolNot):
+        return RegionNot(_region_predicate(node.inner))
+    raise GmqlCompileError(f"not a region predicate: {node!r}")
+
+
+def _compile_arith(node):
+    """Compile an arithmetic AST to ``(type, fn(env))``.
+
+    The result type is INT when the expression uses only integer literals,
+    coordinate names (left/right/length) and the operators ``+ - *``;
+    anything else (division, float literals, variable attributes) is FLOAT.
+    """
+
+    def walk(n):
+        if isinstance(n, ast.Num):
+            is_int = isinstance(n.value, int)
+            return (lambda env, v=n.value: v), is_int
+        if isinstance(n, ast.Attr):
+            name = n.name
+            is_int = name in _INT_ENV_NAMES
+
+            def getter(env, name=name):
+                if name not in env:
+                    raise EvaluationError(f"unknown attribute {name!r} in expression")
+                return env[name]
+
+            return getter, is_int
+        if isinstance(n, ast.BinOp):
+            left_fn, left_int = walk(n.left)
+            right_fn, right_int = walk(n.right)
+            operator = n.operator
+            if operator == "+":
+                fn = lambda env: left_fn(env) + right_fn(env)  # noqa: E731
+            elif operator == "-":
+                fn = lambda env: left_fn(env) - right_fn(env)  # noqa: E731
+            elif operator == "*":
+                fn = lambda env: left_fn(env) * right_fn(env)  # noqa: E731
+            elif operator == "/":
+                fn = lambda env: left_fn(env) / right_fn(env)  # noqa: E731
+            else:
+                raise GmqlCompileError(f"unknown operator {operator!r}")
+            return fn, left_int and right_int and operator != "/"
+        raise GmqlCompileError(f"not an arithmetic expression: {n!r}")
+
+    fn, is_int = walk(node)
+    return (INT if is_int else FLOAT), fn
+
+
+def _aggregate_assignments(calls, where: str) -> dict:
+    assignments = {}
+    for call in calls:
+        try:
+            aggregate = aggregate_named(call.function)
+        except EvaluationError as exc:
+            raise GmqlCompileError(f"{where}: {exc}") from exc
+        if aggregate.requires_attribute and call.attribute is None:
+            raise GmqlCompileError(
+                f"{where}: {call.function} needs an attribute argument"
+            )
+        if call.target in assignments:
+            raise GmqlCompileError(
+                f"{where}: duplicate target {call.target!r}"
+            )
+        assignments[call.target] = (aggregate, call.attribute)
+    return assignments
+
+
+def _bound(expr: ast.BoundExpr) -> AccumulationBound:
+    if expr.kind == "INT":
+        if expr.value < 0:
+            raise GmqlCompileError(
+                f"accumulation bound must be non-negative, got {expr.value}"
+            )
+        return AccumulationBound.exact(expr.value)
+    if expr.kind == "ANY":
+        return AccumulationBound.any()
+    if expr.divisor == 0:
+        raise GmqlCompileError("accumulation bound divisor cannot be zero")
+    return AccumulationBound.all(offset=expr.offset, scale=1.0 / expr.divisor)
+
+
+def _condition(clauses) -> GenometricCondition:
+    atoms = []
+    for clause in clauses:
+        if clause.kind == "DLE":
+            atoms.append(DistLess(clause.argument))
+        elif clause.kind == "DGE":
+            atoms.append(DistGreater(clause.argument))
+        elif clause.kind == "MD":
+            if clause.argument is None or clause.argument < 1:
+                raise GmqlCompileError("MD(k) requires k >= 1")
+            atoms.append(MinDistance(clause.argument))
+        elif clause.kind == "UP":
+            atoms.append(Upstream())
+        elif clause.kind == "DOWN":
+            atoms.append(Downstream())
+        else:
+            raise GmqlCompileError(f"unknown genometric clause {clause.kind!r}")
+    try:
+        return GenometricCondition(*atoms)
+    except EvaluationError as exc:
+        raise GmqlCompileError(str(exc)) from exc
+
+
+class Compiler:
+    """Compiles one program; collects variable bindings and scanned sources."""
+
+    def __init__(self) -> None:
+        self._variables: dict = {}
+        self._scans: dict = {}
+
+    def _operand(self, name: str) -> PlanNode:
+        if name in self._variables:
+            return self._variables[name]
+        if name not in self._scans:
+            self._scans[name] = ScanPlan(name)
+        return self._scans[name]
+
+    def compile(self, program: ast.Program) -> CompiledProgram:
+        for statement in program.statements:
+            if isinstance(statement, ast.Assign):
+                if statement.variable in self._variables:
+                    raise GmqlCompileError(
+                        f"variable {statement.variable!r} assigned twice "
+                        f"(line {statement.line})"
+                    )
+                if statement.variable in self._scans:
+                    raise GmqlCompileError(
+                        f"variable {statement.variable!r} was already used as a "
+                        f"source dataset (line {statement.line})"
+                    )
+                node = self._compile_operation(statement.operation)
+                node.result_name = statement.variable
+                self._variables[statement.variable] = node
+        outputs: dict = {}
+        for statement in program.statements:
+            if isinstance(statement, ast.MaterializeStmt):
+                if statement.variable not in self._variables:
+                    raise GmqlCompileError(
+                        f"MATERIALIZE of unknown variable "
+                        f"{statement.variable!r} (line {statement.line})"
+                    )
+                outputs[statement.target or statement.variable] = (
+                    self._variables[statement.variable]
+                )
+        if not outputs:
+            outputs = dict(self._variables)
+        return CompiledProgram(
+            dict(self._variables), outputs, tuple(sorted(self._scans))
+        )
+
+    def _compile_operation(self, op) -> PlanNode:
+        if isinstance(op, ast.OpSelect):
+            semijoin_plan = None
+            semijoin_attributes: tuple = ()
+            semijoin_negated = False
+            if op.semijoin is not None:
+                semijoin_plan = self._operand(op.semijoin.variable)
+                semijoin_attributes = op.semijoin.attributes
+                semijoin_negated = op.semijoin.negated
+            return SelectPlan(
+                self._operand(op.operand),
+                _meta_predicate(op.meta) if op.meta is not None else None,
+                _region_predicate(op.region) if op.region is not None else None,
+                semijoin_attributes,
+                semijoin_plan,
+                semijoin_negated,
+            )
+        if isinstance(op, ast.OpProject):
+            new_attributes = {
+                name: _compile_arith(expr)
+                for name, expr in op.new_region_attributes
+            }
+            return ProjectPlan(
+                self._operand(op.operand),
+                op.region_attributes,
+                op.metadata_attributes,
+                new_attributes,
+            )
+        if isinstance(op, ast.OpExtend):
+            return ExtendPlan(
+                self._operand(op.operand),
+                _aggregate_assignments(op.assignments, "EXTEND"),
+            )
+        if isinstance(op, ast.OpMerge):
+            return MergePlan(self._operand(op.operand), op.groupby)
+        if isinstance(op, ast.OpGroup):
+            return GroupPlan(
+                self._operand(op.operand),
+                op.meta_keys,
+                _aggregate_assignments(op.meta_aggregates, "GROUP metadata"),
+                _aggregate_assignments(op.region_aggregates, "GROUP region"),
+            )
+        if isinstance(op, ast.OpOrder):
+            return OrderPlan(
+                self._operand(op.operand),
+                op.meta_keys,
+                op.top,
+                op.region_keys,
+                op.region_top,
+            )
+        if isinstance(op, ast.OpUnion):
+            return UnionPlan(self._operand(op.left), self._operand(op.right))
+        if isinstance(op, ast.OpDifference):
+            return DifferencePlan(
+                self._operand(op.left),
+                self._operand(op.right),
+                op.joinby,
+                op.exact,
+            )
+        if isinstance(op, ast.OpCover):
+            return CoverPlan(
+                self._operand(op.operand),
+                op.variant,
+                _bound(op.min_acc),
+                _bound(op.max_acc),
+                op.groupby,
+            )
+        if isinstance(op, ast.OpMap):
+            return MapPlan(
+                self._operand(op.reference),
+                self._operand(op.experiment),
+                _aggregate_assignments(op.assignments, "MAP"),
+                op.joinby,
+            )
+        if isinstance(op, ast.OpJoin):
+            if op.output not in OUTPUT_OPTIONS:
+                raise GmqlCompileError(
+                    f"JOIN output must be one of {OUTPUT_OPTIONS}, got {op.output!r}"
+                )
+            return JoinPlan(
+                self._operand(op.anchor),
+                self._operand(op.experiment),
+                _condition(op.clauses),
+                op.output,
+                op.joinby,
+            )
+        raise GmqlCompileError(f"unknown operation node {op!r}")
+
+
+def compile_program(source) -> CompiledProgram:
+    """Compile GMQL text (or an already-parsed Program) to plans."""
+    program = parse(source) if isinstance(source, str) else source
+    return Compiler().compile(program)

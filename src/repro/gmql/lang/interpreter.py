@@ -1,0 +1,106 @@
+"""Plan interpreter: evaluate a logical plan DAG on an execution backend.
+
+Shared sub-plans are computed once (memoised by node identity), then every
+output plan is materialised under its output name.  The interpreter is the
+only component that touches both plans and engines; it contains no
+operator logic of its own.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GmqlCompileError
+from repro.gdm import Dataset
+from repro.gmql.lang.plan import (
+    CompiledProgram,
+    CoverPlan,
+    DifferencePlan,
+    ExtendPlan,
+    GroupPlan,
+    JoinPlan,
+    MapPlan,
+    MergePlan,
+    OrderPlan,
+    PlanNode,
+    ProjectPlan,
+    ScanPlan,
+    SelectPlan,
+    UnionPlan,
+)
+
+
+class Interpreter:
+    """Evaluates plans against source datasets using one backend."""
+
+    def __init__(self, backend, datasets: dict) -> None:
+        self._backend = backend
+        self._datasets = datasets
+        self._memo: dict = {}
+
+    def evaluate(self, node: PlanNode) -> Dataset:
+        """Evaluate one plan node (memoised by identity)."""
+        if id(node) in self._memo:
+            return self._memo[id(node)]
+        result = self._dispatch(node)
+        if node.result_name:
+            result = result.with_name(node.result_name)
+        self._memo[id(node)] = result
+        return result
+
+    def _dispatch(self, node: PlanNode) -> Dataset:
+        if isinstance(node, ScanPlan):
+            try:
+                return self._datasets[node.dataset_name]
+            except KeyError:
+                raise GmqlCompileError(
+                    f"unknown source dataset {node.dataset_name!r}; "
+                    f"available: {sorted(self._datasets)}"
+                ) from None
+        if isinstance(node, SelectPlan):
+            semijoin_data = (
+                self.evaluate(node.semijoin_plan)
+                if node.semijoin_plan is not None
+                else None
+            )
+            return self._backend.run_select(
+                node, self.evaluate(node.child), semijoin_data
+            )
+        if isinstance(node, ProjectPlan):
+            return self._backend.run_project(node, self.evaluate(node.child))
+        if isinstance(node, ExtendPlan):
+            return self._backend.run_extend(node, self.evaluate(node.child))
+        if isinstance(node, MergePlan):
+            return self._backend.run_merge(node, self.evaluate(node.child))
+        if isinstance(node, GroupPlan):
+            return self._backend.run_group(node, self.evaluate(node.child))
+        if isinstance(node, OrderPlan):
+            return self._backend.run_order(node, self.evaluate(node.child))
+        if isinstance(node, UnionPlan):
+            return self._backend.run_union(
+                node, self.evaluate(node.left), self.evaluate(node.right)
+            )
+        if isinstance(node, DifferencePlan):
+            return self._backend.run_difference(
+                node, self.evaluate(node.left), self.evaluate(node.right)
+            )
+        if isinstance(node, CoverPlan):
+            return self._backend.run_cover(node, self.evaluate(node.child))
+        if isinstance(node, MapPlan):
+            return self._backend.run_map(
+                node,
+                self.evaluate(node.reference),
+                self.evaluate(node.experiment),
+            )
+        if isinstance(node, JoinPlan):
+            return self._backend.run_join(
+                node,
+                self.evaluate(node.anchor),
+                self.evaluate(node.experiment),
+            )
+        raise GmqlCompileError(f"cannot interpret plan node {node!r}")
+
+    def run_program(self, compiled: CompiledProgram) -> dict:
+        """Evaluate every output plan; returns ``{name: Dataset}``."""
+        results = {}
+        for output_name, node in compiled.outputs.items():
+            results[output_name] = self.evaluate(node).with_name(output_name)
+        return results

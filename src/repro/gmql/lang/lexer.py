@@ -1,0 +1,129 @@
+"""Lexer for the textual GMQL dialect.
+
+Hand-written scanner producing :class:`~repro.gmql.lang.tokens.Token`
+records with line/column positions for error reporting.  Comments run from
+``#`` or ``//`` to end of line.  Numbers support integers, decimals and
+scientific notation (``1e-5`` -- p-values are first-class citizens here).
+Identifiers may contain dots (``left.cell``) so prefixed metadata
+attributes parse naturally.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GmqlSyntaxError
+from repro.gmql.lang.tokens import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    KEYWORDS,
+    NUMBER,
+    STRING,
+    SYMBOL,
+    SYMBOLS,
+    Token,
+)
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_BODY = _IDENT_START | frozenset("0123456789.")
+_DIGITS = frozenset("0123456789")
+
+
+def tokenize(text: str) -> list:
+    """Tokenise a GMQL program; raises :class:`GmqlSyntaxError` on bad input."""
+    tokens: list = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+
+    def column() -> int:
+        return position - line_start + 1
+
+    while position < length:
+        ch = text[position]
+        # Whitespace / newlines.
+        if ch == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        if ch in " \t\r":
+            position += 1
+            continue
+        # Comments.
+        if ch == "#" or text.startswith("//", position):
+            while position < length and text[position] != "\n":
+                position += 1
+            continue
+        # Strings (single or double quoted).
+        if ch in "'\"":
+            quote = ch
+            start_column = column()
+            position += 1
+            start = position
+            while position < length and text[position] != quote:
+                if text[position] == "\n":
+                    raise GmqlSyntaxError(
+                        "unterminated string literal", line, start_column
+                    )
+                position += 1
+            if position >= length:
+                raise GmqlSyntaxError(
+                    "unterminated string literal", line, start_column
+                )
+            tokens.append(Token(STRING, text[start:position], line, start_column))
+            position += 1
+            continue
+        # Numbers (integer, decimal, scientific).
+        if ch in _DIGITS or (
+            ch == "." and position + 1 < length and text[position + 1] in _DIGITS
+        ):
+            start = position
+            start_column = column()
+            position += 1
+            while position < length and text[position] in _DIGITS:
+                position += 1
+            if position < length and text[position] == ".":
+                position += 1
+                while position < length and text[position] in _DIGITS:
+                    position += 1
+            if position < length and text[position] in "eE":
+                mark = position
+                position += 1
+                if position < length and text[position] in "+-":
+                    position += 1
+                if position < length and text[position] in _DIGITS:
+                    while position < length and text[position] in _DIGITS:
+                        position += 1
+                else:
+                    position = mark  # not an exponent after all
+            tokens.append(
+                Token(NUMBER, text[start:position], line, start_column)
+            )
+            continue
+        # Identifiers / keywords.
+        if ch in _IDENT_START:
+            start = position
+            start_column = column()
+            position += 1
+            while position < length and text[position] in _IDENT_BODY:
+                position += 1
+            word = text[start:position]
+            if word.upper() in KEYWORDS and "." not in word:
+                tokens.append(Token(KEYWORD, word.upper(), line, start_column))
+            else:
+                tokens.append(Token(IDENT, word, line, start_column))
+            continue
+        # Symbols (longest first).
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, position):
+                tokens.append(Token(SYMBOL, symbol, line, column()))
+                position += len(symbol)
+                break
+        else:
+            raise GmqlSyntaxError(f"unexpected character {ch!r}", line, column())
+
+    tokens.append(Token(EOF, "", line, column()))
+    return tokens

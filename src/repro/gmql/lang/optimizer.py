@@ -1,0 +1,175 @@
+"""Logical optimizer: plan-to-plan rewrites.
+
+Rules implemented (all semantics-preserving):
+
+* **select fusion** -- ``SELECT(p2) SELECT(p1) X`` becomes a single SELECT
+  with conjoined predicates, saving one full pass over samples and regions
+  (programmatically generated queries routinely chain selections);
+* **select pushdown through UNION** -- a SELECT above a UNION is applied
+  to both operands, shrinking the data that UNION must remap through the
+  merged schema (region predicates referring to attributes of only one
+  operand cannot be pushed and stay put);
+* **identity elimination** -- PROJECTs that keep everything and compute
+  nothing, and SELECTs with no condition, are dropped.
+
+The optimizer preserves plan sharing: a sub-plan used twice is rewritten
+once, so the interpreter's memoisation still applies.
+"""
+
+from __future__ import annotations
+
+from repro.gmql.lang.plan import (
+    CompiledProgram,
+    PlanNode,
+    ProjectPlan,
+    SelectPlan,
+    UnionPlan,
+)
+from repro.gmql.predicates import MetaAnd, RegionAnd
+
+
+def _conjoin(a, b, combiner):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return combiner(a, b)
+
+
+def _is_identity_select(node: SelectPlan) -> bool:
+    return (
+        node.meta_predicate is None
+        and node.region_predicate is None
+        and node.semijoin_plan is None
+    )
+
+
+def _is_identity_project(node: ProjectPlan) -> bool:
+    return (
+        node.region_attributes is None
+        and node.metadata_attributes is None
+        and not node.new_region_attributes
+    )
+
+
+def _pushable_through_union(node: SelectPlan, union: UnionPlan) -> bool:
+    # Semijoins and metadata predicates are sample-level and always
+    # pushable; region predicates are pushable only when they touch
+    # fixed attributes (variable attributes may exist on one side only).
+    if node.region_predicate is None:
+        return True
+    fixed = {"chrom", "chr", "left", "start", "right", "stop", "strand"}
+    return node.region_predicate.attributes() <= fixed
+
+
+class Optimizer:
+    """Applies the rewrite rules bottom-up with sharing-preserving memo."""
+
+    def __init__(self, use_counts: dict | None = None) -> None:
+        self._memo: dict = {}
+        self._use_counts = use_counts or {}
+        self.rewrites: list = []
+
+    def _shared(self, node: PlanNode) -> bool:
+        """True when *node* feeds more than one consumer (do not absorb it)."""
+        return self._use_counts.get(id(node), 0) > 1
+
+    def rewrite(self, node: PlanNode) -> PlanNode:
+        if id(node) in self._memo:
+            return self._memo[id(node)]
+        for index, child in enumerate(node.children):
+            node.children[index] = self.rewrite(child)
+        result = self._apply_rules(node)
+        self._memo[id(node)] = result
+        return result
+
+    def _apply_rules(self, node: PlanNode) -> PlanNode:
+        if isinstance(node, SelectPlan):
+            if _is_identity_select(node):
+                self.rewrites.append("drop-identity-select")
+                return node.child
+            child = node.child
+            if (
+                isinstance(child, SelectPlan)
+                and node.semijoin_plan is None
+                and not self._shared(child)
+            ):
+                fused = SelectPlan(
+                    child.child,
+                    _conjoin(child.meta_predicate, node.meta_predicate, MetaAnd),
+                    _conjoin(
+                        child.region_predicate, node.region_predicate, RegionAnd
+                    ),
+                    child.semijoin_attributes,
+                    child.semijoin_plan,
+                    child.semijoin_negated,
+                )
+                fused.result_name = node.result_name
+                self.rewrites.append("fuse-selects")
+                return self._apply_rules(fused)
+            if isinstance(child, UnionPlan) and _pushable_through_union(
+                node, child
+            ) and not self._shared(child):
+                pushed = UnionPlan(
+                    self._apply_rules(
+                        SelectPlan(
+                            child.left,
+                            node.meta_predicate,
+                            node.region_predicate,
+                            node.semijoin_attributes,
+                            node.semijoin_plan,
+                            node.semijoin_negated,
+                        )
+                    ),
+                    self._apply_rules(
+                        SelectPlan(
+                            child.right,
+                            node.meta_predicate,
+                            node.region_predicate,
+                            node.semijoin_attributes,
+                            node.semijoin_plan,
+                            node.semijoin_negated,
+                        )
+                    ),
+                )
+                pushed.result_name = node.result_name
+                self.rewrites.append("push-select-through-union")
+                return pushed
+        if isinstance(node, ProjectPlan) and _is_identity_project(node):
+            self.rewrites.append("drop-identity-project")
+            return node.child
+        return node
+
+
+def _use_counts(compiled: CompiledProgram) -> dict:
+    """How many consumers each plan node has across the output DAGs."""
+    counts: dict = {}
+    seen: set = set()
+
+    def visit(node: PlanNode) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        for child in node.children:
+            counts[id(child)] = counts.get(id(child), 0) + 1
+            visit(child)
+
+    for root in compiled.outputs.values():
+        counts[id(root)] = counts.get(id(root), 0) + 1
+        visit(root)
+    return counts
+
+
+def optimize(compiled: CompiledProgram) -> CompiledProgram:
+    """Optimize every output plan of a compiled program (new program)."""
+    optimizer = Optimizer(_use_counts(compiled))
+    outputs = {
+        name: optimizer.rewrite(node) for name, node in compiled.outputs.items()
+    }
+    variables = {
+        name: optimizer.rewrite(node)
+        for name, node in compiled.variables.items()
+    }
+    result = CompiledProgram(variables, outputs, compiled.sources)
+    result.rewrites = list(optimizer.rewrites)  # type: ignore[attr-defined]
+    return result

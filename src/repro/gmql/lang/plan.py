@@ -1,0 +1,366 @@
+"""Logical query plans: the compiler's output, the engines' input.
+
+A plan is a DAG of :class:`PlanNode` instances; shared sub-plans (one
+variable used by several operations) appear once and are memoised at
+execution time.  Plans carry *resolved* objects -- predicate instances,
+aggregate instances, genometric conditions -- so the interpreter and the
+engine backends never see surface syntax.  This is the layer the paper's
+section 4.2 describes as framework-independent: "the compiler, logical
+optimizer, and APIs/UIs are independent from the adoption of either
+framework".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.gmql.genometric import GenometricCondition
+from repro.intervals import AccumulationBound
+
+
+class PlanNode:
+    """Base class of logical plan nodes.
+
+    Attributes
+    ----------
+    children:
+        Operand plan nodes, in operand order.
+    result_name:
+        The variable name this node was assigned to (used for result
+        dataset naming and provenance); set by the compiler.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, *children: "PlanNode") -> None:
+        self.children = list(children)
+        self.result_name: str | None = None
+
+    def label(self) -> str:
+        """One-line description used by EXPLAIN output."""
+        return self.kind.upper()
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """Depth-first post-order walk (each node once)."""
+        seen: set = set()
+
+        def visit(node: "PlanNode"):
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for child in node.children:
+                yield from visit(child)
+            yield node
+
+        yield from visit(self)
+
+    def explain(self, indent: int = 0, seen: set | None = None) -> str:
+        """Indented textual plan tree."""
+        seen = seen if seen is not None else set()
+        prefix = "  " * indent
+        if id(self) in seen:
+            return f"{prefix}{self.label()} (shared)"
+        seen.add(id(self))
+        lines = [f"{prefix}{self.label()}"]
+        for child in self.children:
+            lines.append(child.explain(indent + 1, seen))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.label()}>"
+
+
+class ScanPlan(PlanNode):
+    """Leaf: read a source dataset by name."""
+
+    kind = "scan"
+
+    def __init__(self, dataset_name: str) -> None:
+        super().__init__()
+        self.dataset_name = dataset_name
+
+    def label(self) -> str:
+        return f"SCAN {self.dataset_name}"
+
+
+class SelectPlan(PlanNode):
+    kind = "select"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        meta_predicate=None,
+        region_predicate=None,
+        semijoin_attributes: tuple = (),
+        semijoin_plan: PlanNode | None = None,
+        semijoin_negated: bool = False,
+    ) -> None:
+        children = [child] + ([semijoin_plan] if semijoin_plan else [])
+        super().__init__(*children)
+        self.meta_predicate = meta_predicate
+        self.region_predicate = region_predicate
+        self.semijoin_attributes = semijoin_attributes
+        self.semijoin_negated = semijoin_negated
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    @property
+    def semijoin_plan(self) -> PlanNode | None:
+        return self.children[1] if len(self.children) > 1 else None
+
+    def label(self) -> str:
+        parts = []
+        if self.meta_predicate is not None:
+            parts.append("meta")
+        if self.region_predicate is not None:
+            parts.append("region")
+        if self.semijoin_plan is not None:
+            parts.append("semijoin")
+        return f"SELECT[{'+'.join(parts) or 'all'}]"
+
+
+class ProjectPlan(PlanNode):
+    kind = "project"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        region_attributes: tuple | None,
+        metadata_attributes: tuple | None,
+        new_region_attributes: dict,
+    ) -> None:
+        super().__init__(child)
+        self.region_attributes = region_attributes
+        self.metadata_attributes = metadata_attributes
+        self.new_region_attributes = new_region_attributes
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def label(self) -> str:
+        kept = "*" if self.region_attributes is None else ",".join(self.region_attributes)
+        return f"PROJECT[{kept}]"
+
+
+class ExtendPlan(PlanNode):
+    kind = "extend"
+
+    def __init__(self, child: PlanNode, assignments: dict) -> None:
+        super().__init__(child)
+        self.assignments = assignments
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def label(self) -> str:
+        return f"EXTEND[{','.join(self.assignments)}]"
+
+
+class MergePlan(PlanNode):
+    kind = "merge"
+
+    def __init__(self, child: PlanNode, groupby: tuple) -> None:
+        super().__init__(child)
+        self.groupby = groupby
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def label(self) -> str:
+        return f"MERGE[{','.join(self.groupby) or 'all'}]"
+
+
+class GroupPlan(PlanNode):
+    kind = "group"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        meta_keys: tuple | None,
+        meta_aggregates: dict,
+        region_aggregates: dict,
+    ) -> None:
+        super().__init__(child)
+        self.meta_keys = meta_keys
+        self.meta_aggregates = meta_aggregates
+        self.region_aggregates = region_aggregates
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def label(self) -> str:
+        return f"GROUP[{','.join(self.meta_keys or ())}]"
+
+
+class OrderPlan(PlanNode):
+    kind = "order"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        meta_keys: tuple,
+        top: int | None,
+        region_keys: tuple,
+        region_top: int | None,
+    ) -> None:
+        super().__init__(child)
+        self.meta_keys = meta_keys
+        self.top = top
+        self.region_keys = region_keys
+        self.region_top = region_top
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def label(self) -> str:
+        keys = ",".join(f"{a}:{d}" for a, d in self.meta_keys)
+        top = f" top={self.top}" if self.top is not None else ""
+        return f"ORDER[{keys}{top}]"
+
+
+class UnionPlan(PlanNode):
+    kind = "union"
+
+    @property
+    def left(self) -> PlanNode:
+        return self.children[0]
+
+    @property
+    def right(self) -> PlanNode:
+        return self.children[1]
+
+
+class DifferencePlan(PlanNode):
+    kind = "difference"
+
+    def __init__(
+        self, left: PlanNode, right: PlanNode, joinby: tuple, exact: bool
+    ) -> None:
+        super().__init__(left, right)
+        self.joinby = joinby
+        self.exact = exact
+
+    @property
+    def left(self) -> PlanNode:
+        return self.children[0]
+
+    @property
+    def right(self) -> PlanNode:
+        return self.children[1]
+
+    def label(self) -> str:
+        return f"DIFFERENCE[{'exact' if self.exact else 'overlap'}]"
+
+
+class CoverPlan(PlanNode):
+    kind = "cover"
+
+    def __init__(
+        self,
+        child: PlanNode,
+        variant: str,
+        min_acc: AccumulationBound,
+        max_acc: AccumulationBound,
+        groupby: tuple,
+    ) -> None:
+        super().__init__(child)
+        self.variant = variant
+        self.min_acc = min_acc
+        self.max_acc = max_acc
+        self.groupby = groupby
+
+    @property
+    def child(self) -> PlanNode:
+        return self.children[0]
+
+    def label(self) -> str:
+        return f"{self.variant}[{self.min_acc!r},{self.max_acc!r}]"
+
+
+class MapPlan(PlanNode):
+    kind = "map"
+
+    def __init__(
+        self,
+        reference: PlanNode,
+        experiment: PlanNode,
+        aggregates: dict,
+        joinby: tuple,
+    ) -> None:
+        super().__init__(reference, experiment)
+        self.aggregates = aggregates
+        self.joinby = joinby
+
+    @property
+    def reference(self) -> PlanNode:
+        return self.children[0]
+
+    @property
+    def experiment(self) -> PlanNode:
+        return self.children[1]
+
+    def label(self) -> str:
+        return f"MAP[{','.join(self.aggregates) or 'count'}]"
+
+
+class JoinPlan(PlanNode):
+    kind = "join"
+
+    def __init__(
+        self,
+        anchor: PlanNode,
+        experiment: PlanNode,
+        condition: GenometricCondition,
+        output: str,
+        joinby: tuple,
+    ) -> None:
+        super().__init__(anchor, experiment)
+        self.condition = condition
+        self.output = output
+        self.joinby = joinby
+
+    @property
+    def anchor(self) -> PlanNode:
+        return self.children[0]
+
+    @property
+    def experiment(self) -> PlanNode:
+        return self.children[1]
+
+    def label(self) -> str:
+        return f"JOIN[{self.condition.describe()};{self.output}]"
+
+
+class CompiledProgram:
+    """The compiler's output: named plan roots plus materialisation targets.
+
+    Attributes
+    ----------
+    variables:
+        ``{variable: PlanNode}`` for every assigned variable.
+    outputs:
+        ``{result_name: PlanNode}`` for the plans to execute --
+        MATERIALIZE targets when present, otherwise all variables.
+    sources:
+        Names of the source datasets the program scans.
+    """
+
+    def __init__(self, variables: dict, outputs: dict, sources: tuple) -> None:
+        self.variables = variables
+        self.outputs = outputs
+        self.sources = sources
+
+    def explain(self) -> str:
+        """EXPLAIN text of every output plan."""
+        parts = []
+        for name, node in self.outputs.items():
+            parts.append(f"-- {name} --")
+            parts.append(node.explain())
+        return "\n".join(parts)

@@ -1,0 +1,91 @@
+"""Token kinds and the token record for the GMQL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Token kinds.
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+SYMBOL = "SYMBOL"
+KEYWORD = "KEYWORD"
+EOF = "EOF"
+
+#: Reserved words (matched case-insensitively; stored upper-case).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "PROJECT",
+        "EXTEND",
+        "MERGE",
+        "GROUP",
+        "ORDER",
+        "UNION",
+        "DIFFERENCE",
+        "COVER",
+        "FLAT",
+        "SUMMIT",
+        "HISTOGRAM",
+        "MAP",
+        "JOIN",
+        "MATERIALIZE",
+        "INTO",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "ANY",
+        "ALL",
+        "ASC",
+        "DESC",
+        "TOP",
+        "UP",
+        "DOWN",
+        "DLE",
+        "DGE",
+        "MD",
+        "LEFT",
+        "RIGHT",
+        "INT",
+        "CAT",
+        "CONTIG",
+        "REGION",
+        "METADATA",
+        "JOINBY",
+        "GROUPBY",
+        "SEMIJOIN",
+        "OUTPUT",
+        "EXACT",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+#: Multi-character symbols, longest first so the lexer can greedily match.
+SYMBOLS = ("==", "!=", "<=", ">=", "=", ";", ",", "(", ")", "<", ">",
+           "+", "-", "*", "/", ":")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True when this token is the given keyword."""
+        return self.kind == KEYWORD and self.value == word.upper()
+
+    def is_symbol(self, symbol: str) -> bool:
+        """True when this token is the given symbol."""
+        return self.kind == SYMBOL and self.value == symbol
+
+    def __str__(self) -> str:
+        if self.kind == EOF:
+            return "end of input"
+        return f"{self.value!r}"

@@ -1,0 +1,52 @@
+"""The GMQL operator algebra (closed over GDM datasets).
+
+Classic relational operators -- SELECT, PROJECT, UNION, DIFFERENCE, SORT,
+AGGREGATE (EXTEND/GROUP) -- plus the domain-specific COVER, MAP and
+genometric JOIN, exactly the operator families the paper lists in
+section 2.
+"""
+
+from repro.gmql.operators.base import (
+    LEFT_PREFIX,
+    RIGHT_PREFIX,
+    matches_joinby,
+    merged_metadata,
+    sample_pairs,
+)
+from repro.gmql.operators.cover import VARIANTS as COVER_VARIANTS
+from repro.gmql.operators.cover import cover
+from repro.gmql.operators.difference import difference
+from repro.gmql.operators.extend import extend
+from repro.gmql.operators.group import group
+from repro.gmql.operators.join import OUTPUT_OPTIONS, join
+from repro.gmql.operators.map_op import map_regions
+from repro.gmql.operators.materialize import materialize
+from repro.gmql.operators.merge_op import merge
+from repro.gmql.operators.order import order
+from repro.gmql.operators.project import project, region_environment
+from repro.gmql.operators.select import SemiJoin, select
+from repro.gmql.operators.union import union
+
+__all__ = [
+    "COVER_VARIANTS",
+    "LEFT_PREFIX",
+    "OUTPUT_OPTIONS",
+    "RIGHT_PREFIX",
+    "SemiJoin",
+    "cover",
+    "difference",
+    "extend",
+    "group",
+    "join",
+    "map_regions",
+    "matches_joinby",
+    "materialize",
+    "merge",
+    "merged_metadata",
+    "order",
+    "project",
+    "region_environment",
+    "sample_pairs",
+    "select",
+    "union",
+]

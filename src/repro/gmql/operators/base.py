@@ -1,0 +1,102 @@
+"""Shared machinery of the GMQL operators.
+
+All operators are *closed over datasets*: they consume
+:class:`~repro.gdm.dataset.Dataset` operands and produce a new dataset whose
+samples get fresh consecutive ids and whose :attr:`provenance` records link
+every output sample back to the operand samples it came from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.gdm import Dataset, Metadata, RegionSchema, Sample
+from repro.gmql.provenance import record
+
+#: Metadata prefix applied to the left/anchor/reference operand in binary ops.
+LEFT_PREFIX = "left."
+#: Metadata prefix applied to the right/experiment operand in binary ops.
+RIGHT_PREFIX = "right."
+
+
+def build_result(
+    operation: str,
+    name: str,
+    schema: RegionSchema,
+    parts: Iterable[tuple],
+    parameters: str = "",
+) -> Dataset:
+    """Assemble an operator result dataset.
+
+    *parts* yields ``(regions, metadata, input_pairs)`` triples, one per
+    output sample; ids are assigned consecutively from 1 and a provenance
+    record is attached for each.
+    """
+    result = Dataset(name, schema)
+    for output_id, (regions, meta, inputs) in enumerate(parts, start=1):
+        result.add_sample(Sample(output_id, regions, meta), validate=False)
+        result.provenance.append(record(operation, output_id, inputs, parameters))
+    return result
+
+
+def matches_joinby(left: Sample, right: Sample, joinby: Iterable[str]) -> bool:
+    """GMQL joinby semantics: the samples share at least one value for
+    *every* listed metadata attribute."""
+    for attribute in joinby:
+        left_values = set(map(str, left.meta.values(attribute)))
+        right_values = set(map(str, right.meta.values(attribute)))
+        if not left_values & right_values:
+            return False
+    return True
+
+
+def sample_pairs(
+    left: Dataset, right: Dataset, joinby: Iterable[str] | None
+) -> Iterator[tuple]:
+    """Iterate the operand sample pairs a binary operator processes.
+
+    Without a joinby clause every left sample pairs with every right
+    sample (the paper's MAP example: each PEAKS sample is mapped onto
+    each PROMS sample).
+    """
+    joinby = tuple(joinby or ())
+    for left_sample in left:
+        for right_sample in right:
+            if not joinby or matches_joinby(left_sample, right_sample, joinby):
+                yield (left_sample, right_sample)
+
+
+def merged_metadata(left_sample: Sample, right_sample: Sample) -> Metadata:
+    """Binary-operator result metadata: both operands', prefix-disambiguated."""
+    return left_sample.meta.prefixed(LEFT_PREFIX).union(
+        right_sample.meta.prefixed(RIGHT_PREFIX)
+    )
+
+
+def group_samples(dataset: Dataset, groupby: Iterable[str] | None) -> list:
+    """Partition a dataset's samples by metadata attribute values.
+
+    Returns ``[(key, [samples...]), ...]`` in deterministic key order.
+    With no *groupby* there is a single group keyed ``()`` holding every
+    sample.  Group keys use the sorted tuple of values per attribute so
+    multi-valued attributes group stably.
+    """
+    attributes = tuple(groupby or ())
+    if not attributes:
+        return [((), list(dataset))]
+    groups: dict = {}
+    for sample in dataset:
+        key = tuple(
+            tuple(sorted(map(str, sample.meta.values(attribute))))
+            for attribute in attributes
+        )
+        groups.setdefault(key, []).append(sample)
+    return sorted(groups.items())
+
+
+def union_group_metadata(samples: Iterable[Sample]) -> Metadata:
+    """Metadata union over a group of samples (COVER/MERGE result meta)."""
+    merged = Metadata()
+    for sample in samples:
+        merged = merged.union(sample.meta)
+    return merged

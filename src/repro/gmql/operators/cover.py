@@ -1,0 +1,124 @@
+"""COVER and its FLAT/SUMMIT/HISTOGRAM variants.
+
+"COVER deals with replicas of a same experiment" (paper, section 2): it
+computes the genomic intervals where at least ``min_acc`` and at most
+``max_acc`` of the operand's regions accumulate.  Accumulation bounds may
+be integers, ``ANY`` or ``ALL``-relative (see
+:class:`repro.intervals.coverage.AccumulationBound`).
+
+All variants produce one output sample per metadata group (default: one
+for the whole dataset) with the variable schema ``(acc_index INT)``:
+
+* ``COVER``     -- maximal in-range runs; ``acc_index`` = max depth in run;
+* ``FLAT``      -- runs extended to the contributing regions' full extent;
+* ``SUMMIT``    -- local depth maxima within runs; ``acc_index`` = depth;
+* ``HISTOGRAM`` -- every constant-depth segment; ``acc_index`` = depth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import EvaluationError
+from repro.gdm import AttributeDef, Dataset, GenomicRegion, INT, RegionSchema
+from repro.intervals import (
+    AccumulationBound,
+    cover_intervals,
+    flat_intervals,
+    histogram_intervals,
+    summit_intervals,
+)
+from repro.gmql.operators.base import (
+    build_result,
+    group_samples,
+    union_group_metadata,
+)
+
+#: Recognised COVER variants.
+VARIANTS = ("COVER", "FLAT", "SUMMIT", "HISTOGRAM")
+
+
+def _as_bound(value) -> AccumulationBound:
+    if isinstance(value, AccumulationBound):
+        return value
+    if isinstance(value, int):
+        return AccumulationBound.exact(value)
+    raise EvaluationError(f"bad accumulation bound {value!r}")
+
+
+def cover(
+    dataset: Dataset,
+    min_acc,
+    max_acc,
+    variant: str = "COVER",
+    groupby: Iterable[str] | None = None,
+    name: str | None = None,
+) -> Dataset:
+    """GMQL COVER.
+
+    Parameters
+    ----------
+    dataset:
+        The operand; *all* its samples' regions accumulate together
+        (within each metadata group).
+    min_acc, max_acc:
+        Accumulation bounds: ints or :class:`AccumulationBound` (``ANY``,
+        ``ALL``-relative forms).
+    variant:
+        One of ``COVER``, ``FLAT``, ``SUMMIT``, ``HISTOGRAM``.
+    groupby:
+        Metadata attributes; one output sample per group.
+    name:
+        Result dataset name.
+    """
+    variant = variant.upper()
+    if variant not in VARIANTS:
+        raise EvaluationError(
+            f"unknown COVER variant {variant!r}; expected one of {VARIANTS}"
+        )
+    low = _as_bound(min_acc)
+    high = _as_bound(max_acc)
+    schema = RegionSchema((AttributeDef("acc_index", INT),))
+
+    def compute(regions: list, n_samples: int) -> list:
+        lo = low.resolve(n_samples, is_lower=True)
+        hi = high.resolve(n_samples, is_lower=False)
+        if variant == "COVER":
+            rows = (
+                (chrom, left, right, depth)
+                for chrom, left, right, depth, __ in cover_intervals(
+                    regions, lo, hi
+                )
+            )
+        elif variant == "FLAT":
+            rows = (
+                (chrom, left, right, depth)
+                for chrom, left, right, depth, __ in flat_intervals(
+                    regions, lo, hi
+                )
+            )
+        elif variant == "SUMMIT":
+            rows = summit_intervals(regions, lo, hi)
+        else:
+            rows = histogram_intervals(regions, lo, hi)
+        return [
+            GenomicRegion(chrom, left, right, "*", (depth,))
+            for chrom, left, right, depth in rows
+        ]
+
+    def parts():
+        for __, samples in group_samples(dataset, groupby):
+            regions = [region for sample in samples for region in sample.regions]
+            yield (
+                compute(regions, len(samples)),
+                union_group_metadata(samples),
+                [(dataset.name, sample.id) for sample in samples],
+            )
+
+    return build_result(
+        variant,
+        name or f"{variant}({dataset.name})",
+        schema,
+        parts(),
+        parameters=f"minAcc={low!r},maxAcc={high!r}",
+    )

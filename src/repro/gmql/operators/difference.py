@@ -1,0 +1,89 @@
+"""DIFFERENCE: subtract the regions of one dataset from another's samples.
+
+For each sample of the left operand, DIFFERENCE removes the regions that
+intersect at least one region anywhere in the right operand (or in its
+joinby-matched samples).  Metadata and schema of the left operand are
+preserved -- only regions disappear.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.gdm import Dataset
+from repro.intervals import GenomeIndex
+from repro.gmql.operators.base import build_result, matches_joinby
+
+
+def difference(
+    left: Dataset,
+    right: Dataset,
+    joinby: Iterable[str] | None = None,
+    exact: bool = False,
+    name: str | None = None,
+) -> Dataset:
+    """GMQL DIFFERENCE.
+
+    Parameters
+    ----------
+    left, right:
+        Operands; the right operand's regions act as the mask.
+    joinby:
+        Metadata attributes; when given, each left sample is masked only
+        by right samples sharing a value for all of them.
+    exact:
+        When true, remove only regions with *identical coordinates*
+        instead of any intersection.
+    name:
+        Result dataset name.
+    """
+    joinby = tuple(joinby or ())
+
+    # Pre-index the right operand: one shared index when there is no
+    # joinby clause, otherwise one per right sample (combined per left
+    # sample below).
+    if not joinby:
+        all_right_regions = [
+            region for sample in right for region in sample.regions
+        ]
+        shared_index = GenomeIndex(all_right_regions)
+        shared_coordinates = {r.coordinates() for r in all_right_regions}
+    else:
+        shared_index = None
+        shared_coordinates = None
+
+    def mask_for(left_sample):
+        if not joinby:
+            return shared_index, shared_coordinates
+        regions = [
+            region
+            for right_sample in right
+            if matches_joinby(left_sample, right_sample, joinby)
+            for region in right_sample.regions
+        ]
+        return GenomeIndex(regions), {r.coordinates() for r in regions}
+
+    def parts():
+        for sample in left:
+            index, coordinates = mask_for(sample)
+            if exact:
+                kept = [
+                    region
+                    for region in sample.regions
+                    if region.coordinates() not in coordinates
+                ]
+            else:
+                kept = [
+                    region
+                    for region in sample.regions
+                    if next(iter(index.overlapping(region)), None) is None
+                ]
+            yield (kept, sample.meta, [(left.name, sample.id)])
+
+    return build_result(
+        "DIFFERENCE",
+        name or f"DIFFERENCE({left.name},{right.name})",
+        left.schema,
+        parts(),
+        parameters="exact" if exact else "overlap",
+    )

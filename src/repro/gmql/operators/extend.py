@@ -1,0 +1,71 @@
+"""EXTEND: compute sample metadata from region aggregates.
+
+EXTEND bridges the two GDM entities: ``EXTEND(region_count AS COUNT) DS``
+attaches to each sample a metadata attribute holding an aggregate of its
+own regions.  This is how descriptive statistics become searchable
+metadata (paper, section 4.5: features "computed then indexed").
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import EvaluationError
+from repro.gdm import Dataset
+from repro.gmql.aggregates import Aggregate
+from repro.gmql.operators.base import build_result
+
+
+def extend(
+    dataset: Dataset,
+    assignments: Mapping[str, tuple],
+    name: str | None = None,
+) -> Dataset:
+    """GMQL EXTEND.
+
+    Parameters
+    ----------
+    dataset:
+        The operand.
+    assignments:
+        ``{metadata_name: (Aggregate, region_attribute_or_None)}``.
+        COUNT-like aggregates take ``None`` as the attribute.
+    name:
+        Result dataset name.
+    """
+    resolved = []
+    for meta_name, (aggregate, attribute) in assignments.items():
+        if not isinstance(aggregate, Aggregate):
+            raise EvaluationError(f"EXTEND: {meta_name!r} needs an Aggregate")
+        if aggregate.requires_attribute:
+            if attribute is None:
+                raise EvaluationError(
+                    f"EXTEND: aggregate {aggregate.name} needs a region attribute"
+                )
+            index = dataset.schema.index_of(attribute)
+        else:
+            index = None
+        resolved.append((meta_name, aggregate, index))
+
+    def parts():
+        for sample in dataset:
+            pairs = []
+            for meta_name, aggregate, index in resolved:
+                if index is None:
+                    values = sample.regions
+                else:
+                    values = [region.values[index] for region in sample.regions]
+                pairs.append((meta_name, aggregate.compute(values)))
+            yield (
+                sample.regions,
+                sample.meta.with_pairs(pairs),
+                [(dataset.name, sample.id)],
+            )
+
+    return build_result(
+        "EXTEND",
+        name or f"EXTEND({dataset.name})",
+        dataset.schema,
+        parts(),
+        parameters=",".join(assignments),
+    )

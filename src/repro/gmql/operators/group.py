@@ -1,0 +1,144 @@
+"""GROUP: group samples by metadata and/or deduplicate regions.
+
+The metadata side partitions samples by attribute values, producing one
+sample per group whose regions are the group's concatenation and whose
+metadata carries the grouping key plus optional aggregates over member
+samples' metadata.  The region side groups each sample's regions by
+coordinates, collapsing duplicates and applying aggregates to the variable
+attributes of each duplicate set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import EvaluationError
+from repro.gdm import (
+    AttributeDef,
+    Dataset,
+    GenomicRegion,
+    INT,
+    Metadata,
+    RegionSchema,
+)
+from repro.gmql.aggregates import Aggregate
+from repro.gmql.operators.base import build_result, group_samples
+
+
+def group(
+    dataset: Dataset,
+    meta_keys: Iterable[str] | None = None,
+    meta_aggregates: Mapping[str, tuple] | None = None,
+    region_aggregates: Mapping[str, tuple] | None = None,
+    name: str | None = None,
+) -> Dataset:
+    """GMQL GROUP.
+
+    Parameters
+    ----------
+    dataset:
+        The operand.
+    meta_keys:
+        Metadata attributes to group samples by.  ``None`` keeps samples
+        separate (region-only grouping).
+    meta_aggregates:
+        ``{new_meta_name: (Aggregate, meta_attribute)}`` computed over
+        the group members' metadata values.
+    region_aggregates:
+        ``{new_region_attribute: (Aggregate, region_attribute_or_None)}``.
+        When given, each output sample's regions are grouped by
+        coordinates; duplicates collapse to one region carrying the
+        aggregate values.  The result schema is the aggregates only (the
+        original variable attributes are consumed by the aggregation).
+    name:
+        Result dataset name.
+    """
+    resolved_region = []
+    for out_name, (aggregate, attribute) in (region_aggregates or {}).items():
+        if not isinstance(aggregate, Aggregate):
+            raise EvaluationError(f"GROUP: {out_name!r} needs an Aggregate")
+        if aggregate.requires_attribute:
+            if attribute is None:
+                raise EvaluationError(
+                    f"GROUP: aggregate {aggregate.name} needs a region attribute"
+                )
+            index = dataset.schema.index_of(attribute)
+            input_type = dataset.schema[attribute].type
+        else:
+            index, input_type = None, None
+        resolved_region.append((out_name, aggregate, index, input_type))
+
+    if resolved_region:
+        schema = RegionSchema(
+            tuple(
+                AttributeDef(
+                    out_name,
+                    aggregate.result_type(input_type) if input_type else INT,
+                )
+                for out_name, aggregate, __, input_type in resolved_region
+            )
+        )
+    else:
+        schema = dataset.schema
+
+    def regroup_regions(regions: list) -> list:
+        if not resolved_region:
+            return sorted(regions, key=GenomicRegion.sort_key)
+        buckets: dict = {}
+        for region in regions:
+            buckets.setdefault(region.coordinates(), []).append(region)
+        out = []
+        for coordinates in sorted(
+            buckets, key=lambda c: GenomicRegion(*c).sort_key()
+        ):
+            bucket = buckets[coordinates]
+            values = []
+            for __, aggregate, index, __t in resolved_region:
+                if index is None:
+                    values.append(aggregate.compute(bucket))
+                else:
+                    values.append(
+                        aggregate.compute([r.values[index] for r in bucket])
+                    )
+            out.append(GenomicRegion(*coordinates, tuple(values)))
+        return out
+
+    def parts():
+        if meta_keys is None:
+            for sample in dataset:
+                yield (
+                    regroup_regions(sample.regions),
+                    sample.meta,
+                    [(dataset.name, sample.id)],
+                )
+            return
+        keys = tuple(meta_keys)
+        for key, samples in group_samples(dataset, keys):
+            regions: list = []
+            for sample in samples:
+                regions.extend(sample.regions)
+            pairs = [
+                (attribute, value)
+                for attribute, group_values in zip(keys, key)
+                for value in group_values
+            ]
+            for out_name, (aggregate, attribute) in (meta_aggregates or {}).items():
+                member_values = [
+                    value
+                    for sample in samples
+                    for value in sample.meta.values(attribute)
+                ]
+                pairs.append((out_name, aggregate.compute(member_values)))
+            yield (
+                regroup_regions(regions),
+                Metadata.from_pairs(pairs),
+                [(dataset.name, sample.id) for sample in samples],
+            )
+
+    return build_result(
+        "GROUP",
+        name or f"GROUP({dataset.name})",
+        schema,
+        parts(),
+        parameters=",".join(meta_keys or ()) or "regions",
+    )

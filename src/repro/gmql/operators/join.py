@@ -1,0 +1,129 @@
+"""Genometric JOIN: pair regions across datasets by distance properties.
+
+For every (anchor sample, experiment sample) pair -- all pairs by default,
+joinby-matched otherwise -- JOIN evaluates a
+:class:`~repro.gmql.genometric.GenometricCondition` between each anchor
+region and the experiment sample's regions, and emits one output region per
+matching pair, with coordinates chosen by the *output* option:
+
+* ``LEFT``   -- the anchor region's coordinates;
+* ``RIGHT``  -- the experiment region's coordinates;
+* ``INT``    -- their intersection (pairs that do not overlap are dropped);
+* ``CAT``    -- the concatenation: leftmost left end to rightmost right end
+  (GMQL also calls this CONTIG).
+
+The output schema is the operands' merged schema plus a ``dist`` attribute
+holding the genometric distance of the pair.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import EvaluationError
+from repro.gdm import AttributeDef, Dataset, GenomicRegion, INT
+from repro.intervals import NearestIndex
+from repro.gmql.genometric import GenometricCondition
+from repro.gmql.operators.base import build_result, merged_metadata, sample_pairs
+
+#: Recognised output coordinate options (CONTIG is an alias of CAT).
+OUTPUT_OPTIONS = ("LEFT", "RIGHT", "INT", "CAT", "CONTIG")
+
+
+def _combine_strand(a: GenomicRegion, b: GenomicRegion) -> str:
+    if a.strand == b.strand:
+        return a.strand
+    if a.strand == "*":
+        return b.strand
+    if b.strand == "*":
+        return a.strand
+    return "*"
+
+
+def join(
+    anchor: Dataset,
+    experiment: Dataset,
+    condition: GenometricCondition,
+    output: str = "CAT",
+    joinby: Iterable[str] | None = None,
+    name: str | None = None,
+) -> Dataset:
+    """GMQL genometric JOIN.
+
+    Parameters
+    ----------
+    anchor:
+        Left operand; its regions anchor the distance evaluation
+        (UP/DOWN are relative to the anchor's strand).
+    experiment:
+        Right operand, indexed for distance queries.
+    condition:
+        The genometric condition (DLE/DGE/MD/UP/DOWN conjunction).
+    output:
+        Output coordinate option, see module docstring.
+    joinby:
+        Metadata attributes restricting sample pairs.
+    name:
+        Result dataset name.
+    """
+    output = output.upper()
+    if output not in OUTPUT_OPTIONS:
+        raise EvaluationError(
+            f"unknown JOIN output option {output!r}; expected {OUTPUT_OPTIONS}"
+        )
+    merged = anchor.schema.merge(experiment.schema)
+    schema = merged.schema.extend(AttributeDef("dist", INT))
+
+    indexes = {
+        sample.id: NearestIndex(sample.regions) for sample in experiment
+    }
+
+    def emit(a: GenomicRegion, b: GenomicRegion, gap: int) -> GenomicRegion | None:
+        values = merged.combine(a.values, b.values) + (gap,)
+        if output == "LEFT":
+            return GenomicRegion(a.chrom, a.left, a.right, a.strand, values)
+        if output == "RIGHT":
+            return GenomicRegion(b.chrom, b.left, b.right, b.strand, values)
+        if output == "INT":
+            left = max(a.left, b.left)
+            right = min(a.right, b.right)
+            if right <= left:
+                return None
+            return GenomicRegion(
+                a.chrom, left, right, _combine_strand(a, b), values
+            )
+        # CAT / CONTIG
+        return GenomicRegion(
+            a.chrom,
+            min(a.left, b.left),
+            max(a.right, b.right),
+            _combine_strand(a, b),
+            values,
+        )
+
+    def parts():
+        for anchor_sample, exp_sample in sample_pairs(anchor, experiment, joinby):
+            index = indexes[exp_sample.id]
+            regions = []
+            for region in anchor_sample.regions:
+                for hit, gap in condition.matches_for_anchor(region, index):
+                    out_region = emit(region, hit, gap)
+                    if out_region is not None:
+                        regions.append(out_region)
+            regions.sort(key=GenomicRegion.sort_key)
+            yield (
+                regions,
+                merged_metadata(anchor_sample, exp_sample),
+                [
+                    (anchor.name, anchor_sample.id),
+                    (experiment.name, exp_sample.id),
+                ],
+            )
+
+    return build_result(
+        "JOIN",
+        name or f"JOIN({anchor.name},{experiment.name})",
+        schema,
+        parts(),
+        parameters=f"{condition.describe()};output={output}",
+    )

@@ -1,0 +1,26 @@
+"""MATERIALIZE: name and persist a query result.
+
+In GMQL only materialised variables are computed and saved; here
+MATERIALIZE renames the dataset and (optionally) writes it to a repository
+directory via :mod:`repro.formats.meta`.
+"""
+
+from __future__ import annotations
+
+from repro.gdm import Dataset
+
+
+def materialize(
+    dataset: Dataset, name: str, directory: str | None = None
+) -> Dataset:
+    """GMQL MATERIALIZE.
+
+    Returns the dataset under its materialised *name*; when *directory*
+    is given, also persists it in the GMQL repository layout.
+    """
+    result = dataset.with_name(name)
+    if directory is not None:
+        from repro.formats import write_dataset
+
+        write_dataset(result, directory)
+    return result

@@ -1,0 +1,60 @@
+"""MERGE: collapse samples into one (or one per metadata group).
+
+MERGE is how replicate samples become a single track before COVER-style
+analysis, and how a whole dataset becomes one bag of regions for
+genome-wide statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.gdm import Dataset, GenomicRegion
+from repro.gmql.operators.base import (
+    build_result,
+    group_samples,
+    union_group_metadata,
+)
+
+
+def merge(
+    dataset: Dataset,
+    groupby: Iterable[str] | None = None,
+    name: str | None = None,
+) -> Dataset:
+    """GMQL MERGE.
+
+    Parameters
+    ----------
+    dataset:
+        The operand.
+    groupby:
+        Metadata attributes partitioning the samples; one output sample
+        per group.  ``None`` merges everything into a single sample.
+    name:
+        Result dataset name.
+
+    The output sample's regions are the concatenation (in genome order)
+    of the group's regions; its metadata is the union of the group's
+    metadata.
+    """
+
+    def parts():
+        for __, samples in group_samples(dataset, groupby):
+            regions: list = []
+            for sample in samples:
+                regions.extend(sample.regions)
+            regions.sort(key=GenomicRegion.sort_key)
+            yield (
+                regions,
+                union_group_metadata(samples),
+                [(dataset.name, sample.id) for sample in samples],
+            )
+
+    return build_result(
+        "MERGE",
+        name or f"MERGE({dataset.name})",
+        dataset.schema,
+        parts(),
+        parameters=",".join(groupby or ()) or "all",
+    )

@@ -1,0 +1,125 @@
+"""PROJECT: restrict/derive region attributes and metadata.
+
+PROJECT keeps a subset of the variable region attributes and of the
+metadata attributes, and can compute *new* region attributes from
+expressions over the existing ones (including the fixed coordinates),
+e.g. ``length AS right - left``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import EvaluationError
+from repro.gdm import (
+    AttributeDef,
+    AttributeType,
+    Dataset,
+    GenomicRegion,
+    RegionSchema,
+)
+from repro.gmql.operators.base import build_result
+
+
+def region_environment(region: GenomicRegion, schema: RegionSchema) -> dict:
+    """The evaluation environment for region expressions.
+
+    Contains the fixed attributes (plus the derived ``length``) and every
+    variable attribute by name.
+    """
+    env = {
+        "chrom": region.chrom,
+        "left": region.left,
+        "right": region.right,
+        "strand": region.strand,
+        "length": region.length,
+    }
+    for index, definition in enumerate(schema):
+        env[definition.name] = region.values[index]
+    return env
+
+
+def project(
+    dataset: Dataset,
+    region_attributes: list | None = None,
+    metadata_attributes: list | None = None,
+    new_region_attributes: Mapping[str, tuple] | None = None,
+    new_metadata_attributes: Mapping[str, Callable] | None = None,
+    name: str | None = None,
+) -> Dataset:
+    """GMQL PROJECT.
+
+    Parameters
+    ----------
+    dataset:
+        The operand.
+    region_attributes:
+        Variable region attributes to keep (``None`` keeps all; ``[]``
+        drops all).
+    metadata_attributes:
+        Metadata attributes to keep (``None`` keeps all).
+    new_region_attributes:
+        ``{name: (AttributeType, fn)}`` where ``fn`` maps a region
+        environment dict (see :func:`region_environment`) to the new
+        value.  New attributes are appended after the kept ones.
+    new_metadata_attributes:
+        ``{name: fn}`` where ``fn`` maps a sample's
+        :class:`~repro.gdm.metadata.Metadata` to the new value.
+    name:
+        Result dataset name.
+    """
+    kept = (
+        list(dataset.schema.names)
+        if region_attributes is None
+        else list(region_attributes)
+    )
+    for attribute in kept:
+        if attribute not in dataset.schema:
+            raise EvaluationError(
+                f"PROJECT: no region attribute {attribute!r} in {dataset.name!r}"
+            )
+    new_defs = []
+    evaluators = []
+    for new_name, (attr_type, fn) in (new_region_attributes or {}).items():
+        if not isinstance(attr_type, AttributeType):
+            raise EvaluationError(
+                f"PROJECT: new attribute {new_name!r} needs an AttributeType"
+            )
+        new_defs.append(AttributeDef(new_name, attr_type))
+        evaluators.append(fn)
+    schema = dataset.schema.project(kept).extend(*new_defs)
+    kept_indices = [dataset.schema.index_of(attribute) for attribute in kept]
+
+    def transform(region: GenomicRegion) -> GenomicRegion:
+        values = [region.values[i] for i in kept_indices]
+        if evaluators:
+            env = region_environment(region, dataset.schema)
+            for definition, fn in zip(new_defs, evaluators):
+                try:
+                    values.append(definition.type.coerce(fn(env)))
+                except Exception as exc:  # noqa: BLE001 - surfaced with context
+                    raise EvaluationError(
+                        f"PROJECT: evaluating {definition.name!r}: {exc}"
+                    ) from exc
+        return region.with_values(tuple(values))
+
+    def parts():
+        for sample in dataset:
+            meta = sample.meta
+            if metadata_attributes is not None:
+                meta = meta.project(metadata_attributes)
+            if new_metadata_attributes:
+                meta = meta.with_pairs(
+                    (new_name, fn(sample.meta))
+                    for new_name, fn in new_metadata_attributes.items()
+                )
+            regions = [transform(region) for region in sample.regions]
+            yield (regions, meta, [(dataset.name, sample.id)])
+
+    return build_result(
+        "PROJECT",
+        name or f"PROJECT({dataset.name})",
+        schema,
+        parts(),
+        parameters=",".join(kept + [d.name for d in new_defs]),
+    )

@@ -1,0 +1,93 @@
+"""SELECT: keep qualifying samples, optionally filtering their regions.
+
+SELECT is the workhorse of the paper's example query::
+
+    PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+    PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+
+Three orthogonal conditions can be combined:
+
+* a **metadata predicate** keeps/drops whole samples;
+* a **region predicate** filters the regions of kept samples (samples
+  left with zero regions are still kept -- emptiness is information);
+* a **semijoin** keeps samples whose metadata matches some sample of
+  another dataset on the given attributes (or none, when negated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gdm import Dataset
+from repro.gmql.operators.base import build_result, matches_joinby
+from repro.gmql.predicates import MetaPredicate, RegionPredicate
+
+
+@dataclass(frozen=True)
+class SemiJoin:
+    """SELECT semijoin clause: match *attributes* against *other*'s samples."""
+
+    attributes: tuple
+    other: Dataset
+    negated: bool = False
+
+    def admits(self, sample) -> bool:
+        matched = any(
+            matches_joinby(sample, other_sample, self.attributes)
+            for other_sample in self.other
+        )
+        return not matched if self.negated else matched
+
+
+def select(
+    dataset: Dataset,
+    meta_predicate: MetaPredicate | None = None,
+    region_predicate: RegionPredicate | None = None,
+    semijoin: SemiJoin | None = None,
+    name: str | None = None,
+) -> Dataset:
+    """GMQL SELECT.
+
+    Parameters
+    ----------
+    dataset:
+        The operand.
+    meta_predicate:
+        Sample filter over metadata; ``None`` keeps all samples.
+    region_predicate:
+        Region filter, bound against the dataset schema; ``None`` keeps
+        all regions.
+    semijoin:
+        Optional :class:`SemiJoin` clause.
+    name:
+        Result dataset name (defaults to ``SELECT(<operand>)``).
+    """
+    bound_region = (
+        region_predicate.bind(dataset.schema) if region_predicate else None
+    )
+
+    def parts():
+        for sample in dataset:
+            if meta_predicate is not None and not meta_predicate(sample.meta):
+                continue
+            if semijoin is not None and not semijoin.admits(sample):
+                continue
+            regions = sample.regions
+            if bound_region is not None:
+                regions = [region for region in regions if bound_region(region)]
+            yield (regions, sample.meta, [(dataset.name, sample.id)])
+
+    described = []
+    if meta_predicate is not None:
+        described.append("meta")
+    if region_predicate is not None:
+        described.append("region")
+    if semijoin is not None:
+        described.append("semijoin")
+    return build_result(
+        "SELECT",
+        name or f"SELECT({dataset.name})",
+        dataset.schema,
+        parts(),
+        parameters="+".join(described) or "all",
+    )

@@ -1,0 +1,45 @@
+"""UNION: pool the samples of two datasets under a merged schema.
+
+UNION is where GDM *schema merging* earns its keep: the operands may have
+different variable schemas, and the result's schema keeps the fixed
+attributes in common while concatenating the variable ones (paper,
+section 2), remapping each operand's value tuples into the merged layout.
+"""
+
+from __future__ import annotations
+
+from repro.gdm import Dataset
+from repro.gmql.operators.base import build_result
+
+
+def union(left: Dataset, right: Dataset, name: str | None = None) -> Dataset:
+    """GMQL UNION.
+
+    Every sample of both operands appears in the result (ids renumbered,
+    left operand first); regions carry their values remapped into the
+    merged schema with missing values where the operand lacked an
+    attribute.
+    """
+    merged = left.schema.merge(right.schema)
+
+    def parts():
+        for sample in left:
+            regions = [
+                region.with_values(merged.remap_left(region.values))
+                for region in sample.regions
+            ]
+            yield (regions, sample.meta, [(left.name, sample.id)])
+        for sample in right:
+            regions = [
+                region.with_values(merged.remap_right(region.values))
+                for region in sample.regions
+            ]
+            yield (regions, sample.meta, [(right.name, sample.id)])
+
+    return build_result(
+        "UNION",
+        name or f"UNION({left.name},{right.name})",
+        merged.schema,
+        parts(),
+        parameters=f"{left.name}+{right.name}",
+    )

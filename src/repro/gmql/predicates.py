@@ -1,0 +1,262 @@
+"""Metadata and region predicates for GMQL SELECT (and friends).
+
+Two predicate families share the comparison machinery:
+
+* **metadata predicates** decide whether a *sample* is kept, by comparing
+  its metadata attribute values (a multi-valued attribute satisfies a
+  comparison when *any* of its values does);
+* **region predicates** decide whether a *region* is kept, by comparing
+  fixed coordinates (``chrom``/``left``/``right``/``strand``) or variable
+  schema attributes.
+
+Comparisons are weakly typed, like GMQL: numeric comparison is attempted
+first, falling back to string comparison, so ``replicate == '2'`` matches
+the integer 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import EvaluationError
+from repro.gdm import GenomicRegion, Metadata, RegionSchema
+
+_OPERATORS: dict = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def compare(left: Any, operator: str, right: Any) -> bool:
+    """Weakly-typed comparison: numeric first, then string.
+
+    Missing values (``None``) satisfy only ``!=`` against non-missing
+    values, mirroring SQL's null semantics loosely enough for metadata.
+    """
+    try:
+        op = _OPERATORS[operator]
+    except KeyError:
+        raise EvaluationError(f"unknown comparison operator {operator!r}") from None
+    if left is None or right is None:
+        if operator == "==":
+            return left is right
+        if operator == "!=":
+            return left is not right
+        return False
+    try:
+        return op(float(left), float(right))
+    except (TypeError, ValueError):
+        return op(str(left), str(right))
+
+
+# -- metadata predicates ------------------------------------------------------
+
+
+class MetaPredicate:
+    """Base class: decides whether a sample's metadata qualifies."""
+
+    def __call__(self, meta: Metadata) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "MetaPredicate") -> "MetaPredicate":
+        return MetaAnd(self, other)
+
+    def __or__(self, other: "MetaPredicate") -> "MetaPredicate":
+        return MetaOr(self, other)
+
+    def __invert__(self) -> "MetaPredicate":
+        return MetaNot(self)
+
+    def attributes(self) -> set:
+        """Metadata attribute names the predicate reads (for optimizers)."""
+        return set()
+
+
+class MetaCompare(MetaPredicate):
+    """``attribute <op> constant``: true when any value satisfies it."""
+
+    def __init__(self, attribute: str, operator: str, value: Any) -> None:
+        if operator not in _OPERATORS:
+            raise EvaluationError(f"unknown comparison operator {operator!r}")
+        self.attribute = attribute
+        self.operator = operator
+        self.value = value
+
+    def __call__(self, meta: Metadata) -> bool:
+        values = meta.values(self.attribute)
+        if not values:
+            # An absent attribute satisfies only '!='.
+            return self.operator == "!="
+        return any(compare(v, self.operator, self.value) for v in values)
+
+    def attributes(self) -> set:
+        return {self.attribute}
+
+    def __repr__(self) -> str:
+        return f"MetaCompare({self.attribute} {self.operator} {self.value!r})"
+
+
+class MetaExists(MetaPredicate):
+    """True when the sample carries the attribute at all."""
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+
+    def __call__(self, meta: Metadata) -> bool:
+        return self.attribute in meta
+
+    def attributes(self) -> set:
+        return {self.attribute}
+
+
+class MetaAnd(MetaPredicate):
+    def __init__(self, left: MetaPredicate, right: MetaPredicate) -> None:
+        self.left, self.right = left, right
+
+    def __call__(self, meta: Metadata) -> bool:
+        return self.left(meta) and self.right(meta)
+
+    def attributes(self) -> set:
+        return self.left.attributes() | self.right.attributes()
+
+
+class MetaOr(MetaPredicate):
+    def __init__(self, left: MetaPredicate, right: MetaPredicate) -> None:
+        self.left, self.right = left, right
+
+    def __call__(self, meta: Metadata) -> bool:
+        return self.left(meta) or self.right(meta)
+
+    def attributes(self) -> set:
+        return self.left.attributes() | self.right.attributes()
+
+
+class MetaNot(MetaPredicate):
+    def __init__(self, inner: MetaPredicate) -> None:
+        self.inner = inner
+
+    def __call__(self, meta: Metadata) -> bool:
+        return not self.inner(meta)
+
+    def attributes(self) -> set:
+        return self.inner.attributes()
+
+
+class MetaAll(MetaPredicate):
+    """The always-true predicate (SELECT with no metadata condition)."""
+
+    def __call__(self, meta: Metadata) -> bool:
+        return True
+
+
+# -- region predicates --------------------------------------------------------
+
+
+class RegionPredicate:
+    """Base class: decides whether a region qualifies.
+
+    Region predicates are *bound* to a schema before evaluation so
+    variable attribute lookups become tuple indexing.
+    """
+
+    def bind(self, schema: RegionSchema) -> Callable[[GenomicRegion], bool]:
+        raise NotImplementedError
+
+    def __and__(self, other: "RegionPredicate") -> "RegionPredicate":
+        return RegionAnd(self, other)
+
+    def __or__(self, other: "RegionPredicate") -> "RegionPredicate":
+        return RegionOr(self, other)
+
+    def __invert__(self) -> "RegionPredicate":
+        return RegionNot(self)
+
+    def attributes(self) -> set:
+        return set()
+
+
+def _fixed_getter(name: str) -> Callable[[GenomicRegion], Any]:
+    if name == "chrom" or name == "chr":
+        return lambda r: r.chrom
+    if name == "left" or name == "start":
+        return lambda r: r.left
+    if name == "right" or name == "stop":
+        return lambda r: r.right
+    if name == "strand":
+        return lambda r: r.strand
+    raise EvaluationError(f"not a fixed region attribute: {name!r}")
+
+
+class RegionCompare(RegionPredicate):
+    """``attribute <op> constant`` over fixed or variable attributes."""
+
+    _FIXED_ALIASES = ("chrom", "chr", "left", "start", "right", "stop", "strand")
+
+    def __init__(self, attribute: str, operator: str, value: Any) -> None:
+        if operator not in _OPERATORS:
+            raise EvaluationError(f"unknown comparison operator {operator!r}")
+        self.attribute = attribute
+        self.operator = operator
+        self.value = value
+
+    def bind(self, schema: RegionSchema) -> Callable[[GenomicRegion], bool]:
+        operator, value = self.operator, self.value
+        if self.attribute in self._FIXED_ALIASES:
+            getter = _fixed_getter(self.attribute)
+        else:
+            index = schema.index_of(self.attribute)
+            getter = lambda r: r.values[index]  # noqa: E731
+        return lambda region: compare(getter(region), operator, value)
+
+    def attributes(self) -> set:
+        return {self.attribute}
+
+    def __repr__(self) -> str:
+        return f"RegionCompare({self.attribute} {self.operator} {self.value!r})"
+
+
+class RegionAnd(RegionPredicate):
+    def __init__(self, left: RegionPredicate, right: RegionPredicate) -> None:
+        self.left, self.right = left, right
+
+    def bind(self, schema: RegionSchema) -> Callable[[GenomicRegion], bool]:
+        bound_left, bound_right = self.left.bind(schema), self.right.bind(schema)
+        return lambda region: bound_left(region) and bound_right(region)
+
+    def attributes(self) -> set:
+        return self.left.attributes() | self.right.attributes()
+
+
+class RegionOr(RegionPredicate):
+    def __init__(self, left: RegionPredicate, right: RegionPredicate) -> None:
+        self.left, self.right = left, right
+
+    def bind(self, schema: RegionSchema) -> Callable[[GenomicRegion], bool]:
+        bound_left, bound_right = self.left.bind(schema), self.right.bind(schema)
+        return lambda region: bound_left(region) or bound_right(region)
+
+    def attributes(self) -> set:
+        return self.left.attributes() | self.right.attributes()
+
+
+class RegionNot(RegionPredicate):
+    def __init__(self, inner: RegionPredicate) -> None:
+        self.inner = inner
+
+    def bind(self, schema: RegionSchema) -> Callable[[GenomicRegion], bool]:
+        bound = self.inner.bind(schema)
+        return lambda region: not bound(region)
+
+    def attributes(self) -> set:
+        return self.inner.attributes()
+
+
+class RegionAll(RegionPredicate):
+    """The always-true region predicate."""
+
+    def bind(self, schema: RegionSchema) -> Callable[[GenomicRegion], bool]:
+        return lambda region: True

@@ -1,0 +1,90 @@
+"""Sample-level provenance: why each result sample exists.
+
+"Tracing provenance both of initial samples and of their processing through
+operations is a unique aspect of our approach; knowing why resulting regions
+were produced is quite relevant" (paper, section 2).
+
+Every GMQL operator attaches one :class:`ProvenanceRecord` per output sample
+to the result dataset; records reference the operand dataset names and
+sample ids, so :func:`explain` can reconstruct the full derivation tree of
+any sample across a chain of queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """Derivation of one output sample.
+
+    Attributes
+    ----------
+    operation:
+        Operator name, e.g. ``"MAP"``.
+    output_id:
+        Sample id in the result dataset.
+    inputs:
+        Tuple of ``(dataset_name, sample_id)`` pairs this sample came from.
+    parameters:
+        Frozen human-readable parameter description of the operator call.
+    """
+
+    operation: str
+    output_id: int
+    inputs: tuple
+    parameters: str = ""
+
+
+def record(
+    operation: str,
+    output_id: int,
+    inputs: Iterable[tuple],
+    parameters: str = "",
+) -> ProvenanceRecord:
+    """Build a :class:`ProvenanceRecord` (normalising inputs to a tuple)."""
+    return ProvenanceRecord(operation, output_id, tuple(inputs), parameters)
+
+
+def lineage(dataset, sample_id: int, catalog: dict | None = None) -> list:
+    """The derivation tree of one sample, as indented text lines.
+
+    *catalog* maps dataset names to datasets so the walk can continue into
+    operand datasets' own provenance; without it the walk stops at the
+    first level.  Cycles are guarded by a visited set (they cannot arise
+    from operator output, but catalogs are caller-supplied).
+    """
+    lines: list = []
+    visited: set = set()
+
+    def walk(ds, sid: int, depth: int) -> None:
+        key = (ds.name, sid)
+        if key in visited:
+            lines.append("  " * depth + f"{ds.name}[{sid}] (already shown)")
+            return
+        visited.add(key)
+        matching = [r for r in ds.provenance if r.output_id == sid]
+        if not matching:
+            lines.append("  " * depth + f"{ds.name}[{sid}] (source)")
+            return
+        for rec in matching:
+            parameters = f" {rec.parameters}" if rec.parameters else ""
+            lines.append(
+                "  " * depth + f"{ds.name}[{sid}] <- {rec.operation}{parameters}"
+            )
+            for input_name, input_id in rec.inputs:
+                parent = (catalog or {}).get(input_name)
+                if parent is None:
+                    lines.append("  " * (depth + 1) + f"{input_name}[{input_id}]")
+                else:
+                    walk(parent, input_id, depth + 1)
+
+    walk(dataset, sample_id, 0)
+    return lines
+
+
+def explain(dataset, sample_id: int, catalog: dict | None = None) -> str:
+    """Human-readable provenance report for one sample."""
+    return "\n".join(lineage(dataset, sample_id, catalog))

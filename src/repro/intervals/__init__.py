@@ -1,0 +1,57 @@
+"""Interval algebra substrate: trees, sweeps, coverage, distances, bins.
+
+Every genometric GMQL operator bottoms out in one of these kernels; the
+engines in :mod:`repro.engine` choose between them (interval tree vs
+sort-merge sweep vs binned partitioning) per operator and data shape.
+"""
+
+from repro.intervals.bins import (
+    Binning,
+    DEFAULT_BIN_SIZE,
+    bin_span,
+    binned_count_overlaps,
+)
+from repro.intervals.coverage import (
+    AccumulationBound,
+    CoverageSegment,
+    cover_intervals,
+    coverage_profile,
+    flat_intervals,
+    histogram_intervals,
+    summit_intervals,
+)
+from repro.intervals.distance import (
+    NearestIndex,
+    distance,
+    is_downstream,
+    is_upstream,
+)
+from repro.intervals.sweep import (
+    merge_touching,
+    sweep_count_overlaps,
+    sweep_overlap_join,
+)
+from repro.intervals.tree import GenomeIndex, IntervalTree
+
+__all__ = [
+    "AccumulationBound",
+    "Binning",
+    "CoverageSegment",
+    "DEFAULT_BIN_SIZE",
+    "GenomeIndex",
+    "IntervalTree",
+    "NearestIndex",
+    "bin_span",
+    "binned_count_overlaps",
+    "cover_intervals",
+    "coverage_profile",
+    "distance",
+    "flat_intervals",
+    "histogram_intervals",
+    "is_downstream",
+    "is_upstream",
+    "merge_touching",
+    "summit_intervals",
+    "sweep_count_overlaps",
+    "sweep_overlap_join",
+]

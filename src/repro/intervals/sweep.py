@@ -1,0 +1,136 @@
+"""Sort-merge (plane sweep) interval joins.
+
+The sweep join is the streaming alternative to the interval tree: both
+inputs are sorted in genome order and walked once, keeping an active window
+of right-side regions that can still overlap upcoming left-side regions.
+It is the strategy of choice when both operands are large and dense -- the
+ablation benchmark E14 quantifies the crossover against the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.gdm.region import GenomicRegion, chromosome_sort_key
+
+
+def _grouped_by_chrom(regions: Sequence[GenomicRegion]) -> dict:
+    grouped: dict = {}
+    for region in regions:
+        grouped.setdefault(region.chrom, []).append(region)
+    for chrom_regions in grouped.values():
+        chrom_regions.sort(key=lambda r: (r.left, r.right))
+    return grouped
+
+
+def sweep_overlap_join(
+    left: Sequence[GenomicRegion],
+    right: Sequence[GenomicRegion],
+) -> Iterator[tuple]:
+    """Yield all overlapping pairs ``(l, r)`` with ``l`` from *left*.
+
+    Neither input needs to be pre-sorted; regions are grouped per
+    chromosome and sorted internally.  Pairs are emitted in genome order
+    of the left region.  Complexity is O(n log n + m log m + k) for k
+    result pairs.
+
+    >>> a = [GenomicRegion("chr1", 0, 10)]
+    >>> b = [GenomicRegion("chr1", 5, 7), GenomicRegion("chr1", 12, 14)]
+    >>> [(l.left, r.left) for l, r in sweep_overlap_join(a, b)]
+    [(0, 5)]
+    """
+    left_groups = _grouped_by_chrom(left)
+    right_groups = _grouped_by_chrom(right)
+    for chrom in sorted(
+        set(left_groups) & set(right_groups), key=chromosome_sort_key
+    ):
+        yield from _sweep_chromosome(left_groups[chrom], right_groups[chrom])
+
+
+def _sweep_chromosome(
+    lefts: list, rights: list
+) -> Iterator[tuple]:
+    active: list = []  # right regions whose intervals may still overlap
+    j = 0
+    for l_region in lefts:
+        # Admit right regions starting before the left region ends.
+        while j < len(rights) and rights[j].left < l_region.right:
+            active.append(rights[j])
+            j += 1
+        # Evict right regions ending at or before the left region start;
+        # they can never overlap this or any later left region.
+        if active:
+            active = [r for r in active if r.right > l_region.left]
+        for r_region in active:
+            if r_region.left < l_region.right and l_region.left < r_region.right:
+                yield (l_region, r_region)
+
+
+def sweep_count_overlaps(
+    references: Sequence[GenomicRegion],
+    probes: Sequence[GenomicRegion],
+) -> list:
+    """Count, for each reference region, the probes overlapping it.
+
+    Returns a list of counts aligned with the *input order* of
+    *references*.  This is the kernel of GMQL MAP with a COUNT aggregate
+    and is what the Section-2 headline query spends its time in.
+    """
+    counts = [0] * len(references)
+    ref_by_chrom: dict = {}
+    for position, region in enumerate(references):
+        ref_by_chrom.setdefault(region.chrom, []).append((region, position))
+    probe_groups = _grouped_by_chrom(probes)
+    for chrom, indexed_refs in ref_by_chrom.items():
+        chrom_probes = probe_groups.get(chrom)
+        if not chrom_probes:
+            continue
+        indexed_refs.sort(key=lambda pair: (pair[0].left, pair[0].right))
+        active: list = []
+        next_probe = 0
+        for region, position in indexed_refs:
+            while (
+                next_probe < len(chrom_probes)
+                and chrom_probes[next_probe].left < region.right
+            ):
+                active.append(chrom_probes[next_probe])
+                next_probe += 1
+            active = [p for p in active if p.right > region.left]
+            counts[position] += sum(
+                1
+                for p in active
+                if p.left < region.right and region.left < p.right
+            )
+    return counts
+
+
+def merge_touching(
+    regions: Sequence[GenomicRegion], gap: int = 0
+) -> list:
+    """Merge regions closer than *gap* positions into maximal runs.
+
+    Output regions carry no variable values (schema is reset by merging,
+    as in GMQL COVER/FLAT results before aggregates are attached).
+    Strand is preserved when all merged regions agree, ``"*"`` otherwise.
+    """
+    merged: list = []
+    grouped = _grouped_by_chrom(regions)
+    for chrom in sorted(grouped, key=chromosome_sort_key):
+        run_left = run_right = None
+        run_strand = None
+        for region in grouped[chrom]:
+            if run_left is None:
+                run_left, run_right = region.left, region.right
+                run_strand = region.strand
+                continue
+            if region.left <= run_right + gap:
+                run_right = max(run_right, region.right)
+                if run_strand != region.strand:
+                    run_strand = "*"
+            else:
+                merged.append(GenomicRegion(chrom, run_left, run_right, run_strand))
+                run_left, run_right = region.left, region.right
+                run_strand = region.strand
+        if run_left is not None:
+            merged.append(GenomicRegion(chrom, run_left, run_right, run_strand))
+    return merged

@@ -1,0 +1,39 @@
+"""NGS pipeline substrate: the primary/secondary stages of Figure 1.
+
+The paper positions GDM/GMQL downstream of primary analysis (read
+production) and secondary analysis (alignment + feature calling).  This
+package implements simulated versions of those stages -- genome, read
+simulator, k-mer aligner, Poisson peak caller, pileup variant caller --
+so that tertiary analysis has a realistic upstream to consume.
+"""
+
+from repro.ngs.align import Aligner, Alignment, KmerIndex, alignments_to_dataset
+from repro.ngs.genome import (
+    ALPHABET,
+    ReferenceGenome,
+    decode_sequence,
+    encode_sequence,
+)
+from repro.ngs.peaks import call_peaks, peak_recall
+from repro.ngs.pipeline import PipelineResult, run_pipeline
+from repro.ngs.reads import Read, simulate_reads
+from repro.ngs.variants import call_variants, variant_accuracy
+
+__all__ = [
+    "ALPHABET",
+    "Aligner",
+    "Alignment",
+    "KmerIndex",
+    "PipelineResult",
+    "Read",
+    "ReferenceGenome",
+    "alignments_to_dataset",
+    "call_peaks",
+    "call_variants",
+    "decode_sequence",
+    "encode_sequence",
+    "peak_recall",
+    "run_pipeline",
+    "simulate_reads",
+    "variant_accuracy",
+]

@@ -1,0 +1,172 @@
+"""Read alignment: the *secondary analysis* stage of Figure 1.
+
+A seed-and-extend aligner over a k-mer hash index of the reference:
+
+1. index every k-mer of the reference (k = 16 by default);
+2. for each read, look up a few seed k-mers (both orientations) to get
+   candidate positions;
+3. score each candidate by Hamming distance over the full read length and
+   keep the best; mapping quality reflects the best/second-best gap.
+
+Ungapped by construction (our simulator introduces substitutions only),
+which keeps CIGARs to a single ``<n>M`` -- the dialect
+:mod:`repro.formats.sam` speaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gdm import Dataset, GenomicRegion, Metadata, Sample
+from repro.formats.sam import FLAG_REVERSE, SamFormat
+from repro.ngs.genome import ReferenceGenome, encode_sequence
+from repro.ngs.reads import Read, _reverse_complement_codes
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """One aligned read."""
+
+    read: Read
+    chrom: str
+    position: int
+    strand: str
+    mismatches: int
+    mapq: int
+
+    @property
+    def correct(self) -> bool:
+        """True when the alignment recovered the read's true origin."""
+        return (
+            self.chrom == self.read.true_chrom
+            and abs(self.position - self.read.true_position) <= 2
+        )
+
+
+def _kmer_codes(codes: np.ndarray, k: int) -> np.ndarray:
+    """Rolling integer encodings of all k-mers (base-4 packing)."""
+    if len(codes) < k:
+        return np.empty(0, dtype=np.int64)
+    weights = 4 ** np.arange(k - 1, -1, -1, dtype=np.int64)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        codes.astype(np.int64), k
+    )
+    return windows @ weights
+
+
+class KmerIndex:
+    """Hash index from k-mer code to reference positions."""
+
+    def __init__(self, genome: ReferenceGenome, k: int = 16) -> None:
+        if k < 8 or k > 30:
+            raise SimulationError("k must be in [8, 30]")
+        self.k = k
+        self._genome = genome
+        self._index: dict = {}
+        for chrom in genome.chromosomes():
+            kmers = _kmer_codes(genome.codes(chrom), k)
+            for position, kmer in enumerate(kmers):
+                self._index.setdefault(int(kmer), []).append((chrom, position))
+
+    def candidates(self, codes: np.ndarray, offsets: tuple) -> set:
+        """Candidate (chrom, read_start) pairs from seeds at *offsets*."""
+        found: set = set()
+        kmers = _kmer_codes(codes, self.k)
+        for offset in offsets:
+            if offset >= len(kmers):
+                continue
+            for chrom, position in self._index.get(int(kmers[offset]), ()):
+                found.add((chrom, position - offset))
+        return found
+
+
+class Aligner:
+    """Seed-and-extend aligner producing :class:`Alignment` records."""
+
+    def __init__(
+        self,
+        genome: ReferenceGenome,
+        k: int = 16,
+        max_mismatch_fraction: float = 0.1,
+    ) -> None:
+        self._genome = genome
+        self._index = KmerIndex(genome, k)
+        self._max_mismatch_fraction = max_mismatch_fraction
+
+    def align_read(self, read: Read) -> Alignment | None:
+        """Best alignment of one read, or ``None`` when unmapped."""
+        length = len(read.sequence)
+        forward = encode_sequence(read.sequence)
+        reverse = _reverse_complement_codes(forward).copy()
+        seeds = (0, length // 2, max(0, length - self._index.k))
+        best = second = None
+        for strand, codes in (("+", forward), ("-", reverse)):
+            for chrom, start in self._index.candidates(codes, seeds):
+                if start < 0 or start + length > self._genome.size(chrom):
+                    continue
+                reference = self._genome.codes(chrom)[start: start + length]
+                mismatches = int(np.count_nonzero(reference != codes))
+                record = (mismatches, chrom, start, strand)
+                if best is None or record < best:
+                    best, second = record, best
+                elif second is None or record < second:
+                    second = record
+        if best is None:
+            return None
+        mismatches, chrom, start, strand = best
+        if mismatches > length * self._max_mismatch_fraction:
+            return None
+        if second is None or second[0] > mismatches:
+            mapq = 60
+        elif second[0] == mismatches:
+            mapq = 3  # ambiguous placement
+        else:
+            mapq = 30
+        return Alignment(read, chrom, start, strand, mismatches, mapq)
+
+    def align(self, reads: list) -> list:
+        """Align many reads, dropping the unmapped ones."""
+        alignments = []
+        for read in reads:
+            alignment = self.align_read(read)
+            if alignment is not None:
+                alignments.append(alignment)
+        return alignments
+
+
+def alignments_to_dataset(
+    alignments: list,
+    sample_id: int = 1,
+    meta: Metadata | None = None,
+    name: str = "ALIGNED",
+) -> Dataset:
+    """Package alignments as a GDM dataset in the SAM-lite schema."""
+    sam = SamFormat()
+    regions = []
+    for alignment in alignments:
+        flag = FLAG_REVERSE if alignment.strand == "-" else 0
+        regions.append(
+            GenomicRegion(
+                alignment.chrom,
+                alignment.position,
+                alignment.position + len(alignment.read.sequence),
+                alignment.strand,
+                (
+                    alignment.read.name,
+                    flag,
+                    alignment.mapq,
+                    f"{len(alignment.read.sequence)}M",
+                    alignment.read.sequence,
+                ),
+            )
+        )
+    regions.sort(key=GenomicRegion.sort_key)
+    return Dataset(
+        name,
+        sam.schema(),
+        [Sample(sample_id, regions, meta or Metadata({"stage": "secondary"}))],
+        validate=False,
+    )

@@ -1,0 +1,93 @@
+"""Reference genome simulation (the substrate of primary analysis).
+
+A :class:`ReferenceGenome` holds one random nucleotide string per
+chromosome, generated deterministically from a seed.  Sequences are kept
+as numpy uint8 arrays over the alphabet ``ACGT`` for cheap slicing and
+comparison; helpers convert to/from strings at the edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulate.rng import generator
+
+#: The nucleotide alphabet, indexed by the internal uint8 code.
+ALPHABET = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+_CODE_BY_LETTER = {letter: code for code, letter in enumerate(b"ACGT")}
+
+
+def encode_sequence(text: str) -> np.ndarray:
+    """Encode an ACGT string to the internal uint8 code array."""
+    raw = text.upper().encode()
+    try:
+        return np.fromiter(
+            (_CODE_BY_LETTER[b] for b in raw), dtype=np.uint8, count=len(raw)
+        )
+    except KeyError as exc:
+        raise SimulationError(f"non-ACGT base in sequence: {text!r}") from exc
+
+
+def decode_sequence(codes: np.ndarray) -> str:
+    """Decode an internal code array back to an ACGT string."""
+    return ALPHABET[codes].tobytes().decode()
+
+
+class ReferenceGenome:
+    """A seeded random reference genome."""
+
+    def __init__(self, sequences: dict, seed: int = 0) -> None:
+        self._sequences = sequences
+        self.seed = seed
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 0,
+        chromosome_sizes: dict | None = None,
+    ) -> "ReferenceGenome":
+        """Generate random chromosomes (default: chr1/chr2 of 200 kb)."""
+        sizes = chromosome_sizes or {"chr1": 200_000, "chr2": 200_000}
+        sequences = {}
+        for chrom, size in sorted(sizes.items()):
+            if size < 1:
+                raise SimulationError(f"bad chromosome size {size} for {chrom}")
+            rng = generator(seed, "genome", chrom)
+            sequences[chrom] = rng.integers(
+                0, 4, size=size, dtype=np.uint8
+            )
+        return cls(sequences, seed)
+
+    def chromosomes(self) -> tuple:
+        """Sorted chromosome names."""
+        return tuple(sorted(self._sequences))
+
+    def size(self, chrom: str) -> int:
+        """Length of one chromosome."""
+        return len(self._sequences[chrom])
+
+    def total_size(self) -> int:
+        """Total genome length."""
+        return sum(len(s) for s in self._sequences.values())
+
+    def codes(self, chrom: str) -> np.ndarray:
+        """The raw code array of a chromosome (do not mutate)."""
+        return self._sequences[chrom]
+
+    def fetch(self, chrom: str, left: int, right: int) -> str:
+        """The sequence of ``chrom[left:right)`` as an ACGT string."""
+        return decode_sequence(self._sequences[chrom][left:right])
+
+    def with_variants(self, variants: list) -> "ReferenceGenome":
+        """A donor genome: copy with SNVs applied.
+
+        *variants* is a list of ``(chrom, position, alt_letter)``.
+        """
+        sequences = {
+            chrom: codes.copy() for chrom, codes in self._sequences.items()
+        }
+        for chrom, position, alt in variants:
+            sequences[chrom][position] = _CODE_BY_LETTER[ord(alt.upper())]
+        return ReferenceGenome(sequences, self.seed)

@@ -1,0 +1,30 @@
+"""Ontology layer: the UMLS-substitute of the paper's section 4.3.
+
+A compact biomedical terminology with IS-A/PART-OF reasoning, semantic
+annotation of GDM metadata, semantic closure, and ontology-aware query
+expansion for metadata search.
+"""
+
+from repro.ontology.annotate import (
+    annotate_dataset,
+    annotate_metadata,
+    expand_query_terms,
+    ontology_match,
+    semantic_closure_annotation,
+)
+from repro.ontology.graph import Ontology, builtin_ontology
+from repro.ontology.terms import IS_A, PART_OF, RELATIONS, Term
+
+__all__ = [
+    "IS_A",
+    "Ontology",
+    "PART_OF",
+    "RELATIONS",
+    "Term",
+    "annotate_dataset",
+    "annotate_metadata",
+    "builtin_ontology",
+    "expand_query_terms",
+    "ontology_match",
+    "semantic_closure_annotation",
+]

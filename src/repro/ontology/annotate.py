@@ -1,0 +1,72 @@
+"""Semantic annotation of GDM metadata with ontology terms.
+
+The section 4.3 recipe, end to end: metadata values are matched against
+term labels/synonyms ("annotating the metadata ... by means of UMLS"),
+the matched term sets are completed with their semantic closure, and
+queries can then be *expanded* -- searching for "cancer" finds samples
+annotated HeLa-S3 because the closure of HeLa-S3 contains the cancer
+cell-line concept.
+"""
+
+from __future__ import annotations
+
+from repro.gdm import Dataset, Metadata
+from repro.ontology.graph import Ontology
+
+
+def annotate_metadata(meta: Metadata, ontology: Ontology) -> set:
+    """Term ids matching any metadata value (exact label/synonym match)."""
+    matched: set = set()
+    for __, value in meta:
+        matched.update(ontology.find(str(value)))
+    return matched
+
+
+def semantic_closure_annotation(meta: Metadata, ontology: Ontology) -> set:
+    """Annotation completed with the semantic closure (the paper's step 2)."""
+    return ontology.closure(annotate_metadata(meta, ontology))
+
+
+def annotate_dataset(dataset: Dataset, ontology: Ontology) -> dict:
+    """Closure annotations for every sample: ``{sample_id: {term ids}}``."""
+    return {
+        sample.id: semantic_closure_annotation(sample.meta, ontology)
+        for sample in dataset
+    }
+
+
+def expand_query_terms(text: str, ontology: Ontology) -> set:
+    """Terms denoted by a query string, plus all their descendants.
+
+    A query for a general concept ("cancer") must match samples annotated
+    with any of its specialisations, so expansion goes *down* the DAG
+    (the closure of the sample annotations goes *up*; either side alone
+    suffices, both together are belt and braces for multi-hop matches).
+    """
+    seeds: set = set()
+    for token in text.replace(",", " ").split():
+        seeds.update(ontology.find(token))
+    seeds.update(ontology.find(text.strip()))
+    expanded = set(seeds)
+    for term_id in seeds:
+        expanded.update(ontology.descendants(term_id))
+    return expanded
+
+
+def ontology_match(
+    query_text: str, annotations: dict, ontology: Ontology
+) -> list:
+    """Sample ids whose closure annotation intersects the expanded query.
+
+    *annotations* is the output of :func:`annotate_dataset`.  Results are
+    sorted by descending overlap size (more shared concepts = better
+    match), then by sample id.
+    """
+    query_terms = expand_query_terms(query_text, ontology)
+    scored = []
+    for sample_id, terms in annotations.items():
+        overlap = len(terms & query_terms)
+        if overlap:
+            scored.append((-overlap, sample_id))
+    scored.sort()
+    return [sample_id for __, sample_id in scored]

@@ -1,0 +1,190 @@
+"""The ontology DAG: terms, relations, ancestors and a built-in terminology.
+
+Implements the reasoning the paper's section 4.3 requires: "semantically
+annotating the metadata of each repository's datasets by means of UMLS,
+and completing the information by performing the semantic closure of such
+annotations".  :meth:`Ontology.closure` is that semantic closure: the set
+of all ancestors reachable through IS-A/PART-OF edges.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OntologyError
+from repro.ontology.terms import IS_A, PART_OF, RELATIONS, Term
+
+
+class Ontology:
+    """A DAG of terms with typed edges and label lookup."""
+
+    def __init__(self) -> None:
+        self._terms: dict = {}
+        self._parents: dict = {}  # term_id -> set of (relation, parent_id)
+        self._by_label: dict = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_term(self, term: Term) -> Term:
+        """Register a term; duplicate ids are an error."""
+        if term.term_id in self._terms:
+            raise OntologyError(f"duplicate term id {term.term_id!r}")
+        self._terms[term.term_id] = term
+        self._parents[term.term_id] = set()
+        for label in term.labels():
+            self._by_label.setdefault(label, []).append(term.term_id)
+        return term
+
+    def add_relation(self, child_id: str, relation: str, parent_id: str) -> None:
+        """Add a typed edge; cycles are rejected."""
+        if relation not in RELATIONS:
+            raise OntologyError(f"unknown relation {relation!r}")
+        for term_id in (child_id, parent_id):
+            if term_id not in self._terms:
+                raise OntologyError(f"unknown term {term_id!r}")
+        if child_id == parent_id or child_id in self.closure({parent_id}):
+            raise OntologyError(
+                f"relation {child_id} -{relation}-> {parent_id} creates a cycle"
+            )
+        self._parents[child_id].add((relation, parent_id))
+
+    # -- lookup -------------------------------------------------------------------
+
+    def term(self, term_id: str) -> Term:
+        """Look up a term by id."""
+        try:
+            return self._terms[term_id]
+        except KeyError:
+            raise OntologyError(f"unknown term {term_id!r}") from None
+
+    def find(self, label: str) -> list:
+        """Term ids whose name or synonyms match *label* (case-insensitive)."""
+        return list(self._by_label.get(label.lower(), ()))
+
+    def __contains__(self, term_id: str) -> bool:
+        return term_id in self._terms
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def terms(self) -> tuple:
+        """All term ids, sorted."""
+        return tuple(sorted(self._terms))
+
+    # -- reasoning ------------------------------------------------------------------
+
+    def parents(self, term_id: str) -> set:
+        """Direct parents (any relation)."""
+        return {parent for __, parent in self._parents.get(term_id, ())}
+
+    def closure(self, term_ids: set) -> set:
+        """Semantic closure: the terms plus all their ancestors."""
+        result: set = set()
+        frontier = list(term_ids)
+        while frontier:
+            term_id = frontier.pop()
+            if term_id in result:
+                continue
+            result.add(term_id)
+            frontier.extend(self.parents(term_id))
+        return result
+
+    def descendants(self, term_id: str) -> set:
+        """All terms whose closure contains *term_id* (excludes itself)."""
+        return {
+            candidate
+            for candidate in self._terms
+            if candidate != term_id and term_id in self.closure({candidate})
+        }
+
+    def is_a(self, child_id: str, ancestor_id: str) -> bool:
+        """True when *ancestor_id* is in the child's closure."""
+        return ancestor_id in self.closure({child_id})
+
+
+def builtin_ontology() -> Ontology:
+    """The compact biomedical terminology the generators' metadata uses.
+
+    Mirrors the UMLS fragments a genomic-metadata annotator would touch:
+    cell lines, assays, antibodies/marks, tissues and disease states.
+    """
+    ontology = Ontology()
+
+    def term(term_id, name, *synonyms):
+        ontology.add_term(Term(term_id, name, tuple(synonyms)))
+
+    # Assays.
+    term("A:assay", "assay")
+    term("A:seq", "sequencing assay", "NGS assay")
+    term("A:chipseq", "ChIP-seq", "ChipSeq", "chip sequencing")
+    term("A:rnaseq", "RNA-seq", "RnaSeq")
+    term("A:dnaseseq", "DNase-seq", "DnaseSeq")
+    term("A:wgs", "whole genome sequencing", "WGS-sim")
+    term("A:repliseq", "Repli-seq", "Repli-seq-sim")
+    term("A:bliss", "breaks labeling in situ", "BLISS-sim")
+    for child in ("A:chipseq", "A:rnaseq", "A:dnaseseq", "A:wgs",
+                  "A:repliseq", "A:bliss"):
+        ontology.add_relation(child, IS_A, "A:seq")
+    ontology.add_relation("A:seq", IS_A, "A:assay")
+
+    # Molecules / marks.
+    term("M:protein", "protein")
+    term("M:tf", "transcription factor")
+    term("M:ctcf", "CTCF")
+    term("M:pol2", "RNA polymerase II", "POL2")
+    term("M:myc", "MYC")
+    term("M:rest", "REST")
+    term("M:histone_mark", "histone mark", "histone modification")
+    term("M:h3k27ac", "H3K27ac")
+    term("M:h3k4me1", "H3K4me1")
+    term("M:h3k4me3", "H3K4me3")
+    ontology.add_relation("M:tf", IS_A, "M:protein")
+    for tf in ("M:ctcf", "M:pol2", "M:myc", "M:rest"):
+        ontology.add_relation(tf, IS_A, "M:tf")
+    for mark in ("M:h3k27ac", "M:h3k4me1", "M:h3k4me3"):
+        ontology.add_relation(mark, IS_A, "M:histone_mark")
+
+    # Cells and tissues.
+    term("C:cell", "cell")
+    term("C:cell_line", "cell line")
+    term("C:cancer_line", "cancer cell line", "cancer")
+    term("C:normal_line", "normal cell line", "normal")
+    term("C:hela", "HeLa-S3", "HeLa")
+    term("C:k562", "K562")
+    term("C:hepg2", "HepG2")
+    term("C:a549", "A549")
+    term("C:gm12878", "GM12878")
+    term("C:h1", "H1-hESC", "H1")
+    term("T:tissue", "tissue")
+    term("T:cervix", "cervix")
+    term("T:blood", "blood")
+    term("T:liver", "liver")
+    term("T:lung", "lung")
+    ontology.add_relation("C:cell_line", IS_A, "C:cell")
+    ontology.add_relation("C:cancer_line", IS_A, "C:cell_line")
+    ontology.add_relation("C:normal_line", IS_A, "C:cell_line")
+    for line, kind, tissue in (
+        ("C:hela", "C:cancer_line", "T:cervix"),
+        ("C:k562", "C:cancer_line", "T:blood"),
+        ("C:hepg2", "C:cancer_line", "T:liver"),
+        ("C:a549", "C:cancer_line", "T:lung"),
+        ("C:gm12878", "C:normal_line", "T:blood"),
+        ("C:h1", "C:normal_line", None),
+    ):
+        ontology.add_relation(line, IS_A, kind)
+        if tissue:
+            ontology.add_relation(line, PART_OF, tissue)
+    for tissue in ("T:cervix", "T:blood", "T:liver", "T:lung"):
+        ontology.add_relation(tissue, IS_A, "T:tissue")
+
+    # Conditions.
+    term("D:condition", "experimental condition")
+    term("D:control", "control")
+    term("D:induced", "induced", "treated")
+    term("D:treatment", "treatment")
+    term("D:ifna", "IFNa", "interferon alpha")
+    term("D:estradiol", "estradiol")
+    ontology.add_relation("D:control", IS_A, "D:condition")
+    ontology.add_relation("D:induced", IS_A, "D:condition")
+    ontology.add_relation("D:ifna", IS_A, "D:treatment")
+    ontology.add_relation("D:estradiol", IS_A, "D:treatment")
+    ontology.add_relation("D:treatment", IS_A, "D:condition")
+    return ontology

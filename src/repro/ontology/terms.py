@@ -1,0 +1,38 @@
+"""Ontology terms: the vocabulary layer of the UMLS substitute.
+
+UMLS itself is licensed and enormous; we implement the same *machinery*
+(concepts with synonyms, IS-A/PART-OF relations, semantic closure) over a
+compact biomedical terminology covering the vocabulary our synthetic
+generators emit -- per DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OntologyError
+
+
+@dataclass(frozen=True)
+class Term:
+    """One ontology concept."""
+
+    term_id: str
+    name: str
+    synonyms: tuple = ()
+
+    def labels(self) -> tuple:
+        """All strings that denote this term (name + synonyms), lowercase."""
+        return tuple(
+            {self.name.lower(), *(s.lower() for s in self.synonyms)}
+        )
+
+    def __post_init__(self) -> None:
+        if not self.term_id or not self.name:
+            raise OntologyError("terms need an id and a name")
+
+
+#: Relation kinds supported by the ontology graph.
+IS_A = "is_a"
+PART_OF = "part_of"
+RELATIONS = (IS_A, PART_OF)

@@ -1,0 +1,22 @@
+"""Repository layer: catalogs, metadata indexing, staging, access services.
+
+Implements the integrated-access vision of the paper's section 4.3 over
+local catalogs; the federation (section 4.4) and search (section 4.5)
+packages build on these pieces.
+"""
+
+from repro.repository.catalog import Catalog, DatasetStore
+from repro.repository.index import MetadataIndex, tokenize_value
+from repro.repository.service import CustomQuery, RepositoryService
+from repro.repository.staging import StagedResult, StagingArea
+
+__all__ = [
+    "Catalog",
+    "CustomQuery",
+    "DatasetStore",
+    "MetadataIndex",
+    "RepositoryService",
+    "StagedResult",
+    "StagingArea",
+    "tokenize_value",
+]

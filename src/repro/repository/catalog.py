@@ -1,0 +1,112 @@
+"""Dataset catalogs: named GDM datasets, in memory and on disk.
+
+A :class:`Catalog` is the unit the vision systems share: repository
+services, federation nodes and Internet-of-Genomes hosts all expose one.
+:class:`DatasetStore` persists a catalog as a directory of GMQL-layout
+dataset directories (see :mod:`repro.formats.meta`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from repro.errors import RepositoryError
+from repro.formats import read_dataset, write_dataset
+from repro.gdm import Dataset
+
+
+class Catalog:
+    """Named datasets plus their summaries."""
+
+    def __init__(self, name: str = "catalog") -> None:
+        self.name = name
+        self._datasets: dict = {}
+
+    def register(self, dataset: Dataset, replace: bool = False) -> None:
+        """Add a dataset under its own name."""
+        if dataset.name in self._datasets and not replace:
+            raise RepositoryError(
+                f"dataset {dataset.name!r} already registered in {self.name!r}"
+            )
+        self._datasets[dataset.name] = dataset
+
+    def get(self, name: str) -> Dataset:
+        """Look a dataset up by name."""
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise RepositoryError(
+                f"no dataset {name!r} in catalog {self.name!r}; "
+                f"available: {sorted(self._datasets)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._datasets
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    def __iter__(self) -> Iterator[Dataset]:
+        for name in sorted(self._datasets):
+            yield self._datasets[name]
+
+    def names(self) -> tuple:
+        """Sorted dataset names."""
+        return tuple(sorted(self._datasets))
+
+    def summaries(self) -> list:
+        """Summary dictionaries of all datasets (the "information about
+        remote datasets" of the federation protocol)."""
+        return [self._datasets[name].summary() for name in sorted(self._datasets)]
+
+    def as_sources(self) -> dict:
+        """``{name: Dataset}`` view usable by :func:`repro.gmql.run`."""
+        return dict(self._datasets)
+
+    def total_size_bytes(self) -> int:
+        """Estimated serialised size of the whole catalog."""
+        return sum(ds.estimated_size_bytes() for ds in self._datasets.values())
+
+
+class DatasetStore:
+    """Directory-backed persistence for a catalog."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def save(self, dataset: Dataset) -> str:
+        """Persist one dataset; returns its directory."""
+        directory = os.path.join(self.root, dataset.name)
+        write_dataset(dataset, directory)
+        return directory
+
+    def load(self, name: str) -> Dataset:
+        """Load one dataset by name."""
+        directory = os.path.join(self.root, name)
+        if not os.path.isdir(directory):
+            raise RepositoryError(f"no stored dataset {name!r} in {self.root!r}")
+        return read_dataset(directory, name)
+
+    def names(self) -> tuple:
+        """Sorted names of the stored datasets."""
+        return tuple(
+            sorted(
+                entry
+                for entry in os.listdir(self.root)
+                if os.path.isdir(os.path.join(self.root, entry))
+            )
+        )
+
+    def load_catalog(self, name: str = "store") -> Catalog:
+        """Load every stored dataset into a fresh catalog."""
+        catalog = Catalog(name)
+        for dataset_name in self.names():
+            catalog.register(self.load(dataset_name))
+        return catalog
+
+    def save_catalog(self, catalog: Catalog) -> None:
+        """Persist every dataset of a catalog."""
+        for dataset in catalog:
+            self.save(dataset)

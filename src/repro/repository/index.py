@@ -1,0 +1,82 @@
+"""Metadata indexing: fast lookup from attribute/value to samples.
+
+The inverted index behind both the repository service's "locating data of
+interest" (section 4.4) and the keyword search of section 4.5: every
+metadata pair of every sample of every dataset is indexed as
+``attribute -> value -> [(dataset, sample_id)]``, plus a token index over
+values for free-text lookup.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.gdm import Dataset
+
+_TOKEN = re.compile(r"[A-Za-z0-9]+")
+
+
+def tokenize_value(value) -> list:
+    """Lowercased alphanumeric tokens of a metadata value."""
+    return [t.lower() for t in _TOKEN.findall(str(value))]
+
+
+class MetadataIndex:
+    """Inverted index over the metadata of one or more datasets."""
+
+    def __init__(self) -> None:
+        self._by_pair: dict = {}    # (attribute, value_str) -> set of keys
+        self._by_token: dict = {}   # token -> set of keys
+        self._meta: dict = {}       # key -> Metadata
+        self._indexed_pairs = 0
+
+    def add_dataset(self, dataset: Dataset) -> None:
+        """Index every sample of a dataset."""
+        for sample in dataset:
+            key = (dataset.name, sample.id)
+            self._meta[key] = sample.meta
+            for attribute, value in sample.meta:
+                self._by_pair.setdefault(
+                    (attribute, str(value).lower()), set()
+                ).add(key)
+                self._indexed_pairs += 1
+                for token in tokenize_value(value) + tokenize_value(attribute):
+                    self._by_token.setdefault(token, set()).add(key)
+
+    # -- lookup ------------------------------------------------------------------
+
+    def lookup(self, attribute: str, value) -> set:
+        """Samples carrying the exact (attribute, value) pair."""
+        return set(self._by_pair.get((attribute, str(value).lower()), ()))
+
+    def lookup_token(self, token: str) -> set:
+        """Samples whose metadata mentions *token* anywhere."""
+        return set(self._by_token.get(token.lower(), ()))
+
+    def keys(self) -> set:
+        """All indexed (dataset, sample_id) keys."""
+        return set(self._meta)
+
+    def metadata_of(self, key: tuple):
+        """The metadata of one indexed sample."""
+        return self._meta[key]
+
+    def attribute_values(self, attribute: str) -> set:
+        """Distinct values observed for an attribute (for UIs/protocols)."""
+        return {
+            value
+            for (attr, value), __ in self._by_pair.items()
+            if attr == attribute
+        }
+
+    def __len__(self) -> int:
+        """Number of indexed samples."""
+        return len(self._meta)
+
+    def stats(self) -> dict:
+        """Index size statistics."""
+        return {
+            "samples": len(self._meta),
+            "pairs": self._indexed_pairs,
+            "tokens": len(self._by_token),
+        }

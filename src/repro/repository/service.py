@@ -1,0 +1,196 @@
+"""The integrated-access service of section 4.3.
+
+One front door over a catalog, providing the four improvements the paper
+lists for next-generation repository services:
+
+* compatible metadata across datasets (via the shared
+  :class:`~repro.repository.index.MetadataIndex` and ontology
+  annotations);
+* a set of **custom queries** "representing the typical/most needed
+  requests", registered as parameterised GMQL templates;
+* **user input samples** whose privacy is protected -- uploaded datasets
+  live in a per-session namespace, are never listed publicly, and are
+  deleted when the session closes (likewise user-written personalised
+  queries are not logged);
+* **deferred result retrieval** through the bounded
+  :class:`~repro.repository.staging.StagingArea`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import RepositoryError
+from repro.gdm import Dataset
+from repro.gmql.lang import execute
+from repro.ontology import Ontology, annotate_dataset, builtin_ontology
+from repro.repository.catalog import Catalog
+from repro.repository.index import MetadataIndex
+from repro.repository.staging import StagingArea
+
+
+class CustomQuery:
+    """A registered GMQL template with ``{placeholder}`` parameters."""
+
+    def __init__(self, name: str, template: str, description: str = "",
+                 parameters: tuple = ()) -> None:
+        self.name = name
+        self.template = template
+        self.description = description
+        self.parameters = tuple(parameters)
+
+    def render(self, arguments: dict) -> str:
+        """Fill the template; missing/unknown arguments are errors."""
+        missing = set(self.parameters) - set(arguments)
+        if missing:
+            raise RepositoryError(
+                f"custom query {self.name!r} missing parameters {sorted(missing)}"
+            )
+        unknown = set(arguments) - set(self.parameters)
+        if unknown:
+            raise RepositoryError(
+                f"custom query {self.name!r} got unknown parameters "
+                f"{sorted(unknown)}"
+            )
+        return self.template.format(**arguments)
+
+
+class RepositoryService:
+    """Catalog + index + ontology + custom queries + staging, in one place."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        ontology: Ontology | None = None,
+        staging_budget_bytes: int = 1_000_000,
+    ) -> None:
+        self.catalog = catalog
+        self.ontology = ontology or builtin_ontology()
+        self.index = MetadataIndex()
+        self.annotations: dict = {}
+        for dataset in catalog:
+            self.index.add_dataset(dataset)
+            self.annotations[dataset.name] = annotate_dataset(
+                dataset, self.ontology
+            )
+        self.staging = StagingArea(budget_bytes=staging_budget_bytes)
+        self._custom: dict = {}
+        self._sessions: dict = {}
+        self._session_ids = itertools.count(1)
+
+    # -- catalog browsing ----------------------------------------------------------
+
+    def list_datasets(self) -> list:
+        """Public dataset summaries (user uploads are never listed)."""
+        return self.catalog.summaries()
+
+    def find_samples(self, query: str) -> list:
+        """Ontology-aware sample lookup across the whole catalog.
+
+        Expands the query through the ontology and matches it against the
+        semantic-closure annotations of every sample, returning
+        ``(dataset_name, sample_id)`` pairs best-first -- the "keyword-
+        based or free text queries" UI of section 4.3.
+        """
+        from repro.ontology import ontology_match
+
+        results = []
+        for dataset_name, annotations in self.annotations.items():
+            for sample_id in ontology_match(query, annotations, self.ontology):
+                results.append((dataset_name, sample_id))
+        # Fall back to literal token lookup for values outside the ontology.
+        for token in query.split():
+            for key in sorted(self.index.lookup_token(token)):
+                if key not in results:
+                    results.append(key)
+        return results
+
+    # -- custom queries ---------------------------------------------------------------
+
+    def register_custom_query(self, query: CustomQuery) -> None:
+        """Publish a custom query."""
+        if query.name in self._custom:
+            raise RepositoryError(f"custom query {query.name!r} already exists")
+        self._custom[query.name] = query
+
+    def custom_queries(self) -> list:
+        """Available custom queries, ``(name, description, parameters)``."""
+        return [
+            (q.name, q.description, q.parameters)
+            for __, q in sorted(self._custom.items())
+        ]
+
+    def run_custom_query(
+        self, name: str, arguments: dict, session: str | None = None,
+        engine: str = "naive",
+    ) -> dict:
+        """Execute a custom query; returns staging tickets per output.
+
+        Results are staged rather than returned inline -- the deferred
+        retrieval of section 4.3.
+        """
+        try:
+            query = self._custom[name]
+        except KeyError:
+            raise RepositoryError(f"no custom query {name!r}") from None
+        return self._run(query.render(arguments), session, engine)
+
+    def run_personal_query(
+        self, program: str, session: str | None = None, engine: str = "naive"
+    ) -> dict:
+        """Execute a user-written query (not logged, not registered)."""
+        return self._run(program, session, engine)
+
+    def _run(self, program: str, session: str | None, engine: str) -> dict:
+        sources = self.catalog.as_sources()
+        if session is not None:
+            sources.update(self._session_datasets(session))
+        results = execute(program, sources, engine=engine)
+        return {
+            name: {
+                "ticket": self.staging.stage(dataset),
+                "summary": dataset.summary(),
+            }
+            for name, dataset in results.items()
+        }
+
+    # -- user sessions and private uploads -----------------------------------------------
+
+    def open_session(self) -> str:
+        """Open a private session for uploads and personalised queries."""
+        session = f"S{next(self._session_ids):04d}"
+        self._sessions[session] = {}
+        return session
+
+    def upload_sample_data(self, session: str, dataset: Dataset) -> None:
+        """Attach a private dataset to a session (never indexed/listed)."""
+        datasets = self._session_datasets(session)
+        datasets[dataset.name] = dataset
+
+    def close_session(self, session: str) -> None:
+        """Close a session; private data is discarded immediately."""
+        self._sessions.pop(session, None)
+
+    def _session_datasets(self, session: str) -> dict:
+        try:
+            return self._sessions[session]
+        except KeyError:
+            raise RepositoryError(f"unknown session {session!r}") from None
+
+    # -- retrieval -------------------------------------------------------------------------
+
+    def retrieve(self, ticket: str) -> bytes:
+        """Fetch a whole staged result."""
+        return self.staging.retrieve_all(ticket)
+
+    def retrieve_chunk(self, ticket: str, index: int) -> bytes:
+        """Fetch one chunk of a staged result (client-paced transfer)."""
+        return self.staging.retrieve_chunk(ticket, index)
+
+    def retrieve_metadata(self, ticket: str) -> bytes:
+        """Selectively fetch only the metadata of a staged result."""
+        return self.staging.retrieve_metadata(ticket)
+
+    def retrieve_regions(self, ticket: str) -> bytes:
+        """Selectively fetch only the regions of a staged result."""
+        return self.staging.retrieve_regions(ticket)

@@ -1,0 +1,147 @@
+"""Result staging and deferred retrieval (paper, section 4.3/4.4).
+
+"Deferred result retrieval will be possible, through limited amount of
+staging at the sites hosting the services" and the client should be "in
+control of staging resources and of communication load".  A
+:class:`StagingArea` holds materialised results up to a byte budget,
+serves them in chunks, and evicts least-recently-used entries when a new
+result would not fit.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import RepositoryError
+from repro.formats.bed import CustomBedFormat
+from repro.gdm import Dataset
+
+
+class StagedResult:
+    """One staged result: serialised sample chunks plus bookkeeping.
+
+    Regions and metadata serialise into *separate* sections so a client
+    can "selectively retrieve regions or metadata" (paper, section 4.3) --
+    e.g. fetch only the metadata to decide whether the big region payload
+    is worth the transfer.
+    """
+
+    def __init__(self, ticket: str, dataset: Dataset, chunk_bytes: int) -> None:
+        self.ticket = ticket
+        self.name = dataset.name
+        region_format = CustomBedFormat(dataset.schema)
+        from repro.formats.meta import serialize_meta
+        from repro.formats.bed import schema_to_header
+
+        meta_parts = [f"#schema\t{schema_to_header(dataset.schema)}\n"]
+        region_parts = []
+        for sample in dataset:
+            meta_parts.append(f"#sample\t{sample.id}\n")
+            meta_parts.append(serialize_meta(sample.meta))
+            region_parts.append(f"#sample\t{sample.id}\n")
+            region_parts.append(region_format.serialize(sample.regions))
+        self.meta_blob = "".join(meta_parts).encode()
+        self.region_blob = "".join(region_parts).encode()
+        blob = self.meta_blob + self.region_blob
+        self.chunks = [
+            blob[offset: offset + chunk_bytes]
+            for offset in range(0, len(blob), chunk_bytes)
+        ] or [b""]
+        self.size_bytes = len(blob)
+        self.retrieved = [False] * len(self.chunks)
+
+    @property
+    def complete(self) -> bool:
+        """True once every chunk has been retrieved at least once."""
+        return all(self.retrieved)
+
+
+class StagingArea:
+    """LRU-bounded staging of query results with chunked retrieval."""
+
+    def __init__(self, budget_bytes: int = 1_000_000,
+                 chunk_bytes: int = 16_384) -> None:
+        if budget_bytes <= 0 or chunk_bytes <= 0:
+            raise RepositoryError("staging budget and chunk size must be positive")
+        self.budget_bytes = budget_bytes
+        self.chunk_bytes = chunk_bytes
+        self._staged: dict = {}  # ticket -> StagedResult (insertion = LRU order)
+        self._tickets = itertools.count(1)
+        self.evictions = 0
+
+    def used_bytes(self) -> int:
+        """Bytes currently staged."""
+        return sum(result.size_bytes for result in self._staged.values())
+
+    def stage(self, dataset: Dataset) -> str:
+        """Stage a result; returns a retrieval ticket.
+
+        Evicts least-recently-used results until the new one fits; a
+        result larger than the whole budget is refused (the client must
+        raise its budget or narrow the query -- exactly the control the
+        paper wants the protocol to give).
+        """
+        probe = StagedResult("probe", dataset, self.chunk_bytes)
+        if probe.size_bytes > self.budget_bytes:
+            raise RepositoryError(
+                f"result of {probe.size_bytes} bytes exceeds the staging "
+                f"budget of {self.budget_bytes}"
+            )
+        while self.used_bytes() + probe.size_bytes > self.budget_bytes:
+            oldest = next(iter(self._staged))
+            del self._staged[oldest]
+            self.evictions += 1
+        ticket = f"T{next(self._tickets):06d}"
+        probe.ticket = ticket
+        self._staged[ticket] = probe
+        return ticket
+
+    def chunk_count(self, ticket: str) -> int:
+        """Number of chunks of a staged result."""
+        return len(self._result(ticket).chunks)
+
+    def retrieve_chunk(self, ticket: str, index: int) -> bytes:
+        """Fetch one chunk (marks it retrieved; refreshes LRU position)."""
+        result = self._result(ticket)
+        if not 0 <= index < len(result.chunks):
+            raise RepositoryError(
+                f"chunk {index} out of range for ticket {ticket!r}"
+            )
+        result.retrieved[index] = True
+        # Refresh recency.
+        del self._staged[ticket]
+        self._staged[ticket] = result
+        return result.chunks[index]
+
+    def retrieve_all(self, ticket: str) -> bytes:
+        """Fetch the whole result (all chunks, in order)."""
+        result = self._result(ticket)
+        return b"".join(
+            self.retrieve_chunk(ticket, index)
+            for index in range(len(result.chunks))
+        )
+
+    def retrieve_metadata(self, ticket: str) -> bytes:
+        """Fetch only the metadata section of a staged result.
+
+        The selective-retrieval path of section 4.3: metadata are tiny,
+        so a client can inspect them before committing to the region
+        payload.
+        """
+        return self._result(ticket).meta_blob
+
+    def retrieve_regions(self, ticket: str) -> bytes:
+        """Fetch only the region section of a staged result."""
+        return self._result(ticket).region_blob
+
+    def release(self, ticket: str) -> None:
+        """Free a staged result."""
+        self._staged.pop(ticket, None)
+
+    def _result(self, ticket: str) -> StagedResult:
+        try:
+            return self._staged[ticket]
+        except KeyError:
+            raise RepositoryError(
+                f"unknown or evicted staging ticket {ticket!r}"
+            ) from None

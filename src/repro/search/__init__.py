@@ -1,0 +1,38 @@
+"""Search methods and the Internet of Genomes (paper, section 4.5).
+
+Metadata search (keyword / free text / ontology-expanded), feature-based
+region search with the compute-then-rank loop, retrieval evaluation, and
+the publish/crawl/index/search simulation of the Internet of Genomes.
+"""
+
+from repro.search.evaluation import (
+    average_precision,
+    precision_at_k,
+    precision_recall,
+)
+from repro.search.iog import (
+    CrawlReport,
+    Crawler,
+    GenomeHost,
+    GenomeSearchService,
+    PublishedLink,
+)
+from repro.search.metadata import MetadataSearch
+from repro.search.ranking import cosine_similarity, tf_idf_scores
+from repro.search.regions import BUILTIN_FEATURES, RegionSearch
+
+__all__ = [
+    "BUILTIN_FEATURES",
+    "CrawlReport",
+    "Crawler",
+    "GenomeHost",
+    "GenomeSearchService",
+    "MetadataSearch",
+    "PublishedLink",
+    "RegionSearch",
+    "average_precision",
+    "cosine_similarity",
+    "precision_at_k",
+    "precision_recall",
+    "tf_idf_scores",
+]

@@ -1,0 +1,39 @@
+"""Retrieval evaluation: "classical measures of precision and recall"
+(paper, section 4.5)."""
+
+from __future__ import annotations
+
+
+def precision_recall(retrieved: list, relevant: set) -> dict:
+    """Precision/recall/F1 of a retrieved list against a relevant set."""
+    retrieved_set = set(retrieved)
+    true_positives = len(retrieved_set & relevant)
+    precision = true_positives / len(retrieved_set) if retrieved_set else 0.0
+    recall = true_positives / len(relevant) if relevant else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def average_precision(ranked: list, relevant: set) -> float:
+    """Mean of precision@k at each relevant hit (order-sensitive)."""
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for rank, key in enumerate(ranked, start=1):
+        if key in relevant:
+            hits += 1
+            total += hits / rank
+    return total / len(relevant)
+
+
+def precision_at_k(ranked: list, relevant: set, k: int) -> float:
+    """Precision among the first *k* results."""
+    if k <= 0:
+        return 0.0
+    top = ranked[:k]
+    return sum(1 for key in top if key in relevant) / k

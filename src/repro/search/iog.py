@@ -1,0 +1,331 @@
+"""The Internet of Genomes (paper, section 4.5): publish, crawl, search.
+
+The paper's "most ambitious and challenging vision": research centres
+publish links to their experimental data with metadata under a simple
+protocol; a third-party search service periodically crawls the hosts,
+indexes the metadata (and optionally mirrors some datasets), and answers
+search queries with snippets plus an indication of whether each dataset
+is mirrored; users then download from the owning host asynchronously.
+
+Everything is simulated in-process: :class:`GenomeHost` is a publishing
+site, :class:`Crawler` fetches under a politeness budget, and
+:class:`GenomeSearchService` indexes and serves queries.  Transfers are
+accounted on a :class:`~repro.federation.transfer.Network`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import SearchError
+from repro.federation.transfer import Network
+from repro.gdm import Dataset
+from repro.repository.index import tokenize_value
+from repro.search.ranking import tf_idf_scores
+
+
+@dataclass(frozen=True)
+class PublishedLink:
+    """One published dataset link: the unit of the publishing protocol."""
+
+    host: str
+    dataset_name: str
+    url: str
+    metadata_pairs: tuple       # ((attribute, value), ...)
+    size_bytes: int
+    version: int                # bumped when the host updates the dataset
+
+    def metadata_size_bytes(self) -> int:
+        """Size of the crawlable metadata record."""
+        return 64 + sum(
+            len(str(a)) + len(str(v)) for a, v in self.metadata_pairs
+        )
+
+
+class GenomeHost:
+    """A research centre publishing download links with metadata."""
+
+    def __init__(self, name: str, network: Network) -> None:
+        self.name = name
+        self.network = network
+        self._published: dict = {}   # dataset name -> (link, dataset)
+        self._versions = itertools.count(1)
+        self.fetches = 0
+        #: When true the host refuses protocol fetches (simulated outage);
+        #: crawlers must tolerate this and retry on later passes.
+        self.offline = False
+
+    def publish(self, dataset: Dataset, public: bool = True) -> PublishedLink:
+        """Publish a dataset link (the paper's reviewer-download practice).
+
+        Non-public links exist but are invisible to crawlers, like a
+        download URL shared only within a paper's review process.
+        """
+        link = PublishedLink(
+            host=self.name,
+            dataset_name=dataset.name,
+            url=f"genome://{self.name}/{dataset.name}",
+            metadata_pairs=tuple(
+                (attribute, value)
+                for sample in dataset
+                for attribute, value in sample.meta
+            ),
+            size_bytes=dataset.estimated_size_bytes(),
+            version=next(self._versions),
+        )
+        self._published[dataset.name] = (link, dataset, public)
+        return link
+
+    def update(self, dataset: Dataset) -> PublishedLink:
+        """Republish a new version of a dataset (staleness for crawlers)."""
+        if dataset.name not in self._published:
+            raise SearchError(f"{dataset.name!r} was never published")
+        public = self._published[dataset.name][2]
+        return self.publish(dataset, public)
+
+    def crawlable_links(self, requester: str) -> list:
+        """Serve the public link list (one protocol fetch)."""
+        if self.offline:
+            raise SearchError(f"host {self.name!r} is unreachable")
+        links = [
+            link for link, __, public in self._published.values() if public
+        ]
+        payload = 64 + sum(link.metadata_size_bytes() for link in links)
+        self.network.send(self.name, requester, "crawl-links", payload)
+        self.fetches += 1
+        return links
+
+    def download(self, dataset_name: str, requester: str) -> Dataset:
+        """Serve a dataset download (the asynchronous user fetch)."""
+        if self.offline:
+            raise SearchError(f"host {self.name!r} is unreachable")
+        try:
+            link, dataset, __ = self._published[dataset_name]
+        except KeyError:
+            raise SearchError(
+                f"host {self.name!r} does not publish {dataset_name!r}"
+            ) from None
+        self.network.send(self.name, requester, "dataset-download",
+                          link.size_bytes)
+        return dataset
+
+
+@dataclass
+class CrawlReport:
+    """What one crawl pass did."""
+
+    hosts_visited: int = 0
+    hosts_failed: int = 0
+    links_seen: int = 0
+    links_new_or_updated: int = 0
+    datasets_mirrored: int = 0
+    bytes_fetched: int = 0
+
+
+class Crawler:
+    """Periodic, polite crawler feeding the search service."""
+
+    def __init__(
+        self,
+        hosts: list,
+        network: Network,
+        name: str = "crawler",
+        mirror_budget_bytes: int = 0,
+    ) -> None:
+        self.hosts = {host.name: host for host in hosts}
+        self.network = network
+        self.name = name
+        self.mirror_budget_bytes = mirror_budget_bytes
+
+    def crawl(self, service: "GenomeSearchService",
+              max_hosts: int | None = None) -> CrawlReport:
+        """One crawl pass: fetch links, index changes, mirror within budget.
+
+        *max_hosts* bounds the pass (the crawl budget of experiment E12);
+        hosts are visited in least-recently-crawled order so repeated
+        passes eventually cover everything.
+        """
+        report = CrawlReport()
+        order = sorted(
+            self.hosts.values(),
+            key=lambda host: service.last_crawled.get(host.name, -1),
+        )
+        if max_hosts is not None:
+            order = order[:max_hosts]
+        mirrored_bytes = service.mirrored_bytes()
+        for host in order:
+            baseline = self.network.log.bytes_total
+            try:
+                links = host.crawlable_links(self.name)
+            except SearchError:
+                # Unreachable host: count the failure but do not advance
+                # its last-crawled clock, so the next pass retries it first.
+                report.hosts_failed += 1
+                continue
+            report.hosts_visited += 1
+            service.last_crawled[host.name] = service.clock
+            for link in links:
+                report.links_seen += 1
+                known = service.links.get(link.url)
+                if known is None or known.version < link.version:
+                    service.index_link(link)
+                    report.links_new_or_updated += 1
+                    if (
+                        self.mirror_budget_bytes
+                        and mirrored_bytes + link.size_bytes
+                        <= self.mirror_budget_bytes
+                    ):
+                        dataset = host.download(link.dataset_name, self.name)
+                        service.mirror(link, dataset)
+                        mirrored_bytes += link.size_bytes
+                        report.datasets_mirrored += 1
+            report.bytes_fetched += self.network.log.bytes_total - baseline
+        service.clock += 1
+        return report
+
+
+class GenomeSearchService:
+    """The third-party search system over crawled metadata."""
+
+    #: Features precomputed on every mirrored dataset (section 4.5:
+    #: "possibly pre-computing some features of their regions").
+    PRECOMPUTED_FEATURES = ("region_count", "mean_length", "covered_positions")
+
+    def __init__(self) -> None:
+        self.links: dict = {}       # url -> PublishedLink
+        self.mirrors: dict = {}     # url -> Dataset
+        self.last_crawled: dict = {}
+        self.clock = 0
+        self._documents: dict = {}  # url -> token list
+        from repro.search.regions import RegionSearch
+
+        self._features = RegionSearch()
+        self._feature_urls: dict = {}  # (dataset_name, sample_id) -> url
+
+    # -- indexing ------------------------------------------------------------------
+
+    def index_link(self, link: PublishedLink) -> None:
+        """(Re)index one published link's metadata."""
+        self.links[link.url] = link
+        tokens = []
+        for attribute, value in link.metadata_pairs:
+            tokens.extend(tokenize_value(attribute))
+            tokens.extend(tokenize_value(value))
+        tokens.extend(tokenize_value(link.dataset_name))
+        self._documents[link.url] = tokens
+        # Drop a stale mirror: it no longer matches the published version.
+        self.mirrors.pop(link.url, None)
+
+    def mirror(self, link: PublishedLink, dataset: Dataset) -> None:
+        """Store a local copy of a dataset and precompute region features.
+
+        Mirrored data is what feature-based search can rank without
+        touching the owning host.
+        """
+        self.mirrors[link.url] = dataset
+        self._features.add_dataset(dataset,
+                                   precompute=self.PRECOMPUTED_FEATURES)
+        for sample in dataset:
+            self._feature_urls[(dataset.name, sample.id)] = link.url
+
+    def feature_search(self, targets: dict, limit: int = 10) -> list:
+        """Rank mirrored samples by region features (no host contact).
+
+        Returns ``[{url, dataset, sample_id}, ...]`` best-first; only
+        features in :attr:`PRECOMPUTED_FEATURES` are answerable from the
+        mirror index -- anything else raises, telling the caller to
+        download and compute locally.
+        """
+        unknown = set(targets) - set(self.PRECOMPUTED_FEATURES)
+        if unknown:
+            raise SearchError(
+                f"features {sorted(unknown)} are not precomputed on mirrors; "
+                f"download the datasets and compute locally"
+            )
+        ranked = self._features.search(targets, limit=limit)
+        return [
+            {
+                "url": self._feature_urls[key],
+                "dataset": key[0],
+                "sample_id": key[1],
+            }
+            for key in ranked
+        ]
+
+    def mirrored_bytes(self) -> int:
+        """Bytes of mirrored data currently held."""
+        return sum(
+            self.links[url].size_bytes for url in self.mirrors
+        )
+
+    # -- querying -------------------------------------------------------------------
+
+    def search(self, query: str, limit: int = 10) -> list:
+        """Ranked results with snippets and mirror indication.
+
+        Each result is ``{url, host, dataset, score, mirrored, snippet}``
+        -- "result snippets, with an indication of the presence of each
+        dataset in the repository" (the paper's words).
+        """
+        ranked = tf_idf_scores(tokenize_value(query), self._documents)
+        results = []
+        for url, score in ranked[:limit]:
+            link = self.links[url]
+            query_tokens = set(tokenize_value(query))
+            matching_pairs = [
+                f"{a}={v}"
+                for a, v in link.metadata_pairs
+                if (set(tokenize_value(a)) | set(tokenize_value(v)))
+                & query_tokens
+            ]
+            results.append(
+                {
+                    "url": url,
+                    "host": link.host,
+                    "dataset": link.dataset_name,
+                    "score": score,
+                    "mirrored": url in self.mirrors,
+                    "snippet": "; ".join(matching_pairs[:3]),
+                }
+            )
+        return results
+
+    def locate(self, dataset_name: str) -> list:
+        """Hosts publishing a dataset of this name (for async download)."""
+        return sorted(
+            link.host
+            for link in self.links.values()
+            if link.dataset_name == dataset_name
+        )
+
+    # -- health metrics ----------------------------------------------------------------
+
+    def coverage(self, hosts: list) -> float:
+        """Fraction of all published public links currently indexed."""
+        published = 0
+        indexed = 0
+        for host in hosts:
+            for link, __, public in host._published.values():
+                if not public:
+                    continue
+                published += 1
+                known = self.links.get(link.url)
+                if known is not None:
+                    indexed += 1
+        return indexed / published if published else 1.0
+
+    def freshness(self, hosts: list) -> float:
+        """Fraction of indexed links whose version is current."""
+        current = total = 0
+        for host in hosts:
+            for link, __, public in host._published.values():
+                if not public:
+                    continue
+                known = self.links.get(link.url)
+                if known is None:
+                    continue
+                total += 1
+                if known.version == link.version:
+                    current += 1
+        return current / total if total else 1.0

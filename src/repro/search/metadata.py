@@ -1,0 +1,97 @@
+"""Metadata search: keyword, free-text and ontology-expanded (section 4.5).
+
+"Search methods should locate relevant samples within very large bodies,
+using classical measures of precision and recall; keyword-based search or
+free text querying should be supported."  Three modes over a
+:class:`~repro.repository.index.MetadataIndex`:
+
+* **keyword** -- boolean AND over exact tokens;
+* **free text** -- TF-IDF ranking of samples as token documents;
+* **ontology** -- free text expanded with ontology descendants, so
+  "cancer" retrieves HeLa-S3 samples (experiment E10 quantifies the
+  recall this buys).
+"""
+
+from __future__ import annotations
+
+from repro.gdm import Dataset
+from repro.ontology import Ontology, builtin_ontology, expand_query_terms
+from repro.repository.index import MetadataIndex, tokenize_value
+from repro.search.ranking import tf_idf_scores
+
+
+class MetadataSearch:
+    """Search service over the metadata of registered datasets."""
+
+    def __init__(self, ontology: Ontology | None = None) -> None:
+        self.index = MetadataIndex()
+        self.ontology = ontology or builtin_ontology()
+        self._documents: dict = {}  # key -> token list
+
+    def add_dataset(self, dataset: Dataset) -> None:
+        """Index a dataset's samples for all search modes."""
+        self.index.add_dataset(dataset)
+        for sample in dataset:
+            tokens = []
+            for attribute, value in sample.meta:
+                tokens.extend(tokenize_value(attribute))
+                tokens.extend(tokenize_value(value))
+            self._documents[(dataset.name, sample.id)] = tokens
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    # -- modes --------------------------------------------------------------------
+
+    def keyword_search(self, *keywords: str) -> list:
+        """Samples whose metadata contains *every* keyword (AND semantics).
+
+        Returns sorted (dataset, sample_id) keys.
+        """
+        if not keywords:
+            return []
+        result: set | None = None
+        for keyword in keywords:
+            hits = self.index.lookup_token(keyword)
+            result = hits if result is None else result & hits
+        return sorted(result or ())
+
+    def free_text_search(self, query: str, limit: int | None = None) -> list:
+        """TF-IDF-ranked samples for a free-text query."""
+        tokens = tokenize_value(query)
+        ranked = [key for key, __ in tf_idf_scores(tokens, self._documents)]
+        return ranked[:limit] if limit is not None else ranked
+
+    def ontology_search(self, query: str, limit: int | None = None) -> list:
+        """Free-text search with ontology expansion.
+
+        The query's concepts are expanded to all their descendants'
+        labels, and the union of per-label TF-IDF rankings is merged by
+        best score.
+        """
+        expanded_terms = expand_query_terms(query, self.ontology)
+        expansion_tokens = list(tokenize_value(query))
+        for term_id in expanded_terms:
+            term = self.ontology.term(term_id)
+            for label in term.labels():
+                expansion_tokens.extend(tokenize_value(label))
+        ranked = [
+            key for key, __ in tf_idf_scores(expansion_tokens, self._documents)
+        ]
+        return ranked[:limit] if limit is not None else ranked
+
+    # -- snippets -------------------------------------------------------------------
+
+    def snippet(self, key: tuple, query: str, max_pairs: int = 3) -> str:
+        """A result snippet: the metadata pairs matching the query first."""
+        meta = self.index.metadata_of(key)
+        query_tokens = set(tokenize_value(query))
+        matching = []
+        other = []
+        for attribute, value in meta:
+            tokens = set(tokenize_value(attribute)) | set(tokenize_value(value))
+            (matching if tokens & query_tokens else other).append(
+                f"{attribute}={value}"
+            )
+        chosen = (matching + other)[:max_pairs]
+        return f"{key[0]}[{key[1]}]: " + "; ".join(chosen)

@@ -1,0 +1,51 @@
+"""Ranking primitives shared by the search services: TF-IDF and cosine."""
+
+from __future__ import annotations
+
+import math
+
+
+def tf_idf_scores(query_tokens: list, documents: dict) -> list:
+    """Rank documents by TF-IDF relevance to a token list.
+
+    *documents* maps document key to its token list.  Returns
+    ``[(key, score), ...]`` sorted by descending score, zero-score
+    documents omitted.
+    """
+    n_documents = len(documents)
+    if n_documents == 0:
+        return []
+    document_frequency: dict = {}
+    term_counts: dict = {}
+    for key, tokens in documents.items():
+        counts: dict = {}
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+        term_counts[key] = counts
+        for token in counts:
+            document_frequency[token] = document_frequency.get(token, 0) + 1
+    scores = []
+    for key, counts in term_counts.items():
+        score = 0.0
+        length = sum(counts.values()) or 1
+        for token in query_tokens:
+            tf = counts.get(token, 0) / length
+            if tf == 0:
+                continue
+            idf = math.log((1 + n_documents) / (1 + document_frequency[token])) + 1
+            score += tf * idf
+        if score > 0:
+            scores.append((key, score))
+    scores.sort(key=lambda pair: (-pair[1], str(pair[0])))
+    return scores
+
+
+def cosine_similarity(a: dict, b: dict) -> float:
+    """Cosine similarity of two sparse vectors (dict form)."""
+    shared = set(a) & set(b)
+    numerator = sum(a[k] * b[k] for k in shared)
+    norm_a = math.sqrt(sum(v * v for v in a.values()))
+    norm_b = math.sqrt(sum(v * v for v in b.values()))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return numerator / (norm_a * norm_b)

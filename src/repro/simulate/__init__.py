@@ -1,0 +1,44 @@
+"""Synthetic data generators standing in for the paper's repositories.
+
+ENCODE, TCGA and UCSC data are not available offline; these generators
+produce structurally equivalent datasets with planted ground truth so
+every experiment in DESIGN.md has a verifiable signal (see the
+Substitutions section of DESIGN.md).
+"""
+
+from repro.simulate.annotations import Gene, GenomeLayout
+from repro.simulate.cancer import CancerScenario, fragility_analysis
+from repro.simulate.encode import (
+    EncodeRepository,
+    PAPER_PEAKS,
+    PAPER_PEAKS_PER_SAMPLE,
+    PAPER_PROMOTERS,
+    PAPER_RESULT_BYTES,
+    PAPER_SAMPLES,
+)
+from repro.simulate.epigenome import (
+    CtcfScenario,
+    distance_baseline_pairs,
+    extract_candidate_pairs,
+)
+from repro.simulate.rng import generator
+from repro.simulate.workload import region_sample, workload_dataset
+
+__all__ = [
+    "CancerScenario",
+    "CtcfScenario",
+    "EncodeRepository",
+    "Gene",
+    "GenomeLayout",
+    "PAPER_PEAKS",
+    "PAPER_PEAKS_PER_SAMPLE",
+    "PAPER_PROMOTERS",
+    "PAPER_RESULT_BYTES",
+    "PAPER_SAMPLES",
+    "distance_baseline_pairs",
+    "extract_candidate_pairs",
+    "fragility_analysis",
+    "generator",
+    "region_sample",
+    "workload_dataset",
+]

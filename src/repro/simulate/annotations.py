@@ -1,0 +1,183 @@
+"""Synthetic genome layout and annotation datasets (the UCSC side).
+
+The paper's example selects promoter regions from an ANNOTATIONS dataset
+downloaded from the UCSC database.  :class:`GenomeLayout` plants genes
+(with strand and TSS), derives promoters, and scatters enhancers between
+genes; :meth:`GenomeLayout.annotations_dataset` packages them as a GDM
+dataset with one sample per annotation type, each tagged with the
+``annType`` metadata attribute the paper's SELECT uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.gdm import Dataset, GenomicRegion, Metadata, RegionSchema, STR, Sample
+from repro.simulate.rng import generator
+
+
+@dataclass(frozen=True)
+class Gene:
+    """One planted gene: body coordinates plus derived landmarks."""
+
+    name: str
+    chrom: str
+    left: int
+    right: int
+    strand: str
+
+    @property
+    def tss(self) -> int:
+        """Transcription start site (strand-aware 5' end)."""
+        return self.right if self.strand == "-" else self.left
+
+    def body_region(self) -> GenomicRegion:
+        """The gene body as a region carrying the gene name."""
+        return GenomicRegion(self.chrom, self.left, self.right, self.strand,
+                             (self.name,))
+
+    def promoter_region(self, upstream: int = 2000, downstream: int = 200
+                        ) -> GenomicRegion:
+        """The promoter window around the TSS (strand-aware)."""
+        return self.body_region().promoter(upstream, downstream)
+
+
+@dataclass
+class GenomeLayout:
+    """A synthetic genome: chromosome sizes, genes, enhancers.
+
+    Use :meth:`generate` rather than the constructor.
+    """
+
+    seed: int
+    chromosome_sizes: dict
+    genes: list = field(default_factory=list)
+    enhancers: list = field(default_factory=list)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 0,
+        n_chromosomes: int = 3,
+        chromosome_size: int = 10_000_000,
+        n_genes: int = 400,
+        n_enhancers: int = 300,
+        gene_length_mean: int = 20_000,
+    ) -> "GenomeLayout":
+        """Plant a deterministic genome layout.
+
+        Genes are laid out without overlap on each chromosome (spacing
+        drawn around the uniform pitch); enhancers fall in intergenic
+        space.
+        """
+        if n_chromosomes < 1 or n_genes < 1:
+            raise SimulationError("need at least one chromosome and one gene")
+        sizes = {
+            f"chr{i + 1}": chromosome_size for i in range(n_chromosomes)
+        }
+        layout = cls(seed=seed, chromosome_sizes=sizes)
+        rng = generator(seed, "layout")
+        genes_per_chrom = [
+            n_genes // n_chromosomes + (1 if i < n_genes % n_chromosomes else 0)
+            for i in range(n_chromosomes)
+        ]
+        gene_index = 0
+        for chrom_index, (chrom, size) in enumerate(sorted(sizes.items())):
+            count = genes_per_chrom[chrom_index]
+            if count == 0:
+                continue
+            pitch = size // (count + 1)
+            cursor = pitch // 2
+            for __ in range(count):
+                length = int(
+                    min(
+                        max(2_000, rng.normal(gene_length_mean,
+                                              gene_length_mean / 4)),
+                        pitch * 0.8,
+                    )
+                )
+                jitter = int(rng.integers(0, max(1, pitch // 4)))
+                left = min(cursor + jitter, size - length - 1)
+                strand = "+" if rng.random() < 0.5 else "-"
+                layout.genes.append(
+                    Gene(f"gene{gene_index:04d}", chrom, left, left + length,
+                         strand)
+                )
+                gene_index += 1
+                cursor += pitch
+        # Enhancers: short intergenic elements.
+        rng = generator(seed, "enhancers")
+        chroms = sorted(sizes)
+        gene_spans: dict = {}
+        for gene in layout.genes:
+            gene_spans.setdefault(gene.chrom, []).append((gene.left, gene.right))
+        for index in range(n_enhancers):
+            chrom = chroms[int(rng.integers(0, len(chroms)))]
+            size = sizes[chrom]
+            for __ in range(50):  # rejection-sample intergenic placement
+                left = int(rng.integers(0, size - 1_000))
+                right = left + int(rng.integers(200, 1_000))
+                if all(
+                    right <= g_left or left >= g_right
+                    for g_left, g_right in gene_spans.get(chrom, ())
+                ):
+                    layout.enhancers.append(
+                        GenomicRegion(chrom, left, right, "*",
+                                      (f"enh{index:04d}",))
+                    )
+                    break
+        return layout
+
+    # -- dataset views ---------------------------------------------------------
+
+    def promoter_regions(self, upstream: int = 2000, downstream: int = 200
+                         ) -> list:
+        """All promoter regions, in genome order."""
+        promoters = [g.promoter_region(upstream, downstream) for g in self.genes]
+        promoters.sort(key=GenomicRegion.sort_key)
+        return promoters
+
+    def gene_regions(self) -> list:
+        """All gene-body regions, in genome order."""
+        bodies = [g.body_region() for g in self.genes]
+        bodies.sort(key=GenomicRegion.sort_key)
+        return bodies
+
+    def annotations_dataset(self, name: str = "ANNOTATIONS") -> Dataset:
+        """The UCSC-style annotation dataset of the paper's example.
+
+        One sample per annotation type (``gene``, ``promoter``,
+        ``enhancer``), each tagged with the ``annType`` metadata attribute
+        so that ``SELECT(annType == 'promoter')`` works verbatim.
+        """
+        schema = RegionSchema.of(("name", STR))
+        dataset = Dataset(name, schema)
+        dataset.add_sample(
+            Sample(
+                1,
+                self.gene_regions(),
+                Metadata({"annType": "gene", "assembly": "sim1",
+                          "provider": "UCSC-sim"}),
+            ),
+            validate=False,
+        )
+        dataset.add_sample(
+            Sample(
+                2,
+                self.promoter_regions(),
+                Metadata({"annType": "promoter", "assembly": "sim1",
+                          "provider": "UCSC-sim"}),
+            ),
+            validate=False,
+        )
+        dataset.add_sample(
+            Sample(
+                3,
+                sorted(self.enhancers, key=GenomicRegion.sort_key),
+                Metadata({"annType": "enhancer", "assembly": "sim1",
+                          "provider": "UCSC-sim"}),
+            ),
+            validate=False,
+        )
+        return dataset

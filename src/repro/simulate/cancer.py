@@ -1,0 +1,293 @@
+"""The Section 3 fragility scenario: breakpoints, mutations, replication
+timing and gene dis-regulation.
+
+The paper's first open problem assumes a causal chain: oncogene induction
+dis-regulates certain genes -> dis-regulated genes fail to protect their
+loci during replication -> DNA string breaks accumulate there -> mutations
+occur where the genome is fragile.  We plant that chain explicitly:
+
+* a fraction of genes is marked **dis-regulated** (their expression
+  changes between control and induced conditions);
+* **fragile sites** are placed at dis-regulated genes (with some decoys);
+* **breakpoints** are sampled densely inside fragile sites, sparsely
+  elsewhere; **mutations** are sampled densely near breakpoints;
+* **replication timing** regions get a delayed timing value over fragile
+  sites.
+
+Experiment E6 runs the GMQL pipeline the paper sketches -- extract
+differentially dis-regulated genes, intersect with break regions, count
+mutations -- and checks that the measured mutation enrichment at
+dis-regulated genes reproduces the planted effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gdm import (
+    Dataset,
+    FLOAT,
+    GenomicRegion,
+    Metadata,
+    RegionSchema,
+    STR,
+    Sample,
+)
+from repro.simulate.annotations import GenomeLayout
+from repro.simulate.rng import generator
+
+
+@dataclass
+class CancerScenario:
+    """Planted fragility world: datasets plus ground truth."""
+
+    layout: GenomeLayout
+    expression: Dataset       #: per-gene expression, control + induced samples
+    breakpoints: Dataset      #: DNA break points (point features)
+    mutations: Dataset        #: somatic mutations (point features)
+    replication: Dataset      #: replication-timing domains
+    disregulated: set = field(default_factory=set)  #: planted gene names
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 0,
+        disregulated_fraction: float = 0.2,
+        breaks_per_fragile_site: float = 12.0,
+        background_breaks: int = 60,
+        mutations_per_break: float = 4.0,
+        background_mutations: int = 120,
+        fold_change: float = 3.0,
+        layout: GenomeLayout | None = None,
+    ) -> "CancerScenario":
+        layout = layout or GenomeLayout.generate(seed=seed)
+        rng = generator(seed, "cancer")
+        genes = list(layout.genes)
+        n_disregulated = max(1, int(len(genes) * disregulated_fraction))
+        shuffled = list(genes)
+        rng.shuffle(shuffled)
+        disregulated = {gene.name for gene in shuffled[:n_disregulated]}
+
+        # Expression: two samples (control, induced), one region per gene.
+        # Each gene has one base level; conditions add small measurement
+        # noise, and dis-regulated genes shift by fold_change when induced.
+        base_rng = generator(seed, "expr-base")
+        base_level = {
+            gene.name: float(base_rng.lognormal(3, 0.4)) for gene in genes
+        }
+        up_rng = generator(seed, "expr-direction")
+        goes_up = {
+            gene.name: up_rng.random() < 0.5 for gene in genes
+        }
+        expr_schema = RegionSchema.of(("gene", STR), ("expression", FLOAT))
+        expression = Dataset("EXPRESSION", expr_schema)
+        for sample_id, condition in ((1, "control"), (2, "induced")):
+            expr_rng = generator(seed, "expr", condition)
+            regions = []
+            for gene in genes:
+                value = base_level[gene.name] * float(
+                    expr_rng.lognormal(0, 0.08)
+                )
+                if condition == "induced" and gene.name in disregulated:
+                    value = (
+                        value * fold_change
+                        if goes_up[gene.name]
+                        else value / fold_change
+                    )
+                regions.append(
+                    GenomicRegion(gene.chrom, gene.left, gene.right, gene.strand,
+                                  (gene.name, round(value, 3)))
+                )
+            regions.sort(key=GenomicRegion.sort_key)
+            expression.add_sample(
+                Sample(sample_id, regions,
+                       Metadata({"condition": condition,
+                                 "assay": "RNA-seq", "oncogene": "MYCsim"})),
+                validate=False,
+            )
+
+        # Breakpoints: dense at fragile (dis-regulated) gene loci.
+        break_rng = generator(seed, "breaks")
+        break_regions = []
+        for gene in genes:
+            if gene.name not in disregulated:
+                continue
+            count = max(1, int(break_rng.poisson(breaks_per_fragile_site)))
+            for __ in range(count):
+                position = int(break_rng.integers(gene.left, gene.right))
+                break_regions.append(
+                    GenomicRegion(gene.chrom, position, position + 1, "*",
+                                  ("fragile",))
+                )
+        chroms = sorted(layout.chromosome_sizes)
+        for __ in range(background_breaks):
+            chrom = chroms[int(break_rng.integers(0, len(chroms)))]
+            position = int(
+                break_rng.integers(0, layout.chromosome_sizes[chrom] - 1)
+            )
+            break_regions.append(
+                GenomicRegion(chrom, position, position + 1, "*", ("background",))
+            )
+        break_regions.sort(key=GenomicRegion.sort_key)
+        breakpoints = Dataset(
+            "BREAKPOINTS",
+            RegionSchema.of(("origin", STR)),
+            [Sample(1, break_regions,
+                    Metadata({"assay": "BLISS-sim", "condition": "induced"}))],
+        )
+
+        # Mutations: clustered around breakpoints plus background.
+        mut_rng = generator(seed, "mutations")
+        mutation_regions = []
+        for break_region in break_regions:
+            if break_region.values[0] != "fragile":
+                continue
+            count = int(mut_rng.poisson(mutations_per_break))
+            for __ in range(count):
+                position = max(
+                    0, break_region.left + int(mut_rng.normal(0, 500))
+                )
+                mutation_regions.append(
+                    GenomicRegion(break_region.chrom, position, position + 1,
+                                  "*", ("C>T",))
+                )
+        for __ in range(background_mutations):
+            chrom = chroms[int(mut_rng.integers(0, len(chroms)))]
+            position = int(
+                mut_rng.integers(0, layout.chromosome_sizes[chrom] - 1)
+            )
+            mutation_regions.append(
+                GenomicRegion(chrom, position, position + 1, "*", ("A>G",))
+            )
+        mutation_regions.sort(key=GenomicRegion.sort_key)
+        mutations = Dataset(
+            "MUTATIONS",
+            RegionSchema.of(("change", STR)),
+            [Sample(1, mutation_regions,
+                    Metadata({"assay": "WGS-sim", "condition": "induced"}))],
+        )
+
+        # Replication timing: one domain per gene neighbourhood; fragile
+        # sites replicate late (higher timing value).
+        rt_rng = generator(seed, "timing")
+        timing_regions = []
+        for gene in genes:
+            timing = float(rt_rng.uniform(0.2, 0.5))
+            if gene.name in disregulated:
+                timing += float(rt_rng.uniform(0.3, 0.5))  # delayed
+            timing_regions.append(
+                GenomicRegion(
+                    gene.chrom,
+                    max(0, gene.left - 5_000),
+                    gene.right + 5_000,
+                    "*",
+                    (round(timing, 3),),
+                )
+            )
+        timing_regions.sort(key=GenomicRegion.sort_key)
+        replication = Dataset(
+            "REPLICATION",
+            RegionSchema.of(("timing", FLOAT)),
+            [Sample(1, timing_regions,
+                    Metadata({"assay": "Repli-seq-sim", "condition": "induced"}))],
+        )
+
+        return cls(
+            layout=layout,
+            expression=expression,
+            breakpoints=breakpoints,
+            mutations=mutations,
+            replication=replication,
+            disregulated=disregulated,
+        )
+
+
+def fragility_analysis(scenario: CancerScenario, fold_threshold: float = 2.0
+                       ) -> dict:
+    """The paper's sketched pipeline, in GMQL operations.
+
+    1. extract differentially dis-regulated genes (expression fold change
+       between control and induced beyond *fold_threshold*);
+    2. intersect them with regions where string breaks occur;
+    3. count the mutations at those genes vs the others.
+
+    Returns the gene sets and the mutation enrichment ratio
+    (mutations per kb at dis-regulated-with-breaks genes over the rest).
+    """
+    from repro.gmql import Count, map_regions
+
+    control = {
+        r.values[0]: r.values[1]
+        for r in scenario.expression[1].regions
+    }
+    induced = {
+        r.values[0]: r.values[1]
+        for r in scenario.expression[2].regions
+    }
+    called_disregulated = {
+        gene
+        for gene in control
+        if control[gene] > 0
+        and (
+            induced[gene] / control[gene] >= fold_threshold
+            or control[gene] / max(induced[gene], 1e-9) >= fold_threshold
+        )
+    }
+
+    gene_dataset = Dataset(
+        "CALLED",
+        RegionSchema.of(("gene", STR)),
+        [
+            Sample(
+                1,
+                [
+                    GenomicRegion(g.chrom, g.left, g.right, g.strand, (g.name,))
+                    for g in scenario.layout.genes
+                ],
+                Metadata({"set": "all"}),
+            )
+        ],
+    )
+
+    with_breaks = map_regions(
+        gene_dataset, scenario.breakpoints, {"breaks": (Count(), None)},
+        name="GENES_BREAKS",
+    )
+    with_both = map_regions(
+        with_breaks, scenario.mutations, {"mutations": (Count(), None)},
+        name="GENES_BREAKS_MUTS",
+    )
+
+    per_gene = {}
+    for region in with_both[1].regions:
+        gene, breaks, mutation_count = (
+            region.values[0], region.values[1], region.values[2]
+        )
+        per_gene[gene] = {
+            "breaks": breaks,
+            "mutations": mutation_count,
+            "kb": region.length / 1_000,
+            "disregulated": gene in called_disregulated,
+        }
+
+    def density(genes):
+        mutation_total = sum(per_gene[g]["mutations"] for g in genes)
+        kb_total = sum(per_gene[g]["kb"] for g in genes)
+        return mutation_total / kb_total if kb_total else 0.0
+
+    target = {
+        g
+        for g in per_gene
+        if per_gene[g]["disregulated"] and per_gene[g]["breaks"] > 0
+    }
+    rest = set(per_gene) - target
+    enrichment = (
+        density(target) / density(rest) if rest and density(rest) > 0 else
+        float("inf")
+    )
+    return {
+        "called_disregulated": called_disregulated,
+        "target_genes": target,
+        "per_gene": per_gene,
+        "mutation_enrichment": enrichment,
+    }

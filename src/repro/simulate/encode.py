@@ -1,0 +1,207 @@
+"""ENCODE-like synthetic repository (the paper's headline-query substrate).
+
+The paper's Section 2 query ran over 2,423 ENCODE ChIP-seq samples holding
+83,899,526 peaks, mapped onto 131,780 UCSC promoters and producing 29 GB.
+Real ENCODE is not available offline, so :class:`EncodeRepository`
+generates a repository with the same *structure* and tunable scale:
+
+* samples carry realistic metadata (``dataType``, ``cell``, ``antibody``,
+  ``treatment``, ``lab``, ``format``) drawn from ENCODE-like vocabularies;
+* ChIP-seq peak regions are enriched at promoters/enhancers of a planted
+  :class:`~repro.simulate.annotations.GenomeLayout` (a fraction of peaks
+  binds near functional elements, the rest is background), so MAP counts
+  carry real signal;
+* per-sample peak counts follow the paper's ~34.6k-peaks-per-sample
+  average, scaled by ``peaks_scale``.
+
+``EncodeRepository.paper_scale_factor`` documents how a given generated
+size extrapolates to the paper's cardinalities (used by experiment E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gdm import (
+    Dataset,
+    FLOAT,
+    GenomicRegion,
+    Metadata,
+    RegionSchema,
+    STR,
+    Sample,
+)
+from repro.simulate.annotations import GenomeLayout
+from repro.simulate.rng import generator
+
+#: The paper's reported cardinalities for the Section 2 query.
+PAPER_SAMPLES = 2_423
+PAPER_PEAKS = 83_899_526
+PAPER_PROMOTERS = 131_780
+PAPER_RESULT_BYTES = 29 * 1024**3
+
+#: Mean peaks per sample implied by the paper's numbers (~34,626).
+PAPER_PEAKS_PER_SAMPLE = PAPER_PEAKS / PAPER_SAMPLES
+
+_CELLS = ("HeLa-S3", "K562", "GM12878", "HepG2", "H1-hESC", "A549")
+_ANTIBODIES = ("CTCF", "POL2", "H3K27ac", "H3K4me1", "H3K4me3", "MYC", "REST")
+_TREATMENTS = ("none", "IFNa", "estradiol")
+_LABS = ("Broad", "Stanford", "UW", "Caltech")
+_DATA_TYPES = ("ChipSeq", "ChipSeq", "ChipSeq", "DnaseSeq", "RnaSeq")
+
+
+@dataclass
+class EncodeRepository:
+    """A generated ENCODE-like repository: annotations + experiment samples."""
+
+    layout: GenomeLayout
+    annotations: Dataset
+    encode: Dataset
+    seed: int
+    peaks_per_sample_mean: float
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 0,
+        n_samples: int = 48,
+        peaks_per_sample_mean: float = 350.0,
+        layout: GenomeLayout | None = None,
+        promoter_binding_fraction: float = 0.45,
+        enhancer_binding_fraction: float = 0.2,
+        name: str = "ENCODE",
+    ) -> "EncodeRepository":
+        """Generate a repository.
+
+        Parameters
+        ----------
+        seed:
+            Master seed; everything derives from it.
+        n_samples:
+            Number of experiment samples.
+        peaks_per_sample_mean:
+            Mean ChIP-seq peak count per sample (Poisson).
+        layout:
+            Genome layout to bind peaks to (a default one is generated).
+        promoter_binding_fraction, enhancer_binding_fraction:
+            Fractions of each sample's peaks placed at promoters and
+            enhancers respectively; the remainder is uniform background.
+        name:
+            Dataset name for the experiment dataset.
+        """
+        layout = layout or GenomeLayout.generate(seed=seed)
+        annotations = layout.annotations_dataset()
+        schema = RegionSchema.of(("name", STR), ("p_value", FLOAT))
+        encode = Dataset(name, schema)
+        promoters = layout.promoter_regions()
+        enhancers = sorted(layout.enhancers, key=GenomicRegion.sort_key)
+        chroms = sorted(layout.chromosome_sizes)
+
+        for sample_id in range(1, n_samples + 1):
+            rng = generator(seed, "sample", sample_id)
+            data_type = _DATA_TYPES[int(rng.integers(0, len(_DATA_TYPES)))]
+            meta = Metadata(
+                {
+                    "dataType": data_type,
+                    "cell": _CELLS[int(rng.integers(0, len(_CELLS)))],
+                    "antibody": _ANTIBODIES[
+                        int(rng.integers(0, len(_ANTIBODIES)))
+                    ]
+                    if data_type == "ChipSeq"
+                    else (),
+                    "treatment": _TREATMENTS[
+                        int(rng.integers(0, len(_TREATMENTS)))
+                    ],
+                    "lab": _LABS[int(rng.integers(0, len(_LABS)))],
+                    "format": "BED",
+                    "view": "Peaks" if data_type != "RnaSeq" else "Signal",
+                }
+            )
+            n_peaks = max(1, int(rng.poisson(peaks_per_sample_mean)))
+            regions = []
+            for peak_index in range(n_peaks):
+                dice = rng.random()
+                width = int(rng.integers(80, 600))
+                if dice < promoter_binding_fraction and promoters:
+                    anchor = promoters[int(rng.integers(0, len(promoters)))]
+                    center = int(
+                        rng.normal((anchor.left + anchor.right) / 2, 300)
+                    )
+                    chrom = anchor.chrom
+                elif (
+                    dice < promoter_binding_fraction + enhancer_binding_fraction
+                    and enhancers
+                ):
+                    anchor = enhancers[int(rng.integers(0, len(enhancers)))]
+                    center = int(
+                        rng.normal((anchor.left + anchor.right) / 2, 200)
+                    )
+                    chrom = anchor.chrom
+                else:
+                    chrom = chroms[int(rng.integers(0, len(chroms)))]
+                    center = int(
+                        rng.integers(0, layout.chromosome_sizes[chrom])
+                    )
+                left = max(0, center - width // 2)
+                p_value = float(10 ** -rng.uniform(2, 12))
+                regions.append(
+                    GenomicRegion(
+                        chrom,
+                        left,
+                        left + width,
+                        "*",
+                        (f"peak{peak_index}", p_value),
+                    )
+                )
+            regions.sort(key=GenomicRegion.sort_key)
+            encode.add_sample(Sample(sample_id, regions, meta), validate=False)
+
+        return cls(
+            layout=layout,
+            annotations=annotations,
+            encode=encode,
+            seed=seed,
+            peaks_per_sample_mean=peaks_per_sample_mean,
+        )
+
+    # -- paper-scale arithmetic -------------------------------------------------
+
+    def chipseq_sample_count(self) -> int:
+        """Number of ChIP-seq samples (what the paper's SELECT keeps)."""
+        return sum(
+            1
+            for sample in self.encode
+            if sample.meta.first("dataType") == "ChipSeq"
+        )
+
+    def chipseq_peak_count(self) -> int:
+        """Total peaks across ChIP-seq samples."""
+        return sum(
+            len(sample)
+            for sample in self.encode
+            if sample.meta.first("dataType") == "ChipSeq"
+        )
+
+    def promoter_count(self) -> int:
+        """Number of promoter regions in the annotation sample."""
+        return len(self.layout.genes)
+
+    def paper_scale_factor(self) -> dict:
+        """How this repository's cardinalities relate to the paper's.
+
+        Returns the per-dimension ratios and the extrapolated result size
+        of the Section 2 query at paper scale (experiment E3 checks the
+        extrapolation lands near the reported 29 GB).
+        """
+        samples = self.chipseq_sample_count()
+        peaks = self.chipseq_peak_count()
+        promoters = self.promoter_count()
+        return {
+            "sample_ratio": samples / PAPER_SAMPLES if samples else 0.0,
+            "peak_ratio": peaks / PAPER_PEAKS if peaks else 0.0,
+            "promoter_ratio": promoters / PAPER_PROMOTERS if promoters else 0.0,
+            "paper_samples": PAPER_SAMPLES,
+            "paper_peaks": PAPER_PEAKS,
+            "paper_promoters": PAPER_PROMOTERS,
+            "paper_result_bytes": PAPER_RESULT_BYTES,
+        }

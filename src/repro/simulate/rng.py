@@ -1,0 +1,29 @@
+"""Seeded randomness for all generators.
+
+Every generator takes an explicit integer seed and derives child seeds
+deterministically, so a whole synthetic repository is reproducible from
+one number -- essential for benchmark comparability across engines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def generator(seed: int, *scope) -> np.random.Generator:
+    """A numpy Generator for ``(seed, scope...)``.
+
+    The scope components (strings/ints) namespace the stream, so e.g.
+    sample 7's peak positions do not shift when sample 6 changes size.
+    """
+    label = ":".join(str(part) for part in (seed, *scope))
+    digest = hashlib.sha256(label.encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def poisson_at_least_one(rng: np.random.Generator, mean: float) -> int:
+    """A Poisson draw clamped to at least 1 (empty samples are separate
+    events, modelled explicitly by callers that want them)."""
+    return max(1, int(rng.poisson(mean)))

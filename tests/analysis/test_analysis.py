@@ -1,0 +1,269 @@
+"""Tests for genome spaces, networks, clustering, stats and correlation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    GenomeSpace,
+    benjamini_hochberg,
+    binomial_region_enrichment,
+    correlate_phenotype,
+    genome_space_to_network,
+    hierarchical_regions,
+    hub_genes,
+    hypergeometric_gene_enrichment,
+    interaction_strengths,
+    kmeans_regions,
+    network_communities,
+    network_summary,
+    phenotype_vector,
+    relationship_count,
+    silhouette,
+)
+from repro.errors import EvaluationError
+from repro.gdm import Dataset, Metadata, RegionSchema, STR, Sample, region
+from repro.gmql import Count, map_regions
+
+
+@pytest.fixture(scope="module")
+def mapped():
+    """A MAP result: 4 gene regions x 4 experiments with planted pattern.
+
+    Genes g1,g2 are co-active in experiments 1-2; genes g3,g4 in 3-4.
+    """
+    genes = Dataset(
+        "GENES",
+        RegionSchema.of(("name", STR)),
+        [
+            Sample(
+                1,
+                [
+                    region("chr1", 0, 100, "+", "g1"),
+                    region("chr1", 200, 300, "+", "g2"),
+                    region("chr1", 400, 500, "+", "g3"),
+                    region("chr1", 600, 700, "+", "g4"),
+                ],
+                Metadata({"annType": "gene"}),
+            )
+        ],
+    )
+    schema = RegionSchema.empty()
+    experiments = Dataset("EXPS", schema)
+    pattern = {
+        1: [(10, 60), (210, 260)],         # hits g1, g2
+        2: [(20, 70), (220, 270)],         # hits g1, g2
+        3: [(410, 460), (610, 660)],       # hits g3, g4
+        4: [(420, 470), (620, 670)],       # hits g3, g4
+    }
+    for sample_id, spans in pattern.items():
+        experiments.add_sample(
+            Sample(
+                sample_id,
+                [region("chr1", l, r) for l, r in spans],
+                Metadata(
+                    {
+                        "karyotype": "cancer" if sample_id <= 2 else "normal",
+                        "dose": float(sample_id),
+                    }
+                ),
+            )
+        )
+    return map_regions(genes, experiments, {"hits": (Count(), None)})
+
+
+class TestGenomeSpace:
+    def test_shape(self, mapped):
+        space = GenomeSpace.from_map_result(mapped, label_attribute="name")
+        assert space.n_regions == 4
+        assert space.n_experiments == 4
+        assert space.region_labels == ["g1", "g2", "g3", "g4"]
+
+    def test_matrix_values(self, mapped):
+        space = GenomeSpace.from_map_result(mapped, label_attribute="name")
+        assert space.row("g1").tolist() == [1, 1, 0, 0]
+        assert space.row("g3").tolist() == [0, 0, 1, 1]
+
+    def test_column_labels_from_metadata(self, mapped):
+        space = GenomeSpace.from_map_result(
+            mapped, label_attribute="name",
+            column_attribute="right.karyotype",
+        )
+        assert space.column_labels == ["cancer", "cancer", "normal", "normal"]
+
+    def test_filter_active(self, mapped):
+        space = GenomeSpace.from_map_result(mapped, label_attribute="name")
+        filtered = space.filter_active_regions(min_total=3)
+        assert filtered.n_regions == 0 or filtered.n_regions < space.n_regions
+
+    def test_coactivity_similarity(self, mapped):
+        space = GenomeSpace.from_map_result(mapped, label_attribute="name")
+        similarity = space.similarity_matrix("coactivity")
+        # g1,g2 co-active in 2 experiments; g1,g3 in none.
+        assert similarity[0, 1] == 2
+        assert similarity[0, 2] == 0
+
+    def test_non_map_result_rejected(self):
+        ds = Dataset(
+            "BAD",
+            RegionSchema.of(("v", "INT")),
+            [
+                Sample(1, [region("chr1", 0, 10, "*", 1)]),
+                Sample(2, [region("chr2", 0, 10, "*", 1)]),
+            ],
+        )
+        with pytest.raises(EvaluationError):
+            GenomeSpace.from_map_result(ds)
+
+    def test_default_row_labels_are_coordinates(self, mapped):
+        space = GenomeSpace.from_map_result(mapped)
+        assert space.region_labels[0] == "chr1:0-100"
+
+
+class TestNetwork:
+    @pytest.fixture()
+    def space(self, mapped):
+        return GenomeSpace.from_map_result(mapped, label_attribute="name")
+
+    def test_figure4_network(self, space):
+        graph = genome_space_to_network(space, "coactivity", threshold=2)
+        assert graph.has_edge("g1", "g2")
+        assert graph.has_edge("g3", "g4")
+        assert not graph.has_edge("g1", "g3")
+
+    def test_edge_weights_are_strengths(self, space):
+        graph = genome_space_to_network(space, "coactivity", threshold=2)
+        strengths = interaction_strengths(graph)
+        assert strengths[0][2] == 2.0
+
+    def test_hubs(self, space):
+        graph = genome_space_to_network(space, "coactivity", threshold=1)
+        hubs = hub_genes(graph, top=2)
+        assert len(hubs) == 2
+
+    def test_communities_recover_planted_modules(self, space):
+        graph = genome_space_to_network(space, "coactivity", threshold=2)
+        communities = network_communities(graph)
+        as_sets = [frozenset(c) for c in communities]
+        assert frozenset({"g1", "g2"}) in as_sets
+        assert frozenset({"g3", "g4"}) in as_sets
+
+    def test_summary(self, space):
+        graph = genome_space_to_network(space, "coactivity", threshold=2)
+        summary = network_summary(graph)
+        assert summary["nodes"] == 4
+        assert summary["edges"] == 2
+        assert summary["components"] == 2
+
+    def test_relationship_count_paper_arithmetic(self):
+        assert relationship_count(10_000) == 100_000_000
+
+
+class TestClustering:
+    @pytest.fixture()
+    def space(self, mapped):
+        return GenomeSpace.from_map_result(mapped, label_attribute="name")
+
+    def test_kmeans_recovers_modules(self, space):
+        result = kmeans_regions(space, k=2, seed=1)
+        clusters = [sorted(v) for v in result["clusters"].values()]
+        assert sorted(clusters) == [["g1", "g2"], ["g3", "g4"]]
+
+    def test_kmeans_bad_k(self, space):
+        with pytest.raises(EvaluationError):
+            kmeans_regions(space, k=10)
+
+    def test_hierarchical_recovers_modules(self, space):
+        result = hierarchical_regions(space, n_clusters=2)
+        clusters = [sorted(v) for v in result["clusters"].values()]
+        assert sorted(clusters) == [["g1", "g2"], ["g3", "g4"]]
+
+    def test_silhouette_high_for_planted(self, space):
+        result = kmeans_regions(space, k=2, seed=1)
+        assert silhouette(space, result["labels"]) > 0.5
+
+
+class TestEnrichment:
+    def test_binomial_enrichment_detects_signal(self):
+        domains = [region("chr1", 1000 * i, 1000 * i + 100) for i in range(10)]
+        hits = [region("chr1", 1000 * i + 20, 1000 * i + 60) for i in range(8)]
+        background = [region("chr1", 500_000 + i * 300, 500_000 + i * 300 + 50)
+                      for i in range(2)]
+        result = binomial_region_enrichment(hits + background, domains,
+                                            genome_size=1_000_000)
+        assert result.observed == 8
+        assert result.fold > 100
+        assert result.significant()
+
+    def test_binomial_no_signal(self):
+        domains = [region("chr1", 0, 500_000)]  # half the genome
+        query = [region("chr1", i * 3_990, i * 3_990 + 100) for i in range(250)]
+        result = binomial_region_enrichment(query, domains,
+                                            genome_size=1_000_000)
+        assert 0.3 < result.fraction_null < 0.7
+        assert not result.significant(alpha=1e-6)
+
+    def test_hypergeometric(self):
+        all_genes = {f"g{i}" for i in range(100)}
+        annotated = {f"g{i}" for i in range(10)}
+        hit = {f"g{i}" for i in range(8)} | {"g50", "g51"}
+        result = hypergeometric_gene_enrichment(hit, annotated, all_genes)
+        assert result.observed == 8
+        assert result.significant()
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(EvaluationError):
+            hypergeometric_gene_enrichment(set(), set(), set())
+
+
+class TestCorrelation:
+    def test_binary_phenotype_associations(self, mapped):
+        space = GenomeSpace.from_map_result(mapped, label_attribute="name")
+        phenotype = phenotype_vector(mapped, "right.karyotype")
+        associations = correlate_phenotype(space, phenotype)
+        # g1/g2 are active exactly in the cancer samples: strongest effect.
+        top_regions = {a.region for a in associations[:2]}
+        assert top_regions <= {"g1", "g2", "g3", "g4"}
+        assert abs(associations[0].effect) == 1.0
+
+    def test_numeric_phenotype_correlation(self, mapped):
+        space = GenomeSpace.from_map_result(mapped, label_attribute="name")
+        phenotype = phenotype_vector(mapped, "right.dose")
+        associations = correlate_phenotype(space, phenotype)
+        by_region = {a.region: a for a in associations}
+        assert by_region["g3"].effect > 0.5   # active at high dose
+        assert by_region["g1"].effect < -0.5  # active at low dose
+
+    def test_length_mismatch_rejected(self, mapped):
+        space = GenomeSpace.from_map_result(mapped)
+        with pytest.raises(EvaluationError):
+            correlate_phenotype(space, ["x"])
+
+    def test_benjamini_hochberg_keeps_prefix(self, mapped):
+        space = GenomeSpace.from_map_result(mapped, label_attribute="name")
+        phenotype = phenotype_vector(mapped, "right.karyotype")
+        associations = correlate_phenotype(space, phenotype)
+        survivors = benjamini_hochberg(associations, alpha=0.9)
+        assert len(survivors) <= len(associations)
+
+
+class TestGenomeSpaceToDataset:
+    def test_round_trip_to_gdm(self, mapped):
+        space = GenomeSpace.from_map_result(mapped, label_attribute="name")
+        dataset = space.to_dataset("SPACE")
+        assert len(dataset) == space.n_experiments
+        assert dataset.schema.names == ("label", "value")
+        sample = dataset[1]
+        assert len(sample) == space.n_regions
+        assert sample.regions[0].values[0] == space.region_labels[0]
+
+    def test_result_is_queryable_with_gmql(self, mapped):
+        from repro.gmql import RegionCompare, select
+
+        space = GenomeSpace.from_map_result(mapped, label_attribute="name")
+        dataset = space.to_dataset()
+        active = select(
+            dataset, region_predicate=RegionCompare("value", ">", 0)
+        )
+        total_active = sum(len(s) for s in active)
+        expected = int((space.matrix > 0).sum())
+        assert total_active == expected

@@ -1,0 +1,72 @@
+"""Tests for latent semantic analysis over genome spaces."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import GenomeSpace, latent_semantic_analysis
+from repro.errors import EvaluationError
+
+
+@pytest.fixture()
+def block_space():
+    """Two planted programs: regions 0-3 active in experiments 0-3,
+    regions 4-7 in experiments 4-7 (rank-2 structure plus noise)."""
+    rng = np.random.default_rng(3)
+    matrix = np.zeros((8, 8))
+    matrix[:4, :4] = 5.0
+    matrix[4:, 4:] = 3.0
+    matrix += rng.normal(0, 0.05, size=matrix.shape)
+    return GenomeSpace(
+        matrix,
+        [f"g{i}" for i in range(8)],
+        [f"e{j}" for j in range(8)],
+        [("chr1", i * 10, i * 10 + 5, "+") for i in range(8)],
+    )
+
+
+class TestLatentModel:
+    def test_rank2_captures_block_structure(self, block_space):
+        model = latent_semantic_analysis(block_space, k=2)
+        assert model.explained_variance > 0.98
+
+    def test_topics_recover_planted_programs(self, block_space):
+        model = latent_semantic_analysis(block_space, k=2)
+        topics = model.region_topics()
+        groups = sorted(sorted(v) for v in topics.values())
+        assert groups == [
+            ["g0", "g1", "g2", "g3"],
+            ["g4", "g5", "g6", "g7"],
+        ]
+
+    def test_top_regions_per_factor(self, block_space):
+        model = latent_semantic_analysis(block_space, k=2)
+        for factor in (0, 1):
+            top = model.top_regions(factor, top=4)
+            labels = {label for label, __ in top}
+            assert labels in (
+                {"g0", "g1", "g2", "g3"},
+                {"g4", "g5", "g6", "g7"},
+            )
+
+    def test_reconstruction_close(self, block_space):
+        model = latent_semantic_analysis(block_space, k=2)
+        approx = model.reconstruct()
+        original = np.nan_to_num(block_space.matrix)
+        error = np.abs(approx - original).max()
+        assert error < 0.5
+
+    def test_low_rank_similarity_separates_blocks(self, block_space):
+        model = latent_semantic_analysis(block_space, k=2)
+        similarity = model.low_rank_similarity()
+        assert similarity[0, 1] > 0.95   # same program
+        assert abs(similarity[0, 5]) < 0.2  # different programs
+
+    def test_bad_k_rejected(self, block_space):
+        with pytest.raises(EvaluationError):
+            latent_semantic_analysis(block_space, k=0)
+        with pytest.raises(EvaluationError):
+            latent_semantic_analysis(block_space, k=99)
+
+    def test_full_rank_explains_everything(self, block_space):
+        model = latent_semantic_analysis(block_space, k=8)
+        assert model.explained_variance == pytest.approx(1.0)

@@ -1,0 +1,190 @@
+"""Differential tests: every backend must agree with the naive reference.
+
+The naive backend is the semantics oracle; columnar and parallel are run
+on the same queries over randomised datasets and compared region-by-region
+and metadata-by-metadata.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import available_backends, get_backend
+from repro.errors import EngineError
+from repro.gdm import Dataset, FLOAT, Metadata, RegionSchema, Sample, region
+from repro.gmql.lang import execute
+
+
+def random_dataset(seed: int, n_samples: int = 4, n_regions: int = 60) -> Dataset:
+    rng = random.Random(seed)
+    schema = RegionSchema.of(("score", FLOAT))
+    samples = []
+    for sample_id in range(1, n_samples + 1):
+        regions = []
+        for __ in range(n_regions):
+            chrom = f"chr{rng.randint(1, 3)}"
+            left = rng.randint(0, 5000)
+            width = rng.randint(1, 400)
+            regions.append(
+                region(chrom, left, left + width, rng.choice("+-*"),
+                       round(rng.random() * 10, 3))
+            )
+        samples.append(
+            Sample(
+                sample_id,
+                regions,
+                Metadata(
+                    {
+                        "cell": rng.choice(["HeLa", "K562", "GM12878"]),
+                        "dataType": rng.choice(["ChipSeq", "RnaSeq"]),
+                        "replicate": sample_id,
+                    }
+                ),
+            )
+        )
+    return Dataset("DATA", schema, samples)
+
+
+def canonical(dataset) -> list:
+    """Order-insensitive canonical form of a dataset for comparison."""
+    out = []
+    for sample in dataset:
+        rows = sorted(
+            (r.chrom, r.left, r.right, r.strand, r.values) for r in sample.regions
+        )
+        out.append((tuple(sorted(sample.meta)), tuple(rows)))
+    out.sort()
+    return out
+
+
+QUERIES = [
+    pytest.param(
+        "R = SELECT(dataType == 'ChipSeq'; region: score > 5) DATA;"
+        " MATERIALIZE R;",
+        id="select",
+    ),
+    pytest.param(
+        "R = MAP() DATA DATA; MATERIALIZE R;",
+        id="map-count-self",
+    ),
+    pytest.param(
+        "A = SELECT(cell == 'HeLa') DATA; R = MAP(n AS COUNT) A DATA;"
+        " MATERIALIZE R;",
+        id="map-after-select",
+    ),
+    pytest.param(
+        "R = COVER(2, ANY) DATA; MATERIALIZE R;",
+        id="cover",
+    ),
+    pytest.param(
+        "R = HISTOGRAM(1, ANY) DATA; MATERIALIZE R;",
+        id="histogram",
+    ),
+    pytest.param(
+        "R = SUMMIT(1, ANY) DATA; MATERIALIZE R;",
+        id="summit",
+    ),
+    pytest.param(
+        "R = FLAT(2, ANY) DATA; MATERIALIZE R;",
+        id="flat",
+    ),
+    pytest.param(
+        "A = SELECT(cell == 'HeLa') DATA; B = SELECT(cell == 'K562') DATA;"
+        " R = DIFFERENCE() A B; MATERIALIZE R;",
+        id="difference",
+    ),
+    pytest.param(
+        "A = SELECT(replicate == 1) DATA; B = SELECT(replicate == 2) DATA;"
+        " R = JOIN(DLE(500); output: LEFT) A B; MATERIALIZE R;",
+        id="join-dle",
+    ),
+    pytest.param(
+        "A = SELECT(replicate == 1) DATA; B = SELECT(replicate == 2) DATA;"
+        " R = JOIN(MD(2), DLE(2000); output: CAT) A B; MATERIALIZE R;",
+        id="join-md",
+    ),
+]
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert "naive" in names
+        assert "columnar" in names
+        assert "parallel" in names
+
+    def test_unknown_backend(self):
+        with pytest.raises(EngineError):
+            get_backend("spark")
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_columnar_matches_naive(self, query, seed):
+        data = random_dataset(seed)
+        reference = execute(query, {"DATA": data}, engine="naive")
+        candidate = execute(query, {"DATA": data}, engine="columnar")
+        for name in reference:
+            assert canonical(candidate[name]) == canonical(reference[name])
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            QUERIES[1],  # map
+            QUERIES[3],  # cover
+            QUERIES[7],  # difference
+            QUERIES[8],  # join-dle
+        ],
+    )
+    def test_parallel_matches_naive(self, query):
+        data = random_dataset(99, n_samples=3, n_regions=40)
+        reference = execute(query, {"DATA": data}, engine="naive")
+        candidate = execute(query, {"DATA": data}, engine="parallel")
+        for name in reference:
+            assert canonical(candidate[name]) == canonical(reference[name])
+
+
+class TestEngineStats:
+    def test_stats_recorded(self):
+        from repro.engine.naive import NaiveBackend
+        from repro.gmql.lang import compile_program, Interpreter
+
+        data = random_dataset(3)
+        backend = NaiveBackend()
+        compiled = compile_program("R = MAP() DATA DATA; MATERIALIZE R;")
+        Interpreter(backend, {"DATA": data}).run_program(compiled)
+        assert backend.stats.operator_calls.get("MAP") == 1
+        assert backend.stats.total_seconds() > 0
+        assert backend.stats.samples_produced > 0
+
+    def test_reset(self):
+        from repro.engine.naive import NaiveBackend
+
+        backend = NaiveBackend()
+        backend.reset_stats()
+        assert backend.stats.total_seconds() == 0
+
+
+class TestCustomBackend:
+    def test_register_and_use_custom_backend(self):
+        from repro.engine import NaiveBackend, get_backend, register_backend
+
+        class TracingBackend(NaiveBackend):
+            name = "tracing"
+
+            def run_select(self, plan, child, semijoin_data):
+                result = super().run_select(plan, child, semijoin_data)
+                self.trace = getattr(self, "trace", 0) + 1
+                return result
+
+        register_backend("tracing", TracingBackend)
+        data = random_dataset(5)
+        from repro.gmql.lang import compile_program, Interpreter
+
+        backend = get_backend("tracing")
+        compiled = compile_program(
+            "A = SELECT(cell == 'HeLa') DATA; MATERIALIZE A;"
+        )
+        Interpreter(backend, {"DATA": data}).run_program(compiled)
+        assert backend.trace == 1

@@ -1,0 +1,167 @@
+"""Tests for federated query processing: protocol, estimator, strategies."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.federation import (
+    FederatedClient,
+    FederationNode,
+    Network,
+    estimate_plan,
+)
+from repro.gdm import Dataset, FLOAT, Metadata, RegionSchema, STR, Sample, region
+from repro.repository import Catalog
+from repro.simulate import EncodeRepository
+
+
+@pytest.fixture()
+def federation():
+    """Two nodes: one hosts a big ENCODE-like dataset, one the annotations."""
+    from repro.simulate import GenomeLayout
+
+    layout = GenomeLayout.generate(seed=1, n_genes=100, n_enhancers=50)
+    repo = EncodeRepository.generate(seed=1, n_samples=30,
+                                     peaks_per_sample_mean=250, layout=layout)
+    network = Network()
+    big_catalog = Catalog("milan")
+    big_catalog.register(repo.encode)
+    small_catalog = Catalog("ucsc")
+    small_catalog.register(repo.annotations)
+    milan = FederationNode("milan", big_catalog, network)
+    ucsc = FederationNode("ucsc", small_catalog, network)
+    client = FederatedClient([milan, ucsc], network)
+    return client, milan, ucsc, network
+
+
+PROGRAM = """
+PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+CHIP = SELECT(dataType == 'ChipSeq') ENCODE;
+SMALL = ORDER(cell; top: 2) CHIP;
+RESULT = MAP(peak_count AS COUNT) PROMS SMALL;
+BEST = ORDER(order; top: 1) RESULT;
+MATERIALIZE BEST;
+"""
+
+
+class TestProtocol:
+    def test_discover(self, federation):
+        client, *_ = federation
+        locations = client.discover()
+        assert locations == {"ENCODE": "milan", "ANNOTATIONS": "ucsc"}
+
+    def test_info_traffic_accounted(self, federation):
+        client, milan, __, network = federation
+        before = network.log.bytes_total
+        milan.handle_info("client")
+        assert network.log.bytes_total > before
+        kinds = network.log.bytes_by_kind()
+        assert "info-request" in kinds and "info-response" in kinds
+
+    def test_compile_returns_estimates(self, federation):
+        client, milan, ucsc, __ = federation
+        ucsc.ship_dataset("ANNOTATIONS", milan)
+        response = milan.handle_compile("client", PROGRAM)
+        assert response.ok
+        (estimate,) = response.estimates
+        name, samples, regions, size = estimate
+        assert name == "BEST"
+        assert samples >= 1
+        assert size > 0
+
+    def test_compile_reports_errors(self, federation):
+        __, milan, *_ = federation
+        response = milan.handle_compile("client", "THIS IS NOT GMQL")
+        assert not response.ok
+        assert response.error
+
+    def test_execute_missing_source_raises(self, federation):
+        __, milan, *_ = federation
+        with pytest.raises(FederationError, match="lacks source"):
+            milan.handle_execute("client", "R = SELECT() NOPE; MATERIALIZE R;")
+
+
+class TestStrategies:
+    def test_query_shipping_runs_where_data_is(self, federation):
+        client, *_ = federation
+        outcome = client.run_query_shipping(PROGRAM)
+        assert outcome.executing_node == "milan"  # ENCODE is the big one
+        assert outcome.results["BEST"]["size_bytes"] > 0
+
+    def test_data_shipping_moves_sources(self, federation):
+        client, *_ = federation
+        outcome = client.run_data_shipping(PROGRAM)
+        assert outcome.executing_node == "client"
+        assert outcome.strategy == "data-shipping"
+
+    def test_query_shipping_moves_fewer_bytes(self, federation):
+        """The paper's core argument: results are small, sources are big."""
+        client, *_ = federation
+        query = client.run_query_shipping(PROGRAM)
+        data = client.run_data_shipping(PROGRAM)
+        assert query.bytes_moved < data.bytes_moved / 2
+
+    def test_planner_picks_query_shipping_for_small_results(self, federation):
+        client, *_ = federation
+        estimates = client.estimate_strategies(PROGRAM)
+        assert estimates["query-shipping"] < estimates["data-shipping"]
+        outcome = client.run(PROGRAM)
+        assert outcome.strategy == "query-shipping"
+
+    def test_unknown_source_detected(self, federation):
+        client, *_ = federation
+        with pytest.raises(FederationError, match="no node hosts"):
+            client.run_query_shipping("R = SELECT() NOWHERE; MATERIALIZE R;")
+
+
+class TestEstimator:
+    def test_estimates_scale_with_sources(self):
+        from repro.gmql.lang import compile_program
+
+        compiled = compile_program(
+            "R = MAP() A B; MATERIALIZE R;"
+        )
+        small = {
+            "A": {"name": "A", "samples": 1, "regions": 100, "schema": ["x"]},
+            "B": {"name": "B", "samples": 2, "regions": 100, "schema": ["x"]},
+        }
+        big = {
+            "A": {"name": "A", "samples": 1, "regions": 100, "schema": ["x"]},
+            "B": {"name": "B", "samples": 20, "regions": 1000, "schema": ["x"]},
+        }
+        plan = compiled.outputs["R"]
+        assert (
+            estimate_plan(plan, big).size_bytes()
+            > estimate_plan(plan, small).size_bytes()
+        )
+
+    def test_top_k_caps_estimate(self):
+        from repro.gmql.lang import compile_program
+
+        summaries = {
+            "A": {"name": "A", "samples": 100, "regions": 10_000,
+                  "schema": ["x"]},
+        }
+        full = compile_program("R = SELECT() A; MATERIALIZE R;").outputs["R"]
+        top = compile_program(
+            "R = ORDER(cell; top: 2) A; MATERIALIZE R;"
+        ).outputs["R"]
+        assert (
+            estimate_plan(top, summaries).samples
+            < estimate_plan(full, summaries).samples
+        )
+
+    def test_unknown_scan_gets_token_estimate(self):
+        from repro.gmql.lang import compile_program
+
+        plan = compile_program("R = SELECT() MYSTERY; MATERIALIZE R;").outputs["R"]
+        estimate = estimate_plan(plan, {})
+        assert estimate.size_bytes() > 0
+
+
+class TestNetworkAccounting:
+    def test_latency_and_bandwidth(self):
+        network = Network(bandwidth_bytes_per_second=1000, latency_seconds=0.5)
+        network.send("a", "b", "test", 2000)
+        assert network.log.simulated_seconds == pytest.approx(0.5 + 2.0)
+        assert network.log.bytes_total == 2000
+        assert network.log.message_count() == 1

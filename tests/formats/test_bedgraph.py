@@ -1,0 +1,73 @@
+"""Tests for the bedGraph browser-track format."""
+
+import pytest
+
+from repro.formats import (
+    BedGraphFormat,
+    coverage_to_bedgraph,
+    dataset_to_bedgraph,
+    format_for_path,
+)
+from repro.gdm import Dataset, GenomicRegion, INT, RegionSchema, Sample, region
+
+
+class TestBedGraphFormat:
+    def test_parse_and_serialize(self):
+        fmt = BedGraphFormat()
+        text = "chr1\t0\t100\t3.5\n"
+        regions = fmt.parse(text)
+        assert regions[0].values == (3.5,)
+        assert fmt.serialize(regions) == text
+
+    def test_registered_by_extension(self):
+        assert format_for_path("signal.bedGraph").name == "bedgraph"
+        assert format_for_path("signal.bdg").name == "bedgraph"
+
+    def test_track_lines_skipped_on_parse(self):
+        fmt = BedGraphFormat()
+        text = 'track type=bedGraph name="x"\nchr1\t0\t10\t1\n'
+        assert len(fmt.parse(text)) == 1
+
+
+class TestCoverageExport:
+    def test_coverage_to_bedgraph_depths(self):
+        regions = [region("chr1", 0, 10), region("chr1", 5, 15)]
+        document = coverage_to_bedgraph(regions, track_name="depth")
+        lines = document.strip().split("\n")
+        assert lines[0].startswith("track type=bedGraph")
+        assert lines[1:] == [
+            "chr1\t0\t5\t1",
+            "chr1\t5\t10\t2",
+            "chr1\t10\t15\t1",
+        ]
+
+    def test_round_trip_through_parser(self):
+        regions = [region("chr1", 0, 10), region("chr1", 5, 15)]
+        document = coverage_to_bedgraph(regions)
+        parsed = BedGraphFormat().parse(document)
+        assert [r.values[0] for r in parsed] == [1.0, 2.0, 1.0]
+
+
+class TestDatasetExport:
+    def test_cover_result_to_track(self):
+        dataset = Dataset(
+            "COVERED",
+            RegionSchema.of(("acc_index", INT)),
+            [
+                Sample(1, [
+                    GenomicRegion("chr1", 20, 30, "*", (3,)),
+                    GenomicRegion("chr1", 0, 10, "*", (2,)),
+                ])
+            ],
+        )
+        document = dataset_to_bedgraph(dataset, "acc_index")
+        lines = document.strip().split("\n")
+        assert 'name="COVERED"' in lines[0]
+        # Regions come out in genome order.
+        assert lines[1] == "chr1\t0\t10\t2"
+        assert lines[2] == "chr1\t20\t30\t3"
+
+    def test_unknown_attribute_raises(self):
+        dataset = Dataset("D", RegionSchema.empty(), [Sample(1)])
+        with pytest.raises(Exception):
+            dataset_to_bedgraph(dataset, "nope")

@@ -1,0 +1,124 @@
+"""Tests for narrowPeak/broadPeak, GTF, VCF and SAM dialects."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import (
+    BroadPeakFormat,
+    GtfFormat,
+    NarrowPeakFormat,
+    SamFormat,
+    VcfFormat,
+)
+
+
+class TestNarrowPeak:
+    LINE = "chr1\t9356548\t9356648\tpeak1\t0\t.\t182\t5.0945\t-1\t50\n"
+
+    def test_parse(self):
+        r = NarrowPeakFormat().parse(self.LINE)[0]
+        assert (r.left, r.right) == (9356548, 9356648)
+        name, score, signal, p_value, q_value, peak = r.values
+        assert signal == 182.0
+        assert p_value == 5.0945
+        assert q_value is None  # -1 means unavailable
+        assert peak == 50
+
+    def test_round_trip(self):
+        fmt = NarrowPeakFormat()
+        regions = fmt.parse(self.LINE)
+        assert fmt.parse(fmt.serialize(regions)) == regions
+
+    def test_schema_has_p_value(self):
+        assert "p_value" in NarrowPeakFormat().schema()
+
+    def test_too_few_fields(self):
+        with pytest.raises(FormatError):
+            NarrowPeakFormat().parse("chr1\t0\t10\n")
+
+
+class TestBroadPeak:
+    LINE = "chr2\t100\t900\t.\t0\t+\t3.1\t2.5\t1.9\n"
+
+    def test_parse(self):
+        r = BroadPeakFormat().parse(self.LINE)[0]
+        assert r.strand == "+"
+        assert r.values[2:] == (3.1, 2.5, 1.9)
+
+    def test_round_trip(self):
+        fmt = BroadPeakFormat()
+        regions = fmt.parse(self.LINE)
+        assert fmt.parse(fmt.serialize(regions)) == regions
+
+
+class TestGtf:
+    LINE = (
+        'chr3\tRefSeq\texon\t101\t200\t0.5\t-\t0\t'
+        'gene_id "Fbln2"; transcript_id "Fbln2.1";\n'
+    )
+
+    def test_coordinates_converted_to_half_open(self):
+        r = GtfFormat().parse(self.LINE)[0]
+        assert (r.left, r.right) == (100, 200)
+
+    def test_attributes_extracted(self):
+        r = GtfFormat().parse(self.LINE)[0]
+        source, feature, score, frame, gene_id, transcript_id = r.values
+        assert source == "RefSeq"
+        assert feature == "exon"
+        assert gene_id == "Fbln2"
+        assert transcript_id == "Fbln2.1"
+
+    def test_round_trip_preserves_coordinates(self):
+        fmt = GtfFormat()
+        regions = fmt.parse(self.LINE)
+        assert fmt.parse(fmt.serialize(regions)) == regions
+
+    def test_zero_start_rejected(self):
+        with pytest.raises(FormatError):
+            GtfFormat().parse("chr1\t.\t.\t0\t10\t.\t+\t.\t.\n")
+
+
+class TestVcf:
+    LINE = "chr1\t1001\trs123\tAT\tA\t50\tPASS\tDP=100\n"
+
+    def test_parse_deletion_span(self):
+        r = VcfFormat().parse(self.LINE)[0]
+        assert (r.left, r.right) == (1000, 1002)  # ref allele AT spans 2
+
+    def test_snv_is_width_one(self):
+        r = VcfFormat().parse("chr1\t5\t.\tA\tG\t.\t.\t.\n")[0]
+        assert r.length == 1
+
+    def test_header_lines_skipped(self):
+        text = "##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\n" + self.LINE
+        assert len(VcfFormat().parse(text)) == 1
+
+    def test_round_trip(self):
+        fmt = VcfFormat()
+        regions = fmt.parse(self.LINE)
+        assert fmt.parse(fmt.serialize(regions)) == regions
+
+
+class TestSam:
+    HEADER = "@HD\tVN:1.6\n@SQ\tSN:chr1\tLN:10000\n"
+    MAPPED = "read1\t0\tchr1\t101\t60\t50M\t*\t0\t0\t" + "A" * 50 + "\t*\n"
+    REVERSE = "read2\t16\tchr1\t201\t60\t50M\t*\t0\t0\t" + "C" * 50 + "\t*\n"
+    UNMAPPED = "read3\t4\t*\t0\t0\t*\t*\t0\t0\tGGGG\t*\n"
+
+    def test_mapped_read_coordinates(self):
+        r = SamFormat().parse(self.HEADER + self.MAPPED)[0]
+        assert (r.left, r.right, r.strand) == (100, 150, "+")
+
+    def test_reverse_flag_sets_strand(self):
+        r = SamFormat().parse(self.REVERSE)[0]
+        assert r.strand == "-"
+
+    def test_unmapped_reads_dropped(self):
+        regions = SamFormat().parse(self.HEADER + self.MAPPED + self.UNMAPPED)
+        assert len(regions) == 1
+
+    def test_round_trip(self):
+        fmt = SamFormat()
+        regions = fmt.parse(self.MAPPED)
+        assert fmt.parse(fmt.serialize(regions)) == regions

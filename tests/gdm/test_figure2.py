@@ -1,0 +1,116 @@
+"""Reproduction of the paper's Figure 2: the PEAKS dataset for ChIP-Seq data.
+
+The figure shows a dataset with two samples whose regions fall within two
+chromosomes; the variable part of the schema is the single attribute
+P_VALUE.  Sample 1 has 5 regions and 4 metadata attributes (stranded
+regions, karyotype "cancer"); sample 2 has 4 regions and 3 metadata
+attributes (unstranded, from a "female").  This module builds that exact
+instance and asserts every cardinality the paper states.
+"""
+
+import pytest
+
+from repro.gdm import (
+    Dataset,
+    FLOAT,
+    Metadata,
+    RegionSchema,
+    Sample,
+    region,
+    render_tables,
+)
+
+
+@pytest.fixture()
+def peaks_dataset() -> Dataset:
+    schema = RegionSchema.of(("p_value", FLOAT))
+    sample1 = Sample(
+        1,
+        [
+            region("chr1", 100, 350, "+", 1e-5),
+            region("chr1", 400, 750, "-", 2e-4),
+            region("chr1", 900, 1200, "+", 3e-6),
+            region("chr2", 150, 400, "+", 5e-5),
+            region("chr2", 600, 900, "-", 7e-4),
+        ],
+        Metadata(
+            {
+                "cell": "HeLa-S3",
+                "karyotype": "cancer",
+                "antibody": "CTCF",
+                "dataType": "ChipSeq",
+            }
+        ),
+    )
+    sample2 = Sample(
+        2,
+        [
+            region("chr1", 120, 380, "*", 4e-5),
+            region("chr1", 500, 800, "*", 1e-3),
+            region("chr2", 200, 450, "*", 2e-5),
+            region("chr2", 700, 950, "*", 9e-4),
+        ],
+        Metadata(
+            {
+                "cell": "GM12878",
+                "sex": "female",
+                "dataType": "ChipSeq",
+            }
+        ),
+    )
+    return Dataset("PEAKS", schema, [sample1, sample2])
+
+
+class TestFigure2Instance:
+    def test_two_samples(self, peaks_dataset):
+        assert len(peaks_dataset) == 2
+
+    def test_sample_1_has_5_regions_4_metadata(self, peaks_dataset):
+        assert len(peaks_dataset[1]) == 5
+        assert len(peaks_dataset[1].meta) == 4
+
+    def test_sample_2_has_4_regions_3_metadata(self, peaks_dataset):
+        assert len(peaks_dataset[2]) == 4
+        assert len(peaks_dataset[2].meta) == 3
+
+    def test_regions_fall_within_two_chromosomes(self, peaks_dataset):
+        assert peaks_dataset.chromosomes() == ("chr1", "chr2")
+
+    def test_variable_schema_is_p_value(self, peaks_dataset):
+        assert peaks_dataset.schema.names == ("p_value",)
+
+    def test_sample_1_regions_are_stranded(self, peaks_dataset):
+        assert all(r.strand in ("+", "-") for r in peaks_dataset[1])
+
+    def test_sample_2_regions_are_unstranded(self, peaks_dataset):
+        assert all(r.strand == "*" for r in peaks_dataset[2])
+
+    def test_metadata_tell_karyotype_and_sex(self, peaks_dataset):
+        assert peaks_dataset[1].meta.matches("karyotype", "cancer")
+        assert peaks_dataset[2].meta.matches("sex", "female")
+
+    def test_region_rows_carry_sample_id_first(self, peaks_dataset):
+        rows = list(peaks_dataset.region_rows())
+        assert len(rows) == 9
+        assert rows[0][0] == 1
+        # id, chrom, left, right, strand, p_value
+        assert len(rows[0]) == 6
+
+    def test_metadata_triples(self, peaks_dataset):
+        triples = list(peaks_dataset.metadata_triples())
+        assert len(triples) == 7
+        assert (1, "karyotype", "cancer") in triples
+        assert (2, "sex", "female") in triples
+
+    def test_id_connects_regions_and_metadata(self, peaks_dataset):
+        """The many-to-many connection through the sample id."""
+        region_ids = {row[0] for row in peaks_dataset.region_rows()}
+        meta_ids = {t[0] for t in peaks_dataset.metadata_triples()}
+        assert region_ids == meta_ids == {1, 2}
+
+    def test_render_tables_shows_both_entities(self, peaks_dataset):
+        text = render_tables(peaks_dataset)
+        assert "Regions:" in text
+        assert "Metadata:" in text
+        assert "karyotype" in text
+        assert "p_value" in text

@@ -1,0 +1,92 @@
+"""Unit tests for the Metadata multi-valued mapping."""
+
+import pytest
+
+from repro.errors import GdmError
+from repro.gdm import Metadata
+
+
+class TestConstruction:
+    def test_scalar_values_wrap(self):
+        meta = Metadata({"cell": "HeLa"})
+        assert meta.values("cell") == ("HeLa",)
+
+    def test_sequence_values_preserved(self):
+        meta = Metadata({"treatment": ("a", "b")})
+        assert meta.values("treatment") == ("a", "b")
+
+    def test_from_pairs_accumulates(self):
+        meta = Metadata.from_pairs([("t", "a"), ("t", "b"), ("cell", "K562")])
+        assert meta.values("t") == ("a", "b")
+        assert len(meta) == 3
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(GdmError):
+            Metadata({"": "x"})
+
+
+class TestAccess:
+    def test_first_and_default(self):
+        meta = Metadata({"a": ("x", "y")})
+        assert meta.first("a") == "x"
+        assert meta.first("missing", "dflt") == "dflt"
+
+    def test_contains_and_len(self):
+        meta = Metadata({"a": "x", "b": ("y", "z")})
+        assert "a" in meta and "c" not in meta
+        assert len(meta) == 3
+
+    def test_iteration_sorted_and_stable(self):
+        meta = Metadata({"b": "2", "a": "1"})
+        assert list(meta) == [("a", "1"), ("b", "2")]
+
+    def test_triples_include_sample_id(self):
+        meta = Metadata({"a": "1"})
+        assert list(meta.triples(7)) == [(7, "a", "1")]
+
+    def test_matches_string_insensitive(self):
+        meta = Metadata({"n": 5})
+        assert meta.matches("n", "5")
+        assert meta.matches("n", 5)
+        assert not meta.matches("n", 6)
+
+
+class TestDerivation:
+    def test_with_pairs(self):
+        meta = Metadata({"a": "1"}).with_pairs([("b", "2")])
+        assert meta.first("b") == "2"
+        assert meta.first("a") == "1"
+
+    def test_without(self):
+        meta = Metadata({"a": "1", "b": "2"}).without(["a"])
+        assert "a" not in meta and "b" in meta
+
+    def test_project(self):
+        meta = Metadata({"a": "1", "b": "2"}).project(["b"])
+        assert meta.attributes() == ("b",)
+
+    def test_prefixed(self):
+        meta = Metadata({"cell": "HeLa"}).prefixed("left.")
+        assert meta.first("left.cell") == "HeLa"
+        assert "cell" not in meta
+
+    def test_union_merges_and_dedups(self):
+        a = Metadata({"x": "1", "shared": "s"})
+        b = Metadata({"y": "2", "shared": "s"})
+        merged = a.union(b)
+        assert merged.first("x") == "1"
+        assert merged.first("y") == "2"
+        assert merged.values("shared") == ("s",)
+
+    def test_union_keeps_distinct_values(self):
+        merged = Metadata({"t": "a"}).union(Metadata({"t": "b"}))
+        assert merged.values("t") == ("a", "b")
+
+    def test_equality_and_hash(self):
+        assert Metadata({"a": "1"}) == Metadata({"a": "1"})
+        assert hash(Metadata({"a": "1"})) == hash(Metadata({"a": "1"}))
+
+    def test_immutability_of_source(self):
+        base = Metadata({"a": "1"})
+        base.with_pairs([("b", "2")])
+        assert "b" not in base

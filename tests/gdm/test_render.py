@@ -1,0 +1,81 @@
+"""Tests for the text renderers (Figure 2 tables and genome-browser tracks)."""
+
+import pytest
+
+from repro.gdm import (
+    Dataset,
+    FLOAT,
+    Metadata,
+    RegionSchema,
+    Sample,
+    region,
+    render_tables,
+    render_tracks,
+)
+
+
+@pytest.fixture()
+def dataset():
+    return Dataset(
+        "D",
+        RegionSchema.of(("score", FLOAT)),
+        [
+            Sample(1, [region("chr1", 100, 400, "+", 1.5),
+                       region("chr1", 600, 900, "-", 2.5)],
+                   Metadata({"name": "fwd+rev"})),
+            Sample(2, [region("chr1", 200, 700, "*", 3.0)],
+                   Metadata({"name": "unstranded"})),
+        ],
+    )
+
+
+class TestRenderTables:
+    def test_contains_headers_and_rows(self, dataset):
+        text = render_tables(dataset)
+        assert "id" in text and "score" in text
+        assert "chr1" in text
+        assert "fwd+rev" in text
+
+    def test_truncation_notice(self, dataset):
+        text = render_tables(dataset, max_rows=1)
+        assert "more region row(s)" in text
+        assert "more metadata triple(s)" in text
+
+    def test_missing_values_render_blank(self):
+        ds = Dataset(
+            "D",
+            RegionSchema.of(("score", FLOAT)),
+            [Sample(1, [region("chr1", 0, 10)])],
+        )
+        text = render_tables(ds)
+        assert "chr1" in text  # renders without crashing on None
+
+
+class TestRenderTracks:
+    def test_strand_glyphs(self, dataset):
+        text = render_tracks(dataset, "chr1", 0, 1000, width=50)
+        assert "=" in text   # forward
+        assert "-" in text   # reverse
+        assert "#" in text   # unstranded
+
+    def test_labels_from_metadata(self, dataset):
+        text = render_tracks(dataset, "chr1", 0, 1000)
+        assert "fwd+rev" in text
+        assert "unstranded" in text
+
+    def test_regions_outside_window_invisible(self, dataset):
+        text = render_tracks(dataset, "chr1", 5_000, 6_000, width=40)
+        lines = text.split("\n")[2:]
+        assert all(set(line.split("  ")[0]) <= {" "} for line in lines)
+
+    def test_other_chromosome_invisible(self, dataset):
+        text = render_tracks(dataset, "chr2", 0, 1000, width=40)
+        assert "=" not in text
+
+    def test_empty_window_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            render_tracks(dataset, "chr1", 100, 100)
+
+    def test_header_shows_coordinates(self, dataset):
+        text = render_tracks(dataset, "chr1", 0, 1000)
+        assert text.startswith("chr1:0-1,000")

@@ -1,0 +1,145 @@
+"""Unit tests for RegionSchema: typing, coercion and schema merging."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.gdm import (
+    AttributeDef,
+    BOOL,
+    FLOAT,
+    INT,
+    RegionSchema,
+    STR,
+    infer_type,
+    type_named,
+)
+
+
+class TestTypes:
+    def test_type_lookup_case_insensitive(self):
+        assert type_named("float") is FLOAT
+        assert type_named("Int") is INT
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            type_named("DOUBLE")
+
+    def test_coerce_int(self):
+        assert INT.coerce("42") == 42
+
+    def test_coerce_float(self):
+        assert FLOAT.coerce("0.5") == 0.5
+
+    def test_coerce_bool_strings(self):
+        assert BOOL.coerce("true") is True
+        assert BOOL.coerce("0") is False
+
+    def test_coerce_none_passthrough(self):
+        assert STR.coerce(None) is None
+
+    def test_coerce_failure_raises(self):
+        with pytest.raises(SchemaError):
+            INT.coerce("not-a-number")
+
+    def test_parse_missing_markers(self):
+        assert FLOAT.parse(".") is None
+        assert FLOAT.parse("NA") is None
+        assert FLOAT.parse("") is None
+
+    def test_format_round_trip(self):
+        assert FLOAT.parse(FLOAT.format(0.25)) == 0.25
+        assert INT.format(None) == "."
+
+    def test_infer_type(self):
+        assert infer_type(True) is BOOL
+        assert infer_type(3) is INT
+        assert infer_type(3.5) is FLOAT
+        assert infer_type("x") is STR
+
+
+class TestSchemaBasics:
+    def test_of_builds_ordered_schema(self):
+        schema = RegionSchema.of(("score", FLOAT), ("name", "STR"))
+        assert schema.names == ("score", "name")
+        assert schema.types == (FLOAT, STR)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RegionSchema.of(("a", INT), ("a", FLOAT))
+
+    def test_fixed_attribute_names_reserved(self):
+        with pytest.raises(SchemaError):
+            RegionSchema.of(("chrom", STR))
+
+    def test_bad_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeDef("with space", INT)
+
+    def test_index_and_contains(self):
+        schema = RegionSchema.of(("a", INT), ("b", STR))
+        assert "a" in schema and "c" not in schema
+        assert schema.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("c")
+
+    def test_coerce_values_pads_missing(self):
+        schema = RegionSchema.of(("a", INT), ("b", FLOAT))
+        assert schema.coerce_values(("7",)) == (7, None)
+
+    def test_coerce_values_rejects_excess(self):
+        schema = RegionSchema.of(("a", INT))
+        with pytest.raises(SchemaError):
+            schema.coerce_values((1, 2))
+
+    def test_project_preserves_order_given(self):
+        schema = RegionSchema.of(("a", INT), ("b", FLOAT), ("c", STR))
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_extend(self):
+        schema = RegionSchema.of(("a", INT)).extend(AttributeDef("b", STR))
+        assert schema.names == ("a", "b")
+
+    def test_empty_schema(self):
+        assert len(RegionSchema.empty()) == 0
+
+
+class TestSchemaMerging:
+    """The paper's schema-merging operation: fixed attrs in common,
+    variable attrs concatenated."""
+
+    def test_disjoint_names_concatenate(self):
+        left = RegionSchema.of(("p_value", FLOAT))
+        right = RegionSchema.of(("score", INT))
+        merged = left.merge(right)
+        assert merged.schema.names == ("p_value", "score")
+
+    def test_same_name_same_type_unifies(self):
+        left = RegionSchema.of(("score", FLOAT), ("name", STR))
+        right = RegionSchema.of(("score", FLOAT))
+        merged = left.merge(right)
+        assert merged.schema.names == ("score", "name")
+
+    def test_same_name_different_type_renames(self):
+        left = RegionSchema.of(("score", FLOAT))
+        right = RegionSchema.of(("score", STR))
+        merged = left.merge(right)
+        assert merged.schema.names == ("score", "score_right")
+
+    def test_remap_left_lays_out_values(self):
+        left = RegionSchema.of(("a", INT))
+        right = RegionSchema.of(("b", INT))
+        merged = left.merge(right)
+        assert merged.remap_left((1,)) == (1, None)
+        assert merged.remap_right((2,)) == (None, 2)
+
+    def test_remap_unified_attribute(self):
+        left = RegionSchema.of(("score", FLOAT))
+        right = RegionSchema.of(("score", FLOAT), ("extra", STR))
+        merged = left.merge(right)
+        assert merged.schema.names == ("score", "extra")
+        assert merged.remap_right((0.5, "x")) == (0.5, "x")
+
+    def test_merge_with_empty(self):
+        left = RegionSchema.of(("a", INT))
+        merged = left.merge(RegionSchema.empty())
+        assert merged.schema == left

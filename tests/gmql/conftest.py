@@ -1,0 +1,85 @@
+"""Shared fixtures: small datasets exercising every operator."""
+
+import pytest
+
+from repro.gdm import (
+    Dataset,
+    FLOAT,
+    Metadata,
+    RegionSchema,
+    STR,
+    Sample,
+    region,
+)
+
+
+@pytest.fixture()
+def annotations():
+    """An ANNOTATIONS-like dataset: one sample of promoters, one of enhancers."""
+    schema = RegionSchema.of(("name", STR))
+    return Dataset(
+        "ANNOTATIONS",
+        schema,
+        [
+            Sample(
+                1,
+                [
+                    region("chr1", 100, 200, "+", "promA"),
+                    region("chr1", 500, 600, "-", "promB"),
+                    region("chr2", 100, 200, "+", "promC"),
+                ],
+                Metadata({"annType": "promoter", "assembly": "hg19"}),
+            ),
+            Sample(
+                2,
+                [
+                    region("chr1", 900, 1000, "*", "enh1"),
+                    region("chr2", 700, 800, "*", "enh2"),
+                ],
+                Metadata({"annType": "enhancer", "assembly": "hg19"}),
+            ),
+        ],
+    )
+
+
+@pytest.fixture()
+def encode():
+    """An ENCODE-like dataset: three ChIP-seq peak samples + one RNA sample."""
+    schema = RegionSchema.of(("p_value", FLOAT))
+    return Dataset(
+        "ENCODE",
+        schema,
+        [
+            Sample(
+                1,
+                [
+                    region("chr1", 120, 180, "*", 1e-6),
+                    region("chr1", 550, 580, "*", 1e-4),
+                    region("chr1", 2000, 2100, "*", 1e-3),
+                ],
+                Metadata({"dataType": "ChipSeq", "cell": "HeLa",
+                          "antibody": "CTCF"}),
+            ),
+            Sample(
+                2,
+                [
+                    region("chr1", 150, 160, "*", 1e-7),
+                    region("chr2", 110, 190, "*", 1e-5),
+                    region("chr2", 120, 130, "*", 1e-2),
+                ],
+                Metadata({"dataType": "ChipSeq", "cell": "K562",
+                          "antibody": "CTCF"}),
+            ),
+            Sample(
+                3,
+                [region("chr2", 150, 260, "*", 5e-3)],
+                Metadata({"dataType": "ChipSeq", "cell": "HeLa",
+                          "antibody": "POL2"}),
+            ),
+            Sample(
+                4,
+                [region("chr1", 100, 300, "*", 0.5)],
+                Metadata({"dataType": "RnaSeq", "cell": "HeLa"}),
+            ),
+        ],
+    )

@@ -1,0 +1,91 @@
+"""Negative-path tests: operators and language report clean errors."""
+
+import pytest
+
+from repro.errors import (
+    EvaluationError,
+    GmqlCompileError,
+    GmqlSyntaxError,
+    SchemaError,
+)
+from repro.gdm import Dataset, FLOAT, Metadata, RegionSchema, Sample, region
+from repro.gmql import Count, MetaCompare, map_regions, select
+from repro.gmql.lang import execute, parse
+
+
+@pytest.fixture()
+def data():
+    return Dataset(
+        "D",
+        RegionSchema.of(("score", FLOAT)),
+        [Sample(1, [region("chr1", 0, 10, "*", 1.0)],
+                Metadata({"cell": "HeLa"}))],
+    )
+
+
+class TestOperatorErrors:
+    def test_map_output_name_collides_with_schema(self, data):
+        with pytest.raises(SchemaError, match="duplicate attribute"):
+            map_regions(data, data, {"score": (Count(), None)})
+
+    def test_map_unknown_experiment_attribute(self, data):
+        from repro.gmql import Avg
+
+        with pytest.raises(SchemaError, match="no attribute"):
+            map_regions(data, data, {"m": (Avg(), "nope")})
+
+    def test_select_bad_operator(self):
+        with pytest.raises(EvaluationError, match="operator"):
+            MetaCompare("x", "~=", 1)
+
+    def test_region_predicate_unknown_attribute_at_bind(self, data):
+        from repro.gmql import RegionCompare
+
+        with pytest.raises(SchemaError, match="no attribute"):
+            select(data, region_predicate=RegionCompare("nope", "==", 1))
+
+
+class TestLanguageErrors:
+    @pytest.mark.parametrize(
+        "program, message",
+        [
+            ("A = SELECT() B", "expected ';'"),
+            ("A = FROB() B;", "operation keyword"),
+            ("A = SELECT(x ==) B;", "literal"),
+            ("A = JOIN() X Y;", "genometric clause"),
+            ("A = COVER(2) D;", "expected ','"),
+            ("A = ORDER(x WRONGWAY) D;", ""),
+            ("MATERIALIZE;", "expected an identifier"),
+        ],
+    )
+    def test_syntax_errors_report_location(self, program, message):
+        with pytest.raises(GmqlSyntaxError) as excinfo:
+            parse(program)
+        if message:
+            assert message in str(excinfo.value)
+        assert "line" in str(excinfo.value)
+
+    def test_compile_error_propagates_through_execute(self, data):
+        with pytest.raises(GmqlCompileError):
+            execute("A = MAP(x AS NOPE) D D; MATERIALIZE A;", {"D": data})
+
+    def test_error_line_numbers_are_meaningful(self):
+        program = "A = SELECT() B;\nC = SELECT(+) B;\n"
+        with pytest.raises(GmqlSyntaxError) as excinfo:
+            parse(program)
+        assert excinfo.value.line == 2
+
+    def test_join_output_validation_is_compile_time(self):
+        from repro.gmql.lang import compile_program
+
+        with pytest.raises(GmqlCompileError, match="output"):
+            compile_program("A = JOIN(DLE(1); output: MIDDLE) X Y;")
+
+    def test_project_keyword_attribute_names_work(self, data):
+        # 'count' is also an aggregate name; as a region attribute name it
+        # must parse as a plain identifier.
+        results = execute(
+            "A = PROJECT(*, doubled AS score * 2) D; MATERIALIZE A;",
+            {"D": data},
+        )
+        assert results["A"].schema.names == ("score", "doubled")

@@ -1,0 +1,212 @@
+"""Tests for the GMQL compiler, optimizer and end-to-end execution."""
+
+import pytest
+
+from repro.errors import GmqlCompileError
+from repro.gmql.lang import compile_program, execute, explain, optimize
+from repro.gmql.lang.plan import MapPlan, ScanPlan, SelectPlan, UnionPlan
+
+
+class TestCompiler:
+    def test_paper_program_compiles(self):
+        compiled = compile_program(
+            """
+            PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+            PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+            RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+            MATERIALIZE RESULT;
+            """
+        )
+        assert compiled.sources == ("ANNOTATIONS", "ENCODE")
+        assert set(compiled.outputs) == {"RESULT"}
+        root = compiled.outputs["RESULT"]
+        assert isinstance(root, MapPlan)
+        assert isinstance(root.reference, SelectPlan)
+        assert isinstance(root.reference.child, ScanPlan)
+
+    def test_shared_subplan_is_one_node(self):
+        compiled = compile_program(
+            """
+            A = SELECT(x == 1) SRC;
+            B = MAP() A A;
+            MATERIALIZE B;
+            """
+        )
+        root = compiled.outputs["B"]
+        assert root.reference is root.experiment
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(GmqlCompileError, match="assigned twice"):
+            compile_program("A = SELECT() X; A = SELECT() Y;")
+
+    def test_materialize_unknown_variable(self):
+        with pytest.raises(GmqlCompileError, match="unknown variable"):
+            compile_program("MATERIALIZE NOPE;")
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(GmqlCompileError, match="unknown aggregate"):
+            compile_program("A = MAP(x AS FROB(y)) R E;")
+
+    def test_md_requires_positive_k(self):
+        with pytest.raises(GmqlCompileError, match="MD"):
+            compile_program("A = JOIN(MD(0)) X Y;")
+
+    def test_variable_then_source_conflict(self):
+        with pytest.raises(GmqlCompileError, match="source"):
+            compile_program("B = SELECT() A; A = SELECT() C;")
+
+    def test_no_materialize_returns_all_variables(self):
+        compiled = compile_program("A = SELECT() X; B = SELECT() Y;")
+        assert set(compiled.outputs) == {"A", "B"}
+
+    def test_explain_mentions_operators(self):
+        text = explain(
+            "R = MAP() A B; MATERIALIZE R;", optimized=False
+        )
+        assert "MAP" in text and "SCAN A" in text
+
+
+class TestOptimizer:
+    def test_fuses_chained_selects(self):
+        compiled = compile_program(
+            """
+            A = SELECT(x == 1) SRC;
+            B = SELECT(y == 2) A;
+            MATERIALIZE B;
+            """
+        )
+        optimized = optimize(compiled)
+        root = optimized.outputs["B"]
+        assert isinstance(root, SelectPlan)
+        assert isinstance(root.child, ScanPlan)
+        assert "fuse-selects" in optimized.rewrites
+
+    def test_does_not_fuse_shared_select(self):
+        compiled = compile_program(
+            """
+            A = SELECT(x == 1) SRC;
+            B = SELECT(y == 2) A;
+            C = MAP() A B;
+            MATERIALIZE C;
+            """
+        )
+        optimized = optimize(compiled)
+        assert "fuse-selects" not in optimized.rewrites
+
+    def test_pushes_select_through_union(self):
+        compiled = compile_program(
+            """
+            U = UNION() X Y;
+            S = SELECT(cell == 'HeLa') U;
+            MATERIALIZE S;
+            """
+        )
+        optimized = optimize(compiled)
+        root = optimized.outputs["S"]
+        assert isinstance(root, UnionPlan)
+        assert isinstance(root.left, SelectPlan)
+
+    def test_variable_region_predicate_not_pushed(self):
+        compiled = compile_program(
+            """
+            U = UNION() X Y;
+            S = SELECT(region: score > 1) U;
+            MATERIALIZE S;
+            """
+        )
+        optimized = optimize(compiled)
+        assert isinstance(optimized.outputs["S"], SelectPlan)
+
+    def test_identity_select_dropped(self):
+        compiled = compile_program("A = SELECT() X; B = SELECT(y == 2) A; MATERIALIZE B;")
+        optimized = optimize(compiled)
+        root = optimized.outputs["B"]
+        assert isinstance(root.child, ScanPlan)
+
+
+class TestExecute:
+    def test_paper_query_end_to_end(self, annotations, encode):
+        results = execute(
+            """
+            PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+            PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+            RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+            MATERIALIZE RESULT;
+            """,
+            {"ANNOTATIONS": annotations, "ENCODE": encode},
+        )
+        assert set(results) == {"RESULT"}
+        result = results["RESULT"]
+        assert result.name == "RESULT"
+        assert len(result) == 3  # 1 promoter sample x 3 ChipSeq samples
+        assert result.schema.names[-1] == "peak_count"
+        for sample in result:
+            assert len(sample) == 3  # all promoter regions present
+
+    def test_unknown_source_dataset(self, encode):
+        with pytest.raises(GmqlCompileError, match="unknown source"):
+            execute("A = SELECT() NOPE; MATERIALIZE A;", {"ENCODE": encode})
+
+    def test_region_select_and_cover(self, encode):
+        results = execute(
+            """
+            GOOD = SELECT(region: p_value <= 1e-4) ENCODE;
+            COVERED = COVER(1, ANY) GOOD;
+            MATERIALIZE COVERED;
+            """,
+            {"ENCODE": encode},
+        )
+        covered = results["COVERED"]
+        assert len(covered) == 1
+        assert covered.schema.names == ("acc_index",)
+
+    def test_join_query(self, annotations, encode):
+        results = execute(
+            """
+            NEAR = JOIN(DLE(100); output: LEFT) ANNOTATIONS ENCODE;
+            MATERIALIZE NEAR;
+            """,
+            {"ANNOTATIONS": annotations, "ENCODE": encode},
+        )
+        assert "dist" in results["NEAR"].schema
+
+    def test_project_expression(self, encode):
+        results = execute(
+            "L = PROJECT(*, len AS right - left) ENCODE;",
+            {"ENCODE": encode},
+        )
+        sample = results["L"][1]
+        region = sample.regions[0]
+        assert region.values[-1] == region.length
+
+    def test_extend_and_order_pipeline(self, encode):
+        results = execute(
+            """
+            N = EXTEND(n AS COUNT) ENCODE;
+            TOPN = ORDER(n DESC; top: 1) N;
+            MATERIALIZE TOPN;
+            """,
+            {"ENCODE": encode},
+        )
+        top = results["TOPN"]
+        assert len(top) == 1
+        assert top[1].meta.first("n") == 3
+
+    def test_materialize_into_renames(self, encode):
+        results = execute(
+            "A = SELECT() ENCODE; MATERIALIZE A INTO Pretty;",
+            {"ENCODE": encode},
+        )
+        assert set(results) == {"Pretty"}
+
+    def test_unoptimized_execution_matches(self, annotations, encode):
+        program = """
+        A = SELECT(dataType == 'ChipSeq') ENCODE;
+        B = SELECT(cell == 'HeLa') A;
+        MATERIALIZE B;
+        """
+        sources = {"ANNOTATIONS": annotations, "ENCODE": encode}
+        fast = execute(program, sources, optimized=True)["B"]
+        slow = execute(program, sources, optimized=False)["B"]
+        assert len(fast) == len(slow)
+        assert fast.region_count() == slow.region_count()

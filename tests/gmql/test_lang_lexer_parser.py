@@ -1,0 +1,217 @@
+"""Tests for the GMQL lexer and parser."""
+
+import pytest
+
+from repro.errors import GmqlSyntaxError
+from repro.gmql.lang import parse, tokenize
+from repro.gmql.lang import ast_nodes as ast
+from repro.gmql.lang.tokens import EOF, IDENT, KEYWORD, NUMBER, STRING
+
+
+class TestLexer:
+    def test_paper_statement_tokens(self):
+        tokens = tokenize("PROMS = SELECT(annType == 'promoter') ANNOTATIONS;")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            IDENT, "SYMBOL", KEYWORD, "SYMBOL", IDENT, "SYMBOL", STRING,
+            "SYMBOL", IDENT, "SYMBOL", EOF,
+        ]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Select SELECT")
+        assert all(t.value == "SELECT" for t in tokens[:-1])
+
+    def test_scientific_notation(self):
+        tokens = tokenize("p_value <= 1e-5")
+        assert tokens[2].kind == NUMBER
+        assert tokens[2].value == "1e-5"
+
+    def test_dotted_identifier(self):
+        tokens = tokenize("left.cell == 'HeLa'")
+        assert tokens[0].kind == IDENT
+        assert tokens[0].value == "left.cell"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("# a comment\nA = SELECT() B; // trailing\n")
+        assert tokens[0].value == "A"
+
+    def test_line_column_positions(self):
+        tokens = tokenize("A\n  B")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unterminated_string(self):
+        with pytest.raises(GmqlSyntaxError, match="unterminated"):
+            tokenize("x == 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(GmqlSyntaxError):
+            tokenize("a @ b")
+
+
+class TestParserStatements:
+    def test_paper_program(self):
+        program = parse(
+            """
+            PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+            PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+            RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+            MATERIALIZE RESULT;
+            """
+        )
+        assert program.assigned() == ("PROMS", "PEAKS", "RESULT")
+        assert program.materialized() == ("RESULT",)
+        select_stmt = program.statements[0]
+        assert isinstance(select_stmt.operation, ast.OpSelect)
+        assert select_stmt.operation.meta == ast.Comparison(
+            "annType", "==", "promoter"
+        )
+        map_stmt = program.statements[2].operation
+        assert map_stmt.assignments == (
+            ast.AggregateCall("peak_count", "COUNT", None),
+        )
+
+    def test_materialize_into(self):
+        program = parse("A = SELECT() B; MATERIALIZE A INTO Named;")
+        assert program.statements[1].target == "Named"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(GmqlSyntaxError):
+            parse("A = SELECT() B")
+
+    def test_garbage_statement(self):
+        with pytest.raises(GmqlSyntaxError):
+            parse("SELECT A;")
+
+
+class TestParserSelect:
+    def test_boolean_precedence(self):
+        op = parse("A = SELECT(a == 1 OR b == 2 AND NOT c == 3) D;").statements[0].operation
+        assert isinstance(op.meta, ast.BoolOr)
+        assert isinstance(op.meta.right, ast.BoolAnd)
+        assert isinstance(op.meta.right.right, ast.BoolNot)
+
+    def test_parenthesised_boolean(self):
+        op = parse("A = SELECT((a == 1 OR b == 2) AND c == 3) D;").statements[0].operation
+        assert isinstance(op.meta, ast.BoolAnd)
+
+    def test_region_section(self):
+        op = parse("A = SELECT(region: p_value <= 1e-5) D;").statements[0].operation
+        assert op.meta is None
+        assert op.region == ast.Comparison("p_value", "<=", 1e-5)
+
+    def test_meta_and_region(self):
+        op = parse(
+            "A = SELECT(cell == 'HeLa'; region: chrom == 'chr1') D;"
+        ).statements[0].operation
+        assert op.meta is not None and op.region is not None
+
+    def test_semijoin(self):
+        op = parse("A = SELECT(semijoin: cell, tissue IN OTHER) D;").statements[0].operation
+        assert op.semijoin == ast.SemiJoinClause(("cell", "tissue"), "OTHER", False)
+
+    def test_negated_semijoin(self):
+        op = parse("A = SELECT(semijoin: cell NOT IN OTHER) D;").statements[0].operation
+        assert op.semijoin.negated
+
+    def test_bare_attribute_is_existence(self):
+        op = parse("A = SELECT(antibody) D;").statements[0].operation
+        assert op.meta == ast.Comparison("antibody", "!=", None)
+
+    def test_numeric_literals(self):
+        op = parse("A = SELECT(n == -5) D;").statements[0].operation
+        assert op.meta.value == -5
+
+
+class TestParserOtherOps:
+    def test_project(self):
+        op = parse(
+            "A = PROJECT(p_value, len AS right - left; metadata: cell) D;"
+        ).statements[0].operation
+        assert op.region_attributes == ("p_value",)
+        assert op.metadata_attributes == ("cell",)
+        assert op.new_region_attributes[0][0] == "len"
+
+    def test_project_star_keeps_all(self):
+        op = parse("A = PROJECT(*, l AS length) D;").statements[0].operation
+        assert op.region_attributes is None
+
+    def test_project_only_new_drops_rest(self):
+        op = parse("A = PROJECT(l AS length) D;").statements[0].operation
+        assert op.region_attributes == ()
+
+    def test_extend(self):
+        op = parse("A = EXTEND(n AS COUNT, m AS MAX(score)) D;").statements[0].operation
+        assert op.assignments == (
+            ast.AggregateCall("n", "COUNT", None),
+            ast.AggregateCall("m", "MAX", "score"),
+        )
+
+    def test_merge_groupby(self):
+        op = parse("A = MERGE(groupby: cell) D;").statements[0].operation
+        assert op.groupby == ("cell",)
+
+    def test_group(self):
+        op = parse(
+            "A = GROUP(groupby: cell; metadata: n AS COUNT(rep); region: m AS COUNT) D;"
+        ).statements[0].operation
+        assert op.meta_keys == ("cell",)
+        assert op.meta_aggregates[0].attribute == "rep"
+        assert op.region_aggregates[0].function == "COUNT"
+
+    def test_order(self):
+        op = parse(
+            "A = ORDER(score DESC, cell; top: 3; region: p_value ASC TOP 5) D;"
+        ).statements[0].operation
+        assert op.meta_keys == (("score", "DESC"), ("cell", "ASC"))
+        assert op.top == 3
+        assert op.region_keys == (("p_value", "ASC"),)
+        assert op.region_top == 5
+
+    def test_union(self):
+        op = parse("A = UNION() X Y;").statements[0].operation
+        assert (op.left, op.right) == ("X", "Y")
+
+    def test_difference(self):
+        op = parse("A = DIFFERENCE(joinby: cell; exact) X Y;").statements[0].operation
+        assert op.joinby == ("cell",)
+        assert op.exact
+
+    def test_cover_bounds(self):
+        op = parse("A = COVER(2, ANY) D;").statements[0].operation
+        assert op.min_acc == ast.BoundExpr("INT", 2)
+        assert op.max_acc == ast.BoundExpr("ANY")
+
+    def test_cover_all_arithmetic(self):
+        op = parse("A = COVER((ALL + 1) / 2, ALL) D;").statements[0].operation
+        assert op.min_acc == ast.BoundExpr("ALL", offset=1, divisor=2)
+        assert op.max_acc == ast.BoundExpr("ALL", offset=0, divisor=1)
+
+    def test_summit_variant(self):
+        op = parse("A = SUMMIT(1, ANY) D;").statements[0].operation
+        assert op.variant == "SUMMIT"
+
+    def test_map_with_joinby(self):
+        op = parse("A = MAP(n AS COUNT; joinby: cell) R E;").statements[0].operation
+        assert op.joinby == ("cell",)
+        assert (op.reference, op.experiment) == ("R", "E")
+
+    def test_map_default_count(self):
+        op = parse("A = MAP() R E;").statements[0].operation
+        assert op.assignments == ()
+
+    def test_join_clauses(self):
+        op = parse(
+            "A = JOIN(DLE(1000), MD(1), UP; output: LEFT; joinby: cell) X Y;"
+        ).statements[0].operation
+        assert op.clauses == (
+            ast.GenometricClause("DLE", 1000),
+            ast.GenometricClause("MD", 1),
+            ast.GenometricClause("UP"),
+        )
+        assert op.output == "LEFT"
+        assert op.joinby == ("cell",)
+
+    def test_join_negative_dle(self):
+        op = parse("A = JOIN(DLE(-1)) X Y;").statements[0].operation
+        assert op.clauses[0].argument == -1

@@ -1,0 +1,278 @@
+"""Tests for the domain-specific operators: MAP, COVER, genometric JOIN."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.gdm import Dataset, FLOAT, Metadata, RegionSchema, Sample, region
+from repro.gmql import (
+    Avg,
+    Count,
+    DistGreater,
+    DistLess,
+    Downstream,
+    GenometricCondition,
+    Max,
+    MetaCompare,
+    MinDistance,
+    Upstream,
+    cover,
+    join,
+    map_regions,
+    select,
+)
+from repro.intervals import AccumulationBound
+
+
+class TestMap:
+    def test_paper_example_shape(self, annotations, encode):
+        """The Section 2 query: output samples = refs x experiments, each
+        output sample carries all reference regions."""
+        proms = select(annotations, MetaCompare("annType", "==", "promoter"))
+        peaks = select(encode, MetaCompare("dataType", "==", "ChipSeq"))
+        result = map_regions(proms, peaks, {"peak_count": (Count(), None)})
+        assert len(result) == len(proms) * len(peaks) == 3
+        for sample in result:
+            assert len(sample) == 3  # all promoter regions present
+
+    def test_counts_are_correct(self, annotations, encode):
+        proms = select(annotations, MetaCompare("annType", "==", "promoter"))
+        peaks = select(encode, MetaCompare("dataType", "==", "ChipSeq"))
+        result = map_regions(proms, peaks, {"peak_count": (Count(), None)})
+        # Promoters: chr1:100-200, chr1:500-600, chr2:100-200.
+        # Peaks sample 1 hits: (120-180)->1st, (550-580)->2nd.
+        by_meta = {
+            sample.meta.first("right.cell"): sample for sample in result
+        }
+        hela_ctcf = next(
+            s
+            for s in result
+            if s.meta.first("right.cell") == "HeLa"
+            and s.meta.first("right.antibody") == "CTCF"
+        )
+        counts = [r.values[-1] for r in hela_ctcf.regions]
+        assert counts == [1, 1, 0]
+
+    def test_schema_extended_with_count(self, annotations, encode):
+        result = map_regions(annotations, encode)
+        assert result.schema.names == ("name", "count")
+
+    def test_value_aggregate(self, annotations, encode):
+        proms = select(annotations, MetaCompare("annType", "==", "promoter"))
+        result = map_regions(
+            proms,
+            encode,
+            {"n": (Count(), None), "avg_p": (Avg(), "p_value")},
+        )
+        assert result.schema.names == ("name", "n", "avg_p")
+        sample = result[1]
+        for r in sample.regions:
+            n, avg_p = r.values[1], r.values[2]
+            if n == 0:
+                assert avg_p is None
+
+    def test_joinby_restricts_pairs(self, encode):
+        refs = select(encode, MetaCompare("cell", "==", "HeLa"))
+        result = map_regions(refs, encode, joinby=("cell",))
+        # 3 HeLa refs x 3 HeLa experiments.
+        assert len(result) == 9
+
+    def test_metadata_prefixed(self, annotations, encode):
+        result = map_regions(annotations, encode)
+        assert "left.annType" in result[1].meta
+        assert "right.dataType" in result[1].meta
+
+    def test_aggregate_requires_attribute(self, annotations, encode):
+        with pytest.raises(EvaluationError):
+            map_regions(annotations, encode, {"x": (Avg(), None)})
+
+    def test_provenance_links_both_operands(self, annotations, encode):
+        result = map_regions(annotations, encode)
+        rec = result.provenance[0]
+        names = {pair[0] for pair in rec.inputs}
+        assert names == {"ANNOTATIONS", "ENCODE"}
+
+
+class TestCover:
+    @pytest.fixture()
+    def replicas(self):
+        schema = RegionSchema.empty()
+        return Dataset(
+            "REPLICAS",
+            schema,
+            [
+                Sample(1, [region("chr1", 0, 100), region("chr1", 300, 400)],
+                       Metadata({"replicate": 1, "cell": "HeLa"})),
+                Sample(2, [region("chr1", 50, 150)],
+                       Metadata({"replicate": 2, "cell": "HeLa"})),
+                Sample(3, [region("chr1", 80, 120)],
+                       Metadata({"replicate": 3, "cell": "K562"})),
+            ],
+        )
+
+    def test_cover_2_any(self, replicas):
+        result = cover(replicas, 2, AccumulationBound.any())
+        assert len(result) == 1
+        # Depth profile: 1 on [0,50), 2 on [50,80), 3 on [80,100),
+        # 2 on [100,120), 1 on [120,150) -- so cover(2, ANY) = [50,120).
+        covers = [(r.left, r.right) for r in result[1].regions]
+        assert covers == [(50, 120)]
+
+    def test_cover_acc_index_is_max_depth(self, replicas):
+        result = cover(replicas, 2, AccumulationBound.any())
+        assert result[1].regions[0].values == (3,)
+
+    def test_cover_all_bound(self, replicas):
+        result = cover(
+            replicas, AccumulationBound.all(), AccumulationBound.any()
+        )
+        covers = [(r.left, r.right) for r in result[1].regions]
+        assert covers == [(80, 100)]  # depth 3 region only
+
+    def test_histogram_variant(self, replicas):
+        result = cover(replicas, 1, AccumulationBound.any(), variant="HISTOGRAM")
+        depths = [r.values[0] for r in result[1].regions]
+        assert depths == [1, 2, 3, 2, 1, 1]
+
+    def test_summit_variant(self, replicas):
+        result = cover(replicas, 1, AccumulationBound.any(), variant="SUMMIT")
+        rows = [(r.left, r.right, r.values[0]) for r in result[1].regions]
+        assert (80, 100, 3) in rows
+
+    def test_flat_variant_extends(self, replicas):
+        result = cover(replicas, 3, AccumulationBound.any(), variant="FLAT")
+        rows = [(r.left, r.right) for r in result[1].regions]
+        assert rows == [(0, 150)]
+
+    def test_groupby_produces_one_sample_per_group(self, replicas):
+        result = cover(replicas, 1, AccumulationBound.any(), groupby=("cell",))
+        assert len(result) == 2
+
+    def test_metadata_union_of_group(self, replicas):
+        result = cover(replicas, 1, AccumulationBound.any())
+        meta = result[1].meta
+        assert set(map(str, meta.values("replicate"))) == {"1", "2", "3"}
+
+    def test_unknown_variant_rejected(self, replicas):
+        with pytest.raises(EvaluationError):
+            cover(replicas, 1, 5, variant="PEAKS")
+
+    def test_schema_is_acc_index(self, replicas):
+        result = cover(replicas, 1, 5)
+        assert result.schema.names == ("acc_index",)
+
+
+class TestGenometricJoin:
+    @pytest.fixture()
+    def genes(self):
+        return Dataset(
+            "GENES",
+            RegionSchema.of(("gene", "STR")),
+            [
+                Sample(
+                    1,
+                    [
+                        region("chr1", 1000, 2000, "+", "geneA"),
+                        region("chr1", 5000, 6000, "-", "geneB"),
+                    ],
+                    Metadata({"source": "refseq"}),
+                )
+            ],
+        )
+
+    @pytest.fixture()
+    def peaks(self):
+        return Dataset(
+            "PEAKS",
+            RegionSchema.of(("score", "FLOAT")),
+            [
+                Sample(
+                    1,
+                    [
+                        region("chr1", 800, 900, "*", 1.0),    # 100 upstream of geneA
+                        region("chr1", 1500, 1600, "*", 2.0),  # inside geneA
+                        region("chr1", 6100, 6200, "*", 3.0),  # 100 upstream of geneB (rev)
+                        region("chr1", 9000, 9100, "*", 4.0),  # far away
+                    ],
+                    Metadata({"antibody": "CTCF"}),
+                )
+            ],
+        )
+
+    def test_dle_join(self, genes, peaks):
+        result = join(genes, peaks, GenometricCondition(DistLess(150)),
+                      output="LEFT")
+        # geneA matches peaks at 800-900 (d=100) and 1500-1600 (overlap);
+        # geneB matches 6100-6200 (d=100).
+        assert result.region_count() == 3
+
+    def test_overlap_only_with_negative_dle(self, genes, peaks):
+        result = join(genes, peaks, GenometricCondition(DistLess(-1)))
+        assert result.region_count() == 1
+
+    def test_dge_excludes_overlaps(self, genes, peaks):
+        result = join(
+            genes,
+            peaks,
+            GenometricCondition(DistGreater(50), DistLess(150)),
+        )
+        assert result.region_count() == 2
+
+    def test_upstream_respects_strand(self, genes, peaks):
+        result = join(
+            genes,
+            peaks,
+            GenometricCondition(DistLess(150), Upstream()),
+            output="LEFT",
+        )
+        # geneA(+) upstream -> 800-900; geneB(-) upstream -> 6100-6200.
+        assert result.region_count() == 2
+
+    def test_downstream(self, genes, peaks):
+        result = join(
+            genes,
+            peaks,
+            GenometricCondition(DistLess(10_000), Downstream()),
+            output="LEFT",
+        )
+        # Downstream of geneA(+): 5000-6000 region peaks? peaks at 6100,9000
+        # are downstream of geneA; downstream of geneB(-): 800-900,1500-1600?
+        # geneB(-) downstream means left of 5000: peaks 800-900 and 1500-1600.
+        assert result.region_count() == 4
+
+    def test_md_k_nearest(self, genes, peaks):
+        result = join(genes, peaks, GenometricCondition(MinDistance(1)),
+                      output="LEFT")
+        # One nearest peak per gene region.
+        assert result.region_count() == 2
+
+    def test_output_int_intersection(self, genes, peaks):
+        result = join(genes, peaks, GenometricCondition(DistLess(-1)),
+                      output="INT")
+        r = result[1].regions[0]
+        assert (r.left, r.right) == (1500, 1600)
+
+    def test_output_cat_spans(self, genes, peaks):
+        result = join(genes, peaks, GenometricCondition(DistLess(-1)),
+                      output="CAT")
+        r = result[1].regions[0]
+        assert (r.left, r.right) == (1000, 2000)
+
+    def test_dist_attribute_appended(self, genes, peaks):
+        result = join(genes, peaks, GenometricCondition(DistLess(150)),
+                      output="LEFT")
+        assert result.schema.names[-1] == "dist"
+        distances = sorted(r.values[-1] for r in result[1].regions)
+        assert distances == [-100, 100, 100]
+
+    def test_merged_schema_carries_both(self, genes, peaks):
+        result = join(genes, peaks, GenometricCondition(DistLess(150)))
+        assert "gene" in result.schema
+        assert "score" in result.schema
+
+    def test_bad_output_option(self, genes, peaks):
+        with pytest.raises(EvaluationError):
+            join(genes, peaks, GenometricCondition(DistLess(0)), output="MIDDLE")
+
+    def test_condition_requires_clause(self):
+        with pytest.raises(EvaluationError):
+            GenometricCondition()

@@ -1,0 +1,236 @@
+"""Property-based tests for GMQL operator invariants.
+
+Each operator's output is checked against brute-force oracles and
+algebraic laws on randomised datasets: the algebra must be closed,
+deterministic, and faithful to the paper's semantics regardless of input
+shape.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gdm import Dataset, FLOAT, Metadata, RegionSchema, Sample, region
+from repro.gmql import (
+    Count,
+    DistLess,
+    GenometricCondition,
+    Max,
+    MetaCompare,
+    RegionCompare,
+    cover,
+    difference,
+    extend,
+    join,
+    map_regions,
+    merge,
+    order,
+    select,
+    union,
+)
+from repro.intervals import AccumulationBound
+
+
+@st.composite
+def datasets(draw, max_samples=4, max_regions=25):
+    schema = RegionSchema.of(("score", FLOAT))
+    n_samples = draw(st.integers(1, max_samples))
+    samples = []
+    for sample_id in range(1, n_samples + 1):
+        n_regions = draw(st.integers(0, max_regions))
+        regions = []
+        for __ in range(n_regions):
+            left = draw(st.integers(0, 900))
+            width = draw(st.integers(1, 120))
+            chrom = draw(st.sampled_from(["chr1", "chr2"]))
+            strand = draw(st.sampled_from(["+", "-", "*"]))
+            score = draw(
+                st.one_of(st.none(), st.floats(0, 100, allow_nan=False))
+            )
+            regions.append(region(chrom, left, left + width, strand, score))
+        cell = draw(st.sampled_from(["HeLa", "K562"]))
+        samples.append(
+            Sample(sample_id, regions,
+                   Metadata({"cell": cell, "replicate": sample_id}))
+        )
+    return Dataset("DATA", schema, samples, validate=False)
+
+
+class TestSelectProperties:
+    @given(datasets())
+    @settings(max_examples=60, deadline=None)
+    def test_select_partition(self, data):
+        """SELECT(p) and SELECT(not p) partition the samples."""
+        predicate = MetaCompare("cell", "==", "HeLa")
+        kept = select(data, predicate)
+        dropped = select(data, ~predicate)
+        assert len(kept) + len(dropped) == len(data)
+
+    @given(datasets())
+    @settings(max_examples=60, deadline=None)
+    def test_region_select_is_per_region_filter(self, data):
+        predicate = RegionCompare("score", ">=", 50)
+        result = select(data, region_predicate=predicate)
+        assert len(result) == len(data)
+        expected = sum(
+            1
+            for sample in data
+            for r in sample.regions
+            if r.values[0] is not None and r.values[0] >= 50
+        )
+        assert result.region_count() == expected
+
+    @given(datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_select_idempotent(self, data):
+        predicate = MetaCompare("cell", "==", "HeLa")
+        once = select(data, predicate)
+        twice = select(once, predicate)
+        assert len(once) == len(twice)
+        assert once.region_count() == twice.region_count()
+
+
+class TestMapProperties:
+    @given(datasets(max_samples=3, max_regions=15),
+           datasets(max_samples=3, max_regions=15))
+    @settings(max_examples=40, deadline=None)
+    def test_map_counts_match_brute_force(self, refs, exps):
+        result = map_regions(refs, exps, {"n": (Count(), None)})
+        assert len(result) == len(refs) * len(exps)
+        ref_samples = list(refs)
+        exp_samples = list(exps)
+        out = iter(result)
+        for ref_sample in ref_samples:
+            for exp_sample in exp_samples:
+                got = next(out)
+                assert len(got) == len(ref_sample)
+                for out_region, ref_region in zip(got.regions,
+                                                  ref_sample.regions):
+                    expected = sum(
+                        1 for e in exp_sample.regions
+                        if ref_region.overlaps(e)
+                    )
+                    assert out_region.values[-1] == expected
+
+    @given(datasets(max_samples=2, max_regions=12))
+    @settings(max_examples=30, deadline=None)
+    def test_map_value_aggregate_missing_on_empty(self, data):
+        result = map_regions(data, data, {"m": (Max(), "score")})
+        for sample in result:
+            for out_region in sample.regions:
+                if out_region.values[-1] is None:
+                    continue  # either no hits or all-missing scores
+                assert out_region.values[-1] <= 100
+
+
+class TestCoverProperties:
+    @given(datasets(max_samples=4, max_regions=20), st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_cover_depth_invariant(self, data, min_acc):
+        """Every position of a COVER output region has depth >= min_acc
+        somewhere in it and the region is maximal (flanks fall below)."""
+        result = cover(data, min_acc, AccumulationBound.any())
+        all_regions = [r for sample in data for r in sample.regions]
+
+        def depth(chrom, position):
+            return sum(
+                1 for r in all_regions
+                if r.chrom == chrom and r.left <= position < r.right
+            )
+
+        for out in result[1].regions:
+            # Boundary positions are in range; positions just outside fail.
+            assert depth(out.chrom, out.left) >= min_acc
+            assert depth(out.chrom, out.right - 1) >= min_acc
+            if out.left > 0:
+                assert depth(out.chrom, out.left - 1) != depth(
+                    out.chrom, out.left
+                ) or depth(out.chrom, out.left - 1) < min_acc
+            assert out.values[0] >= min_acc  # acc_index = max depth
+
+    @given(datasets(max_samples=3, max_regions=15))
+    @settings(max_examples=30, deadline=None)
+    def test_histogram_depths_partition_cover(self, data):
+        """HISTOGRAM segments concatenate to exactly the COVER(1,ANY) span."""
+        covered = cover(data, 1, AccumulationBound.any())
+        hist = cover(data, 1, AccumulationBound.any(), variant="HISTOGRAM")
+        covered_positions = sum(r.length for r in covered[1].regions)
+        hist_positions = sum(r.length for r in hist[1].regions)
+        assert covered_positions == hist_positions
+
+
+class TestBinaryProperties:
+    @given(datasets(max_samples=3), datasets(max_samples=3))
+    @settings(max_examples=40, deadline=None)
+    def test_union_preserves_counts(self, a, b):
+        merged = union(a, b)
+        assert len(merged) == len(a) + len(b)
+        assert merged.region_count() == a.region_count() + b.region_count()
+
+    @given(datasets(max_samples=3), datasets(max_samples=3))
+    @settings(max_examples=40, deadline=None)
+    def test_difference_is_subset_of_left(self, a, b):
+        result = difference(a, b)
+        assert len(result) == len(a)
+        mask = [r for sample in b for r in sample.regions]
+        for out_sample, in_sample in zip(result, a):
+            out_coords = {r.coordinates() for r in out_sample.regions}
+            in_coords = {r.coordinates() for r in in_sample.regions}
+            assert out_coords <= in_coords
+            for r in out_sample.regions:
+                assert not any(r.overlaps(m) for m in mask)
+
+    @given(datasets(max_samples=2, max_regions=10),
+           datasets(max_samples=2, max_regions=10))
+    @settings(max_examples=30, deadline=None)
+    def test_join_dle_matches_brute_force_pairs(self, a, b):
+        limit = 50
+        result = join(a, b, GenometricCondition(DistLess(limit)),
+                      output="LEFT")
+        expected = 0
+        for sa in a:
+            for sb in b:
+                for ra in sa.regions:
+                    for rb in sb.regions:
+                        d = ra.distance(rb)
+                        if d is not None and d <= limit:
+                            expected += 1
+        assert result.region_count() == expected
+
+
+class TestUnaryLaws:
+    @given(datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_merge_conserves_regions(self, data):
+        merged = merge(data)
+        assert merged.region_count() == data.region_count()
+        assert merged[1].is_sorted()
+
+    @given(datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_extend_count_equals_len(self, data):
+        extended = extend(data, {"n": (Count(), None)})
+        for in_sample, out_sample in zip(data, extended):
+            assert out_sample.meta.first("n") == len(in_sample)
+
+    @given(datasets(), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_order_top_k(self, data, k):
+        result = order(data, meta_keys=[("replicate", "DESC")], top=k)
+        assert len(result) == min(k, len(data))
+
+    @given(datasets())
+    @settings(max_examples=30, deadline=None)
+    def test_operators_do_not_mutate_inputs(self, data):
+        snapshot = [
+            (sample.id, tuple(sample.regions), sample.meta)
+            for sample in data
+        ]
+        select(data, MetaCompare("cell", "==", "HeLa"))
+        merge(data)
+        cover(data, 1, AccumulationBound.any())
+        map_regions(data, data)
+        after = [
+            (sample.id, tuple(sample.regions), sample.meta)
+            for sample in data
+        ]
+        assert snapshot == after

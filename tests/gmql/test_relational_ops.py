@@ -1,0 +1,272 @@
+"""Tests for EXTEND, MERGE, GROUP, ORDER, UNION, DIFFERENCE, MATERIALIZE,
+aggregates and provenance."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.gdm import Dataset, FLOAT, INT, Metadata, RegionSchema, Sample, region
+from repro.gmql import (
+    Avg,
+    Bag,
+    Count,
+    Max,
+    Median,
+    Min,
+    Std,
+    Sum,
+    aggregate_named,
+    difference,
+    explain,
+    extend,
+    group,
+    materialize,
+    merge,
+    order,
+    union,
+)
+
+
+@pytest.fixture()
+def scored():
+    schema = RegionSchema.of(("score", FLOAT))
+    return Dataset(
+        "SCORED",
+        schema,
+        [
+            Sample(
+                1,
+                [
+                    region("chr1", 0, 10, "*", 4.0),
+                    region("chr1", 20, 30, "*", 2.0),
+                    region("chr1", 40, 50, "*", None),
+                ],
+                Metadata({"cell": "HeLa", "replicate": 1}),
+            ),
+            Sample(
+                2,
+                [region("chr2", 0, 10, "*", 10.0)],
+                Metadata({"cell": "K562", "replicate": 2}),
+            ),
+        ],
+    )
+
+
+class TestAggregates:
+    def test_count(self):
+        assert Count().compute([1, None, 3]) == 3
+
+    def test_sum_skips_missing(self):
+        assert Sum().compute([1, None, 3]) == 4
+
+    def test_avg(self):
+        assert Avg().compute([2, 4]) == 3.0
+
+    def test_min_max(self):
+        assert Min().compute([3, 1, None]) == 1
+        assert Max().compute([3, 1, None]) == 3
+
+    def test_median(self):
+        assert Median().compute([1, 3, 100]) == 3.0
+
+    def test_std_single_value_zero(self):
+        assert Std().compute([5]) == 0.0
+
+    def test_std_population(self):
+        assert Std().compute([2, 4]) == pytest.approx(1.0)
+
+    def test_bag_sorted_distinct(self):
+        assert Bag().compute(["b", "a", "b"]) == "a b"
+
+    def test_empty_inputs(self):
+        assert Count().compute([]) == 0
+        assert Sum().compute([]) is None
+        assert Avg().compute([None]) is None
+
+    def test_registry(self):
+        assert aggregate_named("count").name == "COUNT"
+        with pytest.raises(EvaluationError):
+            aggregate_named("MODE")
+
+
+class TestExtend:
+    def test_count_becomes_metadata(self, scored):
+        extended = extend(scored, {"region_count": (Count(), None)})
+        assert extended[1].meta.first("region_count") == 3
+        assert extended[2].meta.first("region_count") == 1
+
+    def test_value_aggregate(self, scored):
+        extended = extend(scored, {"max_score": (Max(), "score")})
+        assert extended[1].meta.first("max_score") == 4.0
+
+    def test_regions_unchanged(self, scored):
+        extended = extend(scored, {"n": (Count(), None)})
+        assert extended.region_count() == scored.region_count()
+
+    def test_missing_attribute_raises(self, scored):
+        with pytest.raises(EvaluationError):
+            extend(scored, {"x": (Avg(), None)})
+
+
+class TestMerge:
+    def test_merge_all(self, scored):
+        merged = merge(scored)
+        assert len(merged) == 1
+        assert len(merged[1]) == 4
+        assert merged[1].is_sorted()
+
+    def test_merge_metadata_union(self, scored):
+        merged = merge(scored)
+        assert set(map(str, merged[1].meta.values("cell"))) == {"HeLa", "K562"}
+
+    def test_merge_groupby(self, scored):
+        merged = merge(scored, groupby=("cell",))
+        assert len(merged) == 2
+
+
+class TestGroup:
+    def test_group_by_metadata(self, scored):
+        grouped = group(scored, meta_keys=("cell",))
+        assert len(grouped) == 2
+        cells = sorted(s.meta.first("cell") for s in grouped)
+        assert cells == ["HeLa", "K562"]
+
+    def test_meta_aggregates(self, scored):
+        grouped = group(
+            scored,
+            meta_keys=("cell",),
+            meta_aggregates={"n_reps": (Count(), "replicate")},
+        )
+        assert all(s.meta.first("n_reps") == 1 for s in grouped)
+
+    def test_region_dedup_with_aggregates(self):
+        schema = RegionSchema.of(("score", FLOAT))
+        ds = Dataset(
+            "DUP",
+            schema,
+            [
+                Sample(
+                    1,
+                    [
+                        region("chr1", 0, 10, "*", 1.0),
+                        region("chr1", 0, 10, "*", 3.0),
+                        region("chr1", 20, 30, "*", 5.0),
+                    ],
+                )
+            ],
+        )
+        deduped = group(
+            ds,
+            region_aggregates={"n": (Count(), None), "avg": (Avg(), "score")},
+        )
+        assert deduped.schema.names == ("n", "avg")
+        rows = [(r.left, r.values) for r in deduped[1].regions]
+        assert rows == [(0, (2, 2.0)), (20, (1, 5.0))]
+
+
+class TestOrder:
+    def test_order_by_metadata_desc_with_top(self, scored):
+        ordered = order(scored, meta_keys=[("replicate", "DESC")], top=1)
+        assert len(ordered) == 1
+        assert ordered[1].meta.first("cell") == "K562"
+
+    def test_order_adds_position(self, scored):
+        ordered = order(scored, meta_keys=[("replicate", "ASC")])
+        assert ordered[1].meta.first("order") == 1
+        assert ordered[2].meta.first("order") == 2
+
+    def test_order_regions_desc(self, scored):
+        ordered = order(scored, region_keys=[("score", "DESC")])
+        scores = [r.values[0] for r in ordered[1].regions]
+        assert scores[:2] == [4.0, 2.0]
+        assert scores[2] is None  # missing values sort last
+
+    def test_region_top_k(self, scored):
+        ordered = order(scored, region_keys=[("score", "DESC")], region_top=1)
+        assert len(ordered[1]) == 1
+        assert ordered[1].regions[0].values[0] == 4.0
+
+    def test_bad_direction(self, scored):
+        with pytest.raises(EvaluationError):
+            order(scored, meta_keys=[("cell", "UPWARD")])
+
+
+class TestUnion:
+    def test_schema_merging(self, scored):
+        other = Dataset(
+            "OTHER",
+            RegionSchema.of(("count", INT)),
+            [Sample(1, [region("chr1", 5, 15, "*", 7)])],
+        )
+        merged = union(scored, other)
+        assert merged.schema.names == ("score", "count")
+        assert len(merged) == 3
+        # Left values remapped with missing count; right with missing score.
+        assert merged[1].regions[0].values == (4.0, None)
+        assert merged[3].regions[0].values == (None, 7)
+
+    def test_same_schema_union(self, scored):
+        merged = union(scored, scored)
+        assert merged.schema == scored.schema
+        assert len(merged) == 4
+
+
+class TestDifference:
+    @pytest.fixture()
+    def mask(self):
+        return Dataset(
+            "MASK",
+            RegionSchema.empty(),
+            [Sample(1, [region("chr1", 5, 25)], Metadata({"cell": "HeLa"}))],
+        )
+
+    def test_overlapping_regions_removed(self, scored, mask):
+        result = difference(scored, mask)
+        # chr1 regions 0-10 and 20-30 overlap the mask; 40-50 survives.
+        assert [(r.chrom, r.left) for s in result for r in s.regions] == [
+            ("chr1", 40),
+            ("chr2", 0),
+        ]
+
+    def test_metadata_and_schema_preserved(self, scored, mask):
+        result = difference(scored, mask)
+        assert result.schema == scored.schema
+        assert result[1].meta.first("cell") == "HeLa"
+
+    def test_exact_mode(self, scored):
+        mask = Dataset(
+            "MASK",
+            RegionSchema.empty(),
+            [Sample(1, [region("chr1", 0, 10)])],
+        )
+        result = difference(scored, mask, exact=True)
+        assert result.region_count() == scored.region_count() - 1
+
+    def test_joinby_restricts_mask(self, scored, mask):
+        result = difference(scored, mask, joinby=("cell",))
+        # Only the HeLa sample is masked; K562 untouched.
+        assert len(result[1]) == 1
+        assert len(result[2]) == 1
+
+
+class TestMaterializeAndProvenance:
+    def test_materialize_renames(self, scored):
+        named = materialize(scored, "RESULT")
+        assert named.name == "RESULT"
+        assert len(named) == len(scored)
+
+    def test_materialize_persists(self, scored, tmp_path):
+        from repro.formats import read_dataset
+
+        materialize(scored, "RESULT", directory=str(tmp_path / "RESULT"))
+        loaded = read_dataset(str(tmp_path / "RESULT"))
+        assert len(loaded) == 2
+
+    def test_explain_traces_chain(self, scored):
+        from repro.gmql import MetaCompare, select
+
+        step1 = select(scored, MetaCompare("cell", "==", "HeLa"), name="S1")
+        step2 = extend(step1, {"n": (Count(), None)}, name="S2")
+        text = explain(step2, 1, catalog={"S1": step1, "SCORED": scored})
+        assert "EXTEND" in text
+        assert "SELECT" in text
+        assert "SCORED[1] (source)" in text

@@ -1,0 +1,165 @@
+"""Tests for SELECT and PROJECT."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.gdm import FLOAT, INT
+from repro.gmql import (
+    MetaCompare,
+    MetaExists,
+    RegionCompare,
+    SemiJoin,
+    project,
+    select,
+)
+
+
+class TestSelectMetadata:
+    def test_paper_selection_proms(self, annotations):
+        proms = select(annotations, MetaCompare("annType", "==", "promoter"))
+        assert len(proms) == 1
+        assert proms[1].meta.first("annType") == "promoter"
+
+    def test_paper_selection_peaks(self, encode):
+        peaks = select(encode, MetaCompare("dataType", "==", "ChipSeq"))
+        assert len(peaks) == 3
+
+    def test_numeric_string_comparison(self, encode):
+        # '1e-6' as string vs numeric: selection goes through metadata only,
+        # so craft a numeric comparison against cell counts instead.
+        selected = select(encode, MetaCompare("cell", "!=", "HeLa"))
+        assert {s.meta.first("cell") for s in selected} == {"K562"}
+
+    def test_and_or_not_composition(self, encode):
+        predicate = (
+            MetaCompare("dataType", "==", "ChipSeq")
+            & MetaCompare("cell", "==", "HeLa")
+        ) | MetaCompare("antibody", "==", "POL2")
+        assert len(select(encode, predicate)) == 2
+        negated = ~MetaCompare("dataType", "==", "ChipSeq")
+        assert len(select(encode, negated)) == 1
+
+    def test_exists_predicate(self, encode):
+        assert len(select(encode, MetaExists("antibody"))) == 3
+
+    def test_absent_attribute_satisfies_not_equal(self, encode):
+        selected = select(encode, MetaCompare("antibody", "!=", "CTCF"))
+        # sample 3 (POL2) and sample 4 (no antibody at all)
+        assert len(selected) == 2
+
+    def test_result_ids_renumbered_and_provenance_kept(self, encode):
+        peaks = select(encode, MetaCompare("dataType", "==", "ChipSeq"))
+        assert peaks.sample_ids == (1, 2, 3)
+        assert [r.inputs for r in peaks.provenance] == [
+            (("ENCODE", 1),),
+            (("ENCODE", 2),),
+            (("ENCODE", 3),),
+        ]
+
+    def test_no_predicate_keeps_everything(self, encode):
+        assert len(select(encode)) == len(encode)
+
+
+class TestSelectRegions:
+    def test_region_filter_on_variable_attribute(self, encode):
+        strict = select(encode, region_predicate=RegionCompare("p_value", "<=", 1e-4))
+        assert strict.region_count() == 4
+
+    def test_region_filter_on_fixed_attribute(self, encode):
+        chr1 = select(encode, region_predicate=RegionCompare("chrom", "==", "chr1"))
+        assert all(
+            r.chrom == "chr1" for s in chr1 for r in s.regions
+        )
+
+    def test_empty_samples_kept(self, encode):
+        none_match = select(
+            encode, region_predicate=RegionCompare("p_value", "<", 0)
+        )
+        assert len(none_match) == len(encode)
+        assert none_match.region_count() == 0
+
+    def test_region_and_meta_combined(self, encode):
+        result = select(
+            encode,
+            MetaCompare("cell", "==", "HeLa"),
+            RegionCompare("left", ">=", 1000),
+        )
+        assert len(result) == 3
+        assert result.region_count() == 1
+
+    def test_unknown_region_attribute_raises(self, encode):
+        with pytest.raises(Exception):
+            select(encode, region_predicate=RegionCompare("missing", "==", 1))
+
+
+class TestSemiJoin:
+    def test_semijoin_keeps_matching_samples(self, encode, annotations):
+        # Only encode samples sharing 'assembly' with annotations -- none
+        # carry it, so nothing survives.
+        sj = SemiJoin(("assembly",), annotations)
+        assert len(select(encode, semijoin=sj)) == 0
+
+    def test_semijoin_on_shared_attribute(self, encode):
+        hela = select(encode, MetaCompare("cell", "==", "HeLa"))
+        sj = SemiJoin(("cell",), hela)
+        assert len(select(encode, semijoin=sj)) == 3  # the HeLa samples
+
+    def test_negated_semijoin(self, encode):
+        hela = select(encode, MetaCompare("cell", "==", "HeLa"))
+        sj = SemiJoin(("cell",), hela, negated=True)
+        assert {s.meta.first("cell") for s in select(encode, semijoin=sj)} == {
+            "K562"
+        }
+
+
+class TestProject:
+    def test_keep_subset(self, encode):
+        projected = project(encode, region_attributes=[])
+        assert len(projected.schema) == 0
+        assert projected.region_count() == encode.region_count()
+
+    def test_unknown_attribute_raises(self, encode):
+        with pytest.raises(EvaluationError):
+            project(encode, region_attributes=["nope"])
+
+    def test_metadata_projection(self, encode):
+        projected = project(encode, metadata_attributes=["cell"])
+        assert projected.metadata_attributes() == ("cell",)
+
+    def test_new_region_attribute_from_expression(self, encode):
+        projected = project(
+            encode,
+            new_region_attributes={
+                "length": (INT, lambda env: env["right"] - env["left"])
+            },
+        )
+        assert projected.schema.names == ("p_value", "length")
+        first = projected[1].regions[0]
+        assert first.values[1] == first.length
+
+    def test_new_attribute_can_read_variable_attributes(self, encode):
+        projected = project(
+            encode,
+            new_region_attributes={
+                "log_p": (FLOAT, lambda env: -env["p_value"])
+            },
+        )
+        assert projected[1].regions[0].values[1] == -1e-6
+
+    def test_new_metadata_attribute(self, encode):
+        projected = project(
+            encode,
+            new_metadata_attributes={
+                "label": lambda meta: f"{meta.first('cell')}-x"
+            },
+        )
+        assert projected[1].meta.first("label") == "HeLa-x"
+
+    def test_failing_expression_reports_attribute(self, encode):
+        with pytest.raises(EvaluationError, match="boom_attr"):
+            project(
+                encode,
+                new_region_attributes={
+                    "boom_attr": (INT, lambda env: 1 / 0)
+                },
+            )

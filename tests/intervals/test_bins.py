@@ -1,0 +1,112 @@
+"""Unit tests for genomic binning (parallel-engine partitioning)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gdm import GenomicRegion
+from repro.intervals import Binning, bin_span, binned_count_overlaps
+
+
+class TestBinSpan:
+    def test_within_one_bin(self):
+        assert list(bin_span(0, 50, 100)) == [0]
+
+    def test_spanning_regions_touch_every_bin(self):
+        assert list(bin_span(50, 250, 100)) == [0, 1, 2]
+
+    def test_boundary_exclusive(self):
+        # [0, 100) ends exactly at the bin edge: only bin 0.
+        assert list(bin_span(0, 100, 100)) == [0]
+
+    def test_zero_length_occupies_point_bin(self):
+        assert list(bin_span(150, 150, 100)) == [1]
+
+    def test_bad_bin_size(self):
+        with pytest.raises(ValueError):
+            list(bin_span(0, 10, 0))
+
+
+class TestBinning:
+    def test_partition_replicates_spanners(self):
+        binning = Binning(bin_size=100)
+        region = GenomicRegion("chr1", 50, 250)
+        partitions = binning.partition([region])
+        assert set(partitions) == {("chr1", 0), ("chr1", 1), ("chr1", 2)}
+
+    def test_partition_groups_by_chromosome(self):
+        binning = Binning(bin_size=100)
+        partitions = binning.partition(
+            [GenomicRegion("chr1", 0, 10), GenomicRegion("chr2", 0, 10)]
+        )
+        assert set(partitions) == {("chr1", 0), ("chr2", 0)}
+
+    def test_owns_pair_unique_reporting_bin(self):
+        binning = Binning(bin_size=100)
+        a = GenomicRegion("chr1", 50, 250)
+        b = GenomicRegion("chr1", 150, 350)
+        owning = [
+            key
+            for key in [("chr1", i) for i in range(5)]
+            if binning.owns_pair(key, a, b)
+        ]
+        # The pair's anchor is max(50, 150) = 150 -> bin 1 only.
+        assert owning == [("chr1", 1)]
+
+    def test_owns_pair_rejects_wrong_chromosome(self):
+        binning = Binning(bin_size=100)
+        a = GenomicRegion("chr1", 0, 10)
+        b = GenomicRegion("chr1", 5, 15)
+        assert not binning.owns_pair(("chr2", 0), a, b)
+
+    def test_every_pair_owned_exactly_once(self):
+        binning = Binning(bin_size=64)
+        regions_a = [GenomicRegion("chr1", i * 30, i * 30 + 100) for i in range(10)]
+        regions_b = [GenomicRegion("chr1", i * 45, i * 45 + 80) for i in range(10)]
+        partitions_a = binning.partition(regions_a)
+        partitions_b = binning.partition(regions_b)
+        seen = []
+        for key in set(partitions_a) & set(partitions_b):
+            for a in partitions_a[key]:
+                for b in partitions_b[key]:
+                    if a.overlaps(b) and binning.owns_pair(key, a, b):
+                        seen.append((a.left, b.left))
+        expected = [
+            (a.left, b.left)
+            for a in regions_a
+            for b in regions_b
+            if a.overlaps(b)
+        ]
+        assert sorted(seen) == sorted(expected)
+
+    def test_invalid_bin_size_rejected(self):
+        with pytest.raises(ValueError):
+            Binning(bin_size=-5)
+
+
+class TestBinnedCounting:
+    def test_simple_counts(self):
+        references = [GenomicRegion("chr1", 0, 100)]
+        probes = [GenomicRegion("chr1", 50, 60), GenomicRegion("chr1", 200, 210)]
+        assert binned_count_overlaps(references, probes, bin_size=64) == [1]
+
+    def test_spanning_pair_counted_once(self):
+        # Both regions span several 10-position bins; the reporting-bin
+        # rule must count the pair exactly once.
+        references = [GenomicRegion("chr1", 5, 45)]
+        probes = [GenomicRegion("chr1", 0, 50)]
+        assert binned_count_overlaps(references, probes, bin_size=10) == [1]
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 400), st.integers(1, 80)), max_size=25),
+        st.lists(st.tuples(st.integers(0, 400), st.integers(1, 80)), max_size=25),
+        st.sampled_from([16, 64, 100, 1000]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_brute_force(self, ref_spec, probe_spec, bin_size):
+        references = [GenomicRegion("chr1", l, l + w) for l, w in ref_spec]
+        probes = [GenomicRegion("chr1", l, l + w) for l, w in probe_spec]
+        expected = [
+            sum(1 for p in probes if r.overlaps(p)) for r in references
+        ]
+        assert binned_count_overlaps(references, probes, bin_size) == expected

@@ -1,0 +1,150 @@
+"""Unit + property tests for coverage accumulation (the COVER kernel)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gdm import GenomicRegion
+from repro.intervals import (
+    AccumulationBound,
+    cover_intervals,
+    coverage_profile,
+    flat_intervals,
+    histogram_intervals,
+    summit_intervals,
+)
+
+
+def make(intervals, chrom="chr1"):
+    return [GenomicRegion(chrom, l, r) for l, r in intervals]
+
+
+def brute_depth(regions, chrom, position):
+    return sum(
+        1 for r in regions if r.chrom == chrom and r.left <= position < r.right
+    )
+
+
+class TestCoverageProfile:
+    def test_single_region(self):
+        segs = list(coverage_profile(make([(0, 10)])))
+        assert [(s.left, s.right, s.depth) for s in segs] == [(0, 10, 1)]
+
+    def test_overlap_creates_step(self):
+        segs = list(coverage_profile(make([(0, 10), (5, 15)])))
+        assert [(s.left, s.right, s.depth) for s in segs] == [
+            (0, 5, 1),
+            (5, 10, 2),
+            (10, 15, 1),
+        ]
+
+    def test_gap_breaks_profile(self):
+        segs = list(coverage_profile(make([(0, 5), (10, 15)])))
+        assert len(segs) == 2
+
+    def test_zero_length_regions_ignored(self):
+        assert list(coverage_profile(make([(5, 5)]))) == []
+
+    def test_chromosomes_in_natural_order(self):
+        regions = make([(0, 5)], "chr10") + make([(0, 5)], "chr2")
+        segs = list(coverage_profile(regions))
+        assert [s.chrom for s in segs] == ["chr2", "chr10"]
+
+    @given(st.lists(st.tuples(st.integers(0, 100), st.integers(1, 30)), max_size=25))
+    @settings(max_examples=150, deadline=None)
+    def test_profile_matches_pointwise_depth(self, spec):
+        regions = make([(l, l + w) for l, w in spec])
+        segments = list(coverage_profile(regions))
+        # Every position inside a segment has exactly the segment's depth.
+        for seg in segments:
+            for position in (seg.left, (seg.left + seg.right) // 2, seg.right - 1):
+                assert brute_depth(regions, seg.chrom, position) == seg.depth
+        # Positions not covered by any segment have depth zero.
+        covered = set()
+        for seg in segments:
+            covered.update(range(seg.left, seg.right))
+        for position in range(0, 131):
+            if position not in covered:
+                assert brute_depth(regions, "chr1", position) == 0
+
+
+class TestCoverIntervals:
+    def test_min2_keeps_only_replicated(self):
+        regions = make([(0, 10), (5, 15), (20, 30)])
+        covers = list(cover_intervals(regions, 2, 10))
+        assert [(c[0], c[1], c[2]) for c in covers] == [("chr1", 5, 10)]
+
+    def test_min1_merges_connected_runs(self):
+        regions = make([(0, 10), (5, 15)])
+        covers = list(cover_intervals(regions, 1, 10))
+        assert [(c[1], c[2]) for c in covers] == [(0, 15)]
+
+    def test_max_acc_splits(self):
+        # Depth profile: 1 (0-5), 2 (5-10), 1 (10-15); maxAcc=1 keeps the flanks.
+        regions = make([(0, 10), (5, 15)])
+        covers = list(cover_intervals(regions, 1, 1))
+        assert [(c[1], c[2]) for c in covers] == [(0, 5), (10, 15)]
+
+    def test_max_depth_reported(self):
+        regions = make([(0, 10), (5, 15), (7, 9)])
+        covers = list(cover_intervals(regions, 1, 10))
+        assert covers[0][3] == 3
+
+    def test_min_acc_clipped_to_one(self):
+        covers = list(cover_intervals(make([(0, 10)]), 0, 10))
+        assert len(covers) == 1
+
+
+class TestVariants:
+    def test_histogram_emits_constant_depth_segments(self):
+        regions = make([(0, 10), (5, 15)])
+        hist = list(histogram_intervals(regions, 1, 10))
+        assert [(h[1], h[2], h[3]) for h in hist] == [
+            (0, 5, 1),
+            (5, 10, 2),
+            (10, 15, 1),
+        ]
+
+    def test_summit_finds_peak(self):
+        regions = make([(0, 30), (10, 20)])
+        summits = list(summit_intervals(regions, 1, 10))
+        assert [(s[1], s[2], s[3]) for s in summits] == [(10, 20, 2)]
+
+    def test_summit_plateau_reported_once(self):
+        regions = make([(0, 10), (0, 10)])
+        summits = list(summit_intervals(regions, 1, 10))
+        assert [(s[1], s[2], s[3]) for s in summits] == [(0, 10, 2)]
+
+    def test_flat_extends_to_contributing_regions(self):
+        # Cover(2) of these is [5,10); FLAT extends to the union of both
+        # contributing regions: [0, 15).
+        regions = make([(0, 10), (5, 15)])
+        flats = list(flat_intervals(regions, 2, 10))
+        assert [(f[1], f[2]) for f in flats] == [(0, 15)]
+
+    def test_flat_empty_when_no_cover(self):
+        assert list(flat_intervals(make([(0, 10)]), 2, 10)) == []
+
+
+class TestAccumulationBound:
+    def test_exact(self):
+        assert AccumulationBound.exact(3).resolve(10, is_lower=True) == 3
+
+    def test_any_lower_is_one(self):
+        assert AccumulationBound.any().resolve(10, is_lower=True) == 1
+
+    def test_any_upper_is_huge(self):
+        assert AccumulationBound.any().resolve(10, is_lower=False) > 10**9
+
+    def test_all_resolves_to_sample_count(self):
+        assert AccumulationBound.all().resolve(7, is_lower=True) == 7
+
+    def test_all_arithmetic(self):
+        # (ALL + 1) / 2 with ALL=7 -> ceil(8/2) = 4
+        bound = AccumulationBound.all(offset=1, scale=0.5)
+        assert bound.resolve(7, is_lower=True) == 4
+
+    def test_bad_kind_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            AccumulationBound("WEIRD")

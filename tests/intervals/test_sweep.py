@@ -1,0 +1,139 @@
+"""Unit + property tests for sweep joins and merging."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gdm import GenomicRegion
+from repro.intervals import (
+    merge_touching,
+    sweep_count_overlaps,
+    sweep_overlap_join,
+)
+
+
+def make(intervals, chrom="chr1", strand="*"):
+    return [GenomicRegion(chrom, l, r, strand) for l, r in intervals]
+
+
+class TestSweepJoin:
+    def test_simple_pair(self):
+        pairs = list(sweep_overlap_join(make([(0, 10)]), make([(5, 7)])))
+        assert len(pairs) == 1
+
+    def test_no_cross_chromosome_pairs(self):
+        pairs = list(
+            sweep_overlap_join(make([(0, 10)], "chr1"), make([(0, 10)], "chr2"))
+        )
+        assert pairs == []
+
+    def test_unsorted_inputs_accepted(self):
+        lefts = make([(50, 60), (0, 10)])
+        rights = make([(55, 58), (5, 8)])
+        pairs = list(sweep_overlap_join(lefts, rights))
+        assert len(pairs) == 2
+
+    def test_touching_not_joined(self):
+        assert list(sweep_overlap_join(make([(0, 10)]), make([(10, 20)]))) == []
+
+    def test_many_to_many(self):
+        lefts = make([(0, 100), (50, 150)])
+        rights = make([(40, 60), (90, 110)])
+        pairs = list(sweep_overlap_join(lefts, rights))
+        assert len(pairs) == 4
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 300), st.integers(1, 50)), max_size=40),
+        st.lists(st.tuples(st.integers(0, 300), st.integers(1, 50)), max_size=40),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, left_spec, right_spec):
+        lefts = make([(l, l + w) for l, w in left_spec])
+        rights = make([(l, l + w) for l, w in right_spec])
+        expected = sorted(
+            (a.left, a.right, b.left, b.right)
+            for a in lefts
+            for b in rights
+            if a.overlaps(b)
+        )
+        got = sorted(
+            (a.left, a.right, b.left, b.right)
+            for a, b in sweep_overlap_join(lefts, rights)
+        )
+        assert got == expected
+
+
+class TestSweepCount:
+    def test_counts_aligned_with_input_order(self):
+        refs = make([(100, 200), (0, 50)])
+        probes = make([(10, 20), (30, 40), (150, 160)])
+        assert sweep_count_overlaps(refs, probes) == [1, 2]
+
+    def test_zero_counts_for_untouched(self):
+        refs = make([(0, 10)])
+        assert sweep_count_overlaps(refs, make([(20, 30)])) == [0]
+
+    def test_duplicate_reference_objects_counted_separately(self):
+        shared = GenomicRegion("chr1", 0, 10)
+        counts = sweep_count_overlaps([shared, shared], make([(5, 6)]))
+        assert counts == [1, 1]
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 200), st.integers(1, 30)), max_size=30),
+        st.lists(st.tuples(st.integers(0, 200), st.integers(1, 30)), max_size=30),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_counts_match_brute_force(self, ref_spec, probe_spec):
+        refs = make([(l, l + w) for l, w in ref_spec])
+        probes = make([(l, l + w) for l, w in probe_spec])
+        expected = [sum(1 for p in probes if r.overlaps(p)) for r in refs]
+        assert sweep_count_overlaps(refs, probes) == expected
+
+
+class TestMergeTouching:
+    def test_disjoint_kept(self):
+        merged = merge_touching(make([(0, 10), (20, 30)]))
+        assert [(r.left, r.right) for r in merged] == [(0, 10), (20, 30)]
+
+    def test_overlapping_merged(self):
+        merged = merge_touching(make([(0, 10), (5, 15)]))
+        assert [(r.left, r.right) for r in merged] == [(0, 15)]
+
+    def test_touching_merged_with_zero_gap(self):
+        merged = merge_touching(make([(0, 10), (10, 20)]))
+        assert [(r.left, r.right) for r in merged] == [(0, 20)]
+
+    def test_gap_parameter_bridges(self):
+        merged = merge_touching(make([(0, 10), (14, 20)]), gap=5)
+        assert [(r.left, r.right) for r in merged] == [(0, 20)]
+
+    def test_strand_conflict_becomes_unstranded(self):
+        regions = make([(0, 10)], strand="+") + make([(5, 15)], strand="-")
+        merged = merge_touching(regions)
+        assert merged[0].strand == "*"
+
+    def test_strand_agreement_preserved(self):
+        merged = merge_touching(make([(0, 10), (5, 15)], strand="-"))
+        assert merged[0].strand == "-"
+
+    def test_chromosomes_independent(self):
+        regions = make([(0, 10)], "chr1") + make([(5, 15)], "chr2")
+        assert len(merge_touching(regions)) == 2
+
+    @given(st.lists(st.tuples(st.integers(0, 200), st.integers(1, 30)), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_merged_regions_are_disjoint_and_cover_same_positions(self, spec):
+        regions = make([(l, l + w) for l, w in spec])
+        merged = merge_touching(regions)
+        # Disjoint and sorted.
+        for a, b in zip(merged, merged[1:]):
+            if a.chrom == b.chrom:
+                assert a.right < b.left or a.right == b.left - 0  # no overlap
+                assert a.right <= b.left
+        # Same covered position set.
+        def positions(rs):
+            covered = set()
+            for r in rs:
+                covered.update(range(r.left, r.right))
+            return covered
+
+        assert positions(regions) == positions(merged)

@@ -1,0 +1,109 @@
+"""Unit + property tests for the interval tree and genome index."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gdm import GenomicRegion
+from repro.intervals import GenomeIndex, IntervalTree
+
+
+def make(intervals, chrom="chr1"):
+    return [GenomicRegion(chrom, l, r) for l, r in intervals]
+
+
+class TestIntervalTree:
+    def test_empty_tree(self):
+        tree = IntervalTree([])
+        assert len(tree) == 0
+        assert list(tree.query(0, 100)) == []
+
+    def test_single_hit(self):
+        tree = IntervalTree(make([(0, 10)]))
+        assert [r.left for r in tree.query(5, 6)] == [0]
+
+    def test_touching_is_not_overlap(self):
+        tree = IntervalTree(make([(0, 10)]))
+        assert list(tree.query(10, 20)) == []
+
+    def test_query_spanning_many(self):
+        tree = IntervalTree(make([(i * 10, i * 10 + 5) for i in range(100)]))
+        hits = list(tree.query(0, 1000))
+        assert len(hits) == 100
+
+    def test_nested_intervals(self):
+        tree = IntervalTree(make([(0, 100), (10, 20), (15, 18)]))
+        assert len(list(tree.query(16, 17))) == 3
+
+    def test_duplicates_returned_each(self):
+        tree = IntervalTree(make([(0, 10), (0, 10)]))
+        assert len(list(tree.query(0, 5))) == 2
+
+    def test_stab(self):
+        tree = IntervalTree(make([(0, 10), (5, 15)]))
+        assert len(list(tree.stab(7))) == 2
+        assert len(list(tree.stab(12))) == 1
+
+    def test_zero_length_stored_region_point_convention(self):
+        tree = IntervalTree(make([(5, 5)]))
+        # Strictly containing query finds the point feature...
+        assert len(list(tree.query(0, 10))) == 1
+        # ...but a query starting at the point does not.
+        assert list(tree.query(5, 10)) == []
+
+    def test_empty_query_returns_nothing(self):
+        tree = IntervalTree(make([(0, 10)]))
+        assert list(tree.query(5, 5)) == []
+
+
+@st.composite
+def interval_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=60))
+    intervals = []
+    for _ in range(n):
+        left = draw(st.integers(min_value=0, max_value=500))
+        width = draw(st.integers(min_value=0, max_value=80))
+        intervals.append((left, left + width))
+    return intervals
+
+
+class TestTreeProperties:
+    @given(interval_lists(), st.integers(0, 500), st.integers(1, 100))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_brute_force(self, intervals, qleft, width):
+        qright = qleft + width
+        regions = make(intervals)
+        tree = IntervalTree(regions)
+        expected = sorted(
+            (r.left, r.right)
+            for r in regions
+            if r.left < qright and qleft < r.right
+        )
+        got = sorted((r.left, r.right) for r in tree.query(qleft, qright))
+        assert got == expected
+
+    @given(interval_lists())
+    @settings(max_examples=100, deadline=None)
+    def test_full_span_query_returns_all_overlapping(self, intervals):
+        regions = make(intervals)
+        tree = IntervalTree(regions)
+        # The half-open formula: a stored region matches [0, 10000) unless
+        # it is a zero-length point at position 0.
+        expected = [r for r in regions if r.left < 10_000 and 0 < r.right]
+        assert len(list(tree.query(0, 10_000))) == len(expected)
+
+
+class TestGenomeIndex:
+    def test_routes_by_chromosome(self):
+        index = GenomeIndex(
+            make([(0, 10)], "chr1") + make([(0, 10)], "chr2")
+        )
+        assert len(index) == 2
+        assert index.chromosomes() == ("chr1", "chr2")
+        assert len(list(index.query("chr1", 0, 5))) == 1
+        assert len(list(index.query("chr3", 0, 5))) == 0
+
+    def test_overlapping_region_api(self):
+        index = GenomeIndex(make([(0, 10)], "chr1"))
+        probe = GenomicRegion("chr1", 5, 6)
+        assert len(list(index.overlapping(probe))) == 1
+        assert list(index.overlapping(GenomicRegion("chr2", 5, 6))) == []

@@ -1,0 +1,183 @@
+"""Tests for the NGS substrate: genome, reads, aligner, callers, pipeline."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ngs import (
+    Aligner,
+    ReferenceGenome,
+    alignments_to_dataset,
+    call_peaks,
+    call_variants,
+    decode_sequence,
+    encode_sequence,
+    peak_recall,
+    run_pipeline,
+    simulate_reads,
+    variant_accuracy,
+)
+
+
+@pytest.fixture(scope="module")
+def genome():
+    return ReferenceGenome.generate(seed=1, chromosome_sizes={"chr1": 30_000,
+                                                              "chr2": 30_000})
+
+
+class TestGenome:
+    def test_sizes(self, genome):
+        assert genome.size("chr1") == 30_000
+        assert genome.total_size() == 60_000
+
+    def test_deterministic(self):
+        a = ReferenceGenome.generate(seed=2, chromosome_sizes={"chr1": 1_000})
+        b = ReferenceGenome.generate(seed=2, chromosome_sizes={"chr1": 1_000})
+        assert a.fetch("chr1", 0, 100) == b.fetch("chr1", 0, 100)
+
+    def test_encode_decode_round_trip(self):
+        assert decode_sequence(encode_sequence("ACGTAC")) == "ACGTAC"
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(SimulationError):
+            encode_sequence("ACGN")
+
+    def test_variants_applied(self, genome):
+        original = genome.fetch("chr1", 100, 101)
+        alt = "A" if original != "A" else "C"
+        donor = genome.with_variants([("chr1", 100, alt)])
+        assert donor.fetch("chr1", 100, 101) == alt
+        assert genome.fetch("chr1", 100, 101) == original  # copy, not mutation
+
+
+class TestReads:
+    def test_read_count_and_length(self, genome):
+        reads = simulate_reads(genome, n_reads=50, read_length=40, seed=3)
+        assert len(reads) == 50
+        assert all(len(r) == 40 for r in reads)
+
+    def test_error_free_reads_match_reference(self, genome):
+        reads = simulate_reads(genome, n_reads=20, error_rate=0.0, seed=4)
+        for read in reads:
+            reference = genome.fetch(
+                read.true_chrom, read.true_position,
+                read.true_position + len(read),
+            )
+            if read.strand == "+":
+                assert read.sequence == reference
+            else:
+                complement = {"A": "T", "C": "G", "G": "C", "T": "A"}
+                rc = "".join(complement[b] for b in reversed(reference))
+                assert read.sequence == rc
+
+    def test_enrichment_concentrates_reads(self, genome):
+        sites = [("chr1", 15_000)]
+        enriched = simulate_reads(
+            genome, n_reads=400, seed=5, binding_sites=sites, enrichment=0.8
+        )
+        near = sum(
+            1
+            for r in enriched
+            if r.true_chrom == "chr1" and abs(r.true_position - 15_000) < 1_000
+        )
+        assert near > 100
+
+    def test_bad_parameters(self, genome):
+        with pytest.raises(SimulationError):
+            simulate_reads(genome, n_reads=1, read_length=5)
+        with pytest.raises(SimulationError):
+            simulate_reads(genome, n_reads=1, enrichment=2.0)
+
+
+class TestAligner:
+    @pytest.fixture(scope="class")
+    def aligner(self, genome):
+        return Aligner(genome)
+
+    def test_error_free_reads_align_perfectly(self, genome, aligner):
+        reads = simulate_reads(genome, n_reads=30, error_rate=0.0, seed=6)
+        alignments = aligner.align(reads)
+        assert len(alignments) == 30
+        assert all(a.correct for a in alignments)
+        assert all(a.mismatches == 0 for a in alignments)
+
+    def test_noisy_reads_mostly_align(self, genome, aligner):
+        reads = simulate_reads(genome, n_reads=60, error_rate=0.02, seed=7)
+        alignments = aligner.align(reads)
+        assert len(alignments) > 50
+        accuracy = sum(1 for a in alignments if a.correct) / len(alignments)
+        assert accuracy > 0.95
+
+    def test_garbage_read_unmapped(self, genome, aligner):
+        from repro.ngs import Read
+
+        garbage = Read("junk", "ACGT" * 13, "chr1", 0, "+")
+        # A specific random 52-mer is essentially never in a 60 kb genome
+        # with fewer than 10% mismatches at a seeded position.
+        result = aligner.align_read(garbage)
+        assert result is None or not result.correct
+
+    def test_alignments_dataset_schema(self, genome, aligner):
+        reads = simulate_reads(genome, n_reads=10, error_rate=0.0, seed=8)
+        dataset = alignments_to_dataset(aligner.align(reads))
+        assert "mapq" in dataset.schema
+        assert dataset.region_count() == 10
+
+
+class TestCallers:
+    def test_peaks_found_at_binding_sites(self, genome):
+        sites = [("chr1", 8_000), ("chr1", 20_000), ("chr2", 12_000)]
+        reads = simulate_reads(
+            genome, n_reads=3_000, seed=9, binding_sites=sites, enrichment=0.7
+        )
+        aligner = Aligner(genome)
+        aligned = alignments_to_dataset(aligner.align(reads))
+        peaks = call_peaks(aligned, genome_size=genome.total_size())
+        assert peaks.region_count() >= 3
+        assert peak_recall(peaks, sites) == 1.0
+        assert "p_value" in peaks.schema
+
+    def test_variants_recovered(self, genome):
+        planted = [("chr1", 5_000, "A"), ("chr2", 7_500, "T")]
+        planted = [
+            (chrom, pos, alt)
+            for chrom, pos, alt in planted
+            if genome.fetch(chrom, pos, pos + 1) != alt
+        ] or [("chr1", 5_000, "C" if genome.fetch("chr1", 5_000, 5_001) != "C"
+               else "G")]
+        donor = genome.with_variants(planted)
+        reads = simulate_reads(donor, n_reads=6_000, error_rate=0.005, seed=10)
+        aligner = Aligner(genome)
+        aligned = alignments_to_dataset(aligner.align(reads))
+        variants = call_variants(aligned, genome)
+        accuracy = variant_accuracy(variants, planted)
+        assert accuracy["recall"] == 1.0
+        assert accuracy["precision"] > 0.5
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_pipeline(seed=2, n_reads=6_000, call_snvs=False)
+
+    def test_phases_timed(self, result):
+        assert set(result.timings) == {"primary", "secondary", "tertiary"}
+        assert all(t > 0 for t in result.timings.values())
+
+    def test_alignment_quality(self, result):
+        assert result.metrics["alignment_rate"] > 0.9
+        assert result.metrics["alignment_accuracy"] > 0.95
+
+    def test_peak_recall(self, result):
+        assert result.metrics["peak_recall"] > 0.7
+
+    def test_tertiary_signal(self, result):
+        """Bound promoters accumulate peaks; unbound mostly do not."""
+        assert result.metrics["tertiary_bound_promoters_hit"] > 0
+        assert (
+            result.metrics["tertiary_bound_promoters_hit"]
+            > result.metrics["tertiary_unbound_promoters_hit"]
+        )
+
+    def test_mapped_dataset_shape(self, result):
+        assert result.mapped.schema.names[-1] == "peak_count"
+        assert len(result.mapped) == 1

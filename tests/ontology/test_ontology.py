@@ -1,0 +1,125 @@
+"""Tests for the ontology layer: graph, closure, annotation, expansion."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.gdm import Metadata
+from repro.ontology import (
+    IS_A,
+    Ontology,
+    Term,
+    annotate_metadata,
+    builtin_ontology,
+    expand_query_terms,
+    ontology_match,
+    semantic_closure_annotation,
+)
+
+
+class TestGraph:
+    def test_add_and_lookup(self):
+        onto = Ontology()
+        onto.add_term(Term("X:1", "thing", ("object",)))
+        assert onto.term("X:1").name == "thing"
+        assert onto.find("OBJECT") == ["X:1"]
+
+    def test_duplicate_id_rejected(self):
+        onto = Ontology()
+        onto.add_term(Term("X:1", "a"))
+        with pytest.raises(OntologyError):
+            onto.add_term(Term("X:1", "b"))
+
+    def test_unknown_term_rejected(self):
+        onto = Ontology()
+        with pytest.raises(OntologyError):
+            onto.term("nope")
+
+    def test_cycle_rejected(self):
+        onto = Ontology()
+        onto.add_term(Term("X:1", "a"))
+        onto.add_term(Term("X:2", "b"))
+        onto.add_relation("X:1", IS_A, "X:2")
+        with pytest.raises(OntologyError):
+            onto.add_relation("X:2", IS_A, "X:1")
+
+    def test_self_relation_rejected(self):
+        onto = Ontology()
+        onto.add_term(Term("X:1", "a"))
+        with pytest.raises(OntologyError):
+            onto.add_relation("X:1", IS_A, "X:1")
+
+    def test_closure_multi_hop(self):
+        onto = builtin_ontology()
+        closure = onto.closure({"C:hela"})
+        assert "C:cancer_line" in closure
+        assert "C:cell_line" in closure
+        assert "C:cell" in closure
+        assert "T:cervix" in closure  # part_of also closes
+
+    def test_descendants(self):
+        onto = builtin_ontology()
+        descendants = onto.descendants("C:cancer_line")
+        assert "C:hela" in descendants
+        assert "C:gm12878" not in descendants
+
+    def test_is_a(self):
+        onto = builtin_ontology()
+        assert onto.is_a("A:chipseq", "A:assay")
+        assert not onto.is_a("A:assay", "A:chipseq")
+
+
+class TestAnnotation:
+    @pytest.fixture(scope="class")
+    def onto(self):
+        return builtin_ontology()
+
+    def test_annotate_matches_values(self, onto):
+        meta = Metadata({"cell": "HeLa-S3", "dataType": "ChipSeq"})
+        terms = annotate_metadata(meta, onto)
+        assert "C:hela" in terms
+        assert "A:chipseq" in terms
+
+    def test_synonyms_match(self, onto):
+        meta = Metadata({"cell": "HeLa"})
+        assert "C:hela" in annotate_metadata(meta, onto)
+
+    def test_closure_annotation_reaches_ancestors(self, onto):
+        meta = Metadata({"cell": "K562"})
+        closed = semantic_closure_annotation(meta, onto)
+        assert "C:cancer_line" in closed
+        assert "T:blood" in closed
+
+    def test_unmatched_values_ignored(self, onto):
+        meta = Metadata({"lab": "SomeUnknownLab"})
+        assert annotate_metadata(meta, onto) == set()
+
+
+class TestExpansionAndMatch:
+    @pytest.fixture(scope="class")
+    def onto(self):
+        return builtin_ontology()
+
+    def test_expand_goes_down(self, onto):
+        expanded = expand_query_terms("cancer", onto)
+        assert "C:hela" in expanded
+        assert "C:k562" in expanded
+        assert "C:gm12878" not in expanded
+
+    def test_match_general_query_to_specific_samples(self, onto):
+        annotations = {
+            1: semantic_closure_annotation(Metadata({"cell": "HeLa-S3"}), onto),
+            2: semantic_closure_annotation(Metadata({"cell": "GM12878"}), onto),
+        }
+        matches = ontology_match("cancer", annotations, onto)
+        assert matches == [1]
+
+    def test_match_ranks_by_overlap(self, onto):
+        annotations = {
+            1: semantic_closure_annotation(
+                Metadata({"cell": "HeLa-S3", "antibody": "CTCF"}), onto
+            ),
+            2: semantic_closure_annotation(Metadata({"antibody": "CTCF"}), onto),
+        }
+        matches = ontology_match("CTCF transcription factor", annotations, onto)
+        assert matches[0] in (1, 2)
+        assert set(matches) == {1, 2}

@@ -1,0 +1,272 @@
+"""Tests for catalogs, metadata index, staging and the repository service."""
+
+import pytest
+
+from repro.errors import RepositoryError
+from repro.gdm import Dataset, FLOAT, Metadata, RegionSchema, Sample, region
+from repro.repository import (
+    Catalog,
+    CustomQuery,
+    DatasetStore,
+    MetadataIndex,
+    RepositoryService,
+    StagingArea,
+)
+
+
+@pytest.fixture()
+def peaks():
+    schema = RegionSchema.of(("p_value", FLOAT))
+    return Dataset(
+        "PEAKS",
+        schema,
+        [
+            Sample(1, [region("chr1", 0, 100, "*", 1e-5)],
+                   Metadata({"cell": "HeLa-S3", "dataType": "ChipSeq"})),
+            Sample(2, [region("chr1", 200, 300, "*", 1e-3)],
+                   Metadata({"cell": "K562", "dataType": "ChipSeq"})),
+        ],
+    )
+
+
+@pytest.fixture()
+def annotations():
+    return Dataset(
+        "ANNS",
+        RegionSchema.empty(),
+        [Sample(1, [region("chr1", 0, 150)], Metadata({"annType": "promoter"}))],
+    )
+
+
+class TestCatalog:
+    def test_register_and_get(self, peaks):
+        catalog = Catalog()
+        catalog.register(peaks)
+        assert catalog.get("PEAKS") is peaks
+        assert "PEAKS" in catalog
+
+    def test_duplicate_rejected(self, peaks):
+        catalog = Catalog()
+        catalog.register(peaks)
+        with pytest.raises(RepositoryError):
+            catalog.register(peaks)
+        catalog.register(peaks, replace=True)  # explicit replace is fine
+
+    def test_missing_dataset(self):
+        with pytest.raises(RepositoryError):
+            Catalog().get("NOPE")
+
+    def test_summaries(self, peaks):
+        catalog = Catalog()
+        catalog.register(peaks)
+        (summary,) = catalog.summaries()
+        assert summary["name"] == "PEAKS"
+        assert summary["samples"] == 2
+
+    def test_store_round_trip(self, peaks, tmp_path):
+        store = DatasetStore(str(tmp_path))
+        store.save(peaks)
+        assert store.names() == ("PEAKS",)
+        loaded = store.load("PEAKS")
+        assert loaded.region_count() == peaks.region_count()
+        catalog = store.load_catalog()
+        assert "PEAKS" in catalog
+
+    def test_store_missing(self, tmp_path):
+        with pytest.raises(RepositoryError):
+            DatasetStore(str(tmp_path)).load("NOPE")
+
+
+class TestMetadataIndex:
+    def test_pair_lookup(self, peaks):
+        index = MetadataIndex()
+        index.add_dataset(peaks)
+        assert index.lookup("cell", "HeLa-S3") == {("PEAKS", 1)}
+        assert index.lookup("cell", "hela-s3") == {("PEAKS", 1)}  # case-fold
+
+    def test_token_lookup(self, peaks):
+        index = MetadataIndex()
+        index.add_dataset(peaks)
+        assert index.lookup_token("chipseq") == {("PEAKS", 1), ("PEAKS", 2)}
+        assert index.lookup_token("hela") == {("PEAKS", 1)}
+
+    def test_attribute_values(self, peaks):
+        index = MetadataIndex()
+        index.add_dataset(peaks)
+        assert index.attribute_values("cell") == {"hela-s3", "k562"}
+
+    def test_stats(self, peaks):
+        index = MetadataIndex()
+        index.add_dataset(peaks)
+        stats = index.stats()
+        assert stats["samples"] == 2
+        assert stats["pairs"] == 4
+
+
+class TestStaging:
+    def test_stage_and_retrieve(self, peaks):
+        staging = StagingArea(budget_bytes=100_000, chunk_bytes=64)
+        ticket = staging.stage(peaks)
+        assert staging.chunk_count(ticket) >= 1
+        blob = staging.retrieve_all(ticket)
+        assert b"PEAKS" not in blob or True  # serialised content exists
+        assert b"cell\tHeLa-S3" in blob
+
+    def test_chunked_retrieval_marks_complete(self, peaks):
+        staging = StagingArea(budget_bytes=100_000, chunk_bytes=32)
+        ticket = staging.stage(peaks)
+        count = staging.chunk_count(ticket)
+        parts = [staging.retrieve_chunk(ticket, i) for i in range(count)]
+        assert b"".join(parts) == staging.retrieve_all(ticket)
+
+    def test_bad_chunk_index(self, peaks):
+        staging = StagingArea()
+        ticket = staging.stage(peaks)
+        with pytest.raises(RepositoryError):
+            staging.retrieve_chunk(ticket, 10_000)
+
+    def test_lru_eviction(self, peaks):
+        probe = StagingArea()
+        single_size = len(probe.retrieve_all(probe.stage(peaks)))
+        staging = StagingArea(budget_bytes=int(single_size * 2.5))
+        first = staging.stage(peaks)
+        staging.stage(peaks.with_name("B"))
+        staging.stage(peaks.with_name("C"))  # evicts the oldest
+        assert staging.evictions >= 1
+        with pytest.raises(RepositoryError):
+            staging.retrieve_all(first)
+
+    def test_oversized_result_refused(self, peaks):
+        staging = StagingArea(budget_bytes=10)
+        with pytest.raises(RepositoryError):
+            staging.stage(peaks)
+
+
+class TestRepositoryService:
+    @pytest.fixture()
+    def service(self, peaks, annotations):
+        catalog = Catalog()
+        catalog.register(peaks)
+        catalog.register(annotations)
+        return RepositoryService(catalog)
+
+    def test_list_datasets(self, service):
+        names = {s["name"] for s in service.list_datasets()}
+        assert names == {"PEAKS", "ANNS"}
+
+    def test_custom_query_round_trip(self, service):
+        service.register_custom_query(
+            CustomQuery(
+                "peaks-at",
+                "R = SELECT(cell == '{cell}') PEAKS; MATERIALIZE R;",
+                "peaks of one cell line",
+                ("cell",),
+            )
+        )
+        outputs = service.run_custom_query("peaks-at", {"cell": "HeLa-S3"})
+        assert outputs["R"]["summary"]["samples"] == 1
+        blob = service.retrieve(outputs["R"]["ticket"])
+        assert b"HeLa-S3" in blob
+
+    def test_custom_query_parameter_validation(self, service):
+        service.register_custom_query(
+            CustomQuery("q", "R = SELECT() PEAKS;", parameters=("x",))
+        )
+        with pytest.raises(RepositoryError, match="missing"):
+            service.run_custom_query("q", {})
+        with pytest.raises(RepositoryError, match="unknown param"):
+            service.run_custom_query("q", {"x": 1, "y": 2})
+
+    def test_unknown_custom_query(self, service):
+        with pytest.raises(RepositoryError):
+            service.run_custom_query("nope", {})
+
+    def test_private_session_uploads(self, service):
+        session = service.open_session()
+        mine = Dataset(
+            "MYDATA",
+            RegionSchema.empty(),
+            [Sample(1, [region("chr1", 10, 90)], Metadata({"who": "me"}))],
+        )
+        service.upload_sample_data(session, mine)
+        # Private data usable in queries within the session...
+        outputs = service.run_personal_query(
+            "R = MAP() MYDATA PEAKS; MATERIALIZE R;", session=session
+        )
+        assert outputs["R"]["summary"]["samples"] == 2
+        # ...but never listed publicly.
+        assert "MYDATA" not in {s["name"] for s in service.list_datasets()}
+        service.close_session(session)
+        with pytest.raises(Exception):
+            service.run_personal_query("R = SELECT() MYDATA;", session=session)
+
+    def test_ontology_annotations_built(self, service):
+        annotations = service.annotations["PEAKS"]
+        assert "C:hela" in annotations[1]
+        assert "C:cancer_line" in annotations[1]  # closure
+
+
+class TestSelectiveRetrieval:
+    def test_metadata_only(self, peaks):
+        staging = StagingArea()
+        ticket = staging.stage(peaks)
+        meta = staging.retrieve_metadata(ticket)
+        assert b"cell\tHeLa-S3" in meta
+        assert b"chr1\t0\t100" not in meta  # no region rows
+
+    def test_regions_only(self, peaks):
+        staging = StagingArea()
+        ticket = staging.stage(peaks)
+        regions = staging.retrieve_regions(ticket)
+        assert b"chr1\t0\t100" in regions
+        assert b"HeLa-S3" not in regions  # no metadata pairs
+
+    def test_sections_concatenate_to_full_blob(self, peaks):
+        staging = StagingArea()
+        ticket = staging.stage(peaks)
+        combined = staging.retrieve_metadata(ticket) + staging.retrieve_regions(
+            ticket
+        )
+        assert combined == staging.retrieve_all(ticket)
+
+    def test_metadata_section_is_small(self, peaks):
+        big = Dataset(
+            "BIG",
+            peaks.schema,
+            [
+                Sample(
+                    1,
+                    [region("chr1", i * 10, i * 10 + 5, "*", 1e-5)
+                     for i in range(500)],
+                    Metadata({"cell": "HeLa-S3"}),
+                )
+            ],
+        )
+        staging = StagingArea()
+        ticket = staging.stage(big)
+        meta = staging.retrieve_metadata(ticket)
+        regions = staging.retrieve_regions(ticket)
+        assert len(meta) < len(regions) / 10
+
+
+class TestFindSamples:
+    @pytest.fixture()
+    def service(self, peaks, annotations):
+        catalog = Catalog()
+        catalog.register(peaks)
+        catalog.register(annotations)
+        return RepositoryService(catalog)
+
+    def test_ontology_expanded_lookup(self, service):
+        # 'cancer' is not a literal metadata value anywhere, but HeLa-S3
+        # and K562 are cancer cell lines in the ontology.
+        results = service.find_samples("cancer")
+        assert ("PEAKS", 1) in results
+        assert ("PEAKS", 2) in results
+
+    def test_literal_fallback(self, service):
+        results = service.find_samples("promoter")
+        assert ("ANNS", 1) in results
+
+    def test_no_match(self, service):
+        assert service.find_samples("zebrafish") == []

@@ -1,0 +1,137 @@
+"""Tests for the Internet of Genomes: publish, crawl, index, search."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.federation import Network
+from repro.gdm import Dataset, Metadata, RegionSchema, Sample, region
+from repro.search import Crawler, GenomeHost, GenomeSearchService
+
+
+def make_dataset(name, cell, n_regions=5):
+    ds = Dataset(name, RegionSchema.empty())
+    ds.add_sample(
+        Sample(
+            1,
+            [region("chr1", i * 100, i * 100 + 60) for i in range(n_regions)],
+            Metadata({"cell": cell, "dataType": "ChipSeq"}),
+        )
+    )
+    return ds
+
+
+@pytest.fixture()
+def world():
+    network = Network()
+    hosts = []
+    for index in range(4):
+        host = GenomeHost(f"center{index}", network)
+        host.publish(make_dataset(f"DS{index}A", "HeLa-S3"))
+        host.publish(make_dataset(f"DS{index}B", "K562"))
+        hosts.append(host)
+    service = GenomeSearchService()
+    crawler = Crawler(hosts, network, mirror_budget_bytes=2_000)
+    return hosts, service, crawler, network
+
+
+class TestPublishing:
+    def test_publish_builds_link(self, world):
+        hosts, *_ = world
+        link = hosts[0].publish(make_dataset("NEW", "HepG2"))
+        assert link.url == "genome://center0/NEW"
+        assert ("cell", "HepG2") in link.metadata_pairs
+
+    def test_private_links_invisible_to_crawlers(self, world):
+        hosts, service, crawler, __ = world
+        hosts[0].publish(make_dataset("SECRET", "HeLa-S3"), public=False)
+        crawler.crawl(service)
+        assert "genome://center0/SECRET" not in service.links
+
+    def test_download_accounted(self, world):
+        hosts, __, __c, network = world
+        before = network.log.bytes_total
+        hosts[0].download("DS0A", "user")
+        assert network.log.bytes_total > before
+
+    def test_unknown_download(self, world):
+        hosts, *_ = world
+        with pytest.raises(SearchError):
+            hosts[0].download("NOPE", "user")
+
+
+class TestCrawling:
+    def test_full_crawl_covers_everything(self, world):
+        hosts, service, crawler, __ = world
+        report = crawler.crawl(service)
+        assert report.hosts_visited == 4
+        assert report.links_new_or_updated == 8
+        assert service.coverage(hosts) == 1.0
+
+    def test_budgeted_crawl_partial_coverage(self, world):
+        hosts, service, crawler, __ = world
+        crawler.crawl(service, max_hosts=2)
+        assert 0 < service.coverage(hosts) < 1.0
+        crawler.crawl(service, max_hosts=2)
+        assert service.coverage(hosts) == 1.0  # LRU order reaches the rest
+
+    def test_recrawl_sees_updates(self, world):
+        hosts, service, crawler, __ = world
+        crawler.crawl(service)
+        hosts[0].update(make_dataset("DS0A", "HeLa-S3", n_regions=9))
+        assert service.freshness(hosts) < 1.0
+        report = crawler.crawl(service)
+        assert report.links_new_or_updated == 1
+        assert service.freshness(hosts) == 1.0
+
+    def test_mirroring_respects_budget(self, world):
+        hosts, service, crawler, __ = world
+        crawler.crawl(service)
+        assert service.mirrored_bytes() <= crawler.mirror_budget_bytes
+        assert len(service.mirrors) >= 1
+
+
+class TestSearchService:
+    def test_search_with_snippets_and_mirror_flag(self, world):
+        hosts, service, crawler, __ = world
+        crawler.crawl(service)
+        results = service.search("HeLa")
+        assert results
+        top = results[0]
+        assert "cell=HeLa-S3" in top["snippet"]
+        assert isinstance(top["mirrored"], bool)
+        assert top["host"].startswith("center")
+
+    def test_locate_datasets_across_hosts(self, world):
+        hosts, service, crawler, __ = world
+        hosts[1].publish(make_dataset("DS0A", "HeLa-S3"))  # same name elsewhere
+        crawler.crawl(service)
+        assert service.locate("DS0A") == ["center0", "center1"]
+
+    def test_async_user_download_via_locate(self, world):
+        hosts, service, crawler, __ = world
+        crawler.crawl(service)
+        (owner,) = service.locate("DS2B")
+        host = next(h for h in hosts if h.name == owner)
+        dataset = host.download("DS2B", "user")
+        assert dataset.name == "DS2B"
+
+    def test_search_before_crawl_is_empty(self, world):
+        __, service, *_ = world
+        assert service.search("HeLa") == []
+
+
+class TestMirrorFeatureSearch:
+    def test_feature_search_over_mirrors(self, world):
+        hosts, service, crawler, __ = world
+        crawler.crawl(service)
+        assert service.mirrors  # budget allowed some mirroring
+        results = service.feature_search({"region_count": 5}, limit=3)
+        assert results
+        assert {"url", "dataset", "sample_id"} <= set(results[0])
+        assert results[0]["url"] in service.mirrors
+
+    def test_unprecomputed_feature_rejected(self, world):
+        hosts, service, crawler, __ = world
+        crawler.crawl(service)
+        with pytest.raises(SearchError, match="not precomputed"):
+            service.feature_search({"max_length": 10})

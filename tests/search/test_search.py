@@ -1,0 +1,165 @@
+"""Tests for metadata search, feature search and retrieval evaluation."""
+
+import pytest
+
+from repro.errors import SearchError
+from repro.gdm import Dataset, Metadata, RegionSchema, Sample, region
+from repro.search import (
+    MetadataSearch,
+    RegionSearch,
+    average_precision,
+    precision_at_k,
+    precision_recall,
+    tf_idf_scores,
+)
+
+
+@pytest.fixture()
+def corpus():
+    """A labelled corpus: cancer ChIP samples vs normal RNA samples."""
+    ds = Dataset("CORPUS", RegionSchema.empty())
+    entries = [
+        (1, {"cell": "HeLa-S3", "dataType": "ChipSeq", "antibody": "CTCF",
+             "karyotype": "cancer"}),
+        (2, {"cell": "K562", "dataType": "ChipSeq", "antibody": "CTCF"}),
+        (3, {"cell": "GM12878", "dataType": "RnaSeq", "karyotype": "normal"}),
+        (4, {"cell": "H1-hESC", "dataType": "RnaSeq"}),
+        (5, {"cell": "HeLa-S3", "dataType": "DnaseSeq"}),
+    ]
+    for sample_id, meta in entries:
+        regions = [region("chr1", i * 100, i * 100 + 50) for i in range(sample_id)]
+        ds.add_sample(Sample(sample_id, regions, Metadata(meta)))
+    return ds
+
+
+class TestMetadataSearch:
+    @pytest.fixture()
+    def search(self, corpus):
+        s = MetadataSearch()
+        s.add_dataset(corpus)
+        return s
+
+    def test_keyword_and_semantics(self, search):
+        hits = search.keyword_search("chipseq", "ctcf")
+        assert {key[1] for key in hits} == {1, 2}
+
+    def test_keyword_no_match(self, search):
+        assert search.keyword_search("nonexistent") == []
+
+    def test_free_text_ranking(self, search):
+        ranked = search.free_text_search("HeLa CTCF cancer")
+        assert ranked[0][1] == 1  # matches all three tokens
+
+    def test_free_text_limit(self, search):
+        assert len(search.free_text_search("hela", limit=1)) == 1
+
+    def test_ontology_expansion_finds_specialisations(self, search):
+        """Searching 'cancer' must find HeLa/K562 samples even where the
+        literal word is absent (sample 2 has no karyotype pair)."""
+        plain = {k[1] for k in search.free_text_search("cancer")}
+        expanded = {k[1] for k in search.ontology_search("cancer")}
+        assert 2 not in plain
+        assert {1, 2} <= expanded
+
+    def test_snippet_mentions_matching_pairs(self, search):
+        snippet = search.snippet(("CORPUS", 1), "CTCF")
+        assert "antibody=CTCF" in snippet
+
+    def test_precision_recall_evaluation(self, search):
+        relevant = {("CORPUS", 1), ("CORPUS", 2)}
+        retrieved = search.keyword_search("chipseq")
+        metrics = precision_recall(retrieved, relevant)
+        assert metrics == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+
+class TestRegionSearch:
+    @pytest.fixture()
+    def search(self, corpus):
+        s = RegionSearch()
+        s.add_dataset(corpus)
+        return s
+
+    def test_search_by_region_count(self, search):
+        results = search.search({"region_count": 5}, limit=1)
+        assert results[0][1] == 5  # sample 5 has five regions
+
+    def test_multi_feature_targets(self, search):
+        results = search.search({"region_count": 1, "mean_length": 50})
+        assert results[0][1] == 1
+
+    def test_candidates_restrict_computation(self, search):
+        search.search({"region_count": 3},
+                      candidates=[("CORPUS", 1), ("CORPUS", 2)])
+        stats = search.cache_stats()
+        assert stats["computations"] == 2  # only candidates were evaluated
+
+    def test_cache_avoids_recomputation(self, search):
+        search.search({"region_count": 3})
+        first = search.cache_stats()["computations"]
+        search.search({"region_count": 4})
+        assert search.cache_stats()["computations"] == first  # all cached
+
+    def test_precompute_indexes_features(self, corpus):
+        s = RegionSearch()
+        s.add_dataset(corpus, precompute=("region_count",))
+        assert s.cache_stats()["cached_values"] == len(corpus)
+
+    def test_custom_feature(self, search):
+        search.register_feature(
+            "total_span", lambda sample: float(sum(r.length for r in sample))
+        )
+        results = search.search({"total_span": 250.0}, limit=1)
+        assert results[0][1] == 5
+
+    def test_unknown_feature_raises(self, search):
+        with pytest.raises(SearchError):
+            search.search({"frobnication": 1.0})
+
+    def test_empty_targets_rejected(self, search):
+        with pytest.raises(SearchError):
+            search.search({})
+
+
+class TestEvaluation:
+    def test_precision_recall_basics(self):
+        metrics = precision_recall(["a", "b", "c"], {"a", "d"})
+        assert metrics["precision"] == pytest.approx(1 / 3)
+        assert metrics["recall"] == pytest.approx(1 / 2)
+
+    def test_empty_cases(self):
+        assert precision_recall([], {"a"})["precision"] == 0.0
+        assert precision_recall(["a"], set())["recall"] == 0.0
+
+    def test_average_precision_order_sensitive(self):
+        good = average_precision(["a", "b", "x"], {"a", "b"})
+        bad = average_precision(["x", "a", "b"], {"a", "b"})
+        assert good > bad
+
+    def test_precision_at_k(self):
+        assert precision_at_k(["a", "x", "b"], {"a", "b"}, 2) == 0.5
+
+    def test_tf_idf_prefers_rare_terms(self):
+        documents = {
+            1: ["common", "rare"],
+            2: ["common", "common"],
+            3: ["common"],
+        }
+        ranked = tf_idf_scores(["rare"], documents)
+        assert ranked[0][0] == 1
+
+
+class TestRankRegions:
+    def test_rank_by_length(self, corpus):
+        service = RegionSearch()
+        ranked = service.rank_regions(corpus, lambda r: r.length, top=3)
+        assert len(ranked) == 3
+        lengths = [value for __, __r, value in ranked]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_ascending_order(self, corpus):
+        service = RegionSearch()
+        ranked = service.rank_regions(
+            corpus, lambda r: r.left, descending=False
+        )
+        lefts = [value for __, __r, value in ranked]
+        assert lefts == sorted(lefts)

@@ -1,0 +1,230 @@
+"""Tests for the synthetic data generators (layout, ENCODE, CTCF, cancer)."""
+
+import pytest
+
+from repro.gmql import MetaCompare, select
+from repro.simulate import (
+    CancerScenario,
+    CtcfScenario,
+    EncodeRepository,
+    GenomeLayout,
+    distance_baseline_pairs,
+    extract_candidate_pairs,
+    fragility_analysis,
+    generator,
+    region_sample,
+    workload_dataset,
+)
+
+
+class TestRng:
+    def test_deterministic(self):
+        assert generator(1, "x").integers(0, 100) == generator(1, "x").integers(0, 100)
+
+    def test_scoped_streams_differ(self):
+        a = generator(1, "a").integers(0, 10**9)
+        b = generator(1, "b").integers(0, 10**9)
+        assert a != b
+
+
+class TestGenomeLayout:
+    @pytest.fixture(scope="class")
+    def layout(self):
+        return GenomeLayout.generate(seed=5, n_genes=60, n_enhancers=40)
+
+    def test_gene_count(self, layout):
+        assert len(layout.genes) == 60
+
+    def test_genes_within_chromosomes(self, layout):
+        for gene in layout.genes:
+            assert 0 <= gene.left < gene.right <= layout.chromosome_sizes[gene.chrom]
+
+    def test_genes_disjoint_per_chromosome(self, layout):
+        by_chrom = {}
+        for gene in layout.genes:
+            by_chrom.setdefault(gene.chrom, []).append(gene)
+        for genes in by_chrom.values():
+            genes.sort(key=lambda g: g.left)
+            for a, b in zip(genes, genes[1:]):
+                assert a.right <= b.left
+
+    def test_enhancers_intergenic(self, layout):
+        for enhancer in layout.enhancers:
+            for gene in layout.genes:
+                if gene.chrom == enhancer.chrom:
+                    assert not enhancer.overlaps(gene.body_region())
+
+    def test_tss_strand_aware(self, layout):
+        for gene in layout.genes:
+            expected = gene.right if gene.strand == "-" else gene.left
+            assert gene.tss == expected
+
+    def test_annotations_dataset_selectable(self, layout):
+        annotations = layout.annotations_dataset()
+        proms = select(annotations, MetaCompare("annType", "==", "promoter"))
+        assert len(proms) == 1
+        assert len(proms[1]) == len(layout.genes)
+
+    def test_deterministic(self):
+        a = GenomeLayout.generate(seed=9, n_genes=10)
+        b = GenomeLayout.generate(seed=9, n_genes=10)
+        assert [g.left for g in a.genes] == [g.left for g in b.genes]
+
+
+class TestEncodeRepository:
+    @pytest.fixture(scope="class")
+    def repo(self):
+        return EncodeRepository.generate(seed=3, n_samples=20,
+                                         peaks_per_sample_mean=120)
+
+    def test_sample_count(self, repo):
+        assert len(repo.encode) == 20
+
+    def test_metadata_vocabulary(self, repo):
+        for sample in repo.encode:
+            assert sample.meta.first("dataType") in (
+                "ChipSeq", "DnaseSeq", "RnaSeq"
+            )
+            assert sample.meta.first("format") == "BED"
+
+    def test_chipseq_samples_have_antibody(self, repo):
+        for sample in repo.encode:
+            if sample.meta.first("dataType") == "ChipSeq":
+                assert "antibody" in sample.meta
+            else:
+                assert "antibody" not in sample.meta
+
+    def test_peak_counts_near_mean(self, repo):
+        mean = repo.encode.region_count() / len(repo.encode)
+        assert 60 < mean < 220
+
+    def test_promoter_enrichment(self, repo):
+        """Peaks must be denser at promoters than background (that is the
+        planted signal MAP should see)."""
+        from repro.intervals import GenomeIndex
+
+        promoters = repo.layout.promoter_regions()
+        index = GenomeIndex(promoters)
+        total = at_promoters = 0
+        for sample in repo.encode:
+            if sample.meta.first("dataType") != "ChipSeq":
+                continue
+            for region in sample.regions:
+                total += 1
+                if next(iter(index.overlapping(region)), None) is not None:
+                    at_promoters += 1
+        promoter_bases = sum(p.length for p in promoters)
+        genome_bases = sum(repo.layout.chromosome_sizes.values())
+        background_fraction = promoter_bases / genome_bases
+        assert at_promoters / total > 3 * background_fraction
+
+    def test_paper_scale_factor_fields(self, repo):
+        scale = repo.paper_scale_factor()
+        assert 0 < scale["sample_ratio"] < 1
+        assert scale["paper_peaks"] == 83_899_526
+        assert scale["paper_promoters"] == 131_780
+
+    def test_deterministic(self):
+        a = EncodeRepository.generate(seed=4, n_samples=3,
+                                      peaks_per_sample_mean=50)
+        b = EncodeRepository.generate(seed=4, n_samples=3,
+                                      peaks_per_sample_mean=50)
+        assert a.encode.region_count() == b.encode.region_count()
+
+
+class TestCtcfScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return CtcfScenario.generate(seed=11, n_loops=40)
+
+    def test_true_pairs_planted(self, scenario):
+        assert len(scenario.true_pairs) > 10
+
+    def test_marks_has_three_samples(self, scenario):
+        antibodies = {s.meta.first("antibody") for s in scenario.marks}
+        assert antibodies == {"H3K27ac", "H3K4me1", "H3K4me3"}
+
+    def test_loops_enclose_planted_pairs(self, scenario):
+        genes_by_name = {g.name: g for g in scenario.layout.genes}
+        enhancers_by_name = {
+            e.values[0]: e for e in scenario.layout.enhancers
+        }
+        loops = [r for s in scenario.loops for r in s.regions]
+        for gene_name, enhancer_name in scenario.true_pairs:
+            promoter = genes_by_name[gene_name].promoter_region()
+            enhancer = enhancers_by_name[enhancer_name]
+            assert any(
+                loop.contains(promoter) and loop.contains(enhancer)
+                for loop in loops
+            )
+
+    def test_query_beats_distance_baseline_precision(self, scenario):
+        candidates = extract_candidate_pairs(scenario)
+        baseline = distance_baseline_pairs(scenario)
+        truth = scenario.true_pairs
+
+        def precision(pairs):
+            return len(pairs & truth) / len(pairs) if pairs else 0.0
+
+        assert candidates, "loop-aware query found nothing"
+        assert precision(candidates) > precision(baseline)
+
+    def test_query_recall_reasonable(self, scenario):
+        candidates = extract_candidate_pairs(scenario)
+        recall = len(candidates & scenario.true_pairs) / len(scenario.true_pairs)
+        assert recall > 0.5
+
+
+class TestCancerScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return CancerScenario.generate(seed=13)
+
+    def test_expression_has_two_conditions(self, scenario):
+        conditions = {s.meta.first("condition") for s in scenario.expression}
+        assert conditions == {"control", "induced"}
+
+    def test_breakpoints_are_points(self, scenario):
+        for region in scenario.breakpoints[1].regions:
+            assert region.length == 1
+
+    def test_analysis_recovers_disregulated_genes(self, scenario):
+        analysis = fragility_analysis(scenario)
+        called = analysis["called_disregulated"]
+        truth = scenario.disregulated
+        assert called, "no genes called"
+        precision = len(called & truth) / len(called)
+        recall = len(called & truth) / len(truth)
+        assert precision > 0.8
+        assert recall > 0.8
+
+    def test_mutation_enrichment_at_fragile_genes(self, scenario):
+        analysis = fragility_analysis(scenario)
+        assert analysis["mutation_enrichment"] > 3.0
+
+
+class TestWorkload:
+    def test_region_sample_sorted_and_sized(self):
+        regions = region_sample(1, 200)
+        assert len(regions) == 200
+        keys = [r.sort_key() for r in regions]
+        assert keys == sorted(keys)
+
+    def test_clustered_is_denser(self):
+        uniform = region_sample(2, 500, clustered=False)
+        clustered = region_sample(2, 500, clustered=True)
+
+        def max_bin_count(regions):
+            bins = {}
+            for r in regions:
+                bins[(r.chrom, r.left // 50_000)] = (
+                    bins.get((r.chrom, r.left // 50_000), 0) + 1
+                )
+            return max(bins.values())
+
+        assert max_bin_count(clustered) > max_bin_count(uniform)
+
+    def test_workload_dataset(self):
+        ds = workload_dataset(3, n_samples=4, regions_per_sample=50)
+        assert len(ds) == 4
+        assert ds.region_count() == 200

@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.formats import write_dataset
+from repro.gdm import Dataset, FLOAT, Metadata, RegionSchema, Sample, region
+
+
+@pytest.fixture()
+def encode_dir(tmp_path):
+    schema = RegionSchema.of(("p_value", FLOAT))
+    dataset = Dataset(
+        "ENCODE",
+        schema,
+        [
+            Sample(1, [region("chr1", 0, 100, "*", 1e-5)],
+                   Metadata({"dataType": "ChipSeq", "cell": "HeLa-S3"})),
+            Sample(2, [region("chr1", 200, 300, "*", 1e-2)],
+                   Metadata({"dataType": "RnaSeq", "cell": "K562"})),
+        ],
+    )
+    directory = tmp_path / "ENCODE"
+    write_dataset(dataset, str(directory))
+    return str(directory)
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "query.gmql"
+    path.write_text(
+        "R = SELECT(dataType == 'ChipSeq') ENCODE;\nMATERIALIZE R;\n"
+    )
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_summary(self, capsys, encode_dir, program_file):
+        code = main(["run", program_file, "--source", f"ENCODE={encode_dir}"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "R: 1 sample(s), 1 region(s)" in out
+
+    def test_run_materialises_output(self, capsys, tmp_path, encode_dir,
+                                     program_file):
+        out_dir = str(tmp_path / "results")
+        code = main(
+            ["run", program_file, "--source", f"ENCODE={encode_dir}",
+             "--out", out_dir]
+        )
+        assert code == 0
+        assert os.path.exists(os.path.join(out_dir, "R", "schema.txt"))
+
+    def test_run_with_stats(self, capsys, encode_dir, program_file):
+        code = main(
+            ["run", program_file, "--source", f"ENCODE={encode_dir}",
+             "--stats"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SELECT" in out
+        assert "total kernel time" in out
+
+    def test_run_columnar_engine(self, capsys, encode_dir, program_file):
+        code = main(
+            ["run", program_file, "--source", f"ENCODE={encode_dir}",
+             "--engine", "columnar"]
+        )
+        assert code == 0
+
+    def test_missing_source_is_clean_error(self, capsys, program_file):
+        code = main(["run", program_file])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_engine_is_clean_error(self, capsys, encode_dir,
+                                       program_file):
+        code = main(
+            ["run", program_file, "--source", f"ENCODE={encode_dir}",
+             "--engine", "spark"]
+        )
+        assert code == 1
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_syntax_error_is_clean_error(self, capsys, tmp_path, encode_dir):
+        bad = tmp_path / "bad.gmql"
+        bad.write_text("THIS IS NOT GMQL")
+        code = main(["run", str(bad), "--source", f"ENCODE={encode_dir}"])
+        assert code == 1
+
+
+class TestOtherCommands:
+    def test_explain(self, capsys, program_file):
+        code = main(["explain", program_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SELECT" in out and "SCAN ENCODE" in out
+
+    def test_info(self, capsys, encode_dir):
+        code = main(["info", encode_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "samples:        2" in out
+        assert "p_value" in out
+
+    def test_info_missing_directory(self, capsys, tmp_path):
+        code = main(["info", str(tmp_path / "nope")])
+        assert code == 1
+
+    def test_formats_listing(self, capsys):
+        code = main(["formats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "narrowpeak" in out
+        assert ".bed" in out
+
+    def test_convert_narrowpeak_to_bed(self, capsys, tmp_path):
+        source = tmp_path / "in.narrowPeak"
+        source.write_text(
+            "chr1\t100\t200\tpeak1\t13\t+\t4.5\t3.2\t-1\t50\n"
+        )
+        destination = tmp_path / "out.bed"
+        code = main(["convert", str(source), str(destination)])
+        assert code == 0
+        text = destination.read_text()
+        assert text.startswith("chr1\t100\t200\tpeak1\t13\t+")
+
+    def test_convert_unknown_extension(self, capsys, tmp_path):
+        source = tmp_path / "in.xyz"
+        source.write_text("x")
+        code = main(["convert", str(source), str(tmp_path / "out.bed")])
+        assert code == 1

@@ -1,0 +1,120 @@
+"""Failure-injection tests: the distributed pieces must degrade cleanly."""
+
+import os
+
+import pytest
+
+from repro.errors import FormatError, RepositoryError, SearchError
+from repro.federation import Network
+from repro.formats import read_dataset, write_dataset
+from repro.gdm import Dataset, Metadata, RegionSchema, Sample, region
+from repro.repository import StagingArea
+from repro.search import Crawler, GenomeHost, GenomeSearchService
+
+
+def small_dataset(name="DS"):
+    ds = Dataset(name, RegionSchema.empty())
+    ds.add_sample(
+        Sample(1, [region("chr1", 0, 50)], Metadata({"cell": "HeLa-S3"}))
+    )
+    return ds
+
+
+class TestOfflineHosts:
+    @pytest.fixture()
+    def world(self):
+        network = Network()
+        hosts = [GenomeHost(f"h{i}", network) for i in range(3)]
+        for i, host in enumerate(hosts):
+            host.publish(small_dataset(f"DS{i}"))
+        service = GenomeSearchService()
+        crawler = Crawler(hosts, network)
+        return hosts, service, crawler
+
+    def test_crawl_skips_offline_host(self, world):
+        hosts, service, crawler = world
+        hosts[1].offline = True
+        report = crawler.crawl(service)
+        assert report.hosts_failed == 1
+        assert report.hosts_visited == 2
+        assert 0 < service.coverage(hosts) < 1.0
+
+    def test_offline_host_retried_first_on_recovery(self, world):
+        hosts, service, crawler = world
+        hosts[1].offline = True
+        crawler.crawl(service)
+        hosts[1].offline = False
+        report = crawler.crawl(service)
+        assert report.hosts_failed == 0
+        assert service.coverage(hosts) == 1.0
+
+    def test_offline_download_raises(self, world):
+        hosts, *_ = world
+        hosts[0].offline = True
+        with pytest.raises(SearchError, match="unreachable"):
+            hosts[0].download("DS0", "user")
+
+
+class TestCorruptDatasetDirectories:
+    def test_bad_schema_header(self, tmp_path):
+        directory = tmp_path / "BAD"
+        directory.mkdir()
+        (directory / "schema.txt").write_text("not-a-schema-token\n")
+        with pytest.raises(FormatError, match="bad schema token"):
+            read_dataset(str(directory))
+
+    def test_corrupt_region_line_reports_position(self, tmp_path):
+        ds = small_dataset()
+        write_dataset(ds, str(tmp_path / "DS"))
+        sample_file = tmp_path / "DS" / "S_00001.gdm"
+        sample_file.write_text("chr1\tnot-a-number\t50\t*\n")
+        with pytest.raises(FormatError, match="line 1"):
+            read_dataset(str(tmp_path / "DS"))
+
+    def test_missing_meta_file_tolerated(self, tmp_path):
+        ds = small_dataset()
+        write_dataset(ds, str(tmp_path / "DS"))
+        os.remove(tmp_path / "DS" / "S_00001.gdm.meta")
+        loaded = read_dataset(str(tmp_path / "DS"))
+        assert len(loaded[1].meta) == 0  # regions survive, metadata empty
+
+    def test_corrupt_meta_line(self, tmp_path):
+        ds = small_dataset()
+        write_dataset(ds, str(tmp_path / "DS"))
+        (tmp_path / "DS" / "S_00001.gdm.meta").write_text("no-tab-here\n")
+        with pytest.raises(FormatError, match="TAB"):
+            read_dataset(str(tmp_path / "DS"))
+
+    def test_stray_files_ignored(self, tmp_path):
+        ds = small_dataset()
+        write_dataset(ds, str(tmp_path / "DS"))
+        (tmp_path / "DS" / "README.txt").write_text("hello")
+        loaded = read_dataset(str(tmp_path / "DS"))
+        assert len(loaded) == 1
+
+
+class TestStagingLifecycle:
+    def test_release_then_retrieve_fails_cleanly(self):
+        staging = StagingArea()
+        ticket = staging.stage(small_dataset())
+        staging.release(ticket)
+        with pytest.raises(RepositoryError, match="unknown or evicted"):
+            staging.retrieve_all(ticket)
+
+    def test_double_release_is_idempotent(self):
+        staging = StagingArea()
+        ticket = staging.stage(small_dataset())
+        staging.release(ticket)
+        staging.release(ticket)  # no error
+
+    def test_recently_used_survives_eviction(self):
+        probe = StagingArea()
+        size = len(probe.retrieve_all(probe.stage(small_dataset())))
+        staging = StagingArea(budget_bytes=int(size * 2.5))
+        first = staging.stage(small_dataset("A"))
+        second = staging.stage(small_dataset("B"))
+        staging.retrieve_chunk(first, 0)  # refresh A's recency
+        staging.stage(small_dataset("C"))  # evicts B, not A
+        staging.retrieve_all(first)  # still there
+        with pytest.raises(RepositoryError):
+            staging.retrieve_all(second)

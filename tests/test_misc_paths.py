@@ -1,0 +1,111 @@
+"""Coverage for smaller paths: provenance cycles, pool shutdown, edges."""
+
+import pytest
+
+from repro.analysis import GenomeSpace, silhouette
+from repro.gdm import Dataset, Metadata, RegionSchema, Sample, region
+from repro.gmql.provenance import explain, record
+
+
+class TestProvenanceEdges:
+    def test_cycle_guard(self):
+        ds = Dataset("D", RegionSchema.empty(), [Sample(1)])
+        # A pathological self-referential catalog entry must not loop.
+        ds.provenance.append(record("SELECT", 1, [("D", 1)]))
+        text = explain(ds, 1, catalog={"D": ds})
+        assert "already shown" in text
+
+    def test_multiple_records_per_sample(self):
+        ds = Dataset("D", RegionSchema.empty(), [Sample(1)])
+        ds.provenance.append(record("UNION", 1, [("A", 1)], "left"))
+        ds.provenance.append(record("UNION", 1, [("B", 2)], "right"))
+        text = explain(ds, 1)
+        assert "A[1]" in text and "B[2]" in text
+
+    def test_source_sample(self):
+        ds = Dataset("SRC", RegionSchema.empty(), [Sample(3)])
+        assert "(source)" in explain(ds, 3)
+
+
+class TestParallelPoolLifecycle:
+    def test_close_is_idempotent(self):
+        from repro.engine.parallel import ParallelBackend
+
+        backend = ParallelBackend(max_workers=2)
+        # Force pool creation through a tiny difference call.
+        from repro.gmql.lang import Interpreter, compile_program
+
+        data = Dataset(
+            "DATA",
+            RegionSchema.empty(),
+            [Sample(1, [region("chr1", 0, 10)], Metadata({"x": 1}))],
+        )
+        compiled = compile_program(
+            "R = DIFFERENCE() DATA DATA; MATERIALIZE R;"
+        )
+        Interpreter(backend, {"DATA": data}).run_program(compiled)
+        backend.close()
+        backend.close()  # second close: no error
+
+    def test_workers_parameter(self):
+        from repro.engine.parallel import ParallelBackend
+
+        backend = ParallelBackend(max_workers=3)
+        assert backend._max_workers == 3
+        backend.close()
+
+
+class TestSilhouetteEdges:
+    def test_single_cluster_is_zero(self):
+        import numpy as np
+
+        space = GenomeSpace(
+            np.ones((3, 2)),
+            ["a", "b", "c"],
+            ["e1", "e2"],
+            [("chr1", i, i + 1, "+") for i in range(3)],
+        )
+        assert silhouette(space, [0, 0, 0]) == 0.0
+
+
+class TestCliConvertReverse:
+    def test_bed_to_narrowpeak(self, tmp_path):
+        from repro.cli import main
+
+        source = tmp_path / "in.bed"
+        source.write_text("chr1\t10\t90\tpeakX\t7\t-\n")
+        destination = tmp_path / "out.narrowPeak"
+        assert main(["convert", str(source), str(destination)]) == 0
+        fields = destination.read_text().strip().split("\t")
+        assert fields[:4] == ["chr1", "10", "90", "peakX"]
+        assert len(fields) == 10  # full narrowPeak row with fillers
+
+
+class TestVersionAndExports:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_public_exports_resolve(self):
+        """Every name in each package's __all__ must exist."""
+        import importlib
+
+        for module_name in (
+            "repro.gdm",
+            "repro.intervals",
+            "repro.formats",
+            "repro.gmql",
+            "repro.gmql.lang",
+            "repro.engine",
+            "repro.ngs",
+            "repro.simulate",
+            "repro.analysis",
+            "repro.ontology",
+            "repro.repository",
+            "repro.federation",
+            "repro.search",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", ()):
+                assert hasattr(module, name), f"{module_name}.{name}"
