@@ -2,10 +2,11 @@
 
 The paper's ref [10] compared Flink and Spark "on three genomic queries
 inspired by GMQL"; our analog compares the naive record-at-a-time engine,
-the columnar numpy engine and the binned process-pool engine on three
-GMQL queries of the same families: a MAP count, a COVER over replicates,
-and a genometric JOIN.  One logical plan, three backends -- only the
-operator encodings differ.
+the columnar numpy engine, the binned process-pool engine, and the
+cost-routed ``auto`` engine on three GMQL queries of the same families:
+a MAP count, a COVER over replicates, and a genometric JOIN.  One
+logical plan, four backends -- only the operator encodings (and, for
+``auto``, the per-node routing) differ.
 """
 
 import pytest
@@ -31,7 +32,7 @@ QUERIES = {
     """,
 }
 
-ENGINES = ("naive", "columnar", "parallel")
+ENGINES = ("naive", "columnar", "parallel", "auto")
 
 
 @pytest.fixture(scope="module")

@@ -8,8 +8,9 @@ kind of directory.
 Subcommands::
 
     python -m repro run QUERY.gmql --source ENCODE=./encode_dir \
-        --engine columnar --out ./results [--stats] [--no-optimize]
+        --engine auto --out ./results [--stats] [--trace] [--workers N]
     python -m repro explain QUERY.gmql
+    python -m repro explain QUERY.gmql --analyze --source ENCODE=./encode_dir
     python -m repro info DATASET_DIR
     python -m repro convert input.narrowPeak output.bed
     python -m repro formats
@@ -33,6 +34,16 @@ def _parse_source(text: str) -> tuple:
     return (name, directory)
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for shtab-style tooling/tests)."""
     parser = argparse.ArgumentParser(
@@ -49,19 +60,44 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME=DIR", help="bind a source dataset directory",
     )
     run_cmd.add_argument("--engine", default="naive",
-                         help="execution backend (naive/columnar/parallel)")
+                         help="execution backend "
+                              "(naive/columnar/parallel/auto)")
     run_cmd.add_argument("--out", default=None,
                          help="directory to materialise results into")
     run_cmd.add_argument("--no-optimize", action="store_true",
                          help="skip the logical optimizer")
     run_cmd.add_argument("--stats", action="store_true",
                          help="print per-operator engine statistics")
+    run_cmd.add_argument("--trace", action="store_true",
+                         help="print the execution span trace")
+    run_cmd.add_argument("--workers", type=_positive_int, default=None,
+                         metavar="N",
+                         help="worker processes for parallel kernels "
+                              "(default: REPRO_WORKERS or CPU-based)")
 
     explain_cmd = commands.add_parser(
-        "explain", help="show the (optimized) logical plan of a program"
+        "explain",
+        help="show the (optimized) plan of a program; with --analyze, "
+             "execute it and annotate the physical plan with actuals",
     )
     explain_cmd.add_argument("program")
     explain_cmd.add_argument("--no-optimize", action="store_true")
+    explain_cmd.add_argument(
+        "--analyze", action="store_true",
+        help="execute the program and print the physical plan with "
+             "chosen backend, estimated vs actual rows and per-node time",
+    )
+    explain_cmd.add_argument(
+        "--source", action="append", default=[], type=_parse_source,
+        metavar="NAME=DIR",
+        help="bind a source dataset directory (required with --analyze)",
+    )
+    explain_cmd.add_argument("--engine", default="auto",
+                             help="backend for --analyze "
+                                  "(naive/columnar/parallel/auto)")
+    explain_cmd.add_argument("--workers", type=_positive_int, default=None,
+                             metavar="N",
+                             help="worker processes for parallel kernels")
 
     info_cmd = commands.add_parser("info", help="summarise a dataset directory")
     info_cmd.add_argument("directory")
@@ -93,6 +129,7 @@ def _load_sources(pairs: list) -> dict:
 
 
 def _command_run(args) -> int:
+    from repro.engine.context import ExecutionContext
     from repro.engine.dispatch import get_backend
     from repro.formats import write_dataset
     from repro.gmql.lang import Interpreter, compile_program, optimize
@@ -103,7 +140,10 @@ def _command_run(args) -> int:
     if not args.no_optimize:
         compiled = optimize(compiled)
     backend = get_backend(args.engine)
-    results = Interpreter(backend, sources).run_program(compiled)
+    context = ExecutionContext(workers=args.workers)
+    results = Interpreter(backend, sources, context=context).run_program(
+        compiled
+    )
     for name, dataset in results.items():
         summary = dataset.summary()
         print(
@@ -123,13 +163,39 @@ def _command_run(args) -> int:
             print(f"  {operator:<12} {calls:>3} call(s)  {seconds * 1000:8.1f} ms")
         print(f"  total kernel time: "
               f"{backend.stats.total_seconds() * 1000:.1f} ms")
+        by_backend = backend.stats.by_backend()
+        if len(by_backend) > 1:
+            print("  time by backend:")
+            for name in sorted(by_backend):
+                print(f"    {name:<10} {by_backend[name] * 1000:8.1f} ms")
+    if args.trace:
+        print()
+        print("execution trace:")
+        print(context.tracer.render())
     return 0
 
 
 def _command_explain(args) -> int:
     from repro.gmql.lang import compile_program, optimize
 
-    compiled = compile_program(_read_program(args.program))
+    program = _read_program(args.program)
+    if args.analyze:
+        from repro.engine.context import ExecutionContext
+        from repro.gmql.lang import explain_analyze
+
+        sources = _load_sources(args.source)
+        context = ExecutionContext(workers=args.workers)
+        __, physical, context = explain_analyze(
+            program,
+            sources,
+            engine=args.engine,
+            optimized=not args.no_optimize,
+            context=context,
+        )
+        print(physical.explain(analyze=True))
+        print(f"total: {context.tracer.total_seconds() * 1000:.2f} ms")
+        return 0
+    compiled = compile_program(program)
     if not args.no_optimize:
         compiled = optimize(compiled)
     print(compiled.explain())

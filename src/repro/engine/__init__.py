@@ -2,13 +2,24 @@
 
 * ``naive``    -- record-at-a-time reference implementation;
 * ``columnar`` -- numpy columnar kernels (vectorised coordinates);
-* ``parallel`` -- genome-binned partitioning over a process pool.
+* ``parallel`` -- genome-binned partitioning over a process pool;
+* ``auto``     -- per-operator routing between the three above, driven
+  by the physical planner's cost estimates.
 
 This mirrors the paper's section 4.2: only the ~20 operator encodings
-differ between backends, everything above them is shared.
+differ between backends, everything above them is shared.  Execution is
+observed through :class:`ExecutionContext` (span tracing, metrics,
+deadline/cancellation) threaded from the interpreter into every kernel.
 """
 
-from repro.engine.base import Backend, EngineStats
+from repro.engine.auto import AutoBackend, choose_backend
+from repro.engine.base import Backend, EngineStats, NodeStat
+from repro.engine.context import (
+    ExecutionContext,
+    MetricsRegistry,
+    Span,
+    SpanTracer,
+)
 from repro.engine.dispatch import (
     available_backends,
     get_backend,
@@ -17,10 +28,17 @@ from repro.engine.dispatch import (
 from repro.engine.naive import NaiveBackend
 
 __all__ = [
+    "AutoBackend",
     "Backend",
     "EngineStats",
+    "ExecutionContext",
+    "MetricsRegistry",
     "NaiveBackend",
+    "NodeStat",
+    "Span",
+    "SpanTracer",
     "available_backends",
+    "choose_backend",
     "get_backend",
     "register_backend",
 ]

@@ -1,0 +1,188 @@
+"""The ``auto`` backend: per-operator kernel routing.
+
+The paper's architecture keeps "one logical plan, several backends"; this
+module adds the missing policy layer that picks a backend *per operator*
+instead of per query.  Region-heavy operators (MAP, JOIN, COVER,
+DIFFERENCE) go to the process-pool backend once inputs are large enough
+to amortise pickling, mid-size work goes to the numpy columnar kernels,
+and tiny inputs stay on the naive record-at-a-time reference where
+per-call overhead dominates.
+
+Two entry points share one policy, :func:`choose_backend`:
+
+* the physical planner (:mod:`repro.gmql.lang.physical`) calls it with
+  *estimated* cardinalities at plan time, annotating each node;
+* :class:`AutoBackend` calls it with *actual* input sizes when its
+  kernels are invoked directly (outside a physical plan).
+"""
+
+from __future__ import annotations
+
+from repro.engine.base import Backend, EngineStats
+
+#: Input-region count above which region-heavy operators are worth
+#: shipping to worker processes (pickling cost must be amortised).
+PARALLEL_REGION_THRESHOLD = 50_000
+
+#: Input-region count above which vectorised columnar kernels win over
+#: the record-at-a-time reference implementation.
+COLUMNAR_REGION_THRESHOLD = 2_000
+
+#: Operators with genome-partitionable kernels in the parallel backend.
+PARALLEL_OPERATORS = frozenset({"map", "join", "cover", "difference"})
+
+#: The plan-node kind executed by the interpreter itself (no kernel).
+SOURCE_KIND = "scan"
+
+
+def choose_backend(
+    kind: str, input_regions: float, available: tuple
+) -> tuple:
+    """Pick a backend for one operator; returns ``(name, reason)``.
+
+    Parameters
+    ----------
+    kind:
+        Plan-node kind (``map``, ``select``...), lower-case.
+    input_regions:
+        Total regions across the operator's inputs (estimated or actual).
+    available:
+        Registered backend names; choices degrade gracefully when the
+        parallel or columnar backend is unavailable.
+    """
+    kind = kind.lower()
+    if kind == SOURCE_KIND:
+        return "source", "scans read datasets directly"
+    if (
+        kind in PARALLEL_OPERATORS
+        and input_regions >= PARALLEL_REGION_THRESHOLD
+        and "parallel" in available
+    ):
+        return (
+            "parallel",
+            f"{kind} over ~{int(input_regions)} regions: "
+            f"partition across worker processes",
+        )
+    if input_regions >= COLUMNAR_REGION_THRESHOLD and "columnar" in available:
+        return (
+            "columnar",
+            f"{kind} over ~{int(input_regions)} regions: vectorised kernels",
+        )
+    return (
+        "naive",
+        f"{kind} over ~{int(input_regions)} regions: "
+        f"small input, per-call overhead dominates",
+    )
+
+
+class AutoBackend(Backend):
+    """Routes every kernel call to the cheapest registered backend.
+
+    Delegate backends are created lazily and share this backend's
+    :class:`EngineStats` object, so per-invocation records carry the
+    *executing* backend's name while aggregates stay in one place.
+    """
+
+    name = "auto"
+
+    #: Interpreters use this flag to route physical plan nodes through
+    #: :meth:`delegate` (per-node dispatch) instead of calling run_* here.
+    per_node_dispatch = True
+
+    def __init__(self, workers: int | None = None) -> None:
+        super().__init__()
+        self._workers = workers
+        self._delegates: dict = {}
+
+    def delegate(self, name: str) -> Backend:
+        """The delegate backend for *name* (``auto``/``source`` -> naive)."""
+        name = name.lower()
+        if name in (self.name, SOURCE_KIND, "source", ""):
+            name = "naive"
+        backend = self._delegates.get(name)
+        if backend is None:
+            backend = self._make_delegate(name)
+            backend.stats = self.stats
+            if self._context is not None:
+                backend.bind_context(self._context)
+            self._delegates[name] = backend
+        return backend
+
+    def _make_delegate(self, name: str) -> Backend:
+        if name == "parallel" and self._workers is not None:
+            from repro.engine.parallel import ParallelBackend
+
+            return ParallelBackend(max_workers=self._workers)
+        from repro.engine.dispatch import get_backend
+
+        return get_backend(name)
+
+    def bind_context(self, context):
+        super().bind_context(context)
+        for backend in self._delegates.values():
+            backend.bind_context(context)
+        return self
+
+    def reset_stats(self) -> None:
+        self.stats = EngineStats()
+        for backend in self._delegates.values():
+            backend.stats = self.stats
+
+    def close(self) -> None:
+        """Release delegate resources (worker pools); idempotent."""
+        for backend in self._delegates.values():
+            close = getattr(backend, "close", None)
+            if close is not None:
+                close()
+
+    # -- direct kernel dispatch (used outside physical plans) -------------------
+
+    def _route(self, kind: str, *inputs) -> Backend:
+        from repro.engine.dispatch import available_backends
+
+        regions = sum(
+            dataset.region_count() for dataset in inputs if dataset is not None
+        )
+        name, __ = choose_backend(kind, regions, available_backends())
+        return self.delegate(name)
+
+    def run_select(self, plan, child, semijoin_data):
+        return self._route("select", child, semijoin_data).run_select(
+            plan, child, semijoin_data
+        )
+
+    def run_project(self, plan, child):
+        return self._route("project", child).run_project(plan, child)
+
+    def run_extend(self, plan, child):
+        return self._route("extend", child).run_extend(plan, child)
+
+    def run_merge(self, plan, child):
+        return self._route("merge", child).run_merge(plan, child)
+
+    def run_group(self, plan, child):
+        return self._route("group", child).run_group(plan, child)
+
+    def run_order(self, plan, child):
+        return self._route("order", child).run_order(plan, child)
+
+    def run_union(self, plan, left, right):
+        return self._route("union", left, right).run_union(plan, left, right)
+
+    def run_difference(self, plan, left, right):
+        return self._route("difference", left, right).run_difference(
+            plan, left, right
+        )
+
+    def run_cover(self, plan, child):
+        return self._route("cover", child).run_cover(plan, child)
+
+    def run_map(self, plan, reference, experiment):
+        return self._route("map", reference, experiment).run_map(
+            plan, reference, experiment
+        )
+
+    def run_join(self, plan, anchor, experiment):
+        return self._route("join", anchor, experiment).run_join(
+            plan, anchor, experiment
+        )

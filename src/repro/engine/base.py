@@ -8,47 +8,118 @@ are independent from the adoption of either framework" (paper, section
 kernels.  The interpreter (:mod:`repro.gmql.lang.interpreter`) calls the
 ``run_*`` methods and never looks inside.
 
-Backends also collect :class:`EngineStats` (operator timings, rows
-processed) so the framework-comparison benchmark (experiment E7) can
-report per-operator breakdowns.
+Backends collect :class:`EngineStats`: one :class:`NodeStat` record per
+kernel invocation (operator, executing backend, plan-node label, wall
+time, output cardinalities), with aggregate views (``operator_seconds``,
+``operator_calls``...) kept for the framework-comparison benchmark
+(experiment E7) and other pre-existing consumers.
+
+A backend may be bound to an :class:`~repro.engine.context.ExecutionContext`
+(:meth:`Backend.bind_context`): every kernel then checks for
+cancellation/deadline before running and accounts per-operator metrics
+into the context's registry.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.gdm import Dataset
 
 
-@dataclass
+@dataclass(frozen=True)
+class NodeStat:
+    """One kernel invocation: which operator ran where, on what, for how long."""
+
+    operator: str
+    backend: str
+    seconds: float
+    regions: int
+    samples: int
+    label: str = ""
+
+
 class EngineStats:
-    """Accumulated execution statistics for one query run."""
+    """Accumulated execution statistics for one query run.
 
-    operator_seconds: dict = field(default_factory=dict)
-    operator_calls: dict = field(default_factory=dict)
-    regions_produced: int = 0
-    samples_produced: int = 0
+    Stored as a flat list of per-invocation :class:`NodeStat` records;
+    the dictionary views used by older callers (``operator_seconds``,
+    ``operator_calls``) are derived on access.
+    """
 
-    def record(self, operator: str, seconds: float, result: Dataset) -> None:
+    def __init__(self) -> None:
+        self.records: list = []
+
+    def record(
+        self,
+        operator: str,
+        seconds: float,
+        result: Dataset,
+        backend: str = "",
+        label: str = "",
+    ) -> None:
         """Account one operator invocation."""
-        self.operator_seconds[operator] = (
-            self.operator_seconds.get(operator, 0.0) + seconds
+        self.records.append(
+            NodeStat(
+                operator,
+                backend,
+                seconds,
+                result.region_count(),
+                len(result),
+                label,
+            )
         )
-        self.operator_calls[operator] = self.operator_calls.get(operator, 0) + 1
-        self.regions_produced += result.region_count()
-        self.samples_produced += len(result)
+
+    # -- aggregate views (backwards compatible) ---------------------------------
+
+    @property
+    def operator_seconds(self) -> dict:
+        """``{operator: total seconds}`` across all invocations."""
+        out: dict = {}
+        for stat in self.records:
+            out[stat.operator] = out.get(stat.operator, 0.0) + stat.seconds
+        return out
+
+    @property
+    def operator_calls(self) -> dict:
+        """``{operator: number of invocations}``."""
+        out: dict = {}
+        for stat in self.records:
+            out[stat.operator] = out.get(stat.operator, 0) + 1
+        return out
+
+    @property
+    def regions_produced(self) -> int:
+        return sum(stat.regions for stat in self.records)
+
+    @property
+    def samples_produced(self) -> int:
+        return sum(stat.samples for stat in self.records)
 
     def total_seconds(self) -> float:
         """Total time spent inside operator kernels."""
-        return sum(self.operator_seconds.values())
+        return sum(stat.seconds for stat in self.records)
+
+    def by_backend(self) -> dict:
+        """``{backend: total seconds}`` -- where time went under ``auto``."""
+        out: dict = {}
+        for stat in self.records:
+            key = stat.backend or "?"
+            out[key] = out.get(key, 0.0) + stat.seconds
+        return out
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Fold another stats object's records into this one."""
+        self.records.extend(other.records)
+        return self
 
 
 class Backend:
     """Base class of execution backends.
 
     Subclasses implement the ``run_*`` kernels; the base class provides
-    stats accounting via :meth:`timed`.
+    stats accounting via :meth:`timed` and optional context binding.
     """
 
     #: Backend name used by :func:`repro.engine.dispatch.get_backend`.
@@ -56,6 +127,17 @@ class Backend:
 
     def __init__(self) -> None:
         self.stats = EngineStats()
+        self._context = None
+
+    @property
+    def context(self):
+        """The bound :class:`ExecutionContext`, or ``None``."""
+        return self._context
+
+    def bind_context(self, context) -> "Backend":
+        """Attach an execution context (cancellation, metrics, config)."""
+        self._context = context
+        return self
 
     def reset_stats(self) -> None:
         """Clear accumulated statistics (e.g. between benchmark runs)."""
@@ -63,9 +145,22 @@ class Backend:
 
     def timed(self, operator: str, fn, *args, **kwargs) -> Dataset:
         """Run an operator kernel and record its cost."""
+        context = self._context
+        label = ""
+        if context is not None:
+            context.check()
+            current = context.tracer.current
+            if current is not None:
+                label = current.label
         started = time.perf_counter()
         result = fn(*args, **kwargs)
-        self.stats.record(operator, time.perf_counter() - started, result)
+        seconds = time.perf_counter() - started
+        self.stats.record(
+            operator, seconds, result, backend=self.name, label=label
+        )
+        if context is not None:
+            context.metrics.increment(f"operator.{operator}.calls")
+            context.metrics.observe(f"operator.{operator}.seconds", seconds)
         return result
 
     # -- operator kernels (one per logical plan node kind) ---------------------

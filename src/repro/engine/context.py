@@ -1,0 +1,212 @@
+"""Execution context: tracing, metrics, deadlines and engine configuration.
+
+One :class:`ExecutionContext` accompanies one query run.  The interpreter
+opens a :class:`Span` per physical plan node, backends check the context
+for cancellation before each kernel and account per-operator metrics, and
+the CLI renders the resulting span tree for ``repro explain --analyze``.
+
+The context is deliberately backend-agnostic: it carries no datasets and
+no plan objects, only observability state and configuration (worker
+count, arbitrary engine options), so it can be threaded through every
+layer without creating import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionCancelled
+
+
+def workers_from_env(default: int | None = None) -> int | None:
+    """Worker count from ``REPRO_WORKERS`` (``None``/*default* when unset)."""
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
+
+
+@dataclass
+class Span:
+    """One timed region of execution, nested under its parent span."""
+
+    label: str
+    attributes: dict = field(default_factory=dict)
+    children: list = field(default_factory=list)
+    seconds: float = 0.0
+
+    def annotate(self, **attributes) -> "Span":
+        """Attach or update attributes (e.g. input/output cardinalities)."""
+        self.attributes.update(attributes)
+        return self
+
+    def total_regions(self, key: str = "output_regions") -> int:
+        """Convenience accessor for a cardinality attribute (0 when unset)."""
+        return int(self.attributes.get(key, 0) or 0)
+
+    def render(self, indent: int = 0) -> str:
+        """Indented one-span-per-line rendering of this subtree."""
+        parts = [f"{'  ' * indent}{self.label}  {self.seconds * 1000:.2f} ms"]
+        interesting = {
+            k: v for k, v in sorted(self.attributes.items()) if v is not None
+        }
+        if interesting:
+            parts[0] += "  " + " ".join(
+                f"{k}={v}" for k, v in interesting.items()
+            )
+        for child in self.children:
+            parts.append(child.render(indent + 1))
+        return "\n".join(parts)
+
+
+class SpanTracer:
+    """Collects a forest of nested spans for one query run."""
+
+    def __init__(self) -> None:
+        self.roots: list = []
+        self._stack: list = []
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, label: str, **attributes):
+        """Open a nested span; timing stops when the block exits."""
+        span = Span(label, dict(attributes))
+        (self._stack[-1].children if self._stack else self.roots).append(span)
+        self._stack.append(span)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.seconds = time.perf_counter() - started
+            self._stack.pop()
+
+    def total_seconds(self) -> float:
+        return sum(span.seconds for span in self.roots)
+
+    def render(self) -> str:
+        """The whole span forest as indented text."""
+        return "\n".join(span.render() for span in self.roots)
+
+    def iter_spans(self):
+        """Depth-first iteration over every recorded span."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+
+class MetricsRegistry:
+    """Named counters and value distributions for one run."""
+
+    def __init__(self) -> None:
+        self._counters: dict = {}
+        self._observations: dict = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of a value distribution (count/sum/min/max)."""
+        stats = self._observations.get(name)
+        if stats is None:
+            self._observations[name] = [1, value, value, value]
+        else:
+            stats[0] += 1
+            stats[1] += value
+            stats[2] = min(stats[2], value)
+            stats[3] = max(stats[3], value)
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: counters plus per-distribution summaries."""
+        out = dict(self._counters)
+        for name, (count, total, lo, hi) in self._observations.items():
+            out[name] = {
+                "count": count,
+                "total": total,
+                "min": lo,
+                "max": hi,
+                "mean": total / count,
+            }
+        return out
+
+
+class ExecutionContext:
+    """Everything one query run carries besides data: tracing, metrics,
+    deadline/cancellation, and engine configuration.
+
+    Parameters
+    ----------
+    timeout_seconds:
+        Wall-clock budget; :meth:`check` raises
+        :class:`~repro.errors.ExecutionCancelled` once it is exhausted.
+    workers:
+        Worker-process count for parallel kernels; defaults to the
+        ``REPRO_WORKERS`` environment variable when set.
+    config:
+        Free-form engine options (forwarded to backends untouched).
+    """
+
+    def __init__(
+        self,
+        *,
+        tracer: SpanTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        timeout_seconds: float | None = None,
+        workers: int | None = None,
+        config: dict | None = None,
+    ) -> None:
+        self.tracer = tracer or SpanTracer()
+        self.metrics = metrics or MetricsRegistry()
+        self.workers = workers if workers is not None else workers_from_env()
+        self.config = dict(config or {})
+        self._deadline = (
+            time.monotonic() + timeout_seconds
+            if timeout_seconds is not None
+            else None
+        )
+        self._cancelled = False
+
+    # -- cancellation / deadline ------------------------------------------------
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation; kernels stop at the next check."""
+        self._cancelled = True
+
+    def remaining_seconds(self) -> float | None:
+        """Seconds left before the deadline (``None`` without a deadline)."""
+        if self._deadline is None:
+            return None
+        return self._deadline - time.monotonic()
+
+    def check(self) -> None:
+        """Raise :class:`ExecutionCancelled` when cancelled or out of time."""
+        if self._cancelled:
+            raise ExecutionCancelled("query execution was cancelled")
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise ExecutionCancelled("query execution exceeded its deadline")
+
+    # -- tracing ----------------------------------------------------------------
+
+    def span(self, label: str, **attributes):
+        """Open a span (checking cancellation first); context manager."""
+        self.check()
+        return self.tracer.span(label, **attributes)

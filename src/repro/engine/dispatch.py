@@ -45,6 +45,9 @@ def _register_builtins() -> None:
         register_backend(ParallelBackend.name, ParallelBackend)
     except ImportError:  # pragma: no cover
         pass
+    from repro.engine.auto import AutoBackend
+
+    register_backend(AutoBackend.name, AutoBackend)
 
 
 _register_builtins()

@@ -35,8 +35,15 @@ from repro.gmql.operators.base import (
     union_group_metadata,
 )
 
-#: Default worker count: leave headroom for the parent process.
-DEFAULT_WORKERS = max(2, min(8, (os.cpu_count() or 2) - 1))
+def default_workers() -> int:
+    """Worker count when unconfigured: ``REPRO_WORKERS`` env var when set,
+    otherwise the CPU count with headroom left for the parent process."""
+    from repro.engine.context import workers_from_env
+
+    configured = workers_from_env()
+    if configured is not None:
+        return configured
+    return max(2, min(8, (os.cpu_count() or 2) - 1))
 
 
 # -- module-level task functions (must be picklable) ---------------------------
@@ -138,8 +145,32 @@ class ParallelBackend(ColumnarBackend):
 
     def __init__(self, max_workers: int | None = None) -> None:
         super().__init__()
-        self._max_workers = max_workers or DEFAULT_WORKERS
+        self._explicit_workers = max_workers is not None
+        self._max_workers = max_workers or default_workers()
         self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def max_workers(self) -> int:
+        """The worker count the (lazily created) pool will use."""
+        return self._max_workers
+
+    def bind_context(self, context):
+        """Adopt the context's worker count unless explicitly configured.
+
+        The pool is created lazily on first kernel call, so rebinding
+        before execution re-sizes it; once the pool exists it is kept
+        (one ``ProcessPoolExecutor`` per backend instance, reused across
+        kernels).
+        """
+        super().bind_context(context)
+        if (
+            context is not None
+            and context.workers is not None
+            and not self._explicit_workers
+            and self._pool is None
+        ):
+            self._max_workers = context.workers
+        return self
 
     def _executor(self) -> ProcessPoolExecutor:
         if self._pool is None:

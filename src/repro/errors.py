@@ -59,6 +59,10 @@ class EngineError(ReproError):
     """An execution backend failed or was misconfigured."""
 
 
+class ExecutionCancelled(EngineError):
+    """Query execution was cancelled or exceeded its deadline."""
+
+
 class OntologyError(ReproError):
     """An ontology term or relation is invalid."""
 

@@ -50,12 +50,39 @@ class Estimate:
         return int(self.regions * (32 + 12 * self.attributes))
 
 
-def estimate_plan(node: PlanNode, catalog_summaries: dict) -> Estimate:
+def summarize_datasets(datasets: dict) -> dict:
+    """Protocol-style summaries for in-memory datasets.
+
+    Produces the same ``{name: summary_dict}`` shape that
+    :meth:`Catalog.summaries` publishes for remote data, so local
+    execution (the physical planner) and federated planning share one
+    estimation code path.
+    """
+    return {name: dataset.summary() for name, dataset in datasets.items()}
+
+
+def estimate_plan(
+    node: PlanNode, catalog_summaries: dict, cache: dict | None = None
+) -> Estimate:
     """Estimate one plan against ``{dataset_name: summary_dict}``.
 
     Summaries are what :meth:`Catalog.summaries` publishes, so estimation
-    needs only protocol-level information about remote data.
+    needs only protocol-level information about remote data.  Passing a
+    *cache* dict memoises estimates by node identity, which keeps
+    whole-plan annotation (one call per node, as the physical planner
+    does) linear on shared DAGs.
     """
+    if cache is not None and id(node) in cache:
+        return cache[id(node)]
+    estimate = _estimate_node(node, catalog_summaries, cache)
+    if cache is not None:
+        cache[id(node)] = estimate
+    return estimate
+
+
+def _estimate_node(
+    node: PlanNode, catalog_summaries: dict, cache: dict | None
+) -> Estimate:
     if isinstance(node, ScanPlan):
         summary = catalog_summaries.get(node.dataset_name)
         if summary is None:
@@ -66,7 +93,7 @@ def estimate_plan(node: PlanNode, catalog_summaries: dict) -> Estimate:
             attributes=len(summary.get("schema", ())) or 1,
         )
     if isinstance(node, SelectPlan):
-        child = estimate_plan(node.child, catalog_summaries)
+        child = estimate_plan(node.child, catalog_summaries, cache)
         samples = child.samples
         regions = child.regions
         if node.meta_predicate is not None:
@@ -76,7 +103,7 @@ def estimate_plan(node: PlanNode, catalog_summaries: dict) -> Estimate:
             regions *= REGION_SELECT_SELECTIVITY
         return Estimate(max(samples, 1), regions, child.attributes)
     if isinstance(node, (ProjectPlan,)):
-        child = estimate_plan(node.child, catalog_summaries)
+        child = estimate_plan(node.child, catalog_summaries, cache)
         kept = (
             child.attributes
             if node.region_attributes is None
@@ -86,7 +113,7 @@ def estimate_plan(node: PlanNode, catalog_summaries: dict) -> Estimate:
             child.samples, child.regions, kept + len(node.new_region_attributes)
         )
     if isinstance(node, (ExtendPlan, OrderPlan)):
-        child = estimate_plan(node.child, catalog_summaries)
+        child = estimate_plan(node.child, catalog_summaries, cache)
         if isinstance(node, OrderPlan) and node.top is not None:
             fraction = min(1.0, node.top / max(child.samples, 1))
             return Estimate(
@@ -96,31 +123,31 @@ def estimate_plan(node: PlanNode, catalog_summaries: dict) -> Estimate:
             )
         return child
     if isinstance(node, MergePlan):
-        child = estimate_plan(node.child, catalog_summaries)
+        child = estimate_plan(node.child, catalog_summaries, cache)
         groups = max(1, len(node.groupby) * 3) if node.groupby else 1
         return Estimate(groups, child.regions, child.attributes)
     if isinstance(node, GroupPlan):
-        child = estimate_plan(node.child, catalog_summaries)
+        child = estimate_plan(node.child, catalog_summaries, cache)
         return Estimate(child.samples, child.regions, child.attributes)
     if isinstance(node, UnionPlan):
-        left = estimate_plan(node.left, catalog_summaries)
-        right = estimate_plan(node.right, catalog_summaries)
+        left = estimate_plan(node.left, catalog_summaries, cache)
+        right = estimate_plan(node.right, catalog_summaries, cache)
         return Estimate(
             left.samples + right.samples,
             left.regions + right.regions,
             left.attributes + right.attributes,
         )
     if isinstance(node, DifferencePlan):
-        left = estimate_plan(node.left, catalog_summaries)
+        left = estimate_plan(node.left, catalog_summaries, cache)
         return Estimate(
             left.samples, left.regions * DIFFERENCE_SURVIVAL, left.attributes
         )
     if isinstance(node, CoverPlan):
-        child = estimate_plan(node.child, catalog_summaries)
+        child = estimate_plan(node.child, catalog_summaries, cache)
         return Estimate(1, child.regions * COVER_COMPRESSION, 1)
     if isinstance(node, MapPlan):
-        reference = estimate_plan(node.reference, catalog_summaries)
-        experiment = estimate_plan(node.experiment, catalog_summaries)
+        reference = estimate_plan(node.reference, catalog_summaries, cache)
+        experiment = estimate_plan(node.experiment, catalog_summaries, cache)
         ref_regions_per_sample = reference.regions / max(reference.samples, 1)
         samples = reference.samples * experiment.samples
         return Estimate(
@@ -129,8 +156,8 @@ def estimate_plan(node: PlanNode, catalog_summaries: dict) -> Estimate:
             reference.attributes + max(1, len(node.aggregates)),
         )
     if isinstance(node, JoinPlan):
-        anchor = estimate_plan(node.anchor, catalog_summaries)
-        experiment = estimate_plan(node.experiment, catalog_summaries)
+        anchor = estimate_plan(node.anchor, catalog_summaries, cache)
+        experiment = estimate_plan(node.experiment, catalog_summaries, cache)
         anchor_regions_per_sample = anchor.regions / max(anchor.samples, 1)
         samples = anchor.samples * experiment.samples
         return Estimate(
@@ -140,5 +167,5 @@ def estimate_plan(node: PlanNode, catalog_summaries: dict) -> Estimate:
         )
     # Unknown node kinds: propagate the first child or a token estimate.
     if node.children:
-        return estimate_plan(node.children[0], catalog_summaries)
+        return estimate_plan(node.children[0], catalog_summaries, cache)
     return Estimate(1, 1_000, 1)

@@ -105,6 +105,22 @@ def run_with_stats(
     return results, backend.stats
 
 
+def run_analyzed(
+    program: str, datasets: dict, engine: str = "auto", context=None
+) -> tuple:
+    """Run under EXPLAIN ANALYZE: ``(results, physical_program, context)``.
+
+    The physical program carries per-node backend choices and estimated
+    vs actual cardinalities/timings
+    (:meth:`~repro.gmql.lang.physical.PhysicalProgram.explain` with
+    ``analyze=True`` renders them); the context holds the span trace and
+    metrics registry.
+    """
+    from repro.gmql.lang import explain_analyze
+
+    return explain_analyze(program, datasets, engine=engine, context=context)
+
+
 __all__ = [
     "Aggregate",
     "Avg",
@@ -153,6 +169,7 @@ __all__ = [
     "record",
     "register_aggregate",
     "run",
+    "run_analyzed",
     "run_with_stats",
     "select",
     "union",

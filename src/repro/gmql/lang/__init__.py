@@ -1,9 +1,16 @@
-"""The textual GMQL language: lexer, parser, compiler, optimizer, interpreter.
+"""The textual GMQL language: lexer, parser, compiler, optimizer,
+physical planner and interpreter.
 
 End-to-end entry point::
 
     from repro.gmql.lang import execute
     results = execute(program_text, {"ENCODE": encode_ds, ...})
+
+The pipeline is parse -> compile (logical plan) -> optimize -> physical
+plan (cost annotation + per-node backend choice) -> execute.  Use
+:func:`explain_analyze` to run a program and get back the annotated
+physical plan (estimated vs actual cardinalities, per-node backend and
+wall time) next to the results.
 """
 
 from repro.gmql.lang.ast_nodes import Program
@@ -12,6 +19,11 @@ from repro.gmql.lang.interpreter import Interpreter
 from repro.gmql.lang.lexer import tokenize
 from repro.gmql.lang.optimizer import optimize
 from repro.gmql.lang.parser import parse
+from repro.gmql.lang.physical import (
+    PhysicalNode,
+    PhysicalProgram,
+    plan_program,
+)
 from repro.gmql.lang.plan import CompiledProgram, PlanNode
 
 
@@ -20,6 +32,7 @@ def execute(
     datasets: dict,
     engine: str = "naive",
     optimized: bool = True,
+    context=None,
 ) -> dict:
     """Parse, compile, (optionally) optimize and run a GMQL program.
 
@@ -30,9 +43,13 @@ def execute(
     datasets:
         Source datasets by name.
     engine:
-        Backend name (``naive``, ``columnar``, ``parallel``).
+        Backend name (``naive``, ``columnar``, ``parallel``, or ``auto``
+        for per-operator routing).
     optimized:
         Apply the logical optimizer (disable for ablation runs).
+    context:
+        Optional :class:`~repro.engine.context.ExecutionContext`
+        (tracing, metrics, deadline, worker configuration).
 
     Returns ``{output_name: Dataset}`` -- the MATERIALIZE targets, or all
     assigned variables when nothing is materialised.
@@ -43,7 +60,7 @@ def execute(
     if optimized:
         compiled = optimize(compiled)
     backend = get_backend(engine)
-    return Interpreter(backend, datasets).run_program(compiled)
+    return Interpreter(backend, datasets, context=context).run_program(compiled)
 
 
 def explain(program: str, optimized: bool = True) -> str:
@@ -54,15 +71,49 @@ def explain(program: str, optimized: bool = True) -> str:
     return compiled.explain()
 
 
+def explain_analyze(
+    program: str,
+    datasets: dict,
+    engine: str = "auto",
+    optimized: bool = True,
+    context=None,
+) -> tuple:
+    """Run a program and return ``(results, physical_program, context)``.
+
+    The physical program's nodes carry estimated *and* actual
+    cardinalities, the chosen/executed backend and per-node wall time;
+    ``physical_program.explain(analyze=True)`` renders the annotated
+    tree (this is what ``repro explain --analyze`` prints).  The context
+    additionally holds the full span trace and the metrics registry.
+    """
+    from repro.engine.context import ExecutionContext
+    from repro.engine.dispatch import get_backend
+
+    compiled = compile_program(program)
+    if optimized:
+        compiled = optimize(compiled)
+    backend = get_backend(engine)
+    interpreter = Interpreter(
+        backend, datasets, context=context or ExecutionContext()
+    )
+    physical = interpreter.plan(compiled)
+    results = interpreter.run_physical(physical)
+    return results, physical, interpreter.context
+
+
 __all__ = [
     "CompiledProgram",
     "Interpreter",
+    "PhysicalNode",
+    "PhysicalProgram",
     "PlanNode",
     "Program",
     "compile_program",
     "execute",
     "explain",
+    "explain_analyze",
     "optimize",
     "parse",
+    "plan_program",
     "tokenize",
 ]

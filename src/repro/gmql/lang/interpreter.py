@@ -1,15 +1,27 @@
-"""Plan interpreter: evaluate a logical plan DAG on an execution backend.
+"""Plan interpreter: evaluate plans on execution backends.
 
-Shared sub-plans are computed once (memoised by node identity), then every
-output plan is materialised under its output name.  The interpreter is the
-only component that touches both plans and engines; it contains no
-operator logic of its own.
+Programs are lowered to *physical* plans first
+(:mod:`repro.gmql.lang.physical`): every node carries a cardinality
+estimate and a chosen kernel backend.  Under the ``auto`` engine the
+interpreter routes each node to its annotated backend; under a named
+engine every node runs on the one backend it was constructed with, which
+preserves the historical behaviour.
+
+Shared sub-plans are computed once (memoised by logical-node identity),
+then every output plan is materialised under its output name.  Execution
+is observed through an :class:`~repro.engine.context.ExecutionContext`:
+one nested span per plan node (wall time, input/output region and sample
+counts, backend), cancellation checked before every kernel.  The
+interpreter is the only component that touches both plans and engines;
+it contains no operator logic of its own.
 """
 
 from __future__ import annotations
 
+from repro.engine.context import ExecutionContext
 from repro.errors import GmqlCompileError
 from repro.gdm import Dataset
+from repro.gmql.lang.physical import PhysicalNode, PhysicalProgram, plan_program
 from repro.gmql.lang.plan import (
     CompiledProgram,
     CoverPlan,
@@ -29,78 +41,152 @@ from repro.gmql.lang.plan import (
 
 
 class Interpreter:
-    """Evaluates plans against source datasets using one backend."""
+    """Evaluates plans against source datasets.
 
-    def __init__(self, backend, datasets: dict) -> None:
+    Parameters
+    ----------
+    backend:
+        The engine the query runs on.  Backends exposing
+        ``per_node_dispatch`` (the ``auto`` backend) are asked for a
+        delegate per physical node; others execute every node themselves.
+    context:
+        Execution context (tracing, metrics, deadline, worker config); a
+        fresh one is created when omitted.
+    """
+
+    def __init__(self, backend, datasets: dict, context=None) -> None:
         self._backend = backend
         self._datasets = datasets
+        self.context = context if context is not None else ExecutionContext()
+        bind = getattr(backend, "bind_context", None)
+        if bind is not None:
+            bind(self.context)
         self._memo: dict = {}
 
+    # -- logical evaluation (kept for direct plan-node callers) -----------------
+
     def evaluate(self, node: PlanNode) -> Dataset:
-        """Evaluate one plan node (memoised by identity)."""
+        """Evaluate one logical plan node (memoised by identity)."""
         if id(node) in self._memo:
             return self._memo[id(node)]
-        result = self._dispatch(node)
+        result = self._invoke(
+            self._backend, node, lambda index: self.evaluate(node.children[index])
+        )
         if node.result_name:
             result = result.with_name(node.result_name)
         self._memo[id(node)] = result
         return result
 
-    def _dispatch(self, node: PlanNode) -> Dataset:
+    def _scan(self, node: ScanPlan) -> Dataset:
+        try:
+            return self._datasets[node.dataset_name]
+        except KeyError:
+            raise GmqlCompileError(
+                f"unknown source dataset {node.dataset_name!r}; "
+                f"available: {sorted(self._datasets)}"
+            ) from None
+
+    def _invoke(self, backend, node: PlanNode, operand) -> Dataset:
+        """Run one node's kernel on *backend*.
+
+        ``operand(i)`` evaluates the node's i-th operand (in ``children``
+        order); the logical and physical paths supply their own
+        evaluators, so both share this single dispatch table.
+        """
         if isinstance(node, ScanPlan):
-            try:
-                return self._datasets[node.dataset_name]
-            except KeyError:
-                raise GmqlCompileError(
-                    f"unknown source dataset {node.dataset_name!r}; "
-                    f"available: {sorted(self._datasets)}"
-                ) from None
+            return self._scan(node)
         if isinstance(node, SelectPlan):
-            semijoin_data = (
-                self.evaluate(node.semijoin_plan)
-                if node.semijoin_plan is not None
-                else None
-            )
-            return self._backend.run_select(
-                node, self.evaluate(node.child), semijoin_data
-            )
+            semijoin_data = operand(1) if len(node.children) > 1 else None
+            return backend.run_select(node, operand(0), semijoin_data)
         if isinstance(node, ProjectPlan):
-            return self._backend.run_project(node, self.evaluate(node.child))
+            return backend.run_project(node, operand(0))
         if isinstance(node, ExtendPlan):
-            return self._backend.run_extend(node, self.evaluate(node.child))
+            return backend.run_extend(node, operand(0))
         if isinstance(node, MergePlan):
-            return self._backend.run_merge(node, self.evaluate(node.child))
+            return backend.run_merge(node, operand(0))
         if isinstance(node, GroupPlan):
-            return self._backend.run_group(node, self.evaluate(node.child))
+            return backend.run_group(node, operand(0))
         if isinstance(node, OrderPlan):
-            return self._backend.run_order(node, self.evaluate(node.child))
+            return backend.run_order(node, operand(0))
         if isinstance(node, UnionPlan):
-            return self._backend.run_union(
-                node, self.evaluate(node.left), self.evaluate(node.right)
-            )
+            return backend.run_union(node, operand(0), operand(1))
         if isinstance(node, DifferencePlan):
-            return self._backend.run_difference(
-                node, self.evaluate(node.left), self.evaluate(node.right)
-            )
+            return backend.run_difference(node, operand(0), operand(1))
         if isinstance(node, CoverPlan):
-            return self._backend.run_cover(node, self.evaluate(node.child))
+            return backend.run_cover(node, operand(0))
         if isinstance(node, MapPlan):
-            return self._backend.run_map(
-                node,
-                self.evaluate(node.reference),
-                self.evaluate(node.experiment),
-            )
+            return backend.run_map(node, operand(0), operand(1))
         if isinstance(node, JoinPlan):
-            return self._backend.run_join(
-                node,
-                self.evaluate(node.anchor),
-                self.evaluate(node.experiment),
-            )
+            return backend.run_join(node, operand(0), operand(1))
         raise GmqlCompileError(f"cannot interpret plan node {node!r}")
 
-    def run_program(self, compiled: CompiledProgram) -> dict:
-        """Evaluate every output plan; returns ``{name: Dataset}``."""
+    # -- physical evaluation ----------------------------------------------------
+
+    def _kernel_backend(self, physical: PhysicalNode):
+        """The backend instance that executes one physical node."""
+        if getattr(self._backend, "per_node_dispatch", False):
+            return self._backend.delegate(physical.backend)
+        return self._backend
+
+    def evaluate_physical(self, physical: PhysicalNode) -> Dataset:
+        """Evaluate one physical node (memoised by logical identity)."""
+        node = physical.logical
+        if id(node) in self._memo:
+            return self._memo[id(node)]
+        backend = self._kernel_backend(physical)
+        with self.context.span(
+            physical.label(),
+            backend=backend.name if not isinstance(node, ScanPlan) else "source",
+            est_regions=int(physical.estimate.regions)
+            if physical.estimate is not None
+            else None,
+        ) as span:
+            # Operands are evaluated inside the span, so child spans nest
+            # under this node and shared operands appear where first used.
+            inputs: list = []
+
+            def operand(index: int) -> Dataset:
+                dataset = self.evaluate_physical(physical.children[index])
+                inputs.append(dataset)
+                span.annotate(
+                    input_regions=sum(d.region_count() for d in inputs),
+                    input_samples=sum(len(d) for d in inputs),
+                )
+                return dataset
+
+            result = self._invoke(backend, node, operand)
+            span.annotate(
+                output_regions=result.region_count(),
+                output_samples=len(result),
+            )
+        physical.actual_seconds = span.seconds
+        physical.actual_regions = result.region_count()
+        physical.actual_samples = len(result)
+        physical.executed_backend = (
+            "source" if isinstance(node, ScanPlan) else backend.name
+        )
+        if node.result_name:
+            result = result.with_name(node.result_name)
+        self._memo[id(node)] = result
+        return result
+
+    def run_physical(self, program: PhysicalProgram) -> dict:
+        """Execute a physical program; returns ``{name: Dataset}``."""
         results = {}
-        for output_name, node in compiled.outputs.items():
-            results[output_name] = self.evaluate(node).with_name(output_name)
+        for output_name, node in program.outputs.items():
+            results[output_name] = self.evaluate_physical(node).with_name(
+                output_name
+            )
         return results
+
+    def run_program(self, compiled: CompiledProgram) -> dict:
+        """Plan physically and evaluate every output; ``{name: Dataset}``."""
+        physical = self.plan(compiled)
+        return self.run_physical(physical)
+
+    def plan(self, compiled: CompiledProgram) -> PhysicalProgram:
+        """Lower *compiled* to a physical program for this interpreter's
+        backend and source datasets (also used by EXPLAIN ANALYZE)."""
+        return plan_program(
+            compiled, engine=self._backend.name, datasets=self._datasets
+        )

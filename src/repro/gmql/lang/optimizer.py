@@ -13,10 +13,16 @@ Rules implemented (all semantics-preserving):
   nothing, and SELECTs with no condition, are dropped.
 
 The optimizer preserves plan sharing: a sub-plan used twice is rewritten
-once, so the interpreter's memoisation still applies.
+once, so the interpreter's memoisation still applies.  Rewrites are
+copy-on-write: nodes whose children change are shallow-cloned, never
+mutated, so the pre-optimization :class:`CompiledProgram` stays intact
+(its EXPLAIN output is unchanged by optimization -- there is a
+regression test for exactly that).
 """
 
 from __future__ import annotations
+
+import copy
 
 from repro.gmql.lang.plan import (
     CompiledProgram,
@@ -74,12 +80,25 @@ class Optimizer:
         """True when *node* feeds more than one consumer (do not absorb it)."""
         return self._use_counts.get(id(node), 0) > 1
 
+    def _with_children(self, node: PlanNode, children: list) -> PlanNode:
+        """Shallow-clone *node* with new children (copy-on-write).
+
+        The clone inherits the original's use count so the sharing checks
+        in :meth:`_apply_rules` keep seeing shared sub-plans as shared.
+        """
+        clone = copy.copy(node)
+        clone.children = list(children)
+        self._use_counts[id(clone)] = self._use_counts.get(id(node), 0)
+        return clone
+
     def rewrite(self, node: PlanNode) -> PlanNode:
         if id(node) in self._memo:
             return self._memo[id(node)]
-        for index, child in enumerate(node.children):
-            node.children[index] = self.rewrite(child)
-        result = self._apply_rules(node)
+        children = [self.rewrite(child) for child in node.children]
+        current = node
+        if any(new is not old for new, old in zip(children, node.children)):
+            current = self._with_children(node, children)
+        result = self._apply_rules(current)
         self._memo[id(node)] = result
         return result
 

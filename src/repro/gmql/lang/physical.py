@@ -1,0 +1,189 @@
+"""Physical plans: cost-annotated, backend-routed execution plans.
+
+The logical plan (:mod:`repro.gmql.lang.plan`) says *what* to compute;
+the physical plan says *how*: every node carries a cardinality estimate
+(reusing the federation estimator of
+:mod:`repro.federation.estimator`, so local and federated planning share
+one cost model) and the kernel backend chosen to execute it.  Under the
+``auto`` engine the choice is per node -- a query whose SELECT is tiny
+but whose MAP is huge routes each operator to its best kernel; under a
+named engine every node is pinned to that backend, preserving the old
+one-backend-per-query behaviour.
+
+After execution the interpreter writes actuals back into the nodes
+(wall time, output region/sample counts, the backend that really ran),
+which is what ``repro explain --analyze`` renders: the plan tree with
+estimated vs actual rows and per-node time/backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.auto import choose_backend
+from repro.engine.dispatch import available_backends
+from repro.gmql.lang.plan import CompiledProgram, PlanNode, ScanPlan
+
+
+@dataclass
+class PhysicalNode:
+    """One plan node annotated with cost estimates and a backend choice."""
+
+    logical: PlanNode
+    children: list = field(default_factory=list)
+    estimate: object | None = None          # federation Estimate
+    input_regions: float = 0.0              # estimated regions entering
+    backend: str = "naive"
+    reason: str = ""
+    # -- actuals, filled in by the interpreter during execution --
+    actual_seconds: float | None = None
+    actual_regions: int | None = None
+    actual_samples: int | None = None
+    executed_backend: str | None = None
+
+    @property
+    def kind(self) -> str:
+        return self.logical.kind
+
+    def label(self) -> str:
+        return self.logical.label()
+
+    # -- rendering --------------------------------------------------------------
+
+    def _annotation(self, analyze: bool) -> str:
+        est_regions = (
+            int(self.estimate.regions) if self.estimate is not None else 0
+        )
+        parts = [f"backend={self.executed_backend or self.backend}"]
+        if analyze and self.actual_regions is not None:
+            parts.append(f"rows={est_regions}->{self.actual_regions}")
+            parts.append(f"samples={self.actual_samples}")
+            parts.append(f"time={(self.actual_seconds or 0.0) * 1000:.2f}ms")
+        else:
+            parts.append(f"est_rows={est_regions}")
+            if self.estimate is not None:
+                parts.append(f"est_samples={int(self.estimate.samples)}")
+        return " ".join(parts)
+
+    def explain(
+        self, indent: int = 0, seen: set | None = None, analyze: bool = False
+    ) -> str:
+        """Indented physical plan tree (shared sub-plans printed once)."""
+        seen = seen if seen is not None else set()
+        prefix = "  " * indent
+        if id(self) in seen:
+            return f"{prefix}{self.label()} (shared)"
+        seen.add(id(self))
+        lines = [f"{prefix}{self.label()}  [{self._annotation(analyze)}]"]
+        for child in self.children:
+            lines.append(child.explain(indent + 1, seen, analyze))
+        return "\n".join(lines)
+
+    def walk(self):
+        """Depth-first post-order walk over distinct physical nodes."""
+        seen: set = set()
+
+        def visit(node: "PhysicalNode"):
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for child in node.children:
+                yield from visit(child)
+            yield node
+
+        yield from visit(self)
+
+
+class PhysicalProgram:
+    """A compiled program lowered to backend-routed physical plans."""
+
+    def __init__(
+        self, outputs: dict, engine: str, summaries: dict | None = None
+    ) -> None:
+        self.outputs = outputs
+        self.engine = engine
+        self.summaries = dict(summaries or {})
+
+    def explain(self, analyze: bool = False) -> str:
+        """EXPLAIN (or EXPLAIN ANALYZE) text of every output plan."""
+        parts = []
+        for name, node in self.outputs.items():
+            parts.append(f"-- {name} [engine={self.engine}] --")
+            parts.append(node.explain(analyze=analyze))
+        return "\n".join(parts)
+
+    def walk(self):
+        """Every distinct physical node across all outputs, post-order."""
+        seen: set = set()
+        for root in self.outputs.values():
+            for node in root.walk():
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    yield node
+
+    def chosen_backends(self) -> dict:
+        """``{kind: set of chosen backend names}`` -- routing overview."""
+        out: dict = {}
+        for node in self.walk():
+            out.setdefault(node.kind, set()).add(node.backend)
+        return out
+
+
+def plan_program(
+    compiled: CompiledProgram,
+    summaries: dict | None = None,
+    engine: str = "auto",
+    datasets: dict | None = None,
+) -> PhysicalProgram:
+    """Lower a (optimized) compiled program to a physical program.
+
+    Parameters
+    ----------
+    summaries:
+        ``{dataset_name: summary_dict}`` cardinalities for the scans; when
+        omitted they are derived from *datasets* (in-memory sources).
+    engine:
+        ``auto`` routes each node independently via
+        :func:`repro.engine.auto.choose_backend`; any other name pins
+        every node to that backend.
+    """
+    # Imported lazily: repro.federation's package __init__ imports the
+    # GMQL language package, which imports this module.
+    from repro.federation.estimator import estimate_plan, summarize_datasets
+
+    if summaries is None:
+        summaries = summarize_datasets(datasets or {})
+    available = available_backends()
+    estimates: dict = {}
+    memo: dict = {}
+
+    def build(node: PlanNode) -> PhysicalNode:
+        if id(node) in memo:
+            return memo[id(node)]
+        children = [build(child) for child in node.children]
+        estimate = estimate_plan(node, summaries, estimates)
+        if isinstance(node, ScanPlan):
+            input_regions = estimate.regions
+        else:
+            input_regions = sum(
+                child.estimate.regions for child in children
+            )
+        if engine == "auto":
+            backend, reason = choose_backend(node.kind, input_regions, available)
+        elif isinstance(node, ScanPlan):
+            backend, reason = "source", "scans read datasets directly"
+        else:
+            backend, reason = engine, f"engine pinned to {engine!r}"
+        physical = PhysicalNode(
+            logical=node,
+            children=children,
+            estimate=estimate,
+            input_regions=input_regions,
+            backend=backend,
+            reason=reason,
+        )
+        memo[id(node)] = physical
+        return physical
+
+    outputs = {name: build(node) for name, node in compiled.outputs.items()}
+    return PhysicalProgram(outputs, engine, summaries)

@@ -112,6 +112,7 @@ class TestBackendRegistry:
         assert "naive" in names
         assert "columnar" in names
         assert "parallel" in names
+        assert "auto" in names
 
     def test_unknown_backend(self):
         with pytest.raises(EngineError):
@@ -145,6 +146,127 @@ class TestDifferential:
             assert canonical(candidate[name]) == canonical(reference[name])
 
 
+class TestDifferentialProperty:
+    """Property-based differential suite: on randomized datasets, every
+    backend (including ``auto``'s per-node routing) and the optimized and
+    unoptimized plans must all produce the naive reference's results."""
+
+    PROPERTY_QUERIES = [
+        "R = SELECT(dataType == 'ChipSeq'; region: score > 2) DATA;"
+        " MATERIALIZE R;",
+        "A = SELECT(cell == 'HeLa') DATA; R = MAP(n AS COUNT) A DATA;"
+        " MATERIALIZE R;",
+        "R = COVER(2, ANY) DATA; MATERIALIZE R;",
+        "A = SELECT(replicate == 1) DATA; B = SELECT(replicate == 2) DATA;"
+        " R = JOIN(DLE(800); output: LEFT) A B; MATERIALIZE R;",
+        "A = SELECT(cell == 'HeLa') DATA; B = SELECT(cell == 'K562') DATA;"
+        " R = DIFFERENCE() A B; MATERIALIZE R;",
+    ]
+
+    @staticmethod
+    def _check_all_agree(seed, n_samples, n_regions, query):
+        data = random_dataset(seed, n_samples=n_samples, n_regions=n_regions)
+        reference = execute(query, {"DATA": data}, engine="naive")
+        expected = {
+            name: canonical(dataset) for name, dataset in reference.items()
+        }
+        unoptimized = execute(
+            query, {"DATA": data}, engine="naive", optimized=False
+        )
+        for name in expected:
+            assert canonical(unoptimized[name]) == expected[name]
+        for engine in ("columnar", "auto"):
+            candidate = execute(query, {"DATA": data}, engine=engine)
+            for name in expected:
+                assert canonical(candidate[name]) == expected[name], (
+                    engine, name,
+                )
+
+    try:
+        from hypothesis import given, settings, strategies as st
+
+        @staticmethod
+        @given(
+            seed=st.integers(min_value=0, max_value=2**16),
+            n_samples=st.integers(min_value=2, max_value=5),
+            n_regions=st.integers(min_value=5, max_value=60),
+            query=st.sampled_from(PROPERTY_QUERIES),
+        )
+        @settings(max_examples=12, deadline=None)
+        def test_backends_agree(seed, n_samples, n_regions, query):
+            TestDifferentialProperty._check_all_agree(
+                seed, n_samples, n_regions, query
+            )
+    except ImportError:  # pragma: no cover - hypothesis ships with the image
+        @staticmethod
+        @pytest.mark.parametrize("seed", [0, 13, 21_001])
+        @pytest.mark.parametrize("query", PROPERTY_QUERIES)
+        def test_backends_agree(seed, query):
+            TestDifferentialProperty._check_all_agree(seed, 4, 40, query)
+
+    def test_parallel_agrees(self):
+        # One process-pool run (kept out of the property loop: worker
+        # startup dominates and the kernels are shared across examples).
+        query = self.PROPERTY_QUERIES[1]
+        data = random_dataset(4242, n_samples=3, n_regions=40)
+        reference = execute(query, {"DATA": data}, engine="naive")
+        candidate = execute(query, {"DATA": data}, engine="parallel")
+        for name in reference:
+            assert canonical(candidate[name]) == canonical(reference[name])
+
+
+class TestParallelWorkersConfig:
+    def test_constructor_argument(self):
+        from repro.engine.parallel import ParallelBackend
+
+        backend = ParallelBackend(max_workers=3)
+        assert backend.max_workers == 3
+
+    def test_env_var_default(self, monkeypatch):
+        from repro.engine.parallel import ParallelBackend
+
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert ParallelBackend().max_workers == 5
+
+    def test_constructor_beats_env(self, monkeypatch):
+        from repro.engine.parallel import ParallelBackend
+
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert ParallelBackend(max_workers=2).max_workers == 2
+
+    def test_context_workers_apply_before_pool_creation(self):
+        from repro.engine import ExecutionContext
+        from repro.engine.parallel import ParallelBackend
+
+        backend = ParallelBackend()
+        backend.bind_context(ExecutionContext(workers=3))
+        assert backend.max_workers == 3
+        # ...but an explicitly configured backend keeps its setting.
+        pinned = ParallelBackend(max_workers=2)
+        pinned.bind_context(ExecutionContext(workers=6))
+        assert pinned.max_workers == 2
+
+    def test_pool_reused_across_kernels(self):
+        from repro.engine.parallel import ParallelBackend
+        from repro.gmql.lang import compile_program, Interpreter
+
+        backend = ParallelBackend(max_workers=2)
+        try:
+            data = random_dataset(77, n_samples=2, n_regions=20)
+            program = compile_program(
+                "R = MAP() DATA DATA; MATERIALIZE R;"
+            )
+            Interpreter(backend, {"DATA": data}).run_program(program)
+            first_pool = backend._pool
+            assert first_pool is not None
+            Interpreter(backend, {"DATA": data}).run_program(
+                compile_program("R = COVER(1, ANY) DATA; MATERIALIZE R;")
+            )
+            assert backend._pool is first_pool
+        finally:
+            backend.close()
+
+
 class TestEngineStats:
     def test_stats_recorded(self):
         from repro.engine.naive import NaiveBackend
@@ -164,6 +286,25 @@ class TestEngineStats:
         backend = NaiveBackend()
         backend.reset_stats()
         assert backend.stats.total_seconds() == 0
+
+    def test_per_node_records(self):
+        from repro.engine.naive import NaiveBackend
+        from repro.gmql.lang import compile_program, Interpreter
+
+        data = random_dataset(3)
+        backend = NaiveBackend()
+        compiled = compile_program(
+            "A = SELECT(cell == 'HeLa') DATA; R = MAP() A DATA;"
+            " MATERIALIZE R;"
+        )
+        Interpreter(backend, {"DATA": data}).run_program(compiled)
+        operators = [stat.operator for stat in backend.stats.records]
+        assert operators == ["SELECT", "MAP"]
+        for stat in backend.stats.records:
+            assert stat.backend == "naive"
+            assert stat.label  # plan-node label captured from the span
+            assert stat.seconds >= 0
+        assert backend.stats.by_backend().keys() == {"naive"}
 
 
 class TestCustomBackend:

@@ -1,0 +1,133 @@
+"""Tests for the execution context: spans, metrics, deadlines, workers."""
+
+import pytest
+
+from repro.engine import ExecutionContext, MetricsRegistry, SpanTracer
+from repro.engine.context import workers_from_env
+from repro.errors import EngineError, ExecutionCancelled
+
+
+class TestSpanTracer:
+    def test_nesting_and_timing(self):
+        tracer = SpanTracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner", backend="naive") as inner:
+                pass
+        assert tracer.current is None
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+        assert outer.seconds >= inner.seconds >= 0
+        assert inner.attributes["backend"] == "naive"
+
+    def test_annotate_and_render(self):
+        tracer = SpanTracer()
+        with tracer.span("MAP[n]") as span:
+            span.annotate(input_regions=100, output_regions=40)
+        text = tracer.render()
+        assert "MAP[n]" in text
+        assert "input_regions=100" in text
+        assert "output_regions=40" in text
+        assert "ms" in text
+
+    def test_iter_spans(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [s.label for s in tracer.iter_spans()] == ["a", "b", "c"]
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        metrics = MetricsRegistry()
+        metrics.increment("operator.MAP.calls")
+        metrics.increment("operator.MAP.calls", 2)
+        assert metrics.counter("operator.MAP.calls") == 3
+        assert metrics.counter("missing") == 0
+
+    def test_observations(self):
+        metrics = MetricsRegistry()
+        metrics.observe("seconds", 1.0)
+        metrics.observe("seconds", 3.0)
+        snap = metrics.snapshot()["seconds"]
+        assert snap["count"] == 2
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert snap["mean"] == 2.0
+
+
+class TestCancellation:
+    def test_cancel(self):
+        context = ExecutionContext()
+        context.check()  # no-op while healthy
+        context.cancel()
+        assert context.cancelled
+        with pytest.raises(ExecutionCancelled):
+            context.check()
+
+    def test_cancelled_is_engine_error(self):
+        assert issubclass(ExecutionCancelled, EngineError)
+
+    def test_deadline(self):
+        context = ExecutionContext(timeout_seconds=0)
+        with pytest.raises(ExecutionCancelled):
+            context.check()
+        assert context.remaining_seconds() <= 0
+
+    def test_no_deadline(self):
+        assert ExecutionContext().remaining_seconds() is None
+
+    def test_cancel_aborts_execution(self):
+        from repro.gmql.lang import execute
+        from tests.engine.test_backends import random_dataset
+
+        context = ExecutionContext()
+        context.cancel()
+        with pytest.raises(ExecutionCancelled):
+            execute(
+                "R = MAP() DATA DATA; MATERIALIZE R;",
+                {"DATA": random_dataset(1)},
+                context=context,
+            )
+
+
+class TestWorkersConfig:
+    def test_workers_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert workers_from_env() == 3
+        assert ExecutionContext().workers == 3
+
+    def test_workers_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        assert workers_from_env() is None
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert workers_from_env() is None
+
+    def test_explicit_workers_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert ExecutionContext(workers=5).workers == 5
+
+
+class TestBackendIntegration:
+    def test_kernels_record_into_context(self):
+        from repro.gmql.lang import execute
+        from tests.engine.test_backends import random_dataset
+
+        context = ExecutionContext()
+        execute(
+            "R = MAP() DATA DATA; MATERIALIZE R;",
+            {"DATA": random_dataset(2)},
+            context=context,
+        )
+        assert context.metrics.counter("operator.MAP.calls") == 1
+        labels = [s.label for s in context.tracer.iter_spans()]
+        assert any(label.startswith("MAP") for label in labels)
+        map_span = next(
+            s for s in context.tracer.iter_spans() if s.label.startswith("MAP")
+        )
+        assert map_span.attributes["output_regions"] > 0
+        assert map_span.attributes["input_samples"] > 0
+        assert map_span.children  # the SCAN nests under MAP

@@ -93,6 +93,52 @@ class TestOptimizer:
         optimized = optimize(compiled)
         assert "fuse-selects" not in optimized.rewrites
 
+    def test_optimize_does_not_mutate_input_program(self):
+        # Regression: rewrites used to splice new children into the
+        # original nodes, so the "new program" shared mutated nodes with
+        # the pre-optimization plan.  Rewrites are copy-on-write now.
+        program = """
+            A = SELECT(x == 1) SRC;
+            B = SELECT(y == 2) A;
+            U = UNION() B SRC;
+            S = SELECT(cell == 'HeLa') U;
+            MATERIALIZE S;
+        """
+        compiled = compile_program(program)
+        before = compiled.explain()
+        optimized = optimize(compiled)
+        assert compiled.explain() == before
+        # ...and the rewrites really happened on the optimized copy.
+        assert optimized.rewrites
+        assert optimized.explain() != before
+
+    def test_optimized_and_original_programs_both_execute(self):
+        from repro.gmql.lang import Interpreter
+        from repro.engine import get_backend
+        from repro.gdm import Dataset, FLOAT, Metadata, RegionSchema, Sample, region
+
+        schema = RegionSchema.of(("score", FLOAT))
+        data = Dataset(
+            "SRC",
+            schema,
+            [Sample(1, [region("chr1", 0, 10, "*", 1.0)],
+                    Metadata({"x": "1", "y": "2"}))],
+        )
+        program = """
+            A = SELECT(x == '1') SRC;
+            B = SELECT(y == '2') A;
+            MATERIALIZE B;
+        """
+        compiled = compile_program(program)
+        optimized = optimize(compiled)
+        out_original = Interpreter(
+            get_backend("naive"), {"SRC": data}
+        ).run_program(compiled)
+        out_optimized = Interpreter(
+            get_backend("naive"), {"SRC": data}
+        ).run_program(optimized)
+        assert len(out_original["B"]) == len(out_optimized["B"]) == 1
+
     def test_pushes_select_through_union(self):
         compiled = compile_program(
             """

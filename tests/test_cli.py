@@ -91,6 +91,76 @@ class TestRun:
         assert code == 1
 
 
+class TestRunNewFlags:
+    def test_run_auto_engine(self, capsys, encode_dir, program_file):
+        code = main(
+            ["run", program_file, "--source", f"ENCODE={encode_dir}",
+             "--engine", "auto"]
+        )
+        assert code == 0
+        assert "R: 1 sample(s)" in capsys.readouterr().out
+
+    def test_run_workers_flag(self, capsys, encode_dir, program_file):
+        code = main(
+            ["run", program_file, "--source", f"ENCODE={encode_dir}",
+             "--engine", "auto", "--workers", "2"]
+        )
+        assert code == 0
+
+    def test_run_rejects_nonpositive_workers(self, capsys, encode_dir,
+                                             program_file):
+        with pytest.raises(SystemExit):
+            main(
+                ["run", program_file, "--source", f"ENCODE={encode_dir}",
+                 "--engine", "parallel", "--workers", "0"]
+            )
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_run_trace_flag(self, capsys, encode_dir, program_file):
+        code = main(
+            ["run", program_file, "--source", f"ENCODE={encode_dir}",
+             "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execution trace:" in out
+        assert "SELECT" in out and "ms" in out
+
+
+class TestExplainAnalyze:
+    def test_analyze_prints_backends_and_timings(
+        self, capsys, encode_dir, program_file
+    ):
+        code = main(
+            ["explain", program_file, "--analyze",
+             "--source", f"ENCODE={encode_dir}"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine=auto" in out
+        assert "backend=" in out
+        assert "rows=" in out and "->" in out
+        assert "time=" in out
+        assert out.strip().splitlines()[-1].startswith("total:")
+
+    def test_analyze_with_pinned_engine(
+        self, capsys, encode_dir, program_file
+    ):
+        code = main(
+            ["explain", program_file, "--analyze", "--engine", "naive",
+             "--source", f"ENCODE={encode_dir}"]
+        )
+        assert code == 0
+        assert "backend=naive" in capsys.readouterr().out
+
+    def test_analyze_missing_source_is_clean_error(
+        self, capsys, program_file
+    ):
+        code = main(["explain", program_file, "--analyze"])
+        assert code == 1
+        assert "unknown source dataset" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_explain(self, capsys, program_file):
         code = main(["explain", program_file])
