@@ -8,7 +8,8 @@ kind of directory.
 Subcommands::
 
     python -m repro run QUERY.gmql --source ENCODE=./encode_dir \
-        --engine auto --out ./results [--stats] [--trace] [--workers N]
+        --engine auto --out ./results [--stats] [--trace] [--workers N] \
+        [--chaos SPEC]
     python -m repro explain QUERY.gmql
     python -m repro explain QUERY.gmql --analyze --source ENCODE=./encode_dir
     python -m repro info DATASET_DIR
@@ -74,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="worker processes for parallel kernels "
                               "(default: REPRO_WORKERS or CPU-based)")
+    run_cmd.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="arm deterministic fault injection for this run, e.g. "
+             "'seed=7;transient@repository.load:*?times=1' "
+             "(see docs/RESILIENCE.md for the spec language)",
+    )
 
     explain_cmd = commands.add_parser(
         "explain",
@@ -119,23 +126,55 @@ def _read_program(path: str) -> str:
         return handle.read()
 
 
-def _load_sources(pairs: list) -> dict:
+def _load_sources(pairs: list, injector=None) -> dict:
     from repro.formats import read_dataset
 
     sources = {}
     for name, directory in pairs:
-        sources[name] = read_dataset(directory, name)
+        if injector is not None:
+            from repro.resilience import (
+                RetryPolicy,
+                SimulatedClock,
+                call_with_retry,
+            )
+            import random
+
+            def load(name=name, directory=directory):
+                injector.fire(f"repository.load:{name}")
+                return read_dataset(directory, name)
+
+            sources[name] = call_with_retry(
+                load, RetryPolicy(), clock=SimulatedClock(),
+                rng=random.Random(injector.seed),
+            )
+        else:
+            sources[name] = read_dataset(directory, name)
     return sources
 
 
 def _command_run(args) -> int:
+    injector = None
+    if args.chaos:
+        from repro.resilience import FaultInjector, arm
+
+        injector = arm(FaultInjector.from_spec(args.chaos))
+    try:
+        return _run_with_chaos(args, injector)
+    finally:
+        if injector is not None:
+            from repro.resilience import disarm
+
+            disarm()
+
+
+def _run_with_chaos(args, injector) -> int:
     from repro.engine.context import ExecutionContext
     from repro.engine.dispatch import get_backend
     from repro.formats import write_dataset
     from repro.gmql.lang import Interpreter, compile_program, optimize
 
     program = _read_program(args.program)
-    sources = _load_sources(args.source)
+    sources = _load_sources(args.source, injector)
     compiled = compile_program(program)
     if not args.no_optimize:
         compiled = optimize(compiled)
@@ -172,6 +211,8 @@ def _command_run(args) -> int:
         print()
         print("execution trace:")
         print(context.tracer.render())
+    if injector is not None:
+        print(f"chaos: {injector.summary()}")
     return 0
 
 

@@ -159,6 +159,11 @@ class ExecutionContext:
         ``REPRO_WORKERS`` environment variable when set.
     config:
         Free-form engine options (forwarded to backends untouched).
+    clock:
+        Any object with a ``monotonic()`` method (e.g. a resilience
+        :class:`~repro.resilience.clock.SimulatedClock`); defaults to
+        real time.  Deadlines are measured against this clock, so a
+        whole timeout scenario can run in virtual time.
     """
 
     def __init__(
@@ -169,17 +174,22 @@ class ExecutionContext:
         timeout_seconds: float | None = None,
         workers: int | None = None,
         config: dict | None = None,
+        clock=None,
     ) -> None:
         self.tracer = tracer or SpanTracer()
         self.metrics = metrics or MetricsRegistry()
         self.workers = workers if workers is not None else workers_from_env()
         self.config = dict(config or {})
+        self._clock = clock
         self._deadline = (
-            time.monotonic() + timeout_seconds
+            self._now() + timeout_seconds
             if timeout_seconds is not None
             else None
         )
         self._cancelled = False
+
+    def _now(self) -> float:
+        return self._clock.monotonic() if self._clock else time.monotonic()
 
     # -- cancellation / deadline ------------------------------------------------
 
@@ -195,13 +205,13 @@ class ExecutionContext:
         """Seconds left before the deadline (``None`` without a deadline)."""
         if self._deadline is None:
             return None
-        return self._deadline - time.monotonic()
+        return self._deadline - self._now()
 
     def check(self) -> None:
         """Raise :class:`ExecutionCancelled` when cancelled or out of time."""
         if self._cancelled:
             raise ExecutionCancelled("query execution was cancelled")
-        if self._deadline is not None and time.monotonic() > self._deadline:
+        if self._deadline is not None and self._now() > self._deadline:
             raise ExecutionCancelled("query execution exceeded its deadline")
 
     # -- tracing ----------------------------------------------------------------

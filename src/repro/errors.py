@@ -75,6 +75,53 @@ class FederationError(ReproError):
     """A federated protocol exchange failed."""
 
 
+class TransientError(ReproError):
+    """Marker base for failures that are expected to heal on retry."""
+
+
+class TransientNetworkError(TransientError, FederationError):
+    """A remote call failed for a momentary reason (drop, hiccup, blip)."""
+
+
+class HostDownError(FederationError):
+    """A remote host is not answering at all.
+
+    Deliberately *not* a :class:`TransientError`: callers cannot tell a
+    crash from a long outage, so retry policies list it explicitly and
+    circuit breakers decide when to stop trying.
+    """
+
+
+class CorruptTransferError(TransientError, FederationError):
+    """A transferred payload failed its checksum; re-fetching may fix it."""
+
+
+class ResilienceError(ReproError):
+    """Base class for retry/timeout/circuit-breaker failures."""
+
+
+class CallTimeoutError(ResilienceError, TransientError):
+    """A single remote call exceeded its per-call time budget."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """All retry attempts failed; carries the last underlying error."""
+
+    def __init__(self, message: str, attempts: int = 0,
+                 last_error: Exception | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open: the host is being given time to heal."""
+
+    def __init__(self, message: str, host: str = "") -> None:
+        super().__init__(message)
+        self.host = host
+
+
 class SearchError(ReproError):
     """A search-service operation failed."""
 

@@ -19,6 +19,7 @@ from repro.federation.protocol import (
     DatasetTransfer,
     ExecuteRequest,
     ExecuteResponse,
+    payload_checksum,
 )
 from repro.federation.transfer import Network, TransferLog
 
@@ -39,4 +40,5 @@ __all__ = [
     "Network",
     "TransferLog",
     "estimate_plan",
+    "payload_checksum",
 ]

@@ -21,6 +21,7 @@ from repro.federation.protocol import (
     DatasetTransfer,
     ExecuteRequest,
     ExecuteResponse,
+    payload_checksum,
 )
 from repro.federation.transfer import Network
 from repro.gdm import Dataset
@@ -43,14 +44,23 @@ class FederationNode:
         self.name = name
         self.catalog = catalog
         self.network = network
-        self.staging = StagingArea(budget_bytes=staging_budget_bytes)
+        self.staging = StagingArea(
+            budget_bytes=staging_budget_bytes,
+            fire=network.fire,
+            owner=name,
+        )
         #: Datasets shipped in from elsewhere (data-shipping execution).
         self.foreign: dict = {}
 
     # -- protocol handlers (each accounts its response on the network) -----------
+    #
+    # Every handler fires a chaos injection point named
+    # ``federation.<op>:<node>`` before doing any work, so an armed
+    # FaultInjector can make this host slow, flaky, or dead.
 
     def handle_info(self, requester: str) -> DatasetInfoResponse:
         """Answer a dataset-information request."""
+        self.network.fire(f"federation.info:{self.name}")
         request = DatasetInfoRequest()
         self.network.send(requester, self.name, "info-request",
                           request.size_bytes())
@@ -61,6 +71,7 @@ class FederationNode:
 
     def handle_compile(self, requester: str, program: str) -> CompileResponse:
         """Compile a program and estimate its outputs."""
+        self.network.fire(f"federation.compile:{self.name}")
         request = CompileRequest(program)
         self.network.send(requester, self.name, "compile-request",
                           request.size_bytes())
@@ -94,6 +105,7 @@ class FederationNode:
         self, requester: str, program: str, engine: str = "naive"
     ) -> ExecuteResponse:
         """Execute a program over the local (+ shipped-in) datasets."""
+        self.network.fire(f"federation.execute:{self.name}")
         request = ExecuteRequest(program, engine)
         self.network.send(requester, self.name, "execute-request",
                           request.size_bytes())
@@ -124,12 +136,20 @@ class FederationNode:
 
     def handle_chunk(self, requester: str, ticket: str, index: int
                      ) -> ChunkResponse:
-        """Serve one staged chunk."""
+        """Serve one staged chunk.
+
+        The checksum is taken over the true staged bytes *before* the
+        payload crosses the (possibly chaotic) network, so a corrupted
+        transfer is detectable by the requester.
+        """
+        self.network.fire(f"federation.chunk:{self.name}")
         request = ChunkRequest(ticket, index)
         self.network.send(requester, self.name, "chunk-request",
                           request.size_bytes())
         data = self.staging.retrieve_chunk(ticket, index)
-        response = ChunkResponse(ticket, index, data)
+        checksum = payload_checksum(data)
+        data = self.network.fire(f"federation.transfer:{self.name}", data)
+        response = ChunkResponse(ticket, index, data, checksum)
         self.network.send(self.name, requester, "chunk-response",
                           response.size_bytes())
         return response
@@ -138,6 +158,7 @@ class FederationNode:
 
     def ship_dataset(self, name: str, destination: "FederationNode") -> None:
         """Send one local dataset to another node (data shipping)."""
+        self.network.fire(f"federation.ship:{self.name}")
         dataset = self.catalog.get(name)
         transfer = DatasetTransfer(name, dataset.estimated_size_bytes())
         self.network.send(self.name, destination.name, "dataset-transfer",

@@ -1,24 +1,49 @@
-"""Federated execution strategies: query shipping vs data shipping.
+"""Federated execution strategies: query shipping, data shipping, scatter.
 
 "Queries move from a requesting node to a remote node, are locally
 executed, and results are communicated back to the requesting node; this
 paradigm allows for distributing the processing to data, transferring
 only query results which are usually small in size" (section 4.4).
 
-:class:`FederatedClient` implements both strategies over a set of
+:class:`FederatedClient` implements the strategies over a set of
 :class:`~repro.federation.node.FederationNode` instances and a planner
 that picks the cheaper one from compile-time estimates -- letting
 experiment E9 report measured bytes for each.
+
+Every remote interaction goes through a
+:class:`~repro.resilience.ResilientCaller`: transient faults are retried
+with seeded backoff, per-host circuit breakers stop hammering dead
+hosts, chunk payloads are integrity-checked (corrupted transfers are
+re-fetched), and retry backoff is billed as simulated network time.
+:meth:`FederatedClient.run_scatter` adds partial-result degradation: a
+plan over partitioned data completes with ``degraded=True`` naming the
+skipped hosts instead of raising when some hosts stay down.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
-from repro.errors import FederationError
+from repro.errors import (
+    CircuitOpenError,
+    FederationError,
+    HostDownError,
+    RetryExhaustedError,
+)
 from repro.federation.node import FederationNode
 from repro.federation.transfer import Network
 from repro.gmql.lang import compile_program, execute
+from repro.resilience import (
+    BreakerRegistry,
+    ResilientCaller,
+    RetryPolicy,
+    SimulatedClock,
+)
+
+#: Failures that mean "this host is unusable right now" -- the planner
+#: degrades around them rather than aborting the whole plan.
+HOST_FAILURES = (RetryExhaustedError, CircuitOpenError, HostDownError)
 
 
 @dataclass
@@ -30,28 +55,76 @@ class FederatedOutcome:
     bytes_moved: int
     message_count: int
     executing_node: str
+    degraded: bool = False        # True when hosts were skipped
+    skipped_hosts: tuple = ()     # (host, reason) pairs, sorted by host
+    retries: int = 0              # failed attempts that were retried
+
+    def report(self) -> str:
+        """One-line human summary (used by tests and the CLI)."""
+        skipped = ", ".join(host for host, __ in self.skipped_hosts)
+        state = f"DEGRADED (skipped: {skipped})" if self.degraded else "complete"
+        return (
+            f"{self.strategy}: {state}, {len(self.results)} result(s), "
+            f"{self.bytes_moved} byte(s), {self.retries} retry(ies)"
+        )
 
 
 class FederatedClient:
     """A requesting site that knows every node but owns no data."""
 
-    def __init__(self, nodes: list, network: Network,
-                 name: str = "client") -> None:
+    def __init__(
+        self,
+        nodes: list,
+        network: Network,
+        name: str = "client",
+        *,
+        policy: RetryPolicy | None = None,
+        breakers: BreakerRegistry | None = None,
+        context=None,
+        seed: int = 0,
+    ) -> None:
         if not nodes:
             raise FederationError("a federation needs at least one node")
         self.name = name
         self.nodes = {node.name: node for node in nodes}
         self.network = network
+        self.context = context
+        #: (host, reason) pairs skipped by the most recent discovery.
+        self.last_skipped: tuple = ()
+        # Backoff sleeps advance simulated time on the shared network
+        # log, so resilience overhead lands in the same bill as latency.
+        self.clock = SimulatedClock(sink=network.log)
+        self.caller = ResilientCaller(
+            policy or RetryPolicy(),
+            breakers=breakers or BreakerRegistry(
+                failure_threshold=5, reset_seconds=30.0, clock=self.clock
+            ),
+            clock=self.clock,
+            seed=seed,
+            context=context,
+        )
 
     # -- discovery ----------------------------------------------------------------
 
     def discover(self) -> dict:
-        """``{dataset_name: node_name}`` across the federation."""
+        """``{dataset_name: node_name}`` across the *reachable* federation.
+
+        Unreachable nodes are skipped (and recorded in
+        :attr:`last_skipped`) rather than failing discovery outright.
+        """
         location: dict = {}
+        skipped = []
         for node in self.nodes.values():
-            info = node.handle_info(self.name)
+            try:
+                info = self.caller.call(
+                    node.name, "info", lambda n=node: n.handle_info(self.name)
+                )
+            except HOST_FAILURES as exc:
+                skipped.append((node.name, _brief(exc)))
+                continue
             for summary in info.summaries:
                 location[summary["name"]] = node.name
+        self.last_skipped = tuple(sorted(skipped))
         return location
 
     def _plan_locations(self, program: str) -> dict:
@@ -59,8 +132,45 @@ class FederatedClient:
         location = self.discover()
         missing = [s for s in compiled.sources if s not in location]
         if missing:
-            raise FederationError(f"no node hosts {missing}")
+            detail = ""
+            if self.last_skipped:
+                unreachable = ", ".join(h for h, __ in self.last_skipped)
+                detail = f" (unreachable node(s): {unreachable})"
+            raise FederationError(f"no node hosts {missing}{detail}")
         return {source: location[source] for source in compiled.sources}
+
+    # -- resilient transfer helpers -----------------------------------------------
+
+    def _pull(self, node: FederationNode, ticket: str, chunk_count: int
+              ) -> bytes:
+        """Pull and verify every chunk of a staged result.
+
+        Each chunk is its own resilient call: a corrupted payload fails
+        verification and is re-requested under the retry policy.
+        """
+        parts = []
+        for index in range(chunk_count):
+            response = self.caller.call(
+                node.name,
+                "chunk",
+                lambda i=index: node.handle_chunk(
+                    self.name, ticket, i
+                ).verified_data(),
+            )
+            parts.append(response)
+        return b"".join(parts)
+
+    def _collect_outputs(self, node: FederationNode, execute_response) -> dict:
+        """Pull every staged output; returns summaries keyed by output."""
+        results = {}
+        for output_name, ticket, size, chunk_count in execute_response.tickets:
+            payload = self._pull(node, ticket, chunk_count)
+            results[output_name] = {
+                "size_bytes": size,
+                "ticket": ticket,
+                "sha256": hashlib.sha256(payload).hexdigest(),
+            }
+        return results
 
     # -- strategies ------------------------------------------------------------------
 
@@ -70,6 +180,7 @@ class FederatedClient:
         (small) other sources there; pull back only result chunks."""
         baseline_messages = self.network.log.message_count()
         baseline_bytes = self.network.log.bytes_total
+        baseline_retries = self.caller.retries
         locations = self._plan_locations(program)
         sizes = {
             name: self.nodes[node_name].catalog.get(name).estimated_size_bytes()
@@ -83,23 +194,30 @@ class FederatedClient:
         target = self.nodes[target_name]
         for name, node_name in locations.items():
             if node_name != target_name:
-                self.nodes[node_name].ship_dataset(name, target)
-        compile_response = target.handle_compile(self.name, program)
+                source = self.nodes[node_name]
+                self.caller.call(
+                    node_name, "ship",
+                    lambda s=source, n=name: s.ship_dataset(n, target),
+                )
+        compile_response = self.caller.call(
+            target_name, "compile",
+            lambda: target.handle_compile(self.name, program),
+        )
         if not compile_response.ok:
             raise FederationError(f"remote compilation failed: "
                                   f"{compile_response.error}")
-        execute_response = target.handle_execute(self.name, program, engine)
-        results = {}
-        for output_name, ticket, size, chunk_count in execute_response.tickets:
-            for index in range(chunk_count):
-                target.handle_chunk(self.name, ticket, index)
-            results[output_name] = {"size_bytes": size, "ticket": ticket}
+        execute_response = self.caller.call(
+            target_name, "execute",
+            lambda: target.handle_execute(self.name, program, engine),
+        )
+        results = self._collect_outputs(target, execute_response)
         return FederatedOutcome(
             strategy="query-shipping",
             results=results,
             bytes_moved=self.network.log.bytes_total - baseline_bytes,
             message_count=self.network.log.message_count() - baseline_messages,
             executing_node=target_name,
+            retries=self.caller.retries - baseline_retries,
         )
 
     def run_data_shipping(self, program: str, engine: str = "naive"
@@ -108,16 +226,23 @@ class FederatedClient:
         "most of today's implementations" per the paper."""
         baseline_messages = self.network.log.message_count()
         baseline_bytes = self.network.log.bytes_total
+        baseline_retries = self.caller.retries
         locations = self._plan_locations(program)
         sources = {}
         for name, node_name in locations.items():
-            dataset = self.nodes[node_name].catalog.get(name)
-            from repro.federation.protocol import DatasetTransfer
+            node = self.nodes[node_name]
 
-            transfer = DatasetTransfer(name, dataset.estimated_size_bytes())
-            self.network.send(node_name, self.name, "dataset-transfer",
-                              transfer.size_bytes())
-            sources[name] = dataset
+            def fetch(node=node, name=name):
+                from repro.federation.protocol import DatasetTransfer
+
+                node.network.fire(f"federation.ship:{node.name}")
+                dataset = node.catalog.get(name)
+                transfer = DatasetTransfer(name, dataset.estimated_size_bytes())
+                self.network.send(node.name, self.name, "dataset-transfer",
+                                  transfer.size_bytes())
+                return dataset
+
+            sources[name] = self.caller.call(node_name, "fetch", fetch)
         results_data = execute(program, sources, engine=engine)
         results = {
             name: {"size_bytes": ds.estimated_size_bytes()}
@@ -129,6 +254,64 @@ class FederatedClient:
             bytes_moved=self.network.log.bytes_total - baseline_bytes,
             message_count=self.network.log.message_count() - baseline_messages,
             executing_node=self.name,
+            retries=self.caller.retries - baseline_retries,
+        )
+
+    def run_scatter(self, program: str, engine: str = "naive"
+                    ) -> FederatedOutcome:
+        """Run *program* on every node that hosts all its sources and
+        gather per-node results (the partitioned-data strategy).
+
+        This is the degrading plan: a node that is down -- or dies while
+        serving -- is *skipped*, and the outcome reports ``degraded=True``
+        with the skipped hosts named, instead of the whole plan raising.
+        Only when every candidate node fails does the plan raise.
+        """
+        baseline_messages = self.network.log.message_count()
+        baseline_bytes = self.network.log.bytes_total
+        baseline_retries = self.caller.retries
+        compiled = compile_program(program)
+        needed = set(compiled.sources)
+        per_node: dict = {}
+        skipped = []
+        candidates = 0
+        for node_name, node in self.nodes.items():
+            try:
+                info = self.caller.call(
+                    node_name, "info", lambda n=node: n.handle_info(self.name)
+                )
+            except HOST_FAILURES as exc:
+                skipped.append((node_name, _brief(exc)))
+                continue
+            hosted = {summary["name"] for summary in info.summaries}
+            if not needed <= hosted:
+                continue            # not a partition holder; not "skipped"
+            candidates += 1
+            try:
+                execute_response = self.caller.call(
+                    node_name, "execute",
+                    lambda n=node: n.handle_execute(self.name, program, engine),
+                )
+                per_node[node_name] = self._collect_outputs(
+                    node, execute_response
+                )
+            except HOST_FAILURES as exc:
+                skipped.append((node_name, _brief(exc)))
+        if not per_node:
+            reasons = "; ".join(f"{h}: {r}" for h, r in sorted(skipped))
+            raise FederationError(
+                f"scatter plan found no usable node for {sorted(needed)} "
+                f"({candidates} candidate(s); {reasons or 'none reachable'})"
+            )
+        return FederatedOutcome(
+            strategy="scatter-gather",
+            results=per_node,
+            bytes_moved=self.network.log.bytes_total - baseline_bytes,
+            message_count=self.network.log.message_count() - baseline_messages,
+            executing_node=",".join(sorted(per_node)),
+            degraded=bool(skipped),
+            skipped_hosts=tuple(sorted(skipped)),
+            retries=self.caller.retries - baseline_retries,
         )
 
     # -- the planner --------------------------------------------------------------------
@@ -156,8 +339,26 @@ class FederatedClient:
         }
 
     def run(self, program: str, engine: str = "naive") -> FederatedOutcome:
-        """Pick the cheaper strategy by estimate and execute it."""
+        """Pick the cheaper strategy by estimate and execute it.
+
+        When the chosen strategy fails on a host-level fault (a node
+        died mid-plan, or its breaker opened), the planner falls back to
+        the other strategy once before giving up -- a different strategy
+        may route around the sick host.
+        """
         estimates = self.estimate_strategies(program)
         if estimates["query-shipping"] <= estimates["data-shipping"]:
-            return self.run_query_shipping(program, engine)
-        return self.run_data_shipping(program, engine)
+            order = (self.run_query_shipping, self.run_data_shipping)
+        else:
+            order = (self.run_data_shipping, self.run_query_shipping)
+        try:
+            return order[0](program, engine)
+        except HOST_FAILURES:
+            return order[1](program, engine)
+
+
+def _brief(error: Exception) -> str:
+    """Compact reason string for skipped-host reports."""
+    if isinstance(error, RetryExhaustedError) and error.last_error is not None:
+        return f"{type(error.last_error).__name__} after {error.attempts} attempt(s)"
+    return type(error).__name__

@@ -17,12 +17,18 @@ while datasets cost their serialised size.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 
 
 def _json_size(payload) -> int:
     """Serialised size of a JSON-able payload, in bytes."""
     return len(json.dumps(payload, default=str).encode())
+
+
+def payload_checksum(data: bytes) -> int:
+    """The integrity checksum carried alongside chunk payloads."""
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -102,11 +108,32 @@ class ChunkRequest:
 
 @dataclass(frozen=True)
 class ChunkResponse:
-    """One chunk of serialised result data."""
+    """One chunk of serialised result data, with an integrity checksum.
+
+    The checksum is computed server-side over the *true* staged bytes,
+    so a client can detect a transfer corrupted en route and re-request
+    the chunk.
+    """
 
     ticket: str
     index: int
     data: bytes
+    checksum: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.checksum < 0:
+            object.__setattr__(self, "checksum", payload_checksum(self.data))
+
+    def verified_data(self) -> bytes:
+        """The payload, after integrity verification."""
+        from repro.errors import CorruptTransferError
+
+        if payload_checksum(self.data) != self.checksum:
+            raise CorruptTransferError(
+                f"chunk {self.index} of ticket {self.ticket!r} failed its "
+                f"integrity check"
+            )
+        return self.data
 
     def size_bytes(self) -> int:
         return len(self.data) + 96

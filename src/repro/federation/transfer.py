@@ -4,6 +4,12 @@ The federation experiments (E9) need to *measure* what the paper argues
 qualitatively -- query shipping moves orders of magnitude fewer bytes
 than data shipping -- so every message crossing the simulated network is
 accounted here.
+
+The network is also where chaos plugs in: a
+:class:`~repro.resilience.faults.FaultInjector` attached to a
+:class:`Network` (explicitly, or ambiently via ``repro run --chaos``)
+evaluates its rules whenever instrumented code fires a named injection
+point through :meth:`Network.fire`.
 """
 
 from __future__ import annotations
@@ -41,13 +47,33 @@ class TransferLog:
 
 @dataclass
 class Network:
-    """A homogeneous simulated network."""
+    """A homogeneous simulated network, optionally under chaos."""
 
     bandwidth_bytes_per_second: float = 100e6 / 8  # 100 Mbit/s
     latency_seconds: float = 0.02
     log: TransferLog = field(default_factory=TransferLog)
+    injector: object = None   # FaultInjector | None; None = ambient lookup
 
     def send(self, sender: str, receiver: str, kind: str, payload_bytes: int
              ) -> None:
         """Transfer *payload_bytes* from sender to receiver."""
         self.log.record(sender, receiver, kind, payload_bytes, self)
+
+    def _injector(self):
+        if self.injector is not None:
+            return self.injector
+        from repro.resilience.faults import armed
+
+        return armed()
+
+    def fire(self, point: str, payload: bytes | None = None):
+        """Evaluate chaos rules at *point*; returns the (possibly
+        corrupted) payload.  Injected latency is billed as simulated
+        time; injected errors propagate to the caller."""
+        injector = self._injector()
+        if injector is None:
+            return payload
+        payload, delay = injector.fire(point, payload)
+        if delay:
+            self.log.simulated_seconds += delay
+        return payload

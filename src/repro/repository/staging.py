@@ -57,17 +57,31 @@ class StagedResult:
 
 
 class StagingArea:
-    """LRU-bounded staging of query results with chunked retrieval."""
+    """LRU-bounded staging of query results with chunked retrieval.
+
+    *fire*, when given, is a chaos hook with the signature of
+    :meth:`repro.federation.transfer.Network.fire`; staging operations
+    then fire ``staging.stage:<owner>`` / ``staging.retrieve:<owner>``
+    injection points so an armed fault injector can make a host's
+    staging slow or flaky independently of its protocol handlers.
+    """
 
     def __init__(self, budget_bytes: int = 1_000_000,
-                 chunk_bytes: int = 16_384) -> None:
+                 chunk_bytes: int = 16_384, fire=None,
+                 owner: str = "staging") -> None:
         if budget_bytes <= 0 or chunk_bytes <= 0:
             raise RepositoryError("staging budget and chunk size must be positive")
         self.budget_bytes = budget_bytes
         self.chunk_bytes = chunk_bytes
+        self.owner = owner
+        self._fire = fire
         self._staged: dict = {}  # ticket -> StagedResult (insertion = LRU order)
         self._tickets = itertools.count(1)
         self.evictions = 0
+
+    def _chaos(self, operation: str) -> None:
+        if self._fire is not None:
+            self._fire(f"staging.{operation}:{self.owner}")
 
     def used_bytes(self) -> int:
         """Bytes currently staged."""
@@ -81,6 +95,7 @@ class StagingArea:
         raise its budget or narrow the query -- exactly the control the
         paper wants the protocol to give).
         """
+        self._chaos("stage")
         probe = StagedResult("probe", dataset, self.chunk_bytes)
         if probe.size_bytes > self.budget_bytes:
             raise RepositoryError(
@@ -102,6 +117,7 @@ class StagingArea:
 
     def retrieve_chunk(self, ticket: str, index: int) -> bytes:
         """Fetch one chunk (marks it retrieved; refreshes LRU position)."""
+        self._chaos("retrieve")
         result = self._result(ticket)
         if not 0 <= index < len(result.chunks):
             raise RepositoryError(

@@ -1,0 +1,56 @@
+"""Resilience substrate for federated execution (paper, sections 5 and 7).
+
+The paper's federated and "Internet of Genomes" visions assume genome
+hosts that are slow, flaky, or gone.  This package supplies the
+robustness primitives the distributed layers build on:
+
+* :class:`RetryPolicy` / :func:`call_with_retry` -- exponential backoff
+  with seeded jitter and retryable-error classification;
+* :class:`Timeout` -- per-call budgets derived from the run deadline;
+* :class:`CircuitBreaker` / :class:`BreakerRegistry` -- per-host
+  fail-fast once a host keeps misbehaving;
+* :class:`FaultInjector` -- a seeded, deterministic chaos layer armed
+  from a small spec language (``repro run --chaos ...``);
+* :class:`ResilientCaller` -- the composition the federation client and
+  IoG crawler actually use.
+
+See ``docs/RESILIENCE.md`` for policies, injection points and the chaos
+spec format.
+"""
+
+from repro.resilience.breaker import BreakerRegistry, CircuitBreaker
+from repro.resilience.caller import ResilientCaller
+from repro.resilience.clock import Clock, SimulatedClock, SystemClock
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultRule,
+    Injection,
+    arm,
+    armed,
+    disarm,
+)
+from repro.resilience.policy import (
+    DEFAULT_RETRYABLE,
+    RetryPolicy,
+    Timeout,
+    call_with_retry,
+)
+
+__all__ = [
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "Clock",
+    "DEFAULT_RETRYABLE",
+    "FaultInjector",
+    "FaultRule",
+    "Injection",
+    "ResilientCaller",
+    "RetryPolicy",
+    "SimulatedClock",
+    "SystemClock",
+    "Timeout",
+    "arm",
+    "armed",
+    "call_with_retry",
+    "disarm",
+]

@@ -1,0 +1,106 @@
+"""Per-host circuit breakers.
+
+After enough consecutive failures a breaker *opens* and fails calls to
+that host instantly (no retries, no backoff), giving it ``reset_seconds``
+to heal.  The first call after the window *half-opens* the breaker: one
+probe is let through, success closes the circuit, failure re-opens it.
+Clocks are injectable so breaker timelines are fully testable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CircuitOpenError
+from repro.resilience.clock import Clock, SystemClock
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One breaker guarding one remote host."""
+
+    def __init__(
+        self,
+        host: str = "",
+        failure_threshold: int = 5,
+        reset_seconds: float = 30.0,
+        clock: Clock | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.host = host
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self.clock = clock or SystemClock()
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        self.trips = 0               # times the breaker opened
+        self.rejections = 0          # calls refused while open
+
+    def before_call(self) -> None:
+        """Gate one call; raises :class:`CircuitOpenError` while open."""
+        if self.state == OPEN:
+            elapsed = self.clock.monotonic() - (self.opened_at or 0.0)
+            if elapsed >= self.reset_seconds:
+                self.state = HALF_OPEN      # let one probe through
+            else:
+                self.rejections += 1
+                raise CircuitOpenError(
+                    f"circuit for host {self.host!r} is open "
+                    f"({self.reset_seconds - elapsed:.3f}s until probe)",
+                    host=self.host,
+                )
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = CLOSED
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            if self.state != OPEN:
+                self.trips += 1
+            self.state = OPEN
+            self.opened_at = self.clock.monotonic()
+
+
+class BreakerRegistry:
+    """Lazily creates one :class:`CircuitBreaker` per host name."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_seconds: float = 30.0,
+        clock: Clock | None = None,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self.clock = clock or SystemClock()
+        self._breakers: dict = {}
+
+    def get(self, host: str) -> CircuitBreaker:
+        breaker = self._breakers.get(host)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                host,
+                failure_threshold=self.failure_threshold,
+                reset_seconds=self.reset_seconds,
+                clock=self.clock,
+            )
+            self._breakers[host] = breaker
+        return breaker
+
+    def states(self) -> dict:
+        """``{host: state}`` for every breaker created so far."""
+        return {host: b.state for host, b in self._breakers.items()}
+
+    def open_hosts(self) -> list:
+        return sorted(
+            host for host, b in self._breakers.items() if b.state == OPEN
+        )

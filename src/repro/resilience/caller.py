@@ -1,0 +1,99 @@
+"""The composed resilience runtime: breaker + retry + timeout + telemetry.
+
+:class:`ResilientCaller` is what the federation client and crawler hold:
+one retry policy, one breaker registry, one seeded RNG and one clock.
+Each :meth:`call` gates on the host's circuit breaker, retries per the
+policy with deadline-aware backoff, and surfaces counters in a
+:class:`~repro.engine.context.MetricsRegistry` plus spans in the
+context tracer when an :class:`ExecutionContext` is attached.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import CircuitOpenError, RetryExhaustedError
+from repro.resilience.breaker import BreakerRegistry
+from repro.resilience.clock import Clock, SystemClock
+from repro.resilience.policy import RetryPolicy, Timeout, call_with_retry
+
+
+class ResilientCaller:
+    """Applies one resilience configuration to named remote calls."""
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        *,
+        breakers: BreakerRegistry | None = None,
+        clock: Clock | None = None,
+        seed: int = 0,
+        timeout: Timeout | None = None,
+        context=None,
+        metrics=None,
+    ) -> None:
+        self.policy = policy or RetryPolicy()
+        self.clock = clock or SystemClock()
+        self.breakers = breakers or BreakerRegistry(clock=self.clock)
+        self.rng = random.Random(seed)
+        self.timeout = timeout or Timeout()
+        self.context = context
+        self.metrics = metrics if metrics is not None else (
+            context.metrics if context is not None else None
+        )
+        self.retries = 0             # failed attempts that were retried
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.increment(name, amount)
+
+    def call(self, host: str, op: str, fn):
+        """Run ``fn()`` against *host* with full resilience semantics.
+
+        Raises :class:`~repro.errors.CircuitOpenError` instantly while
+        the host's breaker is open and
+        :class:`~repro.errors.RetryExhaustedError` when the policy gives
+        up; both leave the breaker recording the failure so repeated
+        trouble eventually short-circuits.
+        """
+        breaker = self.breakers.get(host)
+        attempts_used = 0
+
+        def on_attempt(attempt: int, error: Exception | None) -> None:
+            nonlocal attempts_used
+            attempts_used = attempt
+            breaker.record_failure()
+            self._count("resilience.attempts.failed")
+            self._count(f"resilience.host.{host}.failures")
+            if attempt < self.policy.max_attempts:
+                self.retries += 1
+                self._count("resilience.retries")
+
+        def guarded():
+            breaker.before_call()
+            return fn()
+
+        self._count("resilience.calls")
+        try:
+            if self.context is not None:
+                with self.context.span(f"call {op}:{host}") as span:
+                    result = call_with_retry(
+                        guarded, self.policy, clock=self.clock, rng=self.rng,
+                        context=self.context, timeout=self.timeout,
+                        on_attempt=on_attempt,
+                    )
+                    span.annotate(attempts=attempts_used + 1, outcome="ok")
+            else:
+                result = call_with_retry(
+                    guarded, self.policy, clock=self.clock, rng=self.rng,
+                    timeout=self.timeout, on_attempt=on_attempt,
+                )
+        except CircuitOpenError:
+            self._count("resilience.breaker.rejections")
+            self._count(f"resilience.host.{host}.breaker_rejections")
+            raise
+        except RetryExhaustedError:
+            self._count("resilience.exhausted")
+            raise
+        breaker.record_success()
+        return result

@@ -1,0 +1,63 @@
+"""Clock abstraction: real time for production, virtual time for tests.
+
+Every resilience primitive (backoff sleeps, breaker reset windows,
+per-call timeouts) reads time through a :class:`Clock` so the chaos
+harness can run entire outage-and-recovery scenarios in microseconds and
+byte-for-byte deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Minimal clock interface: a monotonic reading plus a sleep."""
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock time; sleeps really block."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class SimulatedClock(Clock):
+    """Virtual time: sleeping advances a counter instantly.
+
+    *sink*, when given, is any object with a ``simulated_seconds``
+    attribute (e.g. a federation
+    :class:`~repro.federation.transfer.TransferLog`); slept time is
+    accounted there too, so retry backoff shows up in the same bill as
+    simulated network latency.
+    """
+
+    def __init__(self, start: float = 0.0, sink=None) -> None:
+        self.now = start
+        self.sink = sink
+        self.slept = 0.0
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        self.now += seconds
+        self.slept += seconds
+        if self.sink is not None:
+            self.sink.simulated_seconds += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without counting it as a backoff sleep."""
+        self.now += seconds

@@ -1,0 +1,219 @@
+"""Deterministic fault injection: the chaos layer.
+
+A :class:`FaultInjector` is armed with a seed and a list of
+:class:`FaultRule` entries and wired into the simulated network, hosts
+and staging areas.  Instrumented code *fires* named injection points
+(``federation.execute:milan``, ``iog.links:center2``, ...); matching
+rules then inject latency, transient errors, permanent host death, or
+payload corruption.  All randomness comes from one seeded RNG consumed
+in call order, so a whole outage scenario replays byte-for-byte from its
+seed.
+
+Chaos spec mini-language (CLI ``--chaos`` and :meth:`from_spec`)::
+
+    spec    := clause (";" clause)*
+    clause  := "seed=" INT | KIND "@" POINT ["?" param ("," param)*]
+    KIND    := "latency" | "transient" | "crash" | "corrupt"
+    POINT   := glob pattern over injection-point names
+    param   := "p=" FLOAT | "times=" INT | "ms=" FLOAT | "s=" FLOAT
+
+Examples::
+
+    seed=42;crash@*:h2                       # host h2 dies permanently
+    transient@federation.execute:h1?times=2  # first two executes fail
+    latency@iog.links:*?ms=250,p=0.5         # coin-flip 250ms slowdowns
+    corrupt@federation.transfer:milan?times=1  # one corrupted chunk
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+from repro.errors import (
+    HostDownError,
+    ResilienceError,
+    TransientNetworkError,
+)
+
+KINDS = ("latency", "transient", "crash", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One armed fault: what to inject, where, how often."""
+
+    kind: str
+    point: str                       # glob over injection-point names
+    probability: float = 1.0
+    times: int | None = None         # max injections; None = unlimited
+    latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ResilienceError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if not 0 <= self.probability <= 1:
+            raise ResilienceError("fault probability must be in [0, 1]")
+        if self.times is not None and self.times < 1:
+            raise ResilienceError("times must be at least 1 when given")
+
+    def matches(self, point: str) -> bool:
+        return fnmatchcase(point, self.point)
+
+
+@dataclass(frozen=True)
+class Injection:
+    """A record of one injected fault (for reports and assertions)."""
+
+    point: str
+    kind: str
+
+
+@dataclass
+class FaultInjector:
+    """Seeded, deterministic chaos: evaluates armed rules at fire time."""
+
+    rules: list = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.rules = list(self.rules)
+        self._rng = random.Random(self.seed)
+        self._counts: dict = {}     # id(rule index) -> injections so far
+        self.injected: list = []    # Injection records, in fire order
+        self.fired_points = 0       # total fire() calls, hit or miss
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, text: str) -> "FaultInjector":
+        """Parse the chaos mini-language (see module docstring)."""
+        seed = 0
+        rules = []
+        for raw in text.split(";"):
+            clause = raw.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                try:
+                    seed = int(clause[len("seed="):])
+                except ValueError:
+                    raise ResilienceError(
+                        f"bad chaos seed in clause {clause!r}"
+                    ) from None
+                continue
+            kind, sep, rest = clause.partition("@")
+            if not sep or not rest:
+                raise ResilienceError(
+                    f"bad chaos clause {clause!r}: expected KIND@POINT"
+                )
+            point, __, params = rest.partition("?")
+            probability, times, latency = 1.0, None, 0.0
+            for param in filter(None, params.split(",")):
+                key, sep, value = param.partition("=")
+                if not sep:
+                    raise ResilienceError(
+                        f"bad chaos parameter {param!r} in {clause!r}"
+                    )
+                try:
+                    if key == "p":
+                        probability = float(value)
+                    elif key == "times":
+                        times = int(value)
+                    elif key == "ms":
+                        latency = float(value) / 1000.0
+                    elif key == "s":
+                        latency = float(value)
+                    else:
+                        raise ResilienceError(
+                            f"unknown chaos parameter {key!r} in {clause!r}"
+                        )
+                except ValueError:
+                    raise ResilienceError(
+                        f"bad value for {key!r} in chaos clause {clause!r}"
+                    ) from None
+            rules.append(
+                FaultRule(kind.strip(), point.strip(),
+                          probability=probability, times=times,
+                          latency_seconds=latency)
+            )
+        return cls(rules=rules, seed=seed)
+
+    # -- firing -------------------------------------------------------------------
+
+    def fire(self, point: str, payload: bytes | None = None):
+        """Evaluate every armed rule against *point*.
+
+        Returns ``(payload, extra_latency_seconds)`` -- the payload
+        possibly corrupted -- or raises the injected error.  Latency
+        accumulated before an error rule fires is simply lost, like a
+        connection that stalls and then drops.
+        """
+        self.fired_points += 1
+        delay = 0.0
+        for index, rule in enumerate(self.rules):
+            if not rule.matches(point):
+                continue
+            if rule.times is not None and self._counts.get(index, 0) >= rule.times:
+                continue
+            if rule.probability < 1.0 and self._rng.random() > rule.probability:
+                continue
+            self._counts[index] = self._counts.get(index, 0) + 1
+            self.injected.append(Injection(point, rule.kind))
+            if rule.kind == "latency":
+                delay += rule.latency_seconds
+            elif rule.kind == "transient":
+                raise TransientNetworkError(
+                    f"injected transient fault at {point!r}"
+                )
+            elif rule.kind == "crash":
+                raise HostDownError(f"injected crash at {point!r}")
+            elif rule.kind == "corrupt" and payload:
+                payload = self._corrupt(payload)
+        return payload, delay
+
+    def _corrupt(self, payload: bytes) -> bytes:
+        """Flip one deterministic byte of *payload*."""
+        index = self._rng.randrange(len(payload))
+        flipped = payload[index] ^ 0xFF
+        return payload[:index] + bytes([flipped]) + payload[index + 1:]
+
+    # -- reporting ----------------------------------------------------------------
+
+    def injected_by_kind(self) -> dict:
+        out: dict = {}
+        for injection in self.injected:
+            out[injection.kind] = out.get(injection.kind, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        by_kind = self.injected_by_kind()
+        if not by_kind:
+            return "no faults injected"
+        parts = [f"{kind}={count}" for kind, count in sorted(by_kind.items())]
+        return f"{len(self.injected)} fault(s) injected: " + " ".join(parts)
+
+
+# -- ambient injector (armed by `repro run --chaos`) -----------------------------
+
+_ambient: FaultInjector | None = None
+
+
+def arm(injector: FaultInjector) -> FaultInjector:
+    """Install a process-wide injector; new Networks pick it up."""
+    global _ambient
+    _ambient = injector
+    return injector
+
+
+def disarm() -> None:
+    global _ambient
+    _ambient = None
+
+
+def armed() -> FaultInjector | None:
+    """The currently armed ambient injector, if any."""
+    return _ambient

@@ -1,0 +1,151 @@
+"""Retry policies and per-call time budgets.
+
+A :class:`RetryPolicy` classifies which errors are worth retrying and
+produces an exponential-backoff-with-jitter delay schedule from a seeded
+RNG, so a given (seed, failure sequence) always replays identically.
+:class:`Timeout` derives a per-call budget from a policy default and the
+surrounding :class:`~repro.engine.context.ExecutionContext` deadline --
+a call never gets more time than the whole query has left.
+
+:func:`call_with_retry` is the loop both the federation client and the
+IoG crawler use.  Two deadline rules make it behave well under pressure:
+
+* a backoff sleep is never longer than the context's remaining time --
+  when the deadline would expire mid-sleep the call cancels *promptly*
+  instead of finishing the nap;
+* every attempt re-checks the context first, so cancellation between
+  retries is honoured immediately.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import (
+    CallTimeoutError,
+    ExecutionCancelled,
+    HostDownError,
+    RetryExhaustedError,
+    TransientError,
+)
+from repro.resilience.clock import Clock, SystemClock
+
+#: Errors retried by default: transient by contract, plus host-down
+#: (which *might* be an outage) and per-call timeouts.
+DEFAULT_RETRYABLE = (TransientError, HostDownError, CallTimeoutError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter and bounded attempts."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1          # +/- fraction applied to each delay
+    retryable: tuple = DEFAULT_RETRYABLE
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+
+    def is_retryable(self, error: Exception) -> bool:
+        return isinstance(error, tuple(self.retryable))
+
+    def delay_for(self, attempt: int, rng: random.Random | None = None
+                  ) -> float:
+        """Backoff before retry number *attempt* (1-based), jittered."""
+        delay = min(
+            self.base_delay * self.multiplier ** (attempt - 1),
+            self.max_delay,
+        )
+        if rng is not None and self.jitter:
+            delay *= 1 + self.jitter * (2 * rng.random() - 1)
+        return delay
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """A per-call time budget, capped by the run-wide deadline."""
+
+    seconds: float | None = None
+
+    def budget(self, context=None) -> float | None:
+        """Effective budget for one call (``None`` = unbounded)."""
+        remaining = context.remaining_seconds() if context else None
+        if remaining is None:
+            return self.seconds
+        if self.seconds is None:
+            return remaining
+        return min(self.seconds, remaining)
+
+
+def call_with_retry(
+    fn,
+    policy: RetryPolicy | None = None,
+    *,
+    clock: Clock | None = None,
+    rng: random.Random | None = None,
+    context=None,
+    timeout: Timeout | None = None,
+    on_attempt=None,
+):
+    """Run *fn* under *policy*; return its result or raise.
+
+    Raises :class:`RetryExhaustedError` once attempts run out,
+    re-raises non-retryable errors immediately, and raises
+    :class:`~repro.errors.ExecutionCancelled` as soon as the *context*
+    deadline cannot accommodate the next backoff sleep.  *on_attempt*,
+    when given, is called as ``on_attempt(attempt, error)`` after each
+    failed attempt (for metrics / reports).
+    """
+    policy = policy or RetryPolicy()
+    clock = clock or SystemClock()
+    timeout = timeout or Timeout()
+    last_error: Exception | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        if context is not None:
+            context.check()
+        budget = timeout.budget(context)
+        started = clock.monotonic()
+        try:
+            result = fn()
+        except ExecutionCancelled:
+            raise
+        except Exception as exc:          # noqa: BLE001 - classified below
+            if not policy.is_retryable(exc):
+                raise
+            last_error = exc
+        else:
+            elapsed = clock.monotonic() - started
+            if budget is not None and elapsed > budget:
+                last_error = CallTimeoutError(
+                    f"call took {elapsed:.3f}s, budget was {budget:.3f}s"
+                )
+            else:
+                return result
+        if on_attempt is not None:
+            on_attempt(attempt, last_error)
+        if attempt == policy.max_attempts:
+            break
+        delay = policy.delay_for(attempt, rng)
+        if context is not None:
+            remaining = context.remaining_seconds()
+            if remaining is not None and delay >= remaining:
+                # Cancel promptly rather than sleeping into the deadline.
+                raise ExecutionCancelled(
+                    f"deadline expires in {max(remaining, 0):.3f}s, "
+                    f"before the {delay:.3f}s retry backoff completes"
+                )
+        clock.sleep(delay)
+    raise RetryExhaustedError(
+        f"all {policy.max_attempts} attempt(s) failed: {last_error}",
+        attempts=policy.max_attempts,
+        last_error=last_error,
+    )

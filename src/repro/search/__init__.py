@@ -15,6 +15,7 @@ from repro.search.iog import (
     Crawler,
     GenomeHost,
     GenomeSearchService,
+    HostOutcome,
     PublishedLink,
 )
 from repro.search.metadata import MetadataSearch
@@ -27,6 +28,7 @@ __all__ = [
     "Crawler",
     "GenomeHost",
     "GenomeSearchService",
+    "HostOutcome",
     "MetadataSearch",
     "PublishedLink",
     "RegionSearch",

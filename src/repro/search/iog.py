@@ -16,12 +16,14 @@ accounted on a :class:`~repro.federation.transfer.Network`.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 
-from repro.errors import SearchError
+from repro.errors import RetryExhaustedError, SearchError, TransientError
 from repro.federation.transfer import Network
 from repro.gdm import Dataset
 from repro.repository.index import tokenize_value
+from repro.resilience import RetryPolicy, SimulatedClock, call_with_retry
 from repro.search.ranking import tf_idf_scores
 
 
@@ -86,6 +88,7 @@ class GenomeHost:
 
     def crawlable_links(self, requester: str) -> list:
         """Serve the public link list (one protocol fetch)."""
+        self.network.fire(f"iog.links:{self.name}")
         if self.offline:
             raise SearchError(f"host {self.name!r} is unreachable")
         links = [
@@ -98,6 +101,7 @@ class GenomeHost:
 
     def download(self, dataset_name: str, requester: str) -> Dataset:
         """Serve a dataset download (the asynchronous user fetch)."""
+        self.network.fire(f"iog.download:{self.name}")
         if self.offline:
             raise SearchError(f"host {self.name!r} is unreachable")
         try:
@@ -111,20 +115,65 @@ class GenomeHost:
         return dataset
 
 
+@dataclass(frozen=True)
+class HostOutcome:
+    """What happened at one host during one crawl pass."""
+
+    host: str
+    ok: bool
+    attempts: int = 1
+    reason: str = ""
+
+
 @dataclass
 class CrawlReport:
-    """What one crawl pass did."""
+    """What one crawl pass did.
 
-    hosts_visited: int = 0
-    hosts_failed: int = 0
+    Per-host accounting has a single source of truth: the
+    :attr:`host_outcomes` list.  ``hosts_planned`` / ``hosts_visited`` /
+    ``hosts_failed`` / ``retries`` are all *derived* from it, so they can
+    never disagree with each other (they used to be independent counters
+    and could drift).
+    """
+
     links_seen: int = 0
     links_new_or_updated: int = 0
     datasets_mirrored: int = 0
     bytes_fetched: int = 0
+    host_outcomes: list = field(default_factory=list)  # of HostOutcome
+
+    @property
+    def hosts_planned(self) -> int:
+        """Hosts this pass attempted (bounded by the crawl budget)."""
+        return len(self.host_outcomes)
+
+    @property
+    def hosts_visited(self) -> int:
+        return sum(1 for outcome in self.host_outcomes if outcome.ok)
+
+    @property
+    def hosts_failed(self) -> int:
+        return sum(1 for outcome in self.host_outcomes if not outcome.ok)
+
+    @property
+    def retries(self) -> int:
+        """Failed fetch attempts that were retried within the pass."""
+        return sum(max(0, outcome.attempts - 1)
+                   for outcome in self.host_outcomes)
+
+    def failed_hosts(self) -> list:
+        return sorted(o.host for o in self.host_outcomes if not o.ok)
 
 
 class Crawler:
-    """Periodic, polite crawler feeding the search service."""
+    """Periodic, polite crawler feeding the search service.
+
+    Link fetches and mirror downloads run under a seeded
+    :class:`~repro.resilience.RetryPolicy`: transient host trouble is
+    retried within the pass (in virtual time), while hard failures --
+    offline hosts, exhausted retries -- mark the host failed so the next
+    pass tries it first.
+    """
 
     def __init__(
         self,
@@ -132,11 +181,33 @@ class Crawler:
         network: Network,
         name: str = "crawler",
         mirror_budget_bytes: int = 0,
+        policy: RetryPolicy | None = None,
+        seed: int = 0,
     ) -> None:
         self.hosts = {host.name: host for host in hosts}
         self.network = network
         self.name = name
         self.mirror_budget_bytes = mirror_budget_bytes
+        self.policy = policy or RetryPolicy()
+        self.clock = SimulatedClock(sink=network.log)
+        self.rng = random.Random(seed)
+
+    def _fetch(self, fn) -> tuple:
+        """Run one host interaction under the retry policy.
+
+        Returns ``(result, attempts)``; raises the final error (with
+        attempts folded into :class:`RetryExhaustedError`) on failure.
+        """
+        attempts = [0]
+
+        def on_attempt(attempt, __error):
+            attempts[0] = attempt
+
+        result = call_with_retry(
+            fn, self.policy, clock=self.clock, rng=self.rng,
+            on_attempt=on_attempt,
+        )
+        return result, attempts[0] + 1
 
     def crawl(self, service: "GenomeSearchService",
               max_hosts: int | None = None) -> CrawlReport:
@@ -157,13 +228,24 @@ class Crawler:
         for host in order:
             baseline = self.network.log.bytes_total
             try:
-                links = host.crawlable_links(self.name)
-            except SearchError:
-                # Unreachable host: count the failure but do not advance
+                links, attempts = self._fetch(
+                    lambda h=host: h.crawlable_links(self.name)
+                )
+            except (SearchError, TransientError, RetryExhaustedError) as exc:
+                # Unreachable host: record the failure but do not advance
                 # its last-crawled clock, so the next pass retries it first.
-                report.hosts_failed += 1
+                attempts = (
+                    exc.attempts
+                    if isinstance(exc, RetryExhaustedError) else 1
+                )
+                report.host_outcomes.append(
+                    HostOutcome(host.name, ok=False, attempts=attempts,
+                                reason=type(exc).__name__)
+                )
                 continue
-            report.hosts_visited += 1
+            report.host_outcomes.append(
+                HostOutcome(host.name, ok=True, attempts=attempts)
+            )
             service.last_crawled[host.name] = service.clock
             for link in links:
                 report.links_seen += 1
@@ -176,7 +258,15 @@ class Crawler:
                         and mirrored_bytes + link.size_bytes
                         <= self.mirror_budget_bytes
                     ):
-                        dataset = host.download(link.dataset_name, self.name)
+                        try:
+                            dataset, __ = self._fetch(
+                                lambda h=host, l=link: h.download(
+                                    l.dataset_name, self.name
+                                )
+                            )
+                        except (SearchError, TransientError,
+                                RetryExhaustedError):
+                            continue    # link stays indexed, just unmirrored
                         service.mirror(link, dataset)
                         mirrored_bytes += link.size_bytes
                         report.datasets_mirrored += 1

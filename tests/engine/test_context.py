@@ -94,6 +94,99 @@ class TestCancellation:
             )
 
 
+class TestDeadlineClock:
+    def test_deadline_measured_on_injected_clock(self):
+        from repro.resilience import SimulatedClock
+
+        clock = SimulatedClock()
+        context = ExecutionContext(timeout_seconds=5.0, clock=clock)
+        context.check()
+        assert context.remaining_seconds() == pytest.approx(5.0)
+        clock.advance(4.0)
+        context.check()                  # still inside the budget
+        clock.advance(2.0)
+        with pytest.raises(ExecutionCancelled):
+            context.check()
+
+    def test_real_clock_still_default(self):
+        context = ExecutionContext(timeout_seconds=100.0)
+        assert 0 < context.remaining_seconds() <= 100.0
+
+
+class TestDeadlineRetryInteraction:
+    """The run deadline must cut retries short *promptly* (satellite #3)."""
+
+    def test_backoff_sleep_never_outlives_deadline(self):
+        from repro.errors import TransientNetworkError
+        from repro.resilience import RetryPolicy, SimulatedClock, call_with_retry
+
+        clock = SimulatedClock()
+        context = ExecutionContext(timeout_seconds=1.0, clock=clock)
+
+        def always_flaky():
+            raise TransientNetworkError("blip")
+
+        # Backoff (10s) dwarfs the deadline (1s): the loop must cancel
+        # immediately instead of finishing the sleep.
+        with pytest.raises(ExecutionCancelled):
+            call_with_retry(
+                always_flaky,
+                RetryPolicy(max_attempts=5, base_delay=10.0, jitter=0.0),
+                clock=clock, context=context,
+            )
+        assert clock.slept == 0.0        # cancelled before sleeping
+        assert clock.now < 1.0           # and well before the deadline
+
+    def test_deadline_allows_retries_that_fit(self):
+        from repro.errors import TransientNetworkError
+        from repro.resilience import RetryPolicy, SimulatedClock, call_with_retry
+
+        clock = SimulatedClock()
+        context = ExecutionContext(timeout_seconds=10.0, clock=clock)
+        calls = []
+
+        def flaky_once():
+            calls.append(1)
+            if len(calls) == 1:
+                raise TransientNetworkError("blip")
+            return "ok"
+
+        result = call_with_retry(
+            flaky_once, RetryPolicy(max_attempts=3, base_delay=0.1,
+                                    jitter=0.0),
+            clock=clock, context=context,
+        )
+        assert result == "ok"
+        assert clock.slept == pytest.approx(0.1)
+
+    def test_cancellation_between_retries_is_honoured(self):
+        from repro.errors import TransientNetworkError
+        from repro.resilience import RetryPolicy, SimulatedClock, call_with_retry
+
+        clock = SimulatedClock()
+        context = ExecutionContext(clock=clock)
+
+        def flaky_and_cancelling():
+            context.cancel()
+            raise TransientNetworkError("blip")
+
+        with pytest.raises(ExecutionCancelled):
+            call_with_retry(
+                flaky_and_cancelling,
+                RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0),
+                clock=clock, context=context,
+            )
+
+    def test_per_call_timeout_never_exceeds_remaining_deadline(self):
+        from repro.resilience import SimulatedClock, Timeout
+
+        clock = SimulatedClock()
+        context = ExecutionContext(timeout_seconds=3.0, clock=clock)
+        clock.advance(2.0)
+        assert Timeout(5.0).budget(context) == pytest.approx(1.0)
+        assert Timeout(0.5).budget(context) == pytest.approx(0.5)
+
+
 class TestWorkersConfig:
     def test_workers_from_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "3")

@@ -1,0 +1,85 @@
+"""Tests for per-host circuit breakers and the breaker registry."""
+
+import pytest
+
+from repro.errors import CircuitOpenError
+from repro.resilience import BreakerRegistry, CircuitBreaker, SimulatedClock
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+@pytest.fixture()
+def clock():
+    return SimulatedClock()
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self, clock):
+        breaker = CircuitBreaker("h1", failure_threshold=3, clock=clock)
+        for __ in range(2):
+            breaker.before_call()
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+
+    def test_open_breaker_rejects_instantly(self, clock):
+        breaker = CircuitBreaker("h1", failure_threshold=1,
+                                 reset_seconds=30.0, clock=clock)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.before_call()
+        assert info.value.host == "h1"
+        assert breaker.rejections == 1
+
+    def test_half_open_probe_after_reset_window(self, clock):
+        breaker = CircuitBreaker("h1", failure_threshold=1,
+                                 reset_seconds=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.before_call()            # no raise: probe allowed
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self, clock):
+        breaker = CircuitBreaker("h1", failure_threshold=1,
+                                 reset_seconds=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.before_call()            # healthy again
+
+    def test_probe_failure_reopens(self, clock):
+        breaker = CircuitBreaker("h1", failure_threshold=5,
+                                 reset_seconds=10.0, clock=clock)
+        for __ in range(5):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.before_call()
+        breaker.record_failure()         # one probe failure is enough
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_success_resets_failure_streak(self, clock):
+        breaker = CircuitBreaker("h1", failure_threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED   # streak broken, not cumulative
+
+
+class TestBreakerRegistry:
+    def test_one_breaker_per_host(self, clock):
+        registry = BreakerRegistry(clock=clock)
+        assert registry.get("a") is registry.get("a")
+        assert registry.get("a") is not registry.get("b")
+
+    def test_states_and_open_hosts(self, clock):
+        registry = BreakerRegistry(failure_threshold=1, clock=clock)
+        registry.get("a").record_failure()
+        registry.get("b").record_success()
+        assert registry.states() == {"a": OPEN, "b": CLOSED}
+        assert registry.open_hosts() == ["a"]

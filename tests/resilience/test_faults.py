@@ -1,0 +1,143 @@
+"""Tests for the deterministic fault injector and the chaos spec language."""
+
+import pytest
+
+from repro.errors import (
+    HostDownError,
+    ResilienceError,
+    TransientNetworkError,
+)
+from repro.resilience import FaultInjector, FaultRule, arm, armed, disarm
+
+
+class TestSpecParsing:
+    def test_full_spec(self):
+        injector = FaultInjector.from_spec(
+            "seed=42;crash@*:h2;transient@federation.execute:h1?times=2;"
+            "latency@iog.links:*?ms=250,p=0.5"
+        )
+        assert injector.seed == 42
+        kinds = [rule.kind for rule in injector.rules]
+        assert kinds == ["crash", "transient", "latency"]
+        latency = injector.rules[2]
+        assert latency.latency_seconds == pytest.approx(0.25)
+        assert latency.probability == 0.5
+        assert injector.rules[1].times == 2
+
+    def test_empty_clauses_ignored(self):
+        injector = FaultInjector.from_spec("seed=1;;crash@*:x;")
+        assert len(injector.rules) == 1
+
+    @pytest.mark.parametrize("spec", [
+        "crash",                      # no @POINT
+        "explode@*:h1",               # unknown kind
+        "transient@h1?bogus=3",       # unknown parameter
+        "transient@h1?times=soon",    # bad value
+        "seed=pi",                    # bad seed
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ResilienceError):
+            FaultInjector.from_spec(spec)
+
+    def test_rule_validation(self):
+        with pytest.raises(ResilienceError):
+            FaultRule("transient", "*", probability=1.5)
+        with pytest.raises(ResilienceError):
+            FaultRule("transient", "*", times=0)
+
+
+class TestFiring:
+    def test_miss_returns_payload_unchanged(self):
+        injector = FaultInjector([FaultRule("crash", "federation.*")])
+        payload, delay = injector.fire("iog.links:h1", b"data")
+        assert payload == b"data"
+        assert delay == 0.0
+        assert injector.injected == []
+
+    def test_crash_is_permanent(self):
+        injector = FaultInjector([FaultRule("crash", "*:h2")])
+        for __ in range(5):
+            with pytest.raises(HostDownError):
+                injector.fire("federation.execute:h2")
+        assert len(injector.injected) == 5
+
+    def test_transient_respects_times(self):
+        injector = FaultInjector([FaultRule("transient", "*:h1", times=2)])
+        for __ in range(2):
+            with pytest.raises(TransientNetworkError):
+                injector.fire("federation.execute:h1")
+        injector.fire("federation.execute:h1")      # healed
+        assert injector.injected_by_kind() == {"transient": 2}
+
+    def test_latency_accumulates(self):
+        injector = FaultInjector(
+            [FaultRule("latency", "*", latency_seconds=0.1),
+             FaultRule("latency", "iog.*", latency_seconds=0.4)]
+        )
+        __, delay = injector.fire("iog.links:h1")
+        assert delay == pytest.approx(0.5)
+
+    def test_corruption_is_detectable_and_bounded(self):
+        injector = FaultInjector([FaultRule("corrupt", "*", times=1)], seed=3)
+        original = b"the quick brown fox"
+        corrupted, __ = injector.fire("federation.transfer:h1", original)
+        assert corrupted != original
+        assert len(corrupted) == len(original)
+        # times=1 exhausted: later payloads pass untouched.
+        clean, __ = injector.fire("federation.transfer:h1", original)
+        assert clean == original
+
+    def test_probability_and_replay_are_seeded(self):
+        def run(seed):
+            injector = FaultInjector(
+                [FaultRule("transient", "*", probability=0.5)], seed=seed
+            )
+            outcomes = []
+            for __ in range(20):
+                try:
+                    injector.fire("p")
+                    outcomes.append("ok")
+                except TransientNetworkError:
+                    outcomes.append("fail")
+            return outcomes
+
+        assert run(7) == run(7)                     # byte-for-byte replay
+        assert run(7) != run(8)                     # seed actually matters
+        assert {"ok", "fail"} == set(run(7))        # p=0.5 mixes outcomes
+
+
+class TestAmbientInjector:
+    def test_arm_and_disarm(self):
+        injector = FaultInjector([FaultRule("crash", "*:x")])
+        assert armed() is None
+        try:
+            assert arm(injector) is injector
+            assert armed() is injector
+        finally:
+            disarm()
+        assert armed() is None
+
+    def test_network_picks_up_ambient(self):
+        from repro.federation import Network
+
+        network = Network()
+        try:
+            arm(FaultInjector([FaultRule("latency", "*",
+                                         latency_seconds=1.0)]))
+            network.fire("anything")
+            assert network.log.simulated_seconds == pytest.approx(1.0)
+        finally:
+            disarm()
+
+    def test_explicit_injector_beats_ambient(self):
+        from repro.federation import Network
+
+        explicit = FaultInjector([FaultRule("latency", "*",
+                                            latency_seconds=2.0)])
+        network = Network(injector=explicit)
+        try:
+            arm(FaultInjector([FaultRule("crash", "*")]))
+            network.fire("anything")    # crash rule must NOT fire
+            assert network.log.simulated_seconds == pytest.approx(2.0)
+        finally:
+            disarm()

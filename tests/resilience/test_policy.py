@@ -1,0 +1,153 @@
+"""Tests for retry policies, timeouts and the deadline-aware retry loop."""
+
+import random
+
+import pytest
+
+from repro.engine import ExecutionContext
+from repro.errors import (
+    CallTimeoutError,
+    CorruptTransferError,
+    ExecutionCancelled,
+    HostDownError,
+    RetryExhaustedError,
+    SearchError,
+    TransientNetworkError,
+)
+from repro.resilience import (
+    RetryPolicy,
+    SimulatedClock,
+    Timeout,
+    call_with_retry,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.3,
+                             jitter=0.0)
+        delays = [policy.delay_for(a) for a in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.3, 0.3]
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5)
+        first = [policy.delay_for(1, random.Random(7)) for __ in range(3)]
+        second = [policy.delay_for(1, random.Random(7)) for __ in range(3)]
+        assert first == second                      # same seed, same jitter
+        assert all(0.5 <= d <= 1.5 for d in first)  # within +/- jitter
+
+    def test_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(TransientNetworkError("x"))
+        assert policy.is_retryable(HostDownError("x"))
+        assert policy.is_retryable(CallTimeoutError("x"))
+        assert policy.is_retryable(CorruptTransferError("x"))
+        assert not policy.is_retryable(SearchError("x"))
+        assert not policy.is_retryable(ValueError("x"))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+
+
+class FlakyThenGood:
+    """Callable failing *failures* times before succeeding."""
+
+    def __init__(self, failures, error=TransientNetworkError("blip")):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "ok"
+
+
+class TestCallWithRetry:
+    def test_transient_then_recover(self):
+        clock = SimulatedClock()
+        fn = FlakyThenGood(2)
+        result = call_with_retry(
+            fn, RetryPolicy(max_attempts=3, jitter=0.0), clock=clock
+        )
+        assert result == "ok"
+        assert fn.calls == 3
+        assert clock.slept > 0          # backoff happened, in virtual time
+
+    def test_exhaustion_wraps_last_error(self):
+        fn = FlakyThenGood(10)
+        with pytest.raises(RetryExhaustedError) as info:
+            call_with_retry(fn, RetryPolicy(max_attempts=3, jitter=0.0),
+                            clock=SimulatedClock())
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, TransientNetworkError)
+        assert fn.calls == 3
+
+    def test_non_retryable_raises_immediately(self):
+        fn = FlakyThenGood(5, error=SearchError("offline"))
+        with pytest.raises(SearchError):
+            call_with_retry(fn, RetryPolicy(max_attempts=5),
+                            clock=SimulatedClock())
+        assert fn.calls == 1
+
+    def test_backoff_schedule_is_deterministic(self):
+        def run():
+            clock = SimulatedClock()
+            with pytest.raises(RetryExhaustedError):
+                call_with_retry(
+                    FlakyThenGood(99),
+                    RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.3),
+                    clock=clock, rng=random.Random(42),
+                )
+            return clock.slept
+
+        assert run() == run()
+
+    def test_on_attempt_reports_each_failure(self):
+        seen = []
+        call_with_retry(
+            FlakyThenGood(2), RetryPolicy(max_attempts=3, jitter=0.0),
+            clock=SimulatedClock(),
+            on_attempt=lambda attempt, error: seen.append(
+                (attempt, type(error).__name__)
+            ),
+        )
+        assert seen == [(1, "TransientNetworkError"),
+                        (2, "TransientNetworkError")]
+
+
+class TestTimeout:
+    def test_budget_without_context(self):
+        assert Timeout(5.0).budget() == 5.0
+        assert Timeout().budget() is None
+
+    def test_budget_capped_by_deadline(self):
+        clock = SimulatedClock()
+        context = ExecutionContext(timeout_seconds=2.0, clock=clock)
+        assert Timeout(5.0).budget(context) == pytest.approx(2.0)
+        assert Timeout(1.0).budget(context) == pytest.approx(1.0)
+        assert Timeout().budget(context) == pytest.approx(2.0)
+
+    def test_slow_call_times_out_and_retries(self):
+        clock = SimulatedClock()
+
+        calls = []
+
+        def sometimes_slow():
+            calls.append(1)
+            if len(calls) == 1:
+                clock.advance(10.0)      # first call is pathologically slow
+            return "ok"
+
+        result = call_with_retry(
+            sometimes_slow, RetryPolicy(max_attempts=2, jitter=0.0),
+            clock=clock, timeout=Timeout(1.0),
+        )
+        assert result == "ok"
+        assert len(calls) == 2          # slow attempt discarded, retried

@@ -1,0 +1,108 @@
+"""Property: transient faults are invisible in results (retry transparency).
+
+For *any* seeded fault schedule containing only transient faults (each
+healing within the retry budget), a federated query must return exactly
+the same results as the fault-free run -- retries may cost traffic and
+simulated time, but never correctness.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federation import FederatedClient, FederationNode, Network
+from repro.gdm import Dataset, Metadata, RegionSchema, Sample, region
+from repro.repository import Catalog
+from repro.resilience import FaultInjector, FaultRule, RetryPolicy
+
+PROGRAM = "R = SELECT() PEAKS; MATERIALIZE R;"
+
+#: Points a transient schedule may target (host filled in per rule).
+TRANSIENT_POINTS = (
+    "federation.info:{host}",
+    "federation.execute:{host}",
+    "federation.chunk:{host}",
+    "staging.retrieve:{host}",
+)
+#: Payload-corrupting faults are transient too: checksums catch them and
+#: the chunk is re-fetched.
+CORRUPT_POINT = "federation.transfer:{host}"
+
+MAX_ATTEMPTS = 4
+
+
+def tiny_dataset(index):
+    ds = Dataset("PEAKS", RegionSchema.empty())
+    ds.add_sample(
+        Sample(
+            1,
+            [region("chr1", 500 * index + i * 40, 500 * index + i * 40 + 20)
+             for i in range(1 + index)],
+            Metadata({"part": str(index)}),
+        )
+    )
+    return ds
+
+
+def build_client(injector, seed):
+    network = Network(injector=injector)
+    nodes = []
+    for index in range(2):
+        catalog = Catalog(f"n{index}")
+        catalog.register(tiny_dataset(index))
+        nodes.append(FederationNode(f"n{index}", catalog, network))
+    return FederatedClient(
+        nodes, network, seed=seed,
+        policy=RetryPolicy(max_attempts=MAX_ATTEMPTS, base_delay=0.01,
+                           jitter=0.2),
+    )
+
+
+def digests(outcome):
+    return {
+        node: {name: info["sha256"] for name, info in outputs.items()}
+        for node, outputs in outcome.results.items()
+    }
+
+
+transient_rules = st.lists(
+    st.builds(
+        lambda template, host, times: FaultRule(
+            "corrupt" if template == CORRUPT_POINT else "transient",
+            template.format(host=host),
+            times=times,
+        ),
+        template=st.sampled_from(TRANSIENT_POINTS + (CORRUPT_POINT,)),
+        host=st.sampled_from(["n0", "n1", "*"]),
+        times=st.integers(min_value=1, max_value=MAX_ATTEMPTS - 1),
+    ),
+    max_size=3,
+    # The transparency precondition: every fault heals within one call's
+    # retry budget.  Rules can stack on the same injection point, so the
+    # *total* injections any single call may absorb must stay below the
+    # attempt count (hypothesis found the 1+1+2 == MAX_ATTEMPTS stack).
+).filter(lambda rules: sum(r.times for r in rules) < MAX_ATTEMPTS)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rules=transient_rules, chaos_seed=st.integers(0, 2**16))
+def test_transient_schedules_never_change_results(rules, chaos_seed):
+    clean = build_client(None, seed=chaos_seed).run_scatter(PROGRAM)
+    chaotic_client = build_client(
+        FaultInjector(rules, seed=chaos_seed), seed=chaos_seed
+    )
+    chaotic = chaotic_client.run_scatter(PROGRAM)
+    assert chaotic.degraded is False
+    assert chaotic.skipped_hosts == ()
+    assert digests(chaotic) == digests(clean)
+
+
+@settings(max_examples=10, deadline=None)
+@given(rules=transient_rules, chaos_seed=st.integers(0, 2**16))
+def test_transient_schedules_replay_deterministically(rules, chaos_seed):
+    def run():
+        client = build_client(FaultInjector(rules, seed=chaos_seed),
+                              seed=chaos_seed)
+        outcome = client.run_scatter(PROGRAM)
+        return (digests(outcome), outcome.retries, outcome.bytes_moved)
+
+    assert run() == run()

@@ -90,6 +90,49 @@ class TestCrawling:
         assert len(service.mirrors) >= 1
 
 
+class TestCrawlReportAccounting:
+    """Per-host accounting has one source of truth: host_outcomes."""
+
+    def test_counts_derive_from_outcomes(self, world):
+        hosts, service, crawler, __ = world
+        report = crawler.crawl(service)
+        assert report.hosts_planned == len(report.host_outcomes) == 4
+        assert report.hosts_visited + report.hosts_failed == report.hosts_planned
+        assert report.retries == 0
+        assert report.failed_hosts() == []
+
+    def test_offline_host_consistent_with_budgeted_pass(self, world):
+        hosts, service, crawler, __ = world
+        hosts[0].offline = True
+        report = crawler.crawl(service, max_hosts=2)
+        assert report.hosts_planned == 2            # bounded by the budget
+        assert report.hosts_visited + report.hosts_failed == 2
+        assert report.failed_hosts() == ["center0"]
+        outcome = next(o for o in report.host_outcomes if not o.ok)
+        assert outcome.reason == "SearchError"
+        assert outcome.attempts == 1                # offline is not retried
+
+    def test_coverage_denominator_unmoved_by_failures(self, world):
+        """A failed host must not inflate (or deflate) coverage."""
+        hosts, service, crawler, __ = world
+        hosts[1].offline = True
+        crawler.crawl(service)
+        # 3 of 4 hosts indexed, 2 public links each.
+        assert service.coverage(hosts) == pytest.approx(6 / 8)
+        hosts[1].offline = False
+        crawler.crawl(service)
+        assert service.coverage(hosts) == 1.0
+
+    def test_failed_host_not_marked_crawled(self, world):
+        hosts, service, crawler, __ = world
+        hosts[2].offline = True
+        crawler.crawl(service)
+        assert "center2" not in service.last_crawled
+        hosts[2].offline = False
+        report = crawler.crawl(service)     # retried first, LRU order
+        assert report.host_outcomes[0].host == "center2"
+
+
 class TestSearchService:
     def test_search_with_snippets_and_mirror_flag(self, world):
         hosts, service, crawler, __ = world

@@ -127,6 +127,59 @@ class TestRunNewFlags:
         assert "SELECT" in out and "ms" in out
 
 
+class TestChaosFlag:
+    def test_chaos_transient_fault_is_retried_transparently(
+        self, capsys, encode_dir, program_file
+    ):
+        code = main(
+            ["run", program_file, "--source", f"ENCODE={encode_dir}",
+             "--chaos", "seed=7;transient@repository.load:*?times=1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "R: 1 sample(s), 1 region(s)" in out
+        assert "chaos: 1 fault(s) injected: transient=1" in out
+
+    def test_chaos_noop_spec_reports_nothing_injected(
+        self, capsys, encode_dir, program_file
+    ):
+        code = main(
+            ["run", program_file, "--source", f"ENCODE={encode_dir}",
+             "--chaos", "seed=7;crash@federation.*:nowhere"]
+        )
+        assert code == 0
+        assert "chaos: no faults injected" in capsys.readouterr().out
+
+    def test_chaos_permanent_fault_is_clean_error(
+        self, capsys, encode_dir, program_file
+    ):
+        code = main(
+            ["run", program_file, "--source", f"ENCODE={encode_dir}",
+             "--chaos", "seed=7;transient@repository.load:ENCODE"]
+        )
+        assert code == 1
+        assert "attempt(s) failed" in capsys.readouterr().err
+
+    def test_bad_chaos_spec_is_clean_error(
+        self, capsys, encode_dir, program_file
+    ):
+        code = main(
+            ["run", program_file, "--source", f"ENCODE={encode_dir}",
+             "--chaos", "explode@everything"]
+        )
+        assert code == 1
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_chaos_disarmed_after_run(self, encode_dir, program_file):
+        from repro.resilience import armed
+
+        main(
+            ["run", program_file, "--source", f"ENCODE={encode_dir}",
+             "--chaos", "seed=7;latency@*?ms=1"]
+        )
+        assert armed() is None
+
+
 class TestExplainAnalyze:
     def test_analyze_prints_backends_and_timings(
         self, capsys, encode_dir, program_file

@@ -1,58 +1,270 @@
-"""Failure-injection tests: the distributed pieces must degrade cleanly."""
+"""Failure-injection tests: the distributed pieces must degrade cleanly.
+
+All outage scenarios are driven by the seeded
+:class:`~repro.resilience.FaultInjector` chaos layer -- no ad-hoc state
+poking -- so every scenario here replays byte-for-byte from its chaos
+spec.  Three fixed seeds (the CI ``chaos`` job's matrix) are exercised
+via the ``REPRO_CHAOS_SEED`` environment variable.
+"""
 
 import os
 
 import pytest
 
-from repro.errors import FormatError, RepositoryError, SearchError
-from repro.federation import Network
+from repro.engine import ExecutionContext
+from repro.errors import (
+    CircuitOpenError,
+    FederationError,
+    FormatError,
+    RepositoryError,
+    SearchError,
+)
+from repro.federation import FederatedClient, FederationNode, Network
 from repro.formats import read_dataset, write_dataset
 from repro.gdm import Dataset, Metadata, RegionSchema, Sample, region
-from repro.repository import StagingArea
+from repro.repository import Catalog, StagingArea
+from repro.resilience import (
+    BreakerRegistry,
+    FaultInjector,
+    RetryPolicy,
+    SimulatedClock,
+)
 from repro.search import Crawler, GenomeHost, GenomeSearchService
 
+#: The CI chaos job re-runs this module under several fixed seeds.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1"))
 
-def small_dataset(name="DS"):
+
+def small_dataset(name="DS", n_regions=1, start=0):
     ds = Dataset(name, RegionSchema.empty())
     ds.add_sample(
-        Sample(1, [region("chr1", 0, 50)], Metadata({"cell": "HeLa-S3"}))
+        Sample(
+            1,
+            [region("chr1", start + i * 100, start + i * 100 + 50)
+             for i in range(n_regions)],
+            Metadata({"cell": "HeLa-S3"}),
+        )
     )
     return ds
 
 
-class TestOfflineHosts:
-    @pytest.fixture()
-    def world(self):
-        network = Network()
+def partitioned_federation(spec="", **client_options):
+    """Three nodes, each holding one partition of the PEAKS dataset."""
+    injector = FaultInjector.from_spec(spec) if spec else None
+    network = Network(injector=injector)
+    nodes = []
+    for index in range(3):
+        catalog = Catalog(f"n{index}")
+        catalog.register(small_dataset("PEAKS", n_regions=2 + index,
+                                       start=1000 * index))
+        nodes.append(FederationNode(f"n{index}", catalog, network))
+    client = FederatedClient(nodes, network, seed=CHAOS_SEED,
+                             **client_options)
+    return client, network, injector
+
+
+PROGRAM = "R = SELECT() PEAKS; MATERIALIZE R;"
+
+
+class TestDegradedScatterPlan:
+    """The acceptance scenario: one host dead, one flaky, plan completes."""
+
+    SPEC = (
+        f"seed={CHAOS_SEED};"
+        "crash@*:n1;"                                # n1 dies permanently
+        "transient@federation.execute:n2?times=1"    # n2 hiccups once
+    )
+
+    def test_completes_degraded_with_skipped_host_named(self):
+        client, __, __i = partitioned_federation(self.SPEC)
+        outcome = client.run_scatter(PROGRAM)
+        assert outcome.degraded is True
+        assert [host for host, __r in outcome.skipped_hosts] == ["n1"]
+        # The survivors both answered, despite n2's transient fault.
+        assert sorted(outcome.results) == ["n0", "n2"]
+        assert outcome.retries >= 1
+        assert "DEGRADED" in outcome.report() and "n1" in outcome.report()
+
+    def test_surviving_results_match_fault_free_run(self):
+        chaotic, *__ = partitioned_federation(self.SPEC)
+        clean, *__c = partitioned_federation()
+        degraded = chaotic.run_scatter(PROGRAM)
+        baseline = clean.run_scatter(PROGRAM)
+        assert baseline.degraded is False
+        for host in ("n0", "n2"):
+            assert (
+                degraded.results[host]["R"]["sha256"]
+                == baseline.results[host]["R"]["sha256"]
+            )
+
+    def test_whole_scenario_replays_byte_for_byte_from_seed(self):
+        def run():
+            client, network, injector = partitioned_federation(self.SPEC)
+            outcome = client.run_scatter(PROGRAM)
+            return (
+                outcome.results,
+                outcome.skipped_hosts,
+                outcome.bytes_moved,
+                outcome.message_count,
+                outcome.retries,
+                [(i.point, i.kind) for i in injector.injected],
+                network.log.simulated_seconds,
+            )
+
+        assert run() == run()
+
+    def test_all_hosts_dead_still_raises(self):
+        client, *__ = partitioned_federation(f"seed={CHAOS_SEED};crash@*:n*")
+        with pytest.raises(FederationError, match="no usable node"):
+            client.run_scatter(PROGRAM)
+
+
+class TestTransientFederation:
+    def test_query_shipping_survives_transient_faults(self):
+        spec = (f"seed={CHAOS_SEED};"
+                "transient@federation.execute:*?times=2")
+        chaotic, *__ = partitioned_federation(spec)
+        clean, *__c = partitioned_federation()
+        bumpy = chaotic.run_query_shipping(PROGRAM)
+        smooth = clean.run_query_shipping(PROGRAM)
+        assert bumpy.retries >= 2
+        assert bumpy.results["R"]["sha256"] == smooth.results["R"]["sha256"]
+
+    def test_corrupted_chunk_detected_and_refetched(self):
+        spec = (f"seed={CHAOS_SEED};"
+                "corrupt@federation.transfer:*?times=1")
+        chaotic, __, injector = partitioned_federation(spec)
+        clean, *__c = partitioned_federation()
+        bumpy = chaotic.run_scatter(PROGRAM)
+        smooth = clean.run_scatter(PROGRAM)
+        assert injector.injected_by_kind().get("corrupt") == 1
+        assert bumpy.retries >= 1           # the re-fetch
+        for host in bumpy.results:
+            assert (
+                bumpy.results[host]["R"]["sha256"]
+                == smooth.results[host]["R"]["sha256"]
+            )
+
+    def test_retry_backoff_billed_as_simulated_time(self):
+        spec = (f"seed={CHAOS_SEED};"
+                "transient@federation.info:n0?times=1")
+        client, network, __ = partitioned_federation(spec)
+        client.discover()
+        assert client.clock.slept > 0
+        assert network.log.simulated_seconds >= client.clock.slept
+
+
+class TestBreakerScenarios:
+    def breaker_client(self):
+        """Aggressive policy/breaker so circuits open quickly."""
+        return partitioned_federation(
+            f"seed={CHAOS_SEED};crash@*:n1",
+            policy=RetryPolicy(max_attempts=2, base_delay=0.01, jitter=0.0),
+        )
+
+    def test_breaker_opens_after_repeated_failures(self):
+        client, *__ = self.breaker_client()
+        client.caller.breakers = BreakerRegistry(
+            failure_threshold=2, reset_seconds=60.0, clock=client.clock
+        )
+        client.discover()               # 2 failed attempts trip the breaker
+        assert client.caller.breakers.open_hosts() == ["n1"]
+        breaker = client.caller.breakers.get("n1")
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_open_breaker_short_circuits_next_plan(self):
+        client, network, __ = self.breaker_client()
+        client.caller.breakers = BreakerRegistry(
+            failure_threshold=2, reset_seconds=60.0, clock=client.clock
+        )
+        client.discover()
+        messages_before = network.log.message_count()
+        outcome = client.run_scatter(PROGRAM)
+        assert outcome.degraded
+        assert outcome.skipped_hosts[0][0] == "n1"
+        # No protocol traffic was wasted on the dead host this time.
+        dead_traffic = [
+            m for m in network.log.messages[messages_before:]
+            if "n1" in (m[0], m[1])
+        ]
+        assert dead_traffic == []
+
+    def test_half_open_probe_recovers_healed_host(self):
+        client, *__ = partitioned_federation(
+            f"seed={CHAOS_SEED};transient@*:n1?times=2",
+            policy=RetryPolicy(max_attempts=1),  # no in-call retries
+        )
+        client.caller.breakers = BreakerRegistry(
+            failure_threshold=2, reset_seconds=5.0, clock=client.clock
+        )
+        client.discover()               # first failure
+        client.discover()               # second failure trips the breaker
+        assert client.caller.breakers.open_hosts() == ["n1"]
+        client.clock.advance(5.0)       # reset window passes; host healed
+        locations = client.discover()   # half-open probe succeeds
+        assert client.caller.breakers.open_hosts() == []
+        assert locations["PEAKS"] in {"n0", "n1", "n2"}
+
+    def test_metrics_and_spans_surface_resilience_activity(self):
+        context = ExecutionContext()
+        client, *__ = partitioned_federation(
+            f"seed={CHAOS_SEED};transient@federation.info:n0?times=1",
+            context=context,
+        )
+        client.discover()
+        snapshot = context.metrics.snapshot()
+        assert snapshot["resilience.retries"] >= 1
+        assert snapshot["resilience.host.n0.failures"] >= 1
+        labels = [span.label for span in context.tracer.iter_spans()]
+        assert any(label == "call info:n0" for label in labels)
+
+
+class TestCrawlerUnderChaos:
+    def world(self, spec):
+        injector = FaultInjector.from_spec(spec) if spec else None
+        network = Network(injector=injector)
         hosts = [GenomeHost(f"h{i}", network) for i in range(3)]
         for i, host in enumerate(hosts):
             host.publish(small_dataset(f"DS{i}"))
         service = GenomeSearchService()
-        crawler = Crawler(hosts, network)
+        crawler = Crawler(hosts, network, seed=CHAOS_SEED)
         return hosts, service, crawler
 
-    def test_crawl_skips_offline_host(self, world):
-        hosts, service, crawler = world
-        hosts[1].offline = True
-        report = crawler.crawl(service)
-        assert report.hosts_failed == 1
-        assert report.hosts_visited == 2
-        assert 0 < service.coverage(hosts) < 1.0
-
-    def test_offline_host_retried_first_on_recovery(self, world):
-        hosts, service, crawler = world
-        hosts[1].offline = True
-        crawler.crawl(service)
-        hosts[1].offline = False
+    def test_transient_host_recovers_within_the_pass(self):
+        hosts, service, crawler = self.world(
+            f"seed={CHAOS_SEED};transient@iog.links:h1?times=2"
+        )
         report = crawler.crawl(service)
         assert report.hosts_failed == 0
+        assert report.hosts_visited == 3
+        assert report.retries == 2
         assert service.coverage(hosts) == 1.0
 
-    def test_offline_download_raises(self, world):
-        hosts, *_ = world
-        hosts[0].offline = True
-        with pytest.raises(SearchError, match="unreachable"):
-            hosts[0].download("DS0", "user")
+    def test_dead_host_marked_failed_and_retried_next_pass(self):
+        # times=3 outlasts exactly one pass of the default 3-attempt policy.
+        hosts, service, crawler = self.world(
+            f"seed={CHAOS_SEED};transient@iog.links:h1?times=3"
+        )
+        report = crawler.crawl(service)
+        assert report.failed_hosts() == ["h1"]
+        assert report.hosts_planned == report.hosts_visited + report.hosts_failed
+        assert 0 < service.coverage(hosts) < 1.0
+        # The injected outage heals (times exhausted); h1 is retried first.
+        second = crawler.crawl(service)
+        assert second.hosts_failed == 0
+        assert service.coverage(hosts) == 1.0
+
+    def test_crawl_scenario_is_seed_deterministic(self):
+        def run():
+            hosts, service, crawler = self.world(
+                f"seed={CHAOS_SEED};transient@iog.links:*?p=0.5"
+            )
+            report = crawler.crawl(service)
+            return ([(o.host, o.ok, o.attempts) for o in report.host_outcomes],
+                    service.coverage(hosts))
+
+        assert run() == run()
 
 
 class TestCorruptDatasetDirectories:
@@ -118,3 +330,16 @@ class TestStagingLifecycle:
         staging.retrieve_all(first)  # still there
         with pytest.raises(RepositoryError):
             staging.retrieve_all(second)
+
+    def test_staging_chaos_point_fires(self):
+        injector = FaultInjector.from_spec(
+            f"seed={CHAOS_SEED};transient@staging.stage:n9?times=1"
+        )
+        network = Network(injector=injector)
+        staging = StagingArea(fire=network.fire, owner="n9")
+        from repro.errors import TransientNetworkError
+
+        with pytest.raises(TransientNetworkError):
+            staging.stage(small_dataset())
+        ticket = staging.stage(small_dataset())   # healed
+        assert staging.retrieve_all(ticket)
