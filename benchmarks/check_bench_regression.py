@@ -1,0 +1,97 @@
+"""CI gate for the ``repro bench`` harness.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BENCH_pr3.json \
+        benchmarks/BENCH_baseline_pr3.json [--factor 2.0]
+
+Compares a freshly produced BENCH document against the committed
+baseline and exits non-zero when the columnar engine regressed.  The
+check is ratio-based so it survives machine-speed differences: for each
+scenario the *relative* cost ``columnar / naive`` (warm, falling back to
+cold) is compared, and a fresh ratio more than ``--factor`` times the
+baseline ratio fails.  Two absolute invariants are also enforced on the
+fresh document: the MAP scenario must report zone-map pruning
+(``partitions_pruned > 0``) and the columnar variant must report result
+cache hits -- a silently disabled store or cache would otherwise pass
+on speed alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _seconds(cell: dict) -> float:
+    warm = cell.get("warm_seconds")
+    return warm if warm is not None else cell["cold_seconds"]
+
+
+def _ratio(entry: dict, numerator: str, denominator: str) -> float | None:
+    variants = entry["variants"]
+    if numerator not in variants or denominator not in variants:
+        return None
+    reference = _seconds(variants[denominator])
+    if not reference:
+        return None
+    return _seconds(variants[numerator]) / reference
+
+
+def check(fresh: dict, baseline: dict, factor: float) -> list:
+    """All failure messages (empty when the gate passes)."""
+    failures = []
+    for scenario, entry in fresh["scenarios"].items():
+        if not entry.get("identical_results", True):
+            failures.append(f"{scenario}: engine variants disagree on results")
+        base_entry = baseline["scenarios"].get(scenario)
+        if base_entry is None:
+            continue
+        fresh_ratio = _ratio(entry, "columnar", "naive")
+        base_ratio = _ratio(base_entry, "columnar", "naive")
+        if fresh_ratio is not None and base_ratio:
+            if fresh_ratio > base_ratio * factor:
+                failures.append(
+                    f"{scenario}: columnar/naive ratio regressed "
+                    f"{fresh_ratio:.2f} vs baseline {base_ratio:.2f} "
+                    f"(allowed factor {factor})"
+                )
+    map_entry = fresh["scenarios"].get("map", {})
+    columnar = map_entry.get("variants", {}).get("columnar")
+    if columnar is not None:
+        if columnar.get("partitions_pruned", 0) <= 0:
+            failures.append(
+                "map: columnar variant reports no zone-map pruning "
+                "(partitions_pruned == 0)"
+            )
+        if columnar.get("cache", {}).get("hits", 0) <= 0:
+            failures.append(
+                "map: columnar variant reports no result-cache hits"
+            )
+    return failures
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="BENCH JSON produced by this run")
+    parser.add_argument("baseline", help="committed baseline BENCH JSON")
+    parser.add_argument(
+        "--factor", type=float, default=2.0,
+        help="allowed slowdown of the columnar/naive ratio (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    failures = check(fresh, baseline, args.factor)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("bench regression gate passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

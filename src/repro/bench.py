@@ -1,0 +1,249 @@
+"""The ``repro bench`` harness: section-2 scenarios across engines.
+
+Runs the paper's headline region operations (MAP, JOIN, COVER over
+simulated ENCODE-shaped data, see :mod:`repro.simulate`) on a matrix of
+engine variants and writes one BENCH JSON document:
+
+* ``naive`` -- the reference row-at-a-time kernels;
+* ``columnar-nostore`` -- the columnar kernels with the store disabled
+  (``use_store: False``) and no result cache: the pre-store baseline;
+* ``columnar`` -- columnar kernels over store blocks with zone-map
+  pruning *and* the plan-fingerprint result cache: cold run pays the
+  kernels, warm runs hit the cache;
+* ``auto`` -- per-node routing over the same store;
+* ``parallel`` -- the process-pool backend (``full`` scale only, where
+  worker start-up amortises).
+
+Every variant regenerates its sources from the same seed, so store
+blocks memoised by one variant never subsidise another, and every
+variant's result digest is compared for byte-identity.  Each scenario
+records wall times, the ``store.partitions_pruned`` counter, and the
+result-cache hit/miss statistics -- the numbers the CI regression gate
+(``benchmarks/check_bench_regression.py``) checks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.engine.context import ExecutionContext
+from repro.engine.dispatch import get_backend
+from repro.gmql.lang import Interpreter, compile_program, optimize
+from repro.store.cache import reset_result_cache, result_cache
+
+#: Scenario programs: the section-2 shapes, one operator in the spotlight.
+PROGRAMS = {
+    "map": """
+        PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+        PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+        RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
+        MATERIALIZE RESULT;
+    """,
+    "join": """
+        PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+        PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+        RESULT = JOIN(DLE(20000); output: LEFT) PROMS PEAKS;
+        MATERIALIZE RESULT;
+    """,
+    "cover": """
+        PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+        RESULT = COVER(2, ANY) PEAKS;
+        MATERIALIZE RESULT;
+    """,
+}
+
+#: Data sizes: ``tiny`` for unit tests, ``smoke`` for the CI bench job,
+#: ``full`` for the committed baseline numbers.
+SCALES = {
+    "tiny": {"n_genes": 60, "n_enhancers": 30, "n_samples": 3,
+             "peaks_per_sample_mean": 40},
+    "smoke": {"n_genes": 200, "n_enhancers": 100, "n_samples": 8,
+              "peaks_per_sample_mean": 150},
+    "full": {"n_genes": 400, "n_enhancers": 200, "n_samples": 32,
+             "peaks_per_sample_mean": 400},
+}
+
+#: ``(variant name, engine, use_store, result cache enabled)``.
+VARIANTS = (
+    ("naive", "naive", True, False),
+    ("columnar-nostore", "columnar", False, False),
+    ("columnar", "columnar", True, True),
+    ("auto", "auto", True, True),
+    ("parallel", "parallel", True, False),
+)
+
+
+def default_variants(scale: str) -> tuple:
+    """Variant names benched at *scale* (parallel only pays off at full)."""
+    names = [name for name, *_ in VARIANTS]
+    if scale != "full":
+        names.remove("parallel")
+    return tuple(names)
+
+
+def _sources(scale: str, seed: int) -> dict:
+    """Freshly generated source datasets (fresh store memos included)."""
+    from repro.simulate import EncodeRepository, GenomeLayout
+
+    params = SCALES[scale]
+    layout = GenomeLayout.generate(
+        seed=seed,
+        n_genes=params["n_genes"],
+        n_enhancers=params["n_enhancers"],
+    )
+    repo = EncodeRepository.generate(
+        seed=seed,
+        n_samples=params["n_samples"],
+        peaks_per_sample_mean=params["peaks_per_sample_mean"],
+        layout=layout,
+    )
+    return {"ANNOTATIONS": repo.annotations, "ENCODE": repo.encode}
+
+
+def _result_digest(results: dict) -> str:
+    """Engine-independent digest of every materialised dataset's rows."""
+    import hashlib
+
+    h = hashlib.blake2b(digest_size=16)
+    for name in sorted(results):
+        h.update(name.encode())
+        for row in results[name].region_rows():
+            h.update(repr(row).encode())
+    return h.hexdigest()
+
+
+def _run_variant(
+    program: str,
+    scale: str,
+    seed: int,
+    engine: str,
+    use_store: bool,
+    cache_enabled: bool,
+    repeat: int,
+    bin_size: int | None,
+    workers: int | None,
+) -> dict:
+    """Time one (scenario, variant) cell: cold run plus warm repeats."""
+    sources = _sources(scale, seed)
+    compiled = optimize(compile_program(program))
+    reset_result_cache()
+    runs = []
+    pruned_cold = 0
+    digest = None
+    for iteration in range(max(1, repeat)):
+        context = ExecutionContext(
+            workers=workers,
+            bin_size=bin_size,
+            result_cache=cache_enabled,
+            config={"use_store": use_store},
+        )
+        backend = get_backend(engine)
+        started = time.perf_counter()
+        try:
+            results = Interpreter(
+                backend, sources, context=context
+            ).run_program(compiled)
+        finally:
+            backend.close()
+        runs.append(time.perf_counter() - started)
+        if iteration == 0:
+            pruned_cold = context.metrics.counter("store.partitions_pruned")
+            digest = _result_digest(results)
+    cache = result_cache().stats()
+    return {
+        "engine": engine,
+        "use_store": use_store,
+        "result_cache_enabled": cache_enabled,
+        "cold_seconds": runs[0],
+        "warm_seconds": min(runs[1:]) if len(runs) > 1 else None,
+        "runs_seconds": runs,
+        "partitions_pruned": pruned_cold,
+        "cache": {
+            "hits": cache["hits"],
+            "misses": cache["misses"],
+            "evictions": cache["evictions"],
+        },
+        "digest": digest,
+    }
+
+
+def run_bench(
+    scale: str = "smoke",
+    scenarios: tuple | None = None,
+    variants: tuple | None = None,
+    repeat: int = 3,
+    bin_size: int | None = None,
+    workers: int | None = None,
+    seed: int = 42,
+) -> dict:
+    """Run the benchmark matrix; returns the BENCH document (plain dict)."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    scenario_names = tuple(scenarios or PROGRAMS)
+    variant_names = tuple(variants or default_variants(scale))
+    by_name = {name: spec for name, *spec in VARIANTS}
+    document = {
+        "bench": "pr3",
+        "scale": scale,
+        "repeat": repeat,
+        "seed": seed,
+        "bin_size": bin_size,
+        "scenarios": {},
+    }
+    for scenario in scenario_names:
+        program = PROGRAMS[scenario]
+        cells = {}
+        for variant in variant_names:
+            engine, use_store, cache_enabled = by_name[variant]
+            cells[variant] = _run_variant(
+                program, scale, seed, engine, use_store, cache_enabled,
+                repeat, bin_size, workers,
+            )
+        digests = {cell["digest"] for cell in cells.values()}
+        entry = {"variants": cells, "identical_results": len(digests) == 1}
+        baseline = cells.get("columnar-nostore")
+        store_cell = cells.get("columnar")
+        if baseline and store_cell:
+            warm = store_cell["warm_seconds"] or store_cell["cold_seconds"]
+            reference = baseline["warm_seconds"] or baseline["cold_seconds"]
+            entry["columnar_vs_nostore_speedup"] = (
+                reference / warm if warm else None
+            )
+        document["scenarios"][scenario] = entry
+    return document
+
+
+def write_bench(document: dict, path: str) -> None:
+    """Write the BENCH document as indented JSON."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_summary(document: dict) -> str:
+    """Human-readable table of the BENCH document (CLI output)."""
+    lines = [
+        f"bench {document['bench']}  scale={document['scale']}"
+        f"  repeat={document['repeat']}"
+    ]
+    for scenario, entry in document["scenarios"].items():
+        lines.append(f"\n{scenario}:")
+        for variant, cell in entry["variants"].items():
+            warm = cell["warm_seconds"]
+            warm_text = f"{warm * 1000:9.1f}" if warm is not None else "        -"
+            lines.append(
+                f"  {variant:<18} cold {cell['cold_seconds'] * 1000:9.1f} ms"
+                f"  warm {warm_text} ms"
+                f"  pruned {cell['partitions_pruned']:>6}"
+                f"  cache {cell['cache']['hits']}/{cell['cache']['misses']}"
+            )
+        if not entry["identical_results"]:
+            lines.append("  WARNING: variants disagree on result content")
+        speedup = entry.get("columnar_vs_nostore_speedup")
+        if speedup is not None:
+            lines.append(
+                f"  columnar (store+cache) vs columnar-nostore:"
+                f" {speedup:.1f}x warm"
+            )
+    return "\n".join(lines)

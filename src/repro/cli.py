@@ -12,6 +12,7 @@ Subcommands::
         [--chaos SPEC]
     python -m repro explain QUERY.gmql
     python -m repro explain QUERY.gmql --analyze --source ENCODE=./encode_dir
+    python -m repro bench --scale smoke --out BENCH_pr3.json
     python -m repro info DATASET_DIR
     python -m repro convert input.narrowPeak output.bed
     python -m repro formats
@@ -106,6 +107,45 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="N",
                              help="worker processes for parallel kernels")
 
+    bench_cmd = commands.add_parser(
+        "bench",
+        help="run the section-2 MAP/JOIN/COVER benchmark matrix across "
+             "engines and write a BENCH JSON document",
+    )
+    bench_cmd.add_argument(
+        "--out", default="BENCH_pr3.json",
+        help="output JSON path (default: BENCH_pr3.json)",
+    )
+    bench_cmd.add_argument(
+        "--scale", default="smoke", choices=("tiny", "smoke", "full"),
+        help="data size (default: smoke)",
+    )
+    bench_cmd.add_argument(
+        "--scenarios", default=None, metavar="NAMES",
+        help="comma-separated scenario subset (map,join,cover)",
+    )
+    bench_cmd.add_argument(
+        "--engines", default=None, metavar="NAMES",
+        help="comma-separated variant subset "
+             "(naive,columnar-nostore,columnar,auto,parallel)",
+    )
+    bench_cmd.add_argument(
+        "--repeat", type=_positive_int, default=3, metavar="N",
+        help="runs per variant; the first is cold, the rest warm "
+             "(default: 3)",
+    )
+    bench_cmd.add_argument(
+        "--bin-size", type=_positive_int, default=None, metavar="BP",
+        help="zone-map bin size in base pairs "
+             "(default: REPRO_BIN_SIZE or the store default)",
+    )
+    bench_cmd.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="worker processes for the parallel variant",
+    )
+    bench_cmd.add_argument("--seed", type=_positive_int, default=42,
+                           help="data generation seed (default: 42)")
+
     info_cmd = commands.add_parser("info", help="summarise a dataset directory")
     info_cmd.add_argument("directory")
 
@@ -179,10 +219,20 @@ def _run_with_chaos(args, injector) -> int:
     if not args.no_optimize:
         compiled = optimize(compiled)
     backend = get_backend(args.engine)
-    context = ExecutionContext(workers=args.workers)
-    results = Interpreter(backend, sources, context=context).run_program(
-        compiled
-    )
+    context = ExecutionContext(workers=args.workers, result_cache=True)
+    # Each `repro run` starts cold: the cache still deduplicates repeated
+    # subplans within this program, but one invocation never inherits (or
+    # pollutes) the process-wide cache of an embedding process.
+    from repro.store.cache import reset_result_cache
+
+    reset_result_cache()
+    try:
+        results = Interpreter(backend, sources, context=context).run_program(
+            compiled
+        )
+    finally:
+        # Release worker pools deterministically (not via __del__).
+        backend.close()
     for name, dataset in results.items():
         summary = dataset.summary()
         print(
@@ -225,7 +275,12 @@ def _command_explain(args) -> int:
         from repro.gmql.lang import explain_analyze
 
         sources = _load_sources(args.source)
-        context = ExecutionContext(workers=args.workers)
+        context = ExecutionContext(workers=args.workers, result_cache=True)
+        # Cold cache per invocation, mirroring `repro run`: the counters
+        # below then describe this program alone.
+        from repro.store.cache import reset_result_cache
+
+        reset_result_cache()
         __, physical, context = explain_analyze(
             program,
             sources,
@@ -234,12 +289,50 @@ def _command_explain(args) -> int:
             context=context,
         )
         print(physical.explain(analyze=True))
+        print(
+            "store: partitions_pruned="
+            f"{context.metrics.counter('store.partitions_pruned')}"
+        )
+        print(
+            "result cache: "
+            f"hits={context.metrics.counter('result_cache.hits')} "
+            f"misses={context.metrics.counter('result_cache.misses')}"
+        )
+        # The total line stays last: scripts tail it.
         print(f"total: {context.tracer.total_seconds() * 1000:.2f} ms")
         return 0
     compiled = compile_program(program)
     if not args.no_optimize:
         compiled = optimize(compiled)
     print(compiled.explain())
+    return 0
+
+
+def _command_bench(args) -> int:
+    from repro.bench import render_summary, run_bench, write_bench
+
+    scenarios = (
+        tuple(name.strip() for name in args.scenarios.split(",") if name.strip())
+        if args.scenarios
+        else None
+    )
+    variants = (
+        tuple(name.strip() for name in args.engines.split(",") if name.strip())
+        if args.engines
+        else None
+    )
+    document = run_bench(
+        scale=args.scale,
+        scenarios=scenarios,
+        variants=variants,
+        repeat=args.repeat,
+        bin_size=args.bin_size,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    write_bench(document, args.out)
+    print(render_summary(document))
+    print(f"\nwritten to {args.out}")
     return 0
 
 
@@ -302,6 +395,7 @@ def _command_formats(args) -> int:
 _HANDLERS = {
     "run": _command_run,
     "explain": _command_explain,
+    "bench": _command_bench,
     "info": _command_info,
     "convert": _command_convert,
     "formats": _command_formats,

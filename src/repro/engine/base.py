@@ -22,6 +22,7 @@ into the context's registry.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
@@ -138,6 +139,47 @@ class Backend:
         """Attach an execution context (cancellation, metrics, config)."""
         self._context = context
         return self
+
+    # -- resource lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (worker pools...); idempotent no-op here."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- columnar-store configuration -------------------------------------------
+
+    def use_store(self) -> bool:
+        """Whether kernels may use the columnar store and zone-map pruning.
+
+        Disabled via the bound context (``config={"use_store": False}``)
+        or the ``REPRO_STORE=0`` environment variable; the bench harness
+        uses the former to measure the pre-store baseline.
+        """
+        if self._context is not None and not self._context.config.get(
+            "use_store", True
+        ):
+            return False
+        return os.environ.get("REPRO_STORE", "").strip() != "0"
+
+    def store_bin_size(self) -> int | None:
+        """Zone-map bin size for this run (context, env, or store default)."""
+        if self._context is not None and self._context.bin_size is not None:
+            return self._context.bin_size
+        from repro.engine.context import bin_size_from_env
+
+        return bin_size_from_env()
+
+    def note_pruned(self, partitions: int) -> None:
+        """Account zone-map-pruned partitions into the context metrics."""
+        if partitions and self._context is not None:
+            self._context.metrics.increment(
+                "store.partitions_pruned", partitions
+            )
 
     def reset_stats(self) -> None:
         """Clear accumulated statistics (e.g. between benchmark runs)."""

@@ -1,23 +1,35 @@
-"""The columnar backend: numpy kernels over coordinate arrays.
+"""The columnar backend: numpy kernels over cached store blocks.
 
 Plays the part of the "vectorised cluster framework" in the paper's
-section 4.2 comparison.  Hot kernels are vectorised:
+section 4.2 comparison.  Hot kernels are vectorised and, since the
+:mod:`repro.store` layer landed, consume the per-dataset columnar blocks
+(:meth:`Dataset.store`) instead of rebuilding coordinate arrays from
+region objects on every operator:
 
 * **MAP with COUNT** -- overlap counting via two ``searchsorted`` calls per
   chromosome (``started_before_ref_end - ended_before_ref_start``), the
-  same trick distributed GMQL uses after binning;
-* **COVER** -- the depth profile is computed with ``argsort`` + ``cumsum``
-  over event arrays, then shares the run-merging logic with the naive
-  engine;
-* **DIFFERENCE** -- vectorised overlap counting keeps regions whose count
-  is zero;
+  same trick distributed GMQL uses after binning, with zone-map pruning
+  of chromosomes/bins the experiment provably cannot touch;
+* **COVER** -- the depth profile is computed with the shared numpy event
+  sweep (:func:`repro.store.depth_segments`) over block arrays, then
+  shares the run-merging logic with the naive engine;
+* **DIFFERENCE** -- vectorised overlap counting against the right side's
+  union blocks keeps regions whose count is zero, pruning zone-disjoint
+  partitions;
 * **SELECT** -- region predicates over fixed coordinates and numeric
-  variable attributes evaluate as boolean array expressions.
+  variable attributes evaluate as boolean array expressions over
+  memoised column arrays, and conjunctive coordinate bounds prune whole
+  chromosomes via the zone map;
+* **JOIN** -- candidate windows search block-sorted start arrays, and
+  anchor chromosomes outside the experiment's zone window are skipped.
 
 Everything else (metadata-centric operators, genometric joins with MD or
 stream clauses, non-COUNT map aggregates) falls back to the naive kernels:
 backends differ only where vectorisation pays, which is itself a faithful
 reproduction of how the Spark/Flink encodings share their front end.
+Setting ``use_store: False`` in the execution context config (or
+``REPRO_STORE=0``) restores the block-free legacy paths; ``repro bench``
+uses that switch to measure the store's contribution.
 """
 
 from __future__ import annotations
@@ -45,13 +57,21 @@ from repro.gmql.predicates import (
     RegionNot,
     RegionOr,
 )
+from repro.store.columnar import (
+    count_overlaps_blocks,
+    depth_segments,
+    point_feature_adjustment,
+)
 
 
 def _chrom_arrays(regions: list) -> dict:
     """Group regions by chromosome into sorted coordinate arrays.
 
-    Returns ``{chrom: (sorted_lefts, sorted_rights)}`` where each array is
-    sorted independently (the counting kernel needs both orders).
+    Returns ``{chrom: (sorted_lefts, sorted_rights, zero_positions)}``
+    where the coordinate arrays are sorted independently (the counting
+    kernel needs both orders) and ``zero_positions`` holds the sorted
+    positions of zero-length regions (the kernel's point-feature
+    correction needs them).
     """
     grouped: dict = {}
     for region in regions:
@@ -64,9 +84,10 @@ def _chrom_arrays(regions: list) -> dict:
         rights = np.fromiter(
             (r.right for r in chrom_regions), dtype=np.int64, count=len(chrom_regions)
         )
+        zeros = np.sort(lefts[rights == lefts])
         lefts.sort()
         rights.sort()
-        arrays[chrom] = (lefts, rights)
+        arrays[chrom] = (lefts, rights, zeros)
     return arrays
 
 
@@ -75,7 +96,9 @@ def count_overlaps_vectorised(references: list, probe_arrays: dict) -> np.ndarra
 
     ``count(ref) = |probes with left < ref.right| -
     |probes with right <= ref.left|`` -- every probe starting before the
-    reference ends either overlaps it or has already ended.
+    reference ends either overlaps it or has already ended -- plus
+    :func:`repro.store.columnar.point_feature_adjustment` to keep
+    zero-length references exact.
     """
     counts = np.zeros(len(references), dtype=np.int64)
     if not references:
@@ -87,7 +110,7 @@ def count_overlaps_vectorised(references: list, probe_arrays: dict) -> np.ndarra
         probes = probe_arrays.get(chrom)
         if probes is None:
             continue
-        probe_lefts, probe_rights = probes
+        probe_lefts, probe_rights, probe_zeros = probes
         ref_lefts = np.fromiter(
             (references[i].left for i in indices), dtype=np.int64, count=len(indices)
         )
@@ -96,7 +119,10 @@ def count_overlaps_vectorised(references: list, probe_arrays: dict) -> np.ndarra
         )
         started = np.searchsorted(probe_lefts, ref_rights, side="left")
         ended = np.searchsorted(probe_rights, ref_lefts, side="right")
-        counts[np.asarray(indices)] = started - ended
+        counts[np.asarray(indices)] = (
+            started - ended
+            + point_feature_adjustment(probe_zeros, ref_lefts, ref_rights)
+        )
     return counts
 
 
@@ -111,42 +137,105 @@ def coverage_segments_vectorised(regions: list):
     for chrom in sorted(grouped, key=chromosome_sort_key):
         chrom_regions = grouped[chrom]
         n = len(chrom_regions)
-        positions = np.empty(2 * n, dtype=np.int64)
-        deltas = np.empty(2 * n, dtype=np.int64)
-        for i, region in enumerate(chrom_regions):
-            positions[i] = region.left
-            positions[n + i] = region.right
-        deltas[:n] = 1
-        deltas[n:] = -1
-        order = np.argsort(positions, kind="stable")
-        positions = positions[order]
-        deltas = deltas[order]
-        # Collapse equal positions, then cumulative depth between them.
-        unique_positions, start_indices = np.unique(positions, return_index=True)
-        summed = np.add.reduceat(deltas, start_indices)
-        depths = np.cumsum(summed)
-        for i in range(len(unique_positions) - 1):
-            depth = int(depths[i])
-            if depth > 0:
-                yield CoverageSegment(
-                    chrom,
-                    int(unique_positions[i]),
-                    int(unique_positions[i + 1]),
-                    depth,
-                )
+        starts = np.fromiter(
+            (r.left for r in chrom_regions), dtype=np.int64, count=n
+        )
+        stops = np.fromiter(
+            (r.right for r in chrom_regions), dtype=np.int64, count=n
+        )
+        for left, right, depth in depth_segments(chrom, starts, stops):
+            yield CoverageSegment(chrom, left, right, depth)
 
 
-def _vectorise_predicate(predicate, schema, regions: list):
+def coverage_segments_from_blocks(blocks_list: list):
+    """Depth profile of a sample group straight from store blocks.
+
+    Concatenates each chromosome's event arrays across the group's
+    :class:`~repro.store.columnar.SampleBlocks` (dropping zero-length
+    regions, which contribute no coverage) and sweeps them with the
+    shared numpy kernel; yields :class:`CoverageSegment` in genome
+    order, exactly like :func:`coverage_segments_vectorised`.
+    """
+    from repro.gdm import chromosome_sort_key
+
+    events: dict = {}
+    for blocks in blocks_list:
+        for chrom, block in blocks.chroms.items():
+            wide = block.stops > block.starts
+            if not wide.any():
+                continue
+            bucket = events.setdefault(chrom, ([], []))
+            bucket[0].append(block.starts[wide])
+            bucket[1].append(block.stops[wide])
+    for chrom in sorted(events, key=chromosome_sort_key):
+        starts_list, stops_list = events[chrom]
+        starts = np.concatenate(starts_list)
+        stops = np.concatenate(stops_list)
+        for left, right, depth in depth_segments(chrom, starts, stops):
+            yield CoverageSegment(chrom, left, right, depth)
+
+
+def _conjuncts(predicate) -> list:
+    """Flatten a predicate's top-level AND tree into its conjuncts."""
+    if isinstance(predicate, RegionAnd):
+        return _conjuncts(predicate.left) + _conjuncts(predicate.right)
+    return [predicate]
+
+
+def _chrom_provably_empty(conjuncts: list, entry) -> bool:
+    """True when a zone entry proves no region there can satisfy SELECT.
+
+    Only simple comparisons on the fixed coordinates participate; every
+    other conjunct is ignored (pruning stays conservative).  *entry* is
+    a :class:`repro.store.columnar.ZoneEntry`.
+    """
+    for node in conjuncts:
+        if not isinstance(node, RegionCompare):
+            continue
+        attribute, op = node.attribute, node.operator
+        if attribute in ("chrom", "chr"):
+            target = str(node.value)
+            if op == "==" and target != entry.chrom:
+                return True
+            if op == "!=" and target == entry.chrom:
+                return True
+            continue
+        if attribute in ("left", "start", "right", "stop"):
+            try:
+                value = float(node.value)
+            except (TypeError, ValueError):
+                continue
+            if attribute in ("left", "start"):
+                low, high = entry.min_start, entry.max_start
+            else:
+                low, high = entry.min_stop, entry.max_stop
+            if op == "<" and low >= value:
+                return True
+            if op == "<=" and low > value:
+                return True
+            if op == ">" and high <= value:
+                return True
+            if op == ">=" and high < value:
+                return True
+    return False
+
+
+def _vectorise_predicate(predicate, schema, regions: list,
+                         column_cache: dict | None = None):
     """Evaluate a region predicate as a boolean numpy array, or ``None``.
 
     Handles conjunction/disjunction/negation over comparisons on fixed
     coordinates and numeric variable attributes; anything else returns
     ``None`` and the caller falls back to per-region evaluation.
+
+    *column_cache* (usually a store block's ``column_cache``) memoises
+    the materialised attribute columns across operator invocations, so
+    repeated predicates over one sample never rebuild arrays.
     """
     if not regions:
         return np.zeros(0, dtype=bool)
 
-    columns: dict = {}
+    columns: dict = column_cache if column_cache is not None else {}
 
     def column(name: str):
         if name in columns:
@@ -241,6 +330,9 @@ class ColumnarBackend(NaiveBackend):
                 semijoin = SemiJoin(
                     plan.semijoin_attributes, semijoin_data, plan.semijoin_negated
                 )
+            use_store = self.use_store()
+            store = child.store(self.store_bin_size()) if use_store else None
+            conjuncts = _conjuncts(plan.region_predicate)
 
             def parts():
                 for sample in child:
@@ -250,13 +342,44 @@ class ColumnarBackend(NaiveBackend):
                         continue
                     if semijoin is not None and not semijoin.admits(sample):
                         continue
+                    blocks = store.blocks(sample) if store is not None else None
+                    live = None
+                    if blocks is not None and sample.regions:
+                        dead_positions = []
+                        pruned = 0
+                        for chrom, entry in blocks.zone_map.entries.items():
+                            if _chrom_provably_empty(conjuncts, entry):
+                                pruned += entry.partitions
+                                dead_positions.append(
+                                    blocks.chroms[chrom].index
+                                )
+                        if dead_positions:
+                            self.note_pruned(pruned)
+                            live = np.ones(blocks.n_regions, dtype=bool)
+                            live[np.concatenate(dead_positions)] = False
+                            if not live.any():
+                                yield ([], sample.meta,
+                                       [(child.name, sample.id)])
+                                continue
                     mask = _vectorise_predicate(
-                        plan.region_predicate, child.schema, sample.regions
+                        plan.region_predicate, child.schema, sample.regions,
+                        column_cache=(
+                            blocks.column_cache if blocks is not None else None
+                        ),
                     )
                     if mask is None:
                         bound = plan.region_predicate.bind(child.schema)
-                        regions = [r for r in sample.regions if bound(r)]
+                        if live is None:
+                            regions = [r for r in sample.regions if bound(r)]
+                        else:
+                            regions = [
+                                r
+                                for r, keep in zip(sample.regions, live)
+                                if keep and bound(r)
+                            ]
                     else:
+                        if live is not None:
+                            mask = mask & live
                         regions = [
                             r for r, keep in zip(sample.regions, mask) if keep
                         ]
@@ -286,17 +409,32 @@ class ColumnarBackend(NaiveBackend):
             schema = reference.schema.extend(
                 *(AttributeDef(name, INT) for name in aggregates)
             )
-            arrays = {
-                sample.id: _chrom_arrays(sample.regions) for sample in experiment
-            }
+            use_store = self.use_store()
+            if use_store:
+                bin_size = self.store_bin_size()
+                ref_store = reference.store(bin_size)
+                exp_store = experiment.store(bin_size)
+                arrays = None
+            else:
+                arrays = {
+                    sample.id: _chrom_arrays(sample.regions)
+                    for sample in experiment
+                }
 
             def parts():
                 for ref_sample, exp_sample in sample_pairs(
                     reference, experiment, plan.joinby
                 ):
-                    counts = count_overlaps_vectorised(
-                        ref_sample.regions, arrays[exp_sample.id]
-                    )
+                    if use_store:
+                        counts, pruned = count_overlaps_blocks(
+                            ref_store.blocks(ref_sample),
+                            exp_store.blocks(exp_sample),
+                        )
+                        self.note_pruned(pruned)
+                    else:
+                        counts = count_overlaps_vectorised(
+                            ref_sample.regions, arrays[exp_sample.id]
+                        )
                     width = len(aggregates)
                     regions = [
                         region.with_values(
@@ -334,15 +472,24 @@ class ColumnarBackend(NaiveBackend):
             from repro.gdm import AttributeDef, INT, RegionSchema
 
             schema = RegionSchema((AttributeDef("acc_index", INT),))
+            use_store = self.use_store()
+            store = child.store(self.store_bin_size()) if use_store else None
 
             def parts():
                 for __, samples in group_samples(child, plan.groupby):
-                    regions = [
-                        region for sample in samples for region in sample.regions
-                    ]
                     lo = plan.min_acc.resolve(len(samples), is_lower=True)
                     hi = plan.max_acc.resolve(len(samples), is_lower=False)
-                    segments = coverage_segments_vectorised(regions)
+                    if store is not None:
+                        segments = coverage_segments_from_blocks(
+                            [store.blocks(sample) for sample in samples]
+                        )
+                    else:
+                        regions = [
+                            region
+                            for sample in samples
+                            for region in sample.regions
+                        ]
+                        segments = coverage_segments_vectorised(regions)
                     if plan.variant == "COVER":
                         rows = (
                             (chrom, left, right, depth)
@@ -403,21 +550,42 @@ class ColumnarBackend(NaiveBackend):
 
             # Per experiment sample: regions grouped by chromosome, sorted
             # by left end, with numpy left arrays for window search.
+            use_store = self.use_store()
+            bin_size = self.store_bin_size()
+            exp_store = experiment.store(bin_size) if use_store else None
+            anchor_store = anchor.store(bin_size) if use_store else None
             prepared: dict = {}
+            zone_maps: dict = {}
             for sample in experiment:
-                by_chrom: dict = {}
-                for exp_region in sample.regions:
-                    by_chrom.setdefault(exp_region.chrom, []).append(exp_region)
                 arrays = {}
-                for chrom, chrom_regions in by_chrom.items():
-                    chrom_regions.sort(key=lambda r: (r.left, r.right))
-                    lefts = np.fromiter(
-                        (r.left for r in chrom_regions),
-                        dtype=np.int64,
-                        count=len(chrom_regions),
-                    )
-                    max_width = max(r.length for r in chrom_regions)
-                    arrays[chrom] = (chrom_regions, lefts, max_width)
+                if use_store:
+                    blocks = exp_store.blocks(sample)
+                    for chrom, block in blocks.chroms.items():
+                        order = block.left_order
+                        chrom_regions = [
+                            sample.regions[i] for i in block.index[order]
+                        ]
+                        arrays[chrom] = (
+                            chrom_regions,
+                            block.starts[order],
+                            block.max_width,
+                        )
+                    zone_maps[sample.id] = blocks.zone_map
+                else:
+                    by_chrom: dict = {}
+                    for exp_region in sample.regions:
+                        by_chrom.setdefault(exp_region.chrom, []).append(
+                            exp_region
+                        )
+                    for chrom, chrom_regions in by_chrom.items():
+                        chrom_regions.sort(key=lambda r: (r.left, r.right))
+                        lefts = np.fromiter(
+                            (r.left for r in chrom_regions),
+                            dtype=np.int64,
+                            count=len(chrom_regions),
+                        )
+                        max_width = max(r.length for r in chrom_regions)
+                        arrays[chrom] = (chrom_regions, lefts, max_width)
                 prepared[sample.id] = arrays
 
             def emit(a, b, gap):
@@ -445,8 +613,36 @@ class ColumnarBackend(NaiveBackend):
                     anchor, experiment, plan.joinby
                 ):
                     arrays = prepared[exp_sample.id]
+                    live_chroms = None
+                    if use_store:
+                        # Zone-map prune: anchor chromosomes whose
+                        # distance-extended window misses every
+                        # experiment region produce no pairs.
+                        exp_zone = zone_maps[exp_sample.id]
+                        anchor_blocks = anchor_store.blocks(anchor_sample)
+                        live_chroms = set()
+                        pruned = 0
+                        for chrom, a_entry in (
+                            anchor_blocks.zone_map.entries.items()
+                        ):
+                            exp_entry = exp_zone.entry(chrom)
+                            # Widened by one on each side: DLE accepts
+                            # gap == limit, window_overlaps is strict.
+                            if exp_entry is None or not exp_entry.window_overlaps(
+                                a_entry.min_start - max_distance - 1,
+                                a_entry.max_stop + max_distance + 1,
+                            ):
+                                pruned += a_entry.partitions
+                            else:
+                                live_chroms.add(chrom)
+                        self.note_pruned(pruned)
                     regions = []
                     for a_region in anchor_sample.regions:
+                        if (
+                            live_chroms is not None
+                            and a_region.chrom not in live_chroms
+                        ):
+                            continue
                         entry = arrays.get(a_region.chrom)
                         if entry is None:
                             continue
@@ -500,15 +696,27 @@ class ColumnarBackend(NaiveBackend):
             return super().run_difference(plan, left, right)
 
         def kernel():
-            mask_arrays = _chrom_arrays(
-                [region for sample in right for region in sample.regions]
-            )
+            use_store = self.use_store()
+            if use_store:
+                bin_size = self.store_bin_size()
+                left_store = left.store(bin_size)
+                mask_blocks = right.store(bin_size).union_blocks()
+            else:
+                mask_arrays = _chrom_arrays(
+                    [region for sample in right for region in sample.regions]
+                )
 
             def parts():
                 for sample in left:
-                    counts = count_overlaps_vectorised(
-                        sample.regions, mask_arrays
-                    )
+                    if use_store:
+                        counts, pruned = count_overlaps_blocks(
+                            left_store.blocks(sample), mask_blocks
+                        )
+                        self.note_pruned(pruned)
+                    else:
+                        counts = count_overlaps_vectorised(
+                            sample.regions, mask_arrays
+                        )
                     kept = [
                         region
                         for region, count in zip(sample.regions, counts)

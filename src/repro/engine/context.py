@@ -33,6 +33,30 @@ def workers_from_env(default: int | None = None) -> int | None:
     return value if value >= 1 else default
 
 
+def bin_size_from_env(default: int | None = None) -> int | None:
+    """Partition bin size from ``REPRO_BIN_SIZE`` (positions per bin).
+
+    Tunes zone-map/partition granularity the same way ``REPRO_WORKERS``
+    tunes parallelism; ``None``/*default* when unset or invalid.
+    """
+    raw = os.environ.get("REPRO_BIN_SIZE", "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
+
+
+def result_cache_from_env(default: bool = False) -> bool:
+    """Whether ``REPRO_RESULT_CACHE_ENABLED`` turns the result cache on."""
+    raw = os.environ.get("REPRO_RESULT_CACHE_ENABLED", "").strip().lower()
+    if not raw:
+        return default
+    return raw in ("1", "true", "yes", "on")
+
+
 @dataclass
 class Span:
     """One timed region of execution, nested under its parent span."""
@@ -157,6 +181,15 @@ class ExecutionContext:
     workers:
         Worker-process count for parallel kernels; defaults to the
         ``REPRO_WORKERS`` environment variable when set.
+    bin_size:
+        Genome partition granularity (positions per zone-map bin) used
+        by the columnar store; defaults to ``REPRO_BIN_SIZE`` when set,
+        otherwise the store's default.
+    result_cache:
+        Whether the interpreter may serve plan nodes from the
+        process-wide fingerprint result cache; defaults to the
+        ``REPRO_RESULT_CACHE_ENABLED`` environment variable (off when
+        unset -- the CLI and the bench harness turn it on explicitly).
     config:
         Free-form engine options (forwarded to backends untouched).
     clock:
@@ -173,12 +206,22 @@ class ExecutionContext:
         metrics: MetricsRegistry | None = None,
         timeout_seconds: float | None = None,
         workers: int | None = None,
+        bin_size: int | None = None,
+        result_cache: bool | None = None,
         config: dict | None = None,
         clock=None,
     ) -> None:
         self.tracer = tracer or SpanTracer()
         self.metrics = metrics or MetricsRegistry()
         self.workers = workers if workers is not None else workers_from_env()
+        self.bin_size = (
+            bin_size if bin_size is not None else bin_size_from_env()
+        )
+        self.result_cache = (
+            result_cache
+            if result_cache is not None
+            else result_cache_from_env()
+        )
         self.config = dict(config or {})
         self._clock = clock
         self._deadline = (

@@ -6,10 +6,19 @@ into independent tasks -- one per sample pair, plus per-chromosome
 splitting for COVER -- and executed by worker processes.  Everything else
 inherits the columnar kernels.
 
-Workers receive pickled region lists and resolved operator parameters
-(aggregates, genometric conditions); they never see plan or engine
-objects.  Task granularity mirrors the bin/partition scheme of
-:mod:`repro.intervals.bins`.
+When the columnar store is enabled (the default), the count-only MAP,
+DIFFERENCE and COVER kernels ship plain numpy coordinate arrays taken
+from the memoised :meth:`Dataset.store` blocks -- orders of magnitude
+cheaper to pickle than region-object lists -- and only the *results*
+(count arrays, keep masks, coverage rows) travel back; region objects
+are rehydrated in the parent.  Zone maps prune whole chromosomes before
+anything is shipped at all.  JOIN and the remaining MAP aggregates still
+ship region lists: their workers need strands and value tuples, and the
+store keeps no per-region payload beyond coordinates.
+
+Workers never see plan or engine objects; they receive resolved operator
+parameters (aggregates, genometric conditions) only.  Task granularity
+mirrors the bin/partition scheme of :mod:`repro.intervals.bins`.
 """
 
 from __future__ import annotations
@@ -17,13 +26,18 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 
+import numpy as np
+
 from repro.gdm import Dataset, GenomicRegion
 from repro.intervals import GenomeIndex, NearestIndex
 from repro.intervals.coverage import (
+    CoverageSegment,
     cover_intervals,
+    cover_intervals_from_segments,
     flat_intervals,
     histogram_intervals,
     summit_intervals,
+    summit_intervals_from_segments,
 )
 from repro.engine.columnar import ColumnarBackend
 from repro.gmql.aggregates import Count
@@ -34,6 +48,7 @@ from repro.gmql.operators.base import (
     sample_pairs,
     union_group_metadata,
 )
+from repro.store.columnar import depth_segments, point_feature_adjustment
 
 def default_workers() -> int:
     """Worker count when unconfigured: ``REPRO_WORKERS`` env var when set,
@@ -138,6 +153,72 @@ def _difference_task(left_regions, mask_regions, exact):
     ]
 
 
+# -- array-shipping task functions (columnar-store fast paths) ------------------
+
+
+def _overlap_counts_arrays(n_regions, ref_data, probe_data):
+    """Overlap counts from shipped coordinate arrays.
+
+    ``ref_data`` maps chrom to ``(starts, stops, index)`` (*index* gives
+    each row's position in the sample's region order); ``probe_data``
+    maps chrom to ``(sorted_starts, sorted_stops, zero_positions)``.
+    Chromosomes the parent pruned via zone maps are simply absent from
+    *probe_data* and keep their zero counts.
+    """
+    counts = np.zeros(n_regions, dtype=np.int64)
+    for chrom, (starts, stops, index) in ref_data.items():
+        probe = probe_data.get(chrom)
+        if probe is None:
+            continue
+        sorted_starts, sorted_stops, zero_positions = probe
+        started = np.searchsorted(sorted_starts, stops, side="left")
+        ended = np.searchsorted(sorted_stops, starts, side="right")
+        counts[index] = started - ended + point_feature_adjustment(
+            zero_positions, starts, stops
+        )
+    return counts
+
+
+def _map_count_task_arrays(n_regions, ref_data, probe_data):
+    """Count-only MAP over shipped arrays: the per-region overlap counts."""
+    return _overlap_counts_arrays(n_regions, ref_data, probe_data)
+
+
+def _difference_mask_task(n_regions, left_data, mask_data):
+    """DIFFERENCE keep-mask over shipped arrays: ``True`` where count is 0."""
+    return _overlap_counts_arrays(n_regions, left_data, mask_data) == 0
+
+
+def _cover_segments_task(chrom_events, lo, hi, variant):
+    """One COVER group's output rows from shipped per-chromosome events.
+
+    ``chrom_events`` is ``[(chrom, starts, stops), ...]`` already in
+    chromosome sort order; the depth profile is computed with the shared
+    numpy event sweep, then run through the same segment-merging helpers
+    the columnar backend uses.
+    """
+
+    def segments():
+        for chrom, starts, stops in chrom_events:
+            for left, right, depth in depth_segments(chrom, starts, stops):
+                yield CoverageSegment(chrom, left, right, depth)
+
+    if variant == "COVER":
+        return [
+            (chrom, left, right, depth)
+            for chrom, left, right, depth, __ in cover_intervals_from_segments(
+                segments(), lo, hi
+            )
+        ]
+    if variant == "SUMMIT":
+        return list(summit_intervals_from_segments(segments(), lo, hi))
+    return [  # HISTOGRAM
+        (s.chrom, s.left, s.right, s.depth)
+        for s in segments()
+        if lo <= s.depth <= hi
+    ]
+
+
 class ParallelBackend(ColumnarBackend):
     """Process-pool backend; inherits columnar kernels for the rest."""
 
@@ -214,6 +295,75 @@ class ParallelBackend(ColumnarBackend):
                 )
             schema = reference.schema.extend(*defs)
             pairs = list(sample_pairs(reference, experiment, plan.joinby))
+            count_only = all(
+                isinstance(aggregate, Count) and attr_index is None
+                for aggregate, attr_index in resolved
+            )
+            if count_only and self.use_store():
+                # Ship coordinate arrays, get count arrays back; regions
+                # are rehydrated here.  Zone-disjoint chromosomes are
+                # pruned before shipping (their counts stay zero).
+                bin_size = self.store_bin_size()
+                ref_store = reference.store(bin_size)
+                exp_store = experiment.store(bin_size)
+                futures = []
+                for ref, exp in pairs:
+                    ref_blocks = ref_store.blocks(ref)
+                    exp_blocks = exp_store.blocks(exp)
+                    ref_data, probe_data, pruned = {}, {}, 0
+                    for chrom, block in ref_blocks.chroms.items():
+                        ref_entry = ref_blocks.zone_map.entry(chrom)
+                        probe_entry = exp_blocks.zone_map.entry(chrom)
+                        if probe_entry is None or not ref_entry.window_overlaps(
+                            probe_entry.min_start, probe_entry.max_stop
+                        ):
+                            pruned += ref_entry.partitions
+                            continue
+                        ref_data[chrom] = (
+                            block.starts, block.stops, block.index,
+                        )
+                        probe_block = exp_blocks.chroms[chrom]
+                        probe_data[chrom] = (
+                            probe_block.sorted_starts,
+                            probe_block.sorted_stops,
+                            probe_block.zero_positions,
+                        )
+                    self.note_pruned(pruned)
+                    futures.append(
+                        self._executor().submit(
+                            _map_count_task_arrays,
+                            len(ref.regions),
+                            ref_data,
+                            probe_data,
+                        )
+                    )
+                width = len(resolved)
+
+                def parts():
+                    for (ref, exp), future in zip(pairs, futures):
+                        counts = future.result()
+                        regions = [
+                            region.with_values(
+                                region.values + (int(count),) * width
+                            )
+                            for region, count in zip(ref.regions, counts)
+                        ]
+                        yield (
+                            regions,
+                            merged_metadata(ref, exp),
+                            [
+                                (reference.name, ref.id),
+                                (experiment.name, exp.id),
+                            ],
+                        )
+
+                return build_result(
+                    "MAP",
+                    f"MAP({reference.name},{experiment.name})",
+                    schema,
+                    parts(),
+                    parameters="parallel",
+                )
             futures = [
                 self._executor().submit(
                     _map_task, ref.regions, exp.regions, resolved
@@ -291,11 +441,48 @@ class ParallelBackend(ColumnarBackend):
 
             schema = RegionSchema((AttributeDef("acc_index", INT),))
             groups = group_samples(child, plan.groupby)
+            use_arrays = plan.variant != "FLAT" and self.use_store()
+            store = child.store(self.store_bin_size()) if use_arrays else None
             futures = []
             for __, samples in groups:
-                regions = [r for sample in samples for r in sample.regions]
                 lo = plan.min_acc.resolve(len(samples), is_lower=True)
                 hi = plan.max_acc.resolve(len(samples), is_lower=False)
+                if use_arrays:
+                    # Ship each chromosome's concatenated event arrays
+                    # (zero-length regions contribute no coverage);
+                    # only the merged rows come back.
+                    from repro.gdm import chromosome_sort_key
+
+                    events: dict = {}
+                    for sample in samples:
+                        for chrom, block in store.blocks(
+                            sample
+                        ).chroms.items():
+                            wide = block.stops > block.starts
+                            if not wide.any():
+                                continue
+                            bucket = events.setdefault(chrom, ([], []))
+                            bucket[0].append(block.starts[wide])
+                            bucket[1].append(block.stops[wide])
+                    chrom_events = [
+                        (
+                            chrom,
+                            np.concatenate(events[chrom][0]),
+                            np.concatenate(events[chrom][1]),
+                        )
+                        for chrom in sorted(events, key=chromosome_sort_key)
+                    ]
+                    futures.append(
+                        self._executor().submit(
+                            _cover_segments_task,
+                            chrom_events,
+                            lo,
+                            hi,
+                            plan.variant,
+                        )
+                    )
+                    continue
+                regions = [r for sample in samples for r in sample.regions]
                 futures.append(
                     self._executor().submit(
                         _cover_task, regions, lo, hi, plan.variant
@@ -332,8 +519,62 @@ class ParallelBackend(ColumnarBackend):
             return super().run_difference(plan, left, right)
 
         def kernel():
-            mask = [r for sample in right for r in sample.regions]
             samples = list(left)
+            if not plan.exact and self.use_store():
+                # Ship arrays, get keep-masks back; zone-disjoint
+                # chromosomes never leave the parent (kept wholesale).
+                bin_size = self.store_bin_size()
+                left_store = left.store(bin_size)
+                mask_blocks = right.store(bin_size).union_blocks()
+                futures = []
+                for sample in samples:
+                    blocks = left_store.blocks(sample)
+                    left_data, mask_data, pruned = {}, {}, 0
+                    for chrom, block in blocks.chroms.items():
+                        entry = blocks.zone_map.entry(chrom)
+                        mask_entry = mask_blocks.zone_map.entry(chrom)
+                        if mask_entry is None or not entry.window_overlaps(
+                            mask_entry.min_start, mask_entry.max_stop
+                        ):
+                            pruned += entry.partitions
+                            continue
+                        left_data[chrom] = (
+                            block.starts, block.stops, block.index,
+                        )
+                        mask_block = mask_blocks.chroms[chrom]
+                        mask_data[chrom] = (
+                            mask_block.sorted_starts,
+                            mask_block.sorted_stops,
+                            mask_block.zero_positions,
+                        )
+                    self.note_pruned(pruned)
+                    futures.append(
+                        self._executor().submit(
+                            _difference_mask_task,
+                            len(sample.regions),
+                            left_data,
+                            mask_data,
+                        )
+                    )
+
+                def parts():
+                    for sample, future in zip(samples, futures):
+                        keep = future.result()
+                        kept = [
+                            region
+                            for region, ok in zip(sample.regions, keep)
+                            if ok
+                        ]
+                        yield (kept, sample.meta, [(left.name, sample.id)])
+
+                return build_result(
+                    "DIFFERENCE",
+                    f"DIFFERENCE({left.name},{right.name})",
+                    left.schema,
+                    parts(),
+                    parameters="parallel",
+                )
+            mask = [r for sample in right for r in sample.regions]
             futures = [
                 self._executor().submit(
                     _difference_task, sample.regions, mask, plan.exact

@@ -37,7 +37,7 @@ class Dataset:
         samples already conform (operators use this on data they built).
     """
 
-    __slots__ = ("name", "schema", "_samples", "provenance")
+    __slots__ = ("name", "schema", "_samples", "provenance", "_stores")
 
     def __init__(
         self,
@@ -51,6 +51,9 @@ class Dataset:
         self.name = name
         self.schema = schema
         self._samples: dict = {}
+        #: Memoised :class:`~repro.store.columnar.DatasetStore` objects,
+        #: keyed by bin size; invalidated whenever a sample is added.
+        self._stores: dict = {}
         #: Provenance records attached by GMQL operators (see
         #: :mod:`repro.gmql.provenance`); empty for source datasets.
         self.provenance: list = []
@@ -68,6 +71,7 @@ class Dataset:
         if validate:
             sample = self._conform(sample)
         self._samples[sample.id] = sample
+        self._stores = {}
 
     def _conform(self, sample: Sample) -> Sample:
         width = len(self.schema)
@@ -158,6 +162,24 @@ class Dataset:
         for sample in self._samples.values():
             found.update(sample.meta.attributes())
         return tuple(sorted(found))
+
+    def store(self, bin_size: int | None = None):
+        """The columnar store of this dataset (built lazily, memoised).
+
+        Returns a :class:`~repro.store.columnar.DatasetStore`: per-sample
+        struct-of-arrays blocks, zone maps and the content digest.  One
+        store is kept per requested bin size; adding a sample
+        invalidates all of them, so stores always describe current
+        content.
+        """
+        from repro.store.columnar import DatasetStore
+
+        key = bin_size or 0
+        store = self._stores.get(key)
+        if store is None:
+            store = DatasetStore(self, bin_size)
+            self._stores[key] = store
+        return store
 
     def estimated_size_bytes(self) -> int:
         """Rough serialised size, used by the federation cost estimator.

@@ -60,7 +60,12 @@ def execute(
     if optimized:
         compiled = optimize(compiled)
     backend = get_backend(engine)
-    return Interpreter(backend, datasets, context=context).run_program(compiled)
+    try:
+        return Interpreter(backend, datasets, context=context).run_program(
+            compiled
+        )
+    finally:
+        backend.close()
 
 
 def explain(program: str, optimized: bool = True) -> str:
@@ -97,7 +102,10 @@ def explain_analyze(
         backend, datasets, context=context or ExecutionContext()
     )
     physical = interpreter.plan(compiled)
-    results = interpreter.run_physical(physical)
+    try:
+        results = interpreter.run_physical(physical)
+    finally:
+        backend.close()
     return results, physical, interpreter.context
 
 

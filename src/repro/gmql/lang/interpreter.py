@@ -129,10 +129,47 @@ class Interpreter:
         return self._backend
 
     def evaluate_physical(self, physical: PhysicalNode) -> Dataset:
-        """Evaluate one physical node (memoised by logical identity)."""
+        """Evaluate one physical node (memoised by logical identity).
+
+        When the context enables the result cache and the node carries a
+        content-based fingerprint, the process-wide
+        :func:`repro.store.cache.result_cache` is consulted first; a hit
+        skips the kernel (and the whole subtree) entirely.  Scans are
+        never cached -- they are already just dictionary lookups.
+        """
         node = physical.logical
         if id(node) in self._memo:
             return self._memo[id(node)]
+        cache = None
+        if (
+            self.context.result_cache
+            and physical.fingerprint is not None
+            and not isinstance(node, ScanPlan)
+        ):
+            from repro.store.cache import result_cache
+
+            cache = result_cache()
+            hit = cache.get(physical.fingerprint)
+            if hit is not None:
+                self.context.metrics.increment("result_cache.hits")
+                with self.context.span(
+                    physical.label(), backend="cache", cached=True
+                ) as span:
+                    span.annotate(
+                        output_regions=hit.region_count(),
+                        output_samples=len(hit),
+                    )
+                physical.actual_seconds = span.seconds
+                physical.actual_regions = hit.region_count()
+                physical.actual_samples = len(hit)
+                physical.executed_backend = "cache"
+                physical.cached = True
+                result = hit
+                if node.result_name:
+                    result = result.with_name(node.result_name)
+                self._memo[id(node)] = result
+                return result
+            self.context.metrics.increment("result_cache.misses")
         backend = self._kernel_backend(physical)
         with self.context.span(
             physical.label(),
@@ -165,6 +202,9 @@ class Interpreter:
         physical.executed_backend = (
             "source" if isinstance(node, ScanPlan) else backend.name
         )
+        if cache is not None:
+            # Stored before the rename: a hit re-applies its own name.
+            cache.put(physical.fingerprint, result)
         if node.result_name:
             result = result.with_name(node.result_name)
         self._memo[id(node)] = result

@@ -14,15 +14,27 @@ After execution the interpreter writes actuals back into the nodes
 (wall time, output region/sample counts, the backend that really ran),
 which is what ``repro explain --analyze`` renders: the plan tree with
 estimated vs actual rows and per-node time/backend.
+
+When source datasets are available at planning time, two store-backed
+refinements kick in.  The cost model consults the scans' zone maps:
+binary region operators whose operands trace back to scans are costed
+on the *live* partitions only (zone-disjoint partitions produce no
+pairs), which can route a nominally huge but spatially disjoint MAP to
+a cheaper kernel.  And every node gets a *fingerprint* -- a digest of
+its operator kind, resolved parameters and its children's fingerprints,
+anchored in the scans' content digests -- which keys the
+:mod:`repro.store.cache` result cache.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.engine.auto import choose_backend
 from repro.engine.dispatch import available_backends
-from repro.gmql.lang.plan import CompiledProgram, PlanNode, ScanPlan
+from repro.gmql.lang.plan import CompiledProgram, JoinPlan, PlanNode, ScanPlan
+from repro.store.cache import plan_token
 
 
 @dataclass
@@ -35,11 +47,15 @@ class PhysicalNode:
     input_regions: float = 0.0              # estimated regions entering
     backend: str = "naive"
     reason: str = ""
+    #: Content-based cache key (``None`` when sources are unavailable at
+    #: planning time, which disables result caching for this node).
+    fingerprint: str | None = None
     # -- actuals, filled in by the interpreter during execution --
     actual_seconds: float | None = None
     actual_regions: int | None = None
     actual_samples: int | None = None
     executed_backend: str | None = None
+    cached: bool = False
 
     @property
     def kind(self) -> str:
@@ -59,6 +75,8 @@ class PhysicalNode:
             parts.append(f"rows={est_regions}->{self.actual_regions}")
             parts.append(f"samples={self.actual_samples}")
             parts.append(f"time={(self.actual_seconds or 0.0) * 1000:.2f}ms")
+            if self.cached:
+                parts.append("cached")
         else:
             parts.append(f"est_rows={est_regions}")
             if self.estimate is not None:
@@ -129,6 +147,73 @@ class PhysicalProgram:
         return out
 
 
+def _scan_source(node: PhysicalNode, datasets: dict):
+    """The source dataset a node's content is drawn from, if derivable.
+
+    Follows chains of row-preserving-or-filtering unary operators down
+    to a scan; anything else (joins, unions, semijoin selects) returns
+    ``None``.  Used only for cost refinement, so the answer being an
+    upper bound on the node's content is exactly what is needed.
+    """
+    current = node
+    while True:
+        if current.kind == "scan":
+            return datasets.get(current.logical.dataset_name)
+        if (
+            current.kind in ("select", "project", "order")
+            and len(current.children) == 1
+        ):
+            current = current.children[0]
+            continue
+        return None
+
+
+def _zone_refinement(node: PlanNode, children: list, datasets: dict):
+    """``(live_fraction, note)`` from the operand scans' zone maps.
+
+    For MAP/DIFFERENCE the live partitions are the (chromosome, bin)
+    pairs occupied on *both* sides -- overlapping regions always share
+    an occupied bin.  For JOIN with a finite DLE bound the test is
+    chromosome-level with distance-widened windows.  Returns
+    ``(None, "")`` when the sources cannot be resolved.
+    """
+    import numpy as np
+
+    if len(children) != 2:
+        return None, ""
+    left = _scan_source(children[0], datasets)
+    right = _scan_source(children[1], datasets)
+    if left is None or right is None:
+        return None, ""
+    left_zone = left.store().zone_map()
+    right_zone = right.store().zone_map()
+    total = left_zone.partitions()
+    if not total:
+        return None, ""
+    live = 0
+    if isinstance(node, JoinPlan):
+        distance = node.condition.max_distance()
+        if distance is None:
+            return None, ""
+        for chrom, entry in left_zone.entries.items():
+            other = right_zone.entry(chrom)
+            if other is not None and other.window_overlaps(
+                entry.min_start - distance - 1,
+                entry.max_stop + distance + 1,
+            ):
+                live += entry.partitions
+    else:
+        for chrom, entry in left_zone.entries.items():
+            other = right_zone.entry(chrom)
+            if other is not None:
+                live += int(
+                    np.intersect1d(
+                        entry.bins, other.bins, assume_unique=True
+                    ).size
+                )
+    return live / total, f"zone maps: {live}/{total} partitions live"
+
+
 def plan_program(
     compiled: CompiledProgram,
     summaries: dict | None = None,
@@ -157,6 +242,29 @@ def plan_program(
     estimates: dict = {}
     memo: dict = {}
 
+    def fingerprint_of(node: PlanNode, children: list) -> str | None:
+        if isinstance(node, ScanPlan):
+            source = (datasets or {}).get(node.dataset_name)
+            if source is None:
+                return None
+            return f"scan:{source.store().digest()}"
+        prints = [child.fingerprint for child in children]
+        if any(print_ is None for print_ in prints):
+            return None
+        h = hashlib.blake2b(digest_size=16)
+        h.update(node.kind.encode())
+        # result_name is a rename, not content; the interpreter
+        # re-applies it after a cache hit.
+        params = {
+            key: value
+            for key, value in vars(node).items()
+            if key not in ("children", "result_name")
+        }
+        h.update(plan_token(params).encode())
+        for print_ in prints:
+            h.update(print_.encode())
+        return h.hexdigest()
+
     def build(node: PlanNode) -> PhysicalNode:
         if id(node) in memo:
             return memo[id(node)]
@@ -168,12 +276,19 @@ def plan_program(
             input_regions = sum(
                 child.estimate.regions for child in children
             )
+        zone_note = ""
+        if datasets and node.kind in ("map", "join", "difference"):
+            fraction, zone_note = _zone_refinement(node, children, datasets)
+            if fraction is not None and fraction < 1.0:
+                input_regions *= fraction
         if engine == "auto":
             backend, reason = choose_backend(node.kind, input_regions, available)
         elif isinstance(node, ScanPlan):
             backend, reason = "source", "scans read datasets directly"
         else:
             backend, reason = engine, f"engine pinned to {engine!r}"
+        if zone_note:
+            reason = f"{reason} ({zone_note})"
         physical = PhysicalNode(
             logical=node,
             children=children,
@@ -181,6 +296,7 @@ def plan_program(
             input_regions=input_regions,
             backend=backend,
             reason=reason,
+            fingerprint=fingerprint_of(node, children),
         )
         memo[id(node)] = physical
         return physical

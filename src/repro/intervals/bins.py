@@ -67,11 +67,24 @@ class Binning:
         the leftmost position of the gap's left flank).  Each pair has
         exactly one reporting bin, so partition-local joins can emit
         without global deduplication.
+
+        For overlapping pairs the anchor ``max(a.left, b.left)`` lies
+        inside the overlap, so both regions touch the reporting bin.
+        For disjoint pairs that anchor would fall in a bin the left
+        flank may never touch (it can even span *several* bins past the
+        flank's end), so the anchor is the left flank's own leftmost
+        position instead -- the flank being the region that ends first,
+        ties broken by start.
         """
         chrom, index = bin_key
         if a.chrom != chrom or b.chrom != chrom:
             return False
-        anchor = max(a.left, b.left)
+        if a.left < b.right and b.left < a.right:
+            anchor = max(a.left, b.left)
+        elif (a.right, a.left) <= (b.right, b.left):
+            anchor = a.left
+        else:
+            anchor = b.left
         return anchor // self.bin_size == index
 
     def bins_for(self, region: GenomicRegion) -> Iterator[tuple]:

@@ -85,7 +85,15 @@ class IntervalTree:
 
     def query(self, left: int, right: int) -> Iterator[GenomicRegion]:
         """Yield stored regions overlapping ``[left, right)`` (any order)."""
-        if right <= left:
+        if right < left:
+            return
+        if right == left:
+            # Zero-length query [p, p): per GenomicRegion.overlaps a point
+            # feature matches regions strictly containing its position, so
+            # take the [p, p+1) candidates minus ones merely starting at p.
+            for region in self.query(left, left + 1):
+                if region.left < left:
+                    yield region
             return
         stack = []
         if self._root is not None:

@@ -1,0 +1,53 @@
+"""The columnar region store: blocks, zone maps and the result cache.
+
+This package is the physical data layout underneath the execution
+engines (the paper's section 4 "cloud-based execution" direction):
+
+* :mod:`repro.store.columnar` -- per-chromosome struct-of-arrays blocks
+  with zone maps, memoised per dataset, so kernels stop rebuilding
+  numpy arrays from region objects on every operator;
+* :mod:`repro.store.cache` -- the plan-fingerprint LRU result cache
+  that lets identical (sub)queries over identical content skip
+  execution entirely.
+
+See ``docs/PERFORMANCE.md`` for the layout, the pruning rules and the
+cache-key/invalidation story.
+"""
+
+from repro.store.cache import (
+    DEFAULT_CAPACITY,
+    ResultCache,
+    cache_capacity_from_env,
+    plan_token,
+    reset_result_cache,
+    result_cache,
+)
+from repro.store.columnar import (
+    ChromBlock,
+    DatasetStore,
+    SampleBlocks,
+    ZoneEntry,
+    ZoneMap,
+    count_overlaps_blocks,
+    depth_segments,
+    occupied_bins,
+    point_feature_adjustment,
+)
+
+__all__ = [
+    "ChromBlock",
+    "DEFAULT_CAPACITY",
+    "DatasetStore",
+    "ResultCache",
+    "SampleBlocks",
+    "ZoneEntry",
+    "ZoneMap",
+    "cache_capacity_from_env",
+    "count_overlaps_blocks",
+    "depth_segments",
+    "occupied_bins",
+    "plan_token",
+    "point_feature_adjustment",
+    "reset_result_cache",
+    "result_cache",
+]

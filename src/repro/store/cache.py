@@ -1,0 +1,148 @@
+"""Plan-fingerprint result cache: reuse operator results across runs.
+
+Physical plan nodes carry a *fingerprint* -- a digest of the operator
+kind, its resolved parameters and the content digests of everything
+below it (:func:`repro.gmql.lang.physical.plan_program` computes them
+bottom-up).  Two plan nodes with the same fingerprint are guaranteed to
+produce the same dataset, so the interpreter can serve the second one
+from this process-wide LRU cache instead of running the kernel.
+
+The cache is content-addressed: source-dataset digests (see
+:meth:`repro.store.columnar.DatasetStore.digest`) anchor every
+fingerprint, so editing a dataset changes the key and stale results are
+never served.  Hit/miss/eviction counters feed ``ExecutionContext``
+metrics, ``repro explain --analyze`` and the ``repro bench`` harness.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+#: Default number of cached operator results kept by the global cache.
+DEFAULT_CAPACITY = 64
+
+
+def cache_capacity_from_env(default: int = DEFAULT_CAPACITY) -> int:
+    """Capacity from ``REPRO_RESULT_CACHE`` (entries; 0 disables)."""
+    raw = os.environ.get("REPRO_RESULT_CACHE", "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return max(0, value)
+
+
+def plan_token(obj) -> str:
+    """A stable, content-based token for plan parameters.
+
+    Predicates, aggregates, genometric conditions and accumulation
+    bounds are plain value objects; walking their instance state
+    recursively gives a deterministic signature without each class
+    having to implement one.  Unknown objects fall back to ``repr``,
+    which is stable for everything the compiler produces.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(plan_token(item) for item in obj) + "]"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(plan_token(item) for item in obj)) + "}"
+    if isinstance(obj, dict):
+        items = sorted(
+            (plan_token(key), plan_token(value))
+            for key, value in obj.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    state = _instance_state(obj)
+    if state is not None:
+        return f"{type(obj).__name__}({plan_token(state)})"
+    return repr(obj)
+
+
+def _instance_state(obj) -> dict | None:
+    """Instance attributes of a value object, or ``None`` for exotica."""
+    if hasattr(obj, "__dict__"):
+        return dict(vars(obj))
+    slots: dict = {}
+    for klass in type(obj).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            if hasattr(obj, name):
+                slots[name] = getattr(obj, name)
+    return slots or None
+
+
+class ResultCache:
+    """A size-bounded LRU of ``fingerprint -> Dataset`` entries."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.capacity = (
+            capacity if capacity is not None else cache_capacity_from_env()
+        )
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str):
+        """The cached dataset for *key*, or ``None`` (recency updated)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, value) -> None:
+        """Insert (or refresh) an entry, evicting the least recent."""
+        if self.capacity <= 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> dict:
+        """Plain-dict counter snapshot (bench/CLI reporting)."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+_GLOBAL_CACHE: ResultCache | None = None
+
+
+def result_cache() -> ResultCache:
+    """The process-wide result cache (created on first use)."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = ResultCache()
+    return _GLOBAL_CACHE
+
+
+def reset_result_cache(capacity: int | None = None) -> ResultCache:
+    """Replace the global cache (benchmarks and tests isolate with this)."""
+    global _GLOBAL_CACHE
+    _GLOBAL_CACHE = ResultCache(capacity)
+    return _GLOBAL_CACHE

@@ -1,0 +1,436 @@
+"""Columnar region blocks and zone maps: the physical storage layer.
+
+GMQL kernels used to rebuild per-chromosome numpy arrays from Python
+region objects on *every* operator invocation.  This module materialises
+each sample once into a struct-of-arrays :class:`SampleBlocks` -- per
+chromosome ``starts``/``stops`` coordinate arrays plus lazily derived
+sort orders -- and attaches a :class:`ZoneMap` (min/max coordinates and
+the set of occupied genome bins per chromosome) so operators can prove
+"nothing here can match" and skip whole chromosomes or bins without
+touching a single region.
+
+The layer is storage-only: it never interprets operator semantics.
+Engines ask a :class:`DatasetStore` (memoised on the dataset, see
+:meth:`repro.gdm.dataset.Dataset.store`) for blocks and zone maps and do
+their own pruning arithmetic; :func:`count_overlaps_blocks` is the one
+shared kernel because MAP-with-COUNT and DIFFERENCE both reduce to it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator
+
+import numpy as np
+
+from repro.intervals.bins import DEFAULT_BIN_SIZE
+
+
+def occupied_bins(
+    starts: np.ndarray, stops: np.ndarray, bin_size: int
+) -> np.ndarray:
+    """Sorted unique bin indices touched by ``[start, stop)`` intervals.
+
+    Every bin an interval overlaps is included (a region spanning bins
+    3..7 occupies all five), which is what makes zone-map pruning sound:
+    two overlapping regions always share at least one occupied bin.
+    Zero-length intervals occupy the bin containing their point.
+    """
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    lo = starts // bin_size
+    hi = np.maximum(stops - 1, starts) // bin_size
+    pieces = [lo, hi]
+    spanning = hi - lo >= 2
+    if spanning.any():
+        pieces.extend(
+            np.arange(l + 1, h)
+            for l, h in zip(lo[spanning], hi[spanning])
+        )
+    return np.unique(np.concatenate(pieces))
+
+
+class ZoneEntry:
+    """Zone-map statistics for one chromosome of one block set."""
+
+    __slots__ = ("chrom", "count", "min_start", "max_start", "min_stop",
+                 "max_stop", "bins")
+
+    def __init__(
+        self,
+        chrom: str,
+        starts: np.ndarray,
+        stops: np.ndarray,
+        bin_size: int,
+    ) -> None:
+        self.chrom = chrom
+        self.count = int(starts.size)
+        self.min_start = int(starts.min())
+        self.max_start = int(starts.max())
+        self.min_stop = int(stops.min())
+        self.max_stop = int(stops.max())
+        self.bins = occupied_bins(starts, stops, bin_size)
+
+    @property
+    def partitions(self) -> int:
+        """Number of occupied (chromosome, bin) partitions."""
+        return int(self.bins.size)
+
+    def window_overlaps(self, lo: int, hi: int) -> bool:
+        """Could any region here overlap the half-open window ``[lo, hi)``?
+
+        Zero-length point features make the comparison inclusive on the
+        start side: a point at ``lo`` is still a candidate.
+        """
+        return self.min_start < hi and self.max_stop > lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ZoneEntry({self.chrom!r}, n={self.count},"
+            f" [{self.min_start},{self.max_stop}), bins={self.partitions})"
+        )
+
+
+class ZoneMap:
+    """Per-chromosome zone entries for one sample (or one dataset)."""
+
+    __slots__ = ("bin_size", "entries")
+
+    def __init__(self, bin_size: int) -> None:
+        self.bin_size = bin_size
+        self.entries: dict = {}
+
+    def entry(self, chrom: str) -> ZoneEntry | None:
+        return self.entries.get(chrom)
+
+    @property
+    def chromosomes(self) -> tuple:
+        return tuple(self.entries)
+
+    def partitions(self) -> int:
+        """Total occupied (chromosome, bin) partitions across chromosomes."""
+        return sum(entry.partitions for entry in self.entries.values())
+
+    def region_count(self) -> int:
+        return sum(entry.count for entry in self.entries.values())
+
+
+class ChromBlock:
+    """Struct-of-arrays for one chromosome of one sample.
+
+    ``starts``/``stops`` are in the sample's region order; ``index`` maps
+    each row back to its position in ``sample.regions`` so kernels can
+    rehydrate region objects only for emitted results.  Sorted views are
+    derived lazily and memoised because only probe-side kernels need
+    them.
+    """
+
+    __slots__ = ("chrom", "starts", "stops", "index",
+                 "_sorted_starts", "_sorted_stops", "_left_order",
+                 "_max_width", "_zero_positions")
+
+    def __init__(
+        self, chrom: str, starts: np.ndarray, stops: np.ndarray,
+        index: np.ndarray,
+    ) -> None:
+        self.chrom = chrom
+        self.starts = starts
+        self.stops = stops
+        self.index = index
+        self._sorted_starts = None
+        self._sorted_stops = None
+        self._left_order = None
+        self._max_width = None
+        self._zero_positions = None
+
+    def __len__(self) -> int:
+        return int(self.starts.size)
+
+    @property
+    def sorted_starts(self) -> np.ndarray:
+        """Start coordinates in ascending order (memoised)."""
+        if self._sorted_starts is None:
+            self._sorted_starts = np.sort(self.starts)
+        return self._sorted_starts
+
+    @property
+    def sorted_stops(self) -> np.ndarray:
+        """Stop coordinates in ascending order (memoised, independent)."""
+        if self._sorted_stops is None:
+            self._sorted_stops = np.sort(self.stops)
+        return self._sorted_stops
+
+    @property
+    def left_order(self) -> np.ndarray:
+        """Row permutation sorting by ``(start, stop)`` (memoised)."""
+        if self._left_order is None:
+            self._left_order = np.lexsort((self.stops, self.starts))
+        return self._left_order
+
+    @property
+    def zero_positions(self) -> np.ndarray:
+        """Sorted positions of zero-length regions (memoised).
+
+        Probe-side kernels need these to repair the searchsorted counting
+        identity for point references; see
+        :func:`point_feature_adjustment`.
+        """
+        if self._zero_positions is None:
+            self._zero_positions = np.sort(
+                self.starts[self.stops == self.starts]
+            )
+        return self._zero_positions
+
+    @property
+    def max_width(self) -> int:
+        """The widest region on this chromosome (window-join bound)."""
+        if self._max_width is None:
+            self._max_width = int((self.stops - self.starts).max())
+        return self._max_width
+
+
+class SampleBlocks:
+    """All columnar blocks of one sample plus its zone map.
+
+    ``column_cache`` additionally memoises whole-sample attribute
+    columns (coordinates, strand, value columns) built by the vectorised
+    SELECT path, so repeated predicates over one sample reuse arrays.
+    """
+
+    __slots__ = ("sample_id", "n_regions", "chroms", "zone_map",
+                 "column_cache")
+
+    def __init__(self, sample_id, regions, bin_size: int) -> None:
+        self.sample_id = sample_id
+        self.n_regions = len(regions)
+        self.chroms: dict = {}
+        self.zone_map = ZoneMap(bin_size)
+        self.column_cache: dict = {}
+        grouped: dict = {}
+        for position, region in enumerate(regions):
+            grouped.setdefault(region.chrom, []).append(position)
+        for chrom, positions in grouped.items():
+            index = np.asarray(positions, dtype=np.int64)
+            starts = np.fromiter(
+                (regions[i].left for i in positions),
+                dtype=np.int64, count=len(positions),
+            )
+            stops = np.fromiter(
+                (regions[i].right for i in positions),
+                dtype=np.int64, count=len(positions),
+            )
+            self.chroms[chrom] = ChromBlock(chrom, starts, stops, index)
+            self.zone_map.entries[chrom] = ZoneEntry(
+                chrom, starts, stops, bin_size
+            )
+
+    def block(self, chrom: str) -> ChromBlock | None:
+        return self.chroms.get(chrom)
+
+    def chrom_arrays(self) -> dict:
+        """Legacy view ``{chrom: (sorted_starts, sorted_stops)}``.
+
+        The shape :func:`repro.engine.columnar._chrom_arrays` used to
+        rebuild per operator; kept so callers can migrate piecemeal.
+        """
+        return {
+            chrom: (block.sorted_starts, block.sorted_stops)
+            for chrom, block in self.chroms.items()
+        }
+
+
+def point_feature_adjustment(
+    zero_positions: np.ndarray,
+    ref_starts: np.ndarray,
+    ref_stops: np.ndarray,
+) -> np.ndarray | int:
+    """Correction restoring exact overlap semantics for point references.
+
+    The shared counting identity ``|probes starting before ref.stop| -
+    |probes ending at-or-before ref.start|`` tallies every probe exactly
+    once -- except a zero-length probe sitting exactly on a zero-length
+    reference, which is subtracted without ever having been added (it
+    neither starts before the reference "ends" nor overlaps it), driving
+    the count to -1.  This returns the per-reference count of coincident
+    zero-length probes to add back; 0 when no reference is a point or
+    the probe side has no zero-length regions.
+    """
+    if zero_positions.size == 0:
+        return 0
+    point = ref_stops == ref_starts
+    if not point.any():
+        return 0
+    extra = np.zeros(ref_starts.size, dtype=np.int64)
+    positions = ref_starts[point]
+    extra[point] = np.searchsorted(
+        zero_positions, positions, side="right"
+    ) - np.searchsorted(zero_positions, positions, side="left")
+    return extra
+
+
+def count_overlaps_blocks(
+    ref_blocks: SampleBlocks, probe_blocks: SampleBlocks
+) -> tuple:
+    """Per-reference overlap counts with zone-map pruning.
+
+    Returns ``(counts, partitions_pruned)``: *counts* is aligned with the
+    reference sample's region order; *partitions_pruned* counts the
+    (chromosome, bin) partitions of the reference side that the probe
+    zone map proved empty, so the kernel never touched them.
+
+    The counting identity is the searchsorted trick shared with the
+    columnar engine: ``|probes starting before ref.stop| - |probes
+    ending at-or-before ref.start|``.
+    """
+    counts = np.zeros(ref_blocks.n_regions, dtype=np.int64)
+    pruned = 0
+    bin_size = probe_blocks.zone_map.bin_size
+    for chrom, block in ref_blocks.chroms.items():
+        ref_entry = ref_blocks.zone_map.entry(chrom)
+        probe_entry = probe_blocks.zone_map.entry(chrom)
+        if probe_entry is None or not ref_entry.window_overlaps(
+            probe_entry.min_start, probe_entry.max_stop
+        ):
+            pruned += ref_entry.partitions
+            continue
+        probe_block = probe_blocks.chroms[chrom]
+        starts, stops, index = block.starts, block.stops, block.index
+        dead = np.setdiff1d(
+            ref_entry.bins, probe_entry.bins, assume_unique=True
+        )
+        if dead.size:
+            pruned += int(dead.size)
+            # A reference can only overlap a probe when some occupied
+            # probe bin falls inside the reference's own bin span.
+            lo_bins = starts // bin_size
+            hi_bins = np.maximum(stops - 1, starts) // bin_size
+            occupied = np.searchsorted(
+                probe_entry.bins, hi_bins, side="right"
+            ) - np.searchsorted(probe_entry.bins, lo_bins, side="left")
+            live = occupied > 0
+            if not live.all():
+                starts, stops, index = starts[live], stops[live], index[live]
+        if index.size == 0:
+            continue
+        started = np.searchsorted(
+            probe_block.sorted_starts, stops, side="left"
+        )
+        ended = np.searchsorted(
+            probe_block.sorted_stops, starts, side="right"
+        )
+        counts[index] = started - ended + point_feature_adjustment(
+            probe_block.zero_positions, starts, stops
+        )
+    return counts, pruned
+
+
+def depth_segments(
+    chrom: str, starts: np.ndarray, stops: np.ndarray
+) -> Iterator[tuple]:
+    """Depth profile of event arrays: yields ``(left, right, depth)``.
+
+    The numpy event sweep the COVER kernels share: +1 at every start, -1
+    at every stop, positions collapsed and depths accumulated.  Only
+    segments with positive depth are emitted.  Zero-length intervals
+    must be filtered by the caller (they contribute no coverage).
+    """
+    n = int(starts.size)
+    if n == 0:
+        return
+    positions = np.concatenate([starts, stops])
+    deltas = np.empty(2 * n, dtype=np.int64)
+    deltas[:n] = 1
+    deltas[n:] = -1
+    order = np.argsort(positions, kind="stable")
+    positions = positions[order]
+    deltas = deltas[order]
+    unique_positions, first_at = np.unique(positions, return_index=True)
+    depths = np.cumsum(np.add.reduceat(deltas, first_at))
+    for i in range(len(unique_positions) - 1):
+        depth = int(depths[i])
+        if depth > 0:
+            yield (int(unique_positions[i]), int(unique_positions[i + 1]),
+                   depth)
+
+
+class DatasetStore:
+    """Columnar blocks, zone maps and a content digest for one dataset.
+
+    Built lazily per sample on first access and memoised on the owning
+    :class:`~repro.gdm.dataset.Dataset` (see :meth:`Dataset.store`); the
+    dataset invalidates its store when samples are added, so a store
+    always describes the content it was derived from.
+    """
+
+    def __init__(self, dataset, bin_size: int | None = None) -> None:
+        self._dataset = dataset
+        self.bin_size = int(bin_size or DEFAULT_BIN_SIZE)
+        self._samples: dict = {}
+        self._union: SampleBlocks | None = None
+        self._zone_map: ZoneMap | None = None
+        self._digest: str | None = None
+        #: Blocks materialised so far (observability / bench reporting).
+        self.blocks_built = 0
+
+    def blocks(self, sample) -> SampleBlocks:
+        """The (memoised) :class:`SampleBlocks` of one member sample."""
+        blocks = self._samples.get(sample.id)
+        if blocks is None:
+            blocks = SampleBlocks(sample.id, sample.regions, self.bin_size)
+            self._samples[sample.id] = blocks
+            self.blocks_built += 1
+        return blocks
+
+    def union_blocks(self) -> SampleBlocks:
+        """Blocks over *all* regions of the dataset (DIFFERENCE masks)."""
+        if self._union is None:
+            regions = [
+                region
+                for sample in self._dataset
+                for region in sample.regions
+            ]
+            self._union = SampleBlocks(None, regions, self.bin_size)
+            self.blocks_built += 1
+        return self._union
+
+    def zone_map(self) -> ZoneMap:
+        """The dataset-level zone map (union of all samples)."""
+        if self._zone_map is None:
+            self._zone_map = self.union_blocks().zone_map
+        return self._zone_map
+
+    def partitions(self) -> int:
+        """Occupied (chromosome, bin) partitions across the dataset."""
+        return self.zone_map().partitions()
+
+    def digest(self) -> str:
+        """Content digest over schema, samples, metadata and regions.
+
+        Deliberately excludes the dataset *name*: operators rename
+        results freely and a rename does not change content, so
+        fingerprint-keyed caches stay valid across renames.
+        """
+        if self._digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            schema = self._dataset.schema
+            for definition in schema:
+                h.update(f"{definition.name}:{definition.type.name};".encode())
+            for sample in self._dataset:
+                h.update(f"#{sample.id}".encode())
+                for attribute, value in sorted(
+                    (str(a), str(v))
+                    for __, a, v in sample.meta.triples(sample.id)
+                ):
+                    h.update(f"@{attribute}={value};".encode())
+                blocks = self.blocks(sample)
+                for chrom in sorted(blocks.chroms):
+                    block = blocks.chroms[chrom]
+                    h.update(chrom.encode())
+                    h.update(block.starts.tobytes())
+                    h.update(block.stops.tobytes())
+                for region in sample.regions:
+                    h.update(
+                        f"{region.strand}{region.values!r}".encode()
+                    )
+            self._digest = h.hexdigest()
+        return self._digest

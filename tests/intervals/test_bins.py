@@ -84,6 +84,95 @@ class TestBinning:
             Binning(bin_size=-5)
 
 
+class TestOwnsPairDisjoint:
+    """Distal-join pairs: the reporting bin is the gap's left flank."""
+
+    def test_disjoint_pair_anchors_at_left_flank(self):
+        binning = Binning(bin_size=100)
+        a = GenomicRegion("chr1", 20, 60)
+        b = GenomicRegion("chr1", 250, 320)
+        # Documented contract: the leftmost position of the gap's left
+        # flank (position 20 -> bin 0), not max(a.left, b.left) = 250.
+        owning = [
+            index
+            for index in range(5)
+            if binning.owns_pair(("chr1", index), a, b)
+        ]
+        assert owning == [0]
+        # Argument order must not change the reporting bin.
+        assert binning.owns_pair(("chr1", 0), b, a)
+
+    def test_bin_spanning_disjoint_pair_regression(self):
+        # Regression: with the old max-left anchor this pair reported in
+        # bin 2 -- a bin the left flank never touches -- so a
+        # partition-local distal join holding the flank's bins only
+        # would drop the pair entirely.
+        binning = Binning(bin_size=100)
+        flank = GenomicRegion("chr1", 120, 180)       # bin 1 only
+        distal = GenomicRegion("chr1", 230, 460)      # spans bins 2..4
+        assert binning.owns_pair(("chr1", 1), flank, distal)
+        assert not binning.owns_pair(("chr1", 2), flank, distal)
+        flank_bins = {key[1] for key in binning.bins_for(flank)}
+        owner = next(
+            index
+            for index in range(6)
+            if binning.owns_pair(("chr1", index), flank, distal)
+        )
+        assert owner in flank_bins
+
+    def test_touching_pair_is_disjoint(self):
+        # [0, 100) and [100, 200) share no position: gap of zero, the
+        # left flank anchors the pair in bin 0.
+        binning = Binning(bin_size=100)
+        a = GenomicRegion("chr1", 0, 100)
+        b = GenomicRegion("chr1", 100, 200)
+        assert binning.owns_pair(("chr1", 0), a, b)
+        assert not binning.owns_pair(("chr1", 1), a, b)
+
+    def test_zero_length_region_pairs(self):
+        binning = Binning(bin_size=100)
+        point = GenomicRegion("chr1", 150, 150)
+        other = GenomicRegion("chr1", 320, 360)
+        # The zero-length point ends first: it is the left flank.
+        owning = [
+            index
+            for index in range(5)
+            if binning.owns_pair(("chr1", index), point, other)
+        ]
+        assert owning == [1]
+        # A point inside a region takes the overlap path.
+        inside = GenomicRegion("chr1", 100, 400)
+        owning = [
+            index
+            for index in range(5)
+            if binning.owns_pair(("chr1", index), point, inside)
+        ]
+        assert owning == [1]
+
+    @given(
+        st.tuples(st.integers(0, 900), st.integers(0, 90)),
+        st.tuples(st.integers(0, 900), st.integers(0, 90)),
+        st.sampled_from([16, 64, 100]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_every_pair_has_exactly_one_owner(self, spec_a, spec_b, bin_size):
+        binning = Binning(bin_size=bin_size)
+        a = GenomicRegion("chr1", spec_a[0], spec_a[0] + spec_a[1])
+        b = GenomicRegion("chr1", spec_b[0], spec_b[0] + spec_b[1])
+        owners = [
+            index
+            for index in range(0, 1000 // bin_size + 2)
+            if binning.owns_pair(("chr1", index), a, b)
+        ]
+        assert len(owners) == 1
+        # The owner is always a bin at least one of the pair occupies --
+        # for disjoint pairs, specifically one of the left flank's bins.
+        occupied = {key[1] for key in binning.bins_for(a)} | {
+            key[1] for key in binning.bins_for(b)
+        }
+        assert owners[0] in occupied
+
+
 class TestBinnedCounting:
     def test_simple_counts(self):
         references = [GenomicRegion("chr1", 0, 100)]

@@ -1,0 +1,204 @@
+"""Result cache: plan tokens, LRU behaviour, fingerprints, integration."""
+
+import pytest
+
+from repro.engine.context import ExecutionContext
+from repro.gdm import Dataset, GenomicRegion, Metadata, RegionSchema, Sample
+from repro.gmql.lang import compile_program, execute, optimize, plan_program
+from repro.store.cache import (
+    ResultCache,
+    plan_token,
+    reset_result_cache,
+    result_cache,
+)
+
+
+def region(chrom, left, right):
+    return GenomicRegion(chrom, left, right, "*", ())
+
+
+def make_dataset(name="DATA", shift=0):
+    return Dataset(
+        name,
+        RegionSchema.empty(),
+        [
+            Sample(
+                1,
+                [region("chr1", 10 + shift, 60 + shift),
+                 region("chr2", 0, 40)],
+                Metadata({"cell": "A"}),
+            ),
+            Sample(
+                2,
+                [region("chr1", 30, 90)],
+                Metadata({"cell": "B"}),
+            ),
+        ],
+        validate=False,
+    )
+
+
+PROGRAM = "OUT = SELECT(cell == 'A') DATA; MATERIALIZE OUT;"
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache():
+    reset_result_cache()
+    yield
+    reset_result_cache()
+
+
+class TestPlanToken:
+    def test_primitives(self):
+        assert plan_token(None) == "None"
+        assert plan_token(5) == "5"
+        assert plan_token("x") == "'x'"
+
+    def test_dict_order_insensitive(self):
+        assert plan_token({"a": 1, "b": 2}) == plan_token({"b": 2, "a": 1})
+
+    def test_value_objects(self):
+        from repro.gmql.genometric import DistLess
+
+        assert plan_token(DistLess(10)) == plan_token(DistLess(10))
+        assert plan_token(DistLess(10)) != plan_token(DistLess(11))
+
+
+class TestResultCacheLRU:
+    def test_hit_miss_counters(self):
+        cache = ResultCache(capacity=2)
+        assert cache.get("a") is None
+        cache.put("a", "A")
+        assert cache.get("a") == "A"
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", "A")
+        cache.put("b", "B")
+        cache.get("a")            # refresh a
+        cache.put("c", "C")       # evicts b
+        assert "a" in cache and "c" in cache
+        assert cache.get("b") is None
+        assert cache.stats()["evictions"] == 1
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", "A")
+        assert len(cache) == 0
+
+
+class TestFingerprints:
+    def plan(self, datasets):
+        compiled = optimize(compile_program(PROGRAM))
+        return plan_program(compiled, engine="naive", datasets=datasets)
+
+    def root(self, datasets):
+        return self.plan(datasets).outputs["OUT"]
+
+    def test_stable_across_plannings(self):
+        data = make_dataset()
+        assert (
+            self.root({"DATA": data}).fingerprint
+            == self.root({"DATA": data}).fingerprint
+        )
+
+    def test_content_equal_datasets_share_fingerprints(self):
+        assert (
+            self.root({"DATA": make_dataset()}).fingerprint
+            == self.root({"DATA": make_dataset()}).fingerprint
+        )
+
+    def test_dataset_name_does_not_matter(self):
+        renamed = make_dataset().with_name("ELSE")
+        assert (
+            self.root({"DATA": renamed}).fingerprint
+            == self.root({"DATA": make_dataset()}).fingerprint
+        )
+
+    def test_content_changes_fingerprint(self):
+        assert (
+            self.root({"DATA": make_dataset()}).fingerprint
+            != self.root({"DATA": make_dataset(shift=1)}).fingerprint
+        )
+
+    def test_operator_params_change_fingerprint(self):
+        other = "OUT = SELECT(cell == 'B') DATA; MATERIALIZE OUT;"
+        compiled = optimize(compile_program(other))
+        root = plan_program(
+            compiled, engine="naive", datasets={"DATA": make_dataset()}
+        ).outputs["OUT"]
+        assert root.fingerprint != self.root({"DATA": make_dataset()}).fingerprint
+
+    def test_no_datasets_no_fingerprint(self):
+        assert self.root(None).fingerprint is None
+
+
+class TestCacheIntegration:
+    def test_warm_run_hits_and_matches_cold(self):
+        data = make_dataset()
+        cold_ctx = ExecutionContext(result_cache=True)
+        cold = execute(PROGRAM, {"DATA": data}, engine="naive",
+                       context=cold_ctx)
+        assert cold_ctx.metrics.counter("result_cache.misses") >= 1
+        warm_ctx = ExecutionContext(result_cache=True)
+        warm = execute(PROGRAM, {"DATA": data}, engine="naive",
+                       context=warm_ctx)
+        assert warm_ctx.metrics.counter("result_cache.hits") >= 1
+        assert (
+            list(cold["OUT"].region_rows()) == list(warm["OUT"].region_rows())
+        )
+        assert cold["OUT"].name == warm["OUT"].name
+
+    def test_cache_disabled_by_default(self):
+        data = make_dataset()
+        for __ in range(2):
+            ctx = ExecutionContext()
+            execute(PROGRAM, {"DATA": data}, engine="naive", context=ctx)
+            assert ctx.metrics.counter("result_cache.hits") == 0
+            assert ctx.metrics.counter("result_cache.misses") == 0
+        assert len(result_cache()) == 0
+
+    def test_content_change_misses(self):
+        ctx = ExecutionContext(result_cache=True)
+        execute(PROGRAM, {"DATA": make_dataset()}, engine="naive", context=ctx)
+        ctx2 = ExecutionContext(result_cache=True)
+        execute(
+            PROGRAM, {"DATA": make_dataset(shift=3)}, engine="naive",
+            context=ctx2,
+        )
+        assert ctx2.metrics.counter("result_cache.hits") == 0
+
+    def test_mutating_a_dataset_invalidates(self):
+        data = make_dataset()
+        ctx = ExecutionContext(result_cache=True)
+        execute(PROGRAM, {"DATA": data}, engine="naive", context=ctx)
+        data.add_sample(
+            Sample(9, [region("chr1", 0, 5)], Metadata({"cell": "A"}))
+        )
+        ctx2 = ExecutionContext(result_cache=True)
+        results = execute(PROGRAM, {"DATA": data}, engine="naive",
+                          context=ctx2)
+        assert ctx2.metrics.counter("result_cache.hits") == 0
+        # The new sample flows into the fresh result (ids are renumbered
+        # by the operator, so count content instead).
+        assert len(results["OUT"]) == 2
+        assert results["OUT"].region_count() == 3
+
+    def test_analyze_marks_cached_nodes(self):
+        from repro.gmql.lang import explain_analyze
+
+        data = make_dataset()
+        explain_analyze(
+            PROGRAM, {"DATA": data}, engine="naive",
+            context=ExecutionContext(result_cache=True),
+        )
+        __, physical, context = explain_analyze(
+            PROGRAM, {"DATA": data}, engine="naive",
+            context=ExecutionContext(result_cache=True),
+        )
+        text = physical.explain(analyze=True)
+        assert "backend=cache" in text
+        assert "cached" in text
+        assert context.metrics.counter("result_cache.hits") >= 1
