@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Repo-level static checks for project invariants ruff cannot express.
+
+Run from the repository root (CI runs it next to ``ruff check``)::
+
+    python benchmarks/lint_repo.py
+
+Checks, over ``src``, ``tests`` and ``benchmarks``:
+
+1. **No wall-clock reads outside the clock module.**  Calls to
+   ``time.time()`` / ``datetime.now()`` / ``datetime.utcnow()`` are
+   banned everywhere except ``src/repro/resilience/clock.py`` -- every
+   component takes a clock so tests and chaos runs stay deterministic.
+2. **No bare ``except:``.**  A bare handler swallows KeyboardInterrupt
+   and SystemExit; catch ``Exception`` (or something narrower).
+3. **Operator registry is complete.**  Every module in
+   ``src/repro/gmql/operators/`` must be imported by the package
+   ``__init__``, so ``from repro.gmql.operators import *``-style
+   consumers (and the docs) never silently miss a kernel.
+4. **Everything parses.**  Each file is compiled with :func:`compile`,
+   which catches syntax errors even in modules no test imports.
+
+Exits nonzero listing ``path:line: message`` for every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+CHECKED_TREES = ("src", "tests", "benchmarks")
+CLOCK_MODULE = ROOT / "src" / "repro" / "resilience" / "clock.py"
+OPERATORS_DIR = ROOT / "src" / "repro" / "gmql" / "operators"
+
+#: ``(qualifier, attribute)`` call patterns that read the wall clock.
+WALL_CLOCK_CALLS = (
+    ("time", "time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+)
+
+
+def _python_files():
+    for tree in CHECKED_TREES:
+        yield from sorted((ROOT / tree).rglob("*.py"))
+
+
+def _call_qualifier(func) -> tuple | None:
+    """``("time", "time")`` for ``time.time(...)``-shaped calls."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr)
+    if isinstance(func, ast.Attribute) and isinstance(
+        func.value, ast.Attribute
+    ):
+        # datetime.datetime.now(...)
+        return (func.value.attr, func.attr)
+    return None
+
+
+def _check_file(path: Path, problems: list) -> None:
+    rel = path.relative_to(ROOT)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(rel))
+        compile(source, str(rel), "exec")
+    except SyntaxError as exc:
+        problems.append(f"{rel}:{exc.lineno}: syntax error: {exc.msg}")
+        return
+    is_clock = path == CLOCK_MODULE
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and not is_clock:
+            pattern = _call_qualifier(node.func)
+            if pattern in WALL_CLOCK_CALLS:
+                problems.append(
+                    f"{rel}:{node.lineno}: wall-clock call "
+                    f"{pattern[0]}.{pattern[1]}() -- inject a clock "
+                    f"(see repro.resilience.clock) instead"
+                )
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            problems.append(
+                f"{rel}:{node.lineno}: bare 'except:' -- catch Exception "
+                f"(or narrower) so SystemExit/KeyboardInterrupt propagate"
+            )
+
+
+def _check_operator_registry(problems: list) -> None:
+    init = OPERATORS_DIR / "__init__.py"
+    registered = set()
+    for node in ast.walk(ast.parse(init.read_text())):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            prefix = "repro.gmql.operators."
+            if node.module.startswith(prefix):
+                registered.add(node.module[len(prefix):])
+    for module in sorted(OPERATORS_DIR.glob("*.py")):
+        name = module.stem
+        if name == "__init__":
+            continue
+        if name not in registered:
+            problems.append(
+                f"{module.relative_to(ROOT)}:1: operator module "
+                f"{name!r} is not imported by gmql/operators/__init__.py"
+            )
+
+
+def main() -> int:
+    problems: list = []
+    for path in _python_files():
+        _check_file(path, problems)
+    _check_operator_registry(problems)
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"{len(problems)} problem(s)")
+        return 1
+    print("lint_repo: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,12 +10,18 @@ Subcommands::
     python -m repro run QUERY.gmql --source ENCODE=./encode_dir \
         --engine auto --out ./results [--stats] [--trace] [--workers N] \
         [--chaos SPEC]
+    python -m repro check QUERY.gmql [--source NAME=DIR] [--strict] \
+        [--format json]
     python -m repro explain QUERY.gmql
     python -m repro explain QUERY.gmql --analyze --source ENCODE=./encode_dir
     python -m repro bench --scale smoke --out BENCH_pr3.json
     python -m repro info DATASET_DIR
     python -m repro convert input.narrowPeak output.bed
     python -m repro formats
+
+Exit codes distinguish failure families (documented in ``repro --help``):
+0 success, 1 execution error, 2 GMQL syntax error, 3 GMQL semantic
+error (``repro check`` findings, compile-time rejection).
 """
 
 from __future__ import annotations
@@ -24,7 +30,21 @@ import argparse
 import os
 import sys
 
-from repro.errors import ReproError
+from repro.errors import GmqlCompileError, GmqlSyntaxError, ReproError
+
+#: Process exit codes; each failure family gets its own so scripts and
+#: CI gates can tell a bad query from a bad run.
+EXIT_EXECUTION = 1
+EXIT_SYNTAX = 2
+EXIT_SEMANTIC = 3
+
+_EXIT_CODE_HELP = """\
+exit codes:
+  0   success
+  1   execution error (I/O, engine, federation)
+  2   GMQL syntax error
+  3   GMQL semantic error (compile-time rejection, `check` findings)
+"""
 
 
 def _parse_source(text: str) -> tuple:
@@ -52,6 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="GDM/GMQL genomic data management "
                     "(EDBT 2016 reproduction)",
+        epilog=_EXIT_CODE_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -81,6 +103,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm deterministic fault injection for this run, e.g. "
              "'seed=7;transient@repository.load:*?times=1' "
              "(see docs/RESILIENCE.md for the spec language)",
+    )
+
+    check_cmd = commands.add_parser(
+        "check",
+        help="statically analyze a GMQL program: schema/type inference "
+             "plus lint rules; exits 3 on findings, without executing",
+    )
+    check_cmd.add_argument(
+        "program", nargs="?", default=None,
+        help="path to the GMQL text, or '-' for stdin",
+    )
+    check_cmd.add_argument(
+        "--source", action="append", default=[], type=_parse_source,
+        metavar="NAME=DIR",
+        help="bind a source dataset directory; sharpens the analysis "
+             "from open-world to exact schemas",
+    )
+    check_cmd.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as errors (nonzero exit on any finding)",
+    )
+    check_cmd.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="diagnostic output format (default: text with caret frames)",
+    )
+    check_cmd.add_argument(
+        "--rules", action="store_true",
+        help="list the rule catalogue (codes and descriptions) and exit",
     )
 
     explain_cmd = commands.add_parser(
@@ -215,7 +265,10 @@ def _run_with_chaos(args, injector) -> int:
 
     program = _read_program(args.program)
     sources = _load_sources(args.source, injector)
-    compiled = compile_program(program)
+    # Compiling against the sources runs the semantic analyzer with
+    # exact schemas: invalid programs are rejected (exit 3) before any
+    # operator executes.
+    compiled = compile_program(program, datasets=sources)
     if not args.no_optimize:
         compiled = optimize(compiled)
     backend = get_backend(args.engine)
@@ -301,11 +354,58 @@ def _command_explain(args) -> int:
         # The total line stays last: scripts tail it.
         print(f"total: {context.tracer.total_seconds() * 1000:.2f} ms")
         return 0
-    compiled = compile_program(program)
+    sources = _load_sources(args.source)
+    compiled = compile_program(program, datasets=sources or None)
     if not args.no_optimize:
         compiled = optimize(compiled)
     print(compiled.explain())
     return 0
+
+
+def _command_check(args) -> int:
+    import json
+
+    from repro.gmql.lang.semantics import RULES, analyze_program
+
+    if args.rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+    if args.program is None:
+        print("error: a program path is required (or --rules)",
+              file=sys.stderr)
+        return EXIT_EXECUTION
+    program = _read_program(args.program)
+    sources = _load_sources(args.source)
+    try:
+        analysis = analyze_program(program, datasets=sources or None)
+    except GmqlSyntaxError as exc:
+        if args.format == "json":
+            print(json.dumps(
+                {"ok": False, "syntax_error": str(exc)}, indent=2
+            ))
+        else:
+            print(f"syntax error: {exc}", file=sys.stderr)
+        return EXIT_SYNTAX
+    errors = analysis.errors()
+    warnings = analysis.warnings()
+    failed = bool(errors) or (args.strict and bool(warnings))
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "ok": not failed,
+                "errors": len(errors),
+                "warnings": len(warnings),
+                "diagnostics": [d.to_dict() for d in analysis.diagnostics],
+            },
+            indent=2,
+        ))
+    elif analysis.diagnostics:
+        print(analysis.render())
+        print(f"{len(errors)} error(s), {len(warnings)} warning(s)")
+    else:
+        print("ok: no findings")
+    return EXIT_SEMANTIC if failed else 0
 
 
 def _command_bench(args) -> int:
@@ -394,6 +494,7 @@ def _command_formats(args) -> int:
 
 _HANDLERS = {
     "run": _command_run,
+    "check": _command_check,
     "explain": _command_explain,
     "bench": _command_bench,
     "info": _command_info,
@@ -408,15 +509,21 @@ def main(argv: list | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _HANDLERS[args.command](args)
+    except GmqlSyntaxError as exc:
+        print(f"syntax error: {exc}", file=sys.stderr)
+        return EXIT_SYNTAX
+    except GmqlCompileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SEMANTIC
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_EXECUTION
     except BrokenPipeError:
         # Output truncated by a downstream pager/head: not an error.
         return 0
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_EXECUTION
 
 
 if __name__ == "__main__":  # pragma: no cover

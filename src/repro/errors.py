@@ -38,17 +38,52 @@ class QueryError(ReproError):
 
 
 class GmqlSyntaxError(QueryError):
-    """The GMQL text could not be tokenised or parsed."""
+    """The GMQL text could not be tokenised or parsed.
 
-    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+    Carries the 1-based position (and token length) of the offending
+    input; :meth:`attach_source` appends the same caret frame the
+    semantic analyzer's diagnostics use, so both error families render
+    identically.
+    """
+
+    def __init__(
+        self, message: str, line: int = 0, column: int = 0, length: int = 1
+    ) -> None:
         location = f" (line {line}, column {column})" if line else ""
         super().__init__(f"{message}{location}")
         self.line = line
         self.column = column
+        self.length = length
+        self.frame = ""
+
+    def attach_source(self, source: str) -> "GmqlSyntaxError":
+        """Append a caret frame pointing into *source* (idempotent)."""
+        if self.frame or not self.line:
+            return self
+        # Imported here: repro.errors is a leaf module the language
+        # package depends on, so the reverse import must stay lazy.
+        from repro.gmql.lang.span import Span, caret_frame
+
+        self.frame = caret_frame(
+            source, Span(self.line, self.column, self.length)
+        )
+        if self.frame:
+            self.args = (f"{self.args[0]}\n{self.frame}",)
+        return self
 
 
 class GmqlCompileError(QueryError):
-    """The GMQL program parsed, but is semantically invalid."""
+    """The GMQL program parsed, but is semantically invalid.
+
+    When raised by the semantic analyzer it carries the full
+    :class:`~repro.gmql.lang.semantics.Diagnostic` list (errors *and*
+    warnings), so callers like ``repro check`` can render every finding,
+    not just the first.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
 
 
 class EvaluationError(QueryError):

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.gmql.lang.plan import (
     CoverPlan,
     DifferencePlan,
+    EmptyPlan,
     ExtendPlan,
     GroupPlan,
     JoinPlan,
@@ -83,6 +84,9 @@ def estimate_plan(
 def _estimate_node(
     node: PlanNode, catalog_summaries: dict, cache: dict | None
 ) -> Estimate:
+    if isinstance(node, EmptyPlan):
+        # Statically proven empty: exactly zero, not an estimate.
+        return Estimate(0, 0, len(node.schema))
     if isinstance(node, ScanPlan):
         summary = catalog_summaries.get(node.dataset_name)
         if summary is None:

@@ -91,6 +91,8 @@ class FederatedClient:
         self.context = context
         #: (host, reason) pairs skipped by the most recent discovery.
         self.last_skipped: tuple = ()
+        #: ``{dataset: summary}`` from the most recent discovery.
+        self.last_summaries: dict = {}
         # Backoff sleeps advance simulated time on the shared network
         # log, so resilience overhead lands in the same bill as latency.
         self.clock = SimulatedClock(sink=network.log)
@@ -114,6 +116,7 @@ class FederatedClient:
         """
         location: dict = {}
         skipped = []
+        summaries: dict = {}
         for node in self.nodes.values():
             try:
                 info = self.caller.call(
@@ -124,12 +127,38 @@ class FederatedClient:
                 continue
             for summary in info.summaries:
                 location[summary["name"]] = node.name
+                summaries[summary["name"]] = summary
         self.last_skipped = tuple(sorted(skipped))
+        self.last_summaries = summaries
         return location
 
+    def _remote_schemas(self, summaries: dict) -> dict:
+        """``{dataset: RegionSchema}`` rebuilt from discovery summaries.
+
+        Nodes publish ``schema_types`` (attribute -> GDM type name) in
+        their info summaries; older peers that omit it simply contribute
+        no schema, which keeps analysis open-world for their datasets.
+        """
+        from repro.gdm import RegionSchema, type_named
+
+        schemas = {}
+        for name, summary in summaries.items():
+            types = summary.get("schema_types")
+            if not types:
+                continue
+            schemas[name] = RegionSchema.of(
+                *((attr, type_named(t)) for attr, t in types.items())
+            )
+        return schemas
+
     def _plan_locations(self, program: str) -> dict:
-        compiled = compile_program(program)
         location = self.discover()
+        # Compile *after* discovery so semantic analysis sees the
+        # published remote schemas: a program that misuses a remote
+        # attribute is rejected here, before any subplan is shipped.
+        compiled = compile_program(
+            program, schemas=self._remote_schemas(self.last_summaries)
+        )
         missing = [s for s in compiled.sources if s not in location]
         if missing:
             detail = ""

@@ -232,6 +232,10 @@ class Dataset:
             "regions": self.region_count(),
             "metadata_pairs": self.metadata_count(),
             "schema": list(self.schema.names),
+            # Typed schema (attribute -> GDM type name): lets remote
+            # peers rebuild a RegionSchema and run exact semantic
+            # analysis without touching the data.
+            "schema_types": {d.name: d.type.name for d in self.schema},
             "size_bytes": self.estimated_size_bytes(),
         }
 

@@ -25,6 +25,7 @@ from repro.gmql.lang.physical import (
     plan_program,
 )
 from repro.gmql.lang.plan import CompiledProgram, PlanNode
+from repro.gmql.lang.semantics import Analysis, Diagnostic, analyze_program
 
 
 def execute(
@@ -56,7 +57,10 @@ def execute(
     """
     from repro.engine.dispatch import get_backend
 
-    compiled = compile_program(program)
+    # Analysis runs against the actual sources, so data-dependent rules
+    # (unknown attributes, provably-empty selections) apply; an
+    # error-severity finding raises before any operator executes.
+    compiled = compile_program(program, datasets=datasets)
     if optimized:
         compiled = optimize(compiled)
     backend = get_backend(engine)
@@ -68,9 +72,11 @@ def execute(
         backend.close()
 
 
-def explain(program: str, optimized: bool = True) -> str:
+def explain(
+    program: str, optimized: bool = True, datasets: dict | None = None
+) -> str:
     """EXPLAIN text for a GMQL program (no execution)."""
-    compiled = compile_program(program)
+    compiled = compile_program(program, datasets=datasets)
     if optimized:
         compiled = optimize(compiled)
     return compiled.explain()
@@ -94,7 +100,7 @@ def explain_analyze(
     from repro.engine.context import ExecutionContext
     from repro.engine.dispatch import get_backend
 
-    compiled = compile_program(program)
+    compiled = compile_program(program, datasets=datasets)
     if optimized:
         compiled = optimize(compiled)
     backend = get_backend(engine)
@@ -110,12 +116,15 @@ def explain_analyze(
 
 
 __all__ = [
+    "Analysis",
     "CompiledProgram",
+    "Diagnostic",
     "Interpreter",
     "PhysicalNode",
     "PhysicalProgram",
     "PlanNode",
     "Program",
+    "analyze_program",
     "compile_program",
     "execute",
     "explain",

@@ -9,12 +9,25 @@ paper's statement-per-line style::
     PEAKS  = SELECT(dataType == 'ChipSeq') ENCODE;
     RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
     MATERIALIZE RESULT;
+
+Every node carries an optional :class:`~repro.gmql.lang.span.Span`
+pointing back into the program text.  Spans are excluded from equality
+and repr -- two nodes with the same content compare equal no matter
+where they were parsed from -- and exist purely so the semantic
+analyzer's diagnostics and the compiler's errors can render caret
+frames.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
+
+from repro.gmql.lang.span import Span
+
+
+def _span_field():
+    return field(default=None, compare=False, repr=False)
 
 
 # -- boolean / comparison expressions (metadata and region predicates) --------
@@ -27,6 +40,7 @@ class Comparison:
     attribute: str
     operator: str
     value: Any
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -57,6 +71,7 @@ class Num:
 @dataclass(frozen=True)
 class Attr:
     name: str
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -76,6 +91,9 @@ class AggregateCall:
     target: str
     function: str
     attribute: str | None
+    span: Span | None = _span_field()           # the target name
+    function_span: Span | None = _span_field()  # the aggregate name
+    attribute_span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -85,6 +103,8 @@ class SemiJoinClause:
     attributes: tuple
     variable: str
     negated: bool
+    span: Span | None = _span_field()
+    attribute_spans: tuple = _span_field()
 
 
 @dataclass(frozen=True)
@@ -99,6 +119,7 @@ class BoundExpr:
     value: int = 0
     offset: int = 0
     divisor: int = 1
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -107,6 +128,7 @@ class GenometricClause:
 
     kind: str
     argument: int | None = None
+    span: Span | None = _span_field()
 
 
 # -- operations ----------------------------------------------------------------
@@ -118,6 +140,7 @@ class OpSelect:
     meta: Any = None
     region: Any = None
     semijoin: SemiJoinClause | None = None
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -126,18 +149,25 @@ class OpProject:
     region_attributes: tuple | None = None  # None = keep all
     metadata_attributes: tuple | None = None
     new_region_attributes: tuple = ()  # of (name, arith expr)
+    span: Span | None = _span_field()
+    #: Spans parallel to the three attribute tuples above.
+    region_attribute_spans: tuple = _span_field()
+    metadata_attribute_spans: tuple = _span_field()
+    new_attribute_spans: tuple = _span_field()
 
 
 @dataclass(frozen=True)
 class OpExtend:
     operand: str
     assignments: tuple = ()  # of AggregateCall
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
 class OpMerge:
     operand: str
     groupby: tuple = ()
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -146,6 +176,7 @@ class OpGroup:
     meta_keys: tuple | None = None
     meta_aggregates: tuple = ()  # of AggregateCall
     region_aggregates: tuple = ()  # of AggregateCall
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -155,12 +186,15 @@ class OpOrder:
     top: int | None = None
     region_keys: tuple = ()
     region_top: int | None = None
+    span: Span | None = _span_field()
+    region_key_spans: tuple = _span_field()
 
 
 @dataclass(frozen=True)
 class OpUnion:
     left: str
     right: str
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -169,6 +203,7 @@ class OpDifference:
     right: str
     joinby: tuple = ()
     exact: bool = False
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -178,6 +213,7 @@ class OpCover:
     min_acc: BoundExpr = BoundExpr("INT", 1)
     max_acc: BoundExpr = BoundExpr("ANY")
     groupby: tuple = ()
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -186,6 +222,7 @@ class OpMap:
     experiment: str
     assignments: tuple = ()  # of AggregateCall; empty = default count
     joinby: tuple = ()
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -195,6 +232,7 @@ class OpJoin:
     clauses: tuple = ()  # of GenometricClause
     output: str = "CAT"
     joinby: tuple = ()
+    span: Span | None = _span_field()
 
 
 # -- statements ----------------------------------------------------------------
@@ -205,6 +243,7 @@ class Assign:
     variable: str
     operation: Any
     line: int = 0
+    span: Span | None = _span_field()  # the assigned variable name
 
 
 @dataclass(frozen=True)
@@ -212,6 +251,7 @@ class MaterializeStmt:
     variable: str
     target: str | None = None
     line: int = 0
+    span: Span | None = _span_field()  # the materialised variable name
 
 
 @dataclass(frozen=True)

@@ -315,7 +315,51 @@ class Compiler:
         raise GmqlCompileError(f"unknown operation node {op!r}")
 
 
-def compile_program(source) -> CompiledProgram:
-    """Compile GMQL text (or an already-parsed Program) to plans."""
+def compile_program(
+    source,
+    schemas: dict | None = None,
+    datasets: dict | None = None,
+) -> CompiledProgram:
+    """Compile GMQL text (or an already-parsed Program) to plans.
+
+    Semantic analysis always runs first: error-severity findings raise
+    :class:`GmqlCompileError` carrying the full diagnostic list, *before*
+    any plan is built, so nothing downstream ever executes an invalid
+    program.  *schemas* (``{source: RegionSchema}``) and *datasets*
+    (``{source: Dataset}``) sharpen the analysis from open-world to
+    exact; with neither, only data-independent rules can fire.
+
+    On success each variable's plan node carries the analyzer's verdicts:
+    ``node.inferred`` (the :class:`~repro.gmql.lang.semantics.VarInfo`)
+    and ``node.prunable_empty`` (a rule code proving emptiness, consumed
+    by the optimizer), and the returned program carries ``.analysis``.
+    """
+    from repro.gmql.lang.semantics import analyze_program
+
+    source_text = source if isinstance(source, str) else None
     program = parse(source) if isinstance(source, str) else source
-    return Compiler().compile(program)
+    analysis = analyze_program(program, schemas=schemas, datasets=datasets)
+    analysis.source = source_text
+    errors = analysis.errors()
+    if errors:
+        rendered = "\n".join(d.format(source_text) for d in errors)
+        raise GmqlCompileError(
+            f"semantic analysis found {len(errors)} error(s):\n{rendered}",
+            analysis.diagnostics,
+        )
+    compiled = Compiler().compile(program)
+    for name, node in compiled.variables.items():
+        info = analysis.variables.get(name)
+        if info is not None:
+            node.inferred = info
+        code = analysis.empty_variables.get(name)
+        if code is not None:
+            node.prunable_empty = code
+    for root in compiled.outputs.values():
+        for node in root.walk():
+            if isinstance(node, ScanPlan) and node.inferred is None:
+                info = analysis.sources.get(node.dataset_name)
+                if info is not None:
+                    node.inferred = info
+    compiled.analysis = analysis
+    return compiled

@@ -26,6 +26,7 @@ from repro.gmql.lang.plan import (
     CompiledProgram,
     CoverPlan,
     DifferencePlan,
+    EmptyPlan,
     ExtendPlan,
     GroupPlan,
     JoinPlan,
@@ -86,6 +87,11 @@ class Interpreter:
                 f"available: {sorted(self._datasets)}"
             ) from None
 
+    def _empty(self, node: EmptyPlan) -> Dataset:
+        """Materialise a statically-proven-empty result: right schema,
+        zero samples, no kernel involved."""
+        return Dataset(node.result_name or "empty", node.schema, ())
+
     def _invoke(self, backend, node: PlanNode, operand) -> Dataset:
         """Run one node's kernel on *backend*.
 
@@ -95,6 +101,8 @@ class Interpreter:
         """
         if isinstance(node, ScanPlan):
             return self._scan(node)
+        if isinstance(node, EmptyPlan):
+            return self._empty(node)
         if isinstance(node, SelectPlan):
             semijoin_data = operand(1) if len(node.children) > 1 else None
             return backend.run_select(node, operand(0), semijoin_data)
@@ -140,6 +148,20 @@ class Interpreter:
         node = physical.logical
         if id(node) in self._memo:
             return self._memo[id(node)]
+        if isinstance(node, EmptyPlan):
+            # No kernel, no cache: build the empty result directly (the
+            # "empty" backend name never exists as a real delegate).
+            with self.context.span(
+                physical.label(), backend="empty", pruned_by=node.pruned_by
+            ) as span:
+                result = self._empty(node)
+                span.annotate(output_regions=0, output_samples=0)
+            physical.actual_seconds = span.seconds
+            physical.actual_regions = 0
+            physical.actual_samples = 0
+            physical.executed_backend = "empty"
+            self._memo[id(node)] = result
+            return result
         cache = None
         if (
             self.context.result_cache

@@ -10,7 +10,11 @@ Rules implemented (all semantics-preserving):
   merged schema (region predicates referring to attributes of only one
   operand cannot be pushed and stay put);
 * **identity elimination** -- PROJECTs that keep everything and compute
-  nothing, and SELECTs with no condition, are dropped.
+  nothing, and SELECTs with no condition, are dropped;
+* **empty-subtree pruning** -- nodes the semantic analyzer proved empty
+  (``prunable_empty`` set by the compiler, e.g. an always-false metadata
+  SELECT) collapse to an :class:`EmptyPlan` leaf carrying the inferred
+  schema, annotated ``pruned_by=GQL1xx`` in physical plans.
 
 The optimizer preserves plan sharing: a sub-plan used twice is rewritten
 once, so the interpreter's memoisation still applies.  Rewrites are
@@ -26,6 +30,7 @@ import copy
 
 from repro.gmql.lang.plan import (
     CompiledProgram,
+    EmptyPlan,
     PlanNode,
     ProjectPlan,
     SelectPlan,
@@ -103,6 +108,14 @@ class Optimizer:
         return result
 
     def _apply_rules(self, node: PlanNode) -> PlanNode:
+        if node.prunable_empty is not None and node.inferred is not None:
+            schema = node.inferred.region.to_schema()
+            if schema is not None:
+                empty = EmptyPlan(schema, node.prunable_empty)
+                empty.result_name = node.result_name
+                empty.inferred = node.inferred
+                self.rewrites.append(f"prune-empty[{node.prunable_empty}]")
+                return empty
         if isinstance(node, SelectPlan):
             if _is_identity_select(node):
                 self.rewrites.append("drop-identity-select")
@@ -190,5 +203,6 @@ def optimize(compiled: CompiledProgram) -> CompiledProgram:
         for name, node in compiled.variables.items()
     }
     result = CompiledProgram(variables, outputs, compiled.sources)
+    result.analysis = compiled.analysis
     result.rewrites = list(optimizer.rewrites)  # type: ignore[attr-defined]
     return result

@@ -19,9 +19,17 @@ Statement forms::
 Keywords are case-insensitive; operands are variable or source-dataset
 names.  Accumulation bounds accept ``N``, ``ANY``, ``ALL``, ``ALL + k``
 and ``(ALL + k) / n``.
+
+Token positions are threaded onto the AST as
+:class:`~repro.gmql.lang.span.Span` records (excluded from node
+equality), so the semantic analyzer can point diagnostics back into the
+program text; syntax errors carry the same positions and render the same
+caret frames.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 from repro.errors import GmqlSyntaxError
 from repro.gmql.lang import ast_nodes as ast
@@ -57,7 +65,10 @@ class Parser:
     def _error(self, message: str, token: Token | None = None) -> GmqlSyntaxError:
         token = token or self._peek()
         return GmqlSyntaxError(
-            f"{message}, found {token}", token.line, token.column
+            f"{message}, found {token}",
+            token.line,
+            token.column,
+            token.span().length,
         )
 
     def _expect_symbol(self, symbol: str) -> Token:
@@ -74,10 +85,15 @@ class Parser:
 
     def _expect_name(self) -> str:
         """An operand/attribute name: IDENT, or a keyword used as a name."""
+        return self._expect_name_token()[0]
+
+    def _expect_name_token(self) -> tuple:
+        """``(name, token)`` for a name, keeping the position."""
         token = self._peek()
         if token.kind in (IDENT, KEYWORD):
             self._advance()
-            return token.value if token.kind == IDENT else token.value.lower()
+            name = token.value if token.kind == IDENT else token.value.lower()
+            return name, token
         raise self._error("expected a name")
 
     def _expect_ident(self) -> str:
@@ -114,6 +130,7 @@ class Parser:
         token = self._peek()
         if token.is_keyword("MATERIALIZE"):
             self._advance()
+            variable_token = self._peek()
             variable = self._expect_ident()
             target = None
             if self._peek().is_keyword("INTO"):
@@ -125,14 +142,16 @@ class Parser:
                 else:
                     raise self._error("expected a name after INTO")
             self._expect_symbol(";")
-            return ast.MaterializeStmt(variable, target, token.line)
+            return ast.MaterializeStmt(
+                variable, target, token.line, span=variable_token.span()
+            )
         if token.kind != IDENT:
             raise self._error("expected a variable assignment or MATERIALIZE")
         variable = self._expect_ident()
         self._expect_symbol("=")
         operation = self._operation()
         self._expect_symbol(";")
-        return ast.Assign(variable, operation, token.line)
+        return ast.Assign(variable, operation, token.line, span=token.span())
 
     # -- operations -----------------------------------------------------------
 
@@ -142,7 +161,8 @@ class Parser:
             raise self._error("expected a GMQL operation keyword")
         self._advance()
         handler = getattr(self, f"_op_{token.value.lower()}")
-        return handler()
+        operation = handler()
+        return dataclasses.replace(operation, span=token.span())
 
     # Each operator parses '(' args ')' then its operand variable(s).
 
@@ -175,30 +195,48 @@ class Parser:
         return ast.OpSelect(operand, meta, region, semijoin)
 
     def _semijoin_clause(self) -> ast.SemiJoinClause:
-        attributes = [self._expect_name()]
+        first = self._peek()
+        attributes = []
+        spans = []
+        name, token = self._expect_name_token()
+        attributes.append(name)
+        spans.append(token.span())
         while self._peek().is_symbol(","):
             self._advance()
-            attributes.append(self._expect_name())
+            name, token = self._expect_name_token()
+            attributes.append(name)
+            spans.append(token.span())
         negated = False
         if self._peek().is_keyword("NOT"):
             self._advance()
             negated = True
         self._expect_keyword("IN")
         variable = self._expect_ident()
-        return ast.SemiJoinClause(tuple(attributes), variable, negated)
+        return ast.SemiJoinClause(
+            tuple(attributes),
+            variable,
+            negated,
+            span=first.span(),
+            attribute_spans=tuple(spans),
+        )
 
     def _op_project(self) -> ast.OpProject:
         self._expect_symbol("(")
         region_attributes: list | None = None
+        region_spans: list | None = None
         new_attributes: list = []
+        new_spans: list = []
         metadata_attributes: tuple | None = None
+        metadata_spans: tuple = ()
         keep_all = False
         if not self._peek().is_symbol(")"):
             while True:
                 if self._peek().is_keyword("METADATA"):
                     self._advance()
                     self._expect_symbol(":")
-                    metadata_attributes = tuple(self._name_list())
+                    names, spans = self._name_list_spanned()
+                    metadata_attributes = tuple(names)
+                    metadata_spans = tuple(spans)
                 else:
                     # Item list: '*' (keep all), names to keep, or
                     # `name AS <expr>` new attributes, comma-separated.
@@ -207,14 +245,17 @@ class Parser:
                             self._advance()
                             keep_all = True
                         else:
-                            name = self._expect_name()
+                            name, token = self._expect_name_token()
                             if self._peek().is_keyword("AS"):
                                 self._advance()
                                 new_attributes.append((name, self._arith_expr()))
+                                new_spans.append(token.span())
                             else:
                                 if region_attributes is None:
                                     region_attributes = []
+                                    region_spans = []
                                 region_attributes.append(name)
+                                region_spans.append(token.span())
                         if self._peek().is_symbol(","):
                             self._advance()
                             continue
@@ -227,28 +268,45 @@ class Parser:
         operand = self._expect_ident()
         if keep_all:
             region_attributes = None
+            region_spans = None
         elif region_attributes is None and new_attributes:
             # Only new attributes were given: keep nothing of the original
             # variable schema (use '*' to keep it).
             region_attributes = []
+            region_spans = []
         return ast.OpProject(
             operand,
             tuple(region_attributes) if region_attributes is not None else None,
             metadata_attributes,
             tuple(new_attributes),
+            region_attribute_spans=(
+                tuple(region_spans) if region_spans is not None else ()
+            ),
+            metadata_attribute_spans=metadata_spans,
+            new_attribute_spans=tuple(new_spans),
         )
 
     def _aggregate_call(self) -> ast.AggregateCall:
-        target = self._expect_name()
+        target, target_token = self._expect_name_token()
         self._expect_keyword("AS")
-        function = self._expect_name().upper()
+        function, function_token = self._expect_name_token()
+        function = function.upper()
         attribute = None
+        attribute_span = None
         if self._peek().is_symbol("("):
             self._advance()
             if not self._peek().is_symbol(")"):
-                attribute = self._expect_name()
+                attribute, attribute_token = self._expect_name_token()
+                attribute_span = attribute_token.span()
             self._expect_symbol(")")
-        return ast.AggregateCall(target, function, attribute)
+        return ast.AggregateCall(
+            target,
+            function,
+            attribute,
+            span=target_token.span(),
+            function_span=function_token.span(),
+            attribute_span=attribute_span,
+        )
 
     def _aggregate_list(self) -> list:
         calls = [self._aggregate_call()]
@@ -306,25 +364,29 @@ class Parser:
         operand = self._expect_ident()
         return ast.OpGroup(operand, meta_keys, meta_aggregates, region_aggregates)
 
-    def _order_keys(self) -> list:
+    def _order_keys(self) -> tuple:
+        """``(keys, spans)``: ``[(attribute, dir), ...]`` plus positions."""
         keys = []
+        spans = []
         while True:
-            attribute = self._expect_name()
+            attribute, token = self._expect_name_token()
             direction = "ASC"
             if self._peek().is_keyword("ASC") or self._peek().is_keyword("DESC"):
                 direction = self._advance().value
             keys.append((attribute, direction))
+            spans.append(token.span())
             if self._peek().is_symbol(","):
                 self._advance()
                 continue
             break
-        return keys
+        return keys, spans
 
     def _op_order(self) -> ast.OpOrder:
         self._expect_symbol("(")
         meta_keys: tuple = ()
         top = None
         region_keys: tuple = ()
+        region_spans: tuple = ()
         region_top = None
         if not self._peek().is_symbol(")"):
             while True:
@@ -335,19 +397,29 @@ class Parser:
                 elif self._peek().is_keyword("REGION"):
                     self._advance()
                     self._expect_symbol(":")
-                    region_keys = tuple(self._order_keys())
+                    keys, spans = self._order_keys()
+                    region_keys = tuple(keys)
+                    region_spans = tuple(spans)
                     if self._peek().is_keyword("TOP"):
                         self._advance()
                         region_top = self._expect_int()
                 else:
-                    meta_keys = tuple(self._order_keys())
+                    keys, __ = self._order_keys()
+                    meta_keys = tuple(keys)
                 if self._peek().is_symbol(";"):
                     self._advance()
                     continue
                 break
         self._expect_symbol(")")
         operand = self._expect_ident()
-        return ast.OpOrder(operand, meta_keys, top, region_keys, region_top)
+        return ast.OpOrder(
+            operand,
+            meta_keys,
+            top,
+            region_keys,
+            region_top,
+            region_key_spans=region_spans,
+        )
 
     def _op_union(self) -> ast.OpUnion:
         self._expect_symbol("(")
@@ -381,6 +453,11 @@ class Parser:
         return ast.OpDifference(left, right, joinby, exact)
 
     def _bound(self) -> ast.BoundExpr:
+        start = self._peek()
+        bound = self._bound_value()
+        return dataclasses.replace(bound, span=start.span())
+
+    def _bound_value(self) -> ast.BoundExpr:
         token = self._peek()
         if token.is_keyword("ANY"):
             self._advance()
@@ -497,16 +574,22 @@ class Parser:
             token = self._peek()
             if token.is_keyword("UP"):
                 self._advance()
-                clauses.append(ast.GenometricClause("UP"))
+                clauses.append(ast.GenometricClause("UP", span=token.span()))
             elif token.is_keyword("DOWN"):
                 self._advance()
-                clauses.append(ast.GenometricClause("DOWN"))
+                clauses.append(ast.GenometricClause("DOWN", span=token.span()))
             elif token.is_keyword("DLE") or token.is_keyword("DGE") or token.is_keyword("MD"):
                 kind = self._advance().value
                 self._expect_symbol("(")
                 argument = self._expect_int()
-                self._expect_symbol(")")
-                clauses.append(ast.GenometricClause(kind, argument))
+                close = self._expect_symbol(")")
+                span = dataclasses.replace(
+                    token.span(),
+                    length=close.column + 1 - token.column
+                    if close.line == token.line
+                    else token.span().length,
+                )
+                clauses.append(ast.GenometricClause(kind, argument, span=span))
             else:
                 raise self._error("expected a genometric clause (DLE/DGE/MD/UP/DOWN)")
             if self._peek().is_symbol(","):
@@ -518,11 +601,20 @@ class Parser:
     # -- shared sub-grammars ----------------------------------------------------
 
     def _name_list(self) -> list:
-        names = [self._expect_name()]
+        return self._name_list_spanned()[0]
+
+    def _name_list_spanned(self) -> tuple:
+        names = []
+        spans = []
+        name, token = self._expect_name_token()
+        names.append(name)
+        spans.append(token.span())
         while self._peek().is_symbol(","):
             self._advance()
-            names.append(self._expect_name())
-        return names
+            name, token = self._expect_name_token()
+            names.append(name)
+            spans.append(token.span())
+        return names, spans
 
     def _bool_expr(self):
         return self._bool_or()
@@ -554,13 +646,20 @@ class Parser:
             inner = self._bool_or()
             self._expect_symbol(")")
             return inner
-        attribute = self._expect_name()
+        attribute, attribute_token = self._expect_name_token()
         operator_token = self._peek()
         if operator_token.kind == "SYMBOL" and operator_token.value in _COMPARISON_OPS:
             self._advance()
-            return ast.Comparison(attribute, operator_token.value, self._literal())
+            return ast.Comparison(
+                attribute,
+                operator_token.value,
+                self._literal(),
+                span=attribute_token.span(),
+            )
         # Bare attribute: existence test.
-        return ast.Comparison(attribute, "!=", None)
+        return ast.Comparison(
+            attribute, "!=", None, span=attribute_token.span()
+        )
 
     def _literal(self):
         token = self._peek()
@@ -623,10 +722,19 @@ class Parser:
         if token.kind == NUMBER:
             return ast.Num(self._number_value())
         if token.kind in (IDENT, KEYWORD):
-            return ast.Attr(self._expect_name())
+            name, name_token = self._expect_name_token()
+            return ast.Attr(name, span=name_token.span())
         raise self._error("expected an arithmetic expression")
 
 
 def parse(text: str) -> ast.Program:
-    """Parse GMQL text into a :class:`~repro.gmql.lang.ast_nodes.Program`."""
-    return Parser(tokenize(text)).parse_program()
+    """Parse GMQL text into a :class:`~repro.gmql.lang.ast_nodes.Program`.
+
+    Syntax errors leave the parser with their caret frame attached, so
+    the CLI and the ``repro check`` gate print positions identically for
+    syntax and semantic findings.
+    """
+    try:
+        return Parser(tokenize(text)).parse_program()
+    except GmqlSyntaxError as exc:
+        raise exc.attach_source(text)

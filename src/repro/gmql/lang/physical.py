@@ -33,7 +33,13 @@ from dataclasses import dataclass, field
 
 from repro.engine.auto import choose_backend
 from repro.engine.dispatch import available_backends
-from repro.gmql.lang.plan import CompiledProgram, JoinPlan, PlanNode, ScanPlan
+from repro.gmql.lang.plan import (
+    CompiledProgram,
+    EmptyPlan,
+    JoinPlan,
+    PlanNode,
+    ScanPlan,
+)
 from repro.store.cache import plan_token
 
 
@@ -81,6 +87,10 @@ class PhysicalNode:
             parts.append(f"est_rows={est_regions}")
             if self.estimate is not None:
                 parts.append(f"est_samples={int(self.estimate.samples)}")
+        if self.logical.inferred is not None:
+            parts.append(f"schema={self.logical.inferred.region.render()}")
+        if isinstance(self.logical, EmptyPlan):
+            parts.append(f"pruned_by={self.logical.pruned_by}")
         return " ".join(parts)
 
     def explain(
@@ -248,17 +258,23 @@ def plan_program(
             if source is None:
                 return None
             return f"scan:{source.store().digest()}"
+        if isinstance(node, EmptyPlan):
+            columns = ",".join(f"{d.name}:{d.type.name}" for d in node.schema)
+            return f"empty:{columns}"
         prints = [child.fingerprint for child in children]
         if any(print_ is None for print_ in prints):
             return None
         h = hashlib.blake2b(digest_size=16)
         h.update(node.kind.encode())
         # result_name is a rename, not content; the interpreter
-        # re-applies it after a cache hit.
+        # re-applies it after a cache hit.  Analyzer annotations
+        # (inferred shape, emptiness proofs) are derived facts, not
+        # content, and must not perturb cache keys.
         params = {
             key: value
             for key, value in vars(node).items()
-            if key not in ("children", "result_name")
+            if key not in
+            ("children", "result_name", "inferred", "prunable_empty")
         }
         h.update(plan_token(params).encode())
         for print_ in prints:
@@ -281,7 +297,11 @@ def plan_program(
             fraction, zone_note = _zone_refinement(node, children, datasets)
             if fraction is not None and fraction < 1.0:
                 input_regions *= fraction
-        if engine == "auto":
+        if isinstance(node, EmptyPlan):
+            backend, reason = "empty", (
+                f"statically pruned by {node.pruned_by}; nothing to execute"
+            )
+        elif engine == "auto":
             backend, reason = choose_backend(node.kind, input_regions, available)
         elif isinstance(node, ScanPlan):
             backend, reason = "source", "scans read datasets directly"

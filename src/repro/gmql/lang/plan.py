@@ -32,6 +32,14 @@ class PlanNode:
 
     kind = "abstract"
 
+    #: Inferred output shape (:class:`~repro.gmql.lang.semantics.VarInfo`),
+    #: attached by the compiler when semantic analysis ran.  Class-level
+    #: defaults keep these out of ``vars(node)`` -- and therefore out of
+    #: plan fingerprints -- unless analysis actually set them.
+    inferred = None
+    #: Rule code (e.g. ``"GQL107"``) proving this node's result is empty.
+    prunable_empty = None
+
     def __init__(self, *children: "PlanNode") -> None:
         self.children = list(children)
         self.result_name: str | None = None
@@ -61,7 +69,10 @@ class PlanNode:
         if id(self) in seen:
             return f"{prefix}{self.label()} (shared)"
         seen.add(id(self))
-        lines = [f"{prefix}{self.label()}"]
+        line = f"{prefix}{self.label()}"
+        if self.inferred is not None:
+            line = f"{line}  :: {self.inferred.render()}"
+        lines = [line]
         for child in self.children:
             lines.append(child.explain(indent + 1, seen))
         return "\n".join(lines)
@@ -81,6 +92,27 @@ class ScanPlan(PlanNode):
 
     def label(self) -> str:
         return f"SCAN {self.dataset_name}"
+
+
+class EmptyPlan(PlanNode):
+    """Leaf: a statically-proven-empty result.
+
+    Produced by the optimizer when the semantic analyzer proves an
+    operator's output empty (e.g. a SELECT whose metadata predicate is
+    always false); ``pruned_by`` records the rule code that proved it.
+    The schema is the one inference assigned to the pruned subtree, so
+    downstream operators still see the right columns.
+    """
+
+    kind = "empty"
+
+    def __init__(self, schema, pruned_by: str) -> None:
+        super().__init__()
+        self.schema = schema
+        self.pruned_by = pruned_by
+
+    def label(self) -> str:
+        return f"EMPTY[{self.pruned_by}]"
 
 
 class SelectPlan(PlanNode):
@@ -350,12 +382,16 @@ class CompiledProgram:
         MATERIALIZE targets when present, otherwise all variables.
     sources:
         Names of the source datasets the program scans.
+    analysis:
+        The :class:`~repro.gmql.lang.semantics.Analysis` that vetted the
+        program, when the compiler ran the analyzer (``None`` otherwise).
     """
 
     def __init__(self, variables: dict, outputs: dict, sources: tuple) -> None:
         self.variables = variables
         self.outputs = outputs
         self.sources = sources
+        self.analysis = None
 
     def explain(self) -> str:
         """EXPLAIN text of every output plan."""

@@ -1,0 +1,62 @@
+"""Source spans: 1-based line/column locations with caret rendering.
+
+Every token knows where it starts; the parser threads those positions
+onto AST nodes as :class:`Span` records, and both syntax errors and the
+semantic analyzer's diagnostics render them as the same caret frame::
+
+    2 | PEAKS = SELECT(region: pvalue < 0.05) ENCODE;
+      |                        ^^^^^^
+
+Spans are advisory: a missing span (``None``) simply suppresses the
+frame, so positions can be threaded incrementally without breaking
+anything downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open source region: ``length`` characters from line/column.
+
+    Lines and columns are 1-based, matching editor conventions and the
+    lexer's token positions.  Multi-line spans are clamped to their first
+    line when rendered.
+    """
+
+    line: int
+    column: int
+    length: int = 1
+
+    def location(self) -> str:
+        """``"line L, column C"`` -- the phrasing used by error messages."""
+        return f"line {self.line}, column {self.column}"
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (used by ``repro check --format json``)."""
+        return {"line": self.line, "column": self.column, "length": self.length}
+
+
+def caret_frame(source: str, span: Span | None, indent: str = "  ") -> str:
+    """The two-line source excerpt with carets under *span*.
+
+    Returns ``""`` when the span is missing or falls outside *source*
+    (e.g. a program assembled from AST nodes rather than parsed text).
+    """
+    if span is None or span.line < 1:
+        return ""
+    lines = source.splitlines()
+    if span.line > len(lines):
+        return ""
+    text = lines[span.line - 1]
+    gutter = str(span.line)
+    pad = " " * len(gutter)
+    start = max(span.column - 1, 0)
+    width = max(1, min(span.length, max(len(text) - start, 1)))
+    underline = " " * start + "^" * width
+    return (
+        f"{indent}{gutter} | {text}\n"
+        f"{indent}{pad} | {underline}"
+    )

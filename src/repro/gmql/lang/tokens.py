@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.gmql.lang.span import Span
+
 #: Token kinds.
 IDENT = "IDENT"
 NUMBER = "NUMBER"
@@ -76,6 +78,14 @@ class Token:
     value: str
     line: int
     column: int
+
+    def span(self) -> Span:
+        """The source span this token covers (quotes included for strings)."""
+        if self.kind == STRING:
+            length = len(self.value) + 2
+        else:
+            length = max(len(self.value), 1)
+        return Span(self.line, self.column, length)
 
     def is_keyword(self, word: str) -> bool:
         """True when this token is the given keyword."""

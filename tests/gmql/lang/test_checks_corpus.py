@@ -1,0 +1,112 @@
+"""Golden-diagnostics corpus: one bad query per analyzer rule.
+
+Each ``checks/*.gmql`` file starts with ``#! expect:`` comment headers
+declaring the diagnostics the analyzer must produce -- code, severity,
+exact span, and a message fragment.  The corpus is the contract for the
+rule set: a rule change that moves a span or reword that drops the
+recognisable fragment fails here, with the offending file named.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.gmql.lang.semantics import RULES, analyze_program
+
+CHECKS_DIR = Path(__file__).parent / "checks"
+
+EXPECT_RE = re.compile(
+    r"#!\s*expect:\s*(?P<code>GQL\d+)\s+(?P<severity>error|warning)"
+    r"\s+line=(?P<line>\d+)\s+column=(?P<column>\d+)"
+    r"\s+length=(?P<length>\d+)"
+    r'\s+message~"(?P<fragment>[^"]*)"'
+)
+
+CORPUS_FILES = sorted(CHECKS_DIR.glob("*.gmql"))
+
+
+def _expectations(text: str) -> list:
+    expected = []
+    for line in text.splitlines():
+        if not line.startswith("#!"):
+            break
+        match = EXPECT_RE.match(line)
+        assert match, f"malformed expectation header: {line!r}"
+        expected.append(
+            {
+                "code": match["code"],
+                "severity": match["severity"],
+                "line": int(match["line"]),
+                "column": int(match["column"]),
+                "length": int(match["length"]),
+                "fragment": match["fragment"],
+            }
+        )
+    return expected
+
+
+def _matches(diagnostic, want) -> bool:
+    return (
+        diagnostic.code == want["code"]
+        and diagnostic.severity == want["severity"]
+        and diagnostic.span is not None
+        and diagnostic.span.line == want["line"]
+        and diagnostic.span.column == want["column"]
+        and diagnostic.span.length == want["length"]
+        and want["fragment"] in diagnostic.message
+    )
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_file_produces_expected_diagnostics(path):
+    text = path.read_text()
+    expected = _expectations(text)
+    assert expected, f"{path.name} declares no '#! expect:' headers"
+
+    analysis = analyze_program(text)
+    rendered = analysis.render(with_frames=False)
+    for want in expected:
+        hits = [d for d in analysis.diagnostics if _matches(d, want)]
+        assert len(hits) == 1, (
+            f"{path.name}: expected exactly one diagnostic matching "
+            f"{want}, got {len(hits)}.\nAll diagnostics:\n{rendered}"
+        )
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_file_primary_rule_matches_filename(path):
+    # gql107_always_false_select.gmql must actually trip GQL107.
+    code = path.stem.split("_")[0].upper()
+    expected = _expectations(path.read_text())
+    assert any(want["code"] == code for want in expected)
+
+
+def test_corpus_covers_every_rule():
+    covered = set()
+    for path in CORPUS_FILES:
+        covered.update(w["code"] for w in _expectations(path.read_text()))
+    assert covered == set(RULES), (
+        f"rules without a corpus file: {sorted(set(RULES) - covered)}; "
+        f"unknown codes in corpus: {sorted(covered - set(RULES))}"
+    )
+
+
+def test_corpus_diagnostics_render_caret_frames():
+    # Spans point at real source text, so every expected diagnostic can
+    # render a two-line caret frame against its own file.
+    for path in CORPUS_FILES:
+        text = path.read_text()
+        analysis = analyze_program(text)
+        for want in _expectations(text):
+            hit = next(
+                d for d in analysis.diagnostics if _matches(d, want)
+            )
+            formatted = hit.format(text)
+            assert " | " in formatted and "^" in formatted, (
+                f"{path.name}: no caret frame for {hit.code}"
+            )

@@ -72,7 +72,8 @@ class TestRun:
 
     def test_missing_source_is_clean_error(self, capsys, program_file):
         code = main(["run", program_file])
-        assert code == 1
+        # An unbound source is a compile-level problem: exit 3.
+        assert code == 3
         assert "error:" in capsys.readouterr().err
 
     def test_bad_engine_is_clean_error(self, capsys, encode_dir,
@@ -88,7 +89,10 @@ class TestRun:
         bad = tmp_path / "bad.gmql"
         bad.write_text("THIS IS NOT GMQL")
         code = main(["run", str(bad), "--source", f"ENCODE={encode_dir}"])
-        assert code == 1
+        # Syntax errors get their own exit code (2), distinct from
+        # semantic (3) and execution (1) failures.
+        assert code == 2
+        assert "syntax error:" in capsys.readouterr().err
 
 
 class TestRunNewFlags:
@@ -180,6 +184,82 @@ class TestChaosFlag:
         assert armed() is None
 
 
+class TestCheck:
+    def test_clean_program_exits_zero(self, capsys, program_file):
+        code = main(["check", program_file])
+        assert code == 0
+        assert "ok: no findings" in capsys.readouterr().out
+
+    def test_clean_program_with_sources(self, capsys, encode_dir,
+                                        program_file):
+        code = main(
+            ["check", program_file, "--source", f"ENCODE={encode_dir}"]
+        )
+        assert code == 0
+
+    def test_semantic_error_exits_three(self, capsys, tmp_path):
+        bad = tmp_path / "bad.gmql"
+        bad.write_text("X = COVER(5, 2) RAW;\nMATERIALIZE X;\n")
+        code = main(["check", str(bad)])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "GQL106" in out
+        assert "1 error(s)" in out
+        assert "^" in out  # caret frame
+
+    def test_warning_only_exits_zero_without_strict(self, capsys, tmp_path):
+        warn = tmp_path / "warn.gmql"
+        warn.write_text(
+            "X = SELECT(region: left < 0) RAW;\nMATERIALIZE X;\n"
+        )
+        code = main(["check", str(warn)])
+        assert code == 0
+        assert "GQL107" in capsys.readouterr().out
+
+    def test_strict_promotes_warnings(self, capsys, tmp_path):
+        warn = tmp_path / "warn.gmql"
+        warn.write_text(
+            "X = SELECT(region: left < 0) RAW;\nMATERIALIZE X;\n"
+        )
+        code = main(["check", "--strict", str(warn)])
+        assert code == 3
+
+    def test_json_format(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.gmql"
+        bad.write_text("X = COVER(5, 2) RAW;\nMATERIALIZE X;\n")
+        code = main(["check", "--format", "json", str(bad)])
+        assert code == 3
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["errors"] == 1
+        diagnostic = report["diagnostics"][0]
+        assert diagnostic["code"] == "GQL106"
+        assert diagnostic["severity"] == "error"
+        assert diagnostic["span"]["line"] == 1
+
+    def test_syntax_error_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.gmql"
+        bad.write_text("THIS IS NOT GMQL")
+        code = main(["check", str(bad)])
+        assert code == 2
+        assert "syntax error:" in capsys.readouterr().err
+
+    def test_rules_listing(self, capsys):
+        code = main(["check", "--rules"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GQL101" in out and "GQL114" in out
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "GMQL semantic error" in out
+
+
 class TestExplainAnalyze:
     def test_analyze_prints_backends_and_timings(
         self, capsys, encode_dir, program_file
@@ -210,7 +290,7 @@ class TestExplainAnalyze:
         self, capsys, program_file
     ):
         code = main(["explain", program_file, "--analyze"])
-        assert code == 1
+        assert code == 3
         assert "unknown source dataset" in capsys.readouterr().err
 
 
