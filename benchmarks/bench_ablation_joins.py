@@ -8,13 +8,14 @@ strategies lives.
 
 import pytest
 
-from repro.engine.columnar import _chrom_arrays, count_overlaps_vectorised
 from repro.intervals import (
     GenomeIndex,
     binned_count_overlaps,
     sweep_count_overlaps,
 )
+from repro.intervals.bins import DEFAULT_BIN_SIZE
 from repro.simulate import region_sample
+from repro.store import SampleBlocks, count_overlaps_blocks
 
 N = 4_000
 
@@ -33,7 +34,11 @@ def _tree_counts(references, probes):
 
 
 def _vector_counts(references, probes):
-    return count_overlaps_vectorised(references, _chrom_arrays(probes)).tolist()
+    counts, __ = count_overlaps_blocks(
+        SampleBlocks(None, references, DEFAULT_BIN_SIZE),
+        SampleBlocks(None, probes, DEFAULT_BIN_SIZE),
+    )
+    return counts.tolist()
 
 
 def test_interval_tree(benchmark, workload):

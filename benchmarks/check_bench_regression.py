@@ -2,8 +2,8 @@
 
 Usage::
 
-    python benchmarks/check_bench_regression.py BENCH_pr3.json \
-        benchmarks/BENCH_baseline_pr3.json [--factor 2.0]
+    python benchmarks/check_bench_regression.py BENCH_pr5.json \
+        benchmarks/BENCH_baseline_pr5.json [--factor 2.0] [--require-shm]
 
 Compares a freshly produced BENCH document against the committed
 baseline and exits non-zero when the columnar engine regressed.  The
@@ -15,6 +15,12 @@ fresh document: the MAP scenario must report zone-map pruning
 (``partitions_pruned > 0``) and the columnar variant must report result
 cache hits -- a silently disabled store or cache would otherwise pass
 on speed alone.
+
+With ``--require-shm`` (the medium-scale fan-out run), every scenario
+carrying both ``parallel`` and ``parallel-pickle`` variants must show
+the shared-memory path actually engaging: segments shipped
+(``shm_bytes_shared > 0``) and fewer pickled bytes than the
+pickle-only variant.
 """
 
 from __future__ import annotations
@@ -39,12 +45,42 @@ def _ratio(entry: dict, numerator: str, denominator: str) -> float | None:
     return _seconds(variants[numerator]) / reference
 
 
-def check(fresh: dict, baseline: dict, factor: float) -> list:
+def _shm_check(scenario: str, entry: dict) -> list:
+    """Shared-memory engagement invariants for one scenario."""
+    variants = entry["variants"]
+    shm = variants.get("parallel")
+    pickled = variants.get("parallel-pickle")
+    if shm is None or pickled is None:
+        return []
+    failures = []
+    if shm.get("shm_bytes_shared", 0) <= 0:
+        failures.append(
+            f"{scenario}: parallel variant shipped no shared-memory bytes"
+        )
+    if shm.get("shm_bytes_pickled", 0) >= pickled.get("shm_bytes_pickled", 0):
+        failures.append(
+            f"{scenario}: shared-memory path pickled "
+            f"{shm.get('shm_bytes_pickled', 0)} bytes, not fewer than the "
+            f"pickle-only path ({pickled.get('shm_bytes_pickled', 0)})"
+        )
+    if pickled.get("shm_bytes_shared", 0) != 0:
+        failures.append(
+            f"{scenario}: pickle-only variant unexpectedly used "
+            f"shared memory"
+        )
+    return failures
+
+
+def check(
+    fresh: dict, baseline: dict, factor: float, require_shm: bool = False
+) -> list:
     """All failure messages (empty when the gate passes)."""
     failures = []
     for scenario, entry in fresh["scenarios"].items():
         if not entry.get("identical_results", True):
             failures.append(f"{scenario}: engine variants disagree on results")
+        if require_shm:
+            failures.extend(_shm_check(scenario, entry))
         base_entry = baseline["scenarios"].get(scenario)
         if base_entry is None:
             continue
@@ -80,12 +116,18 @@ def main(argv: list | None = None) -> int:
         "--factor", type=float, default=2.0,
         help="allowed slowdown of the columnar/naive ratio (default: 2.0)",
     )
+    parser.add_argument(
+        "--require-shm", action="store_true",
+        help="additionally require the parallel variant to ship bytes "
+             "through shared memory and pickle fewer bytes than "
+             "parallel-pickle",
+    )
     args = parser.parse_args(argv)
     with open(args.fresh) as handle:
         fresh = json.load(handle)
     with open(args.baseline) as handle:
         baseline = json.load(handle)
-    failures = check(fresh, baseline, args.factor)
+    failures = check(fresh, baseline, args.factor, args.require_shm)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:

@@ -19,6 +19,11 @@ Checks, over ``src``, ``tests`` and ``benchmarks``:
    consumers (and the docs) never silently miss a kernel.
 4. **Everything parses.**  Each file is compiled with :func:`compile`,
    which catches syntax errors even in modules no test imports.
+5. **No raw ``SharedMemory`` construction outside the store.**  Shared
+   memory segments leak unless their create/attach/close/unlink
+   lifecycle is exact; only ``src/repro/store/shm.py`` (the managed
+   :class:`ArrayShipper`/``materialise`` protocol) may instantiate
+   ``multiprocessing.shared_memory.SharedMemory``.
 
 Exits nonzero listing ``path:line: message`` for every violation.
 """
@@ -32,6 +37,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 CHECKED_TREES = ("src", "tests", "benchmarks")
 CLOCK_MODULE = ROOT / "src" / "repro" / "resilience" / "clock.py"
+SHM_MODULE = ROOT / "src" / "repro" / "store" / "shm.py"
 OPERATORS_DIR = ROOT / "src" / "repro" / "gmql" / "operators"
 
 #: ``(qualifier, attribute)`` call patterns that read the wall clock.
@@ -69,6 +75,7 @@ def _check_file(path: Path, problems: list) -> None:
         problems.append(f"{rel}:{exc.lineno}: syntax error: {exc.msg}")
         return
     is_clock = path == CLOCK_MODULE
+    is_shm = path == SHM_MODULE
     for node in ast.walk(tree):
         if isinstance(node, ast.Call) and not is_clock:
             pattern = _call_qualifier(node.func)
@@ -77,6 +84,20 @@ def _check_file(path: Path, problems: list) -> None:
                     f"{rel}:{node.lineno}: wall-clock call "
                     f"{pattern[0]}.{pattern[1]}() -- inject a clock "
                     f"(see repro.resilience.clock) instead"
+                )
+        if isinstance(node, ast.Call) and not is_shm:
+            func = node.func
+            constructs_shm = (
+                isinstance(func, ast.Name) and func.id == "SharedMemory"
+            ) or (
+                isinstance(func, ast.Attribute)
+                and func.attr == "SharedMemory"
+            )
+            if constructs_shm:
+                problems.append(
+                    f"{rel}:{node.lineno}: raw SharedMemory construction "
+                    f"-- go through repro.store.shm (ArrayShipper / "
+                    f"materialise) so segments cannot leak"
                 )
         if isinstance(node, ast.ExceptHandler) and node.type is None:
             problems.append(

@@ -11,8 +11,12 @@ engine variants and writes one BENCH JSON document:
   pruning *and* the plan-fingerprint result cache: cold run pays the
   kernels, warm runs hit the cache;
 * ``auto`` -- per-node routing over the same store;
-* ``parallel`` -- the process-pool backend (``full`` scale only, where
-  worker start-up amortises).
+* ``parallel`` -- the process-pool backend with zero-copy shared-memory
+  block shipping (``medium``/``full`` scales, where worker start-up
+  amortises);
+* ``parallel-pickle`` -- the same pool with shared memory disabled
+  (``use_shm: False``), isolating the serialisation cost the shm
+  protocol removes.
 
 Every variant regenerates its sources from the same seed, so store
 blocks memoised by one variant never subsidise another, and every
@@ -40,10 +44,34 @@ PROGRAMS = {
         RESULT = MAP(peak_count AS COUNT) PROMS PEAKS;
         MATERIALIZE RESULT;
     """,
+    "map_avg": """
+        PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+        PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+        RESULT = MAP(avg_p AS AVG(p_value)) PROMS PEAKS;
+        MATERIALIZE RESULT;
+    """,
+    "map_max": """
+        PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+        PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+        RESULT = MAP(max_p AS MAX(p_value)) PROMS PEAKS;
+        MATERIALIZE RESULT;
+    """,
     "join": """
         PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
         PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
         RESULT = JOIN(DLE(20000); output: LEFT) PROMS PEAKS;
+        MATERIALIZE RESULT;
+    """,
+    "join_md1": """
+        PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+        PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+        RESULT = JOIN(MD(1); output: LEFT) PROMS PEAKS;
+        MATERIALIZE RESULT;
+    """,
+    "join_up": """
+        PROMS = SELECT(annType == 'promoter') ANNOTATIONS;
+        PEAKS = SELECT(dataType == 'ChipSeq') ENCODE;
+        RESULT = JOIN(DLE(20000), UP; output: LEFT) PROMS PEAKS;
         MATERIALIZE RESULT;
     """,
     "cover": """
@@ -54,31 +82,36 @@ PROGRAMS = {
 }
 
 #: Data sizes: ``tiny`` for unit tests, ``smoke`` for the CI bench job,
+#: ``medium`` for the JOIN/MAP kernel and shared-memory numbers,
 #: ``full`` for the committed baseline numbers.
 SCALES = {
     "tiny": {"n_genes": 60, "n_enhancers": 30, "n_samples": 3,
              "peaks_per_sample_mean": 40},
     "smoke": {"n_genes": 200, "n_enhancers": 100, "n_samples": 8,
               "peaks_per_sample_mean": 150},
+    "medium": {"n_genes": 1500, "n_enhancers": 800, "n_samples": 4,
+               "peaks_per_sample_mean": 3000},
     "full": {"n_genes": 400, "n_enhancers": 200, "n_samples": 32,
              "peaks_per_sample_mean": 400},
 }
 
-#: ``(variant name, engine, use_store, result cache enabled)``.
+#: ``(variant name, engine, use_store, result cache enabled, use_shm)``.
 VARIANTS = (
-    ("naive", "naive", True, False),
-    ("columnar-nostore", "columnar", False, False),
-    ("columnar", "columnar", True, True),
-    ("auto", "auto", True, True),
-    ("parallel", "parallel", True, False),
+    ("naive", "naive", True, False, True),
+    ("columnar-nostore", "columnar", False, False, True),
+    ("columnar", "columnar", True, True, True),
+    ("auto", "auto", True, True, True),
+    ("parallel", "parallel", True, False, True),
+    ("parallel-pickle", "parallel", True, False, False),
 )
 
 
 def default_variants(scale: str) -> tuple:
-    """Variant names benched at *scale* (parallel only pays off at full)."""
+    """Variant names benched at *scale* (fan-out pays off at medium+)."""
     names = [name for name, *_ in VARIANTS]
-    if scale != "full":
+    if scale in ("tiny", "smoke"):
         names.remove("parallel")
+        names.remove("parallel-pickle")
     return tuple(names)
 
 
@@ -120,6 +153,7 @@ def _run_variant(
     engine: str,
     use_store: bool,
     cache_enabled: bool,
+    use_shm: bool,
     repeat: int,
     bin_size: int | None,
     workers: int | None,
@@ -130,13 +164,16 @@ def _run_variant(
     reset_result_cache()
     runs = []
     pruned_cold = 0
+    shm_shared_cold = 0
+    shm_pickled_cold = 0
+    regions_emitted = 0
     digest = None
     for iteration in range(max(1, repeat)):
         context = ExecutionContext(
             workers=workers,
             bin_size=bin_size,
             result_cache=cache_enabled,
-            config={"use_store": use_store},
+            config={"use_store": use_store, "use_shm": use_shm},
         )
         backend = get_backend(engine)
         started = time.perf_counter()
@@ -149,16 +186,25 @@ def _run_variant(
         runs.append(time.perf_counter() - started)
         if iteration == 0:
             pruned_cold = context.metrics.counter("store.partitions_pruned")
+            shm_shared_cold = context.metrics.counter("shm.bytes_shared")
+            shm_pickled_cold = context.metrics.counter("shm.bytes_pickled")
+            regions_emitted = sum(
+                dataset.region_count() for dataset in results.values()
+            )
             digest = _result_digest(results)
     cache = result_cache().stats()
     return {
         "engine": engine,
         "use_store": use_store,
         "result_cache_enabled": cache_enabled,
+        "use_shm": use_shm,
         "cold_seconds": runs[0],
         "warm_seconds": min(runs[1:]) if len(runs) > 1 else None,
         "runs_seconds": runs,
         "partitions_pruned": pruned_cold,
+        "regions_emitted": regions_emitted,
+        "shm_bytes_shared": shm_shared_cold,
+        "shm_bytes_pickled": shm_pickled_cold,
         "cache": {
             "hits": cache["hits"],
             "misses": cache["misses"],
@@ -184,7 +230,7 @@ def run_bench(
     variant_names = tuple(variants or default_variants(scale))
     by_name = {name: spec for name, *spec in VARIANTS}
     document = {
-        "bench": "pr3",
+        "bench": "pr5",
         "scale": scale,
         "repeat": repeat,
         "seed": seed,
@@ -195,10 +241,10 @@ def run_bench(
         program = PROGRAMS[scenario]
         cells = {}
         for variant in variant_names:
-            engine, use_store, cache_enabled = by_name[variant]
+            engine, use_store, cache_enabled, use_shm = by_name[variant]
             cells[variant] = _run_variant(
                 program, scale, seed, engine, use_store, cache_enabled,
-                repeat, bin_size, workers,
+                use_shm, repeat, bin_size, workers,
             )
         digests = {cell["digest"] for cell in cells.values()}
         entry = {"variants": cells, "identical_results": len(digests) == 1}
@@ -209,6 +255,12 @@ def run_bench(
             reference = baseline["warm_seconds"] or baseline["cold_seconds"]
             entry["columnar_vs_nostore_speedup"] = (
                 reference / warm if warm else None
+            )
+        naive_cell = cells.get("naive")
+        if naive_cell and store_cell:
+            cold = store_cell["cold_seconds"]
+            entry["columnar_vs_naive_speedup"] = (
+                naive_cell["cold_seconds"] / cold if cold else None
             )
         document["scenarios"][scenario] = entry
     return document
@@ -238,6 +290,13 @@ def render_summary(document: dict) -> str:
                 f"  pruned {cell['partitions_pruned']:>6}"
                 f"  cache {cell['cache']['hits']}/{cell['cache']['misses']}"
             )
+        for variant, cell in entry["variants"].items():
+            if cell["shm_bytes_shared"] or cell["shm_bytes_pickled"]:
+                lines.append(
+                    f"  {variant:<18} shipped"
+                    f" {cell['shm_bytes_shared']:>12,} B shm"
+                    f" / {cell['shm_bytes_pickled']:>12,} B pickled"
+                )
         if not entry["identical_results"]:
             lines.append("  WARNING: variants disagree on result content")
         speedup = entry.get("columnar_vs_nostore_speedup")
@@ -245,5 +304,10 @@ def render_summary(document: dict) -> str:
             lines.append(
                 f"  columnar (store+cache) vs columnar-nostore:"
                 f" {speedup:.1f}x warm"
+            )
+        speedup = entry.get("columnar_vs_naive_speedup")
+        if speedup is not None:
+            lines.append(
+                f"  columnar vs naive: {speedup:.1f}x cold"
             )
     return "\n".join(lines)

@@ -14,7 +14,7 @@ Subcommands::
         [--format json]
     python -m repro explain QUERY.gmql
     python -m repro explain QUERY.gmql --analyze --source ENCODE=./encode_dir
-    python -m repro bench --scale smoke --out BENCH_pr3.json
+    python -m repro bench --scale smoke --out BENCH_pr5.json
     python -m repro info DATASET_DIR
     python -m repro convert input.narrowPeak output.bed
     python -m repro formats
@@ -163,21 +163,24 @@ def build_parser() -> argparse.ArgumentParser:
              "engines and write a BENCH JSON document",
     )
     bench_cmd.add_argument(
-        "--out", default="BENCH_pr3.json",
-        help="output JSON path (default: BENCH_pr3.json)",
+        "--out", default="BENCH_pr5.json",
+        help="output JSON path (default: BENCH_pr5.json)",
     )
     bench_cmd.add_argument(
-        "--scale", default="smoke", choices=("tiny", "smoke", "full"),
-        help="data size (default: smoke)",
+        "--scale", default="smoke",
+        choices=("tiny", "smoke", "medium", "full"),
+        help="data size (default: smoke; medium exercises the "
+             "JOIN/MAP kernels and shared-memory fan-out)",
     )
     bench_cmd.add_argument(
         "--scenarios", default=None, metavar="NAMES",
-        help="comma-separated scenario subset (map,join,cover)",
+        help="comma-separated scenario subset "
+             "(map,map_avg,map_max,join,join_md1,join_up,cover)",
     )
     bench_cmd.add_argument(
         "--engines", default=None, metavar="NAMES",
-        help="comma-separated variant subset "
-             "(naive,columnar-nostore,columnar,auto,parallel)",
+        help="comma-separated variant subset (naive,columnar-nostore,"
+             "columnar,auto,parallel,parallel-pickle)",
     )
     bench_cmd.add_argument(
         "--repeat", type=_positive_int, default=3, metavar="N",

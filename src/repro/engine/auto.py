@@ -19,10 +19,16 @@ Two entry points share one policy, :func:`choose_backend`:
 from __future__ import annotations
 
 from repro.engine.base import Backend, EngineStats
+from repro.store import shm_enabled
 
 #: Input-region count above which region-heavy operators are worth
 #: shipping to worker processes (pickling cost must be amortised).
 PARALLEL_REGION_THRESHOLD = 50_000
+
+#: Lower break-even point when block arrays travel through POSIX shared
+#: memory instead of pickles: workers attach to segments instead of
+#: deserialising region objects, so the fan-out pays off much earlier.
+PARALLEL_REGION_THRESHOLD_SHM = 20_000
 
 #: Input-region count above which vectorised columnar kernels win over
 #: the record-at-a-time reference implementation.
@@ -33,6 +39,18 @@ PARALLEL_OPERATORS = frozenset({"map", "join", "cover", "difference"})
 
 #: The plan-node kind executed by the interpreter itself (no kernel).
 SOURCE_KIND = "scan"
+
+
+def parallel_threshold() -> int:
+    """Effective fan-out break-even for this host.
+
+    Shared memory removes most serialisation cost, moving the break-even
+    point down; hosts without ``/dev/shm`` (or with shared memory gated
+    off) keep the conservative pickle threshold.
+    """
+    if shm_enabled():
+        return PARALLEL_REGION_THRESHOLD_SHM
+    return PARALLEL_REGION_THRESHOLD
 
 
 def choose_backend(
@@ -55,7 +73,7 @@ def choose_backend(
         return "source", "scans read datasets directly"
     if (
         kind in PARALLEL_OPERATORS
-        and input_regions >= PARALLEL_REGION_THRESHOLD
+        and input_regions >= parallel_threshold()
         and "parallel" in available
     ):
         return (

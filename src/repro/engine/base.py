@@ -181,6 +181,19 @@ class Backend:
                 "store.partitions_pruned", partitions
             )
 
+    def note_kernel(self, name: str) -> None:
+        """Annotate the current trace span with the kernel that ran.
+
+        Shows up as ``kernel=<name>`` in ``repro trace`` output, so a
+        plan's physical annotation reveals whether e.g. a JOIN hit the
+        vectorised pair kernel or fell back to the per-region loop.
+        """
+        if self._context is None:
+            return
+        span = self._context.tracer.current
+        if span is not None:
+            span.annotate(kernel=name)
+
     def reset_stats(self) -> None:
         """Clear accumulated statistics (e.g. between benchmark runs)."""
         self.stats = EngineStats()

@@ -1,15 +1,21 @@
 """The columnar backend: numpy kernels over cached store blocks.
 
 Plays the part of the "vectorised cluster framework" in the paper's
-section 4.2 comparison.  Hot kernels are vectorised and, since the
-:mod:`repro.store` layer landed, consume the per-dataset columnar blocks
-(:meth:`Dataset.store`) instead of rebuilding coordinate arrays from
-region objects on every operator:
+section 4.2 comparison.  Hot kernels are vectorised and consume the
+per-dataset columnar blocks (:meth:`Dataset.store`) instead of
+rebuilding coordinate arrays from region objects on every operator:
 
-* **MAP with COUNT** -- overlap counting via two ``searchsorted`` calls per
-  chromosome (``started_before_ref_end - ended_before_ref_start``), the
-  same trick distributed GMQL uses after binning, with zone-map pruning
-  of chromosomes/bins the experiment provably cannot touch;
+* **MAP** -- COUNT-only aggregates use the two-``searchsorted`` counting
+  identity (:func:`repro.store.count_overlaps_blocks`) with zone-map
+  chromosome/bin pruning; every other registered aggregate runs on the
+  overlap-pair kernel (:func:`repro.store.overlap_pairs`) with grouped
+  ``reduceat``/sorted-prefix reductions where they are bit-exact and a
+  canonical-order Python reduction where float summation order matters;
+* **JOIN** -- every genometric condition (DLE/DGE/MD(k)/UP/DOWN) runs on
+  the vectorised pair kernel (:func:`repro.store.join_pairs`):
+  ``searchsorted`` candidate windows, strand-aware stream masks, and a
+  per-anchor nearest-k selection, with zone-map pruning of anchor
+  chromosomes the experiment provably cannot reach;
 * **COVER** -- the depth profile is computed with the shared numpy event
   sweep (:func:`repro.store.depth_segments`) over block arrays, then
   shares the run-merging logic with the naive engine;
@@ -19,17 +25,17 @@ region objects on every operator:
 * **SELECT** -- region predicates over fixed coordinates and numeric
   variable attributes evaluate as boolean array expressions over
   memoised column arrays, and conjunctive coordinate bounds prune whole
-  chromosomes via the zone map;
-* **JOIN** -- candidate windows search block-sorted start arrays, and
-  anchor chromosomes outside the experiment's zone window are skipped.
+  chromosomes via the zone map.
 
-Everything else (metadata-centric operators, genometric joins with MD or
-stream clauses, non-COUNT map aggregates) falls back to the naive kernels:
-backends differ only where vectorisation pays, which is itself a faithful
-reproduction of how the Spark/Flink encodings share their front end.
-Setting ``use_store: False`` in the execution context config (or
-``REPRO_STORE=0``) restores the block-free legacy paths; ``repro bench``
-uses that switch to measure the store's contribution.
+Array building lives in :mod:`repro.store` only: with ``use_store:
+False`` (or ``REPRO_STORE=0``) the kernels build *ephemeral*
+:class:`~repro.store.SampleBlocks` per operator invocation instead of
+memoised ones -- same kernels, no cross-operator reuse and no pruning
+accounting -- which is what ``repro bench`` measures as the pre-store
+baseline.  Metadata-centric operators fall back to the naive kernels:
+backends differ only where vectorisation pays, which is itself a
+faithful reproduction of how the Spark/Flink encodings share their
+front end.
 """
 
 from __future__ import annotations
@@ -43,7 +49,8 @@ from repro.intervals.coverage import (
     summit_intervals_from_segments,
 )
 from repro.engine.naive import NaiveBackend
-from repro.gmql.aggregates import Count
+from repro.gmql.aggregates import Avg, Count, Max, Median, Min, Sum
+from repro.gmql.genometric import Downstream, Upstream
 from repro.gmql.operators.base import (
     build_result,
     group_samples,
@@ -58,93 +65,22 @@ from repro.gmql.predicates import (
     RegionOr,
 )
 from repro.store.columnar import (
+    SampleBlocks,
     count_overlaps_blocks,
     depth_segments,
-    point_feature_adjustment,
+)
+from repro.store.join_kernels import (
+    group_offsets,
+    join_pairs,
+    overlap_pairs,
+    segment_counts,
+    segment_median_positions,
+    segment_reduce,
 )
 
-
-def _chrom_arrays(regions: list) -> dict:
-    """Group regions by chromosome into sorted coordinate arrays.
-
-    Returns ``{chrom: (sorted_lefts, sorted_rights, zero_positions)}``
-    where the coordinate arrays are sorted independently (the counting
-    kernel needs both orders) and ``zero_positions`` holds the sorted
-    positions of zero-length regions (the kernel's point-feature
-    correction needs them).
-    """
-    grouped: dict = {}
-    for region in regions:
-        grouped.setdefault(region.chrom, []).append(region)
-    arrays = {}
-    for chrom, chrom_regions in grouped.items():
-        lefts = np.fromiter(
-            (r.left for r in chrom_regions), dtype=np.int64, count=len(chrom_regions)
-        )
-        rights = np.fromiter(
-            (r.right for r in chrom_regions), dtype=np.int64, count=len(chrom_regions)
-        )
-        zeros = np.sort(lefts[rights == lefts])
-        lefts.sort()
-        rights.sort()
-        arrays[chrom] = (lefts, rights, zeros)
-    return arrays
-
-
-def count_overlaps_vectorised(references: list, probe_arrays: dict) -> np.ndarray:
-    """Overlap counts for each reference region against probe arrays.
-
-    ``count(ref) = |probes with left < ref.right| -
-    |probes with right <= ref.left|`` -- every probe starting before the
-    reference ends either overlaps it or has already ended -- plus
-    :func:`repro.store.columnar.point_feature_adjustment` to keep
-    zero-length references exact.
-    """
-    counts = np.zeros(len(references), dtype=np.int64)
-    if not references:
-        return counts
-    by_chrom: dict = {}
-    for index, region in enumerate(references):
-        by_chrom.setdefault(region.chrom, []).append(index)
-    for chrom, indices in by_chrom.items():
-        probes = probe_arrays.get(chrom)
-        if probes is None:
-            continue
-        probe_lefts, probe_rights, probe_zeros = probes
-        ref_lefts = np.fromiter(
-            (references[i].left for i in indices), dtype=np.int64, count=len(indices)
-        )
-        ref_rights = np.fromiter(
-            (references[i].right for i in indices), dtype=np.int64, count=len(indices)
-        )
-        started = np.searchsorted(probe_lefts, ref_rights, side="left")
-        ended = np.searchsorted(probe_rights, ref_lefts, side="right")
-        counts[np.asarray(indices)] = (
-            started - ended
-            + point_feature_adjustment(probe_zeros, ref_lefts, ref_rights)
-        )
-    return counts
-
-
-def coverage_segments_vectorised(regions: list):
-    """Numpy event-sweep depth profile; yields :class:`CoverageSegment`."""
-    grouped: dict = {}
-    for region in regions:
-        if region.right > region.left:
-            grouped.setdefault(region.chrom, []).append(region)
-    from repro.gdm import chromosome_sort_key
-
-    for chrom in sorted(grouped, key=chromosome_sort_key):
-        chrom_regions = grouped[chrom]
-        n = len(chrom_regions)
-        starts = np.fromiter(
-            (r.left for r in chrom_regions), dtype=np.int64, count=n
-        )
-        stops = np.fromiter(
-            (r.right for r in chrom_regions), dtype=np.int64, count=n
-        )
-        for left, right, depth in depth_segments(chrom, starts, stops):
-            yield CoverageSegment(chrom, left, right, depth)
+#: Integer magnitudes above which vectorised int64 reductions could
+#: overflow or lose exactness; columns exceeding it take the Python path.
+_SAFE_INT_MAGNITUDE = 2**52
 
 
 def coverage_segments_from_blocks(blocks_list: list):
@@ -154,7 +90,7 @@ def coverage_segments_from_blocks(blocks_list: list):
     :class:`~repro.store.columnar.SampleBlocks` (dropping zero-length
     regions, which contribute no coverage) and sweeps them with the
     shared numpy kernel; yields :class:`CoverageSegment` in genome
-    order, exactly like :func:`coverage_segments_vectorised`.
+    order.
     """
     from repro.gdm import chromosome_sort_key
 
@@ -311,10 +247,279 @@ def _vectorise_predicate(predicate, schema, regions: list,
     return walk(predicate)
 
 
+# -- MAP aggregation over overlap pairs ---------------------------------------
+
+
+def resolve_map_aggregates(aggregates, reference: Dataset,
+                           experiment: Dataset) -> tuple:
+    """Resolve MAP aggregate specs exactly like the naive operator.
+
+    Returns ``(schema, resolved)`` with ``resolved`` a list of
+    ``(aggregate, attr_index, input_type_name)`` -- *attr_index* is the
+    experiment-schema column position (``None`` for COUNT) and the type
+    name drives the exactness classification of the vector reductions.
+    Raises the same :class:`EvaluationError`\\ s as the naive path for
+    malformed specs.
+    """
+    from repro.errors import EvaluationError
+    from repro.gdm import AttributeDef, INT
+    from repro.gmql.aggregates import Aggregate
+
+    resolved = []
+    new_defs = []
+    for out_name, (aggregate, attribute) in aggregates.items():
+        if not isinstance(aggregate, Aggregate):
+            raise EvaluationError(f"MAP: {out_name!r} needs an Aggregate")
+        if aggregate.requires_attribute:
+            if attribute is None:
+                raise EvaluationError(
+                    f"MAP: aggregate {aggregate.name} needs an experiment attribute"
+                )
+            index = experiment.schema.index_of(attribute)
+            input_type = experiment.schema[attribute].type
+        else:
+            index, input_type = None, None
+        resolved.append(
+            (aggregate, index, input_type.name if input_type else None)
+        )
+        new_defs.append(
+            AttributeDef(
+                out_name,
+                aggregate.result_type(input_type) if input_type else INT,
+            )
+        )
+    return reference.schema.extend(*new_defs), resolved
+
+
+def experiment_columns(regions: list, resolved: list) -> dict:
+    """Materialise the experiment value columns the aggregates touch.
+
+    Returns ``{attr_index: (raw_list, numeric_array_or_None)}``; the
+    numeric array exists only for clean INT/FLOAT columns (no ``None``),
+    which is the precondition of every vectorised reduction.
+    """
+    columns: dict = {}
+    for __, attr_index, type_name in resolved:
+        if attr_index is None or attr_index in columns:
+            continue
+        raw = [region.values[attr_index] for region in regions]
+        array = None
+        if type_name in ("INT", "FLOAT") and not any(
+            value is None for value in raw
+        ):
+            dtype = np.int64 if type_name == "INT" else np.float64
+            try:
+                array = np.asarray(raw, dtype=dtype)
+            except (OverflowError, ValueError):
+                array = None
+        columns[attr_index] = (raw, array)
+    return columns
+
+
+def aggregate_segments(
+    aggregate, type_name, column, e_rows: np.ndarray,
+    ref_rows: np.ndarray, offsets: np.ndarray,
+) -> list:
+    """Per-reference aggregate values over grouped overlap pairs.
+
+    *e_rows* are experiment sample positions aligned with the pairs,
+    already in canonical ``(left, right, position)`` hit order within
+    each reference; *offsets* is the CSR grouping from
+    :func:`repro.store.group_offsets`.  Dispatches to bit-exact vector
+    reductions where the classification allows, otherwise reduces each
+    group with ``aggregate.compute`` over the canonically ordered Python
+    values -- byte-identical to the naive operator either way.
+    """
+    counts = segment_counts(offsets)
+    n = int(counts.size)
+    empty = aggregate.compute([])
+    if isinstance(aggregate, Count) and column is None:
+        return [int(c) for c in counts.tolist()]
+
+    raw, array = column if column is not None else (None, None)
+    if array is not None:
+        gathered = array[e_rows]
+        is_float = array.dtype.kind == "f"
+        clean = True
+        if is_float and gathered.size:
+            # NaN poisons order-dependence; a -0.0/0.0 mix makes min/max
+            # tie-resolution representation-dependent.  Both are rare --
+            # take the Python path and stay byte-exact.
+            clean = not bool(
+                np.isnan(gathered).any()
+                or ((gathered == 0) & np.signbit(gathered)).any()
+            )
+        safe_int = not is_float and (
+            gathered.size == 0
+            or int(np.abs(gathered).max()) < _SAFE_INT_MAGNITUDE
+        )
+        if isinstance(aggregate, (Min, Max)) and clean:
+            how = "min" if isinstance(aggregate, Min) else "max"
+            reduced = segment_reduce(gathered, offsets, how)
+            cast = float if is_float else int
+            return [
+                cast(reduced[i]) if counts[i] else empty for i in range(n)
+            ]
+        if isinstance(aggregate, (Sum, Avg)) and safe_int:
+            sums = segment_reduce(gathered, offsets, "sum")
+            if isinstance(aggregate, Sum):
+                return [
+                    int(sums[i]) if counts[i] else empty for i in range(n)
+                ]
+            return [
+                int(sums[i]) / int(counts[i]) if counts[i] else empty
+                for i in range(n)
+            ]
+        if isinstance(aggregate, Median) and clean and (is_float or safe_int):
+            ordered, lo, hi = segment_median_positions(
+                gathered, ref_rows, offsets
+            )
+            out = []
+            for i in range(n):
+                count = int(counts[i])
+                if not count:
+                    out.append(empty)
+                elif count % 2:
+                    out.append(float(ordered[lo[i]]))
+                elif is_float:
+                    out.append((float(ordered[lo[i]]) + float(ordered[hi[i]])) / 2)
+                else:
+                    out.append((int(ordered[lo[i]]) + int(ordered[hi[i]])) / 2)
+            return out
+
+    # Canonical-order Python reduction: exact for order-sensitive float
+    # sums, None-bearing columns, STD, BAG and any future aggregate.
+    gathered_raw = (
+        [raw[i] for i in e_rows.tolist()] if raw is not None else None
+    )
+    bounds = offsets.tolist()
+    out = []
+    for i in range(n):
+        if not counts[i]:
+            out.append(empty)
+        else:
+            out.append(aggregate.compute(gathered_raw[bounds[i]:bounds[i + 1]]))
+    return out
+
+
+def map_pair_extras(
+    ref_blocks: SampleBlocks, exp_blocks: SampleBlocks,
+    columns: dict, resolved: list, use_store: bool,
+) -> tuple:
+    """Per-reference aggregate tuples for one (reference, experiment) pair.
+
+    Returns ``(rows, pruned)``: *rows* is aligned with the reference
+    sample's region order; *pruned* counts zone-pruned partitions (zero
+    unless *use_store*).
+    """
+    empty_row = tuple(
+        aggregate.compute([]) for aggregate, __, ___ in resolved
+    )
+    rows = [empty_row] * ref_blocks.n_regions
+    pruned = 0
+    for chrom, block in ref_blocks.chroms.items():
+        exp_block = exp_blocks.block(chrom)
+        if exp_block is None:
+            if use_store:
+                pruned += ref_blocks.zone_map.entry(chrom).partitions
+            continue
+        if use_store:
+            ref_entry = ref_blocks.zone_map.entry(chrom)
+            exp_entry = exp_blocks.zone_map.entry(chrom)
+            if not ref_entry.window_overlaps(
+                exp_entry.min_start, exp_entry.max_stop
+            ):
+                pruned += ref_entry.partitions
+                continue
+        ref_rows, e_pos = overlap_pairs(
+            block.starts, block.stops,
+            exp_block.sorted_starts, exp_block.left_stops,
+        )
+        columns_out = pair_group_columns(
+            block, exp_block, ref_rows, e_pos, columns, resolved
+        )
+        positions = block.index.tolist()
+        for local, values in enumerate(zip(*columns_out)):
+            rows[positions[local]] = values
+    return rows, pruned
+
+
+def pair_group_columns(
+    ref_block, exp_block, ref_rows: np.ndarray, e_pos: np.ndarray,
+    columns: dict, resolved: list,
+) -> list:
+    """One aggregate-value list per resolved aggregate for a chrom block.
+
+    *ref_rows*/*e_pos* come from :func:`repro.store.overlap_pairs` over
+    the block pair; experiment positions are mapped back to sample
+    order before gathering values.
+    """
+    offsets = group_offsets(ref_rows, len(ref_block))
+    e_rows = exp_block.index[exp_block.left_order[e_pos]]
+    return [
+        aggregate_segments(
+            aggregate, type_name, columns.get(attr_index),
+            e_rows, ref_rows, offsets,
+        )
+        for aggregate, attr_index, type_name in resolved
+    ]
+
+
+def join_emitter(merged, output: str):
+    """The JOIN output-region constructor for one (merged schema, output).
+
+    Returns ``emit(anchor_region, experiment_region, gap) -> region | None``
+    implementing the LEFT/RIGHT/INT/CAT coordinate options with the
+    naive operator's strand-combination rules; shared by the columnar
+    and parallel backends so materialisation semantics cannot drift.
+    """
+    from repro.gmql.operators.join import _combine_strand
+
+    def emit(a, b, gap):
+        values = merged.combine(a.values, b.values) + (gap,)
+        if output == "LEFT":
+            return GenomicRegion(a.chrom, a.left, a.right, a.strand, values)
+        if output == "RIGHT":
+            return GenomicRegion(b.chrom, b.left, b.right, b.strand, values)
+        if output == "INT":
+            left = max(a.left, b.left)
+            right = min(a.right, b.right)
+            if right <= left:
+                return None
+            return GenomicRegion(a.chrom, left, right,
+                                 _combine_strand(a, b), values)
+        return GenomicRegion(
+            a.chrom, min(a.left, b.left), max(a.right, b.right),
+            _combine_strand(a, b), values,
+        )
+
+    return emit
+
+
 class ColumnarBackend(NaiveBackend):
     """Numpy-vectorised backend (falls back to naive where noted above)."""
 
     name = "columnar"
+
+    def _blocks_of(self, store, sample, scratch: dict):
+        """Store blocks when available, ephemeral blocks otherwise.
+
+        *scratch* memoises ephemeral blocks for the duration of one
+        operator invocation so a sample paired many times is still
+        built once.
+        """
+        if store is not None:
+            return store.blocks(sample)
+        blocks = scratch.get(sample.id)
+        if blocks is None:
+            from repro.intervals.bins import DEFAULT_BIN_SIZE
+
+            blocks = SampleBlocks(
+                sample.id, sample.regions,
+                self.store_bin_size() or DEFAULT_BIN_SIZE,
+            )
+            scratch[sample.id] = blocks
+        return blocks
 
     # -- SELECT ----------------------------------------------------------------
 
@@ -400,41 +605,44 @@ class ColumnarBackend(NaiveBackend):
             isinstance(aggregate, Count) and attribute is None
             for aggregate, attribute in aggregates.values()
         )
-        if not only_counts:
+        if not only_counts and any(
+            attribute is None and not isinstance(aggregate, Count)
+            for aggregate, attribute in aggregates.values()
+        ):
+            # Attribute-free non-COUNT aggregates reduce over region
+            # objects; only the naive kernel knows how.
             return super().run_map(plan, reference, experiment)
+        if only_counts:
+            return self._run_map_counts(plan, reference, experiment, aggregates)
+        return self._run_map_pairs(plan, reference, experiment, aggregates)
 
+    def _run_map_counts(self, plan, reference, experiment, aggregates):
         def kernel():
             from repro.gdm import AttributeDef, INT
 
+            self.note_kernel("map.count")
             schema = reference.schema.extend(
                 *(AttributeDef(name, INT) for name in aggregates)
             )
             use_store = self.use_store()
+            ref_store = exp_store = None
             if use_store:
                 bin_size = self.store_bin_size()
                 ref_store = reference.store(bin_size)
                 exp_store = experiment.store(bin_size)
-                arrays = None
-            else:
-                arrays = {
-                    sample.id: _chrom_arrays(sample.regions)
-                    for sample in experiment
-                }
+            ref_scratch: dict = {}
+            exp_scratch: dict = {}
 
             def parts():
                 for ref_sample, exp_sample in sample_pairs(
                     reference, experiment, plan.joinby
                 ):
+                    counts, pruned = count_overlaps_blocks(
+                        self._blocks_of(ref_store, ref_sample, ref_scratch),
+                        self._blocks_of(exp_store, exp_sample, exp_scratch),
+                    )
                     if use_store:
-                        counts, pruned = count_overlaps_blocks(
-                            ref_store.blocks(ref_sample),
-                            exp_store.blocks(exp_sample),
-                        )
                         self.note_pruned(pruned)
-                    else:
-                        counts = count_overlaps_vectorised(
-                            ref_sample.regions, arrays[exp_sample.id]
-                        )
                     width = len(aggregates)
                     regions = [
                         region.with_values(
@@ -461,6 +669,62 @@ class ColumnarBackend(NaiveBackend):
 
         return self.timed("MAP", kernel)
 
+    def _run_map_pairs(self, plan, reference, experiment, aggregates):
+        def kernel():
+            self.note_kernel("map.pairs")
+            schema, resolved = resolve_map_aggregates(
+                aggregates, reference, experiment
+            )
+            use_store = self.use_store()
+            ref_store = exp_store = None
+            if use_store:
+                bin_size = self.store_bin_size()
+                ref_store = reference.store(bin_size)
+                exp_store = experiment.store(bin_size)
+            ref_scratch: dict = {}
+            exp_scratch: dict = {}
+            columns_by_sample: dict = {}
+
+            def parts():
+                for ref_sample, exp_sample in sample_pairs(
+                    reference, experiment, plan.joinby
+                ):
+                    columns = columns_by_sample.get(exp_sample.id)
+                    if columns is None:
+                        columns = experiment_columns(
+                            exp_sample.regions, resolved
+                        )
+                        columns_by_sample[exp_sample.id] = columns
+                    rows, pruned = map_pair_extras(
+                        self._blocks_of(ref_store, ref_sample, ref_scratch),
+                        self._blocks_of(exp_store, exp_sample, exp_scratch),
+                        columns, resolved, use_store,
+                    )
+                    if use_store:
+                        self.note_pruned(pruned)
+                    regions = [
+                        region.with_values(region.values + extras)
+                        for region, extras in zip(ref_sample.regions, rows)
+                    ]
+                    yield (
+                        regions,
+                        merged_metadata(ref_sample, exp_sample),
+                        [
+                            (reference.name, ref_sample.id),
+                            (experiment.name, exp_sample.id),
+                        ],
+                    )
+
+            return build_result(
+                "MAP",
+                f"MAP({reference.name},{experiment.name})",
+                schema,
+                parts(),
+                parameters="columnar-pairs",
+            )
+
+        return self.timed("MAP", kernel)
+
     # -- COVER --------------------------------------------------------------------
 
     def run_cover(self, plan, child: Dataset):
@@ -474,22 +738,18 @@ class ColumnarBackend(NaiveBackend):
             schema = RegionSchema((AttributeDef("acc_index", INT),))
             use_store = self.use_store()
             store = child.store(self.store_bin_size()) if use_store else None
+            scratch: dict = {}
 
             def parts():
                 for __, samples in group_samples(child, plan.groupby):
                     lo = plan.min_acc.resolve(len(samples), is_lower=True)
                     hi = plan.max_acc.resolve(len(samples), is_lower=False)
-                    if store is not None:
-                        segments = coverage_segments_from_blocks(
-                            [store.blocks(sample) for sample in samples]
-                        )
-                    else:
-                        regions = [
-                            region
+                    segments = coverage_segments_from_blocks(
+                        [
+                            self._blocks_of(store, sample, scratch)
                             for sample in samples
-                            for region in sample.regions
                         ]
-                        segments = coverage_segments_vectorised(regions)
+                    )
                     if plan.variant == "COVER":
                         rows = (
                             (chrom, left, right, depth)
@@ -527,148 +787,58 @@ class ColumnarBackend(NaiveBackend):
     # -- JOIN -------------------------------------------------------------------------
 
     def run_join(self, plan, anchor: Dataset, experiment: Dataset):
-        # Vectorised candidate windows need a finite DLE bound and no
-        # MD(k) clause (MD requires global ordering per anchor).
-        if (
-            plan.condition.min_distance_k() is not None
-            or plan.condition.max_distance() is None
-        ):
-            return super().run_join(plan, anchor, experiment)
-
         def kernel():
             from repro.gdm import AttributeDef, INT
-            from repro.gmql.operators.base import (
-                build_result,
-                merged_metadata,
-                sample_pairs,
+
+            condition = plan.condition
+            md_k = condition.min_distance_k()
+            max_distance = condition.max_distance()
+            min_distance = condition.min_distance()
+            upstream = any(
+                isinstance(c, Upstream) for c in condition.clauses
             )
-            from repro.gmql.operators.join import _combine_strand
+            downstream = any(
+                isinstance(c, Downstream) for c in condition.clauses
+            )
+            self.note_kernel(
+                "join.nearest" if md_k is not None else "join.window"
+            )
 
             merged = anchor.schema.merge(experiment.schema)
             schema = merged.schema.extend(AttributeDef("dist", INT))
-            max_distance = plan.condition.max_distance()
-
-            # Per experiment sample: regions grouped by chromosome, sorted
-            # by left end, with numpy left arrays for window search.
             use_store = self.use_store()
-            bin_size = self.store_bin_size()
-            exp_store = experiment.store(bin_size) if use_store else None
-            anchor_store = anchor.store(bin_size) if use_store else None
-            prepared: dict = {}
-            zone_maps: dict = {}
-            for sample in experiment:
-                arrays = {}
-                if use_store:
-                    blocks = exp_store.blocks(sample)
-                    for chrom, block in blocks.chroms.items():
-                        order = block.left_order
-                        chrom_regions = [
-                            sample.regions[i] for i in block.index[order]
-                        ]
-                        arrays[chrom] = (
-                            chrom_regions,
-                            block.starts[order],
-                            block.max_width,
-                        )
-                    zone_maps[sample.id] = blocks.zone_map
-                else:
-                    by_chrom: dict = {}
-                    for exp_region in sample.regions:
-                        by_chrom.setdefault(exp_region.chrom, []).append(
-                            exp_region
-                        )
-                    for chrom, chrom_regions in by_chrom.items():
-                        chrom_regions.sort(key=lambda r: (r.left, r.right))
-                        lefts = np.fromiter(
-                            (r.left for r in chrom_regions),
-                            dtype=np.int64,
-                            count=len(chrom_regions),
-                        )
-                        max_width = max(r.length for r in chrom_regions)
-                        arrays[chrom] = (chrom_regions, lefts, max_width)
-                prepared[sample.id] = arrays
-
-            def emit(a, b, gap):
-                values = merged.combine(a.values, b.values) + (gap,)
-                if plan.output == "LEFT":
-                    return GenomicRegion(a.chrom, a.left, a.right, a.strand,
-                                         values)
-                if plan.output == "RIGHT":
-                    return GenomicRegion(b.chrom, b.left, b.right, b.strand,
-                                         values)
-                if plan.output == "INT":
-                    left = max(a.left, b.left)
-                    right = min(a.right, b.right)
-                    if right <= left:
-                        return None
-                    return GenomicRegion(a.chrom, left, right,
-                                         _combine_strand(a, b), values)
-                return GenomicRegion(
-                    a.chrom, min(a.left, b.left), max(a.right, b.right),
-                    _combine_strand(a, b), values,
-                )
+            anchor_store = exp_store = None
+            if use_store:
+                bin_size = self.store_bin_size()
+                anchor_store = anchor.store(bin_size)
+                exp_store = experiment.store(bin_size)
+            anchor_scratch: dict = {}
+            exp_scratch: dict = {}
+            emit = join_emitter(merged, plan.output)
 
             def parts():
                 for anchor_sample, exp_sample in sample_pairs(
                     anchor, experiment, plan.joinby
                 ):
-                    arrays = prepared[exp_sample.id]
-                    live_chroms = None
+                    a_blocks = self._blocks_of(
+                        anchor_store, anchor_sample, anchor_scratch
+                    )
+                    e_blocks = self._blocks_of(
+                        exp_store, exp_sample, exp_scratch
+                    )
+                    regions, pruned = join_sample_pair(
+                        a_blocks, e_blocks,
+                        anchor_sample.regions, exp_sample.regions,
+                        emit,
+                        max_distance=max_distance,
+                        min_distance=min_distance,
+                        md_k=md_k,
+                        upstream=upstream,
+                        downstream=downstream,
+                        use_store=use_store,
+                    )
                     if use_store:
-                        # Zone-map prune: anchor chromosomes whose
-                        # distance-extended window misses every
-                        # experiment region produce no pairs.
-                        exp_zone = zone_maps[exp_sample.id]
-                        anchor_blocks = anchor_store.blocks(anchor_sample)
-                        live_chroms = set()
-                        pruned = 0
-                        for chrom, a_entry in (
-                            anchor_blocks.zone_map.entries.items()
-                        ):
-                            exp_entry = exp_zone.entry(chrom)
-                            # Widened by one on each side: DLE accepts
-                            # gap == limit, window_overlaps is strict.
-                            if exp_entry is None or not exp_entry.window_overlaps(
-                                a_entry.min_start - max_distance - 1,
-                                a_entry.max_stop + max_distance + 1,
-                            ):
-                                pruned += a_entry.partitions
-                            else:
-                                live_chroms.add(chrom)
                         self.note_pruned(pruned)
-                    regions = []
-                    for a_region in anchor_sample.regions:
-                        if (
-                            live_chroms is not None
-                            and a_region.chrom not in live_chroms
-                        ):
-                            continue
-                        entry = arrays.get(a_region.chrom)
-                        if entry is None:
-                            continue
-                        chrom_regions, lefts, max_width = entry
-                        lo = int(
-                            np.searchsorted(
-                                lefts,
-                                a_region.left - max_distance - max_width,
-                                side="left",
-                            )
-                        )
-                        hi = int(
-                            np.searchsorted(
-                                lefts, a_region.right + max_distance,
-                                side="right",
-                            )
-                        )
-                        for b_region in chrom_regions[lo:hi]:
-                            gap = a_region.distance(b_region)
-                            if gap is None or not plan.condition.pair_matches(
-                                a_region, b_region
-                            ):
-                                continue
-                            out = emit(a_region, b_region, gap)
-                            if out is not None:
-                                regions.append(out)
                     regions.sort(key=GenomicRegion.sort_key)
                     yield (
                         regions,
@@ -684,7 +854,7 @@ class ColumnarBackend(NaiveBackend):
                 f"JOIN({anchor.name},{experiment.name})",
                 schema,
                 parts(),
-                parameters="columnar-window",
+                parameters="columnar-kernel",
             )
 
         return self.timed("JOIN", kernel)
@@ -697,26 +867,29 @@ class ColumnarBackend(NaiveBackend):
 
         def kernel():
             use_store = self.use_store()
+            bin_size = self.store_bin_size()
             if use_store:
-                bin_size = self.store_bin_size()
                 left_store = left.store(bin_size)
                 mask_blocks = right.store(bin_size).union_blocks()
             else:
-                mask_arrays = _chrom_arrays(
-                    [region for sample in right for region in sample.regions]
+                from repro.intervals.bins import DEFAULT_BIN_SIZE
+
+                left_store = None
+                mask_blocks = SampleBlocks(
+                    None,
+                    [region for sample in right for region in sample.regions],
+                    bin_size or DEFAULT_BIN_SIZE,
                 )
+            scratch: dict = {}
 
             def parts():
                 for sample in left:
+                    counts, pruned = count_overlaps_blocks(
+                        self._blocks_of(left_store, sample, scratch),
+                        mask_blocks,
+                    )
                     if use_store:
-                        counts, pruned = count_overlaps_blocks(
-                            left_store.blocks(sample), mask_blocks
-                        )
                         self.note_pruned(pruned)
-                    else:
-                        counts = count_overlaps_vectorised(
-                            sample.regions, mask_arrays
-                        )
                     kept = [
                         region
                         for region, count in zip(sample.regions, counts)
@@ -733,3 +906,59 @@ class ColumnarBackend(NaiveBackend):
             )
 
         return self.timed("DIFFERENCE", kernel)
+
+
+def join_sample_pair(
+    a_blocks: SampleBlocks, e_blocks: SampleBlocks,
+    anchor_regions: list, exp_regions: list, emit,
+    *, max_distance, min_distance, md_k, upstream, downstream,
+    use_store: bool,
+) -> tuple:
+    """Materialised join regions for one (anchor, experiment) sample pair.
+
+    Runs :func:`repro.store.join_pairs` per shared chromosome, prunes
+    anchor chromosomes the experiment zone map proves unreachable (DLE
+    window widened by one because DLE accepts ``gap == limit`` while
+    zone windows are strict; sound even under MD(k), which only ever
+    *shrinks* the candidate set), and rehydrates region objects only for
+    emitted pairs.  Returns ``(regions, pruned_partitions)`` with
+    regions *unsorted* -- the caller owns the final stable sample sort.
+    """
+    regions: list = []
+    pruned = 0
+    for chrom, a_block in a_blocks.chroms.items():
+        e_block = e_blocks.block(chrom)
+        if e_block is None:
+            if use_store:
+                pruned += a_blocks.zone_map.entry(chrom).partitions
+            continue
+        if use_store and max_distance is not None:
+            a_entry = a_blocks.zone_map.entry(chrom)
+            e_entry = e_blocks.zone_map.entry(chrom)
+            if not e_entry.window_overlaps(
+                a_entry.min_start - max_distance - 1,
+                a_entry.max_stop + max_distance + 1,
+            ):
+                pruned += a_entry.partitions
+                continue
+        a_rows, e_pos, gaps = join_pairs(
+            a_block.starts, a_block.stops, a_block.strands,
+            e_block.sorted_starts, e_block.left_stops,
+            e_block.sorted_stops if md_k is not None else None,
+            max_distance=max_distance,
+            min_distance=min_distance,
+            md_k=md_k,
+            upstream=upstream,
+            downstream=downstream,
+        )
+        if a_rows.size == 0:
+            continue
+        a_index = a_block.index[a_rows]
+        e_index = e_block.index[e_block.left_order[e_pos]]
+        for a_i, e_i, gap in zip(
+            a_index.tolist(), e_index.tolist(), gaps.tolist()
+        ):
+            out = emit(anchor_regions[a_i], exp_regions[e_i], gap)
+            if out is not None:
+                regions.append(out)
+    return regions, pruned

@@ -2,23 +2,30 @@
 
 Models the cluster execution of the paper's section 4.2 on a single
 machine: region-heavy operators (MAP, JOIN, DIFFERENCE, COVER) are split
-into independent tasks -- one per sample pair, plus per-chromosome
-splitting for COVER -- and executed by worker processes.  Everything else
-inherits the columnar kernels.
+into independent tasks and executed by worker processes.  Everything
+else inherits the columnar kernels.
 
-When the columnar store is enabled (the default), the count-only MAP,
-DIFFERENCE and COVER kernels ship plain numpy coordinate arrays taken
-from the memoised :meth:`Dataset.store` blocks -- orders of magnitude
-cheaper to pickle than region-object lists -- and only the *results*
-(count arrays, keep masks, coverage rows) travel back; region objects
-are rehydrated in the parent.  Zone maps prune whole chromosomes before
-anything is shipped at all.  JOIN and the remaining MAP aggregates still
-ship region lists: their workers need strands and value tuples, and the
-store keeps no per-region payload beyond coordinates.
+When the columnar store is enabled (the default), work is **morselised
+per (sample pair, chromosome)**: each morsel runs one vectorised store
+kernel (:func:`repro.store.join_pairs`, :func:`repro.store.overlap_pairs`
+or the counting identity) over block arrays, so a large chromosome no
+longer serialises behind a whole-sample task, and zone maps prune
+morsels before anything is submitted at all.  Block arrays travel
+through ``multiprocessing.shared_memory`` segments managed by the
+backend's :class:`~repro.store.ArrayShipper` (one segment per distinct
+array, shared by every morsel that references it; pickle fallback when
+shared memory is unavailable or disabled), and only the *results* --
+count arrays, keep masks, index-pair arrays, coverage rows -- travel
+back.  Region objects are rehydrated and aggregates materialised in the
+parent with the exact same code the columnar backend runs, so results
+are byte-identical by construction.
+
+With the store disabled the legacy whole-sample tasks ship region-object
+lists and evaluate the naive kernels in the workers.
 
 Workers never see plan or engine objects; they receive resolved operator
-parameters (aggregates, genometric conditions) only.  Task granularity
-mirrors the bin/partition scheme of :mod:`repro.intervals.bins`.
+parameters (aggregates, genometric clause scalars) and array handles
+only.
 """
 
 from __future__ import annotations
@@ -39,7 +46,13 @@ from repro.intervals.coverage import (
     summit_intervals,
     summit_intervals_from_segments,
 )
-from repro.engine.columnar import ColumnarBackend
+from repro.engine.columnar import (
+    ColumnarBackend,
+    experiment_columns,
+    join_emitter,
+    pair_group_columns,
+    resolve_map_aggregates,
+)
 from repro.gmql.aggregates import Count
 from repro.gmql.operators.base import (
     build_result,
@@ -49,6 +62,9 @@ from repro.gmql.operators.base import (
     union_group_metadata,
 )
 from repro.store.columnar import depth_segments, point_feature_adjustment
+from repro.store.join_kernels import join_pairs, overlap_pairs
+from repro.store.shm import ArrayShipper, materialise, shm_enabled
+
 
 def default_workers() -> int:
     """Worker count when unconfigured: ``REPRO_WORKERS`` env var when set,
@@ -68,12 +84,18 @@ def _map_task(ref_regions, exp_regions, resolved):
     """Compute MAP output values for one (reference, experiment) pair.
 
     *resolved* is ``[(aggregate, attr_index_or_None), ...]``; returns the
-    list of value tuples to append to each reference region.
+    list of value tuples to append to each reference region.  Hits are
+    reduced in the canonical ``(left, right, position)`` order shared
+    with the naive operator and the columnar pair kernel.
     """
     index = GenomeIndex(exp_regions)
+    positions = {id(region): i for i, region in enumerate(exp_regions)}
     out = []
     for region in ref_regions:
-        hits = list(index.overlapping(region))
+        hits = sorted(
+            index.overlapping(region),
+            key=lambda hit: (hit.left, hit.right, positions[id(hit)]),
+        )
         extra = []
         for aggregate, attr_index in resolved:
             if attr_index is None:
@@ -153,70 +175,105 @@ def _difference_task(left_regions, mask_regions, exact):
     ]
 
 
-# -- array-shipping task functions (columnar-store fast paths) ------------------
+# -- shared-memory morsel tasks (columnar-store fast paths) ---------------------
+#
+# Every task receives lists of array *handles* from the parent's
+# ArrayShipper, attaches/releases them around the store kernel, and
+# returns freshly allocated result arrays -- never views into segments.
 
 
-def _overlap_counts_arrays(n_regions, ref_data, probe_data):
-    """Overlap counts from shipped coordinate arrays.
+def _count_morsel_task(handles):
+    """Overlap counts for one reference chromosome block.
 
-    ``ref_data`` maps chrom to ``(starts, stops, index)`` (*index* gives
-    each row's position in the sample's region order); ``probe_data``
-    maps chrom to ``(sorted_starts, sorted_stops, zero_positions)``.
-    Chromosomes the parent pruned via zone maps are simply absent from
-    *probe_data* and keep their zero counts.
+    *handles*: ``[ref_starts, ref_stops, probe_sorted_starts,
+    probe_sorted_stops, probe_zero_positions]``.  Returns counts aligned
+    with the reference block rows.
     """
-    counts = np.zeros(n_regions, dtype=np.int64)
-    for chrom, (starts, stops, index) in ref_data.items():
-        probe = probe_data.get(chrom)
-        if probe is None:
-            continue
-        sorted_starts, sorted_stops, zero_positions = probe
-        started = np.searchsorted(sorted_starts, stops, side="left")
-        ended = np.searchsorted(sorted_stops, starts, side="right")
-        counts[index] = started - ended + point_feature_adjustment(
-            zero_positions, starts, stops
+    arrays, release = materialise(handles)
+    try:
+        starts, stops, p_starts, p_stops, p_zeros = arrays
+        started = np.searchsorted(p_starts, stops, side="left")
+        ended = np.searchsorted(p_stops, starts, side="right")
+        return started - ended + point_feature_adjustment(
+            p_zeros, starts, stops
         )
-    return counts
+    finally:
+        release()
 
 
-def _map_count_task_arrays(n_regions, ref_data, probe_data):
-    """Count-only MAP over shipped arrays: the per-region overlap counts."""
-    return _overlap_counts_arrays(n_regions, ref_data, probe_data)
+def _overlap_morsel_task(handles):
+    """Overlap pairs for one reference chromosome block.
 
-
-def _difference_mask_task(n_regions, left_data, mask_data):
-    """DIFFERENCE keep-mask over shipped arrays: ``True`` where count is 0."""
-    return _overlap_counts_arrays(n_regions, left_data, mask_data) == 0
-
-
-def _cover_segments_task(chrom_events, lo, hi, variant):
-    """One COVER group's output rows from shipped per-chromosome events.
-
-    ``chrom_events`` is ``[(chrom, starts, stops), ...]`` already in
-    chromosome sort order; the depth profile is computed with the shared
-    numpy event sweep, then run through the same segment-merging helpers
-    the columnar backend uses.
+    *handles*: ``[ref_starts, ref_stops, exp_sorted_starts,
+    exp_left_stops]``.  Returns ``(ref_rows, e_positions)``.
     """
+    arrays, release = materialise(handles)
+    try:
+        r_starts, r_stops, e_starts, e_stops = arrays
+        return overlap_pairs(r_starts, r_stops, e_starts, e_stops)
+    finally:
+        release()
 
-    def segments():
-        for chrom, starts, stops in chrom_events:
-            for left, right, depth in depth_segments(chrom, starts, stops):
-                yield CoverageSegment(chrom, left, right, depth)
 
-    if variant == "COVER":
-        return [
-            (chrom, left, right, depth)
-            for chrom, left, right, depth, __ in cover_intervals_from_segments(
-                segments(), lo, hi
-            )
+def _join_morsel_task(handles, spec):
+    """Genometric join pairs for one anchor chromosome block.
+
+    *handles*: ``[a_starts, a_stops, a_strands, e_sorted_starts,
+    e_left_stops]`` plus ``e_sorted_stops`` when *spec* carries an MD
+    clause; *spec* holds the resolved clause scalars.  Returns
+    ``(a_rows, e_positions, gaps)``.
+    """
+    arrays, release = materialise(handles)
+    try:
+        a_starts, a_stops, a_strands, e_starts, e_stops = arrays[:5]
+        e_sorted_stops = arrays[5] if len(arrays) > 5 else None
+        return join_pairs(
+            a_starts, a_stops, a_strands, e_starts, e_stops, e_sorted_stops,
+            max_distance=spec["max_distance"],
+            min_distance=spec["min_distance"],
+            md_k=spec["md_k"],
+            upstream=spec["upstream"],
+            downstream=spec["downstream"],
+        )
+    finally:
+        release()
+
+
+def _difference_morsel_task(handles):
+    """Keep-mask for one left chromosome block: ``True`` where count is 0."""
+    return _count_morsel_task(handles) == 0
+
+
+def _cover_morsel_task(handles, chrom, lo, hi, variant):
+    """One COVER (group, chromosome) morsel's output rows.
+
+    *handles*: ``[starts, stops]`` concatenated event arrays for one
+    chromosome (zero-length regions already dropped).  Sound to compute
+    per chromosome: no COVER variant merges runs across chromosomes.
+    """
+    arrays, release = materialise(handles)
+    try:
+        starts, stops = arrays
+        segments = (
+            CoverageSegment(chrom, left, right, depth)
+            for left, right, depth in depth_segments(chrom, starts, stops)
+        )
+        if variant == "COVER":
+            return [
+                (c, left, right, depth)
+                for c, left, right, depth, __ in cover_intervals_from_segments(
+                    segments, lo, hi
+                )
+            ]
+        if variant == "SUMMIT":
+            return list(summit_intervals_from_segments(segments, lo, hi))
+        return [  # HISTOGRAM
+            (s.chrom, s.left, s.right, s.depth)
+            for s in segments
+            if lo <= s.depth <= hi
         ]
-    if variant == "SUMMIT":
-        return list(summit_intervals_from_segments(segments(), lo, hi))
-    return [  # HISTOGRAM
-        (s.chrom, s.left, s.right, s.depth)
-        for s in segments()
-        if lo <= s.depth <= hi
-    ]
+    finally:
+        release()
 
 
 class ParallelBackend(ColumnarBackend):
@@ -229,6 +286,8 @@ class ParallelBackend(ColumnarBackend):
         self._explicit_workers = max_workers is not None
         self._max_workers = max_workers or default_workers()
         self._pool: ProcessPoolExecutor | None = None
+        self._shipper: ArrayShipper | None = None
+        self._shm_reported = (0, 0)
 
     @property
     def max_workers(self) -> int:
@@ -258,11 +317,50 @@ class ParallelBackend(ColumnarBackend):
             self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
         return self._pool
 
+    def shipper(self) -> ArrayShipper:
+        """The backend's (lazily created) shared-memory array shipper.
+
+        Honours the execution-context config (``use_shm: False``) and
+        the ``REPRO_SHM`` environment gate at creation time.
+        """
+        if self._shipper is None:
+            flag = None
+            if self._context is not None:
+                flag = self._context.config.get("use_shm", True)
+            self._shipper = ArrayShipper(enabled=shm_enabled(flag))
+        return self._shipper
+
+    def _note_shm(self) -> None:
+        """Account shipping byte deltas into the context metrics."""
+        if self._shipper is None or self._context is None:
+            return
+        shared, pickled = self._shm_reported
+        new_shared = self._shipper.bytes_shared
+        new_pickled = self._shipper.bytes_pickled
+        if new_shared > shared:
+            self._context.metrics.increment(
+                "shm.bytes_shared", new_shared - shared
+            )
+        if new_pickled > pickled:
+            self._context.metrics.increment(
+                "shm.bytes_pickled", new_pickled - pickled
+            )
+        self._shm_reported = (new_shared, new_pickled)
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and unlink shared segments (idempotent).
+
+        Order matters: workers drain first (``shutdown(wait=True)``), then
+        the shipper unlinks -- a segment must never disappear under a
+        still-running morsel.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._shipper is not None:
+            self._shipper.close()
+            self._shipper = None
+            self._shm_reported = (0, 0)
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
@@ -274,7 +372,190 @@ class ParallelBackend(ColumnarBackend):
 
     def run_map(self, plan, reference: Dataset, experiment: Dataset):
         aggregates = plan.aggregates or {"count": (Count(), None)}
+        only_counts = all(
+            isinstance(aggregate, Count) and attribute is None
+            for aggregate, attribute in aggregates.values()
+        )
+        object_reduced = any(
+            attribute is None and not isinstance(aggregate, Count)
+            for aggregate, attribute in aggregates.values()
+        )
+        if self.use_store() and not object_reduced:
+            if only_counts:
+                return self._run_map_counts_morsels(
+                    plan, reference, experiment, aggregates
+                )
+            return self._run_map_pairs_morsels(
+                plan, reference, experiment, aggregates
+            )
+        return self._run_map_legacy(plan, reference, experiment, aggregates)
 
+    def _run_map_counts_morsels(self, plan, reference, experiment, aggregates):
+        def kernel():
+            from repro.gdm import AttributeDef, INT
+
+            self.note_kernel("map.count+shm")
+            schema = reference.schema.extend(
+                *(AttributeDef(name, INT) for name in aggregates)
+            )
+            bin_size = self.store_bin_size()
+            ref_store = reference.store(bin_size)
+            exp_store = experiment.store(bin_size)
+            ship = self.shipper().ship
+            pairs = list(sample_pairs(reference, experiment, plan.joinby))
+            morsels = []  # per pair: [(block, future), ...]
+            for ref, exp in pairs:
+                ref_blocks = ref_store.blocks(ref)
+                exp_blocks = exp_store.blocks(exp)
+                tasks, pruned = [], 0
+                for chrom, block in ref_blocks.chroms.items():
+                    ref_entry = ref_blocks.zone_map.entry(chrom)
+                    probe_entry = exp_blocks.zone_map.entry(chrom)
+                    if probe_entry is None or not ref_entry.window_overlaps(
+                        probe_entry.min_start, probe_entry.max_stop
+                    ):
+                        pruned += ref_entry.partitions
+                        continue
+                    probe = exp_blocks.chroms[chrom]
+                    handles = [
+                        ship(block.starts), ship(block.stops),
+                        ship(probe.sorted_starts), ship(probe.sorted_stops),
+                        ship(probe.zero_positions),
+                    ]
+                    tasks.append(
+                        (
+                            block,
+                            self._executor().submit(
+                                _count_morsel_task, handles
+                            ),
+                        )
+                    )
+                self.note_pruned(pruned)
+                morsels.append(tasks)
+            self._note_shm()
+            width = len(aggregates)
+
+            def parts():
+                for (ref, exp), tasks in zip(pairs, morsels):
+                    counts = np.zeros(len(ref.regions), dtype=np.int64)
+                    for block, future in tasks:
+                        counts[block.index] = future.result()
+                    regions = [
+                        region.with_values(
+                            region.values + (int(count),) * width
+                        )
+                        for region, count in zip(ref.regions, counts)
+                    ]
+                    yield (
+                        regions,
+                        merged_metadata(ref, exp),
+                        [
+                            (reference.name, ref.id),
+                            (experiment.name, exp.id),
+                        ],
+                    )
+
+            return build_result(
+                "MAP",
+                f"MAP({reference.name},{experiment.name})",
+                schema,
+                parts(),
+                parameters="parallel",
+            )
+
+        return self.timed("MAP", kernel)
+
+    def _run_map_pairs_morsels(self, plan, reference, experiment, aggregates):
+        def kernel():
+            self.note_kernel("map.pairs+shm")
+            schema, resolved = resolve_map_aggregates(
+                aggregates, reference, experiment
+            )
+            bin_size = self.store_bin_size()
+            ref_store = reference.store(bin_size)
+            exp_store = experiment.store(bin_size)
+            ship = self.shipper().ship
+            pairs = list(sample_pairs(reference, experiment, plan.joinby))
+            columns_by_sample: dict = {}
+            empty_row = tuple(
+                aggregate.compute([]) for aggregate, __, ___ in resolved
+            )
+            morsels = []  # per pair: [(ref_block, exp_block, future), ...]
+            for ref, exp in pairs:
+                ref_blocks = ref_store.blocks(ref)
+                exp_blocks = exp_store.blocks(exp)
+                if exp.id not in columns_by_sample:
+                    columns_by_sample[exp.id] = experiment_columns(
+                        exp.regions, resolved
+                    )
+                tasks, pruned = [], 0
+                for chrom, block in ref_blocks.chroms.items():
+                    exp_block = exp_blocks.block(chrom)
+                    ref_entry = ref_blocks.zone_map.entry(chrom)
+                    if exp_block is None:
+                        pruned += ref_entry.partitions
+                        continue
+                    exp_entry = exp_blocks.zone_map.entry(chrom)
+                    if not ref_entry.window_overlaps(
+                        exp_entry.min_start, exp_entry.max_stop
+                    ):
+                        pruned += ref_entry.partitions
+                        continue
+                    handles = [
+                        ship(block.starts), ship(block.stops),
+                        ship(exp_block.sorted_starts),
+                        ship(exp_block.left_stops),
+                    ]
+                    tasks.append(
+                        (
+                            block,
+                            exp_block,
+                            self._executor().submit(
+                                _overlap_morsel_task, handles
+                            ),
+                        )
+                    )
+                self.note_pruned(pruned)
+                morsels.append(tasks)
+            self._note_shm()
+
+            def parts():
+                for (ref, exp), tasks in zip(pairs, morsels):
+                    columns = columns_by_sample[exp.id]
+                    rows = [empty_row] * len(ref.regions)
+                    for block, exp_block, future in tasks:
+                        ref_rows, e_pos = future.result()
+                        columns_out = pair_group_columns(
+                            block, exp_block, ref_rows, e_pos,
+                            columns, resolved,
+                        )
+                        positions = block.index.tolist()
+                        for local, values in enumerate(zip(*columns_out)):
+                            rows[positions[local]] = values
+                    regions = [
+                        region.with_values(region.values + extras)
+                        for region, extras in zip(ref.regions, rows)
+                    ]
+                    yield (
+                        regions,
+                        merged_metadata(ref, exp),
+                        [
+                            (reference.name, ref.id),
+                            (experiment.name, exp.id),
+                        ],
+                    )
+
+            return build_result(
+                "MAP",
+                f"MAP({reference.name},{experiment.name})",
+                schema,
+                parts(),
+                parameters="parallel",
+            )
+
+        return self.timed("MAP", kernel)
+
+    def _run_map_legacy(self, plan, reference, experiment, aggregates):
         def kernel():
             from repro.gdm import AttributeDef, INT
 
@@ -295,75 +576,6 @@ class ParallelBackend(ColumnarBackend):
                 )
             schema = reference.schema.extend(*defs)
             pairs = list(sample_pairs(reference, experiment, plan.joinby))
-            count_only = all(
-                isinstance(aggregate, Count) and attr_index is None
-                for aggregate, attr_index in resolved
-            )
-            if count_only and self.use_store():
-                # Ship coordinate arrays, get count arrays back; regions
-                # are rehydrated here.  Zone-disjoint chromosomes are
-                # pruned before shipping (their counts stay zero).
-                bin_size = self.store_bin_size()
-                ref_store = reference.store(bin_size)
-                exp_store = experiment.store(bin_size)
-                futures = []
-                for ref, exp in pairs:
-                    ref_blocks = ref_store.blocks(ref)
-                    exp_blocks = exp_store.blocks(exp)
-                    ref_data, probe_data, pruned = {}, {}, 0
-                    for chrom, block in ref_blocks.chroms.items():
-                        ref_entry = ref_blocks.zone_map.entry(chrom)
-                        probe_entry = exp_blocks.zone_map.entry(chrom)
-                        if probe_entry is None or not ref_entry.window_overlaps(
-                            probe_entry.min_start, probe_entry.max_stop
-                        ):
-                            pruned += ref_entry.partitions
-                            continue
-                        ref_data[chrom] = (
-                            block.starts, block.stops, block.index,
-                        )
-                        probe_block = exp_blocks.chroms[chrom]
-                        probe_data[chrom] = (
-                            probe_block.sorted_starts,
-                            probe_block.sorted_stops,
-                            probe_block.zero_positions,
-                        )
-                    self.note_pruned(pruned)
-                    futures.append(
-                        self._executor().submit(
-                            _map_count_task_arrays,
-                            len(ref.regions),
-                            ref_data,
-                            probe_data,
-                        )
-                    )
-                width = len(resolved)
-
-                def parts():
-                    for (ref, exp), future in zip(pairs, futures):
-                        counts = future.result()
-                        regions = [
-                            region.with_values(
-                                region.values + (int(count),) * width
-                            )
-                            for region, count in zip(ref.regions, counts)
-                        ]
-                        yield (
-                            regions,
-                            merged_metadata(ref, exp),
-                            [
-                                (reference.name, ref.id),
-                                (experiment.name, exp.id),
-                            ],
-                        )
-
-                return build_result(
-                    "MAP",
-                    f"MAP({reference.name},{experiment.name})",
-                    schema,
-                    parts(),
-                    parameters="parallel",
-                )
             futures = [
                 self._executor().submit(
                     _map_task, ref.regions, exp.regions, resolved
@@ -397,6 +609,113 @@ class ParallelBackend(ColumnarBackend):
     # -- JOIN ------------------------------------------------------------------
 
     def run_join(self, plan, anchor: Dataset, experiment: Dataset):
+        if not self.use_store():
+            return self._run_join_legacy(plan, anchor, experiment)
+
+        def kernel():
+            from repro.gdm import AttributeDef, INT
+            from repro.gmql.genometric import Downstream, Upstream
+
+            condition = plan.condition
+            spec = {
+                "max_distance": condition.max_distance(),
+                "min_distance": condition.min_distance(),
+                "md_k": condition.min_distance_k(),
+                "upstream": any(
+                    isinstance(c, Upstream) for c in condition.clauses
+                ),
+                "downstream": any(
+                    isinstance(c, Downstream) for c in condition.clauses
+                ),
+            }
+            self.note_kernel(
+                ("join.nearest" if spec["md_k"] is not None else "join.window")
+                + "+shm"
+            )
+            merged = anchor.schema.merge(experiment.schema)
+            schema = merged.schema.extend(AttributeDef("dist", INT))
+            emit = join_emitter(merged, plan.output)
+            max_distance = spec["max_distance"]
+            bin_size = self.store_bin_size()
+            anchor_store = anchor.store(bin_size)
+            exp_store = experiment.store(bin_size)
+            ship = self.shipper().ship
+            pairs = list(sample_pairs(anchor, experiment, plan.joinby))
+            morsels = []  # per pair: [(a_block, e_block, future), ...]
+            for a, e in pairs:
+                a_blocks = anchor_store.blocks(a)
+                e_blocks = exp_store.blocks(e)
+                tasks, pruned = [], 0
+                for chrom, a_block in a_blocks.chroms.items():
+                    e_block = e_blocks.block(chrom)
+                    a_entry = a_blocks.zone_map.entry(chrom)
+                    if e_block is None:
+                        pruned += a_entry.partitions
+                        continue
+                    if max_distance is not None:
+                        e_entry = e_blocks.zone_map.entry(chrom)
+                        # Widened by one on each side: DLE accepts
+                        # gap == limit, window_overlaps is strict.
+                        if not e_entry.window_overlaps(
+                            a_entry.min_start - max_distance - 1,
+                            a_entry.max_stop + max_distance + 1,
+                        ):
+                            pruned += a_entry.partitions
+                            continue
+                    handles = [
+                        ship(a_block.starts), ship(a_block.stops),
+                        ship(a_block.strands),
+                        ship(e_block.sorted_starts),
+                        ship(e_block.left_stops),
+                    ]
+                    if spec["md_k"] is not None:
+                        handles.append(ship(e_block.sorted_stops))
+                    tasks.append(
+                        (
+                            a_block,
+                            e_block,
+                            self._executor().submit(
+                                _join_morsel_task, handles, spec
+                            ),
+                        )
+                    )
+                self.note_pruned(pruned)
+                morsels.append(tasks)
+            self._note_shm()
+
+            def parts():
+                for (a, e), tasks in zip(pairs, morsels):
+                    regions = []
+                    for a_block, e_block, future in tasks:
+                        a_rows, e_pos, gaps = future.result()
+                        if a_rows.size == 0:
+                            continue
+                        a_index = a_block.index[a_rows]
+                        e_index = e_block.index[e_block.left_order[e_pos]]
+                        for a_i, e_i, gap in zip(
+                            a_index.tolist(), e_index.tolist(), gaps.tolist()
+                        ):
+                            out = emit(a.regions[a_i], e.regions[e_i], gap)
+                            if out is not None:
+                                regions.append(out)
+                    regions.sort(key=GenomicRegion.sort_key)
+                    yield (
+                        regions,
+                        merged_metadata(a, e),
+                        [(anchor.name, a.id), (experiment.name, e.id)],
+                    )
+
+            return build_result(
+                "JOIN",
+                f"JOIN({anchor.name},{experiment.name})",
+                schema,
+                parts(),
+                parameters="parallel",
+            )
+
+        return self.timed("JOIN", kernel)
+
+    def _run_join_legacy(self, plan, anchor, experiment):
         def kernel():
             from repro.gdm import AttributeDef, INT
 
@@ -443,14 +762,18 @@ class ParallelBackend(ColumnarBackend):
             groups = group_samples(child, plan.groupby)
             use_arrays = plan.variant != "FLAT" and self.use_store()
             store = child.store(self.store_bin_size()) if use_arrays else None
-            futures = []
+            ship = self.shipper().ship if use_arrays else None
+            futures = []  # legacy: one future per group
+            morsels = []  # arrays: per group, chrom-ordered futures
             for __, samples in groups:
                 lo = plan.min_acc.resolve(len(samples), is_lower=True)
                 hi = plan.max_acc.resolve(len(samples), is_lower=False)
                 if use_arrays:
-                    # Ship each chromosome's concatenated event arrays
-                    # (zero-length regions contribute no coverage);
-                    # only the merged rows come back.
+                    # Morsel per chromosome: each ships its concatenated
+                    # event arrays (zero-length regions contribute no
+                    # coverage) and returns merged rows; no COVER
+                    # variant merges runs across chromosomes, so the
+                    # parent just concatenates in genome order.
                     from repro.gdm import chromosome_sort_key
 
                     events: dict = {}
@@ -464,23 +787,23 @@ class ParallelBackend(ColumnarBackend):
                             bucket = events.setdefault(chrom, ([], []))
                             bucket[0].append(block.starts[wide])
                             bucket[1].append(block.stops[wide])
-                    chrom_events = [
-                        (
-                            chrom,
-                            np.concatenate(events[chrom][0]),
-                            np.concatenate(events[chrom][1]),
+                    tasks = []
+                    for chrom in sorted(events, key=chromosome_sort_key):
+                        handles = [
+                            ship(np.ascontiguousarray(
+                                np.concatenate(events[chrom][0])
+                            )),
+                            ship(np.ascontiguousarray(
+                                np.concatenate(events[chrom][1])
+                            )),
+                        ]
+                        tasks.append(
+                            self._executor().submit(
+                                _cover_morsel_task, handles, chrom,
+                                lo, hi, plan.variant,
+                            )
                         )
-                        for chrom in sorted(events, key=chromosome_sort_key)
-                    ]
-                    futures.append(
-                        self._executor().submit(
-                            _cover_segments_task,
-                            chrom_events,
-                            lo,
-                            hi,
-                            plan.variant,
-                        )
-                    )
+                    morsels.append(tasks)
                     continue
                 regions = [r for sample in samples for r in sample.regions]
                 futures.append(
@@ -488,10 +811,20 @@ class ParallelBackend(ColumnarBackend):
                         _cover_task, regions, lo, hi, plan.variant
                     )
                 )
+            if use_arrays:
+                self._note_shm()
 
             def parts():
-                for (__, samples), future in zip(groups, futures):
-                    rows = future.result()
+                per_group = morsels if use_arrays else futures
+                for (__, samples), group_work in zip(groups, per_group):
+                    if use_arrays:
+                        rows = [
+                            row
+                            for future in group_work
+                            for row in future.result()
+                        ]
+                    else:
+                        rows = group_work.result()
                     out = [
                         GenomicRegion(chrom, left, right, "*", (depth,))
                         for chrom, left, right, depth in rows
@@ -521,15 +854,17 @@ class ParallelBackend(ColumnarBackend):
         def kernel():
             samples = list(left)
             if not plan.exact and self.use_store():
-                # Ship arrays, get keep-masks back; zone-disjoint
-                # chromosomes never leave the parent (kept wholesale).
+                # Morsel per (sample, chromosome): ship block handles,
+                # get keep-masks back; zone-disjoint chromosomes never
+                # leave the parent (kept wholesale).
                 bin_size = self.store_bin_size()
                 left_store = left.store(bin_size)
                 mask_blocks = right.store(bin_size).union_blocks()
-                futures = []
+                ship = self.shipper().ship
+                morsels = []
                 for sample in samples:
                     blocks = left_store.blocks(sample)
-                    left_data, mask_data, pruned = {}, {}, 0
+                    tasks, pruned = [], 0
                     for chrom, block in blocks.chroms.items():
                         entry = blocks.zone_map.entry(chrom)
                         mask_entry = mask_blocks.zone_map.entry(chrom)
@@ -538,28 +873,30 @@ class ParallelBackend(ColumnarBackend):
                         ):
                             pruned += entry.partitions
                             continue
-                        left_data[chrom] = (
-                            block.starts, block.stops, block.index,
-                        )
                         mask_block = mask_blocks.chroms[chrom]
-                        mask_data[chrom] = (
-                            mask_block.sorted_starts,
-                            mask_block.sorted_stops,
-                            mask_block.zero_positions,
+                        handles = [
+                            ship(block.starts), ship(block.stops),
+                            ship(mask_block.sorted_starts),
+                            ship(mask_block.sorted_stops),
+                            ship(mask_block.zero_positions),
+                        ]
+                        tasks.append(
+                            (
+                                block,
+                                self._executor().submit(
+                                    _difference_morsel_task, handles
+                                ),
+                            )
                         )
                     self.note_pruned(pruned)
-                    futures.append(
-                        self._executor().submit(
-                            _difference_mask_task,
-                            len(sample.regions),
-                            left_data,
-                            mask_data,
-                        )
-                    )
+                    morsels.append(tasks)
+                self._note_shm()
 
                 def parts():
-                    for sample, future in zip(samples, futures):
-                        keep = future.result()
+                    for sample, tasks in zip(samples, morsels):
+                        keep = np.ones(len(sample.regions), dtype=bool)
+                        for block, future in tasks:
+                            keep[block.index] = future.result()
                         kept = [
                             region
                             for region, ok in zip(sample.regions, keep)

@@ -53,6 +53,10 @@ class PhysicalNode:
     input_regions: float = 0.0              # estimated regions entering
     backend: str = "naive"
     reason: str = ""
+    #: Vectorised kernel the chosen backend is expected to dispatch to
+    #: (``join.window``, ``map.pairs``...); ``None`` for operators whose
+    #: backends have a single code path.
+    kernel: str | None = None
     #: Content-based cache key (``None`` when sources are unavailable at
     #: planning time, which disables result caching for this node).
     fingerprint: str | None = None
@@ -77,6 +81,8 @@ class PhysicalNode:
             int(self.estimate.regions) if self.estimate is not None else 0
         )
         parts = [f"backend={self.executed_backend or self.backend}"]
+        if self.kernel is not None:
+            parts.append(f"kernel={self.kernel}")
         if analyze and self.actual_regions is not None:
             parts.append(f"rows={est_regions}->{self.actual_regions}")
             parts.append(f"samples={self.actual_samples}")
@@ -184,8 +190,10 @@ def _zone_refinement(node: PlanNode, children: list, datasets: dict):
     For MAP/DIFFERENCE the live partitions are the (chromosome, bin)
     pairs occupied on *both* sides -- overlapping regions always share
     an occupied bin.  For JOIN with a finite DLE bound the test is
-    chromosome-level with distance-widened windows.  Returns
-    ``(None, "")`` when the sources cannot be resolved.
+    chromosome-level with distance-widened windows; unbounded and MD(k)
+    conditions can pair regions at any distance, so only chromosome
+    *presence* on the experiment side keeps an anchor partition live.
+    Returns ``(None, "")`` when the sources cannot be resolved.
     """
     import numpy as np
 
@@ -203,11 +211,11 @@ def _zone_refinement(node: PlanNode, children: list, datasets: dict):
     live = 0
     if isinstance(node, JoinPlan):
         distance = node.condition.max_distance()
-        if distance is None:
-            return None, ""
         for chrom, entry in left_zone.entries.items():
             other = right_zone.entry(chrom)
-            if other is not None and other.window_overlaps(
+            if other is None:
+                continue
+            if distance is None or other.window_overlaps(
                 entry.min_start - distance - 1,
                 entry.max_stop + distance + 1,
             ):
@@ -222,6 +230,30 @@ def _zone_refinement(node: PlanNode, children: list, datasets: dict):
                     ).size
                 )
     return live / total, f"zone maps: {live}/{total} partitions live"
+
+
+def _kernel_hint(node: PlanNode, backend: str) -> str | None:
+    """The vectorised kernel *backend* will dispatch *node* to, if known.
+
+    Purely informational (rendered by ``repro explain``); the backends
+    re-derive the dispatch themselves at execution time.
+    """
+    if backend not in ("columnar", "parallel"):
+        return None
+    suffix = "+shm" if backend == "parallel" else ""
+    if isinstance(node, JoinPlan):
+        nearest = node.condition.min_distance_k() is not None
+        return ("join.nearest" if nearest else "join.window") + suffix
+    if node.kind == "map":
+        from repro.gmql.aggregates import Count
+
+        aggregates = getattr(node, "aggregates", None) or {}
+        only_counts = all(
+            isinstance(aggregate, Count) and attribute is None
+            for aggregate, attribute in aggregates.values()
+        )
+        return ("map.count" if only_counts else "map.pairs") + suffix
+    return None
 
 
 def plan_program(
@@ -316,6 +348,7 @@ def plan_program(
             input_regions=input_regions,
             backend=backend,
             reason=reason,
+            kernel=_kernel_hint(node, backend),
             fingerprint=fingerprint_of(node, children),
         )
         memo[id(node)] = physical

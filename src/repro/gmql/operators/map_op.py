@@ -80,13 +80,25 @@ def map_regions(
     experiment_indexes = {
         sample.id: GenomeIndex(sample.regions) for sample in experiment
     }
+    # The interval tree yields hits in tree order; order-sensitive
+    # aggregates (float SUM/AVG, STD) need the canonical
+    # (left, right, sample position) hit order shared with the columnar
+    # pair kernel so every engine reduces in the same sequence.
+    experiment_positions = {
+        sample.id: {id(region): i for i, region in enumerate(sample.regions)}
+        for sample in experiment
+    }
 
     def parts():
         for ref_sample, exp_sample in sample_pairs(reference, experiment, joinby):
             index = experiment_indexes[exp_sample.id]
+            positions = experiment_positions[exp_sample.id]
             regions = []
             for region in ref_sample.regions:
-                hits = list(index.overlapping(region))
+                hits = sorted(
+                    index.overlapping(region),
+                    key=lambda hit: (hit.left, hit.right, positions[id(hit)]),
+                )
                 extra = []
                 for aggregate, attr_index in resolved:
                     if attr_index is None:

@@ -25,6 +25,7 @@ from repro.intervals.distance import (
     distance,
     is_downstream,
     is_upstream,
+    stream_pair_mask,
 )
 from repro.intervals.sweep import (
     merge_touching,
@@ -51,6 +52,7 @@ __all__ = [
     "is_downstream",
     "is_upstream",
     "merge_touching",
+    "stream_pair_mask",
     "summit_intervals",
     "sweep_count_overlaps",
     "sweep_overlap_join",

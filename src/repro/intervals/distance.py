@@ -43,6 +43,34 @@ def is_downstream(anchor: GenomicRegion, other: GenomicRegion) -> bool:
     return other.left >= anchor.right
 
 
+def stream_pair_mask(
+    anchor_strands,
+    anchor_starts,
+    anchor_stops,
+    other_starts,
+    other_stops,
+    *,
+    upstream: bool,
+):
+    """Vectorised :func:`is_upstream` / :func:`is_downstream` over pairs.
+
+    All five arrays are aligned element-wise and describe same-chromosome
+    (anchor, other) pairs; *anchor_strands* uses the store's integer
+    strand encoding where ``'-'`` is negative (see
+    :data:`repro.store.columnar.STRAND_CODES`).  Returns a boolean mask.
+    Overlapping pairs are neither upstream nor downstream, exactly like
+    the scalar predicates.
+    """
+    import numpy as np
+
+    before = other_stops <= anchor_starts
+    after = other_starts >= anchor_stops
+    reverse = anchor_strands < 0
+    if upstream:
+        return np.where(reverse, after, before)
+    return np.where(reverse, before, after)
+
+
 class NearestIndex:
     """Per-chromosome sorted index answering nearest-k and within-d queries.
 

@@ -6,6 +6,12 @@ engines (the paper's section 4 "cloud-based execution" direction):
 * :mod:`repro.store.columnar` -- per-chromosome struct-of-arrays blocks
   with zone maps, memoised per dataset, so kernels stop rebuilding
   numpy arrays from region objects on every operator;
+* :mod:`repro.store.join_kernels` -- vectorised genometric JOIN/MAP
+  pair kernels (``searchsorted``/merge arithmetic over one
+  chromosome's sorted block arrays);
+* :mod:`repro.store.shm` -- the shared-memory block-shipping protocol
+  used by the parallel backend (the only module allowed to construct
+  ``SharedMemory`` segments);
 * :mod:`repro.store.cache` -- the plan-fingerprint LRU result cache
   that lets identical (sub)queries over identical content skip
   execution entirely.
@@ -23,6 +29,7 @@ from repro.store.cache import (
     result_cache,
 )
 from repro.store.columnar import (
+    STRAND_CODES,
     ChromBlock,
     DatasetStore,
     SampleBlocks,
@@ -33,21 +40,50 @@ from repro.store.columnar import (
     occupied_bins,
     point_feature_adjustment,
 )
+from repro.store.join_kernels import (
+    expand_windows,
+    group_offsets,
+    join_pairs,
+    overlap_pairs,
+    segment_counts,
+    segment_median_positions,
+    segment_reduce,
+)
+from repro.store.shm import (
+    ArrayShipper,
+    materialise,
+    segment_exists,
+    shared_memory_available,
+    shm_enabled,
+)
 
 __all__ = [
+    "ArrayShipper",
     "ChromBlock",
     "DEFAULT_CAPACITY",
     "DatasetStore",
     "ResultCache",
+    "STRAND_CODES",
     "SampleBlocks",
     "ZoneEntry",
     "ZoneMap",
     "cache_capacity_from_env",
     "count_overlaps_blocks",
     "depth_segments",
+    "expand_windows",
+    "group_offsets",
+    "join_pairs",
+    "materialise",
     "occupied_bins",
+    "overlap_pairs",
     "plan_token",
     "point_feature_adjustment",
     "reset_result_cache",
     "result_cache",
+    "segment_counts",
+    "segment_exists",
+    "segment_median_positions",
+    "segment_reduce",
+    "shared_memory_available",
+    "shm_enabled",
 ]

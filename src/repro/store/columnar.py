@@ -25,6 +25,12 @@ import numpy as np
 
 from repro.intervals.bins import DEFAULT_BIN_SIZE
 
+#: Integer strand encoding used by block ``strands`` arrays: forward is
+#: positive, reverse negative, unstranded zero.  Directional (UP/DOWN)
+#: join kernels only ever test the sign (see
+#: :func:`repro.intervals.distance.stream_pair_mask`).
+STRAND_CODES = {"+": 1, "-": -1, "*": 0}
+
 
 def occupied_bins(
     starts: np.ndarray, stops: np.ndarray, bin_size: int
@@ -125,21 +131,27 @@ class ChromBlock:
     them.
     """
 
-    __slots__ = ("chrom", "starts", "stops", "index",
+    __slots__ = ("chrom", "starts", "stops", "strands", "index",
                  "_sorted_starts", "_sorted_stops", "_left_order",
-                 "_max_width", "_zero_positions")
+                 "_left_stops", "_max_width", "_zero_positions")
 
     def __init__(
         self, chrom: str, starts: np.ndarray, stops: np.ndarray,
-        index: np.ndarray,
+        index: np.ndarray, strands: np.ndarray | None = None,
     ) -> None:
         self.chrom = chrom
         self.starts = starts
         self.stops = stops
+        self.strands = (
+            strands
+            if strands is not None
+            else np.zeros(starts.size, dtype=np.int8)
+        )
         self.index = index
         self._sorted_starts = None
         self._sorted_stops = None
         self._left_order = None
+        self._left_stops = None
         self._max_width = None
         self._zero_positions = None
 
@@ -166,6 +178,20 @@ class ChromBlock:
         if self._left_order is None:
             self._left_order = np.lexsort((self.stops, self.starts))
         return self._left_order
+
+    @property
+    def left_stops(self) -> np.ndarray:
+        """Stop coordinates permuted by :attr:`left_order` (memoised).
+
+        Together with :attr:`sorted_starts` (whose values coincide with
+        ``starts[left_order]``: both are the starts in ascending order)
+        this is the left-sorted experiment view the pair kernels
+        consume.  Memoised so the shared-memory shipper sees a stable
+        array identity per block.
+        """
+        if self._left_stops is None:
+            self._left_stops = self.stops[self.left_order]
+        return self._left_stops
 
     @property
     def zero_positions(self) -> np.ndarray:
@@ -219,7 +245,13 @@ class SampleBlocks:
                 (regions[i].right for i in positions),
                 dtype=np.int64, count=len(positions),
             )
-            self.chroms[chrom] = ChromBlock(chrom, starts, stops, index)
+            strands = np.fromiter(
+                (STRAND_CODES.get(regions[i].strand, 0) for i in positions),
+                dtype=np.int8, count=len(positions),
+            )
+            self.chroms[chrom] = ChromBlock(
+                chrom, starts, stops, index, strands
+            )
             self.zone_map.entries[chrom] = ZoneEntry(
                 chrom, starts, stops, bin_size
             )

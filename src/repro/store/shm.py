@@ -1,0 +1,196 @@
+"""Zero-copy array shipping for the parallel backend.
+
+The parallel engine fans genometric work out to ``ProcessPoolExecutor``
+workers.  Pickling every ``ChromBlock`` array into each task payload
+copies the same experiment columns once per (pair, chromosome) morsel;
+for store-backed plans the columns are immutable numpy arrays, so they
+can instead be placed once into ``multiprocessing.shared_memory``
+segments and referenced by name from every task.
+
+The protocol is deliberately tiny:
+
+* the **parent** owns an :class:`ArrayShipper`.  ``ship(array)`` returns
+  a picklable *handle* -- either ``("shm", name, shape, dtype)`` backed
+  by a segment the shipper created, or ``("raw", array)`` when shipping
+  falls back to pickle (shared memory unavailable, disabled via
+  ``REPRO_SHM=0`` / engine config, or the array is too small to be worth
+  a segment).  Handles are memoised per array object, so the same
+  experiment block shipped to forty morsels costs one segment.
+* **workers** call :func:`materialise` on the handle list, compute over
+  the returned views, and invoke the release callback before returning.
+  Attached segments are closed but never unlinked by workers (on Python
+  3.11 an attach does not register with the resource tracker, and
+  unlinking is the creator's job).
+* the parent's ``close()`` -- wired into the backend lifecycle -- closes
+  and **unlinks** every segment it created.  ``close()`` is idempotent
+  and also runs on interpreter teardown as a last resort.
+
+Segment names are system-assigned (``SharedMemory(create=True)`` with no
+explicit name), which makes collisions impossible across concurrent
+sessions; the handle carries the name, shape and dtype so the worker can
+rebuild the exact view.
+
+This module is the *only* place allowed to construct ``SharedMemory``
+objects (``benchmarks/lint_repo.py`` enforces the ban elsewhere).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+# Arrays below this many bytes ride the pickle anyway: a segment costs a
+# file descriptor plus two syscalls, which beats pickling only once the
+# payload is non-trivial.
+MIN_SHARED_BYTES = 2048
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` is usable here."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - baked into CPython >= 3.8
+        return False
+    return True
+
+
+def shm_enabled(config_flag: Any = None) -> bool:
+    """Resolve the shared-memory gate: config flag, then environment.
+
+    ``REPRO_SHM=0`` force-disables shipping regardless of config; a
+    *config_flag* of ``False`` (engine config ``use_shm``) does the same.
+    """
+    if os.environ.get("REPRO_SHM", "").strip() == "0":
+        return False
+    if config_flag is not None and not config_flag:
+        return False
+    return shared_memory_available()
+
+
+class ArrayShipper:
+    """Parent-side owner of shared-memory segments for numpy arrays.
+
+    Create one per parallel backend, ``ship()`` arrays into task
+    payloads, and ``close()`` when the backend closes -- segments live
+    exactly as long as the pool that reads them.
+    """
+
+    def __init__(self, enabled: bool | None = None) -> None:
+        self.enabled = shm_enabled() if enabled is None else bool(enabled)
+        self._segments: list = []
+        self._memo: dict = {}
+        self.bytes_shared = 0
+        self.bytes_pickled = 0
+
+    def ship(self, array: np.ndarray) -> tuple:
+        """Return a picklable handle for *array* (segment or raw)."""
+        key = id(array)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached[1]
+        handle = self._ship_uncached(array)
+        self._memo[key] = (array, handle)
+        return handle
+
+    def _ship_uncached(self, array: np.ndarray) -> tuple:
+        if (
+            not self.enabled
+            or array.nbytes == 0  # SharedMemory rejects zero-size segments
+            or array.nbytes < MIN_SHARED_BYTES
+            or not array.flags.c_contiguous
+        ):
+            self.bytes_pickled += array.nbytes
+            return ("raw", array)
+        from multiprocessing import shared_memory
+
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=array.nbytes
+            )
+        except OSError:
+            # Out of fds or /dev/shm space: degrade to pickle, once the
+            # budget is exhausted it will likely stay exhausted.
+            self.enabled = False
+            self.bytes_pickled += array.nbytes
+            return ("raw", array)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[:] = array
+        del view
+        self._segments.append(segment)
+        self.bytes_shared += array.nbytes
+        return ("shm", segment.name, array.shape, array.dtype.str)
+
+    def segment_names(self) -> list:
+        """Names of the segments currently owned (for tests/metrics)."""
+        return [segment.name for segment in self._segments]
+
+    def close(self) -> None:
+        """Close and unlink every owned segment.  Idempotent."""
+        segments, self._segments = self._segments, []
+        self._memo.clear()
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ArrayShipper":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def materialise(handles: list) -> tuple:
+    """Worker-side: turn shipped handles back into arrays.
+
+    Returns ``(arrays, release)``.  The arrays aligned with *handles*
+    are real numpy views over attached segments (or the pickled arrays
+    for raw handles); *release* drops the views and closes the
+    attachments and must be called before the task returns -- after it,
+    the shared views are invalid.
+    """
+    arrays: list = []
+    attached: list = []
+    for handle in handles:
+        kind = handle[0]
+        if kind == "raw":
+            arrays.append(handle[1])
+            continue
+        _, name, shape, dtype = handle
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=name)
+        attached.append(segment)
+        arrays.append(np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf))
+
+    def release() -> None:
+        arrays.clear()
+        while attached:
+            attached.pop().close()
+
+    return arrays, release
+
+
+def segment_exists(name: str) -> bool:
+    """True when a shared-memory segment named *name* still exists.
+
+    Test helper: proves ``close()`` really unlinked what it created.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True

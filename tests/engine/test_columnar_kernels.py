@@ -1,44 +1,51 @@
 """Direct tests of the columnar kernels (vectorised paths + fallbacks)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine.columnar import (
-    _chrom_arrays,
     _vectorise_predicate,
-    count_overlaps_vectorised,
-    coverage_segments_vectorised,
+    coverage_segments_from_blocks,
 )
 from repro.gdm import FLOAT, GenomicRegion, RegionSchema, STR
 from repro.gmql.predicates import RegionCompare
 from repro.intervals import coverage_profile
+from repro.store import SampleBlocks, count_overlaps_blocks
+
+BIN = 64
 
 
 def make(spec, chrom="chr1"):
     return [GenomicRegion(chrom, l, l + w) for l, w in spec]
 
 
+def blocks(regions):
+    """Ephemeral store blocks, the array source all kernels share now."""
+    return SampleBlocks(None, regions, BIN)
+
+
 class TestVectorisedCounting:
     def test_empty_references(self):
-        assert count_overlaps_vectorised([], {}).tolist() == []
+        counts, __ = count_overlaps_blocks(blocks([]), blocks([]))
+        assert counts.tolist() == []
 
     def test_no_probes_on_chromosome(self):
         refs = make([(0, 10)])
-        arrays = _chrom_arrays(make([(0, 10)], "chr2"))
-        assert count_overlaps_vectorised(refs, arrays).tolist() == [0]
+        counts, __ = count_overlaps_blocks(
+            blocks(refs), blocks(make([(0, 10)], "chr2"))
+        )
+        assert counts.tolist() == [0]
 
     @given(
-        st.lists(st.tuples(st.integers(0, 400), st.integers(1, 60)), max_size=30),
-        st.lists(st.tuples(st.integers(0, 400), st.integers(1, 60)), max_size=30),
+        st.lists(st.tuples(st.integers(0, 400), st.integers(0, 60)), max_size=30),
+        st.lists(st.tuples(st.integers(0, 400), st.integers(0, 60)), max_size=30),
     )
     @settings(max_examples=150, deadline=None)
     def test_matches_brute_force(self, ref_spec, probe_spec):
         refs = make(ref_spec)
         probes = make(probe_spec)
         expected = [sum(1 for p in probes if r.overlaps(p)) for r in refs]
-        got = count_overlaps_vectorised(refs, _chrom_arrays(probes))
+        got, __ = count_overlaps_blocks(blocks(refs), blocks(probes))
         assert got.tolist() == expected
 
 
@@ -54,7 +61,7 @@ class TestVectorisedCoverage:
         ]
         vectorised = [
             (s.chrom, s.left, s.right, s.depth)
-            for s in coverage_segments_vectorised(regions)
+            for s in coverage_segments_from_blocks([blocks(regions)])
         ]
         assert vectorised == scalar
 

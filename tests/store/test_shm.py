@@ -1,0 +1,203 @@
+"""Lifecycle tests for the shared-memory block protocol.
+
+Covers the :class:`ArrayShipper` handle protocol (segment vs raw
+fallback, memoisation, byte accounting), the ``REPRO_SHM`` / config
+gates, and -- the part that matters operationally -- that segments are
+unlinked when the owning backend closes, including when a pool task
+raises mid-flight.
+
+Note: these tests never construct ``SharedMemory`` directly
+(``benchmarks/lint_repo.py`` bans that outside ``repro.store.shm``);
+existence checks go through :func:`segment_exists`.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.engine import parallel as parallel_mod
+from repro.engine.context import ExecutionContext
+from repro.gdm import Dataset, FLOAT, Metadata, RegionSchema, Sample, region
+from repro.gmql.lang import execute
+from repro.store import shm as shm_mod
+from repro.store.shm import (
+    ArrayShipper,
+    materialise,
+    segment_exists,
+    shm_enabled,
+)
+
+BIG = np.arange(4096, dtype=np.int64)  # comfortably over MIN_SHARED_BYTES
+
+
+class TestShmEnabled:
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        assert not shm_enabled()
+        assert not shm_enabled(True)
+
+    def test_config_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        assert not shm_enabled(False)
+        assert shm_enabled(True)
+        assert shm_enabled(None)
+
+    def test_env_beats_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        assert not shm_enabled(True)
+
+
+class TestArrayShipper:
+    def test_roundtrip_through_segment(self):
+        with ArrayShipper(enabled=True) as shipper:
+            handle = shipper.ship(BIG)
+            assert handle[0] == "shm"
+            arrays, release = materialise([handle])
+            np.testing.assert_array_equal(arrays[0], BIG)
+            release()
+            assert shipper.bytes_shared == BIG.nbytes
+            assert shipper.bytes_pickled == 0
+
+    def test_small_array_rides_pickle(self):
+        with ArrayShipper(enabled=True) as shipper:
+            small = np.arange(4, dtype=np.int64)
+            handle = shipper.ship(small)
+            assert handle[0] == "raw"
+            assert handle[1] is small
+            assert shipper.bytes_shared == 0
+            assert shipper.bytes_pickled == small.nbytes
+
+    def test_non_contiguous_rides_pickle(self):
+        with ArrayShipper(enabled=True) as shipper:
+            strided = BIG[::2]
+            assert not strided.flags.c_contiguous
+            assert shipper.ship(strided)[0] == "raw"
+
+    def test_disabled_shipper_never_creates_segments(self):
+        with ArrayShipper(enabled=False) as shipper:
+            assert shipper.ship(BIG)[0] == "raw"
+            assert shipper.segment_names() == []
+
+    def test_handles_memoised_per_array(self):
+        with ArrayShipper(enabled=True) as shipper:
+            first = shipper.ship(BIG)
+            second = shipper.ship(BIG)
+            assert first is second
+            assert len(shipper.segment_names()) == 1
+            assert shipper.bytes_shared == BIG.nbytes
+
+    def test_close_unlinks_and_is_idempotent(self):
+        shipper = ArrayShipper(enabled=True)
+        shipper.ship(BIG)
+        names = shipper.segment_names()
+        assert names and all(segment_exists(name) for name in names)
+        shipper.close()
+        assert shipper.segment_names() == []
+        assert not any(segment_exists(name) for name in names)
+        shipper.close()  # second close is a no-op
+
+    def test_materialise_raw_passthrough(self):
+        values = np.arange(8, dtype=np.int64)
+        arrays, release = materialise([("raw", values)])
+        assert arrays[0] is values
+        release()
+
+
+def _seed_dataset(seed: int = 7, n_regions: int = 400) -> Dataset:
+    rng = random.Random(seed)
+    schema = RegionSchema.of(("score", FLOAT))
+    samples = []
+    for sample_id in (1, 2):
+        regions = []
+        for __ in range(n_regions):
+            left = rng.randint(0, 20_000)
+            regions.append(
+                region("chr1", left, left + rng.randint(1, 300), "*",
+                       float(sample_id))
+            )
+        samples.append(Sample(sample_id, regions, Metadata({"kind": "t"})))
+    return Dataset("DATA", schema, samples)
+
+
+def _crashing_task(handles):
+    arrays, release = materialise(handles)
+    try:
+        raise RuntimeError("worker crash injected by test")
+    finally:
+        release()
+
+
+class TestBackendLifecycle:
+    def test_crashing_worker_leaves_no_segments(self, monkeypatch):
+        """A raising pool task must not leak shared-memory segments.
+
+        ``execute`` closes the backend in a ``finally``; the shipper is
+        closed after the pool drains, so every segment the parent
+        created is unlinked even though the task died mid-compute.
+        """
+        unlinked_names = []
+
+        class RecordingShipper(ArrayShipper):
+            def close(self):
+                unlinked_names.extend(self.segment_names())
+                super().close()
+
+        monkeypatch.setattr(parallel_mod, "ArrayShipper", RecordingShipper)
+        monkeypatch.setattr(parallel_mod, "_count_morsel_task", _crashing_task)
+        # Ship everything regardless of size so the smoke-scale dataset
+        # exercises real segments.
+        monkeypatch.setattr(shm_mod, "MIN_SHARED_BYTES", 0)
+
+        dataset = _seed_dataset()
+        with pytest.raises(RuntimeError, match="worker crash injected"):
+            execute(
+                "R = MAP() DATA DATA; MATERIALIZE R;",
+                {"DATA": dataset},
+                engine="parallel",
+                context=ExecutionContext(
+                    result_cache=False, config={"use_store": True}
+                ),
+            )
+        assert unlinked_names, "crash path never created shm segments"
+        assert not any(segment_exists(name) for name in unlinked_names)
+
+    def test_clean_run_unlinks_segments_on_close(self, monkeypatch):
+        unlinked_names = []
+
+        class RecordingShipper(ArrayShipper):
+            def close(self):
+                unlinked_names.extend(self.segment_names())
+                super().close()
+
+        monkeypatch.setattr(parallel_mod, "ArrayShipper", RecordingShipper)
+        monkeypatch.setattr(shm_mod, "MIN_SHARED_BYTES", 0)
+
+        dataset = _seed_dataset()
+        results = execute(
+            "R = MAP() DATA DATA; MATERIALIZE R;",
+            {"DATA": dataset},
+            engine="parallel",
+            context=ExecutionContext(
+                result_cache=False, config={"use_store": True}
+            ),
+        )
+        assert results["R"].region_count() > 0
+        assert unlinked_names
+        assert not any(segment_exists(name) for name in unlinked_names)
+
+    def test_use_shm_config_false_pickles_everything(self, monkeypatch):
+        monkeypatch.setattr(shm_mod, "MIN_SHARED_BYTES", 0)
+        context = ExecutionContext(
+            result_cache=False, config={"use_store": True, "use_shm": False}
+        )
+        dataset = _seed_dataset()
+        execute(
+            "R = MAP() DATA DATA; MATERIALIZE R;",
+            {"DATA": dataset},
+            engine="parallel",
+            context=context,
+        )
+        metrics = context.metrics.snapshot()
+        assert metrics.get("shm.bytes_shared", 0) == 0
+        assert metrics.get("shm.bytes_pickled", 0) > 0
