@@ -21,6 +21,13 @@ carrying both ``parallel`` and ``parallel-pickle`` variants must show
 the shared-memory path actually engaging: segments shipped
 (``shm_bytes_shared > 0``) and fewer pickled bytes than the
 pickle-only variant.
+
+With ``--require-persisted``, every scenario carrying a
+``store-persisted`` variant must show the disk-native store actually
+engaging: warm repeats served blocks from memory maps
+(``store_warm.blocks_mapped > 0``) without building any
+(``store_warm.blocks_built == 0``), and the mmap warm open beat the
+in-memory cold build (``warm_seconds < cold_seconds``).
 """
 
 from __future__ import annotations
@@ -71,8 +78,36 @@ def _shm_check(scenario: str, entry: dict) -> list:
     return failures
 
 
+def _persisted_check(scenario: str, entry: dict) -> list:
+    """Persisted-store engagement invariants for one scenario."""
+    cell = entry["variants"].get("store-persisted")
+    if cell is None:
+        return []
+    failures = []
+    warm_stats = cell.get("store_warm", {})
+    if warm_stats.get("blocks_mapped", 0) <= 0:
+        failures.append(
+            f"{scenario}: store-persisted warm runs mapped no blocks "
+            f"(the persisted store never engaged)"
+        )
+    if warm_stats.get("blocks_built", 0) > 0:
+        failures.append(
+            f"{scenario}: store-persisted warm runs rebuilt "
+            f"{warm_stats['blocks_built']} block sets instead of mapping "
+            f"persisted segments"
+        )
+    warm = cell.get("warm_seconds")
+    if warm is not None and warm >= cell["cold_seconds"]:
+        failures.append(
+            f"{scenario}: mmap warm open ({warm:.4f}s) did not beat the "
+            f"in-memory cold build ({cell['cold_seconds']:.4f}s)"
+        )
+    return failures
+
+
 def check(
-    fresh: dict, baseline: dict, factor: float, require_shm: bool = False
+    fresh: dict, baseline: dict, factor: float, require_shm: bool = False,
+    require_persisted: bool = False,
 ) -> list:
     """All failure messages (empty when the gate passes)."""
     failures = []
@@ -81,6 +116,8 @@ def check(
             failures.append(f"{scenario}: engine variants disagree on results")
         if require_shm:
             failures.extend(_shm_check(scenario, entry))
+        if require_persisted:
+            failures.extend(_persisted_check(scenario, entry))
         base_entry = baseline["scenarios"].get(scenario)
         if base_entry is None:
             continue
@@ -122,12 +159,19 @@ def main(argv: list | None = None) -> int:
              "through shared memory and pickle fewer bytes than "
              "parallel-pickle",
     )
+    parser.add_argument(
+        "--require-persisted", action="store_true",
+        help="additionally require the store-persisted variant to serve "
+             "warm runs from memory-mapped segments, rebuild nothing, "
+             "and beat its own cold build",
+    )
     args = parser.parse_args(argv)
     with open(args.fresh) as handle:
         fresh = json.load(handle)
     with open(args.baseline) as handle:
         baseline = json.load(handle)
-    failures = check(fresh, baseline, args.factor, args.require_shm)
+    failures = check(fresh, baseline, args.factor, args.require_shm,
+                     args.require_persisted)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:

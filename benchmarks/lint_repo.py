@@ -24,6 +24,12 @@ Checks, over ``src``, ``tests`` and ``benchmarks``:
    lifecycle is exact; only ``src/repro/store/shm.py`` (the managed
    :class:`ArrayShipper`/``materialise`` protocol) may instantiate
    ``multiprocessing.shared_memory.SharedMemory``.
+6. **No raw memory maps outside the persisted store.**  ``np.memmap``
+   and ``mmap.mmap`` lifecycles (open/attach/close, segment immutability
+   after rename) are owned by ``src/repro/store/persist.py``; every
+   other module must go through its handle protocol
+   (``mmap_descriptor``/``open_segment``/``map_blob``) so segment files
+   are always opened read-only, memoised, and accounted.
 
 Exits nonzero listing ``path:line: message`` for every violation.
 """
@@ -38,6 +44,7 @@ ROOT = Path(__file__).resolve().parent.parent
 CHECKED_TREES = ("src", "tests", "benchmarks")
 CLOCK_MODULE = ROOT / "src" / "repro" / "resilience" / "clock.py"
 SHM_MODULE = ROOT / "src" / "repro" / "store" / "shm.py"
+PERSIST_MODULE = ROOT / "src" / "repro" / "store" / "persist.py"
 OPERATORS_DIR = ROOT / "src" / "repro" / "gmql" / "operators"
 
 #: ``(qualifier, attribute)`` call patterns that read the wall clock.
@@ -76,6 +83,7 @@ def _check_file(path: Path, problems: list) -> None:
         return
     is_clock = path == CLOCK_MODULE
     is_shm = path == SHM_MODULE
+    is_persist = path == PERSIST_MODULE
     for node in ast.walk(tree):
         if isinstance(node, ast.Call) and not is_clock:
             pattern = _call_qualifier(node.func)
@@ -98,6 +106,25 @@ def _check_file(path: Path, problems: list) -> None:
                     f"{rel}:{node.lineno}: raw SharedMemory construction "
                     f"-- go through repro.store.shm (ArrayShipper / "
                     f"materialise) so segments cannot leak"
+                )
+        if isinstance(node, ast.Call) and not is_persist:
+            func = node.func
+            constructs_map = (
+                isinstance(func, ast.Attribute) and func.attr == "memmap"
+            ) or (
+                isinstance(func, ast.Name) and func.id == "memmap"
+            ) or (
+                isinstance(func, ast.Attribute)
+                and func.attr == "mmap"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("mmap", "_mmap")
+            )
+            if constructs_map:
+                problems.append(
+                    f"{rel}:{node.lineno}: raw memory-map construction "
+                    f"-- go through repro.store.persist "
+                    f"(PersistedStore / open_segment / map_blob) so "
+                    f"segment files stay read-only and accounted"
                 )
         if isinstance(node, ast.ExceptHandler) and node.type is None:
             problems.append(

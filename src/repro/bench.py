@@ -16,7 +16,14 @@ engine variants and writes one BENCH JSON document:
   amortises);
 * ``parallel-pickle`` -- the same pool with shared memory disabled
   (``use_shm: False``), isolating the serialisation cost the shm
-  protocol removes.
+  protocol removes;
+* ``store-persisted`` -- the columnar kernels over the disk-native
+  persisted store (:mod:`repro.store.persist`): sources are regenerated
+  before *every* repeat so nothing survives in process memory, the cold
+  run pays in-memory block build plus the synchronous persist, and the
+  warm runs open the content-addressed segments via ``np.memmap`` --
+  the cold-build vs mmap-open delta is the number the persistent store
+  exists to win.
 
 Every variant regenerates its sources from the same seed, so store
 blocks memoised by one variant never subsidise another, and every
@@ -95,14 +102,16 @@ SCALES = {
              "peaks_per_sample_mean": 400},
 }
 
-#: ``(variant name, engine, use_store, result cache enabled, use_shm)``.
+#: ``(variant name, engine, use_store, result cache enabled, use_shm,
+#: persisted store)``.
 VARIANTS = (
-    ("naive", "naive", True, False, True),
-    ("columnar-nostore", "columnar", False, False, True),
-    ("columnar", "columnar", True, True, True),
-    ("auto", "auto", True, True, True),
-    ("parallel", "parallel", True, False, True),
-    ("parallel-pickle", "parallel", True, False, False),
+    ("naive", "naive", True, False, True, False),
+    ("columnar-nostore", "columnar", False, False, True, False),
+    ("columnar", "columnar", True, True, True, False),
+    ("auto", "auto", True, True, True, False),
+    ("parallel", "parallel", True, False, True, False),
+    ("parallel-pickle", "parallel", True, False, False, False),
+    ("store-persisted", "columnar", True, False, True, True),
 )
 
 
@@ -154,11 +163,26 @@ def _run_variant(
     use_store: bool,
     cache_enabled: bool,
     use_shm: bool,
+    persisted: bool,
     repeat: int,
     bin_size: int | None,
     workers: int | None,
 ) -> dict:
-    """Time one (scenario, variant) cell: cold run plus warm repeats."""
+    """Time one (scenario, variant) cell: cold run plus warm repeats.
+
+    The ``store-persisted`` variant regenerates its sources before every
+    repeat (so block memos never survive between runs, modelling a fresh
+    process) and routes the storage layer at a throwaway persistent
+    store root with synchronous persistence: repeat 0 measures build +
+    persist + kernels, later repeats measure mmap open + kernels.
+    """
+    import shutil
+    import tempfile
+
+    from repro.store.persist import set_store_root
+
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-") if persisted \
+        else None
     sources = _sources(scale, seed)
     compiled = optimize(compile_program(program))
     reset_result_cache()
@@ -166,38 +190,66 @@ def _run_variant(
     pruned_cold = 0
     shm_shared_cold = 0
     shm_pickled_cold = 0
+    shm_mapped_warm = 0
     regions_emitted = 0
+    store_stats_cold: dict = {}
+    store_stats_warm: dict = {}
     digest = None
-    for iteration in range(max(1, repeat)):
-        context = ExecutionContext(
-            workers=workers,
-            bin_size=bin_size,
-            result_cache=cache_enabled,
-            config={"use_store": use_store, "use_shm": use_shm},
-        )
-        backend = get_backend(engine)
-        started = time.perf_counter()
-        try:
-            results = Interpreter(
-                backend, sources, context=context
-            ).run_program(compiled)
-        finally:
-            backend.close()
-        runs.append(time.perf_counter() - started)
-        if iteration == 0:
-            pruned_cold = context.metrics.counter("store.partitions_pruned")
-            shm_shared_cold = context.metrics.counter("shm.bytes_shared")
-            shm_pickled_cold = context.metrics.counter("shm.bytes_pickled")
-            regions_emitted = sum(
-                dataset.region_count() for dataset in results.values()
+    try:
+        if persisted:
+            set_store_root(store_dir, sync=True)
+        for iteration in range(max(1, repeat)):
+            if persisted and iteration:
+                # Fresh datasets (same content): nothing survives in
+                # memory, only the persisted segments on disk.
+                sources = _sources(scale, seed)
+            context = ExecutionContext(
+                workers=workers,
+                bin_size=bin_size,
+                result_cache=cache_enabled,
+                config={"use_store": use_store, "use_shm": use_shm},
             )
-            digest = _result_digest(results)
+            backend = get_backend(engine)
+            started = time.perf_counter()
+            try:
+                results = Interpreter(
+                    backend, sources, context=context
+                ).run_program(compiled)
+            finally:
+                backend.close()
+            runs.append(time.perf_counter() - started)
+            if iteration == 0:
+                pruned_cold = context.metrics.counter(
+                    "store.partitions_pruned"
+                )
+                shm_shared_cold = context.metrics.counter("shm.bytes_shared")
+                shm_pickled_cold = context.metrics.counter(
+                    "shm.bytes_pickled"
+                )
+                regions_emitted = sum(
+                    dataset.region_count() for dataset in results.values()
+                )
+                digest = _result_digest(results)
+                if persisted:
+                    store_stats_cold = _source_store_stats(sources)
+            else:
+                shm_mapped_warm = max(
+                    shm_mapped_warm,
+                    context.metrics.counter("shm.bytes_mapped"),
+                )
+                if persisted:
+                    store_stats_warm = _source_store_stats(sources)
+    finally:
+        if persisted:
+            set_store_root(None)
+            shutil.rmtree(store_dir, ignore_errors=True)
     cache = result_cache().stats()
-    return {
+    cell = {
         "engine": engine,
         "use_store": use_store,
         "result_cache_enabled": cache_enabled,
         "use_shm": use_shm,
+        "persisted_store": persisted,
         "cold_seconds": runs[0],
         "warm_seconds": min(runs[1:]) if len(runs) > 1 else None,
         "runs_seconds": runs,
@@ -205,6 +257,7 @@ def _run_variant(
         "regions_emitted": regions_emitted,
         "shm_bytes_shared": shm_shared_cold,
         "shm_bytes_pickled": shm_pickled_cold,
+        "shm_bytes_mapped": shm_mapped_warm,
         "cache": {
             "hits": cache["hits"],
             "misses": cache["misses"],
@@ -212,6 +265,24 @@ def _run_variant(
         },
         "digest": digest,
     }
+    if persisted:
+        cell["store_cold"] = store_stats_cold
+        cell["store_warm"] = store_stats_warm
+    return cell
+
+
+def _source_store_stats(sources: dict) -> dict:
+    """Aggregated store counters across the scenario's source datasets."""
+    totals = {
+        "blocks_built": 0,
+        "blocks_mapped": 0,
+        "blocks_evicted": 0,
+        "resident_bytes": 0,
+    }
+    for dataset in sources.values():
+        for name, value in dataset.store_stats().items():
+            totals[name] += value
+    return totals
 
 
 def run_bench(
@@ -230,7 +301,7 @@ def run_bench(
     variant_names = tuple(variants or default_variants(scale))
     by_name = {name: spec for name, *spec in VARIANTS}
     document = {
-        "bench": "pr5",
+        "bench": "pr6",
         "scale": scale,
         "repeat": repeat,
         "seed": seed,
@@ -241,10 +312,11 @@ def run_bench(
         program = PROGRAMS[scenario]
         cells = {}
         for variant in variant_names:
-            engine, use_store, cache_enabled, use_shm = by_name[variant]
+            engine, use_store, cache_enabled, use_shm, persisted = \
+                by_name[variant]
             cells[variant] = _run_variant(
                 program, scale, seed, engine, use_store, cache_enabled,
-                use_shm, repeat, bin_size, workers,
+                use_shm, persisted, repeat, bin_size, workers,
             )
         digests = {cell["digest"] for cell in cells.values()}
         entry = {"variants": cells, "identical_results": len(digests) == 1}
@@ -261,6 +333,15 @@ def run_bench(
             cold = store_cell["cold_seconds"]
             entry["columnar_vs_naive_speedup"] = (
                 naive_cell["cold_seconds"] / cold if cold else None
+            )
+        persisted_cell = cells.get("store-persisted")
+        if persisted_cell and persisted_cell["warm_seconds"]:
+            # Cold = in-memory block build + synchronous persist +
+            # kernels; warm = mmap open + kernels.  The satellite's
+            # cold-build vs mmap-open delta.
+            entry["persisted_open_vs_cold_build_speedup"] = (
+                persisted_cell["cold_seconds"]
+                / persisted_cell["warm_seconds"]
             )
         document["scenarios"][scenario] = entry
     return document
@@ -309,5 +390,11 @@ def render_summary(document: dict) -> str:
         if speedup is not None:
             lines.append(
                 f"  columnar vs naive: {speedup:.1f}x cold"
+            )
+        speedup = entry.get("persisted_open_vs_cold_build_speedup")
+        if speedup is not None:
+            lines.append(
+                f"  persisted store: mmap open vs cold build+persist:"
+                f" {speedup:.1f}x"
             )
     return "\n".join(lines)

@@ -104,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
              "'seed=7;transient@repository.load:*?times=1' "
              "(see docs/RESILIENCE.md for the spec language)",
     )
+    run_cmd.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="persistent columnar store root: blocks are served from "
+             "memory-mapped segments when present and persisted "
+             "(synchronously) after a build otherwise; results are "
+             "cached on disk beside it (default: REPRO_STORE_DIR)",
+    )
 
     check_cmd = commands.add_parser(
         "check",
@@ -156,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument("--workers", type=_positive_int, default=None,
                              metavar="N",
                              help="worker processes for parallel kernels")
+    explain_cmd.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="persistent columnar store root for --analyze runs "
+             "(default: REPRO_STORE_DIR)",
+    )
 
     bench_cmd = commands.add_parser(
         "bench",
@@ -163,8 +175,8 @@ def build_parser() -> argparse.ArgumentParser:
              "engines and write a BENCH JSON document",
     )
     bench_cmd.add_argument(
-        "--out", default="BENCH_pr5.json",
-        help="output JSON path (default: BENCH_pr5.json)",
+        "--out", default="BENCH_pr6.json",
+        help="output JSON path (default: BENCH_pr6.json)",
     )
     bench_cmd.add_argument(
         "--scale", default="smoke",
@@ -180,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--engines", default=None, metavar="NAMES",
         help="comma-separated variant subset (naive,columnar-nostore,"
-             "columnar,auto,parallel,parallel-pickle)",
+             "columnar,auto,parallel,parallel-pickle,store-persisted)",
     )
     bench_cmd.add_argument(
         "--repeat", type=_positive_int, default=3, metavar="N",
@@ -266,6 +278,13 @@ def _run_with_chaos(args, injector) -> int:
     from repro.formats import write_dataset
     from repro.gmql.lang import Interpreter, compile_program, optimize
 
+    from repro.store.persist import set_store_root
+
+    if args.store_dir:
+        # Synchronous persistence: a CLI process is short-lived, so a
+        # background persist thread could die mid-write (the atomic
+        # rename makes that harmless, but the work would be wasted).
+        set_store_root(args.store_dir, sync=True)
     program = _read_program(args.program)
     sources = _load_sources(args.source, injector)
     # Compiling against the sources runs the semantic analyzer with
@@ -276,9 +295,11 @@ def _run_with_chaos(args, injector) -> int:
         compiled = optimize(compiled)
     backend = get_backend(args.engine)
     context = ExecutionContext(workers=args.workers, result_cache=True)
-    # Each `repro run` starts cold: the cache still deduplicates repeated
-    # subplans within this program, but one invocation never inherits (or
-    # pollutes) the process-wide cache of an embedding process.
+    # Each `repro run` starts cold in memory: the cache still
+    # deduplicates repeated subplans within this program, but one
+    # invocation never inherits (or pollutes) the process-wide cache of
+    # an embedding process.  With --store-dir, the disk level persists
+    # across invocations -- that survival is the point.
     from repro.store.cache import reset_result_cache
 
     reset_result_cache()
@@ -289,6 +310,8 @@ def _run_with_chaos(args, injector) -> int:
     finally:
         # Release worker pools deterministically (not via __del__).
         backend.close()
+        if args.store_dir:
+            set_store_root(None)
     for name, dataset in results.items():
         summary = dataset.summary()
         print(
@@ -313,6 +336,18 @@ def _run_with_chaos(args, injector) -> int:
             print("  time by backend:")
             for name in sorted(by_backend):
                 print(f"    {name:<10} {by_backend[name] * 1000:8.1f} ms")
+        if args.store_dir:
+            totals = {"blocks_built": 0, "blocks_mapped": 0,
+                      "blocks_evicted": 0, "resident_bytes": 0}
+            for dataset in sources.values():
+                for key, value in dataset.store_stats().items():
+                    totals[key] += value
+            print(
+                f"  persistent store: {totals['blocks_mapped']} block "
+                f"set(s) mapped, {totals['blocks_built']} built, "
+                f"{totals['blocks_evicted']} evicted, "
+                f"{totals['resident_bytes']:,} resident bytes"
+            )
     if args.trace:
         print()
         print("execution trace:")
@@ -329,7 +364,10 @@ def _command_explain(args) -> int:
     if args.analyze:
         from repro.engine.context import ExecutionContext
         from repro.gmql.lang import explain_analyze
+        from repro.store.persist import set_store_root
 
+        if args.store_dir:
+            set_store_root(args.store_dir, sync=True)
         sources = _load_sources(args.source)
         context = ExecutionContext(workers=args.workers, result_cache=True)
         # Cold cache per invocation, mirroring `repro run`: the counters
@@ -337,13 +375,17 @@ def _command_explain(args) -> int:
         from repro.store.cache import reset_result_cache
 
         reset_result_cache()
-        __, physical, context = explain_analyze(
-            program,
-            sources,
-            engine=args.engine,
-            optimized=not args.no_optimize,
-            context=context,
-        )
+        try:
+            __, physical, context = explain_analyze(
+                program,
+                sources,
+                engine=args.engine,
+                optimized=not args.no_optimize,
+                context=context,
+            )
+        finally:
+            if args.store_dir:
+                set_store_root(None)
         print(physical.explain(analyze=True))
         print(
             "store: partitions_pruned="

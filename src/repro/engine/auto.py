@@ -30,6 +30,13 @@ PARALLEL_REGION_THRESHOLD = 50_000
 #: deserialising region objects, so the fan-out pays off much earlier.
 PARALLEL_REGION_THRESHOLD_SHM = 20_000
 
+#: Lowest break-even point when a persistent store root is configured:
+#: disk-resident blocks ship as ``(path, offset, shape, dtype)`` handles
+#: (see :func:`repro.store.persist.mmap_descriptor`), so a morsel's
+#: marginal shipping cost is a tuple pickle and fan-out pays off almost
+#: immediately.
+PARALLEL_REGION_THRESHOLD_MMAP = 10_000
+
 #: Input-region count above which vectorised columnar kernels win over
 #: the record-at-a-time reference implementation.
 COLUMNAR_REGION_THRESHOLD = 2_000
@@ -45,9 +52,15 @@ def parallel_threshold() -> int:
     """Effective fan-out break-even for this host.
 
     Shared memory removes most serialisation cost, moving the break-even
-    point down; hosts without ``/dev/shm`` (or with shared memory gated
-    off) keep the conservative pickle threshold.
+    point down, and a persisted store root removes nearly all of it
+    (workers re-map immutable segment files); hosts without ``/dev/shm``
+    (or with shared memory gated off) keep the conservative pickle
+    threshold.
     """
+    from repro.store.persist import store_root
+
+    if store_root() is not None:
+        return PARALLEL_REGION_THRESHOLD_MMAP
     if shm_enabled():
         return PARALLEL_REGION_THRESHOLD_SHM
     return PARALLEL_REGION_THRESHOLD

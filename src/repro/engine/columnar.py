@@ -536,7 +536,7 @@ class ColumnarBackend(NaiveBackend):
                     plan.semijoin_attributes, semijoin_data, plan.semijoin_negated
                 )
             use_store = self.use_store()
-            store = child.store(self.store_bin_size()) if use_store else None
+            store = self.dataset_store(child) if use_store else None
             conjuncts = _conjuncts(plan.region_predicate)
 
             def parts():
@@ -628,8 +628,8 @@ class ColumnarBackend(NaiveBackend):
             ref_store = exp_store = None
             if use_store:
                 bin_size = self.store_bin_size()
-                ref_store = reference.store(bin_size)
-                exp_store = experiment.store(bin_size)
+                ref_store = self.dataset_store(reference, bin_size)
+                exp_store = self.dataset_store(experiment, bin_size)
             ref_scratch: dict = {}
             exp_scratch: dict = {}
 
@@ -679,8 +679,8 @@ class ColumnarBackend(NaiveBackend):
             ref_store = exp_store = None
             if use_store:
                 bin_size = self.store_bin_size()
-                ref_store = reference.store(bin_size)
-                exp_store = experiment.store(bin_size)
+                ref_store = self.dataset_store(reference, bin_size)
+                exp_store = self.dataset_store(experiment, bin_size)
             ref_scratch: dict = {}
             exp_scratch: dict = {}
             columns_by_sample: dict = {}
@@ -737,7 +737,7 @@ class ColumnarBackend(NaiveBackend):
 
             schema = RegionSchema((AttributeDef("acc_index", INT),))
             use_store = self.use_store()
-            store = child.store(self.store_bin_size()) if use_store else None
+            store = self.dataset_store(child) if use_store else None
             scratch: dict = {}
 
             def parts():
@@ -810,8 +810,8 @@ class ColumnarBackend(NaiveBackend):
             anchor_store = exp_store = None
             if use_store:
                 bin_size = self.store_bin_size()
-                anchor_store = anchor.store(bin_size)
-                exp_store = experiment.store(bin_size)
+                anchor_store = self.dataset_store(anchor, bin_size)
+                exp_store = self.dataset_store(experiment, bin_size)
             anchor_scratch: dict = {}
             exp_scratch: dict = {}
             emit = join_emitter(merged, plan.output)
@@ -869,8 +869,8 @@ class ColumnarBackend(NaiveBackend):
             use_store = self.use_store()
             bin_size = self.store_bin_size()
             if use_store:
-                left_store = left.store(bin_size)
-                mask_blocks = right.store(bin_size).union_blocks()
+                left_store = self.dataset_store(left, bin_size)
+                mask_blocks = self.dataset_store(right, bin_size).union_blocks()
             else:
                 from repro.intervals.bins import DEFAULT_BIN_SIZE
 

@@ -287,7 +287,7 @@ class ParallelBackend(ColumnarBackend):
         self._max_workers = max_workers or default_workers()
         self._pool: ProcessPoolExecutor | None = None
         self._shipper: ArrayShipper | None = None
-        self._shm_reported = (0, 0)
+        self._shm_reported = (0, 0, 0)
 
     @property
     def max_workers(self) -> int:
@@ -334,9 +334,10 @@ class ParallelBackend(ColumnarBackend):
         """Account shipping byte deltas into the context metrics."""
         if self._shipper is None or self._context is None:
             return
-        shared, pickled = self._shm_reported
+        shared, pickled, mapped = self._shm_reported
         new_shared = self._shipper.bytes_shared
         new_pickled = self._shipper.bytes_pickled
+        new_mapped = self._shipper.bytes_mapped
         if new_shared > shared:
             self._context.metrics.increment(
                 "shm.bytes_shared", new_shared - shared
@@ -345,7 +346,11 @@ class ParallelBackend(ColumnarBackend):
             self._context.metrics.increment(
                 "shm.bytes_pickled", new_pickled - pickled
             )
-        self._shm_reported = (new_shared, new_pickled)
+        if new_mapped > mapped:
+            self._context.metrics.increment(
+                "shm.bytes_mapped", new_mapped - mapped
+            )
+        self._shm_reported = (new_shared, new_pickled, new_mapped)
 
     def close(self) -> None:
         """Shut the worker pool down and unlink shared segments (idempotent).
@@ -360,7 +365,7 @@ class ParallelBackend(ColumnarBackend):
         if self._shipper is not None:
             self._shipper.close()
             self._shipper = None
-            self._shm_reported = (0, 0)
+            self._shm_reported = (0, 0, 0)
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
@@ -399,8 +404,8 @@ class ParallelBackend(ColumnarBackend):
                 *(AttributeDef(name, INT) for name in aggregates)
             )
             bin_size = self.store_bin_size()
-            ref_store = reference.store(bin_size)
-            exp_store = experiment.store(bin_size)
+            ref_store = self.dataset_store(reference, bin_size)
+            exp_store = self.dataset_store(experiment, bin_size)
             ship = self.shipper().ship
             pairs = list(sample_pairs(reference, experiment, plan.joinby))
             morsels = []  # per pair: [(block, future), ...]
@@ -472,8 +477,8 @@ class ParallelBackend(ColumnarBackend):
                 aggregates, reference, experiment
             )
             bin_size = self.store_bin_size()
-            ref_store = reference.store(bin_size)
-            exp_store = experiment.store(bin_size)
+            ref_store = self.dataset_store(reference, bin_size)
+            exp_store = self.dataset_store(experiment, bin_size)
             ship = self.shipper().ship
             pairs = list(sample_pairs(reference, experiment, plan.joinby))
             columns_by_sample: dict = {}
@@ -637,8 +642,8 @@ class ParallelBackend(ColumnarBackend):
             emit = join_emitter(merged, plan.output)
             max_distance = spec["max_distance"]
             bin_size = self.store_bin_size()
-            anchor_store = anchor.store(bin_size)
-            exp_store = experiment.store(bin_size)
+            anchor_store = self.dataset_store(anchor, bin_size)
+            exp_store = self.dataset_store(experiment, bin_size)
             ship = self.shipper().ship
             pairs = list(sample_pairs(anchor, experiment, plan.joinby))
             morsels = []  # per pair: [(a_block, e_block, future), ...]
@@ -761,7 +766,7 @@ class ParallelBackend(ColumnarBackend):
             schema = RegionSchema((AttributeDef("acc_index", INT),))
             groups = group_samples(child, plan.groupby)
             use_arrays = plan.variant != "FLAT" and self.use_store()
-            store = child.store(self.store_bin_size()) if use_arrays else None
+            store = self.dataset_store(child) if use_arrays else None
             ship = self.shipper().ship if use_arrays else None
             futures = []  # legacy: one future per group
             morsels = []  # arrays: per group, chrom-ordered futures
@@ -858,8 +863,8 @@ class ParallelBackend(ColumnarBackend):
                 # get keep-masks back; zone-disjoint chromosomes never
                 # leave the parent (kept wholesale).
                 bin_size = self.store_bin_size()
-                left_store = left.store(bin_size)
-                mask_blocks = right.store(bin_size).union_blocks()
+                left_store = self.dataset_store(left, bin_size)
+                mask_blocks = self.dataset_store(right, bin_size).union_blocks()
                 ship = self.shipper().ship
                 morsels = []
                 for sample in samples:

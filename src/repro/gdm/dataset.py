@@ -163,23 +163,74 @@ class Dataset:
             found.update(sample.meta.attributes())
         return tuple(sorted(found))
 
-    def store(self, bin_size: int | None = None):
+    def store(
+        self,
+        bin_size: int | None = None,
+        root: str | None = None,
+        sync: bool | None = None,
+    ):
         """The columnar store of this dataset (built lazily, memoised).
 
         Returns a :class:`~repro.store.columnar.DatasetStore`: per-sample
         struct-of-arrays blocks, zone maps and the content digest.  One
-        store is kept per requested bin size; adding a sample
-        invalidates all of them, so stores always describe current
-        content.
+        store is kept per requested (bin size, store root); adding a
+        sample invalidates all of them, so stores always describe
+        current content.
+
+        *root* overrides the process-default store root (see
+        :func:`repro.store.persist.store_root`); with a root the store
+        serves blocks from persisted memory-mapped segments when they
+        exist and persists them after an in-memory build otherwise.
+        *sync* fixes the persist mode for a newly created store
+        (ignored on memo hits, which keep their original mode).
         """
         from repro.store.columnar import DatasetStore
+        from repro.store.persist import store_root
 
-        key = bin_size or 0
+        resolved_root = root if root is not None else store_root()
+        key = (bin_size or 0, resolved_root)
         store = self._stores.get(key)
         if store is None:
-            store = DatasetStore(self, bin_size)
+            store = DatasetStore(self, bin_size, root=resolved_root,
+                                 sync=sync)
             self._stores[key] = store
         return store
+
+    def store_stats(self) -> dict:
+        """Aggregate observability counters across all memoised stores."""
+        totals = {
+            "blocks_built": 0,
+            "blocks_mapped": 0,
+            "blocks_evicted": 0,
+            "resident_bytes": 0,
+        }
+        for store in self._stores.values():
+            for name in totals:
+                totals[name] += store.stats()[name]
+        return totals
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop memoised stores: memmaps and block arrays never travel.
+
+        A revived dataset (worker process, persisted result cache)
+        rebuilds or re-opens its store lazily, which is both smaller on
+        the wire and correct across machines.
+        """
+        return {
+            "name": self.name,
+            "schema": self.schema,
+            "_samples": self._samples,
+            "provenance": self.provenance,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.schema = state["schema"]
+        self._samples = state["_samples"]
+        self.provenance = state["provenance"]
+        self._stores = {}
 
     def estimated_size_bytes(self) -> int:
         """Rough serialised size, used by the federation cost estimator.

@@ -9,12 +9,17 @@ engines (the paper's section 4 "cloud-based execution" direction):
 * :mod:`repro.store.join_kernels` -- vectorised genometric JOIN/MAP
   pair kernels (``searchsorted``/merge arithmetic over one
   chromosome's sorted block arrays);
+* :mod:`repro.store.persist` -- the disk-native persisted store:
+  content-addressed per-chromosome segment files opened lazily via
+  ``np.memmap`` (the only module allowed to construct memory maps),
+  plus the block-residency spill budget;
 * :mod:`repro.store.shm` -- the shared-memory block-shipping protocol
   used by the parallel backend (the only module allowed to construct
-  ``SharedMemory`` segments);
+  ``SharedMemory`` segments); disk-resident arrays ship as mmap
+  handles instead;
 * :mod:`repro.store.cache` -- the plan-fingerprint LRU result cache
   that lets identical (sub)queries over identical content skip
-  execution entirely.
+  execution entirely, optionally persisted beside the store.
 
 See ``docs/PERFORMANCE.md`` for the layout, the pruning rules and the
 cache-key/invalidation story.
@@ -49,6 +54,17 @@ from repro.store.join_kernels import (
     segment_median_positions,
     segment_reduce,
 )
+from repro.store.persist import (
+    PersistedStore,
+    ResidencyLedger,
+    mmap_descriptor,
+    open_segment,
+    persist_store,
+    reset_residency_ledger,
+    residency_ledger,
+    set_store_root,
+    store_root,
+)
 from repro.store.shm import (
     ArrayShipper,
     materialise,
@@ -76,10 +92,19 @@ __all__ = [
     "materialise",
     "occupied_bins",
     "overlap_pairs",
+    "PersistedStore",
+    "ResidencyLedger",
+    "mmap_descriptor",
+    "open_segment",
+    "persist_store",
     "plan_token",
     "point_feature_adjustment",
+    "reset_residency_ledger",
+    "residency_ledger",
     "reset_result_cache",
     "result_cache",
+    "set_store_root",
+    "store_root",
     "segment_counts",
     "segment_exists",
     "segment_median_positions",

@@ -12,11 +12,21 @@ The cache is content-addressed: source-dataset digests (see
 fingerprint, so editing a dataset changes the key and stale results are
 never served.  Hit/miss/eviction counters feed ``ExecutionContext``
 metrics, ``repro explain --analyze`` and the ``repro bench`` harness.
+
+With a *directory* configured (``REPRO_RESULT_CACHE_DIR``, defaulting to
+``<store root>/results`` when a persistent store root is active) every
+entry is additionally pickled to disk, so warm results survive process
+restarts: a fresh process misses in memory, loads the pickled dataset,
+and serves the hit without running a single kernel.  Content addressing
+makes the files immortal -- they are only ever rewritten with identical
+bytes -- and atomic rename keeps concurrent processes safe.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 from collections import OrderedDict
 
 #: Default number of cached operator results kept by the global cache.
@@ -33,6 +43,25 @@ def cache_capacity_from_env(default: int = DEFAULT_CAPACITY) -> int:
     except ValueError:
         return default
     return max(0, value)
+
+
+def cache_directory_from_env() -> str | None:
+    """Resolve the on-disk result-cache directory, or ``None``.
+
+    ``REPRO_RESULT_CACHE_DIR`` wins; otherwise entries live beside the
+    persistent store (``<store root>/results``) whenever a store root is
+    configured -- the "persistent service" arrangement where both block
+    segments and warm results survive restarts together.
+    """
+    raw = os.environ.get("REPRO_RESULT_CACHE_DIR", "").strip()
+    if raw:
+        return raw
+    from repro.store.persist import store_root
+
+    root = store_root()
+    if root:
+        return os.path.join(root, "results")
+    return None
 
 
 def plan_token(obj) -> str:
@@ -75,16 +104,29 @@ def _instance_state(obj) -> dict | None:
 
 
 class ResultCache:
-    """A size-bounded LRU of ``fingerprint -> Dataset`` entries."""
+    """A size-bounded LRU of ``fingerprint -> Dataset`` entries.
 
-    def __init__(self, capacity: int | None = None) -> None:
+    With a *directory*, entries are also pickled to disk on ``put`` and
+    in-memory misses consult the files before giving up -- the second
+    cache level that survives restarts.  Memory eviction never removes
+    files (they back the next process's warm start); ``clear`` does.
+    """
+
+    def __init__(
+        self, capacity: int | None = None, directory: str | None = None
+    ) -> None:
         self.capacity = (
             capacity if capacity is not None else cache_capacity_from_env()
+        )
+        self.directory = (
+            directory if directory is not None else cache_directory_from_env()
         )
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk_hits = 0
+        self.disk_stores = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -92,12 +134,60 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return key in self._entries
 
+    def _path(self, key: str) -> str:
+        # Fingerprints are hex digests, but hash defensively so any
+        # plan-token ever used as a key still maps to a safe filename.
+        name = hashlib.blake2b(key.encode(), digest_size=16).hexdigest()
+        return os.path.join(self.directory, f"{name}.result")
+
+    def _load(self, key: str):
+        """A disk entry for *key*, or ``None`` (corruption tolerated)."""
+        if self.directory is None:
+            return None
+        try:
+            with open(self._path(key), "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # Missing file is the common case; a truncated or
+            # unreadable one degrades to a recompute, never an error.
+            return None
+
+    def _persist(self, key: str, value) -> None:
+        """Pickle *value* beside the store (atomic, best-effort)."""
+        if self.directory is None:
+            return
+        path = self._path(key)
+        if os.path.exists(path):
+            return
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            tmp = f"{path}.tmp-{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            # Full disk or permission loss: the in-memory cache still
+            # works, only restart warmth is lost.
+            return
+        self.disk_stores += 1
+
     def get(self, key: str):
         """The cached dataset for *key*, or ``None`` (recency updated)."""
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
-            return None
+            entry = self._load(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.disk_hits += 1
+            if self.capacity > 0:
+                self._entries[key] = entry
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            self.hits += 1
+            return entry
         self._entries.move_to_end(key)
         self.hits += 1
         return entry
@@ -108,16 +198,26 @@ class ResultCache:
             return
         self._entries[key] = value
         self._entries.move_to_end(key)
+        self._persist(key, value)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
 
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all entries (disk files included) and reset the counters."""
         self._entries.clear()
+        if self.directory is not None and os.path.isdir(self.directory):
+            for name in os.listdir(self.directory):
+                if name.endswith(".result"):
+                    try:
+                        os.unlink(os.path.join(self.directory, name))
+                    except OSError:  # pragma: no cover - concurrent clear
+                        pass
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk_hits = 0
+        self.disk_stores = 0
 
     def stats(self) -> dict:
         """Plain-dict counter snapshot (bench/CLI reporting)."""
@@ -127,6 +227,9 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_stores": self.disk_stores,
+            "directory": self.directory,
         }
 
 
@@ -141,8 +244,15 @@ def result_cache() -> ResultCache:
     return _GLOBAL_CACHE
 
 
-def reset_result_cache(capacity: int | None = None) -> ResultCache:
-    """Replace the global cache (benchmarks and tests isolate with this)."""
+def reset_result_cache(
+    capacity: int | None = None, directory: str | None = None
+) -> ResultCache:
+    """Replace the global cache (benchmarks and tests isolate with this).
+
+    Disk entries of the previous cache are untouched: the fresh cache
+    resolves its own directory and will re-serve them on miss, which is
+    exactly the restart-survival behaviour being modelled.
+    """
     global _GLOBAL_CACHE
-    _GLOBAL_CACHE = ResultCache(capacity)
+    _GLOBAL_CACHE = ResultCache(capacity, directory)
     return _GLOBAL_CACHE

@@ -82,6 +82,32 @@ class ZoneEntry:
         """Number of occupied (chromosome, bin) partitions."""
         return int(self.bins.size)
 
+    @classmethod
+    def from_stats(
+        cls,
+        chrom: str,
+        count: int,
+        min_start: int,
+        max_start: int,
+        min_stop: int,
+        max_stop: int,
+        bins: np.ndarray,
+    ) -> "ZoneEntry":
+        """Rebuild an entry from persisted statistics (no array scans).
+
+        The loader in :mod:`repro.store.persist` uses this so opening a
+        store never touches coordinate pages just to recompute min/max.
+        """
+        entry = cls.__new__(cls)
+        entry.chrom = chrom
+        entry.count = int(count)
+        entry.min_start = int(min_start)
+        entry.max_start = int(max_start)
+        entry.min_stop = int(min_stop)
+        entry.max_stop = int(max_stop)
+        entry.bins = bins
+        return entry
+
     def window_overlaps(self, lo: int, hi: int) -> bool:
         """Could any region here overlap the half-open window ``[lo, hi)``?
 
@@ -256,6 +282,38 @@ class SampleBlocks:
                 chrom, starts, stops, bin_size
             )
 
+    @classmethod
+    def from_parts(
+        cls, sample_id, n_regions: int, chroms: dict, zone_map: ZoneMap
+    ) -> "SampleBlocks":
+        """Assemble blocks from pre-built parts (the persisted-store path).
+
+        :mod:`repro.store.persist` reconstructs chromosome blocks as
+        zero-copy views into a memory-mapped segment file and hands them
+        here; nothing is scanned or copied.
+        """
+        blocks = cls.__new__(cls)
+        blocks.sample_id = sample_id
+        blocks.n_regions = n_regions
+        blocks.chroms = chroms
+        blocks.zone_map = zone_map
+        blocks.column_cache = {}
+        return blocks
+
+    def nbytes(self) -> int:
+        """Bytes held by all materialised arrays (residency accounting)."""
+        total = 0
+        for block in self.chroms.values():
+            for name in ChromBlock.__slots__:
+                if name == "chrom":
+                    continue
+                value = getattr(block, name)
+                if isinstance(value, np.ndarray):
+                    total += value.nbytes
+        for entry in self.zone_map.entries.values():
+            total += entry.bins.nbytes
+        return total
+
     def block(self, chrom: str) -> ChromBlock | None:
         return self.chroms.get(chrom)
 
@@ -392,37 +450,178 @@ class DatasetStore:
     :class:`~repro.gdm.dataset.Dataset` (see :meth:`Dataset.store`); the
     dataset invalidates its store when samples are added, so a store
     always describes the content it was derived from.
+
+    With a *root* configured (``--store-dir`` / ``REPRO_STORE_DIR`` /
+    :func:`repro.store.persist.set_store_root`), block requests first
+    try the persisted content-addressed store: a hit returns zero-copy
+    ``np.memmap`` views built by :class:`repro.store.persist.PersistedStore`
+    (counted in :attr:`blocks_mapped`), a miss builds in memory as
+    before and triggers a one-time persist -- synchronous when *sync*
+    resolves true, otherwise in a background thread.  In-memory built
+    blocks are charged against the process-wide
+    :class:`~repro.store.persist.ResidencyLedger` so a budget can spill
+    the least-recently-used blocks instead of exhausting RAM.
     """
 
-    def __init__(self, dataset, bin_size: int | None = None) -> None:
+    def __init__(
+        self,
+        dataset,
+        bin_size: int | None = None,
+        root: str | None = None,
+        sync: bool | None = None,
+    ) -> None:
+        from repro.store import persist
+
         self._dataset = dataset
         self.bin_size = int(bin_size or DEFAULT_BIN_SIZE)
+        self.root = root if root is not None else persist.store_root()
+        self.sync = persist.persist_sync_default() if sync is None else sync
         self._samples: dict = {}
         self._union: SampleBlocks | None = None
         self._zone_map: ZoneMap | None = None
         self._digest: str | None = None
-        #: Blocks materialised so far (observability / bench reporting).
+        self._persisted = None
+        self._persisted_checked = False
+        self._persist_thread = None
+        #: Blocks materialised in memory so far (observability / bench).
         self.blocks_built = 0
+        #: Blocks served as memory-mapped segment views.
+        self.blocks_mapped = 0
+        #: Blocks evicted by the residency ledger (spill events).
+        self.blocks_evicted = 0
+
+    # -- persisted-store plumbing --------------------------------------------
+
+    def _persisted_store(self):
+        """The opened :class:`PersistedStore`, or ``None`` (memoised)."""
+        if not self._persisted_checked:
+            self._persisted_checked = True
+            if self.root is not None:
+                from repro.store.persist import PersistedStore
+
+                self._persisted = PersistedStore.open(
+                    self.root, self.digest(), self.bin_size
+                )
+        return self._persisted
+
+    def _mapped_blocks(self, key, n_regions: int):
+        """Blocks for *key* served from persisted segments, or ``None``."""
+        persisted = self._persisted_store()
+        if persisted is None:
+            return None
+        blocks = persisted.sample_blocks(key, n_regions)
+        if blocks is not None:
+            self.blocks_mapped += 1
+        return blocks
+
+    def _schedule_persist(self) -> None:
+        """Persist this store to its root once (sync or background)."""
+        if self.root is None or self._persisted_store() is not None:
+            return
+        if self._persist_thread is not None:
+            return
+        from repro.store.persist import persist_store
+
+        if self.sync:
+            self._persist_thread = True
+            persist_store(self)
+            # Serve every later block request from the fresh segments.
+            self._persisted_checked = False
+            self._persisted = None
+            return
+        import threading
+
+        def _persist() -> None:
+            try:
+                persist_store(self)
+            except OSError:
+                # Background persistence is best-effort: a full disk or
+                # revoked permission must never fail the query that
+                # triggered it.  The next process retries.
+                pass
+
+        thread = threading.Thread(
+            target=_persist, name="repro-store-persist", daemon=True
+        )
+        self._persist_thread = thread
+        thread.start()
+
+    def wait_for_persist(self, timeout: float | None = None) -> None:
+        """Block until a background persist (if any) finished."""
+        thread = self._persist_thread
+        if thread is not None and thread is not True:
+            thread.join(timeout)
+
+    def _charge(self, key, blocks: SampleBlocks) -> None:
+        from repro.store.persist import residency_ledger
+
+        residency_ledger().charge(self, key, blocks.nbytes())
+
+    def _touch(self, key) -> None:
+        from repro.store.persist import residency_ledger
+
+        residency_ledger().touch(self, key)
+
+    def _evict_resident(self, key) -> None:
+        """Drop one built block set (ledger spill callback).
+
+        Persisted stores re-serve the blocks as mmap views on the next
+        request; unpersisted ones rebuild from the region objects.  The
+        dataset-level zone map survives union eviction -- it is small
+        and plan-time pruning depends on it.
+        """
+        from repro.store.persist import UNION_KEY
+
+        if key == UNION_KEY:
+            self._union = None
+        else:
+            self._samples.pop(key, None)
+        self.blocks_evicted += 1
+
+    # -- block access ---------------------------------------------------------
 
     def blocks(self, sample) -> SampleBlocks:
         """The (memoised) :class:`SampleBlocks` of one member sample."""
         blocks = self._samples.get(sample.id)
         if blocks is None:
-            blocks = SampleBlocks(sample.id, sample.regions, self.bin_size)
-            self._samples[sample.id] = blocks
-            self.blocks_built += 1
+            blocks = self._mapped_blocks(sample.id, len(sample.regions))
+            if blocks is None:
+                blocks = SampleBlocks(
+                    sample.id, sample.regions, self.bin_size
+                )
+                self.blocks_built += 1
+                self._charge(sample.id, blocks)
+                self._samples[sample.id] = blocks
+                self._schedule_persist()
+            else:
+                self._samples[sample.id] = blocks
+        else:
+            self._touch(sample.id)
         return blocks
 
     def union_blocks(self) -> SampleBlocks:
         """Blocks over *all* regions of the dataset (DIFFERENCE masks)."""
+        from repro.store.persist import UNION_KEY
+
         if self._union is None:
-            regions = [
-                region
-                for sample in self._dataset
-                for region in sample.regions
-            ]
-            self._union = SampleBlocks(None, regions, self.bin_size)
-            self.blocks_built += 1
+            union = self._mapped_blocks(
+                None, self._dataset.region_count()
+            )
+            if union is None:
+                regions = [
+                    region
+                    for sample in self._dataset
+                    for region in sample.regions
+                ]
+                union = SampleBlocks(None, regions, self.bin_size)
+                self.blocks_built += 1
+                self._charge(UNION_KEY, union)
+                self._union = union
+                self._schedule_persist()
+            else:
+                self._union = union
+        else:
+            self._touch(UNION_KEY)
         return self._union
 
     def zone_map(self) -> ZoneMap:
@@ -435,15 +634,56 @@ class DatasetStore:
         """Occupied (chromosome, bin) partitions across the dataset."""
         return self.zone_map().partitions()
 
+    def resident_bytes(self) -> int:
+        """Bytes of block arrays currently materialised by this store.
+
+        Memory-mapped blocks count zero real bytes here: their pages
+        belong to the OS page cache, not this process's working set.
+        """
+        import numpy as _np
+
+        total = 0
+        candidates = list(self._samples.values())
+        if self._union is not None:
+            candidates.append(self._union)
+        for blocks in candidates:
+            for block in blocks.chroms.values():
+                base = block.starts
+                while isinstance(getattr(base, "base", None), _np.ndarray):
+                    base = base.base
+                if isinstance(base, _np.memmap):
+                    continue
+                total += blocks.nbytes()
+                break
+        return total
+
+    def stats(self) -> dict:
+        """Observability snapshot for bench reporting and ``repro info``."""
+        persisted = self._persisted_store()
+        return {
+            "blocks_built": self.blocks_built,
+            "blocks_mapped": self.blocks_mapped,
+            "blocks_evicted": self.blocks_evicted,
+            "resident_bytes": self.resident_bytes(),
+            "persisted": (
+                str(persisted.directory) if persisted is not None else None
+            ),
+        }
+
     def digest(self) -> str:
         """Content digest over schema, samples, metadata and regions.
 
         Deliberately excludes the dataset *name*: operators rename
         results freely and a rename does not change content, so
         fingerprint-keyed caches stay valid across renames.
+
+        Computed straight from the region objects -- never from blocks --
+        because the digest *keys* the persisted store: looking a store up
+        must not first build the blocks the lookup exists to avoid.
         """
         if self._digest is None:
             h = hashlib.blake2b(digest_size=16)
+            h.update(b"repro.store.digest.v2;")
             schema = self._dataset.schema
             for definition in schema:
                 h.update(f"{definition.name}:{definition.type.name};".encode())
@@ -454,15 +694,10 @@ class DatasetStore:
                     for __, a, v in sample.meta.triples(sample.id)
                 ):
                     h.update(f"@{attribute}={value};".encode())
-                blocks = self.blocks(sample)
-                for chrom in sorted(blocks.chroms):
-                    block = blocks.chroms[chrom]
-                    h.update(chrom.encode())
-                    h.update(block.starts.tobytes())
-                    h.update(block.stops.tobytes())
                 for region in sample.regions:
                     h.update(
-                        f"{region.strand}{region.values!r}".encode()
+                        f"{region.chrom}:{region.left}-{region.right}"
+                        f"{region.strand}{region.values!r};".encode()
                     )
             self._digest = h.hexdigest()
         return self._digest

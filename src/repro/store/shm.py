@@ -10,12 +10,16 @@ segments and referenced by name from every task.
 The protocol is deliberately tiny:
 
 * the **parent** owns an :class:`ArrayShipper`.  ``ship(array)`` returns
-  a picklable *handle* -- either ``("shm", name, shape, dtype)`` backed
-  by a segment the shipper created, or ``("raw", array)`` when shipping
-  falls back to pickle (shared memory unavailable, disabled via
-  ``REPRO_SHM=0`` / engine config, or the array is too small to be worth
-  a segment).  Handles are memoised per array object, so the same
-  experiment block shipped to forty morsels costs one segment.
+  a picklable *handle* -- ``("mmap", path, offset, shape, dtype)`` when
+  the array is already a view into a persisted store segment (see
+  :func:`repro.store.persist.mmap_descriptor`; the worker re-maps the
+  immutable file, so nothing is copied at all), else
+  ``("shm", name, shape, dtype)`` backed by a segment the shipper
+  created, or ``("raw", array)`` when shipping falls back to pickle
+  (shared memory unavailable, disabled via ``REPRO_SHM=0`` / engine
+  config, or the array is too small to be worth a segment).  Handles
+  are memoised per array object, so the same experiment block shipped
+  to forty morsels costs one segment.
 * **workers** call :func:`materialise` on the handle list, compute over
   the returned views, and invoke the release callback before returning.
   Attached segments are closed but never unlinked by workers (on Python
@@ -83,6 +87,7 @@ class ArrayShipper:
         self._memo: dict = {}
         self.bytes_shared = 0
         self.bytes_pickled = 0
+        self.bytes_mapped = 0
 
     def ship(self, array: np.ndarray) -> tuple:
         """Return a picklable handle for *array* (segment or raw)."""
@@ -95,6 +100,17 @@ class ArrayShipper:
         return handle
 
     def _ship_uncached(self, array: np.ndarray) -> tuple:
+        if array.nbytes:
+            # Disk-resident arrays ship as ``(path, offset, shape,
+            # dtype)`` descriptors regardless of the shm gate: the file
+            # is immutable and already on disk, so the handle costs
+            # nothing and the worker's page cache attach is free.
+            from repro.store.persist import mmap_descriptor
+
+            descriptor = mmap_descriptor(array)
+            if descriptor is not None:
+                self.bytes_mapped += array.nbytes
+                return ("mmap", *descriptor)
         if (
             not self.enabled
             or array.nbytes == 0  # SharedMemory rejects zero-size segments
@@ -165,6 +181,12 @@ def materialise(handles: list) -> tuple:
         kind = handle[0]
         if kind == "raw":
             arrays.append(handle[1])
+            continue
+        if kind == "mmap":
+            from repro.store.persist import open_segment
+
+            _, path, offset, shape, dtype = handle
+            arrays.append(open_segment(path, offset, shape, dtype))
             continue
         _, name, shape, dtype = handle
         from multiprocessing import shared_memory

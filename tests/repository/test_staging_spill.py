@@ -1,0 +1,110 @@
+"""Staging with a persistent store root: spill files, honest accounting."""
+
+import pytest
+
+from repro.errors import RepositoryError
+from repro.gdm import Dataset, FLOAT, Metadata, RegionSchema, Sample, region
+from repro.repository import StagingArea
+from repro.store.persist import reset_residency_ledger, set_store_root
+
+
+@pytest.fixture(autouse=True)
+def isolated_store_state():
+    set_store_root(None)
+    reset_residency_ledger(None)
+    yield
+    set_store_root(None)
+    reset_residency_ledger(None)
+
+
+@pytest.fixture()
+def peaks():
+    schema = RegionSchema.of(("p_value", FLOAT))
+    return Dataset(
+        "PEAKS",
+        schema,
+        [
+            Sample(1, [region("chr1", 0, 100, "*", 1e-5)],
+                   Metadata({"cell": "HeLa-S3", "dataType": "ChipSeq"})),
+            Sample(2, [region("chr1", 200, 300, "*", 1e-3)],
+                   Metadata({"cell": "K562", "dataType": "ChipSeq"})),
+        ],
+    )
+
+
+class TestSpilledStaging:
+    def test_spilled_result_serves_identical_bytes(self, peaks, tmp_path):
+        memory = StagingArea(budget_bytes=100_000, chunk_bytes=64)
+        expected = memory.retrieve_all(memory.stage(peaks))
+
+        spilled = StagingArea(
+            budget_bytes=100_000, chunk_bytes=64, spill_dir=str(tmp_path)
+        )
+        ticket = spilled.stage(peaks)
+        assert spilled.retrieve_all(ticket) == expected
+        assert spilled.retrieve_metadata(ticket) + spilled.retrieve_regions(
+            ticket
+        ) == expected
+
+    def test_spilled_results_charge_no_budget(self, peaks, tmp_path):
+        staging = StagingArea(
+            budget_bytes=100_000, chunk_bytes=64, spill_dir=str(tmp_path)
+        )
+        ticket = staging.stage(peaks)
+        assert staging.used_bytes() == 0
+        assert staging.mapped_bytes() > 0
+        assert len(staging.retrieve_all(ticket)) == staging.mapped_bytes()
+
+    def test_small_budget_stages_repository_scale_results(
+        self, peaks, tmp_path
+    ):
+        # In-memory this result would be refused outright; spilled, a
+        # tiny-budget host can stage it.
+        with pytest.raises(RepositoryError):
+            StagingArea(budget_bytes=10).stage(peaks)
+        staging = StagingArea(budget_bytes=10, spill_dir=str(tmp_path))
+        ticket = staging.stage(peaks)
+        assert staging.chunk_count(ticket) >= 1
+
+    def test_release_closes_map_and_frees_accounting(self, peaks, tmp_path):
+        staging = StagingArea(
+            budget_bytes=100_000, spill_dir=str(tmp_path)
+        )
+        ticket = staging.stage(peaks)
+        assert staging.mapped_bytes() > 0
+        staging.release(ticket)
+        assert staging.mapped_bytes() == 0
+        assert staging.used_bytes() == 0
+        with pytest.raises(RepositoryError):
+            staging.retrieve_all(ticket)
+
+    def test_spill_file_is_content_addressed_and_reused(
+        self, peaks, tmp_path
+    ):
+        staging = StagingArea(
+            budget_bytes=100_000, spill_dir=str(tmp_path)
+        )
+        staging.stage(peaks)
+        files = sorted(p.name for p in tmp_path.iterdir())
+        staging.stage(peaks)   # identical content -> same file
+        assert sorted(p.name for p in tmp_path.iterdir()) == files
+        assert len(files) == 1
+        assert files[0] == f"{peaks.store().digest()}.staged"
+
+    def test_spill_dir_defaults_under_store_root(self, peaks, tmp_path):
+        set_store_root(str(tmp_path))
+        staging = StagingArea(budget_bytes=100_000)
+        assert staging.spill_dir == f"{tmp_path}/staging"
+        ticket = staging.stage(peaks)
+        assert staging.used_bytes() == 0
+        assert (tmp_path / "staging").is_dir()
+        assert staging.retrieve_all(ticket)
+
+    def test_no_root_stays_in_memory(self, peaks):
+        staging = StagingArea(budget_bytes=100_000)
+        assert staging.spill_dir is None
+        ticket = staging.stage(peaks)
+        assert staging.mapped_bytes() == 0
+        assert staging.used_bytes() > 0
+        staging.release(ticket)
+        assert staging.used_bytes() == 0

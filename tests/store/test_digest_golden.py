@@ -1,0 +1,49 @@
+"""Golden digest pin: the store's content address must never drift.
+
+``DatasetStore.digest()`` keys everything durable: persisted store
+directories (``<digest>-b<bin>``), result-cache fingerprints, and staged
+spill files.  An accidental change to the digest recipe would silently
+orphan every existing store directory and cached result -- queries would
+still be *correct*, but every warm path would go cold with no error
+anywhere.  This test pins the digest of the committed example dataset so
+any recipe change has to be made consciously (bump the prefix, update
+the golden value here, and accept that on-disk stores rebuild).
+"""
+
+from pathlib import Path
+
+from repro.formats import read_dataset
+from repro.gdm import Dataset
+
+EXAMPLE = str(
+    Path(__file__).resolve().parents[2] / "examples" / "data" / "CHIP"
+)
+
+#: blake2b-128 of the committed CHIP example under digest recipe v2.
+GOLDEN_DIGEST = "b00c1c531645534a11a62886393f8b61"
+
+
+def test_example_dataset_digest_is_pinned():
+    dataset = read_dataset(EXAMPLE)
+    assert dataset.store().digest() == GOLDEN_DIGEST
+
+
+def test_digest_ignores_bin_size_and_dataset_name():
+    dataset = read_dataset(EXAMPLE)
+    assert dataset.store(64).digest() == GOLDEN_DIGEST
+    renamed = Dataset(
+        "SOMETHING_ELSE",
+        dataset.schema,
+        list(dataset),
+        validate=False,
+    )
+    assert renamed.store().digest() == GOLDEN_DIGEST
+
+
+def test_digest_changes_with_content():
+    dataset = read_dataset(EXAMPLE)
+    samples = list(dataset)
+    truncated = Dataset(
+        dataset.name, dataset.schema, samples[:-1], validate=False
+    )
+    assert truncated.store().digest() != GOLDEN_DIGEST

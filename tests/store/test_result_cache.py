@@ -202,3 +202,102 @@ class TestCacheIntegration:
         assert "backend=cache" in text
         assert "cached" in text
         assert context.metrics.counter("result_cache.hits") >= 1
+
+
+class TestDiskCache:
+    """The second cache level: pickled entries beside the store."""
+
+    def test_put_persists_and_fresh_cache_serves_from_disk(self, tmp_path):
+        first = ResultCache(capacity=4, directory=str(tmp_path))
+        dataset = make_dataset()
+        first.put("fp", dataset)
+        assert first.disk_stores == 1
+        # A brand-new cache (a fresh process) misses in memory but hits
+        # the file -- no recompute.
+        second = ResultCache(capacity=4, directory=str(tmp_path))
+        loaded = second.get("fp")
+        assert loaded is not None
+        assert list(loaded.region_rows()) == list(dataset.region_rows())
+        assert second.disk_hits == 1
+        assert second.hits == 1
+        assert second.misses == 0
+
+    def test_disk_hit_enters_memory_lru(self, tmp_path):
+        first = ResultCache(capacity=4, directory=str(tmp_path))
+        first.put("fp", make_dataset())
+        second = ResultCache(capacity=4, directory=str(tmp_path))
+        second.get("fp")
+        second.get("fp")
+        assert second.disk_hits == 1   # second lookup is pure memory
+        assert second.hits == 2
+
+    def test_existing_file_never_rewritten(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=str(tmp_path))
+        cache.put("fp", make_dataset())
+        cache.put("fp", make_dataset())
+        assert cache.disk_stores == 1  # content-addressed: write once
+
+    def test_corrupt_file_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=str(tmp_path))
+        cache.put("fp", make_dataset())
+        path = cache._path("fp")
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        fresh = ResultCache(capacity=4, directory=str(tmp_path))
+        assert fresh.get("fp") is None
+        assert fresh.misses == 1
+
+    def test_memory_eviction_keeps_files_clear_removes_them(self, tmp_path):
+        import os
+
+        cache = ResultCache(capacity=1, directory=str(tmp_path))
+        cache.put("a", make_dataset())
+        cache.put("b", make_dataset(shift=5))   # evicts "a" from memory
+        assert cache.evictions == 1
+        files = [n for n in os.listdir(tmp_path) if n.endswith(".result")]
+        assert len(files) == 2                  # the file backs restarts
+        cache.clear()
+        files = [n for n in os.listdir(tmp_path) if n.endswith(".result")]
+        assert files == []
+
+    def test_no_directory_means_no_disk(self):
+        cache = ResultCache(capacity=4, directory=None)
+        cache.put("fp", make_dataset())
+        assert cache.disk_stores == 0
+        assert ResultCache(capacity=4, directory=None).get("fp") is None
+
+    def test_directory_defaults_beside_store_root(self, tmp_path):
+        from repro.store.persist import set_store_root
+
+        set_store_root(str(tmp_path))
+        try:
+            cache = ResultCache(capacity=4)
+            assert cache.directory == str(tmp_path / "results")
+        finally:
+            set_store_root(None)
+
+    def test_query_results_survive_a_simulated_restart(self, tmp_path):
+        from repro.store.persist import set_store_root
+
+        set_store_root(str(tmp_path), sync=True)
+        try:
+            # The autouse fixture built the global cache before the root
+            # existed; rebuild it so it resolves <root>/results.
+            reset_result_cache()
+            dataset = make_dataset()
+            context = ExecutionContext(result_cache=True)
+            cold = execute(PROGRAM, {"DATA": dataset}, engine="columnar",
+                           context=context)
+            # Simulated restart: fresh global cache, fresh dataset object.
+            reset_result_cache()
+            context2 = ExecutionContext(result_cache=True)
+            warm = execute(PROGRAM, {"DATA": make_dataset()},
+                           engine="columnar", context=context2)
+            stats = result_cache().stats()
+            assert stats["disk_hits"] >= 1
+            assert stats["misses"] == 0
+            assert list(cold["OUT"].region_rows()) == list(
+                warm["OUT"].region_rows()
+            )
+        finally:
+            set_store_root(None)

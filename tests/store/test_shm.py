@@ -201,3 +201,75 @@ class TestBackendLifecycle:
         metrics = context.metrics.snapshot()
         assert metrics.get("shm.bytes_shared", 0) == 0
         assert metrics.get("shm.bytes_pickled", 0) > 0
+
+
+class TestMmapHandles:
+    """Memmap-backed block arrays ship as handles, never as copies."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_store(self, tmp_path):
+        from repro.store.persist import (
+            close_opened_segments,
+            reset_residency_ledger,
+            set_store_root,
+        )
+
+        set_store_root(None)
+        reset_residency_ledger(None)
+        yield
+        set_store_root(None)
+        reset_residency_ledger(None)
+        close_opened_segments()
+
+    def _mapped_array(self, tmp_path):
+        from repro.store import DatasetStore
+
+        regions = [region("chr1", i * 10, i * 10 + 5) for i in range(64)]
+        samples = [Sample(1, regions, Metadata({}))]
+        dataset = Dataset("D", RegionSchema.empty(), samples, validate=False)
+        builder = DatasetStore(dataset, 100, root=str(tmp_path), sync=True)
+        builder.blocks(samples[0])
+        fresh_ds = Dataset(
+            "D", RegionSchema.empty(),
+            [Sample(1, list(regions), Metadata({}))], validate=False,
+        )
+        fresh = DatasetStore(fresh_ds, 100, root=str(tmp_path))
+        blocks = fresh.blocks(next(iter(fresh_ds)))
+        return blocks.chroms["chr1"].starts
+
+    def test_mapped_array_ships_as_handle_not_segment(self, tmp_path):
+        array = self._mapped_array(tmp_path)
+        with ArrayShipper(enabled=True) as shipper:
+            handle = shipper.ship(array)
+            assert handle[0] == "mmap"
+            assert shipper.bytes_mapped == array.nbytes
+            assert shipper.bytes_shared == 0
+            assert shipper.bytes_pickled == 0
+            assert shipper.segment_names() == []
+
+    def test_mmap_handle_beats_shm_even_below_min_shared(
+        self, tmp_path, monkeypatch
+    ):
+        # An mmap handle is free regardless of size: it must win even
+        # for arrays the shm gate would refuse to ship.
+        monkeypatch.setattr(shm_mod, "MIN_SHARED_BYTES", 10**9)
+        array = self._mapped_array(tmp_path)
+        with ArrayShipper(enabled=True) as shipper:
+            assert shipper.ship(array)[0] == "mmap"
+
+    def test_materialise_reopens_identical_view(self, tmp_path):
+        array = self._mapped_array(tmp_path)
+        with ArrayShipper(enabled=True) as shipper:
+            handle = shipper.ship(array)
+        arrays, release = materialise([handle])
+        view = arrays[0]
+        np.testing.assert_array_equal(view, array)
+        # Release never invalidates mmap views: the memoised map stays
+        # open for the worker's lifetime (segment files are immutable).
+        release()
+        np.testing.assert_array_equal(view, array)
+
+    def test_disabled_shipper_still_ships_mmap_handles(self, tmp_path):
+        array = self._mapped_array(tmp_path)
+        with ArrayShipper(enabled=False) as shipper:
+            assert shipper.ship(array)[0] == "mmap"
