@@ -28,6 +28,12 @@ engaging: warm repeats served blocks from memory maps
 (``store_warm.blocks_mapped > 0``) without building any
 (``store_warm.blocks_built == 0``), and the mmap warm open beat the
 in-memory cold build (``warm_seconds < cold_seconds``).
+
+With ``--require-no-laggards`` (the ROADMAP's "no scenario below 1x vs
+naive" target), every scenario reporting a ``columnar_vs_naive_speedup``
+must come in at 1.0 or better -- a kernelised operator family that
+loses to the record-at-a-time reference engine fails the gate outright,
+baseline or no baseline.
 """
 
 from __future__ import annotations
@@ -105,9 +111,20 @@ def _persisted_check(scenario: str, entry: dict) -> list:
     return failures
 
 
+def _laggard_check(scenario: str, entry: dict) -> list:
+    """The no-laggards rule: columnar must not lose to naive."""
+    speedup = entry.get("columnar_vs_naive_speedup")
+    if speedup is None or speedup >= 1.0:
+        return []
+    return [
+        f"{scenario}: columnar_vs_naive_speedup {speedup:.2f} is below "
+        f"1.0 (the columnar kernel loses to the naive engine)"
+    ]
+
+
 def check(
     fresh: dict, baseline: dict, factor: float, require_shm: bool = False,
-    require_persisted: bool = False,
+    require_persisted: bool = False, require_no_laggards: bool = False,
 ) -> list:
     """All failure messages (empty when the gate passes)."""
     failures = []
@@ -118,6 +135,8 @@ def check(
             failures.extend(_shm_check(scenario, entry))
         if require_persisted:
             failures.extend(_persisted_check(scenario, entry))
+        if require_no_laggards:
+            failures.extend(_laggard_check(scenario, entry))
         base_entry = baseline["scenarios"].get(scenario)
         if base_entry is None:
             continue
@@ -165,13 +184,18 @@ def main(argv: list | None = None) -> int:
              "warm runs from memory-mapped segments, rebuild nothing, "
              "and beat its own cold build",
     )
+    parser.add_argument(
+        "--require-no-laggards", action="store_true",
+        help="additionally fail any scenario whose "
+             "columnar_vs_naive_speedup is below 1.0",
+    )
     args = parser.parse_args(argv)
     with open(args.fresh) as handle:
         fresh = json.load(handle)
     with open(args.baseline) as handle:
         baseline = json.load(handle)
     failures = check(fresh, baseline, args.factor, args.require_shm,
-                     args.require_persisted)
+                     args.require_persisted, args.require_no_laggards)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:

@@ -187,7 +187,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--scenarios", default=None, metavar="NAMES",
         help="comma-separated scenario subset "
-             "(map,map_avg,map_max,join,join_md1,join_up,cover)",
+             "(map,map_avg,map_max,join,join_md1,join_up,cover,"
+             "flat_summit,histogram)",
     )
     bench_cmd.add_argument(
         "--engines", default=None, metavar="NAMES",
@@ -198,6 +199,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeat", type=_positive_int, default=3, metavar="N",
         help="runs per variant; the first is cold, the rest warm "
              "(default: 3)",
+    )
+    bench_cmd.add_argument(
+        "--cold-repeat", type=_positive_int, default=1, metavar="N",
+        help="independent cold runs per variant (fresh sources, cleared "
+             "caches); the minimum is reported, steadying cold ratios "
+             "against scheduler noise (default: 1)",
     )
     bench_cmd.add_argument(
         "--bin-size", type=_positive_int, default=None, metavar="BP",
@@ -474,6 +481,7 @@ def _command_bench(args) -> int:
         bin_size=args.bin_size,
         workers=args.workers,
         seed=args.seed,
+        cold_repeat=args.cold_repeat,
     )
     write_bench(document, args.out)
     print(render_summary(document))

@@ -41,6 +41,13 @@ PARALLEL_REGION_THRESHOLD_MMAP = 10_000
 #: the record-at-a-time reference implementation.
 COLUMNAR_REGION_THRESHOLD = 2_000
 
+#: Per-kind overrides of :data:`COLUMNAR_REGION_THRESHOLD`.  The
+#: event-sweep kernels (:mod:`repro.store.cover_kernels`) do a constant
+#: number of array passes per chromosome -- no per-pair or per-hit work
+#: at all -- so their break-even against the naive per-region
+#: accumulators sits far below the pair-kernel operators'.
+COLUMNAR_KIND_THRESHOLDS = {"cover": 500, "difference": 1_000}
+
 #: Operators with genome-partitionable kernels in the parallel backend.
 PARALLEL_OPERATORS = frozenset({"map", "join", "cover", "difference"})
 
@@ -94,7 +101,10 @@ def choose_backend(
             f"{kind} over ~{int(input_regions)} regions: "
             f"partition across worker processes",
         )
-    if input_regions >= COLUMNAR_REGION_THRESHOLD and "columnar" in available:
+    columnar_threshold = COLUMNAR_KIND_THRESHOLDS.get(
+        kind, COLUMNAR_REGION_THRESHOLD
+    )
+    if input_regions >= columnar_threshold and "columnar" in available:
         return (
             "columnar",
             f"{kind} over ~{int(input_regions)} regions: vectorised kernels",

@@ -9,19 +9,31 @@ rebuilding coordinate arrays from region objects on every operator:
   identity (:func:`repro.store.count_overlaps_blocks`) with zone-map
   chromosome/bin pruning; every other registered aggregate runs on the
   overlap-pair kernel (:func:`repro.store.overlap_pairs`) with grouped
-  ``reduceat``/sorted-prefix reductions where they are bit-exact and a
-  canonical-order Python reduction where float summation order matters;
+  ``reduceat``/sorted-prefix reductions.  Float SUM/AVG/STD reduce with
+  the exact vectorised summation of :func:`repro.store.segment_fsum`
+  (bit-identical to the ``math.fsum`` the naive aggregates are defined
+  against, in any order), MEDIAN with sorted-rank selection, and BAG
+  with a lexsort/dedup pass over a stringified column -- so the old
+  per-group Python fallback survives only for genuinely unvectorisable
+  inputs (``None``-bearing columns, ints beyond 2**52, ``-0.0``/NaN
+  tie-sensitive MIN/MAX/MEDIAN, unregistered aggregates);
 * **JOIN** -- every genometric condition (DLE/DGE/MD(k)/UP/DOWN) runs on
   the vectorised pair kernel (:func:`repro.store.join_pairs`):
   ``searchsorted`` candidate windows, strand-aware stream masks, and a
   per-anchor nearest-k selection, with zone-map pruning of anchor
   chromosomes the experiment provably cannot reach;
-* **COVER** -- the depth profile is computed with the shared numpy event
-  sweep (:func:`repro.store.depth_segments`) over block arrays, then
-  shares the run-merging logic with the naive engine;
-* **DIFFERENCE** -- vectorised overlap counting against the right side's
-  union blocks keeps regions whose count is zero, pruning zone-disjoint
-  partitions;
+* **COVER/FLAT/SUMMIT/HISTOGRAM** -- the whole accumulation family is
+  served from one event-sweep kernel
+  (:mod:`repro.store.cover_kernels`): per chromosome, the persisted
+  ``sorted_*`` columns become a +1/-1 event array, ``cumsum`` turns it
+  into the step-function coverage profile, and each variant extracts
+  its rows with array arithmetic (run extraction, ``reduceat`` maxima,
+  shifted-comparison summits, prefix/suffix scans for FLAT extents);
+* **DIFFERENCE** -- the right side's profile is swept once per
+  chromosome into merged coverage runs; references are tested with
+  ``searchsorted`` interval probes (crossing counts for zero-length
+  references, strict-interior counts for zero-length probes), pruning
+  zone-disjoint partitions;
 * **SELECT** -- region predicates over fixed coordinates and numeric
   variable attributes evaluate as boolean array expressions over
   memoised column arrays, and conjunctive coordinate bounds prune whole
@@ -40,16 +52,14 @@ front end.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.gdm import Dataset, GenomicRegion
-from repro.intervals.coverage import (
-    CoverageSegment,
-    cover_intervals_from_segments,
-    summit_intervals_from_segments,
-)
+from repro.intervals.coverage import CoverageSegment
 from repro.engine.naive import NaiveBackend
-from repro.gmql.aggregates import Avg, Count, Max, Median, Min, Sum
+from repro.gmql.aggregates import Avg, Bag, Count, Max, Median, Min, Std, Sum
 from repro.gmql.genometric import Downstream, Upstream
 from repro.gmql.operators.base import (
     build_result,
@@ -69,6 +79,12 @@ from repro.store.columnar import (
     count_overlaps_blocks,
     depth_segments,
 )
+from repro.store.cover_kernels import (
+    group_cover_rows,
+    mask_chrom_events,
+    overlap_any_mask,
+)
+from repro.store.exact_sum import segment_fsum
 from repro.store.join_kernels import (
     group_offsets,
     join_pairs,
@@ -294,9 +310,11 @@ def resolve_map_aggregates(aggregates, reference: Dataset,
 def experiment_columns(regions: list, resolved: list) -> dict:
     """Materialise the experiment value columns the aggregates touch.
 
-    Returns ``{attr_index: (raw_list, numeric_array_or_None)}``; the
-    numeric array exists only for clean INT/FLOAT columns (no ``None``),
-    which is the precondition of every vectorised reduction.
+    Returns ``{attr_index: (raw_list, numeric_array_or_None, cache)}``;
+    the numeric array exists only for clean INT/FLOAT columns (no
+    ``None``), which is the precondition of every vectorised reduction.
+    *cache* memoises per-column derivations (currently BAG's stringified
+    column) across sample pairs.
     """
     columns: dict = {}
     for __, attr_index, type_name in resolved:
@@ -312,8 +330,39 @@ def experiment_columns(regions: list, resolved: list) -> dict:
                 array = np.asarray(raw, dtype=dtype)
             except (OverflowError, ValueError):
                 array = None
-        columns[attr_index] = (raw, array)
+        columns[attr_index] = (raw, array, {})
     return columns
+
+
+def _column_all_floats(raw: list, cache: dict) -> bool:
+    """Memoised "every value is a Python float" check for one column.
+
+    The exact-fsum reductions are proven bit-identical against the naive
+    ``math.fsum`` path only when the naive side sees floats too; a FLOAT
+    column carrying stray ints would make the naive aggregate return an
+    ``int`` where the kernel returns ``float``.
+    """
+    flag = cache.get("all_float")
+    if flag is None:
+        flag = all(isinstance(value, float) for value in raw)
+        cache["all_float"] = flag
+    return flag
+
+
+def _bag_strings(raw: list, cache: dict):
+    """Memoised stringified column for BAG, or ``None`` if unvectorisable.
+
+    numpy ``<U`` comparison orders by code point exactly like Python
+    ``str``, so a lexsort over this column reproduces the naive
+    ``sorted(set(...))``.  Columns with missing values keep the Python
+    path (BAG must filter them before stringifying).
+    """
+    if "bag_strings" not in cache:
+        if any(value is None for value in raw):
+            cache["bag_strings"] = None
+        else:
+            cache["bag_strings"] = np.array([str(value) for value in raw])
+    return cache["bag_strings"]
 
 
 def aggregate_segments(
@@ -336,7 +385,7 @@ def aggregate_segments(
     if isinstance(aggregate, Count) and column is None:
         return [int(c) for c in counts.tolist()]
 
-    raw, array = column if column is not None else (None, None)
+    raw, array, cache = column if column is not None else (None, None, None)
     if array is not None:
         gathered = array[e_rows]
         is_float = array.dtype.kind == "f"
@@ -370,6 +419,41 @@ def aggregate_segments(
                 int(sums[i]) / int(counts[i]) if counts[i] else empty
                 for i in range(n)
             ]
+        if (
+            isinstance(aggregate, (Sum, Avg, Std))
+            and is_float
+            and _column_all_floats(raw, cache)
+        ):
+            # segment_fsum == per-group math.fsum bit-for-bit (it raises
+            # in parity too), which is the definition of the naive float
+            # SUM/AVG/STD -- exactness without caring about pair order.
+            sums = segment_fsum(gathered, offsets)
+            if isinstance(aggregate, Sum):
+                return [
+                    float(sums[i]) if counts[i] else empty for i in range(n)
+                ]
+            if isinstance(aggregate, Avg):
+                return [
+                    float(sums[i]) / int(counts[i]) if counts[i] else empty
+                    for i in range(n)
+                ]
+            means = sums / np.maximum(counts, 1)
+            deviations = gathered - np.repeat(means, counts)
+            with np.errstate(over="ignore", invalid="ignore"):
+                # Square overflow -> inf and nan arithmetic match Python
+                # float semantics; segment_fsum falls back to the
+                # per-group fsum for those segments.
+                squares = segment_fsum(deviations * deviations, offsets)
+            out = []
+            for i in range(n):
+                count = int(counts[i])
+                if not count:
+                    out.append(empty)
+                elif count == 1:
+                    out.append(0.0)
+                else:
+                    out.append(math.sqrt(float(squares[i]) / count))
+            return out
         if isinstance(aggregate, Median) and clean and (is_float or safe_int):
             ordered, lo, hi = segment_median_positions(
                 gathered, ref_rows, offsets
@@ -387,8 +471,31 @@ def aggregate_segments(
                     out.append((int(ordered[lo[i]]) + int(ordered[hi[i]])) / 2)
             return out
 
-    # Canonical-order Python reduction: exact for order-sensitive float
-    # sums, None-bearing columns, STD, BAG and any future aggregate.
+    if isinstance(aggregate, Bag) and raw is not None:
+        strings = _bag_strings(raw, cache)
+        if strings is not None:
+            gathered_strings = strings[e_rows]
+            order = np.lexsort((gathered_strings, ref_rows))
+            groups_ordered = ref_rows[order]
+            values_ordered = gathered_strings[order]
+            keep = np.ones(order.size, dtype=bool)
+            if order.size:
+                keep[1:] = (values_ordered[1:] != values_ordered[:-1]) | (
+                    groups_ordered[1:] != groups_ordered[:-1]
+                )
+            kept_groups = groups_ordered[keep]
+            kept_values = values_ordered[keep].tolist()
+            group_ids = np.arange(n, dtype=np.int64)
+            lo = np.searchsorted(kept_groups, group_ids, side="left")
+            hi = np.searchsorted(kept_groups, group_ids, side="right")
+            return [
+                " ".join(kept_values[lo[i]:hi[i]]) if counts[i] else empty
+                for i in range(n)
+            ]
+
+    # Canonical-order Python reduction: exact for None-bearing columns,
+    # huge-int SUM/AVG, -0.0/NaN tie-sensitive MIN/MAX/MEDIAN, and any
+    # unregistered aggregate.
     gathered_raw = (
         [raw[i] for i in e_rows.tolist()] if raw is not None else None
     )
@@ -728,13 +835,10 @@ class ColumnarBackend(NaiveBackend):
     # -- COVER --------------------------------------------------------------------
 
     def run_cover(self, plan, child: Dataset):
-        if plan.variant == "FLAT":
-            # FLAT needs the original regions anyway; reuse the naive kernel.
-            return super().run_cover(plan, child)
-
         def kernel():
             from repro.gdm import AttributeDef, INT, RegionSchema
 
+            self.note_kernel("cover.sweep")
             schema = RegionSchema((AttributeDef("acc_index", INT),))
             use_store = self.use_store()
             store = self.dataset_store(child) if use_store else None
@@ -744,30 +848,22 @@ class ColumnarBackend(NaiveBackend):
                 for __, samples in group_samples(child, plan.groupby):
                     lo = plan.min_acc.resolve(len(samples), is_lower=True)
                     hi = plan.max_acc.resolve(len(samples), is_lower=False)
-                    segments = coverage_segments_from_blocks(
-                        [
-                            self._blocks_of(store, sample, scratch)
-                            for sample in samples
-                        ]
-                    )
-                    if plan.variant == "COVER":
-                        rows = (
-                            (chrom, left, right, depth)
-                            for chrom, left, right, depth, __c
-                            in cover_intervals_from_segments(segments, lo, hi)
-                        )
-                    elif plan.variant == "SUMMIT":
-                        rows = summit_intervals_from_segments(segments, lo, hi)
-                    else:  # HISTOGRAM
-                        rows = (
-                            (s.chrom, s.left, s.right, s.depth)
-                            for s in segments
-                            if lo <= s.depth <= hi
-                        )
-                    out = [
-                        GenomicRegion(chrom, left, right, "*", (depth,))
-                        for chrom, left, right, depth in rows
+                    blocks_list = [
+                        self._blocks_of(store, sample, scratch)
+                        for sample in samples
                     ]
+                    out = []
+                    for chrom, lefts, rights, depths in group_cover_rows(
+                        blocks_list, lo, hi, plan.variant
+                    ):
+                        out.extend(
+                            GenomicRegion(chrom, left, right, "*", (depth,))
+                            for left, right, depth in zip(
+                                lefts.tolist(),
+                                rights.tolist(),
+                                depths.tolist(),
+                            )
+                        )
                     yield (
                         out,
                         union_group_metadata(samples),
@@ -866,6 +962,7 @@ class ColumnarBackend(NaiveBackend):
             return super().run_difference(plan, left, right)
 
         def kernel():
+            self.note_kernel("difference.sweep")
             use_store = self.use_store()
             bin_size = self.store_bin_size()
             if use_store:
@@ -881,19 +978,42 @@ class ColumnarBackend(NaiveBackend):
                     bin_size or DEFAULT_BIN_SIZE,
                 )
             scratch: dict = {}
+            # The probe side's sweep (merged coverage runs + raw wide
+            # events) is a per-chromosome constant: compute it lazily,
+            # reuse it across every left-side sample.
+            mask_events: dict = {}
+
+            def chrom_events(chrom: str) -> tuple:
+                events = mask_events.get(chrom)
+                if events is None:
+                    events = mask_chrom_events(mask_blocks.chroms[chrom])
+                    mask_events[chrom] = events
+                return events
 
             def parts():
                 for sample in left:
-                    counts, pruned = count_overlaps_blocks(
-                        self._blocks_of(left_store, sample, scratch),
-                        mask_blocks,
-                    )
+                    blocks = self._blocks_of(left_store, sample, scratch)
+                    overlapped = np.zeros(blocks.n_regions, dtype=bool)
+                    pruned = 0
+                    for chrom, block in blocks.chroms.items():
+                        ref_entry = blocks.zone_map.entry(chrom)
+                        probe_entry = mask_blocks.zone_map.entry(chrom)
+                        if probe_entry is None or not ref_entry.window_overlaps(
+                            probe_entry.min_start, probe_entry.max_stop
+                        ):
+                            pruned += ref_entry.partitions
+                            continue
+                        overlapped[block.index] = overlap_any_mask(
+                            block.starts, block.stops, *chrom_events(chrom)
+                        )
                     if use_store:
                         self.note_pruned(pruned)
                     kept = [
                         region
-                        for region, count in zip(sample.regions, counts)
-                        if count == 0
+                        for region, hit in zip(
+                            sample.regions, overlapped.tolist()
+                        )
+                        if not hit
                     ]
                     yield (kept, sample.meta, [(left.name, sample.id)])
 

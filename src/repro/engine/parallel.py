@@ -38,13 +38,10 @@ import numpy as np
 from repro.gdm import Dataset, GenomicRegion
 from repro.intervals import GenomeIndex, NearestIndex
 from repro.intervals.coverage import (
-    CoverageSegment,
     cover_intervals,
-    cover_intervals_from_segments,
     flat_intervals,
     histogram_intervals,
     summit_intervals,
-    summit_intervals_from_segments,
 )
 from repro.engine.columnar import (
     ColumnarBackend,
@@ -61,7 +58,13 @@ from repro.gmql.operators.base import (
     sample_pairs,
     union_group_metadata,
 )
-from repro.store.columnar import depth_segments, point_feature_adjustment
+from repro.store.columnar import point_feature_adjustment
+from repro.store.cover_kernels import (
+    block_cover_columns,
+    chrom_cover_rows,
+    mask_chrom_events,
+    overlap_any_mask,
+)
 from repro.store.join_kernels import join_pairs, overlap_pairs
 from repro.store.shm import ArrayShipper, materialise, shm_enabled
 
@@ -239,39 +242,36 @@ def _join_morsel_task(handles, spec):
         release()
 
 
-def _difference_morsel_task(handles):
-    """Keep-mask for one left chromosome block: ``True`` where count is 0."""
-    return _count_morsel_task(handles) == 0
+def _difference_sweep_morsel_task(handles):
+    """Keep-mask for one left chromosome block against the sweep mask.
 
-
-def _cover_morsel_task(handles, chrom, lo, hi, variant):
-    """One COVER (group, chromosome) morsel's output rows.
-
-    *handles*: ``[starts, stops]`` concatenated event arrays for one
-    chromosome (zero-length regions already dropped).  Sound to compute
-    per chromosome: no COVER variant merges runs across chromosomes.
+    *handles*: ``[ref_starts, ref_stops]`` followed by the five
+    :func:`repro.store.mask_chrom_events` arrays of the probe side's
+    chromosome (wide events, merged coverage runs, zero positions).
+    ``True`` where the reference overlaps nothing.
     """
     arrays, release = materialise(handles)
     try:
-        starts, stops = arrays
-        segments = (
-            CoverageSegment(chrom, left, right, depth)
-            for left, right, depth in depth_segments(chrom, starts, stops)
-        )
-        if variant == "COVER":
-            return [
-                (c, left, right, depth)
-                for c, left, right, depth, __ in cover_intervals_from_segments(
-                    segments, lo, hi
-                )
-            ]
-        if variant == "SUMMIT":
-            return list(summit_intervals_from_segments(segments, lo, hi))
-        return [  # HISTOGRAM
-            (s.chrom, s.left, s.right, s.depth)
-            for s in segments
-            if lo <= s.depth <= hi
+        return ~overlap_any_mask(*arrays)
+    finally:
+        release()
+
+
+def _cover_sweep_morsel_task(handles, lo, hi, variant):
+    """One COVER-family (group, chromosome) morsel's output rows.
+
+    *handles* hold each contributing block's persisted sorted columns
+    (:func:`repro.store.block_cover_columns` order: 3 per block, 4 for
+    FLAT).  Returns ``(lefts, rights, depths)`` arrays -- sound per
+    chromosome, since no COVER variant merges runs across chromosomes.
+    """
+    arrays, release = materialise(handles)
+    try:
+        per = 4 if variant == "FLAT" else 3
+        parts = [
+            tuple(arrays[i:i + per]) for i in range(0, len(arrays), per)
         ]
+        return chrom_cover_rows(parts, lo, hi, variant)
     finally:
         release()
 
@@ -765,47 +765,46 @@ class ParallelBackend(ColumnarBackend):
 
             schema = RegionSchema((AttributeDef("acc_index", INT),))
             groups = group_samples(child, plan.groupby)
-            use_arrays = plan.variant != "FLAT" and self.use_store()
+            use_arrays = self.use_store()
             store = self.dataset_store(child) if use_arrays else None
             ship = self.shipper().ship if use_arrays else None
             futures = []  # legacy: one future per group
-            morsels = []  # arrays: per group, chrom-ordered futures
+            morsels = []  # arrays: per group, chrom-ordered (chrom, future)
             for __, samples in groups:
                 lo = plan.min_acc.resolve(len(samples), is_lower=True)
                 hi = plan.max_acc.resolve(len(samples), is_lower=False)
                 if use_arrays:
-                    # Morsel per chromosome: each ships its concatenated
-                    # event arrays (zero-length regions contribute no
-                    # coverage) and returns merged rows; no COVER
-                    # variant merges runs across chromosomes, so the
-                    # parent just concatenates in genome order.
+                    # Morsel per chromosome: each ships the contributing
+                    # blocks' *persisted* sorted columns (no re-sort, no
+                    # concatenated copies -- the shipper memoises by
+                    # array identity) and returns the sweep kernel's
+                    # row arrays; no COVER variant merges runs across
+                    # chromosomes, so the parent just concatenates in
+                    # genome order.
                     from repro.gdm import chromosome_sort_key
 
-                    events: dict = {}
+                    per_chrom: dict = {}
                     for sample in samples:
                         for chrom, block in store.blocks(
                             sample
                         ).chroms.items():
-                            wide = block.stops > block.starts
-                            if not wide.any():
-                                continue
-                            bucket = events.setdefault(chrom, ([], []))
-                            bucket[0].append(block.starts[wide])
-                            bucket[1].append(block.stops[wide])
+                            per_chrom.setdefault(chrom, []).append(
+                                block_cover_columns(block, plan.variant)
+                            )
                     tasks = []
-                    for chrom in sorted(events, key=chromosome_sort_key):
+                    for chrom in sorted(per_chrom, key=chromosome_sort_key):
                         handles = [
-                            ship(np.ascontiguousarray(
-                                np.concatenate(events[chrom][0])
-                            )),
-                            ship(np.ascontiguousarray(
-                                np.concatenate(events[chrom][1])
-                            )),
+                            ship(column)
+                            for part in per_chrom[chrom]
+                            for column in part
                         ]
                         tasks.append(
-                            self._executor().submit(
-                                _cover_morsel_task, handles, chrom,
-                                lo, hi, plan.variant,
+                            (
+                                chrom,
+                                self._executor().submit(
+                                    _cover_sweep_morsel_task, handles,
+                                    lo, hi, plan.variant,
+                                ),
                             )
                         )
                     morsels.append(tasks)
@@ -823,17 +822,25 @@ class ParallelBackend(ColumnarBackend):
                 per_group = morsels if use_arrays else futures
                 for (__, samples), group_work in zip(groups, per_group):
                     if use_arrays:
-                        rows = [
-                            row
-                            for future in group_work
-                            for row in future.result()
-                        ]
+                        out = []
+                        for chrom, future in group_work:
+                            lefts, rights, depths = future.result()
+                            out.extend(
+                                GenomicRegion(
+                                    chrom, left, right, "*", (depth,)
+                                )
+                                for left, right, depth in zip(
+                                    lefts.tolist(),
+                                    rights.tolist(),
+                                    depths.tolist(),
+                                )
+                            )
                     else:
-                        rows = group_work.result()
-                    out = [
-                        GenomicRegion(chrom, left, right, "*", (depth,))
-                        for chrom, left, right, depth in rows
-                    ]
+                        out = [
+                            GenomicRegion(chrom, left, right, "*", (depth,))
+                            for chrom, left, right, depth
+                            in group_work.result()
+                        ]
                     yield (
                         out,
                         union_group_metadata(samples),
@@ -861,11 +868,24 @@ class ParallelBackend(ColumnarBackend):
             if not plan.exact and self.use_store():
                 # Morsel per (sample, chromosome): ship block handles,
                 # get keep-masks back; zone-disjoint chromosomes never
-                # leave the parent (kept wholesale).
+                # leave the parent (kept wholesale).  The probe side's
+                # sweep arrays are a per-chromosome constant, computed
+                # lazily in the parent; the shipper memoises them by
+                # array identity, so every sample's morsels share one
+                # shipment.
                 bin_size = self.store_bin_size()
                 left_store = self.dataset_store(left, bin_size)
                 mask_blocks = self.dataset_store(right, bin_size).union_blocks()
                 ship = self.shipper().ship
+                mask_events: dict = {}
+
+                def chrom_events(chrom):
+                    events = mask_events.get(chrom)
+                    if events is None:
+                        events = mask_chrom_events(mask_blocks.chroms[chrom])
+                        mask_events[chrom] = events
+                    return events
+
                 morsels = []
                 for sample in samples:
                     blocks = left_store.blocks(sample)
@@ -878,18 +898,14 @@ class ParallelBackend(ColumnarBackend):
                         ):
                             pruned += entry.partitions
                             continue
-                        mask_block = mask_blocks.chroms[chrom]
                         handles = [
                             ship(block.starts), ship(block.stops),
-                            ship(mask_block.sorted_starts),
-                            ship(mask_block.sorted_stops),
-                            ship(mask_block.zero_positions),
-                        ]
+                        ] + [ship(array) for array in chrom_events(chrom)]
                         tasks.append(
                             (
                                 block,
                                 self._executor().submit(
-                                    _difference_morsel_task, handles
+                                    _difference_sweep_morsel_task, handles
                                 ),
                             )
                         )

@@ -6,6 +6,14 @@ attribute values to one value and declares its result type so result
 schemas stay typed.  ``None`` inputs (missing values) are skipped, matching
 SQL semantics; an aggregate over an empty or all-missing list returns
 ``None`` -- except COUNT, which returns 0.
+
+Float reductions (SUM, AVG, STD) are defined against ``math.fsum``:
+the correctly rounded value of the exact real sum.  fsum is
+order-independent, which is what lets the columnar engine's exact
+vectorised summation (:mod:`repro.store.exact_sum`) be bit-identical
+to this reference implementation instead of merely close.  Integer
+inputs keep Python's arbitrary-precision ``sum`` (and its ``int``
+result type).
 """
 
 from __future__ import annotations
@@ -59,12 +67,19 @@ class Count(Aggregate):
         return len(values)
 
 
+def _exact_sum(present: list) -> Any:
+    """``math.fsum`` for float inputs, exact ``int`` sum otherwise."""
+    if any(isinstance(value, float) for value in present):
+        return math.fsum(present)
+    return sum(present)
+
+
 class Sum(Aggregate):
     name = "SUM"
 
     def compute(self, values: Sequence[Any]) -> Any:
         present = self.present(values)
-        return sum(present) if present else None
+        return _exact_sum(present) if present else None
 
 
 class Avg(Aggregate):
@@ -75,7 +90,7 @@ class Avg(Aggregate):
 
     def compute(self, values: Sequence[Any]) -> Any:
         present = self.present(values)
-        return sum(present) / len(present) if present else None
+        return _exact_sum(present) / len(present) if present else None
 
 
 class Min(Aggregate):
@@ -119,8 +134,11 @@ class Std(Aggregate):
             return None
         if len(present) == 1:
             return 0.0
-        mean = sum(present) / len(present)
-        return math.sqrt(sum((v - mean) ** 2 for v in present) / len(present))
+        mean = _exact_sum(present) / len(present)
+        return math.sqrt(
+            _exact_sum([(v - mean) * (v - mean) for v in present])
+            / len(present)
+        )
 
 
 class Bag(Aggregate):

@@ -253,6 +253,13 @@ def _kernel_hint(node: PlanNode, backend: str) -> str | None:
             for aggregate, attribute in aggregates.values()
         )
         return ("map.count" if only_counts else "map.pairs") + suffix
+    if node.kind == "cover":
+        return "cover.sweep" + suffix
+    if node.kind == "difference":
+        # Exact and joinby DIFFERENCE fall back to the naive kernel.
+        if getattr(node, "exact", False) or getattr(node, "joinby", None):
+            return None
+        return "difference.sweep" + suffix
     return None
 
 

@@ -9,6 +9,13 @@ engines (the paper's section 4 "cloud-based execution" direction):
 * :mod:`repro.store.join_kernels` -- vectorised genometric JOIN/MAP
   pair kernels (``searchsorted``/merge arithmetic over one
   chromosome's sorted block arrays);
+* :mod:`repro.store.cover_kernels` -- the event-sweep kernels serving
+  the whole COVER family (COVER/FLAT/SUMMIT/HISTOGRAM) and
+  DIFFERENCE's overlap test from one step-function coverage profile
+  per chromosome, built from the persisted sorted columns;
+* :mod:`repro.store.exact_sum` -- exact grouped float summation
+  (vectorised ``math.fsum``) backing the engines' float SUM/AVG/STD
+  fast path;
 * :mod:`repro.store.persist` -- the disk-native persisted store:
   content-addressed per-chromosome segment files opened lazily via
   ``np.memmap`` (the only module allowed to construct memory maps),
@@ -44,7 +51,25 @@ from repro.store.columnar import (
     depth_segments,
     occupied_bins,
     point_feature_adjustment,
+    reset_store_counters,
+    store_counters,
 )
+from repro.store.cover_kernels import (
+    block_cover_columns,
+    chrom_cover_rows,
+    coverage_runs,
+    flat_extents,
+    group_cover_rows,
+    mask_chrom_events,
+    multiset_subtract,
+    overlap_any_mask,
+    profile_cover,
+    profile_histogram,
+    profile_summits,
+    sweep_profile,
+    wide_sorted_events,
+)
+from repro.store.exact_sum import segment_fsum
 from repro.store.join_kernels import (
     expand_windows,
     group_offsets,
@@ -83,15 +108,26 @@ __all__ = [
     "SampleBlocks",
     "ZoneEntry",
     "ZoneMap",
+    "block_cover_columns",
     "cache_capacity_from_env",
+    "chrom_cover_rows",
     "count_overlaps_blocks",
+    "coverage_runs",
     "depth_segments",
     "expand_windows",
+    "flat_extents",
+    "group_cover_rows",
     "group_offsets",
     "join_pairs",
+    "mask_chrom_events",
     "materialise",
+    "multiset_subtract",
     "occupied_bins",
+    "overlap_any_mask",
     "overlap_pairs",
+    "profile_cover",
+    "profile_histogram",
+    "profile_summits",
     "PersistedStore",
     "ResidencyLedger",
     "mmap_descriptor",
@@ -100,15 +136,20 @@ __all__ = [
     "plan_token",
     "point_feature_adjustment",
     "reset_residency_ledger",
+    "reset_store_counters",
     "residency_ledger",
     "reset_result_cache",
     "result_cache",
+    "store_counters",
     "set_store_root",
     "store_root",
     "segment_counts",
     "segment_exists",
+    "segment_fsum",
     "segment_median_positions",
     "segment_reduce",
     "shared_memory_available",
     "shm_enabled",
+    "sweep_profile",
+    "wide_sorted_events",
 ]

@@ -31,6 +31,29 @@ from repro.intervals.bins import DEFAULT_BIN_SIZE
 #: :func:`repro.intervals.distance.stream_pair_mask`).
 STRAND_CODES = {"+": 1, "-": -1, "*": 0}
 
+#: Process-wide block accounting, mirroring the per-store counters.
+#: Individual stores live on (possibly short-lived) derived datasets --
+#: a COVER over a SELECT result builds its blocks on the SELECT output's
+#: store, which is garbage once the query returns -- so observers that
+#: only see the source datasets (the bench harness, ``repro info``)
+#: would under-count.  These totals survive the stores that fed them.
+_PROCESS_COUNTERS = {
+    "blocks_built": 0,
+    "blocks_mapped": 0,
+    "blocks_evicted": 0,
+}
+
+
+def reset_store_counters() -> None:
+    """Zero the process-wide block counters (bench/test isolation)."""
+    for name in _PROCESS_COUNTERS:
+        _PROCESS_COUNTERS[name] = 0
+
+
+def store_counters() -> dict:
+    """Snapshot of the process-wide block counters."""
+    return dict(_PROCESS_COUNTERS)
+
 
 def occupied_bins(
     starts: np.ndarray, stops: np.ndarray, bin_size: int
@@ -443,6 +466,54 @@ def depth_segments(
                    depth)
 
 
+def _update_strings(h, strings: list) -> None:
+    """Hash a string list injectively: lengths first, then the bodies."""
+    h.update(",".join(map(str, map(len, strings))).encode())
+    h.update(";".encode())
+    h.update("".join(strings).encode())
+
+
+def _update_column(h, column: list, count: int) -> None:
+    """Hash one attribute column with explicit per-value type tags.
+
+    The tag string makes values of different types distinct even when
+    their byte encodings coincide (``1`` vs ``1.0`` vs ``True``), so
+    each homogeneous column can use the cheapest faithful encoding:
+    float columns hash their IEEE bytes, int columns their fixed-width
+    two's complement, string columns a length-prefixed concatenation.
+    Mixed, ``None``-bearing, oversized-int and exotic columns fall back
+    to ``repr``, which is always faithful, just slower.
+    """
+    types = set(map(type, column))
+    if len(types) == 1:
+        tag = _TYPE_TAGS.get(types.pop(), "?")
+        h.update((tag * count).encode())
+        h.update(b";")
+        if tag == "f":
+            h.update(np.fromiter(column, np.float64, count).tobytes())
+            return
+        if tag == "i":
+            try:
+                h.update(np.fromiter(column, np.int64, count).tobytes())
+                return
+            except OverflowError:
+                pass  # ints beyond int64: take the exact repr path
+        elif tag == "s":
+            _update_strings(h, column)
+            return
+    else:
+        h.update("".join(
+            _TYPE_TAGS.get(type(value), "?") for value in column
+        ).encode())
+        h.update(b";")
+    h.update(";".join(map(repr, column)).encode())
+
+
+#: Type tags for :func:`_update_column`; ``bool`` gets its own tag so it
+#: never aliases ``int`` (``repr`` fallback handles its values).
+_TYPE_TAGS = {float: "f", int: "i", str: "s", bool: "b", type(None): "n"}
+
+
 class DatasetStore:
     """Columnar blocks, zone maps and a content digest for one dataset.
 
@@ -512,6 +583,7 @@ class DatasetStore:
         blocks = persisted.sample_blocks(key, n_regions)
         if blocks is not None:
             self.blocks_mapped += 1
+            _PROCESS_COUNTERS["blocks_mapped"] += 1
         return blocks
 
     def _schedule_persist(self) -> None:
@@ -577,6 +649,7 @@ class DatasetStore:
         else:
             self._samples.pop(key, None)
         self.blocks_evicted += 1
+        _PROCESS_COUNTERS["blocks_evicted"] += 1
 
     # -- block access ---------------------------------------------------------
 
@@ -590,6 +663,7 @@ class DatasetStore:
                     sample.id, sample.regions, self.bin_size
                 )
                 self.blocks_built += 1
+                _PROCESS_COUNTERS["blocks_built"] += 1
                 self._charge(sample.id, blocks)
                 self._samples[sample.id] = blocks
                 self._schedule_persist()
@@ -615,6 +689,7 @@ class DatasetStore:
                 ]
                 union = SampleBlocks(None, regions, self.bin_size)
                 self.blocks_built += 1
+                _PROCESS_COUNTERS["blocks_built"] += 1
                 self._charge(UNION_KEY, union)
                 self._union = union
                 self._schedule_persist()
@@ -680,10 +755,19 @@ class DatasetStore:
         Computed straight from the region objects -- never from blocks --
         because the digest *keys* the persisted store: looking a store up
         must not first build the blocks the lookup exists to avoid.
+
+        Recipe v3 feeds coordinates and numeric attribute columns to the
+        hash as raw fixed-width bytes (with an explicit per-value type
+        tag, so ``1`` and ``1.0`` stay distinct) instead of per-region
+        formatted strings: digesting is on the cold critical path of
+        every fingerprinted plan, and ``repr`` of a float costs more
+        than the rest of a region's hashing combined.  Every variable
+        length field is length-prefixed, which keeps the encoding
+        injective.
         """
         if self._digest is None:
             h = hashlib.blake2b(digest_size=16)
-            h.update(b"repro.store.digest.v2;")
+            h.update(b"repro.store.digest.v3;")
             schema = self._dataset.schema
             for definition in schema:
                 h.update(f"{definition.name}:{definition.type.name};".encode())
@@ -694,10 +778,43 @@ class DatasetStore:
                     for __, a, v in sample.meta.triples(sample.id)
                 ):
                     h.update(f"@{attribute}={value};".encode())
-                for region in sample.regions:
-                    h.update(
-                        f"{region.chrom}:{region.left}-{region.right}"
-                        f"{region.strand}{region.values!r};".encode()
+                regions = sample.regions
+                count = len(regions)
+                h.update(f"|regions:{count};".encode())
+                if not count:
+                    continue
+                try:
+                    coordinates = (
+                        np.fromiter(
+                            (r.left for r in regions), np.int64, count
+                        ).tobytes(),
+                        np.fromiter(
+                            (r.right for r in regions), np.int64, count
+                        ).tobytes(),
                     )
+                except OverflowError:  # coordinates beyond int64
+                    coordinates = (
+                        ";".join(
+                            f"{r.left}-{r.right}" for r in regions
+                        ).encode(),
+                    )
+                for piece in coordinates:
+                    h.update(piece)
+                _update_strings(h, [r.chrom for r in regions])
+                _update_strings(h, [r.strand for r in regions])
+                rows = [r.values for r in regions]
+                widths = set(map(len, rows))
+                if len(widths) == 1:
+                    width = widths.pop()
+                    h.update(f"|values:{width};".encode())
+                    for index in range(width):
+                        _update_column(
+                            h, [row[index] for row in rows], count
+                        )
+                else:
+                    # Ragged value tuples (only possible with validation
+                    # off): fall back to exhaustive per-region hashing.
+                    h.update(b"|values:ragged;")
+                    h.update(";".join(map(repr, rows)).encode())
             self._digest = h.hexdigest()
         return self._digest

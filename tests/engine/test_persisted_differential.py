@@ -34,10 +34,18 @@ B = SELECT(side == 'right') DATA;
 M = MAP() A B;
 D = DIFFERENCE() A B;
 C = COVER(1, ANY) A;
+C2 = COVER(2, ALL) A;
+F = FLAT(1, ANY) A;
+S = SUMMIT(1, 2) A;
+H = HISTOGRAM(2, ALL) A;
 J = JOIN(DLE(50); output: LEFT) A B;
 MATERIALIZE M;
 MATERIALIZE D;
 MATERIALIZE C;
+MATERIALIZE C2;
+MATERIALIZE F;
+MATERIALIZE S;
+MATERIALIZE H;
 MATERIALIZE J;
 """
 
@@ -139,11 +147,16 @@ def test_parallel_persisted_matches_naive_on_boundary_cases():
         ("chr1", BIN - 1, 2),       # straddles the edge
         ("chr1", 0, 3 * BIN),       # spans several bins
         ("chr2", 5 * BIN, 10),      # distant chromosome cluster
+        ("chr2", 0, 0),             # zero-length at a probe's left edge
+        ("chr2", 10, 0),            # zero-length at a probe's right edge
+        ("chr2", 5, 0),             # zero-length strictly inside a probe
+        ("chr1", 2 * BIN, 0),       # coincident with a zero-length probe
     ]
     right = [
         ("chr1", BIN // 2, BIN),
         ("chr1", 2 * BIN, 0),
         ("chr2", 0, 10),
+        ("chr2", 10, 10),           # seam at 10: a point there hits neither
     ]
     reference = rows(run(make_dataset(left, right), "naive"))
     cold, warm, mapped, built = run_persisted(left, right, "parallel")

@@ -19,8 +19,9 @@ EXAMPLE = str(
     Path(__file__).resolve().parents[2] / "examples" / "data" / "CHIP"
 )
 
-#: blake2b-128 of the committed CHIP example under digest recipe v2.
-GOLDEN_DIGEST = "b00c1c531645534a11a62886393f8b61"
+#: blake2b-128 of the committed CHIP example under digest recipe v3
+#: (typed column encoding; v2 hashed per-region formatted strings).
+GOLDEN_DIGEST = "5b9064b2fe739ccf8e1aa513b2c20099"
 
 
 def test_example_dataset_digest_is_pinned():

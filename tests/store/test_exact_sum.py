@@ -1,0 +1,116 @@
+"""Property tests of the exact grouped float summation.
+
+:func:`repro.store.segment_fsum` must equal a per-segment ``math.fsum``
+**bit for bit** -- including ``-0.0``/``+0.0`` signs, NaN propagation,
+denormals, and the exceptions fsum raises (intermediate overflow,
+``inf - inf``).  That is the contract that lets the engines' float
+SUM/AVG/STD fast path replace the naive per-group Python reduction
+without any tolerance.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import segment_fsum
+
+#: Adversarial floats: denormals, signed zeros, huge magnitudes that
+#: cancel, values past the 2**1000 fallback gate, NaN and infinities.
+_NASTY = [
+    0.0, -0.0, 1.0, -1.0, 0.1, -0.1,
+    5e-324, -5e-324, 1e-308, -1e-308,
+    1e16, -1e16, 1.0 + 2**-52, 2.0**53, -(2.0**53),
+    1e308, -1e308, 2.0**1000, -(2.0**1000),
+    math.inf, -math.inf, math.nan,
+]
+_VALUES = st.one_of(
+    st.floats(width=64, allow_nan=True, allow_infinity=True),
+    st.sampled_from(_NASTY),
+)
+
+
+def _offsets_for(n, data):
+    cuts = data.draw(
+        st.lists(st.integers(0, n), max_size=6).map(sorted)
+    )
+    return np.asarray([0] + cuts + [n], dtype=np.int64)
+
+
+def _oracle(values, offsets):
+    out = []
+    for i in range(offsets.size - 1):
+        segment = values[int(offsets[i]):int(offsets[i + 1])].tolist()
+        out.append(math.fsum(segment))
+    return out
+
+
+class TestSegmentFsum:
+    @given(st.lists(_VALUES, max_size=40), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_bit_identical_to_fsum(self, raw, data):
+        values = np.asarray(raw, dtype=np.float64)
+        offsets = _offsets_for(values.size, data)
+        try:
+            expected = _oracle(values, offsets)
+        except (OverflowError, ValueError) as exc:
+            # fsum raised (intermediate overflow or inf - inf): the
+            # kernel must raise the same exception class.
+            with pytest.raises(type(exc)):
+                segment_fsum(values, offsets)
+            return
+        out = segment_fsum(values, offsets)
+        assert [repr(float(v)) for v in out] == [
+            repr(v) for v in expected
+        ]
+
+    def test_cancellation_needs_exactness(self):
+        # np.sum would return 0.0 here; fsum (and the kernel) keep the 1.0.
+        values = np.asarray([1e16, 1.0, -1e16], dtype=np.float64)
+        offsets = np.asarray([0, 3], dtype=np.int64)
+        assert float(segment_fsum(values, offsets)[0]) == 1.0
+
+    def test_denormal_sums(self):
+        values = np.asarray([5e-324, 5e-324, -5e-324, 5e-324] * 3,
+                            dtype=np.float64)
+        offsets = np.asarray([0, 4, 12], dtype=np.int64)
+        out = segment_fsum(values, offsets)
+        assert [float(v) for v in out] == [
+            math.fsum(values[:4].tolist()), math.fsum(values[4:].tolist())
+        ]
+
+    def test_negative_zero_total_normalises_like_fsum(self):
+        values = np.asarray([-0.0, -0.0, 1.0, -1.0], dtype=np.float64)
+        offsets = np.asarray([0, 2, 4], dtype=np.int64)
+        out = segment_fsum(values, offsets)
+        assert [repr(float(v)) for v in out] == ["0.0", "0.0"]
+
+    def test_empty_segments_sum_to_zero(self):
+        values = np.asarray([3.5], dtype=np.float64)
+        offsets = np.asarray([0, 0, 1, 1], dtype=np.int64)
+        assert [float(v) for v in segment_fsum(values, offsets)] == [
+            0.0, 3.5, 0.0
+        ]
+
+    def test_intermediate_overflow_raises_in_parity(self):
+        values = np.asarray([1e308, 1e308, -1e308], dtype=np.float64)
+        offsets = np.asarray([0, 3], dtype=np.int64)
+        with pytest.raises(OverflowError):
+            math.fsum(values.tolist())
+        with pytest.raises(OverflowError):
+            segment_fsum(values, offsets)
+
+    def test_inf_minus_inf_raises_in_parity(self):
+        values = np.asarray([math.inf, -math.inf], dtype=np.float64)
+        offsets = np.asarray([0, 2], dtype=np.int64)
+        with pytest.raises(ValueError):
+            math.fsum(values.tolist())
+        with pytest.raises(ValueError):
+            segment_fsum(values, offsets)
+
+    def test_nan_propagates(self):
+        values = np.asarray([math.nan, 1.0], dtype=np.float64)
+        offsets = np.asarray([0, 2], dtype=np.int64)
+        assert repr(float(segment_fsum(values, offsets)[0])) == "nan"
