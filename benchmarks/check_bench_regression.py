@@ -34,6 +34,14 @@ naive" target), every scenario reporting a ``columnar_vs_naive_speedup``
 must come in at 1.0 or better -- a kernelised operator family that
 loses to the record-at-a-time reference engine fails the gate outright,
 baseline or no baseline.
+
+With ``--require-sharded-scaling`` (the sharded cluster bench), every
+scenario carrying a ``sharded`` matrix must merge byte-identically to
+the single-node columnar engine (``identical_to_columnar``), every
+multi-node cell must actually move partials over the federation
+(``bytes_streamed + bytes_mapped > 0``), and at least one scenario in
+the document must show the cluster critical path scaling
+(``speedup_max_nodes_vs_1 >= 1.5``).
 """
 
 from __future__ import annotations
@@ -41,6 +49,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+#: Minimum cluster-critical-path speedup (max nodes vs 1 node) that at
+#: least one scenario must reach under ``--require-sharded-scaling``.
+SHARDED_SPEEDUP_FLOOR = 1.5
 
 
 def _seconds(cell: dict) -> float:
@@ -122,9 +134,57 @@ def _laggard_check(scenario: str, entry: dict) -> list:
     ]
 
 
+def _sharded_check(scenario: str, entry: dict) -> list:
+    """Sharded-cluster engagement invariants for one scenario."""
+    matrix = entry.get("sharded")
+    if matrix is None:
+        return []
+    failures = []
+    if matrix.get("identical_to_columnar") is False:
+        failures.append(
+            f"{scenario}: sharded merge is not byte-identical to the "
+            f"single-node columnar result"
+        )
+    for count, cell in matrix.get("nodes", {}).items():
+        if int(count) < 2:
+            continue
+        moved = cell.get("bytes_streamed", 0) + cell.get("bytes_mapped", 0)
+        if moved <= 0:
+            failures.append(
+                f"{scenario}: sharded x{count} moved no partial bytes "
+                f"(neither streamed nor mapped -- the federation never "
+                f"engaged)"
+            )
+        if cell.get("degraded"):
+            failures.append(
+                f"{scenario}: sharded x{count} ran degraded "
+                f"(shards were skipped on a healthy cluster)"
+            )
+    return failures
+
+
+def _sharded_scaling_check(fresh: dict) -> list:
+    """Document-level scaling floor: one scenario must hit the target."""
+    speedups = [
+        entry["sharded"]["speedup_max_nodes_vs_1"]
+        for entry in fresh["scenarios"].values()
+        if entry.get("sharded", {}).get("speedup_max_nodes_vs_1") is not None
+    ]
+    if not speedups:
+        return ["no scenario carries a sharded multi-node matrix"]
+    best = max(speedups)
+    if best >= SHARDED_SPEEDUP_FLOOR:
+        return []
+    return [
+        f"best sharded cluster speedup (max nodes vs 1) is {best:.2f}x, "
+        f"below the {SHARDED_SPEEDUP_FLOOR}x floor"
+    ]
+
+
 def check(
     fresh: dict, baseline: dict, factor: float, require_shm: bool = False,
     require_persisted: bool = False, require_no_laggards: bool = False,
+    require_sharded_scaling: bool = False,
 ) -> list:
     """All failure messages (empty when the gate passes)."""
     failures = []
@@ -137,6 +197,8 @@ def check(
             failures.extend(_persisted_check(scenario, entry))
         if require_no_laggards:
             failures.extend(_laggard_check(scenario, entry))
+        if require_sharded_scaling:
+            failures.extend(_sharded_check(scenario, entry))
         base_entry = baseline["scenarios"].get(scenario)
         if base_entry is None:
             continue
@@ -149,6 +211,8 @@ def check(
                     f"{fresh_ratio:.2f} vs baseline {base_ratio:.2f} "
                     f"(allowed factor {factor})"
                 )
+    if require_sharded_scaling:
+        failures.extend(_sharded_scaling_check(fresh))
     map_entry = fresh["scenarios"].get("map", {})
     columnar = map_entry.get("variants", {}).get("columnar")
     if columnar is not None:
@@ -189,13 +253,20 @@ def main(argv: list | None = None) -> int:
         help="additionally fail any scenario whose "
              "columnar_vs_naive_speedup is below 1.0",
     )
+    parser.add_argument(
+        "--require-sharded-scaling", action="store_true",
+        help="additionally require sharded matrices to merge identically "
+             "to columnar, move partial bytes on multi-node cells, and "
+             "show a >= 1.5x cluster critical-path speedup somewhere",
+    )
     args = parser.parse_args(argv)
     with open(args.fresh) as handle:
         fresh = json.load(handle)
     with open(args.baseline) as handle:
         baseline = json.load(handle)
     failures = check(fresh, baseline, args.factor, args.require_shm,
-                     args.require_persisted, args.require_no_laggards)
+                     args.require_persisted, args.require_no_laggards,
+                     args.require_sharded_scaling)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:

@@ -23,7 +23,17 @@ engine variants and writes one BENCH JSON document:
   run pays in-memory block build plus the synchronous persist, and the
   warm runs open the content-addressed segments via ``np.memmap`` --
   the cold-build vs mmap-open delta is the number the persistent store
-  exists to win.
+  exists to win;
+* ``sharded`` -- sharded cluster execution over a
+  :class:`~repro.federation.cluster.LocalCluster` of worker node
+  processes, one matrix per node count (``--nodes``): sources are
+  partitioned into chromosome shards across the nodes, sub-plans are
+  pushed to the shard owners, and the streamed partials are merged
+  client-side.  On a time-sliced test box the wall clock cannot show
+  multi-host scaling, so each cell also records ``cluster_seconds`` --
+  the slowest node's self-measured kernel time plus the client merge,
+  the critical path a real cluster would pay -- and the scaling claim
+  (``speedup_max_nodes_vs_1``) is made on that number.
 
 Every variant regenerates its sources from the same seed, so store
 blocks memoised by one variant never subsidise another, and every
@@ -335,6 +345,112 @@ def _store_stats(sources: dict) -> dict:
     return totals
 
 
+def _run_sharded_matrix(
+    program: str,
+    scale: str,
+    seed: int,
+    nodes: tuple,
+    repeat: int,
+    workers: int | None,
+    baseline_digest: str | None,
+) -> dict:
+    """Time one scenario over local clusters of each size in *nodes*.
+
+    Every node count gets its own cluster over freshly generated sources
+    and a throwaway persistent store root (so co-resident partials can
+    come back over the mmap handle path).  The worker-side result cache
+    is off by default, so every repeat recomputes the kernels; the
+    minimum over repeats is reported, and the traffic/placement counters
+    are snapshotted after the first (cold) run.
+    """
+    import shutil
+    import tempfile
+
+    from repro.federation import LocalCluster
+
+    matrix: dict = {"nodes": {}}
+    for count in nodes:
+        sources = _sources(scale, seed)
+        context = ExecutionContext(workers=workers)
+        store_dir = tempfile.mkdtemp(prefix="repro-bench-shard-")
+        walls: list = []
+        cluster_times: list = []
+        cell: dict = {}
+        try:
+            with LocalCluster(
+                sources,
+                nodes=count,
+                store_root=store_dir,
+                context=context,
+                seed=seed,
+            ) as cluster:
+                for iteration in range(max(1, repeat)):
+                    started = time.perf_counter()
+                    outcome = cluster.run(program)
+                    walls.append(time.perf_counter() - started)
+                    cluster_times.append(outcome.cluster_seconds())
+                    if iteration == 0:
+                        counter = context.metrics.counter
+                        cell = {
+                            "digest": _result_digest(outcome.datasets or {}),
+                            "node_seconds": dict(outcome.node_seconds),
+                            "merge_seconds": outcome.merge_seconds,
+                            "degraded": outcome.degraded,
+                            "bytes_streamed": counter(
+                                "federation.bytes_streamed"
+                            ),
+                            "bytes_mapped": counter("federation.bytes_mapped"),
+                            "shards_placed": counter(
+                                "federation.shards_placed"
+                            ),
+                            "shards_skipped": counter(
+                                "federation.shards_skipped"
+                            ),
+                        }
+        finally:
+            shutil.rmtree(store_dir, ignore_errors=True)
+        cell["wall_seconds"] = min(walls)
+        cell["cluster_seconds"] = min(cluster_times)
+        matrix["nodes"][str(count)] = cell
+    cells = matrix["nodes"]
+    if baseline_digest is not None:
+        matrix["identical_to_columnar"] = all(
+            cell["digest"] == baseline_digest for cell in cells.values()
+        )
+    counts = sorted(int(count) for count in cells)
+    if len(counts) > 1:
+        smallest = cells[str(counts[0])]["cluster_seconds"]
+        largest = cells[str(counts[-1])]["cluster_seconds"]
+        matrix["speedup_max_nodes_vs_1"] = (
+            smallest / largest if largest else None
+        )
+    return matrix
+
+
+def _reference_digest(
+    program: str,
+    scale: str,
+    seed: int,
+    bin_size: int | None,
+    workers: int | None,
+) -> str:
+    """Digest of a single-node columnar run (the sharded identity bar)."""
+    sources = _sources(scale, seed)
+    compiled = optimize(compile_program(program))
+    reset_result_cache()
+    context = ExecutionContext(
+        workers=workers, bin_size=bin_size, result_cache=False
+    )
+    backend = get_backend("columnar")
+    try:
+        results = Interpreter(backend, sources, context=context).run_program(
+            compiled
+        )
+    finally:
+        backend.close()
+    return _result_digest(results)
+
+
 def run_bench(
     scale: str = "smoke",
     scenarios: tuple | None = None,
@@ -344,21 +460,28 @@ def run_bench(
     workers: int | None = None,
     seed: int = 42,
     cold_repeat: int = 1,
+    nodes: tuple = (1, 2, 4),
 ) -> dict:
     """Run the benchmark matrix; returns the BENCH document (plain dict)."""
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
     scenario_names = tuple(scenarios or PROGRAMS)
     variant_names = tuple(variants or default_variants(scale))
+    sharded = "sharded" in variant_names
+    variant_names = tuple(
+        name for name in variant_names if name != "sharded"
+    )
     by_name = {name: spec for name, *spec in VARIANTS}
     document = {
-        "bench": "pr7",
+        "bench": "pr8",
         "scale": scale,
         "repeat": repeat,
         "seed": seed,
         "bin_size": bin_size,
         "scenarios": {},
     }
+    if sharded:
+        document["nodes"] = list(nodes)
     for scenario in scenario_names:
         program = PROGRAMS[scenario]
         cells = {}
@@ -371,7 +494,18 @@ def run_bench(
                 cold_repeat=cold_repeat,
             )
         digests = {cell["digest"] for cell in cells.values()}
-        entry = {"variants": cells, "identical_results": len(digests) == 1}
+        entry = {
+            "variants": cells,
+            "identical_results": not cells or len(digests) == 1,
+        }
+        if sharded:
+            baseline_digest = (
+                cells["columnar"]["digest"] if "columnar" in cells
+                else _reference_digest(program, scale, seed, bin_size, workers)
+            )
+            entry["sharded"] = _run_sharded_matrix(
+                program, scale, seed, nodes, repeat, workers, baseline_digest
+            )
         baseline = cells.get("columnar-nostore")
         store_cell = cells.get("columnar")
         if baseline and store_cell:
@@ -449,4 +583,26 @@ def render_summary(document: dict) -> str:
                 f"  persisted store: mmap open vs cold build+persist:"
                 f" {speedup:.1f}x"
             )
+        sharded = entry.get("sharded")
+        if sharded:
+            for count in sorted(sharded["nodes"], key=int):
+                cell = sharded["nodes"][count]
+                lines.append(
+                    f"  sharded x{count:<2}"
+                    f" cluster {cell['cluster_seconds'] * 1000:9.1f} ms"
+                    f"  wall {cell['wall_seconds'] * 1000:9.1f} ms"
+                    f"  shards {cell['shards_placed']:>4}"
+                    f"  streamed {cell['bytes_streamed']:>10,} B"
+                    f"  mapped {cell['bytes_mapped']:>10,} B"
+                )
+            speedup = sharded.get("speedup_max_nodes_vs_1")
+            if speedup is not None:
+                lines.append(
+                    f"  sharded cluster critical path, max nodes vs 1:"
+                    f" {speedup:.1f}x"
+                )
+            if sharded.get("identical_to_columnar") is False:
+                lines.append(
+                    "  WARNING: sharded results differ from columnar"
+                )
     return "\n".join(lines)

@@ -85,7 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("--engine", default="naive",
                          help="execution backend "
-                              "(naive/columnar/parallel/auto)")
+                              "(naive/columnar/parallel/sharded/auto)")
     run_cmd.add_argument("--out", default=None,
                          help="directory to materialise results into")
     run_cmd.add_argument("--no-optimize", action="store_true",
@@ -103,6 +103,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm deterministic fault injection for this run, e.g. "
              "'seed=7;transient@repository.load:*?times=1' "
              "(see docs/RESILIENCE.md for the spec language)",
+    )
+    run_cmd.add_argument(
+        "--federate", type=_positive_int, default=None, metavar="N",
+        help="execute over a local cluster of N worker node processes: "
+             "sources are sharded by chromosome group across the nodes, "
+             "each node runs the columnar kernels over its shards, and "
+             "the partial results are streamed back and merged "
+             "byte-identically to a single-node run",
+    )
+    run_cmd.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="K",
+        help="with --federate: cap the plan at K chromosome shard "
+             "groups (default: one group per chromosome)",
     )
     run_cmd.add_argument(
         "--store-dir", default=None, metavar="DIR",
@@ -175,8 +188,8 @@ def build_parser() -> argparse.ArgumentParser:
              "engines and write a BENCH JSON document",
     )
     bench_cmd.add_argument(
-        "--out", default="BENCH_pr6.json",
-        help="output JSON path (default: BENCH_pr6.json)",
+        "--out", default="BENCH_pr8.json",
+        help="output JSON path (default: BENCH_pr8.json)",
     )
     bench_cmd.add_argument(
         "--scale", default="smoke",
@@ -193,7 +206,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument(
         "--engines", default=None, metavar="NAMES",
         help="comma-separated variant subset (naive,columnar-nostore,"
-             "columnar,auto,parallel,parallel-pickle,store-persisted)",
+             "columnar,auto,parallel,parallel-pickle,store-persisted,"
+             "sharded)",
+    )
+    bench_cmd.add_argument(
+        "--variant", default=None, metavar="NAMES",
+        help="alias for --engines (the sharded cluster variant is "
+             "usually selected this way)",
+    )
+    bench_cmd.add_argument(
+        "--nodes", default="1,2,4", metavar="COUNTS",
+        help="comma-separated cluster sizes for the sharded variant "
+             "(default: 1,2,4)",
     )
     bench_cmd.add_argument(
         "--repeat", type=_positive_int, default=3, metavar="N",
@@ -298,6 +322,12 @@ def _run_with_chaos(args, injector) -> int:
     # exact schemas: invalid programs are rejected (exit 3) before any
     # operator executes.
     compiled = compile_program(program, datasets=sources)
+    if args.federate:
+        try:
+            return _run_sharded_cluster(args, program, sources, injector)
+        finally:
+            if args.store_dir:
+                set_store_root(None)
     if not args.no_optimize:
         compiled = optimize(compiled)
     backend = get_backend(args.engine)
@@ -364,6 +394,64 @@ def _run_with_chaos(args, injector) -> int:
     return 0
 
 
+def _run_sharded_cluster(args, program, sources, injector) -> int:
+    """``repro run --federate N``: sharded execution over worker nodes."""
+    from repro.engine.context import ExecutionContext
+    from repro.federation import LocalCluster
+    from repro.formats import write_dataset
+
+    context = ExecutionContext(workers=args.workers)
+    with LocalCluster(
+        sources,
+        nodes=args.federate,
+        store_root=args.store_dir,
+        context=context,
+    ) as cluster:
+        outcome = cluster.run(program, max_shards=args.shards)
+    print(outcome.report())
+    for name in sorted(outcome.datasets or {}):
+        dataset = outcome.datasets[name]
+        summary = dataset.summary()
+        print(
+            f"{name}: {summary['samples']} sample(s), "
+            f"{summary['regions']} region(s), schema {summary['schema']}"
+        )
+        if args.out:
+            directory = os.path.join(args.out, name)
+            write_dataset(dataset, directory)
+            print(f"  materialised to {directory}")
+    if args.stats:
+        print()
+        print("cluster statistics:")
+        counters = context.metrics
+        print(
+            f"  shards: placed={counters.counter('federation.shards_placed')} "
+            f"skipped={counters.counter('federation.shards_skipped')}"
+        )
+        print(
+            f"  bytes: streamed={counters.counter('federation.bytes_streamed')} "
+            f"mapped={counters.counter('federation.bytes_mapped')}"
+        )
+        for node in sorted(outcome.node_seconds):
+            print(f"  {node:<12} {outcome.node_seconds[node] * 1000:8.1f} ms")
+        print(f"  merge: {outcome.merge_seconds * 1000:.1f} ms")
+        print(f"  cluster critical path: "
+              f"{outcome.cluster_seconds() * 1000:.1f} ms")
+    if injector is not None:
+        if injector.injected:
+            print(f"chaos: {injector.summary()}")
+        else:
+            # Worker node processes inherit the armed injector at fork
+            # and fire faults in their own address space; the client's
+            # record stays empty even when faults landed remotely, so
+            # an empty summary here must not read as "nothing fired".
+            print(
+                "chaos: armed (faults inject inside worker node "
+                "processes; see the outcome line for their effect)"
+            )
+    return 0
+
+
 def _command_explain(args) -> int:
     from repro.gmql.lang import compile_program, optimize
 
@@ -403,6 +491,15 @@ def _command_explain(args) -> int:
             f"hits={context.metrics.counter('result_cache.hits')} "
             f"misses={context.metrics.counter('result_cache.misses')}"
         )
+        shards_placed = context.metrics.counter("federation.shards_placed")
+        shards_skipped = context.metrics.counter("federation.shards_skipped")
+        bytes_streamed = context.metrics.counter("federation.bytes_streamed")
+        if shards_placed or shards_skipped or bytes_streamed:
+            print(
+                f"federation: shards_placed={shards_placed} "
+                f"shards_skipped={shards_skipped} "
+                f"bytes_streamed={bytes_streamed}"
+            )
         # The total line stays last: scripts tail it.
         print(f"total: {context.tracer.total_seconds() * 1000:.2f} ms")
         return 0
@@ -468,10 +565,14 @@ def _command_bench(args) -> int:
         if args.scenarios
         else None
     )
+    selected = args.engines or args.variant
     variants = (
-        tuple(name.strip() for name in args.engines.split(",") if name.strip())
-        if args.engines
+        tuple(name.strip() for name in selected.split(",") if name.strip())
+        if selected
         else None
+    )
+    nodes = tuple(
+        int(count.strip()) for count in args.nodes.split(",") if count.strip()
     )
     document = run_bench(
         scale=args.scale,
@@ -482,6 +583,7 @@ def _command_bench(args) -> int:
         workers=args.workers,
         seed=args.seed,
         cold_repeat=args.cold_repeat,
+        nodes=nodes,
     )
     write_bench(document, args.out)
     print(render_summary(document))

@@ -91,6 +91,22 @@ def choose_backend(
     kind = kind.lower()
     if kind == SOURCE_KIND:
         return "source", "scans read datasets directly"
+    from repro.engine.sharded import shard_groups_from_env
+
+    shard_groups = shard_groups_from_env()
+    if (
+        shard_groups is not None
+        and kind in PARALLEL_OPERATORS
+        and input_regions >= COLUMNAR_KIND_THRESHOLDS.get(
+            kind, COLUMNAR_REGION_THRESHOLD
+        )
+        and "sharded" in available
+    ):
+        return (
+            "sharded",
+            f"{kind} over ~{int(input_regions)} regions: "
+            f"REPRO_SHARD_GROUPS={shard_groups} chromosome groups",
+        )
     if (
         kind in PARALLEL_OPERATORS
         and input_regions >= parallel_threshold()

@@ -843,6 +843,12 @@ class ColumnarBackend(NaiveBackend):
             use_store = self.use_store()
             store = self.dataset_store(child) if use_store else None
             scratch: dict = {}
+            from repro.intervals.bins import DEFAULT_BIN_SIZE
+
+            bin_size = (
+                store.bin_size if store is not None
+                else self.store_bin_size() or DEFAULT_BIN_SIZE
+            )
 
             def parts():
                 for __, samples in group_samples(child, plan.groupby):
@@ -854,7 +860,8 @@ class ColumnarBackend(NaiveBackend):
                     ]
                     out = []
                     for chrom, lefts, rights, depths in group_cover_rows(
-                        blocks_list, lo, hi, plan.variant
+                        blocks_list, lo, hi, plan.variant,
+                        bin_size=bin_size, on_pruned=self.note_pruned,
                     ):
                         out.extend(
                             GenomicRegion(chrom, left, right, "*", (depth,))

@@ -45,6 +45,12 @@ def _register_builtins() -> None:
         register_backend(ParallelBackend.name, ParallelBackend)
     except ImportError:  # pragma: no cover
         pass
+    try:
+        from repro.engine.sharded import ShardedBackend
+
+        register_backend(ShardedBackend.name, ShardedBackend)
+    except ImportError:  # pragma: no cover
+        pass
     from repro.engine.auto import AutoBackend
 
     register_backend(AutoBackend.name, AutoBackend)

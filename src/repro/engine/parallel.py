@@ -64,6 +64,7 @@ from repro.store.cover_kernels import (
     chrom_cover_rows,
     mask_chrom_events,
     overlap_any_mask,
+    prune_dead_bins,
 )
 from repro.store.join_kernels import join_pairs, overlap_pairs
 from repro.store.shm import ArrayShipper, materialise, shm_enabled
@@ -783,19 +784,32 @@ class ParallelBackend(ColumnarBackend):
                     # genome order.
                     from repro.gdm import chromosome_sort_key
 
+                    prune = max(lo, 1) >= 2
                     per_chrom: dict = {}
                     for sample in samples:
                         for chrom, block in store.blocks(
                             sample
                         ).chroms.items():
                             per_chrom.setdefault(chrom, []).append(
-                                block_cover_columns(block, plan.variant)
+                                block_cover_columns(
+                                    block, plan.variant, with_pairs=prune
+                                )
                             )
                     tasks = []
                     for chrom in sorted(per_chrom, key=chromosome_sort_key):
+                        chrom_parts = per_chrom[chrom]
+                        if prune:
+                            # Dead bins are pruned in the parent, before
+                            # shipping: workers then receive only the
+                            # surviving columns.
+                            chrom_parts, pruned = prune_dead_bins(
+                                chrom_parts, lo, store.bin_size,
+                                plan.variant,
+                            )
+                            self.note_pruned(pruned)
                         handles = [
                             ship(column)
-                            for part in per_chrom[chrom]
+                            for part in chrom_parts
                             for column in part
                         ]
                         tasks.append(

@@ -1,0 +1,170 @@
+"""The ``sharded`` backend: chromosome-sharded kernel execution.
+
+The single-process face of sharded cluster execution
+(:mod:`repro.federation.shards`): genometric operators split their
+operand datasets into chromosome-group shards, run the columnar kernels
+per group, and interleave the partials with the same
+:func:`~repro.federation.merge.merge_partials` the federated client
+uses -- so the merge path that must be byte-identical to single-node
+execution is exercised locally on every run, with no processes or
+network involved.
+
+Group count comes from ``REPRO_SHARD_GROUPS`` (the ``auto`` backend
+routes region-heavy operators here only when that variable is set).
+Operators that aggregate across chromosomes (EXTEND/MERGE/ORDER/GROUP)
+and per-sample bookkeeping operators delegate to the inner backend
+unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine.base import Backend
+from repro.gdm import chromosome_sort_key
+
+
+def shard_groups_from_env(default: int | None = None) -> int | None:
+    """Shard group count from ``REPRO_SHARD_GROUPS`` (``None`` when unset).
+
+    ``None``/*default* also for invalid or non-positive values, so an
+    unset or broken environment never changes execution strategy.
+    """
+    raw = os.environ.get("REPRO_SHARD_GROUPS", "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
+
+
+class ShardedBackend(Backend):
+    """Chromosome-group sharding over an inner columnar backend."""
+
+    name = "sharded"
+
+    def __init__(self, groups: int | None = None) -> None:
+        super().__init__()
+        self._groups = groups
+        self._inner = None
+
+    def inner(self) -> Backend:
+        """The delegate kernel backend (lazily built, shares stats)."""
+        if self._inner is None:
+            from repro.engine.dispatch import get_backend
+
+            backend = get_backend("columnar")
+            backend.stats = self.stats
+            if self._context is not None:
+                backend.bind_context(self._context)
+            self._inner = backend
+        return self._inner
+
+    def bind_context(self, context):
+        super().bind_context(context)
+        if self._inner is not None:
+            self._inner.bind_context(context)
+        return self
+
+    def close(self) -> None:
+        if self._inner is not None:
+            self._inner.close()
+
+    # -- sharding ----------------------------------------------------------------
+
+    def _split(self, *datasets) -> tuple | None:
+        """Chromosome groups shared by the operand datasets, or ``None``.
+
+        ``None`` -- run unsharded -- when any operand is not
+        chromosome-clustered (merge order would not be reproducible) or
+        when fewer than two non-empty groups exist (sharding would only
+        add overhead).
+        """
+        from repro.federation.shards import (
+            is_chromosome_clustered,
+            partition_chromosomes,
+        )
+
+        group_count = (
+            self._groups
+            if self._groups is not None
+            else shard_groups_from_env()
+        )
+        if group_count is not None and group_count < 2:
+            return None
+        weights: dict = {}
+        for dataset in datasets:
+            if dataset is None:
+                continue
+            if not is_chromosome_clustered(dataset):
+                return None
+            for sample in dataset:
+                for region in sample.regions:
+                    weights[region.chrom] = weights.get(region.chrom, 0) + 1
+        if len(weights) < 2:
+            return None
+        if group_count is None:
+            # Explicit ``--engine sharded`` with no configured count:
+            # finest granularity, one group per chromosome.
+            group_count = len(weights)
+        groups = partition_chromosomes(weights, group_count)
+        return groups if len(groups) >= 2 else None
+
+    def _sharded(self, kernel: str, plan, *datasets):
+        """Run one kernel per chromosome group and merge the partials."""
+        from repro.federation.merge import merge_partials
+        from repro.federation.shards import slice_dataset
+
+        groups = self._split(*datasets)
+        run = getattr(self.inner(), f"run_{kernel}")
+        if groups is None:
+            return run(plan, *datasets)
+        partials = []
+        for group in sorted(groups, key=lambda g: chromosome_sort_key(g[0])):
+            operands = tuple(
+                None if dataset is None else slice_dataset(dataset, group)
+                for dataset in datasets
+            )
+            partials.append(run(plan, *operands))
+        if self._context is not None:
+            self._context.metrics.increment(
+                "federation.shards_placed", len(partials)
+            )
+        return merge_partials(partials)
+
+    # -- operator kernels ---------------------------------------------------------
+
+    def run_select(self, plan, child, semijoin_data):
+        return self.inner().run_select(plan, child, semijoin_data)
+
+    def run_project(self, plan, child):
+        return self.inner().run_project(plan, child)
+
+    def run_extend(self, plan, child):
+        return self.inner().run_extend(plan, child)
+
+    def run_merge(self, plan, child):
+        return self.inner().run_merge(plan, child)
+
+    def run_group(self, plan, child):
+        return self.inner().run_group(plan, child)
+
+    def run_order(self, plan, child):
+        return self.inner().run_order(plan, child)
+
+    def run_union(self, plan, left, right):
+        return self._sharded("union", plan, left, right)
+
+    def run_difference(self, plan, left, right):
+        return self._sharded("difference", plan, left, right)
+
+    def run_cover(self, plan, child):
+        return self._sharded("cover", plan, child)
+
+    def run_map(self, plan, reference, experiment):
+        return self._sharded("map", plan, reference, experiment)
+
+    def run_join(self, plan, anchor, experiment):
+        return self._sharded("join", plan, anchor, experiment)

@@ -37,6 +37,17 @@ DIFFERENCE_SURVIVAL = 0.5
 JOIN_FANOUT = 2.0
 COVER_COMPRESSION = 0.5
 
+#: Crude sustained kernel throughput used to balance shard placement --
+#: calibrated against the columnar sweep/pair kernels, which chew
+#: through store blocks at a few hundred MB/s on one core.  Placement
+#: only needs relative magnitudes (is moving this shard cheaper than
+#: queueing behind that node?), not absolute accuracy.
+SHARD_COMPUTE_BYTES_PER_SECOND = 200e6
+
+#: Network defaults matching :class:`repro.federation.transfer.Network`.
+SHARD_BANDWIDTH_BYTES_PER_SECOND = 100e6 / 8
+SHARD_LATENCY_SECONDS = 0.02
+
 
 @dataclass(frozen=True)
 class Estimate:
@@ -173,3 +184,150 @@ def _estimate_node(
     if node.children:
         return estimate_plan(node.children[0], catalog_summaries, cache)
     return Estimate(1, 1_000, 1)
+
+
+# -- per-shard cardinality and transfer cost (sharded cluster execution) --------
+
+
+def shard_summaries(catalog_summaries: dict, chroms) -> dict:
+    """Catalog summaries narrowed to the shards on *chroms*.
+
+    Each dataset's ``regions``/``size_bytes`` are replaced by the exact
+    per-chromosome figures its shard manifest publishes (see
+    :meth:`repro.federation.shards.ShardManifest.summary` under the
+    ``"shards"`` summary key), so :func:`estimate_plan` runs unchanged
+    but produces *per-shard* cardinalities.  Datasets without a manifest
+    fall back to a uniform per-chromosome split.
+    """
+    wanted = tuple(chroms)
+    out = {}
+    for name, summary in catalog_summaries.items():
+        shards = (summary.get("shards") or {}).get("chroms") or {}
+        if shards:
+            regions = sum(
+                stats[1] for chrom, stats in shards.items() if chrom in wanted
+            )
+            size = sum(
+                stats[2] for chrom, stats in shards.items() if chrom in wanted
+            )
+        else:
+            n_chroms = max(1, len(summary.get("chromosomes", ())) or 3)
+            fraction = min(1.0, len(wanted) / n_chroms)
+            regions = int(summary.get("regions", 0) * fraction)
+            size = int(summary.get("size_bytes", 0) * fraction)
+        out[name] = dict(summary, regions=regions, size_bytes=size)
+    return out
+
+
+def estimate_shard_outputs(output_plans, catalog_summaries: dict,
+                           chroms) -> int:
+    """Estimated partial-result bytes of a plan's outputs on one shard
+    group -- what streams back from the executing node."""
+    narrowed = shard_summaries(catalog_summaries, chroms)
+    cache: dict = {}
+    return sum(
+        estimate_plan(plan, narrowed, cache).size_bytes()
+        for plan in output_plans
+    )
+
+
+def transfer_seconds(
+    payload_bytes: int,
+    messages: int = 1,
+    bandwidth_bytes_per_second: float = SHARD_BANDWIDTH_BYTES_PER_SECOND,
+    latency_seconds: float = SHARD_LATENCY_SECONDS,
+) -> float:
+    """Modelled wire time of moving *payload_bytes* in *messages*."""
+    return messages * latency_seconds + (
+        payload_bytes / bandwidth_bytes_per_second
+    )
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """One placement decision: a chromosome group pinned to a node."""
+
+    chroms: tuple            # chromosomes of the shard group
+    node: str
+    move_bytes: int          # source shard bytes that must ship there
+    result_bytes: int        # estimated partial-result bytes shipped back
+    seconds: float           # modelled transfer + compute cost
+
+    def report(self) -> str:
+        return (
+            f"{'+'.join(self.chroms)} -> {self.node} "
+            f"(move {self.move_bytes} B, results ~{self.result_bytes} B, "
+            f"~{self.seconds * 1000:.0f} ms)"
+        )
+
+
+def place_shards(
+    groups,
+    residency: dict,
+    group_bytes: dict,
+    result_bytes: dict,
+    nodes,
+    *,
+    bandwidth_bytes_per_second: float = SHARD_BANDWIDTH_BYTES_PER_SECOND,
+    latency_seconds: float = SHARD_LATENCY_SECONDS,
+    compute_bytes_per_second: float = SHARD_COMPUTE_BYTES_PER_SECOND,
+) -> tuple:
+    """Cost-based greedy placement of shard groups onto live nodes.
+
+    Parameters
+    ----------
+    groups:
+        Shard groups (tuples of chromosomes), the placement units.
+    residency:
+        ``{group: {node: resident_source_bytes}}`` -- how much of the
+        group's source data each node already holds.
+    group_bytes:
+        ``{group: total_source_bytes}`` across all source datasets.
+    result_bytes:
+        ``{group: estimated_partial_result_bytes}`` (streamed back).
+    nodes:
+        Names of the reachable nodes, in a deterministic order.
+
+    Heaviest groups place first (longest-processing-time); each takes
+    the node minimising *modelled completion time*: data movement for
+    non-resident source shards, the result stream back, the kernel time
+    of the group's bytes, all queued behind work already assigned to
+    that node.  Deterministic -- ties break on node order.
+    """
+    node_order = list(nodes)
+    if not node_order:
+        return ()
+    load = {node: 0.0 for node in node_order}
+    placements = []
+    order = sorted(groups, key=lambda g: (-group_bytes.get(g, 0), g))
+    for group in order:
+        resident = residency.get(group, {})
+        total = group_bytes.get(group, 0)
+        results = result_bytes.get(group, 0)
+        best = None
+        for node in node_order:
+            move = max(0, total - resident.get(node, 0))
+            seconds = (
+                transfer_seconds(
+                    move + results,
+                    messages=2 if move else 1,
+                    bandwidth_bytes_per_second=bandwidth_bytes_per_second,
+                    latency_seconds=latency_seconds,
+                )
+                + total / compute_bytes_per_second
+            )
+            completion = load[node] + seconds
+            if best is None or completion < best[0]:
+                best = (completion, node, move, results, seconds)
+        completion, node, move, results, seconds = best
+        load[node] = completion
+        placements.append(
+            ShardPlacement(
+                chroms=tuple(group),
+                node=node,
+                move_bytes=move,
+                result_bytes=results,
+                seconds=seconds,
+            )
+        )
+    return tuple(placements)

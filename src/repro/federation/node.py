@@ -9,9 +9,13 @@ shared simulated :class:`~repro.federation.transfer.Network`.
 
 from __future__ import annotations
 
+import time
+
 from repro.errors import FederationError, QueryError
 from repro.federation.estimator import estimate_plan
 from repro.federation.protocol import (
+    BlobHandleRequest,
+    BlobHandleResponse,
     ChunkRequest,
     ChunkResponse,
     CompileRequest,
@@ -21,8 +25,13 @@ from repro.federation.protocol import (
     DatasetTransfer,
     ExecuteRequest,
     ExecuteResponse,
+    ShardExecuteRequest,
+    ShardExecuteResponse,
+    ShardTransfer,
     payload_checksum,
 )
+from repro.federation.merge import merge_partials
+from repro.federation.shards import slice_dataset
 from repro.federation.transfer import Network
 from repro.gdm import Dataset
 from repro.gmql.lang import Interpreter, compile_program, optimize
@@ -51,6 +60,10 @@ class FederationNode:
         )
         #: Datasets shipped in from elsewhere (data-shipping execution).
         self.foreign: dict = {}
+        #: Shard slices shipped in for sharded execution:
+        #: ``{dataset_name: [slice, ...]}`` -- merged with the local
+        #: catalog slice at shard-execute time.
+        self.foreign_shards: dict = {}
 
     # -- protocol handlers (each accounts its response on the network) -----------
     #
@@ -134,6 +147,96 @@ class FederationNode:
                           response.size_bytes())
         return response
 
+    def handle_execute_shard(
+        self,
+        requester: str,
+        program: str,
+        chroms,
+        engine: str = "columnar",
+    ) -> ShardExecuteResponse:
+        """Execute a program over this node's shards of a chromosome group.
+
+        Every source dataset -- catalog, whole foreign datasets, and
+        shipped-in shard slices -- is narrowed to *chroms* before the
+        kernels run, so the node computes exactly its assigned shards'
+        partial results and stages them for streaming (or handle
+        shipping) back to the requester.  The response carries the
+        node's own kernel wall time: the client's critical-path scaling
+        measure is independent of client-side queueing.
+        """
+        self.network.fire(f"federation.execute:{self.name}")
+        wanted = tuple(chroms)
+        request = ShardExecuteRequest(program, wanted, engine)
+        self.network.send(requester, self.name, "shard-execute-request",
+                          request.size_bytes())
+        sources: dict = {}
+        for name in self.catalog.names():
+            sources[name] = slice_dataset(self.catalog.get(name), wanted)
+        for name, dataset in self.foreign.items():
+            sources[name] = slice_dataset(dataset, wanted)
+        for name, slices in self.foreign_shards.items():
+            pieces = [slice_dataset(piece, wanted) for piece in slices]
+            if name in sources:
+                pieces.insert(0, sources[name])
+            sources[name] = (
+                pieces[0] if len(pieces) == 1 else merge_partials(pieces)
+            )
+        compiled = optimize(compile_program(program))
+        missing = [s for s in compiled.sources if s not in sources]
+        if missing:
+            raise FederationError(
+                f"node {self.name!r} lacks source datasets {missing}"
+            )
+        backend = get_backend(engine)
+        started = time.perf_counter()
+        try:
+            results = Interpreter(backend, sources).run_program(compiled)
+        finally:
+            backend.close()
+        seconds = time.perf_counter() - started
+        tickets = []
+        for output_name, dataset in results.items():
+            ticket = self.staging.stage(dataset)
+            meta_len, __ = self.staging.section_lengths(ticket)
+            tickets.append(
+                (
+                    output_name,
+                    ticket,
+                    dataset.estimated_size_bytes(),
+                    self.staging.chunk_count(ticket),
+                    meta_len,
+                )
+            )
+        response = ShardExecuteResponse(tuple(tickets), wanted, seconds)
+        self.network.send(self.name, requester, "shard-execute-response",
+                          response.size_bytes())
+        return response
+
+    def handle_blob(self, requester: str, ticket: str) -> BlobHandleResponse:
+        """Answer with a spill-file handle to a staged result.
+
+        The co-resident fast path of the PR 6 handle protocol: a client
+        sharing this node's filesystem memory-maps the content-addressed
+        spill file instead of pulling chunks, so only the tiny handle
+        crosses the network.  Memory-staged results answer ``ok=False``
+        and the client falls back to chunked streaming.
+        """
+        self.network.fire(f"federation.blob:{self.name}")
+        request = BlobHandleRequest(ticket)
+        self.network.send(requester, self.name, "blob-request",
+                          request.size_bytes())
+        path, meta_len, region_len = self.staging.blob_handle(ticket)
+        response = BlobHandleResponse(
+            ticket,
+            ok=path is not None,
+            path=path or "",
+            meta_len=meta_len,
+            region_len=region_len,
+        )
+        self.network.send(self.name, requester, "blob-response",
+                          response.size_bytes())
+        return response
+
     def handle_chunk(self, requester: str, ticket: str, index: int
                      ) -> ChunkResponse:
         """Serve one staged chunk.
@@ -168,3 +271,27 @@ class FederationNode:
     def receive_foreign(self, dataset: Dataset) -> None:
         """Register a shipped-in dataset directly (used by the client)."""
         self.foreign[dataset.name] = dataset
+
+    # -- shard shipping ------------------------------------------------------------
+
+    def fetch_shard(self, requester: str, name: str, chroms) -> Dataset:
+        """Slice one local dataset to a chromosome group for shipping.
+
+        The donor side of shard-aware placement: when the planner
+        assigns a chromosome group to a node that lacks some source
+        shards, the owning node serves exactly the missing slice (all
+        samples kept, regions narrowed) and the network accounts the
+        sliced -- not whole-dataset -- payload.
+        """
+        self.network.fire(f"federation.ship:{self.name}")
+        sliced = slice_dataset(self.catalog.get(name), tuple(chroms))
+        transfer = ShardTransfer(
+            name, tuple(chroms), sliced.estimated_size_bytes()
+        )
+        self.network.send(self.name, requester, "shard-transfer",
+                          transfer.size_bytes())
+        return sliced
+
+    def receive_shard(self, dataset: Dataset, chroms=()) -> None:
+        """Accept a shipped-in shard slice of a source dataset."""
+        self.foreign_shards.setdefault(dataset.name, []).append(dataset)

@@ -23,7 +23,9 @@ skipped hosts instead of raising when some hosts stay down.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+import os
+import time
+from dataclasses import dataclass, field
 
 from repro.errors import (
     CircuitOpenError,
@@ -31,14 +33,57 @@ from repro.errors import (
     HostDownError,
     RetryExhaustedError,
 )
+from repro.federation.estimator import (
+    estimate_shard_outputs,
+    place_shards,
+)
+from repro.federation.merge import (
+    merge_partials,
+    parse_staged_sections,
+    read_blob_sections,
+    split_sections,
+)
 from repro.federation.node import FederationNode
+from repro.federation.protocol import ShardTransfer
+from repro.federation.shards import partition_chromosomes
 from repro.federation.transfer import Network
-from repro.gmql.lang import compile_program, execute
+from repro.gdm import chromosome_sort_key
+from repro.gmql.lang import compile_program, execute, optimize
+from repro.repository.staging import _serialise_sections
+from repro.gmql.lang.plan import (
+    CoverPlan,
+    DifferencePlan,
+    EmptyPlan,
+    JoinPlan,
+    MapPlan,
+    ProjectPlan,
+    ScanPlan,
+    SelectPlan,
+    UnionPlan,
+)
 from repro.resilience import (
     BreakerRegistry,
     ResilientCaller,
     RetryPolicy,
     SimulatedClock,
+)
+
+#: Plan node kinds whose chromosome shards are independent: the operator
+#: never matches or aggregates *across* chromosomes, so node-local
+#: kernels compute final values and the parent merge only interleaves.
+#: EXTEND/MERGE/ORDER/GROUP aggregate across a whole sample (an
+#: ``fsum`` of per-shard ``fsum`` partials is not the single-pass
+#: ``fsum``), so their plans fall back to whole-dataset strategies.
+SHARDABLE_PLANS = (
+    ScanPlan,
+    SelectPlan,
+    ProjectPlan,
+    MapPlan,
+    JoinPlan,
+    CoverPlan,
+    DifferencePlan,
+    UnionPlan,
+    EmptyPlan,
 )
 
 #: Failures that mean "this host is unusable right now" -- the planner
@@ -55,18 +100,38 @@ class FederatedOutcome:
     bytes_moved: int
     message_count: int
     executing_node: str
-    degraded: bool = False        # True when hosts were skipped
+    degraded: bool = False        # True when hosts/shards were skipped
     skipped_hosts: tuple = ()     # (host, reason) pairs, sorted by host
     retries: int = 0              # failed attempts that were retried
+    #: Chromosome groups that produced no partial ("chr1+chr2", reason).
+    skipped_shards: tuple = ()
+    #: Merged result datasets by output name (sharded strategy only).
+    datasets: dict | None = None
+    #: Per-node self-measured kernel seconds (sharded strategy only).
+    node_seconds: dict = field(default_factory=dict)
+    #: Client-side partial-merge seconds (sharded strategy only).
+    merge_seconds: float = 0.0
+
+    def cluster_seconds(self) -> float:
+        """Critical-path execution time of a sharded run: the slowest
+        node's own kernel time plus the client merge.  On a single-CPU
+        test box the node processes time-slice each other, so this --
+        not wall clock -- is the multi-host scaling projection."""
+        slowest = max(self.node_seconds.values(), default=0.0)
+        return slowest + self.merge_seconds
 
     def report(self) -> str:
         """One-line human summary (used by tests and the CLI)."""
         skipped = ", ".join(host for host, __ in self.skipped_hosts)
         state = f"DEGRADED (skipped: {skipped})" if self.degraded else "complete"
-        return (
+        line = (
             f"{self.strategy}: {state}, {len(self.results)} result(s), "
             f"{self.bytes_moved} byte(s), {self.retries} retry(ies)"
         )
+        if self.skipped_shards:
+            groups = ", ".join(group for group, __ in self.skipped_shards)
+            line += f", skipped shard(s): {groups}"
+        return line
 
 
 class FederatedClient:
@@ -82,6 +147,7 @@ class FederatedClient:
         breakers: BreakerRegistry | None = None,
         context=None,
         seed: int = 0,
+        shared_root: str | None = None,
     ) -> None:
         if not nodes:
             raise FederationError("a federation needs at least one node")
@@ -89,6 +155,10 @@ class FederatedClient:
         self.nodes = {node.name: node for node in nodes}
         self.network = network
         self.context = context
+        #: Persistent store root shared with co-resident nodes; when
+        #: set, sharded partials are fetched as spill-file handles
+        #: (mmap) instead of streamed chunks whenever a node offers one.
+        self.shared_root = shared_root
         #: (host, reason) pairs skipped by the most recent discovery.
         self.last_skipped: tuple = ()
         #: ``{dataset: summary}`` from the most recent discovery.
@@ -340,6 +410,371 @@ class FederatedClient:
             executing_node=",".join(sorted(per_node)),
             degraded=bool(skipped),
             skipped_hosts=tuple(sorted(skipped)),
+            retries=self.caller.retries - baseline_retries,
+        )
+
+    # -- sharded cluster execution ------------------------------------------------
+
+    def _metric(self, name: str, amount: int) -> None:
+        """Account a federation counter on the execution context."""
+        if self.context is not None and amount:
+            self.context.metrics.increment(name, amount)
+
+    def _fetch_partial(self, node, node_name: str, ticket: str,
+                       chunk_count: int, meta_len: int) -> tuple:
+        """``(meta, regions)`` sections of one staged shard partial.
+
+        With a shared persistent store root the client first asks for a
+        spill-file handle and memory-maps the content-addressed file
+        (the co-resident fast path -- only the ~160-byte handle crosses
+        the network); otherwise, or when the node staged in memory, the
+        partial streams back chunk by chunk with per-chunk integrity
+        verification and re-fetch.
+        """
+        if self.shared_root is not None:
+            handle = self.caller.call(
+                node_name, "blob",
+                lambda: node.handle_blob(self.name, ticket),
+            )
+            if handle.ok and os.path.exists(handle.path):
+                sections = read_blob_sections(handle.path)
+                if sections is not None:
+                    self._metric("federation.bytes_mapped",
+                                 handle.meta_len + handle.region_len)
+                    return sections
+        payload = self._pull(node, ticket, chunk_count)
+        self._metric("federation.bytes_streamed", len(payload))
+        return split_sections(payload, meta_len)
+
+    def run_sharded(self, program: str, engine: str = "columnar",
+                    max_shards: int | None = None) -> FederatedOutcome:
+        """Shard-aware cluster execution: place chromosome shard groups
+        on nodes by modelled cost, push the kernelized sub-plan to each,
+        and merge the streamed partial aggregates.
+
+        The placement unit is a chromosome group (every genometric
+        operator matches within one chromosome only); the transfer and
+        accounting unit is the (sample, chromosome) shard.  Nodes that
+        die mid-shard degrade the outcome -- their groups land in
+        ``skipped_shards`` and the merged result covers the surviving
+        shards -- mirroring :meth:`run_scatter`'s semantics.  Plans with
+        cross-chromosome aggregation (EXTEND/MERGE/ORDER/GROUP) or
+        non-clustered sources fall back to the whole-dataset planner.
+
+        *max_shards* caps the number of shard groups (default: one
+        group per chromosome, the finest placement granularity).
+        """
+        baseline_messages = self.network.log.message_count()
+        baseline_bytes = self.network.log.bytes_total
+        baseline_retries = self.caller.retries
+        # Discovery, per node: the same info handler the other
+        # strategies use, but summaries are kept per node because the
+        # shard manifests differ across a partitioned federation.
+        per_node: dict = {}
+        skipped: list = []
+        for node_name, node in self.nodes.items():
+            try:
+                info = self.caller.call(
+                    node_name, "info", lambda n=node: n.handle_info(self.name)
+                )
+            except HOST_FAILURES as exc:
+                skipped.append((node_name, _brief(exc)))
+                continue
+            per_node[node_name] = {
+                summary["name"]: summary for summary in info.summaries
+            }
+        if not per_node:
+            reasons = "; ".join(f"{h}: {r}" for h, r in sorted(skipped))
+            raise FederationError(
+                f"sharded plan found no reachable node ({reasons})"
+            )
+        # Merge per-node summaries into a federation-wide shard map plus
+        # a residency map.  A shard may be replicated; the fullest copy
+        # (most regions) defines its true statistics.
+        merged: dict = {}
+        residency_stats: dict = {}   # dataset -> chrom -> node -> stats
+        for node_name, summaries in per_node.items():
+            for name, summary in summaries.items():
+                entry = merged.get(name)
+                if entry is None:
+                    entry = dict(summary)
+                    entry["shards"] = {"clustered": True, "chroms": {}}
+                    merged[name] = entry
+                shards = summary.get("shards") or {}
+                if not shards.get("clustered", True):
+                    entry["shards"]["clustered"] = False
+                for chrom, stats in (shards.get("chroms") or {}).items():
+                    slot = entry["shards"]["chroms"].setdefault(
+                        chrom, [0, 0, 0]
+                    )
+                    if stats[1] > slot[1]:
+                        slot[:] = list(stats)
+                    residency_stats.setdefault(name, {}).setdefault(
+                        chrom, {}
+                    )[node_name] = stats
+        for entry in merged.values():
+            chroms = entry["shards"]["chroms"]
+            ordered = {
+                chrom: chroms[chrom]
+                for chrom in sorted(chroms, key=chromosome_sort_key)
+            }
+            entry["shards"]["chroms"] = ordered
+            entry["regions"] = sum(stats[1] for stats in ordered.values())
+            entry["size_bytes"] = sum(stats[2] for stats in ordered.values())
+        self.last_summaries = merged
+        compiled = compile_program(
+            program, schemas=self._remote_schemas(merged)
+        )
+        missing = [s for s in compiled.sources if s not in merged]
+        if missing:
+            raise FederationError(f"no node hosts {missing}")
+        optimized = optimize(compiled)
+        plans = list(optimized.outputs.values())
+        shardable = True
+        stack = list(plans)
+        while stack:
+            plan = stack.pop()
+            if not isinstance(plan, SHARDABLE_PLANS):
+                shardable = False
+                break
+            stack.extend(plan.children)
+        clustered = all(
+            (merged[src].get("shards") or {}).get("clustered", False)
+            for src in optimized.sources
+        )
+        # Per-chromosome load (bytes across all source datasets): the
+        # weights that balance shard groups and drive placement.
+        weights: dict = {}
+        for src in optimized.sources:
+            for chrom, stats in merged[src]["shards"]["chroms"].items():
+                weights[chrom] = weights.get(chrom, 0) + stats[2]
+        if not weights:
+            raise FederationError(
+                f"sources {sorted(optimized.sources)} hold no regions to shard"
+            )
+        if not shardable or not clustered:
+            if all(
+                getattr(node, "catalog", None) is not None
+                for node in self.nodes.values()
+            ):
+                return self.run(program, engine)
+            if not clustered:
+                raise FederationError(
+                    "sharded execution needs chromosome-clustered sources"
+                )
+            # Worker-process federation with a non-shardable plan:
+            # degenerate to one group of every chromosome -- the whole
+            # plan runs on one node after all shards ship there.
+            groups = (tuple(sorted(weights, key=chromosome_sort_key)),)
+        elif max_shards is not None:
+            groups = partition_chromosomes(weights, max_shards)
+        else:
+            groups = tuple(
+                (chrom,) for chrom in sorted(weights, key=chromosome_sort_key)
+            )
+        # Cost-based placement over the live nodes.
+        group_bytes = {
+            group: sum(weights[chrom] for chrom in group) for group in groups
+        }
+        result_bytes = {
+            group: estimate_shard_outputs(plans, merged, group)
+            for group in groups
+        }
+        residency: dict = {}
+        for group in groups:
+            per = {}
+            for node_name in per_node:
+                resident = 0
+                for src in optimized.sources:
+                    for chrom in group:
+                        stats = residency_stats.get(src, {}).get(
+                            chrom, {}
+                        ).get(node_name)
+                        if stats is not None:
+                            resident += stats[2]
+                per[node_name] = resident
+            residency[group] = per
+        placements = place_shards(
+            groups, residency, group_bytes, result_bytes, list(per_node)
+        )
+        # Ship source shards the placement moved away from their data:
+        # donor nodes serve exactly the missing chromosome slices, the
+        # client relays them to the executing node.
+        skipped_shards: list = []
+        dead_groups: set = set()
+        for placement in placements:
+            target_name = placement.node
+            target = self.nodes[target_name]
+            group = placement.chroms
+            failed = None
+            for src in sorted(optimized.sources):
+                merged_chroms = merged[src]["shards"]["chroms"]
+                need = []
+                for chrom in group:
+                    stats = merged_chroms.get(chrom)
+                    if stats is None or stats[1] == 0:
+                        continue
+                    have = residency_stats.get(src, {}).get(chrom, {}).get(
+                        target_name
+                    )
+                    if have is None or have[1] < stats[1]:
+                        need.append(chrom)
+                if not need:
+                    continue
+                by_donor: dict = {}
+                for chrom in need:
+                    stats = merged_chroms[chrom]
+                    holders = residency_stats.get(src, {}).get(chrom, {})
+                    donor = next(
+                        (
+                            n for n in per_node
+                            if n != target_name
+                            and holders.get(n, (0, 0, 0))[1] >= stats[1]
+                        ),
+                        None,
+                    )
+                    if donor is None:
+                        failed = (group, f"no donor holds {src}:{chrom}")
+                        break
+                    by_donor.setdefault(donor, []).append(chrom)
+                if failed:
+                    break
+                for donor_name, donor_chroms in by_donor.items():
+                    donor = self.nodes[donor_name]
+                    try:
+                        sliced = self.caller.call(
+                            donor_name, "ship",
+                            lambda d=donor, s=src, c=tuple(donor_chroms):
+                                d.fetch_shard(self.name, s, c),
+                        )
+                        relay = ShardTransfer(
+                            src, tuple(donor_chroms),
+                            sliced.estimated_size_bytes(),
+                        )
+                        self.network.send(
+                            self.name, target_name, "shard-transfer",
+                            relay.size_bytes(),
+                        )
+                        self.caller.call(
+                            target_name, "receive",
+                            lambda t=target, ds=sliced, c=tuple(donor_chroms):
+                                t.receive_shard(ds, c),
+                        )
+                    except HOST_FAILURES as exc:
+                        failed = (group, _brief(exc))
+                        break
+                if failed:
+                    break
+            if failed:
+                skipped_shards.append(("+".join(failed[0]), failed[1]))
+                dead_groups.add(group)
+        # Execute: one shard sub-plan call per node, over the union of
+        # its placed groups; pull (or map) each staged partial back.
+        node_groups: dict = {}
+        for placement in placements:
+            if placement.chroms in dead_groups:
+                continue
+            node_groups.setdefault(placement.node, []).append(
+                placement.chroms
+            )
+        partials: dict = {}
+        node_seconds: dict = {}
+        used: list = []
+        for node_name in per_node:
+            groups_here = node_groups.get(node_name)
+            if not groups_here:
+                continue
+            node = self.nodes[node_name]
+            chroms = tuple(sorted(
+                {chrom for group in groups_here for chrom in group},
+                key=chromosome_sort_key,
+            ))
+            try:
+                response = self.caller.call(
+                    node_name, "execute-shard",
+                    lambda n=node, c=chroms: n.handle_execute_shard(
+                        self.name, program, c, engine
+                    ),
+                )
+                sections_by_output = {}
+                for output_name, ticket, __, chunk_count, meta_len in (
+                    response.tickets
+                ):
+                    sections_by_output[output_name] = self._fetch_partial(
+                        node, node_name, ticket, chunk_count, meta_len
+                    )
+            except HOST_FAILURES as exc:
+                skipped.append((node_name, _brief(exc)))
+                for group in groups_here:
+                    skipped_shards.append(("+".join(group), _brief(exc)))
+                continue
+            node_seconds[node_name] = response.seconds
+            used.append(node_name)
+            for output_name, (meta_blob, region_blob) in (
+                sections_by_output.items()
+            ):
+                partials.setdefault(output_name, []).append(
+                    parse_staged_sections(meta_blob, region_blob, output_name)
+                )
+        if not partials:
+            reasons = "; ".join(
+                f"{group}: {reason}" for group, reason in skipped_shards
+            ) or "; ".join(f"{h}: {r}" for h, r in sorted(skipped))
+            raise FederationError(
+                f"sharded plan found no usable node for "
+                f"{sorted(optimized.sources)} ({reasons or 'none reachable'})"
+            )
+        # Merge: interleave chromosome runs, never re-aggregate.
+        merge_started = time.perf_counter()
+        datasets: dict = {}
+        results: dict = {}
+        for output_name in optimized.outputs:
+            pieces = partials.get(output_name)
+            if not pieces:
+                continue
+            dataset = merge_partials(pieces, name=output_name)
+            datasets[output_name] = dataset
+            meta_blob, region_blob = _serialise_sections(dataset)
+            results[output_name] = {
+                "size_bytes": dataset.estimated_size_bytes(),
+                "regions": dataset.region_count(),
+                "sha256": hashlib.sha256(
+                    meta_blob + region_blob
+                ).hexdigest(),
+            }
+        merge_seconds = time.perf_counter() - merge_started
+        placed_chroms = {
+            chrom
+            for node_name in used
+            for group in node_groups[node_name]
+            for chrom in group
+        }
+        skipped_chroms: set = set()
+        for group_text, __ in skipped_shards:
+            skipped_chroms.update(group_text.split("+"))
+
+        def shard_count(chrom_set) -> int:
+            total = 0
+            for src in optimized.sources:
+                for chrom, stats in merged[src]["shards"]["chroms"].items():
+                    if chrom in chrom_set:
+                        total += stats[0]
+            return total
+
+        self._metric("federation.shards_placed", shard_count(placed_chroms))
+        self._metric("federation.shards_skipped", shard_count(skipped_chroms))
+        return FederatedOutcome(
+            strategy="sharded",
+            results=results,
+            bytes_moved=self.network.log.bytes_total - baseline_bytes,
+            message_count=self.network.log.message_count() - baseline_messages,
+            executing_node=",".join(sorted(used)),
+            degraded=bool(skipped or skipped_shards),
+            skipped_hosts=tuple(sorted(skipped)),
+            skipped_shards=tuple(skipped_shards),
+            datasets=datasets,
+            node_seconds=node_seconds,
+            merge_seconds=merge_seconds,
             retries=self.caller.retries - baseline_retries,
         )
 

@@ -148,3 +148,82 @@ class DatasetTransfer:
 
     def size_bytes(self) -> int:
         return self.payload_bytes + 128
+
+
+# -- sharded cluster execution ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardExecuteRequest:
+    """Run a program over the shards of a chromosome group only."""
+
+    program: str
+    chroms: tuple
+    engine: str = "columnar"
+
+    def size_bytes(self) -> int:
+        return len(self.program.encode()) + _json_size(list(self.chroms)) + 96
+
+
+@dataclass(frozen=True)
+class ShardExecuteResponse:
+    """Tickets for the staged shard partials, plus the node's own kernel
+    wall time (the client's critical-path scaling measure).
+
+    Each ticket is ``(output_name, ticket, size_bytes, chunk_count,
+    meta_len)``; the metadata-section length lets the puller split the
+    streamed payload back into its two staged sections.
+    """
+
+    tickets: tuple
+    chroms: tuple = ()
+    seconds: float = 0.0
+
+    def size_bytes(self) -> int:
+        return _json_size(
+            {"tickets": list(self.tickets), "chroms": list(self.chroms),
+             "seconds": self.seconds}
+        )
+
+
+@dataclass(frozen=True)
+class ShardTransfer:
+    """One dataset's chromosome-group slice shipped between nodes."""
+
+    name: str
+    chroms: tuple
+    payload_bytes: int
+
+    def size_bytes(self) -> int:
+        return self.payload_bytes + _json_size(list(self.chroms)) + 128
+
+
+@dataclass(frozen=True)
+class BlobHandleRequest:
+    """Ask for a spill-file handle to a staged result (co-resident path)."""
+
+    ticket: str
+
+    def size_bytes(self) -> int:
+        return 96
+
+
+@dataclass(frozen=True)
+class BlobHandleResponse:
+    """A persisted-store handle to a staged result's spill file.
+
+    The whole point of the handle protocol: a co-resident client maps
+    the content-addressed spill file read-only instead of streaming its
+    bytes, so the response costs a fixed ~160 bytes however large the
+    result is.  ``ok`` is ``False`` when the result is memory-staged
+    (no spill file to hand out) -- the client falls back to chunk pulls.
+    """
+
+    ticket: str
+    ok: bool
+    path: str = ""
+    meta_len: int = 0
+    region_len: int = 0
+
+    def size_bytes(self) -> int:
+        return len(self.path.encode()) + 160

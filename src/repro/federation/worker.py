@@ -1,0 +1,157 @@
+"""Out-of-process federation nodes served over a local connection.
+
+:func:`serve_node` is the entry point of a worker *process*: it builds a
+real :class:`~repro.federation.node.FederationNode` around an empty
+catalog and answers a small ``(op, args)`` request loop over a
+:class:`multiprocessing.connection.Listener` socket.
+:class:`WorkerNodeProxy` is the client-side stand-in -- it exposes the
+same handler methods the in-process node does, so
+:meth:`~repro.federation.planner.FederatedClient.run_sharded` drives a
+process cluster and an in-process federation through one code path.
+
+A dead worker surfaces as :class:`~repro.errors.HostDownError` (a broken
+pipe is exactly "this host is unusable right now"), which is what the
+planner's degraded-execution semantics key on.
+"""
+
+from __future__ import annotations
+
+from multiprocessing.connection import Listener
+
+from repro.errors import HostDownError, FederationError
+
+
+def _dispatch(node, op: str, args: tuple):
+    """Execute one protocol operation against the worker's node."""
+    if op == "load":
+        dataset, = args
+        node.catalog.register(dataset, replace=True)
+        return dataset.summary()
+    if op == "info":
+        return node.handle_info(*args)
+    if op == "compile":
+        return node.handle_compile(*args)
+    if op == "execute":
+        return node.handle_execute(*args)
+    if op == "execute_shard":
+        return node.handle_execute_shard(*args)
+    if op == "chunk":
+        return node.handle_chunk(*args)
+    if op == "blob":
+        return node.handle_blob(*args)
+    if op == "fetch_shard":
+        return node.fetch_shard(*args)
+    if op == "receive_shard":
+        return node.receive_shard(*args)
+    raise FederationError(f"unknown worker operation {op!r}")
+
+
+def serve_node(address: str, authkey: bytes, name: str,
+               store_root: str | None = None) -> None:
+    """Run one federation node until its client says ``shutdown``.
+
+    Target of the worker :class:`multiprocessing.Process`.  With a
+    *store_root* the node persists columnar blocks and spills staged
+    results there -- content-addressed files a co-resident client can
+    memory-map instead of streaming (the handle protocol).
+    """
+    from repro.federation.node import FederationNode
+    from repro.federation.transfer import Network
+    from repro.repository.catalog import Catalog
+
+    if store_root is not None:
+        from repro.store.persist import set_store_root
+
+        set_store_root(store_root, sync=True)
+    node = FederationNode(name, Catalog(name), Network())
+    with Listener(address, family="AF_UNIX", authkey=authkey) as listener:
+        with listener.accept() as connection:
+            while True:
+                try:
+                    op, args = connection.recv()
+                except (EOFError, OSError):
+                    return
+                if op == "shutdown":
+                    return
+                try:
+                    result = _dispatch(node, op, args)
+                except Exception as exc:
+                    connection.send(
+                        ("error", (type(exc).__name__, str(exc)))
+                    )
+                else:
+                    connection.send(("ok", result))
+
+
+class WorkerNodeProxy:
+    """Client-side handle of a worker-process node.
+
+    Mirrors the :class:`FederationNode` handler surface over the worker
+    connection.  Deliberately has **no** ``catalog`` attribute: the
+    planner detects that and never attempts catalog-touching strategies
+    against process nodes.
+    """
+
+    def __init__(self, name: str, connection, client_name: str = "client"
+                 ) -> None:
+        self.name = name
+        self.connection = connection
+        self.client_name = client_name
+
+    def _call(self, op: str, *args):
+        try:
+            self.connection.send((op, args))
+            status, payload = self.connection.recv()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise HostDownError(
+                f"node {self.name} is unreachable: {type(exc).__name__}"
+            ) from exc
+        if status == "error":
+            kind, message = payload
+            if kind == "HostDownError":
+                raise HostDownError(message)
+            raise FederationError(f"{kind}: {message}")
+        return payload
+
+    # -- the FederationNode handler surface ----------------------------------
+
+    def load(self, dataset):
+        """Register one dataset slice in the worker's catalog."""
+        return self._call("load", dataset)
+
+    def handle_info(self, requester: str):
+        return self._call("info", requester)
+
+    def handle_compile(self, requester: str, program: str):
+        return self._call("compile", requester, program)
+
+    def handle_execute(self, requester: str, program: str,
+                       engine: str = "naive"):
+        return self._call("execute", requester, program, engine)
+
+    def handle_execute_shard(self, requester: str, program: str, chroms,
+                             engine: str = "columnar"):
+        return self._call("execute_shard", requester, program, chroms, engine)
+
+    def handle_chunk(self, requester: str, ticket: str, index: int):
+        return self._call("chunk", requester, ticket, index)
+
+    def handle_blob(self, requester: str, ticket: str):
+        return self._call("blob", requester, ticket)
+
+    def fetch_shard(self, requester: str, name: str, chroms):
+        return self._call("fetch_shard", requester, name, chroms)
+
+    def receive_shard(self, dataset, chroms=()):
+        return self._call("receive_shard", dataset, chroms)
+
+    def shutdown(self) -> None:
+        """Ask the worker to exit (best-effort; it may already be gone)."""
+        try:
+            self.connection.send(("shutdown", ()))
+        except (EOFError, OSError, BrokenPipeError):
+            pass
+        try:
+            self.connection.close()
+        except (EOFError, OSError):
+            pass

@@ -275,6 +275,45 @@ class Dataset:
                          samples, validate=validate)
         return result
 
+    def shard_summary(self) -> dict:
+        """Per-chromosome shard statistics for federated placement.
+
+        ``{"clustered": bool, "chroms": {chrom: [shard_count, regions,
+        bytes]}}``: one (sample, chromosome) shard per entry of the
+        count, bytes under the :meth:`estimated_size_bytes` region cost
+        model.  ``clustered`` reports whether every sample's regions
+        form one contiguous run per chromosome in genome order -- the
+        precondition for order-preserving shard slicing and merging.
+        """
+        from repro.gdm.region import chromosome_sort_key
+
+        per_region = 32 + 12 * len(self.schema)
+        chroms: dict = {}
+        clustered = True
+        for sample in self._samples.values():
+            counts: dict = {}
+            previous = None
+            for region in sample.regions:
+                if region.chrom != previous:
+                    if region.chrom in counts or (
+                        previous is not None
+                        and chromosome_sort_key(region.chrom)
+                        < chromosome_sort_key(previous)
+                    ):
+                        clustered = False
+                    previous = region.chrom
+                counts[region.chrom] = counts.get(region.chrom, 0) + 1
+            for chrom, count in counts.items():
+                entry = chroms.setdefault(chrom, [0, 0, 0])
+                entry[0] += 1
+                entry[1] += count
+                entry[2] += count * per_region
+        ordered = {
+            chrom: chroms[chrom]
+            for chrom in sorted(chroms, key=chromosome_sort_key)
+        }
+        return {"clustered": clustered, "chroms": ordered}
+
     def summary(self) -> dict:
         """Summary statistics dictionary used by repr, logs and protocols."""
         return {
@@ -288,6 +327,10 @@ class Dataset:
             # analysis without touching the data.
             "schema_types": {d.name: d.type.name for d in self.schema},
             "size_bytes": self.estimated_size_bytes(),
+            # (sample, chromosome) shard manifest: what federated
+            # shard-aware placement plans over (see
+            # :mod:`repro.federation.shards`).
+            "shards": self.shard_summary(),
         }
 
     def __repr__(self) -> str:

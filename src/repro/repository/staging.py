@@ -267,6 +267,25 @@ class StagingArea:
         """Fetch only the region section of a staged result."""
         return self._result(ticket).region_blob
 
+    def section_lengths(self, ticket: str) -> tuple:
+        """``(meta_len, region_len)`` of a staged result's two sections."""
+        result = self._result(ticket)
+        return result.meta_len, result.region_len
+
+    def blob_handle(self, ticket: str) -> tuple:
+        """``(spill_path, meta_len, region_len)`` of a staged result.
+
+        The handle-shipping path for co-resident peers: when the result
+        spilled to the persistent store, its content-addressed file can
+        be memory-mapped by anyone sharing the filesystem instead of
+        streaming chunks.  ``(None, 0, 0)`` when the result is
+        memory-staged.
+        """
+        result = self._result(ticket)
+        if result.path is None:
+            return None, 0, 0
+        return result.path, result.meta_len, result.region_len
+
     def release(self, ticket: str) -> None:
         """Free a staged result, closing any spill-file map it held."""
         result = self._staged.pop(ticket, None)

@@ -66,6 +66,7 @@ from repro.store.cover_kernels import (
     profile_cover,
     profile_histogram,
     profile_summits,
+    prune_dead_bins,
     sweep_profile,
     wide_sorted_events,
 )
@@ -128,6 +129,7 @@ __all__ = [
     "profile_cover",
     "profile_histogram",
     "profile_summits",
+    "prune_dead_bins",
     "PersistedStore",
     "ResidencyLedger",
     "mmap_descriptor",
