@@ -4,44 +4,45 @@
 Run from the repository root (CI runs it next to ``ruff check``)::
 
     python benchmarks/lint_repo.py
+    python benchmarks/lint_repo.py --select RL001,RL007
+    python benchmarks/lint_repo.py --ignore RL002
 
-Checks, over ``src``, ``tests`` and ``benchmarks``:
+Rules are a table -- :data:`RULES` -- with stable ``RL0xx`` codes, so CI
+annotations, ``--select``/``--ignore`` filters and the golden-snippet
+self-test suite (``tests/lint/``) all key on the same identifiers:
 
-1. **No wall-clock reads outside the clock module.**  Calls to
-   ``time.time()`` / ``datetime.now()`` / ``datetime.utcnow()`` are
-   banned everywhere except ``src/repro/resilience/clock.py`` -- every
-   component takes a clock so tests and chaos runs stay deterministic.
-2. **No bare ``except:``.**  A bare handler swallows KeyboardInterrupt
-   and SystemExit; catch ``Exception`` (or something narrower).
-3. **Operator registry is complete.**  Every module in
-   ``src/repro/gmql/operators/`` must be imported by the package
-   ``__init__``, so ``from repro.gmql.operators import *``-style
-   consumers (and the docs) never silently miss a kernel.
-4. **Everything parses.**  Each file is compiled with :func:`compile`,
-   which catches syntax errors even in modules no test imports.
-5. **No raw ``SharedMemory`` construction outside the store.**  Shared
-   memory segments leak unless their create/attach/close/unlink
-   lifecycle is exact; only ``src/repro/store/shm.py`` (the managed
-   :class:`ArrayShipper`/``materialise`` protocol) may instantiate
-   ``multiprocessing.shared_memory.SharedMemory``.
-6. **No raw memory maps outside the persisted store.**  ``np.memmap``
-   and ``mmap.mmap`` lifecycles (open/attach/close, segment immutability
-   after rename) are owned by ``src/repro/store/persist.py``; every
-   other module must go through its handle protocol
-   (``mmap_descriptor``/``open_segment``/``map_blob``) so segment files
-   are always opened read-only, memoised, and accounted.
+========  =======================================================
+RL001     wall-clock read (``time.time``/``datetime.now``/
+          ``datetime.utcnow``) outside ``resilience/clock.py``
+RL002     bare ``except:`` swallows SystemExit/KeyboardInterrupt
+RL003     raw ``SharedMemory`` construction outside ``store/shm.py``
+RL004     raw ``np.memmap``/``mmap.mmap`` outside ``store/persist.py``
+RL005     operator module not imported by ``gmql/operators/__init__``
+RL006     file does not parse
+RL007     ``time.sleep``/``time.monotonic``/``time.perf_counter``
+          outside ``resilience/clock.py``
+RL008     ``os.environ`` read outside a ``*_from_env`` function
+========  =======================================================
 
-Exits nonzero listing ``path:line: message`` for every violation.
+Checked trees: ``src``, ``tests``, ``benchmarks``.  The golden corpus
+of *intentionally* violating snippets under ``tests/lint/snippets/`` is
+exempt (each snippet exists to trip exactly one rule, verified by
+``tests/lint/test_lint_rules.py``).
+
+Exits nonzero listing ``path:line: RL0xx message`` for every violation.
 """
 
 from __future__ import annotations
 
+import argparse
 import ast
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 CHECKED_TREES = ("src", "tests", "benchmarks")
+SNIPPET_DIR = ROOT / "tests" / "lint" / "snippets"
 CLOCK_MODULE = ROOT / "src" / "repro" / "resilience" / "clock.py"
 SHM_MODULE = ROOT / "src" / "repro" / "store" / "shm.py"
 PERSIST_MODULE = ROOT / "src" / "repro" / "store" / "persist.py"
@@ -54,10 +55,25 @@ WALL_CLOCK_CALLS = (
     ("datetime", "utcnow"),
 )
 
+#: Monotonic/sleep reads that must route through the clock seam.
+CLOCK_SEAM_CALLS = (
+    ("time", "sleep"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+)
 
-def _python_files():
-    for tree in CHECKED_TREES:
-        yield from sorted((ROOT / tree).rglob("*.py"))
+
+@dataclass(frozen=True)
+class Problem:
+    """One rule violation at a location."""
+
+    code: str
+    path: Path  # repo-relative
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
 
 
 def _call_qualifier(func) -> tuple | None:
@@ -72,68 +88,184 @@ def _call_qualifier(func) -> tuple | None:
     return None
 
 
-def _check_file(path: Path, problems: list) -> None:
-    rel = path.relative_to(ROOT)
+# -- per-node rule checks --------------------------------------------------------
+#
+# Each checker receives the repo-relative path, one AST node, and the
+# name of the innermost enclosing function (or None), and yields
+# ``(line, message)`` violations.  File exemptions live in the rule row.
+
+
+def _check_wall_clock(rel, node, enclosing):
+    if isinstance(node, ast.Call):
+        pattern = _call_qualifier(node.func)
+        if pattern in WALL_CLOCK_CALLS:
+            yield (
+                node.lineno,
+                f"wall-clock call {pattern[0]}.{pattern[1]}() -- inject a "
+                f"clock (see repro.resilience.clock) instead",
+            )
+
+
+def _check_bare_except(rel, node, enclosing):
+    if isinstance(node, ast.ExceptHandler) and node.type is None:
+        yield (
+            node.lineno,
+            "bare 'except:' -- catch Exception (or narrower) so "
+            "SystemExit/KeyboardInterrupt propagate",
+        )
+
+
+def _check_shared_memory(rel, node, enclosing):
+    if not isinstance(node, ast.Call):
+        return
+    func = node.func
+    constructs_shm = (
+        isinstance(func, ast.Name) and func.id == "SharedMemory"
+    ) or (
+        isinstance(func, ast.Attribute) and func.attr == "SharedMemory"
+    )
+    if constructs_shm:
+        yield (
+            node.lineno,
+            "raw SharedMemory construction -- go through repro.store.shm "
+            "(ArrayShipper / materialise) so segments cannot leak",
+        )
+
+
+def _check_memmap(rel, node, enclosing):
+    if not isinstance(node, ast.Call):
+        return
+    func = node.func
+    constructs_map = (
+        isinstance(func, ast.Attribute) and func.attr == "memmap"
+    ) or (
+        isinstance(func, ast.Name) and func.id == "memmap"
+    ) or (
+        isinstance(func, ast.Attribute)
+        and func.attr == "mmap"
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("mmap", "_mmap")
+    )
+    if constructs_map:
+        yield (
+            node.lineno,
+            "raw memory-map construction -- go through repro.store.persist "
+            "(PersistedStore / open_segment / map_blob) so segment files "
+            "stay read-only and accounted",
+        )
+
+
+def _check_clock_seam(rel, node, enclosing):
+    if isinstance(node, ast.Call):
+        pattern = _call_qualifier(node.func)
+        if pattern in CLOCK_SEAM_CALLS:
+            yield (
+                node.lineno,
+                f"direct {pattern[0]}.{pattern[1]}() -- import it from "
+                f"repro.resilience.clock so timing has one patchable seam",
+            )
+
+
+def _check_environ(rel, node, enclosing):
+    is_environ = (
+        isinstance(node, ast.Attribute)
+        and node.attr == "environ"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "os"
+    )
+    if is_environ and (
+        enclosing is None or not enclosing.endswith("_from_env")
+    ):
+        yield (
+            node.lineno,
+            "os.environ read outside a *_from_env function -- route "
+            "configuration through one named entry point per knob",
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One table row: a stable code, a per-node checker, exemptions."""
+
+    code: str
+    summary: str
+    check: object  # callable(rel, node, enclosing) -> iterable
+    exempt: tuple = ()  # absolute Paths the rule does not apply to
+
+
+RULES: tuple = (
+    Rule("RL001", "wall-clock read outside the clock module",
+         _check_wall_clock, exempt=(CLOCK_MODULE,)),
+    Rule("RL002", "bare except", _check_bare_except),
+    Rule("RL003", "raw SharedMemory outside store/shm.py",
+         _check_shared_memory, exempt=(SHM_MODULE,)),
+    Rule("RL004", "raw memory map outside store/persist.py",
+         _check_memmap, exempt=(PERSIST_MODULE,)),
+    Rule("RL007", "sleep/monotonic/perf_counter outside the clock module",
+         _check_clock_seam, exempt=(CLOCK_MODULE,)),
+    Rule("RL008", "os.environ read outside a *_from_env function",
+         _check_environ),
+)
+
+#: Codes handled outside the per-node table (parse + repo-level checks).
+SPECIAL_CODES = ("RL005", "RL006")
+
+ALL_CODES = tuple(sorted(
+    [rule.code for rule in RULES] + list(SPECIAL_CODES)
+))
+
+
+def _python_files():
+    for tree in CHECKED_TREES:
+        for path in sorted((ROOT / tree).rglob("*.py")):
+            if SNIPPET_DIR in path.parents:
+                continue  # golden corpus of intentional violations
+            yield path
+
+
+def _walk_with_enclosing(tree):
+    """Yield ``(node, enclosing_function_name)`` over the whole AST."""
+    stack = [(tree, None)]
+    while stack:
+        node, enclosing = stack.pop()
+        yield node, enclosing
+        inner = enclosing
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = node.name
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, inner))
+
+
+def check_file(path: Path, active: set, root: Path = ROOT) -> list:
+    """All violations of the *active* rule codes in one file."""
+    rel = path.relative_to(root)
     source = path.read_text()
     try:
         tree = ast.parse(source, filename=str(rel))
         compile(source, str(rel), "exec")
     except SyntaxError as exc:
-        problems.append(f"{rel}:{exc.lineno}: syntax error: {exc.msg}")
-        return
-    is_clock = path == CLOCK_MODULE
-    is_shm = path == SHM_MODULE
-    is_persist = path == PERSIST_MODULE
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call) and not is_clock:
-            pattern = _call_qualifier(node.func)
-            if pattern in WALL_CLOCK_CALLS:
-                problems.append(
-                    f"{rel}:{node.lineno}: wall-clock call "
-                    f"{pattern[0]}.{pattern[1]}() -- inject a clock "
-                    f"(see repro.resilience.clock) instead"
-                )
-        if isinstance(node, ast.Call) and not is_shm:
-            func = node.func
-            constructs_shm = (
-                isinstance(func, ast.Name) and func.id == "SharedMemory"
-            ) or (
-                isinstance(func, ast.Attribute)
-                and func.attr == "SharedMemory"
-            )
-            if constructs_shm:
-                problems.append(
-                    f"{rel}:{node.lineno}: raw SharedMemory construction "
-                    f"-- go through repro.store.shm (ArrayShipper / "
-                    f"materialise) so segments cannot leak"
-                )
-        if isinstance(node, ast.Call) and not is_persist:
-            func = node.func
-            constructs_map = (
-                isinstance(func, ast.Attribute) and func.attr == "memmap"
-            ) or (
-                isinstance(func, ast.Name) and func.id == "memmap"
-            ) or (
-                isinstance(func, ast.Attribute)
-                and func.attr == "mmap"
-                and isinstance(func.value, ast.Name)
-                and func.value.id in ("mmap", "_mmap")
-            )
-            if constructs_map:
-                problems.append(
-                    f"{rel}:{node.lineno}: raw memory-map construction "
-                    f"-- go through repro.store.persist "
-                    f"(PersistedStore / open_segment / map_blob) so "
-                    f"segment files stay read-only and accounted"
-                )
-        if isinstance(node, ast.ExceptHandler) and node.type is None:
-            problems.append(
-                f"{rel}:{node.lineno}: bare 'except:' -- catch Exception "
-                f"(or narrower) so SystemExit/KeyboardInterrupt propagate"
-            )
+        if "RL006" in active:
+            return [Problem(
+                "RL006", rel, exc.lineno or 1, f"syntax error: {exc.msg}"
+            )]
+        return []
+    rules = [
+        rule for rule in RULES
+        if rule.code in active and path not in rule.exempt
+    ]
+    problems = []
+    for node, enclosing in _walk_with_enclosing(tree):
+        for rule in rules:
+            for line, message in rule.check(rel, node, enclosing):
+                problems.append(Problem(rule.code, rel, line, message))
+    problems.sort(key=lambda p: (p.line, p.code))
+    return problems
 
 
-def _check_operator_registry(problems: list) -> None:
+def check_operator_registry(active: set) -> list:
+    """RL005: every operator module is imported by the package init."""
+    if "RL005" not in active:
+        return []
     init = OPERATORS_DIR / "__init__.py"
     registered = set()
     for node in ast.walk(ast.parse(init.read_text())):
@@ -141,25 +273,71 @@ def _check_operator_registry(problems: list) -> None:
             prefix = "repro.gmql.operators."
             if node.module.startswith(prefix):
                 registered.add(node.module[len(prefix):])
+    problems = []
     for module in sorted(OPERATORS_DIR.glob("*.py")):
         name = module.stem
         if name == "__init__":
             continue
         if name not in registered:
-            problems.append(
-                f"{module.relative_to(ROOT)}:1: operator module "
-                f"{name!r} is not imported by gmql/operators/__init__.py"
-            )
+            problems.append(Problem(
+                "RL005", module.relative_to(ROOT), 1,
+                f"operator module {name!r} is not imported by "
+                f"gmql/operators/__init__.py",
+            ))
+    return problems
 
 
-def main() -> int:
+def _parse_codes(raw: str | None) -> set | None:
+    if raw is None:
+        return None
+    codes = {code.strip().upper() for code in raw.split(",") if code.strip()}
+    unknown = codes - set(ALL_CODES)
+    if unknown:
+        raise SystemExit(
+            f"unknown rule code(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(ALL_CODES)})"
+        )
+    return codes
+
+
+def active_codes(select: str | None = None, ignore: str | None = None
+                 ) -> set:
+    """The rule codes a run enforces after --select/--ignore filtering."""
+    active = _parse_codes(select) or set(ALL_CODES)
+    return active - (_parse_codes(ignore) or set())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="repo-invariant lint (RL0xx rules)"
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated RL0xx codes to enforce (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated RL0xx codes to skip",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="list the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.summary}")
+        print("RL005  operator module missing from the package registry")
+        print("RL006  file does not parse")
+        return 0
+    active = active_codes(args.select, args.ignore)
     problems: list = []
     for path in _python_files():
-        _check_file(path, problems)
-    _check_operator_registry(problems)
+        problems.extend(check_file(path, active))
+    problems.extend(check_operator_registry(active))
     if problems:
         for problem in problems:
-            print(problem)
+            print(problem.render())
         print(f"{len(problems)} problem(s)")
         return 1
     print("lint_repo: clean")

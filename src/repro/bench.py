@@ -46,8 +46,8 @@ result-cache hit/miss statistics -- the numbers the CI regression gate
 from __future__ import annotations
 
 import json
-import time
 
+from repro.resilience.clock import perf_counter
 from repro.engine.context import ExecutionContext
 from repro.engine.dispatch import get_backend
 from repro.gmql.lang import Interpreter, compile_program, optimize
@@ -228,14 +228,14 @@ def _run_variant(
                 config={"use_store": use_store, "use_shm": use_shm},
             )
             backend = get_backend(engine)
-            started = time.perf_counter()
+            started = perf_counter()
             try:
                 Interpreter(
                     backend, sources, context=context
                 ).run_program(compiled)
             finally:
                 backend.close()
-            extra_colds.append(time.perf_counter() - started)
+            extra_colds.append(perf_counter() - started)
             sources = _sources(scale, seed)
             reset_result_cache()
     runs = []
@@ -267,14 +267,14 @@ def _run_variant(
                 config={"use_store": use_store, "use_shm": use_shm},
             )
             backend = get_backend(engine)
-            started = time.perf_counter()
+            started = perf_counter()
             try:
                 results = Interpreter(
                     backend, sources, context=context
                 ).run_program(compiled)
             finally:
                 backend.close()
-            runs.append(time.perf_counter() - started)
+            runs.append(perf_counter() - started)
             if iteration == 0:
                 pruned_cold = context.metrics.counter(
                     "store.partitions_pruned"
@@ -385,9 +385,9 @@ def _run_sharded_matrix(
                 seed=seed,
             ) as cluster:
                 for iteration in range(max(1, repeat)):
-                    started = time.perf_counter()
+                    started = perf_counter()
                     outcome = cluster.run(program)
-                    walls.append(time.perf_counter() - started)
+                    walls.append(perf_counter() - started)
                     cluster_times.append(outcome.cluster_seconds())
                     if iteration == 0:
                         counter = context.metrics.counter

@@ -11,10 +11,11 @@ Subcommands::
         --engine auto --out ./results [--stats] [--trace] [--workers N] \
         [--chaos SPEC]
     python -m repro check QUERY.gmql [--source NAME=DIR] [--strict] \
-        [--format json]
+        [--effects] [--format json|sarif]
+    python -m repro check --bench-scenarios --strict
     python -m repro explain QUERY.gmql
     python -m repro explain QUERY.gmql --analyze --source ENCODE=./encode_dir
-    python -m repro bench --scale smoke --out BENCH_pr5.json
+    python -m repro bench --scale smoke --out BENCH_pr9.json
     python -m repro info DATASET_DIR
     python -m repro convert input.narrowPeak output.bed
     python -m repro formats
@@ -145,12 +146,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat warnings as errors (nonzero exit on any finding)",
     )
     check_cmd.add_argument(
-        "--format", default="text", choices=("text", "json"),
-        help="diagnostic output format (default: text with caret frames)",
+        "--effects", action="store_true",
+        help="also emit the GQL120-124 effect diagnostics: shardability, "
+             "merge exactness, cache safety, cardinality bounds",
+    )
+    check_cmd.add_argument(
+        "--format", default="text", choices=("text", "json", "sarif"),
+        help="diagnostic output format (default: text with caret frames; "
+             "sarif emits a SARIF 2.1.0 document for code-scanning upload)",
     )
     check_cmd.add_argument(
         "--rules", action="store_true",
         help="list the rule catalogue (codes and descriptions) and exit",
+    )
+    check_cmd.add_argument(
+        "--bench-scenarios", action="store_true",
+        help="check every benchmark-embedded scenario program instead of "
+             "a program file (the CI gate over repro.bench.PROGRAMS)",
     )
 
     explain_cmd = commands.add_parser(
@@ -188,8 +200,8 @@ def build_parser() -> argparse.ArgumentParser:
              "engines and write a BENCH JSON document",
     )
     bench_cmd.add_argument(
-        "--out", default="BENCH_pr8.json",
-        help="output JSON path (default: BENCH_pr8.json)",
+        "--out", default="BENCH_pr9.json",
+        help="output JSON path (default: BENCH_pr9.json)",
     )
     bench_cmd.add_argument(
         "--scale", default="smoke",
@@ -507,8 +519,70 @@ def _command_explain(args) -> int:
     compiled = compile_program(program, datasets=sources or None)
     if not args.no_optimize:
         compiled = optimize(compiled)
+    # Effect lines (`!! local exact-int cacheable ...`) ride along on
+    # every explained node; source summaries sharpen the bounds.
+    from repro.gmql.lang.effects import annotate_effects
+
+    summaries = {name: ds.summary() for name, ds in sources.items()}
+    annotate_effects(compiled, summaries=summaries or None)
     print(compiled.explain())
     return 0
+
+
+def _sarif_document(entries: list) -> dict:
+    """Minimal SARIF 2.1.0 document over ``(artifact, Analysis)`` pairs,
+    shaped for GitHub code-scanning upload."""
+    from repro.gmql.lang.semantics import RULES
+
+    results = []
+    seen_rules: dict = {}
+    for artifact, analysis in entries:
+        uri = "stdin" if artifact == "-" else artifact
+        for diag in analysis.diagnostics:
+            seen_rules[diag.code] = RULES.get(diag.code, "")
+            location = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                }
+            }
+            if diag.span is not None:
+                location["physicalLocation"]["region"] = {
+                    "startLine": diag.span.line,
+                    "startColumn": diag.span.column,
+                }
+            results.append(
+                {
+                    "ruleId": diag.code,
+                    "level": (
+                        "error" if diag.severity == "error" else "warning"
+                    ),
+                    "message": {"text": diag.message},
+                    "locations": [location],
+                }
+            )
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "rules": [
+                            {
+                                "id": code,
+                                "shortDescription": {
+                                    "text": seen_rules[code]
+                                },
+                            }
+                            for code in sorted(seen_rules)
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
 
 
 def _command_check(args) -> int:
@@ -520,24 +594,38 @@ def _command_check(args) -> int:
         for code in sorted(RULES):
             print(f"{code}  {RULES[code]}")
         return 0
-    if args.program is None:
-        print("error: a program path is required (or --rules)",
-              file=sys.stderr)
-        return EXIT_EXECUTION
-    program = _read_program(args.program)
-    sources = _load_sources(args.source)
-    try:
-        analysis = analyze_program(program, datasets=sources or None)
-    except GmqlSyntaxError as exc:
-        if args.format == "json":
-            print(json.dumps(
-                {"ok": False, "syntax_error": str(exc)}, indent=2
-            ))
-        else:
-            print(f"syntax error: {exc}", file=sys.stderr)
-        return EXIT_SYNTAX
-    errors = analysis.errors()
-    warnings = analysis.warnings()
+    if args.bench_scenarios:
+        from repro.bench import PROGRAMS
+
+        entries = [
+            (f"bench:{name}", analyze_program(text, effects=args.effects))
+            for name, text in sorted(PROGRAMS.items())
+        ]
+    else:
+        if args.program is None:
+            print(
+                "error: a program path is required "
+                "(or --rules / --bench-scenarios)",
+                file=sys.stderr,
+            )
+            return EXIT_EXECUTION
+        program = _read_program(args.program)
+        sources = _load_sources(args.source)
+        try:
+            analysis = analyze_program(
+                program, datasets=sources or None, effects=args.effects
+            )
+        except GmqlSyntaxError as exc:
+            if args.format == "json":
+                print(json.dumps(
+                    {"ok": False, "syntax_error": str(exc)}, indent=2
+                ))
+            else:
+                print(f"syntax error: {exc}", file=sys.stderr)
+            return EXIT_SYNTAX
+        entries = [(args.program, analysis)]
+    errors = [d for __, a in entries for d in a.errors()]
+    warnings = [d for __, a in entries for d in a.warnings()]
     failed = bool(errors) or (args.strict and bool(warnings))
     if args.format == "json":
         print(json.dumps(
@@ -545,15 +633,27 @@ def _command_check(args) -> int:
                 "ok": not failed,
                 "errors": len(errors),
                 "warnings": len(warnings),
-                "diagnostics": [d.to_dict() for d in analysis.diagnostics],
+                "diagnostics": [
+                    d.to_dict() for __, a in entries for d in a.diagnostics
+                ],
             },
             indent=2,
         ))
-    elif analysis.diagnostics:
-        print(analysis.render())
-        print(f"{len(errors)} error(s), {len(warnings)} warning(s)")
+    elif args.format == "sarif":
+        print(json.dumps(_sarif_document(entries), indent=2))
     else:
-        print("ok: no findings")
+        any_findings = False
+        for artifact, analysis in entries:
+            if not analysis.diagnostics:
+                continue
+            if len(entries) > 1:
+                print(f"-- {artifact} --")
+            print(analysis.render())
+            any_findings = True
+        if any_findings:
+            print(f"{len(errors)} error(s), {len(warnings)} warning(s)")
+        else:
+            print("ok: no findings")
     return EXIT_SEMANTIC if failed else 0
 
 

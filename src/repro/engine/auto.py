@@ -74,7 +74,7 @@ def parallel_threshold() -> int:
 
 
 def choose_backend(
-    kind: str, input_regions: float, available: tuple
+    kind: str, input_regions: float, available: tuple, effects=None
 ) -> tuple:
     """Pick a backend for one operator; returns ``(name, reason)``.
 
@@ -87,15 +87,41 @@ def choose_backend(
     available:
         Registered backend names; choices degrade gracefully when the
         parallel or columnar backend is unavailable.
+    effects:
+        The node's inferred :class:`~repro.gmql.lang.effects.Effects`
+        record, when the caller has one.  Replaces the hard-coded
+        operator allowlists: sharding requires chromosome locality,
+        fan-out requires morsel safety, and a finite ``input_bound``
+        caps the bare row-count estimate (a provably small input never
+        routes to a heavyweight backend on an inflated estimate).
     """
     kind = kind.lower()
     if kind == SOURCE_KIND:
         return "source", "scans read datasets directly"
+    bound_note = ""
+    if effects is not None and effects.input_bound is not None:
+        if effects.input_bound < input_regions:
+            bound_note = (
+                f" (estimate capped by inferred bound "
+                f"<={effects.input_bound})"
+            )
+            input_regions = effects.input_bound
+    chrom_local = (
+        effects.chrom_local if effects is not None
+        else kind in PARALLEL_OPERATORS
+    )
+    morsel_safe = (
+        effects.morsel_safe if effects is not None
+        else kind in PARALLEL_OPERATORS
+    )
     from repro.engine.sharded import shard_groups_from_env
+    from repro.gmql.lang.effects import SHARD_WORTHWHILE_KINDS
 
     shard_groups = shard_groups_from_env()
     if (
         shard_groups is not None
+        and chrom_local
+        and kind in SHARD_WORTHWHILE_KINDS
         and kind in PARALLEL_OPERATORS
         and input_regions >= COLUMNAR_KIND_THRESHOLDS.get(
             kind, COLUMNAR_REGION_THRESHOLD
@@ -105,17 +131,19 @@ def choose_backend(
         return (
             "sharded",
             f"{kind} over ~{int(input_regions)} regions: "
-            f"REPRO_SHARD_GROUPS={shard_groups} chromosome groups",
+            f"REPRO_SHARD_GROUPS={shard_groups} chromosome groups"
+            f"{bound_note}",
         )
     if (
         kind in PARALLEL_OPERATORS
+        and morsel_safe
         and input_regions >= parallel_threshold()
         and "parallel" in available
     ):
         return (
             "parallel",
             f"{kind} over ~{int(input_regions)} regions: "
-            f"partition across worker processes",
+            f"partition across worker processes{bound_note}",
         )
     columnar_threshold = COLUMNAR_KIND_THRESHOLDS.get(
         kind, COLUMNAR_REGION_THRESHOLD
@@ -194,52 +222,58 @@ class AutoBackend(Backend):
 
     # -- direct kernel dispatch (used outside physical plans) -------------------
 
-    def _route(self, kind: str, *inputs) -> Backend:
+    def _route(self, plan, *inputs) -> Backend:
         from repro.engine.dispatch import available_backends
+        from repro.gmql.lang.effects import node_effects
 
         regions = sum(
             dataset.region_count() for dataset in inputs if dataset is not None
         )
-        name, __ = choose_backend(kind, regions, available_backends())
+        # Node-level effects: the inputs are materialised datasets, so
+        # only the operator's own locality/morsel safety matters here.
+        name, __ = choose_backend(
+            plan.kind, regions, available_backends(),
+            effects=node_effects(plan),
+        )
         return self.delegate(name)
 
     def run_select(self, plan, child, semijoin_data):
-        return self._route("select", child, semijoin_data).run_select(
+        return self._route(plan, child, semijoin_data).run_select(
             plan, child, semijoin_data
         )
 
     def run_project(self, plan, child):
-        return self._route("project", child).run_project(plan, child)
+        return self._route(plan, child).run_project(plan, child)
 
     def run_extend(self, plan, child):
-        return self._route("extend", child).run_extend(plan, child)
+        return self._route(plan, child).run_extend(plan, child)
 
     def run_merge(self, plan, child):
-        return self._route("merge", child).run_merge(plan, child)
+        return self._route(plan, child).run_merge(plan, child)
 
     def run_group(self, plan, child):
-        return self._route("group", child).run_group(plan, child)
+        return self._route(plan, child).run_group(plan, child)
 
     def run_order(self, plan, child):
-        return self._route("order", child).run_order(plan, child)
+        return self._route(plan, child).run_order(plan, child)
 
     def run_union(self, plan, left, right):
-        return self._route("union", left, right).run_union(plan, left, right)
+        return self._route(plan, left, right).run_union(plan, left, right)
 
     def run_difference(self, plan, left, right):
-        return self._route("difference", left, right).run_difference(
+        return self._route(plan, left, right).run_difference(
             plan, left, right
         )
 
     def run_cover(self, plan, child):
-        return self._route("cover", child).run_cover(plan, child)
+        return self._route(plan, child).run_cover(plan, child)
 
     def run_map(self, plan, reference, experiment):
-        return self._route("map", reference, experiment).run_map(
+        return self._route(plan, reference, experiment).run_map(
             plan, reference, experiment
         )
 
     def run_join(self, plan, anchor, experiment):
-        return self._route("join", anchor, experiment).run_join(
+        return self._route(plan, anchor, experiment).run_join(
             plan, anchor, experiment
         )

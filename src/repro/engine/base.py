@@ -23,10 +23,15 @@ into the context's registry.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass
 
 from repro.gdm import Dataset
+from repro.resilience.clock import perf_counter
+
+
+def use_store_from_env() -> bool:
+    """Whether ``REPRO_STORE`` leaves the columnar store enabled."""
+    return os.environ.get("REPRO_STORE", "").strip() != "0"
 
 
 @dataclass(frozen=True)
@@ -164,7 +169,7 @@ class Backend:
             "use_store", True
         ):
             return False
-        return os.environ.get("REPRO_STORE", "").strip() != "0"
+        return use_store_from_env()
 
     def store_bin_size(self) -> int | None:
         """Zone-map bin size for this run (context, env, or store default)."""
@@ -245,9 +250,9 @@ class Backend:
             current = context.tracer.current
             if current is not None:
                 label = current.label
-        started = time.perf_counter()
+        started = perf_counter()
         result = fn(*args, **kwargs)
-        seconds = time.perf_counter() - started
+        seconds = perf_counter() - started
         self.stats.record(
             operator, seconds, result, backend=self.name, label=label
         )

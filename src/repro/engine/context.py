@@ -14,11 +14,11 @@ layer without creating import cycles.
 from __future__ import annotations
 
 import os
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import ExecutionCancelled
+from repro.resilience.clock import monotonic, perf_counter
 
 
 def workers_from_env(default: int | None = None) -> int | None:
@@ -108,11 +108,11 @@ class SpanTracer:
         span = Span(label, dict(attributes))
         (self._stack[-1].children if self._stack else self.roots).append(span)
         self._stack.append(span)
-        started = time.perf_counter()
+        started = perf_counter()
         try:
             yield span
         finally:
-            span.seconds = time.perf_counter() - started
+            span.seconds = perf_counter() - started
             self._stack.pop()
 
     def total_seconds(self) -> float:
@@ -232,7 +232,7 @@ class ExecutionContext:
         self._cancelled = False
 
     def _now(self) -> float:
-        return self._clock.monotonic() if self._clock else time.monotonic()
+        return self._clock.monotonic() if self._clock else monotonic()
 
     # -- cancellation / deadline ------------------------------------------------
 

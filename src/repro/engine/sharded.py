@@ -11,9 +11,11 @@ network involved.
 
 Group count comes from ``REPRO_SHARD_GROUPS`` (the ``auto`` backend
 routes region-heavy operators here only when that variable is set).
-Operators that aggregate across chromosomes (EXTEND/MERGE/ORDER/GROUP)
-and per-sample bookkeeping operators delegate to the inner backend
-unchanged.
+Which kernels shard is decided by the inferred effect annotations
+(:mod:`repro.gmql.lang.effects`): chromosome-local region-matching
+operators shard, while cross-chromosome aggregation (EXTEND/MERGE/
+ORDER/GROUP) and per-sample bookkeeping operators delegate to the
+inner backend unchanged.
 """
 
 from __future__ import annotations
@@ -113,12 +115,28 @@ class ShardedBackend(Backend):
         return groups if len(groups) >= 2 else None
 
     def _sharded(self, kernel: str, plan, *datasets):
-        """Run one kernel per chromosome group and merge the partials."""
+        """Run one kernel per chromosome group and merge the partials.
+
+        The gate is the node's inferred effect record, not an operator
+        allowlist: only chromosome-local kernels doing per-region
+        matching work shard; everything else (cross-chromosome
+        aggregation, cheap bookkeeping) delegates to the inner backend
+        unchanged.
+        """
         from repro.federation.merge import merge_partials
         from repro.federation.shards import slice_dataset
+        from repro.gmql.lang.effects import (
+            SHARD_WORTHWHILE_KINDS,
+            node_effects,
+        )
 
-        groups = self._split(*datasets)
         run = getattr(self.inner(), f"run_{kernel}")
+        if (
+            plan.kind not in SHARD_WORTHWHILE_KINDS
+            or not node_effects(plan).chrom_local
+        ):
+            return run(plan, *datasets)
+        groups = self._split(*datasets)
         if groups is None:
             return run(plan, *datasets)
         partials = []
@@ -137,22 +155,22 @@ class ShardedBackend(Backend):
     # -- operator kernels ---------------------------------------------------------
 
     def run_select(self, plan, child, semijoin_data):
-        return self.inner().run_select(plan, child, semijoin_data)
+        return self._sharded("select", plan, child, semijoin_data)
 
     def run_project(self, plan, child):
-        return self.inner().run_project(plan, child)
+        return self._sharded("project", plan, child)
 
     def run_extend(self, plan, child):
-        return self.inner().run_extend(plan, child)
+        return self._sharded("extend", plan, child)
 
     def run_merge(self, plan, child):
-        return self.inner().run_merge(plan, child)
+        return self._sharded("merge", plan, child)
 
     def run_group(self, plan, child):
-        return self.inner().run_group(plan, child)
+        return self._sharded("group", plan, child)
 
     def run_order(self, plan, child):
-        return self.inner().run_order(plan, child)
+        return self._sharded("order", plan, child)
 
     def run_union(self, plan, left, right):
         return self._sharded("union", plan, left, right)

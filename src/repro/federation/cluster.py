@@ -21,11 +21,11 @@ from __future__ import annotations
 import multiprocessing
 import shutil
 import tempfile
-import time
 
 from multiprocessing.connection import Client
 
 from repro.errors import FederationError
+from repro.resilience.clock import monotonic, sleep
 from repro.federation.planner import FederatedClient, FederatedOutcome
 from repro.federation.shards import (
     dataset_manifest,
@@ -106,7 +106,7 @@ class LocalCluster:
     @staticmethod
     def _connect(address: str, process, timeout: float):
         """Connect to a worker's listener, waiting for it to come up."""
-        deadline = time.monotonic() + timeout
+        deadline = monotonic() + timeout
         while True:
             try:
                 return Client(address, family="AF_UNIX", authkey=_AUTHKEY)
@@ -115,11 +115,11 @@ class LocalCluster:
                     raise FederationError(
                         f"worker process for {address} died during startup"
                     ) from None
-                if time.monotonic() > deadline:
+                if monotonic() > deadline:
                     raise FederationError(
                         f"worker at {address} did not come up in {timeout}s"
                     ) from None
-                time.sleep(0.01)
+                sleep(0.01)
 
     def run(self, program: str, engine: str = "columnar",
             max_shards: int | None = None) -> FederatedOutcome:

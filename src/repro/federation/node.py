@@ -9,7 +9,7 @@ shared simulated :class:`~repro.federation.transfer.Network`.
 
 from __future__ import annotations
 
-import time
+from repro.resilience.clock import perf_counter
 
 from repro.errors import FederationError, QueryError
 from repro.federation.estimator import estimate_plan
@@ -35,6 +35,7 @@ from repro.federation.shards import slice_dataset
 from repro.federation.transfer import Network
 from repro.gdm import Dataset
 from repro.gmql.lang import Interpreter, compile_program, optimize
+from repro.gmql.lang.plan import CompiledProgram
 from repro.engine.dispatch import get_backend
 from repro.repository.catalog import Catalog
 from repro.repository.staging import StagingArea
@@ -153,6 +154,7 @@ class FederationNode:
         program: str,
         chroms,
         engine: str = "columnar",
+        outputs=None,
     ) -> ShardExecuteResponse:
         """Execute a program over this node's shards of a chromosome group.
 
@@ -160,13 +162,19 @@ class FederationNode:
         shipped-in shard slices -- is narrowed to *chroms* before the
         kernels run, so the node computes exactly its assigned shards'
         partial results and stages them for streaming (or handle
-        shipping) back to the requester.  The response carries the
-        node's own kernel wall time: the client's critical-path scaling
-        measure is independent of client-side queueing.
+        shipping) back to the requester.  *outputs* narrows execution to
+        a subset of the program's materialised outputs (the planner's
+        per-output rounds); ``None`` runs them all.  The response
+        carries the node's own kernel wall time: the client's
+        critical-path scaling measure is independent of client-side
+        queueing.
         """
         self.network.fire(f"federation.execute:{self.name}")
         wanted = tuple(chroms)
-        request = ShardExecuteRequest(program, wanted, engine)
+        wanted_outputs = tuple(outputs) if outputs is not None else None
+        request = ShardExecuteRequest(
+            program, wanted, engine, wanted_outputs
+        )
         self.network.send(requester, self.name, "shard-execute-request",
                           request.size_bytes())
         sources: dict = {}
@@ -182,18 +190,31 @@ class FederationNode:
                 pieces[0] if len(pieces) == 1 else merge_partials(pieces)
             )
         compiled = optimize(compile_program(program))
+        if wanted_outputs is not None:
+            unknown = [o for o in wanted_outputs if o not in compiled.outputs]
+            if unknown:
+                raise FederationError(
+                    f"node {self.name!r} has no program outputs {unknown}"
+                )
+            filtered = CompiledProgram(
+                compiled.variables,
+                {name: compiled.outputs[name] for name in wanted_outputs},
+                compiled.sources,
+            )
+            filtered.analysis = compiled.analysis
+            compiled = filtered
         missing = [s for s in compiled.sources if s not in sources]
         if missing:
             raise FederationError(
                 f"node {self.name!r} lacks source datasets {missing}"
             )
         backend = get_backend(engine)
-        started = time.perf_counter()
+        started = perf_counter()
         try:
             results = Interpreter(backend, sources).run_program(compiled)
         finally:
             backend.close()
-        seconds = time.perf_counter() - started
+        seconds = perf_counter() - started
         tickets = []
         for output_name, dataset in results.items():
             ticket = self.staging.stage(dataset)

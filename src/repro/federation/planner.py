@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import time
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -49,41 +48,14 @@ from repro.federation.shards import partition_chromosomes
 from repro.federation.transfer import Network
 from repro.gdm import chromosome_sort_key
 from repro.gmql.lang import compile_program, execute, optimize
+from repro.gmql.lang.effects import annotate_effects
 from repro.repository.staging import _serialise_sections
-from repro.gmql.lang.plan import (
-    CoverPlan,
-    DifferencePlan,
-    EmptyPlan,
-    JoinPlan,
-    MapPlan,
-    ProjectPlan,
-    ScanPlan,
-    SelectPlan,
-    UnionPlan,
-)
+from repro.resilience.clock import perf_counter
 from repro.resilience import (
     BreakerRegistry,
     ResilientCaller,
     RetryPolicy,
     SimulatedClock,
-)
-
-#: Plan node kinds whose chromosome shards are independent: the operator
-#: never matches or aggregates *across* chromosomes, so node-local
-#: kernels compute final values and the parent merge only interleaves.
-#: EXTEND/MERGE/ORDER/GROUP aggregate across a whole sample (an
-#: ``fsum`` of per-shard ``fsum`` partials is not the single-pass
-#: ``fsum``), so their plans fall back to whole-dataset strategies.
-SHARDABLE_PLANS = (
-    ScanPlan,
-    SelectPlan,
-    ProjectPlan,
-    MapPlan,
-    JoinPlan,
-    CoverPlan,
-    DifferencePlan,
-    UnionPlan,
-    EmptyPlan,
 )
 
 #: Failures that mean "this host is unusable right now" -- the planner
@@ -457,9 +429,15 @@ class FederatedClient:
         accounting unit is the (sample, chromosome) shard.  Nodes that
         die mid-shard degrade the outcome -- their groups land in
         ``skipped_shards`` and the merged result covers the surviving
-        shards -- mirroring :meth:`run_scatter`'s semantics.  Plans with
-        cross-chromosome aggregation (EXTEND/MERGE/ORDER/GROUP) or
-        non-clustered sources fall back to the whole-dataset planner.
+        shards -- mirroring :meth:`run_scatter`'s semantics.
+
+        Shardability is *inferred per output* from the plan's effect
+        annotations (:mod:`repro.gmql.lang.effects`): chromosome-local
+        outputs shard into placement groups, while outputs whose subtree
+        aggregates across chromosomes (EXTEND/MERGE/ORDER/GROUP) run in
+        a separate whole-genome round on one node.  Only when *no*
+        output is local -- or sources are not chromosome-clustered --
+        does the plan fall back to the whole-dataset planner.
 
         *max_shards* caps the number of shard groups (default: one
         group per chromosome, the finest placement granularity).
@@ -529,15 +507,21 @@ class FederatedClient:
         if missing:
             raise FederationError(f"no node hosts {missing}")
         optimized = optimize(compiled)
-        plans = list(optimized.outputs.values())
-        shardable = True
-        stack = list(plans)
-        while stack:
-            plan = stack.pop()
-            if not isinstance(plan, SHARDABLE_PLANS):
-                shardable = False
-                break
-            stack.extend(plan.children)
+        # Effect inference replaces the old SHARDABLE_PLANS allowlist:
+        # every output is gated on its own inferred chromosome locality,
+        # so one EXTEND output no longer sinks the whole program to
+        # whole-dataset strategies.
+        annotate_effects(optimized, summaries=merged)
+        local_outputs = {
+            name: plan
+            for name, plan in optimized.outputs.items()
+            if plan.effects.chrom_local
+        }
+        global_outputs = {
+            name: plan
+            for name, plan in optimized.outputs.items()
+            if name not in local_outputs
+        }
         clustered = all(
             (merged[src].get("shards") or {}).get("clustered", False)
             for src in optimized.sources
@@ -552,26 +536,125 @@ class FederatedClient:
             raise FederationError(
                 f"sources {sorted(optimized.sources)} hold no regions to shard"
             )
-        if not shardable or not clustered:
+        if not clustered or not local_outputs:
             if all(
                 getattr(node, "catalog", None) is not None
                 for node in self.nodes.values()
             ):
+                # Nothing shards (or sources are not clustered) and
+                # every node is catalog-backed: the whole-dataset
+                # planner wins outright.
                 return self.run(program, engine)
             if not clustered:
                 raise FederationError(
                     "sharded execution needs chromosome-clustered sources"
                 )
-            # Worker-process federation with a non-shardable plan:
-            # degenerate to one group of every chromosome -- the whole
-            # plan runs on one node after all shards ship there.
-            groups = (tuple(sorted(weights, key=chromosome_sort_key)),)
-        elif max_shards is not None:
-            groups = partition_chromosomes(weights, max_shards)
-        else:
-            groups = tuple(
-                (chrom,) for chrom in sorted(weights, key=chromosome_sort_key)
+        # Per-output execution rounds: chromosome-local outputs shard
+        # into placement groups; outputs whose subtree aggregates across
+        # chromosomes (``effects.locality_breaker``) run as one
+        # whole-genome group -- slicing to every chromosome is the
+        # identity, so the same shard protocol serves both.
+        all_chroms = tuple(sorted(weights, key=chromosome_sort_key))
+        rounds: list = []
+        if clustered and local_outputs:
+            if max_shards is not None:
+                local_groups = partition_chromosomes(weights, max_shards)
+            else:
+                local_groups = tuple((chrom,) for chrom in all_chroms)
+            rounds.append((local_groups, tuple(local_outputs)))
+        if global_outputs:
+            rounds.append(((all_chroms,), tuple(global_outputs)))
+        skipped_shards: list = []
+        partials: dict = {}
+        node_seconds: dict = {}
+        used: set = set()
+        placed_chroms: set = set()
+        for round_groups, round_outputs in rounds:
+            self._execute_shard_round(
+                program, engine, round_outputs, round_groups,
+                optimized, merged, residency_stats, per_node, weights,
+                partials, node_seconds, used, placed_chroms,
+                skipped, skipped_shards,
             )
+        if not partials:
+            reasons = "; ".join(
+                f"{group}: {reason}" for group, reason in skipped_shards
+            ) or "; ".join(f"{h}: {r}" for h, r in sorted(skipped))
+            raise FederationError(
+                f"sharded plan found no usable node for "
+                f"{sorted(optimized.sources)} ({reasons or 'none reachable'})"
+            )
+        # Merge: interleave chromosome runs, never re-aggregate.
+        merge_started = perf_counter()
+        datasets: dict = {}
+        results: dict = {}
+        for output_name in optimized.outputs:
+            pieces = partials.get(output_name)
+            if not pieces:
+                continue
+            dataset = merge_partials(pieces, name=output_name)
+            datasets[output_name] = dataset
+            meta_blob, region_blob = _serialise_sections(dataset)
+            results[output_name] = {
+                "size_bytes": dataset.estimated_size_bytes(),
+                "regions": dataset.region_count(),
+                "sha256": hashlib.sha256(
+                    meta_blob + region_blob
+                ).hexdigest(),
+            }
+        merge_seconds = perf_counter() - merge_started
+        skipped_chroms: set = set()
+        for group_text, __ in skipped_shards:
+            skipped_chroms.update(group_text.split("+"))
+
+        def shard_count(chrom_set) -> int:
+            total = 0
+            for src in optimized.sources:
+                for chrom, stats in merged[src]["shards"]["chroms"].items():
+                    if chrom in chrom_set:
+                        total += stats[0]
+            return total
+
+        self._metric("federation.shards_placed", shard_count(placed_chroms))
+        self._metric("federation.shards_skipped", shard_count(skipped_chroms))
+        return FederatedOutcome(
+            strategy="sharded",
+            results=results,
+            bytes_moved=self.network.log.bytes_total - baseline_bytes,
+            message_count=self.network.log.message_count() - baseline_messages,
+            executing_node=",".join(sorted(used)),
+            degraded=bool(skipped or skipped_shards),
+            skipped_hosts=tuple(sorted(skipped)),
+            skipped_shards=tuple(skipped_shards),
+            datasets=datasets,
+            node_seconds=node_seconds,
+            merge_seconds=merge_seconds,
+            retries=self.caller.retries - baseline_retries,
+        )
+
+    def _execute_shard_round(
+        self,
+        program: str,
+        engine: str,
+        outputs: tuple,
+        groups: tuple,
+        optimized,
+        merged: dict,
+        residency_stats: dict,
+        per_node: dict,
+        weights: dict,
+        partials: dict,
+        node_seconds: dict,
+        used: set,
+        placed_chroms: set,
+        skipped: list,
+        skipped_shards: list,
+    ) -> None:
+        """Place, ship and execute one round of shard *groups* computing
+        the given *outputs*; partials and accounting accumulate into the
+        caller's collections (a node serving several rounds sums its
+        kernel seconds)."""
+        plans = [optimized.outputs[name] for name in outputs]
         # Cost-based placement over the live nodes.
         group_bytes = {
             group: sum(weights[chrom] for chrom in group) for group in groups
@@ -600,7 +683,6 @@ class FederatedClient:
         # Ship source shards the placement moved away from their data:
         # donor nodes serve exactly the missing chromosome slices, the
         # client relays them to the executing node.
-        skipped_shards: list = []
         dead_groups: set = set()
         for placement in placements:
             target_name = placement.node
@@ -677,9 +759,6 @@ class FederatedClient:
             node_groups.setdefault(placement.node, []).append(
                 placement.chroms
             )
-        partials: dict = {}
-        node_seconds: dict = {}
-        used: list = []
         for node_name in per_node:
             groups_here = node_groups.get(node_name)
             if not groups_here:
@@ -693,7 +772,7 @@ class FederatedClient:
                 response = self.caller.call(
                     node_name, "execute-shard",
                     lambda n=node, c=chroms: n.handle_execute_shard(
-                        self.name, program, c, engine
+                        self.name, program, c, engine, outputs=outputs
                     ),
                 )
                 sections_by_output = {}
@@ -708,75 +787,19 @@ class FederatedClient:
                 for group in groups_here:
                     skipped_shards.append(("+".join(group), _brief(exc)))
                 continue
-            node_seconds[node_name] = response.seconds
-            used.append(node_name)
+            node_seconds[node_name] = (
+                node_seconds.get(node_name, 0.0) + response.seconds
+            )
+            used.add(node_name)
+            placed_chroms.update(
+                chrom for group in groups_here for chrom in group
+            )
             for output_name, (meta_blob, region_blob) in (
                 sections_by_output.items()
             ):
                 partials.setdefault(output_name, []).append(
                     parse_staged_sections(meta_blob, region_blob, output_name)
                 )
-        if not partials:
-            reasons = "; ".join(
-                f"{group}: {reason}" for group, reason in skipped_shards
-            ) or "; ".join(f"{h}: {r}" for h, r in sorted(skipped))
-            raise FederationError(
-                f"sharded plan found no usable node for "
-                f"{sorted(optimized.sources)} ({reasons or 'none reachable'})"
-            )
-        # Merge: interleave chromosome runs, never re-aggregate.
-        merge_started = time.perf_counter()
-        datasets: dict = {}
-        results: dict = {}
-        for output_name in optimized.outputs:
-            pieces = partials.get(output_name)
-            if not pieces:
-                continue
-            dataset = merge_partials(pieces, name=output_name)
-            datasets[output_name] = dataset
-            meta_blob, region_blob = _serialise_sections(dataset)
-            results[output_name] = {
-                "size_bytes": dataset.estimated_size_bytes(),
-                "regions": dataset.region_count(),
-                "sha256": hashlib.sha256(
-                    meta_blob + region_blob
-                ).hexdigest(),
-            }
-        merge_seconds = time.perf_counter() - merge_started
-        placed_chroms = {
-            chrom
-            for node_name in used
-            for group in node_groups[node_name]
-            for chrom in group
-        }
-        skipped_chroms: set = set()
-        for group_text, __ in skipped_shards:
-            skipped_chroms.update(group_text.split("+"))
-
-        def shard_count(chrom_set) -> int:
-            total = 0
-            for src in optimized.sources:
-                for chrom, stats in merged[src]["shards"]["chroms"].items():
-                    if chrom in chrom_set:
-                        total += stats[0]
-            return total
-
-        self._metric("federation.shards_placed", shard_count(placed_chroms))
-        self._metric("federation.shards_skipped", shard_count(skipped_chroms))
-        return FederatedOutcome(
-            strategy="sharded",
-            results=results,
-            bytes_moved=self.network.log.bytes_total - baseline_bytes,
-            message_count=self.network.log.message_count() - baseline_messages,
-            executing_node=",".join(sorted(used)),
-            degraded=bool(skipped or skipped_shards),
-            skipped_hosts=tuple(sorted(skipped)),
-            skipped_shards=tuple(skipped_shards),
-            datasets=datasets,
-            node_seconds=node_seconds,
-            merge_seconds=merge_seconds,
-            retries=self.caller.retries - baseline_retries,
-        )
 
     # -- the planner --------------------------------------------------------------------
 

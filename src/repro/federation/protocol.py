@@ -155,14 +155,25 @@ class DatasetTransfer:
 
 @dataclass(frozen=True)
 class ShardExecuteRequest:
-    """Run a program over the shards of a chromosome group only."""
+    """Run a program over the shards of a chromosome group only.
+
+    ``outputs`` limits execution to a subset of the program's
+    MATERIALIZE targets (``None`` = all): the planner runs
+    chromosome-local and whole-genome outputs in separate rounds.
+    """
 
     program: str
     chroms: tuple
     engine: str = "columnar"
+    outputs: tuple | None = None
 
     def size_bytes(self) -> int:
-        return len(self.program.encode()) + _json_size(list(self.chroms)) + 96
+        return (
+            len(self.program.encode())
+            + _json_size(list(self.chroms))
+            + _json_size(list(self.outputs or ()))
+            + 96
+        )
 
 
 @dataclass(frozen=True)

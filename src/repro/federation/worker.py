@@ -130,8 +130,10 @@ class WorkerNodeProxy:
         return self._call("execute", requester, program, engine)
 
     def handle_execute_shard(self, requester: str, program: str, chroms,
-                             engine: str = "columnar"):
-        return self._call("execute_shard", requester, program, chroms, engine)
+                             engine: str = "columnar", outputs=None):
+        return self._call(
+            "execute_shard", requester, program, chroms, engine, outputs
+        )
 
     def handle_chunk(self, requester: str, ticket: str, index: int):
         return self._call("chunk", requester, ticket, index)

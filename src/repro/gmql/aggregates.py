@@ -25,6 +25,14 @@ from typing import Any, Sequence
 from repro.errors import EvaluationError
 from repro.gdm import AttributeType, FLOAT, INT, STR
 
+#: Merge-exactness classes (ordered lattice, weakest guarantee last).
+#: They answer one question for the effect analysis
+#: (:mod:`repro.gmql.lang.effects`): if an aggregate's input bag is
+#: split into partials, can the partial results be recombined exactly?
+REORDERABLE = "reorderable"   # any regrouping/reordering is exact (MIN/MAX)
+EXACT_INT = "exact-int"       # exact under re-association (integer arithmetic)
+ORDERED = "ordered"           # fsum-order-sensitive: partials never re-merge
+
 
 class Aggregate:
     """One aggregate function: a name, a result type, and a reducer.
@@ -44,6 +52,15 @@ class Aggregate:
     def compute(self, values: Sequence[Any]) -> Any:
         """Reduce *values* (missing values not yet filtered).  Override."""
         raise NotImplementedError
+
+    def merge_class(self, input_type: AttributeType | None = None) -> str:
+        """Exactness class of recombining partial results of this
+        aggregate: :data:`REORDERABLE`, :data:`EXACT_INT` or
+        :data:`ORDERED`.  The conservative default (``ORDERED``) keeps
+        custom registered aggregates safe: the effect analysis will
+        never claim a partial merge is exact unless the aggregate
+        declares it."""
+        return ORDERED
 
     @staticmethod
     def present(values: Sequence[Any]) -> list:
@@ -66,6 +83,9 @@ class Count(Aggregate):
     def compute(self, values: Sequence[Any]) -> int:
         return len(values)
 
+    def merge_class(self, input_type: AttributeType | None = None) -> str:
+        return EXACT_INT
+
 
 def _exact_sum(present: list) -> Any:
     """``math.fsum`` for float inputs, exact ``int`` sum otherwise."""
@@ -81,6 +101,11 @@ class Sum(Aggregate):
         present = self.present(values)
         return _exact_sum(present) if present else None
 
+    def merge_class(self, input_type: AttributeType | None = None) -> str:
+        # Integer sums re-associate exactly; float (or unknown-typed)
+        # inputs are fsum-defined, and fsum-of-fsums is not fsum.
+        return EXACT_INT if input_type is INT else ORDERED
+
 
 class Avg(Aggregate):
     name = "AVG"
@@ -92,6 +117,11 @@ class Avg(Aggregate):
         present = self.present(values)
         return _exact_sum(present) / len(present) if present else None
 
+    def merge_class(self, input_type: AttributeType | None = None) -> str:
+        # Over ints the numerator is an exact integer sum (one final
+        # division); over floats it inherits fsum's order sensitivity.
+        return EXACT_INT if input_type is INT else ORDERED
+
 
 class Min(Aggregate):
     name = "MIN"
@@ -100,6 +130,9 @@ class Min(Aggregate):
         present = self.present(values)
         return min(present) if present else None
 
+    def merge_class(self, input_type: AttributeType | None = None) -> str:
+        return REORDERABLE
+
 
 class Max(Aggregate):
     name = "MAX"
@@ -107,6 +140,9 @@ class Max(Aggregate):
     def compute(self, values: Sequence[Any]) -> Any:
         present = self.present(values)
         return max(present) if present else None
+
+    def merge_class(self, input_type: AttributeType | None = None) -> str:
+        return REORDERABLE
 
 
 class Median(Aggregate):

@@ -167,6 +167,10 @@ class Interpreter:
             self.context.result_cache
             and physical.fingerprint is not None
             and not isinstance(node, ScanPlan)
+            # Effect analysis proves cache safety: a node whose subtree
+            # holds computed attributes has no stable content key, so it
+            # is neither looked up nor stored.
+            and (physical.effects is None or physical.effects.cache_safe)
         ):
             from repro.store.cache import result_cache
 

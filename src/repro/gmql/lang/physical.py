@@ -29,10 +29,11 @@ anchored in the scans' content digests -- which keys the
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.engine.auto import choose_backend
 from repro.engine.dispatch import available_backends
+from repro.gmql.lang.effects import node_effects
 from repro.gmql.lang.plan import (
     CompiledProgram,
     EmptyPlan,
@@ -60,6 +61,9 @@ class PhysicalNode:
     #: Content-based cache key (``None`` when sources are unavailable at
     #: planning time, which disables result caching for this node).
     fingerprint: str | None = None
+    #: Derived effect record (:class:`repro.gmql.lang.effects.Effects`):
+    #: chromosome locality, exactness class, cache/morsel safety, bounds.
+    effects: object | None = None
     # -- actuals, filled in by the interpreter during execution --
     actual_seconds: float | None = None
     actual_regions: int | None = None
@@ -95,6 +99,8 @@ class PhysicalNode:
                 parts.append(f"est_samples={int(self.estimate.samples)}")
         if self.logical.inferred is not None:
             parts.append(f"schema={self.logical.inferred.region.render()}")
+        if self.effects is not None:
+            parts.append(f"effects=[{self.effects.render()}]")
         if isinstance(self.logical, EmptyPlan):
             parts.append(f"pruned_by={self.logical.pruned_by}")
         return " ".join(parts)
@@ -307,13 +313,14 @@ def plan_program(
         h.update(node.kind.encode())
         # result_name is a rename, not content; the interpreter
         # re-applies it after a cache hit.  Analyzer annotations
-        # (inferred shape, emptiness proofs) are derived facts, not
-        # content, and must not perturb cache keys.
+        # (inferred shape, emptiness proofs, effect records) are derived
+        # facts, not content, and must not perturb cache keys.
         params = {
             key: value
             for key, value in vars(node).items()
             if key not in
-            ("children", "result_name", "inferred", "prunable_empty")
+            ("children", "result_name", "inferred", "prunable_empty",
+             "effects")
         }
         h.update(plan_token(params).encode())
         for print_ in prints:
@@ -325,6 +332,10 @@ def plan_program(
             return memo[id(node)]
         children = [build(child) for child in node.children]
         estimate = estimate_plan(node, summaries, estimates)
+        effects = node_effects(
+            node, [child.effects for child in children], summaries
+        )
+        node.effects = effects
         if isinstance(node, ScanPlan):
             input_regions = estimate.regions
         else:
@@ -332,16 +343,36 @@ def plan_program(
                 child.estimate.regions for child in children
             )
         zone_note = ""
+        zone_fraction = None
         if datasets and node.kind in ("map", "join", "difference"):
-            fraction, zone_note = _zone_refinement(node, children, datasets)
-            if fraction is not None and fraction < 1.0:
-                input_regions *= fraction
+            zone_fraction, zone_note = _zone_refinement(
+                node, children, datasets
+            )
+            if zone_fraction is not None and zone_fraction < 1.0:
+                input_regions *= zone_fraction
+        if zone_fraction is not None and zone_fraction < 1.0:
+            # Zone maps prove partitions dead, so they refine the sound
+            # bounds too: dead partitions contribute no output pairs.
+            effects = replace(
+                effects,
+                bound_regions=(
+                    None if effects.bound_regions is None
+                    else int(effects.bound_regions * zone_fraction) + 1
+                ),
+                input_bound=(
+                    None if effects.input_bound is None
+                    else int(effects.input_bound * zone_fraction) + 1
+                ),
+            )
+            node.effects = effects
         if isinstance(node, EmptyPlan):
             backend, reason = "empty", (
                 f"statically pruned by {node.pruned_by}; nothing to execute"
             )
         elif engine == "auto":
-            backend, reason = choose_backend(node.kind, input_regions, available)
+            backend, reason = choose_backend(
+                node.kind, input_regions, available, effects=effects
+            )
         elif isinstance(node, ScanPlan):
             backend, reason = "source", "scans read datasets directly"
         else:
@@ -357,6 +388,7 @@ def plan_program(
             reason=reason,
             kernel=_kernel_hint(node, backend),
             fingerprint=fingerprint_of(node, children),
+            effects=effects,
         )
         memo[id(node)] = physical
         return physical

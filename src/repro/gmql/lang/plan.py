@@ -39,6 +39,9 @@ class PlanNode:
     inferred = None
     #: Rule code (e.g. ``"GQL107"``) proving this node's result is empty.
     prunable_empty = None
+    #: Derived :class:`~repro.gmql.lang.effects.Effects` record, attached
+    #: by :func:`~repro.gmql.lang.effects.annotate_effects`.
+    effects = None
 
     def __init__(self, *children: "PlanNode") -> None:
         self.children = list(children)
@@ -72,6 +75,8 @@ class PlanNode:
         line = f"{prefix}{self.label()}"
         if self.inferred is not None:
             line = f"{line}  :: {self.inferred.render()}"
+        if self.effects is not None:
+            line = f"{line}  !! {self.effects.render()}"
         lines = [line]
         for child in self.children:
             lines.append(child.explain(indent + 1, seen))

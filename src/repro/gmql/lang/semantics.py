@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import EvaluationError
 from repro.gdm import BOOL, FLOAT, INT, STR, RegionSchema
-from repro.gmql.aggregates import aggregate_named
+from repro.gmql.aggregates import ORDERED, aggregate_named
 from repro.gmql.lang import ast_nodes as ast
 from repro.gmql.lang.span import Span, caret_frame
 
@@ -67,7 +67,18 @@ RULES = {
     "GQL112": "duplicate result attribute name",
     "GQL113": "unknown or misused aggregate function",
     "GQL114": "variable misuse (reassignment, unknown MATERIALIZE)",
+    "GQL120": "output aggregates across chromosomes (cannot shard)",
+    "GQL121": "aggregate forces an ordered merge",
+    "GQL122": "computed attributes disable result caching",
+    "GQL123": "DIFFERENCE options disable morsel parallelism",
+    "GQL124": "output cardinality has no static bound",
 }
+
+#: Rules only emitted by effect analysis (``--effects``): they describe
+#: execution-strategy consequences, not correctness problems.
+EFFECT_RULES = frozenset({
+    "GQL120", "GQL121", "GQL122", "GQL123", "GQL124",
+})
 
 #: Fixed GDM region attributes (and their aliases) with their types.
 _FIXED_REGION_TYPES = {
@@ -534,6 +545,20 @@ def _operand_names(op) -> tuple:
     return (op.operand,)
 
 
+@dataclass(frozen=True)
+class _EffectFacts:
+    """Effect-relevant lineage facts of one variable (``--effects``).
+
+    Each field records the *first* offending operator in the variable's
+    lineage as ``(operator name, span)``, mirroring what
+    :mod:`repro.gmql.lang.effects` infers over compiled plans -- but at
+    the source level, where diagnostics can point at a line.
+    """
+
+    breaker: tuple | None = None        # cross-chromosome aggregation
+    unbounded_join: tuple | None = None  # JOIN with no DLE/MD clause
+
+
 class Analyzer:
     """One-program semantic analyzer.
 
@@ -546,9 +571,18 @@ class Analyzer:
         ``{source_name: Dataset}`` -- in-memory sources; provides exact
         region schemas, the observed metadata attribute set, and
         strandedness.  Takes precedence over *schemas*.
+    effects:
+        Enable the GQL120-124 effect diagnostics: findings about
+        execution strategy (shardability, merge exactness, cache
+        safety, cardinality bounds) rather than correctness.
     """
 
-    def __init__(self, schemas: dict | None = None, datasets: dict | None = None):
+    def __init__(
+        self,
+        schemas: dict | None = None,
+        datasets: dict | None = None,
+        effects: bool = False,
+    ):
         self._sources: dict = {}
         for name, schema in (schemas or {}).items():
             self._sources[name] = VarInfo(RegionInfo.from_schema(schema))
@@ -559,6 +593,8 @@ class Analyzer:
         self._empty: dict = {}
         self._diagnostics: list = []
         self._variable: str | None = None  # statement being analyzed
+        self._effects = effects
+        self._facts: dict = {}  # variable -> _EffectFacts
 
     # -- plumbing -------------------------------------------------------------
 
@@ -602,6 +638,10 @@ class Analyzer:
                 )
                 continue
             self._vars[statement.variable] = self._operation(statement.operation)
+            if self._effects:
+                self._facts[statement.variable] = self._operation_facts(
+                    statement.operation
+                )
         self._variable = None
         self._check_materialize(program)
         sources = {
@@ -612,6 +652,29 @@ class Analyzer:
             tuple(self._diagnostics), dict(self._vars), dict(self._empty),
             sources,
         )
+
+    def _operation_facts(self, op) -> _EffectFacts:
+        """Effect facts of one assignment: operand lineage plus the
+        operation's own contribution (the *first* offender wins, so the
+        diagnostic points at the root cause)."""
+        breaker = None
+        unbounded = None
+        for name in _operand_names(op):
+            facts = self._facts.get(name)
+            if facts is None:
+                continue
+            breaker = breaker or facts.breaker
+            unbounded = unbounded or facts.unbounded_join
+        if breaker is None and isinstance(
+            op, (ast.OpExtend, ast.OpMerge, ast.OpOrder, ast.OpGroup)
+        ):
+            breaker = (type(op).__name__[2:].upper(), op.span)
+        if unbounded is None and isinstance(op, ast.OpJoin):
+            if op.clauses and not any(
+                c.kind in ("DLE", "MD") for c in op.clauses
+            ):
+                unbounded = ("JOIN", op.span)
+        return _EffectFacts(breaker, unbounded)
 
     def _check_materialize(self, program: ast.Program) -> None:
         materialized = []
@@ -627,6 +690,7 @@ class Analyzer:
                 )
                 continue
             materialized.append(statement.variable)
+            self._check_output_effects(statement)
         if not materialized:
             return
         # Reachability from the materialised roots through operand edges.
@@ -657,6 +721,39 @@ class Analyzer:
                     f"the operator is dead code",
                     spans.get(name),
                 )
+
+    def _check_output_effects(self, statement) -> None:
+        """GQL120/GQL124: per-output shardability and bound findings."""
+        if not self._effects:
+            return
+        facts = self._facts.get(statement.variable)
+        if facts is None:
+            return
+        self._variable = statement.variable
+        if facts.breaker is not None:
+            operator, span = facts.breaker
+            where = f" at line {span.line}" if span is not None else ""
+            self._emit(
+                "GQL120",
+                WARNING,
+                f"output {statement.variable!r} cannot shard by chromosome: "
+                f"{operator}{where} aggregates across chromosomes, so it "
+                f"runs as one whole-genome unit",
+                statement.span,
+            )
+        if facts.unbounded_join is not None:
+            operator, span = facts.unbounded_join
+            where = f" at line {span.line}" if span is not None else ""
+            self._emit(
+                "GQL124",
+                WARNING,
+                f"output {statement.variable!r} has no static cardinality "
+                f"bound: {operator}{where} has no distance upper bound "
+                f"(DLE or MD), so its result can grow with "
+                f"|anchor| x |experiment|",
+                statement.span,
+            )
+        self._variable = None
 
     # -- operation dispatch ----------------------------------------------------
 
@@ -778,6 +875,19 @@ class Analyzer:
                     f"{where}: {call.function} needs a numeric attribute, but "
                     f"{call.attribute!r} is {input_type.name}",
                     call.attribute_span or call.function_span,
+                )
+            if (
+                self._effects
+                and input_type is not None
+                and aggregate.merge_class(input_type) == ORDERED
+            ):
+                self._emit(
+                    "GQL121",
+                    WARNING,
+                    f"{where}: {call.function}({call.attribute}) over "
+                    f"{input_type.name} values forces an ordered merge; "
+                    f"sharded partials cannot be re-aggregated exactly",
+                    call.function_span or call.span,
                 )
             result_type = (
                 aggregate.result_type(input_type) if input_type else INT
@@ -905,6 +1015,16 @@ class Analyzer:
                 kept.append((name, found))
             closed = True  # an explicit list closes the schema
         new_spans = op.new_attribute_spans or ()
+        if self._effects and op.new_region_attributes:
+            first_name, __ = op.new_region_attributes[0]
+            self._emit(
+                "GQL122",
+                WARNING,
+                f"PROJECT: computed attribute {first_name!r} has no stable "
+                f"content fingerprint; this operator and everything above "
+                f"it bypass the result cache",
+                new_spans[0] if new_spans else op.span,
+            )
         for index, (name, expression) in enumerate(op.new_region_attributes):
             span = new_spans[index] if index < len(new_spans) else op.span
             if name in _FIXED_REGION_TYPES or name == "id":
@@ -1075,6 +1195,18 @@ class Analyzer:
     def _op_difference(self, op: ast.OpDifference) -> VarInfo:
         left = self._operand(op.left)
         right = self._operand(op.right)
+        if self._effects and (op.exact or op.joinby):
+            mode = (
+                "exact region matching" if op.exact
+                else "metadata joinby grouping"
+            )
+            self._emit(
+                "GQL123",
+                WARNING,
+                f"DIFFERENCE: {mode} falls back to the per-region kernel; "
+                f"morsel parallelism is disabled for this operator",
+                op.span,
+            )
         for name in op.joinby:
             self._check_meta_attribute(
                 left.meta, name, op.span, "DIFFERENCE joinby"
@@ -1307,9 +1439,13 @@ def analyze_program(
     program,
     schemas: dict | None = None,
     datasets: dict | None = None,
+    effects: bool = False,
 ) -> Analysis:
     """Analyze a GMQL program (text or parsed
     :class:`~repro.gmql.lang.ast_nodes.Program`).
+
+    With ``effects=True`` the GQL120-124 effect diagnostics are emitted
+    alongside the correctness rules (see :data:`EFFECT_RULES`).
 
     Returns an :class:`Analysis`; never raises for semantic problems --
     callers decide what severity gates what (the compiler raises
@@ -1322,6 +1458,8 @@ def analyze_program(
 
         source = program
         program = parse(program)
-    analysis = Analyzer(schemas=schemas, datasets=datasets).analyze(program)
+    analysis = Analyzer(
+        schemas=schemas, datasets=datasets, effects=effects
+    ).analyze(program)
     analysis.source = source
     return analysis

@@ -15,9 +15,9 @@ point that a single data model can mediate the entire chain.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro.resilience.clock import perf_counter
 from repro.gdm import (
     Dataset,
     Metadata,
@@ -70,7 +70,7 @@ def run_pipeline(
     timings: dict = {}
     metrics: dict = {}
 
-    started = time.perf_counter()
+    started = perf_counter()
     reference = ReferenceGenome.generate(seed=seed, chromosome_sizes=sizes)
     rng = generator(seed, "pipeline")
 
@@ -109,10 +109,10 @@ def run_pipeline(
         binding_sites=binding_sites,
         enrichment=enrichment,
     )
-    timings["primary"] = time.perf_counter() - started
+    timings["primary"] = perf_counter() - started
 
     # Secondary: align + call peaks (+ variants).
-    started = time.perf_counter()
+    started = perf_counter()
     aligner = Aligner(reference)
     alignments = aligner.align(reads)
     aligned = alignments_to_dataset(
@@ -132,10 +132,10 @@ def run_pipeline(
     if call_snvs:
         variants = call_variants(aligned, reference)
         metrics["variants"] = variant_accuracy(variants, planted_variants)
-    timings["secondary"] = time.perf_counter() - started
+    timings["secondary"] = perf_counter() - started
 
     # Tertiary: GDM + GMQL sense-making (MAP peaks onto promoters).
-    started = time.perf_counter()
+    started = perf_counter()
     promoter_regions = [
         GenomicRegion(chrom, max(0, left - 500), left + 200, strand, (name,))
         for name, chrom, left, right, strand in genes
@@ -162,7 +162,7 @@ def run_pipeline(
                 miss += 1
     metrics["tertiary_bound_promoters_hit"] = hit
     metrics["tertiary_unbound_promoters_hit"] = miss
-    timings["tertiary"] = time.perf_counter() - started
+    timings["tertiary"] = perf_counter() - started
 
     return PipelineResult(
         genome=reference,

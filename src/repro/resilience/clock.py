@@ -11,6 +11,27 @@ from __future__ import annotations
 import time
 
 
+def monotonic() -> float:
+    """The process monotonic clock.
+
+    The single sanctioned read point: repo lint (RL007) bans direct
+    ``time.monotonic()`` calls everywhere else so timing stays
+    patchable from one seam.
+    """
+    return time.monotonic()
+
+
+def perf_counter() -> float:
+    """The high-resolution performance counter (see :func:`monotonic`)."""
+    return time.perf_counter()
+
+
+def sleep(seconds: float) -> None:
+    """Really block (see :func:`monotonic` for why this lives here)."""
+    if seconds > 0:
+        time.sleep(seconds)
+
+
 class Clock:
     """Minimal clock interface: a monotonic reading plus a sleep."""
 

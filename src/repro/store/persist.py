@@ -117,12 +117,17 @@ def set_store_root(path: str | None, sync: bool | None = None) -> None:
     _CONFIGURED_SYNC = sync
 
 
+def store_root_from_env() -> str | None:
+    """The ``REPRO_STORE_DIR`` override, if any."""
+    raw = os.environ.get("REPRO_STORE_DIR", "").strip()
+    return raw or None
+
+
 def store_root() -> str | None:
     """The active store root: configured value, then ``REPRO_STORE_DIR``."""
     if _CONFIGURED_ROOT is not None:
         return _CONFIGURED_ROOT
-    raw = os.environ.get("REPRO_STORE_DIR", "").strip()
-    return raw or None
+    return store_root_from_env()
 
 
 def persist_sync_default() -> bool:
@@ -135,6 +140,11 @@ def persist_sync_default() -> bool:
     """
     if _CONFIGURED_SYNC is not None:
         return _CONFIGURED_SYNC
+    return persist_sync_from_env()
+
+
+def persist_sync_from_env() -> bool:
+    """Whether ``REPRO_STORE_SYNC`` asks for synchronous persistence."""
     return os.environ.get("REPRO_STORE_SYNC", "").strip() in (
         "1", "true", "yes", "on"
     )

@@ -66,11 +66,16 @@ def shm_enabled(config_flag: Any = None) -> bool:
     ``REPRO_SHM=0`` force-disables shipping regardless of config; a
     *config_flag* of ``False`` (engine config ``use_shm``) does the same.
     """
-    if os.environ.get("REPRO_SHM", "").strip() == "0":
+    if shm_disabled_from_env():
         return False
     if config_flag is not None and not config_flag:
         return False
     return shared_memory_available()
+
+
+def shm_disabled_from_env() -> bool:
+    """Whether ``REPRO_SHM=0`` force-disables shared-memory shipping."""
+    return os.environ.get("REPRO_SHM", "").strip() == "0"
 
 
 class ArrayShipper:

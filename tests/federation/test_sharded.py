@@ -193,6 +193,46 @@ class TestChunkIntegrity:
         )
 
 
+class TestMixedOutputs:
+    """One EXTEND output must not sink the shardable outputs: the
+    planner's per-output rounds shard the chromosome-local outputs and
+    run the global one whole-genome, byte-identically to single-node."""
+
+    PROGRAM = """
+        HOT = COVER(2, ANY) BREAKPOINTS;
+        NEAR = MAP(hits AS COUNT) EXPRESSION MUTATIONS;
+        STATS = EXTEND(n AS COUNT) EXPRESSION;
+        MATERIALIZE HOT;
+        MATERIALIZE NEAR;
+        MATERIALIZE STATS;
+    """
+
+    def test_local_outputs_shard_despite_global_sibling(self):
+        client, datasets, __, __i = sharded_federation()
+        outcome = client.run_sharded(self.PROGRAM)
+        baseline = single_node_run(datasets, self.PROGRAM)
+        assert outcome.strategy == "sharded"
+        assert outcome.degraded is False
+        # The local outputs' round really spanned the cluster.
+        assert len(outcome.executing_node.split(",")) > 1
+        for name in ("HOT", "NEAR", "STATS"):
+            assert rows(outcome.datasets[name]) == rows(baseline[name])
+            assert sorted(outcome.datasets[name].metadata_triples()) == (
+                sorted(baseline[name].metadata_triples())
+            )
+
+    def test_effect_annotations_gate_each_output(self):
+        compiled = optimize(compile_program(self.PROGRAM))
+        from repro.gmql.lang.effects import annotate_effects
+
+        annotate_effects(compiled)
+        assert compiled.outputs["HOT"].effects.chrom_local is True
+        assert compiled.outputs["NEAR"].effects.chrom_local is True
+        stats = compiled.outputs["STATS"].effects
+        assert stats.chrom_local is False
+        assert "EXTEND" in stats.locality_breaker
+
+
 class TestFallbacks:
     def test_cross_chromosome_aggregation_falls_back(self):
         # EXTEND aggregates across chromosomes; fsum-of-fsums is not

@@ -66,7 +66,7 @@ def test_corpus_file_produces_expected_diagnostics(path):
     expected = _expectations(text)
     assert expected, f"{path.name} declares no '#! expect:' headers"
 
-    analysis = analyze_program(text)
+    analysis = analyze_program(text, effects=True)
     rendered = analysis.render(with_frames=False)
     for want in expected:
         hits = [d for d in analysis.diagnostics if _matches(d, want)]
@@ -101,7 +101,7 @@ def test_corpus_diagnostics_render_caret_frames():
     # render a two-line caret frame against its own file.
     for path in CORPUS_FILES:
         text = path.read_text()
-        analysis = analyze_program(text)
+        analysis = analyze_program(text, effects=True)
         for want in _expectations(text):
             hit = next(
                 d for d in analysis.diagnostics if _matches(d, want)

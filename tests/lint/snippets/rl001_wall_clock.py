@@ -1,0 +1,8 @@
+"""Golden violation for RL001: direct wall-clock read."""
+import time
+
+
+def stamp_result(result):
+    #! expect: RL001 @ 7
+    result["created_at"] = time.time()
+    return result

@@ -1,0 +1,9 @@
+"""Golden violation for RL002: bare except handler."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    #! expect: RL002 @ 8
+    except:
+        return None

@@ -1,0 +1,8 @@
+"""Golden violation for RL003: raw SharedMemory construction."""
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_segment(n):
+    #! expect: RL003 @ 7
+    segment = SharedMemory(create=True, size=n)
+    return segment.name

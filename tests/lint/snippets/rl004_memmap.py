@@ -1,0 +1,7 @@
+"""Golden violation for RL004: raw memory map construction."""
+import numpy as np
+
+
+def map_blocks(path, n):
+    #! expect: RL004 @ 7
+    return np.memmap(path, dtype="int64", mode="r", shape=(n,))

@@ -1,0 +1,6 @@
+"""Golden violation for RL006: the file does not parse."""
+#! expect: RL006 @ 5
+
+
+def broken(:
+    pass

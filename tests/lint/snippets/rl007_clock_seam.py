@@ -1,0 +1,13 @@
+"""Golden violation for RL007: monotonic read bypassing the clock seam."""
+import time
+
+
+def wait_until_ready(poll):
+    deadline = 5.0
+    #! expect: RL007 @ 8
+    while time.monotonic() < deadline:
+        #! expect: RL007 @ 10
+        time.sleep(0.01)
+        if poll():
+            return True
+    return False

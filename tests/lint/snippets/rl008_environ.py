@@ -1,0 +1,7 @@
+"""Golden violation for RL008: os.environ read outside *_from_env."""
+import os
+
+
+def cache_dir(default):
+    #! expect: RL008 @ 7
+    return os.environ.get("SNIPPET_CACHE_DIR", default)

@@ -31,8 +31,12 @@ from repro.resilience import (
 )
 from repro.search import Crawler, GenomeHost, GenomeSearchService
 
-#: The CI chaos job re-runs this module under several fixed seeds.
-CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1"))
+def chaos_seed_from_env() -> int:
+    """The CI chaos job re-runs this module under several fixed seeds."""
+    return int(os.environ.get("REPRO_CHAOS_SEED", "1"))
+
+
+CHAOS_SEED = chaos_seed_from_env()
 
 
 def small_dataset(name="DS", n_regions=1, start=0):
