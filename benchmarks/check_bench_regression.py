@@ -42,6 +42,14 @@ multi-node cell must actually move partials over the federation
 (``bytes_streamed + bytes_mapped > 0``), and at least one scenario in
 the document must show the cluster critical path scaling
 (``speedup_max_nodes_vs_1 >= 1.5``).
+
+With ``--require-serving`` (the ``--clients`` run), the document must
+carry a ``concurrent_clients`` report in which the warm server answered
+every request (no errors), byte-identically to the cold per-invocation
+CLI runs, with a nonzero warm result-cache hit rate, and with a p50
+latency at least ``SERVE_SPEEDUP_FLOOR`` (3x) better than one
+``repro run`` subprocess per query -- the resident server's reason to
+exist.
 """
 
 from __future__ import annotations
@@ -53,6 +61,10 @@ import sys
 #: Minimum cluster-critical-path speedup (max nodes vs 1 node) that at
 #: least one scenario must reach under ``--require-sharded-scaling``.
 SHARDED_SPEEDUP_FLOOR = 1.5
+
+#: Minimum warm-server p50 advantage over the cold per-invocation CLI
+#: required under ``--require-serving`` (the ISSUE's acceptance bar).
+SERVE_SPEEDUP_FLOOR = 3.0
 
 
 def _seconds(cell: dict) -> float:
@@ -181,13 +193,48 @@ def _sharded_scaling_check(fresh: dict) -> list:
     ]
 
 
+def _serving_check(fresh: dict) -> list:
+    """Warm-server engagement invariants for the serving scenario."""
+    report = fresh.get("concurrent_clients")
+    if report is None:
+        return ["document carries no concurrent_clients report "
+                "(was the bench run with --clients?)"]
+    failures = []
+    warm = report.get("warm_server", {})
+    if warm.get("errors", 0):
+        failures.append(
+            f"concurrent-clients: {warm['errors']} request(s) failed "
+            f"(first: {warm.get('error_detail')})"
+        )
+    if not report.get("identical_to_cli"):
+        failures.append(
+            "concurrent-clients: served results are not byte-identical "
+            "to the cold CLI runs"
+        )
+    if warm.get("cache_hit_rate", 0.0) <= 0.0:
+        failures.append(
+            "concurrent-clients: warm server reports a zero result-cache "
+            "hit rate (warm state never engaged)"
+        )
+    speedup = report.get("warm_p50_speedup_vs_cold_cli")
+    if speedup is None or speedup < SERVE_SPEEDUP_FLOOR:
+        failures.append(
+            f"concurrent-clients: warm-server p50 speedup vs cold CLI is "
+            f"{speedup if speedup is None else f'{speedup:.2f}x'}, below "
+            f"the {SERVE_SPEEDUP_FLOOR}x floor"
+        )
+    return failures
+
+
 def check(
     fresh: dict, baseline: dict, factor: float, require_shm: bool = False,
     require_persisted: bool = False, require_no_laggards: bool = False,
-    require_sharded_scaling: bool = False,
+    require_sharded_scaling: bool = False, require_serving: bool = False,
 ) -> list:
     """All failure messages (empty when the gate passes)."""
     failures = []
+    if require_serving:
+        failures.extend(_serving_check(fresh))
     for scenario, entry in fresh["scenarios"].items():
         if not entry.get("identical_results", True):
             failures.append(f"{scenario}: engine variants disagree on results")
@@ -259,6 +306,13 @@ def main(argv: list | None = None) -> int:
              "to columnar, move partial bytes on multi-node cells, and "
              "show a >= 1.5x cluster critical-path speedup somewhere",
     )
+    parser.add_argument(
+        "--require-serving", action="store_true",
+        help="additionally require the concurrent_clients report to show "
+             "error-free, CLI-identical served results, a nonzero warm "
+             "cache hit rate, and a >= 3x p50 advantage over cold CLI "
+             "invocations",
+    )
     args = parser.parse_args(argv)
     with open(args.fresh) as handle:
         fresh = json.load(handle)
@@ -266,7 +320,7 @@ def main(argv: list | None = None) -> int:
         baseline = json.load(handle)
     failures = check(fresh, baseline, args.factor, args.require_shm,
                      args.require_persisted, args.require_no_laggards,
-                     args.require_sharded_scaling)
+                     args.require_sharded_scaling, args.require_serving)
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:

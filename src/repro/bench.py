@@ -167,15 +167,16 @@ def _sources(scale: str, seed: int) -> dict:
 
 
 def _result_digest(results: dict) -> str:
-    """Engine-independent digest of every materialised dataset's rows."""
-    import hashlib
+    """Engine-independent digest of every materialised dataset's rows.
 
-    h = hashlib.blake2b(digest_size=16)
-    for name in sorted(results):
-        h.update(name.encode())
-        for row in results[name].region_rows():
-            h.update(repr(row).encode())
-    return h.hexdigest()
+    Delegates to :func:`repro.gdm.digest.results_digest` -- the same
+    definition the query server returns with every response -- so bench
+    identity checks and served-result identity checks agree by
+    construction.
+    """
+    from repro.gdm.digest import results_digest
+
+    return results_digest(results)
 
 
 def _run_variant(
@@ -461,8 +462,18 @@ def run_bench(
     seed: int = 42,
     cold_repeat: int = 1,
     nodes: tuple = (1, 2, 4),
+    clients: int | None = None,
+    client_requests: int = 6,
+    serve_engine: str = "auto",
 ) -> dict:
-    """Run the benchmark matrix; returns the BENCH document (plain dict)."""
+    """Run the benchmark matrix; returns the BENCH document (plain dict).
+
+    With *clients* set, the ``concurrent-clients`` serving scenario
+    (:mod:`repro.serve.bench`) also runs: that many client threads
+    against a warm in-process query server, compared against one cold
+    ``repro run`` subprocess per query, reported under the document's
+    ``concurrent_clients`` key.
+    """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
     scenario_names = tuple(scenarios or PROGRAMS)
@@ -473,7 +484,7 @@ def run_bench(
     )
     by_name = {name: spec for name, *spec in VARIANTS}
     document = {
-        "bench": "pr8",
+        "bench": "pr10",
         "scale": scale,
         "repeat": repeat,
         "seed": seed,
@@ -530,11 +541,26 @@ def run_bench(
                 / persisted_cell["warm_seconds"]
             )
         document["scenarios"][scenario] = entry
+    if clients:
+        from repro.serve.bench import run_concurrent_clients_bench
+
+        document["concurrent_clients"] = run_concurrent_clients_bench(
+            scale=scale,
+            seed=seed,
+            clients=clients,
+            requests_per_client=client_requests,
+            engine=serve_engine,
+            workers=workers,
+        )
     return document
 
 
 def write_bench(document: dict, path: str) -> None:
-    """Write the BENCH document as indented JSON."""
+    """Write the BENCH document as indented JSON (creating parent dirs)."""
+    import os
+
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -605,4 +631,9 @@ def render_summary(document: dict) -> str:
                 lines.append(
                     "  WARNING: sharded results differ from columnar"
                 )
+    serving = document.get("concurrent_clients")
+    if serving:
+        from repro.serve.bench import render_serving_summary
+
+        lines.append(render_serving_summary(serving))
     return "\n".join(lines)

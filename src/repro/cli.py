@@ -15,7 +15,9 @@ Subcommands::
     python -m repro check --bench-scenarios --strict
     python -m repro explain QUERY.gmql
     python -m repro explain QUERY.gmql --analyze --source ENCODE=./encode_dir
-    python -m repro bench --scale smoke --out BENCH_pr9.json
+    python -m repro bench --scale smoke --out benchmarks/BENCH_pr10.json
+    python -m repro serve --source ENCODE=./encode_dir --port 8765 \
+        --engine auto [--max-concurrency N] [--tenant-quota NAME=SPEC]
     python -m repro info DATASET_DIR
     python -m repro convert input.narrowPeak output.bed
     python -m repro formats
@@ -200,8 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
              "engines and write a BENCH JSON document",
     )
     bench_cmd.add_argument(
-        "--out", default="BENCH_pr9.json",
-        help="output JSON path (default: BENCH_pr9.json)",
+        "--out", default="benchmarks/BENCH_pr10.json",
+        help="output JSON path (default: benchmarks/BENCH_pr10.json)",
     )
     bench_cmd.add_argument(
         "--scale", default="smoke",
@@ -253,6 +255,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_cmd.add_argument("--seed", type=_positive_int, default=42,
                            help="data generation seed (default: 42)")
+    bench_cmd.add_argument(
+        "--clients", type=_positive_int, default=None, metavar="N",
+        help="also run the concurrent-clients serving scenario with N "
+             "client threads against a warm in-process query server, "
+             "compared to one cold `repro run` subprocess per query",
+    )
+    bench_cmd.add_argument(
+        "--client-requests", type=_positive_int, default=6, metavar="M",
+        help="requests issued by each serving-bench client (default: 6)",
+    )
+    bench_cmd.add_argument(
+        "--serve-engine", default="auto",
+        help="backend the serving scenario's server runs (default: auto)",
+    )
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="start a resident HTTP/JSON query server over warm state: "
+             "datasets, store blocks, compiled plans and worker pools "
+             "load once and serve concurrent queries (see docs/SERVING.md)",
+    )
+    serve_cmd.add_argument(
+        "--source", action="append", default=[], type=_parse_source,
+        metavar="NAME=DIR", required=True,
+        help="bind a source dataset directory (repeatable)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="listen address (default: 127.0.0.1)")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8765,
+        help="listen port; 0 binds an ephemeral port, printed on startup "
+             "(default: 8765)",
+    )
+    serve_cmd.add_argument("--engine", default="auto",
+                           help="backend each scheduler slot runs "
+                                "(naive/columnar/parallel/auto)")
+    serve_cmd.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="worker processes in the shared pool "
+             "(default: REPRO_WORKERS or CPU-based)",
+    )
+    serve_cmd.add_argument(
+        "--max-concurrency", type=_positive_int, default=4, metavar="N",
+        help="queries executing at once (backend slots; default: 4)",
+    )
+    serve_cmd.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="persistent columnar store root: blocks and disk-level "
+             "result-cache entries survive server restarts "
+             "(default: REPRO_STORE_DIR)",
+    )
+    serve_cmd.add_argument(
+        "--bin-size", type=_positive_int, default=None, metavar="BP",
+        help="zone-map bin size forwarded to every query context",
+    )
+    serve_cmd.add_argument(
+        "--no-result-cache", action="store_true",
+        help="disable the process-wide plan-fingerprint result cache",
+    )
+    serve_cmd.add_argument(
+        "--default-quota", default=None, metavar="SPEC",
+        help="quota for tenants without their own, e.g. "
+             "'concurrent=4,rate=120,window=60,deadline=30'",
+    )
+    serve_cmd.add_argument(
+        "--tenant-quota", action="append", default=[], metavar="NAME=SPEC",
+        help="per-tenant quota override (repeatable), e.g. "
+             "'smith-lab=concurrent=8,deadline=120'",
+    )
 
     info_cmd = commands.add_parser("info", help="summarise a dataset directory")
     info_cmd.add_argument("directory")
@@ -684,10 +755,83 @@ def _command_bench(args) -> int:
         seed=args.seed,
         cold_repeat=args.cold_repeat,
         nodes=nodes,
+        clients=args.clients,
+        client_requests=args.client_requests,
+        serve_engine=args.serve_engine,
     )
     write_bench(document, args.out)
     print(render_summary(document))
     print(f"\nwritten to {args.out}")
+    return 0
+
+
+def _command_serve(args) -> int:
+    """``repro serve``: run the resident query server until interrupted."""
+    import asyncio
+    import signal
+
+    from repro.serve.admission import AdmissionController, TenantQuota
+    from repro.serve.server import QueryServer
+    from repro.serve.state import WarmState
+    from repro.store.persist import set_store_root
+
+    default_quota = (
+        TenantQuota.parse(args.default_quota) if args.default_quota else None
+    )
+    quotas = {}
+    for entry in args.tenant_quota:
+        name, sep, spec = entry.partition("=")
+        if not sep:
+            print(f"error: --tenant-quota takes NAME=SPEC, got {entry!r}",
+                  file=sys.stderr)
+            return EXIT_EXECUTION
+        quotas[name.strip()] = TenantQuota.parse(spec)
+    if args.store_dir:
+        # Async persistence would also work for a long-lived server, but
+        # synchronous keeps restart-warm guarantees simple: once a block
+        # was served, its segment is on disk.
+        set_store_root(args.store_dir, sync=True)
+    try:
+        sources = _load_sources(args.source)
+        state = WarmState(
+            sources,
+            engine=args.engine,
+            workers=args.workers,
+            store_dir=args.store_dir,
+            result_cache_enabled=not args.no_result_cache,
+            bin_size=args.bin_size,
+        )
+        server = QueryServer(
+            state,
+            admission=AdmissionController(
+                default_quota=default_quota, quotas=quotas
+            ),
+            host=args.host,
+            port=args.port,
+            max_concurrency=args.max_concurrency,
+        )
+
+        async def main() -> None:
+            loop = asyncio.get_running_loop()
+            stop = asyncio.Event()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, stop.set)
+            await server.start()
+            print(
+                f"serving {len(sources)} dataset(s) on "
+                f"http://{args.host}:{server.port} "
+                f"(engine {args.engine}, warm in "
+                f"{state.warm_seconds:.2f}s)",
+                flush=True,
+            )
+            await stop.wait()
+            print("shutting down...", flush=True)
+            await server.stop()
+
+        asyncio.run(main())
+    finally:
+        if args.store_dir:
+            set_store_root(None)
     return 0
 
 
@@ -752,6 +896,7 @@ _HANDLERS = {
     "check": _command_check,
     "explain": _command_explain,
     "bench": _command_bench,
+    "serve": _command_serve,
     "info": _command_info,
     "convert": _command_convert,
     "formats": _command_formats,

@@ -174,9 +174,10 @@ class AutoBackend(Backend):
     #: :meth:`delegate` (per-node dispatch) instead of calling run_* here.
     per_node_dispatch = True
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(self, workers: int | None = None, pool=None) -> None:
         super().__init__()
         self._workers = workers
+        self._pool = pool
         self._delegates: dict = {}
 
     def delegate(self, name: str) -> Backend:
@@ -194,10 +195,14 @@ class AutoBackend(Backend):
         return backend
 
     def _make_delegate(self, name: str) -> Backend:
-        if name == "parallel" and self._workers is not None:
+        if name == "parallel" and (
+            self._workers is not None or self._pool is not None
+        ):
             from repro.engine.parallel import ParallelBackend
 
-            return ParallelBackend(max_workers=self._workers)
+            return ParallelBackend(
+                max_workers=self._workers, pool=self._pool
+            )
         from repro.engine.dispatch import get_backend
 
         return get_backend(name)

@@ -278,15 +278,26 @@ def _cover_sweep_morsel_task(handles, lo, hi, variant):
 
 
 class ParallelBackend(ColumnarBackend):
-    """Process-pool backend; inherits columnar kernels for the rest."""
+    """Process-pool backend; inherits columnar kernels for the rest.
+
+    With *pool*, the backend submits morsels to an externally owned
+    ``ProcessPoolExecutor`` instead of creating its own: the query
+    server keeps one warm pool resident and hands it to every backend
+    slot, so concurrent queries multiplex onto the same worker
+    processes and no request ever pays pool start-up.  ``close`` never
+    shuts a borrowed pool down -- its owner decides when workers die.
+    """
 
     name = "parallel"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self, max_workers: int | None = None, pool=None
+    ) -> None:
         super().__init__()
         self._explicit_workers = max_workers is not None
         self._max_workers = max_workers or default_workers()
         self._pool: ProcessPoolExecutor | None = None
+        self._borrowed_pool = pool
         self._shipper: ArrayShipper | None = None
         self._shm_reported = (0, 0, 0)
 
@@ -314,6 +325,8 @@ class ParallelBackend(ColumnarBackend):
         return self
 
     def _executor(self) -> ProcessPoolExecutor:
+        if self._borrowed_pool is not None:
+            return self._borrowed_pool
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
         return self._pool
@@ -358,7 +371,9 @@ class ParallelBackend(ColumnarBackend):
 
         Order matters: workers drain first (``shutdown(wait=True)``), then
         the shipper unlinks -- a segment must never disappear under a
-        still-running morsel.
+        still-running morsel.  A borrowed pool is left running: other
+        backend slots may be mid-query on it, and its owner (the query
+        server's warm state) shuts it down at server stop.
         """
         if self._pool is not None:
             self._pool.shutdown(wait=True)

@@ -8,6 +8,7 @@ merging* makes heterogeneous processed data interoperable.
 """
 
 from repro.gdm.dataset import Dataset, region
+from repro.gdm.digest import dataset_digest, results_digest
 from repro.gdm.metadata import Metadata
 from repro.gdm.region import GenomicRegion, STRANDS, chromosome_sort_key
 from repro.gdm.render import render_tables, render_tracks
@@ -42,9 +43,11 @@ __all__ = [
     "STRANDS",
     "Sample",
     "chromosome_sort_key",
+    "dataset_digest",
     "infer_type",
     "region",
     "renumber",
+    "results_digest",
     "render_tables",
     "render_tracks",
     "type_named",

@@ -1,0 +1,279 @@
+"""Admission control: reject over-quota work before any execution.
+
+A resident multi-tenant server must not let one tenant starve the rest,
+and must not spend kernel time on requests that are doomed (deadline
+already hopeless, tenant failing repeatedly).  Admission happens before
+a query touches the scheduler: the only costs paid for a rejected
+request are a dictionary lookup and a couple of counter bumps.
+
+Three per-tenant quota axes, all optional:
+
+* **concurrency** -- at most ``max_concurrent`` queries in flight;
+* **rate** -- at most ``max_per_window`` admissions per sliding
+  ``window_seconds`` window;
+* **deadline** -- a request may not ask for (or default to) more than
+  ``max_deadline_seconds`` of execution budget.
+
+On top of the quotas sits one :class:`~repro.resilience.breaker.
+CircuitBreaker` per tenant (the same machinery federation uses per
+host): execution failures are recorded against the tenant, and once the
+breaker opens further requests fail fast with ``retry after`` guidance
+instead of occupying backend slots.
+
+Admission state is guarded by one lock so the controller can be driven
+from the asyncio event loop and from worker threads alike.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import CircuitOpenError, ReproError
+from repro.resilience.breaker import BreakerRegistry
+from repro.resilience.clock import Clock, SystemClock
+
+
+class AdmissionRejected(ReproError):
+    """A request was refused before execution.
+
+    ``reason`` is a stable machine-readable token (``over-concurrency``,
+    ``over-rate``, ``over-deadline``, ``breaker-open``); ``status`` the
+    HTTP status the server should answer with; ``retry_after_seconds``
+    a hint for rate/breaker rejections (``None`` otherwise).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        reason: str,
+        status: int = 429,
+        retry_after_seconds: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.status = status
+        self.retry_after_seconds = retry_after_seconds
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits; ``None`` disables an axis."""
+
+    max_concurrent: int | None = 4
+    max_per_window: int | None = None
+    window_seconds: float = 60.0
+    max_deadline_seconds: float | None = 30.0
+
+    @classmethod
+    def parse(cls, spec: str) -> "TenantQuota":
+        """Build a quota from ``concurrent=2,rate=10,window=60,deadline=5``.
+
+        Every key is optional; unknown keys raise ``ValueError`` so CLI
+        typos fail loudly at startup rather than silently not limiting.
+        """
+        values: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"quota clause {part!r} is not KEY=VALUE"
+                )
+            key = key.strip().lower()
+            raw = raw.strip()
+            if key == "concurrent":
+                values["max_concurrent"] = int(raw)
+            elif key == "rate":
+                values["max_per_window"] = int(raw)
+            elif key == "window":
+                values["window_seconds"] = float(raw)
+            elif key == "deadline":
+                values["max_deadline_seconds"] = float(raw)
+            else:
+                raise ValueError(
+                    f"unknown quota key {key!r} "
+                    f"(known: concurrent, rate, window, deadline)"
+                )
+        return cls(**values)
+
+
+@dataclass
+class AdmissionTicket:
+    """Proof of admission; hand it back via ``release``."""
+
+    tenant: str
+    admitted_at: float
+    deadline_seconds: float | None
+    released: bool = False
+
+
+@dataclass
+class _TenantState:
+    """Book-keeping for one tenant."""
+
+    in_flight: int = 0
+    admitted: int = 0
+    rejected: dict = field(default_factory=dict)
+    recent: deque = field(default_factory=deque)  # admission timestamps
+
+
+class AdmissionController:
+    """Gate requests against per-tenant quotas and breakers."""
+
+    def __init__(
+        self,
+        default_quota: TenantQuota | None = None,
+        quotas: dict | None = None,
+        clock: Clock | None = None,
+        breaker_failure_threshold: int = 5,
+        breaker_reset_seconds: float = 30.0,
+    ) -> None:
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        self.clock = clock or SystemClock()
+        self.breakers = BreakerRegistry(
+            failure_threshold=breaker_failure_threshold,
+            reset_seconds=breaker_reset_seconds,
+            clock=self.clock,
+        )
+        self._tenants: dict = {}
+        self._lock = threading.Lock()
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantState()
+            self._tenants[tenant] = state
+        return state
+
+    def _reject(
+        self,
+        state: _TenantState,
+        message: str,
+        reason: str,
+        status: int = 429,
+        retry_after_seconds: float | None = None,
+    ) -> AdmissionRejected:
+        state.rejected[reason] = state.rejected.get(reason, 0) + 1
+        return AdmissionRejected(
+            message, reason, status=status,
+            retry_after_seconds=retry_after_seconds,
+        )
+
+    def admit(
+        self, tenant: str, deadline_seconds: float | None = None
+    ) -> AdmissionTicket:
+        """Admit one query for *tenant* or raise :class:`AdmissionRejected`.
+
+        Returns a ticket carrying the *effective* deadline: the request's
+        own ask, capped by (and defaulting to) the tenant quota's
+        ``max_deadline_seconds``.
+        """
+        quota = self.quota_for(tenant)
+        now = self.clock.monotonic()
+        with self._lock:
+            state = self._state(tenant)
+            try:
+                self.breakers.get(tenant).before_call()
+            except CircuitOpenError as exc:
+                raise self._reject(
+                    state, str(exc), "breaker-open", status=503,
+                    retry_after_seconds=self.breakers.reset_seconds,
+                ) from None
+            cap = quota.max_deadline_seconds
+            if (
+                deadline_seconds is not None
+                and cap is not None
+                and deadline_seconds > cap
+            ):
+                raise self._reject(
+                    state,
+                    f"requested deadline {deadline_seconds:.3f}s exceeds "
+                    f"the tenant cap of {cap:.3f}s",
+                    "over-deadline", status=422,
+                )
+            if deadline_seconds is not None and deadline_seconds <= 0:
+                raise self._reject(
+                    state,
+                    f"requested deadline {deadline_seconds:.3f}s is not "
+                    f"positive",
+                    "over-deadline", status=422,
+                )
+            if (
+                quota.max_concurrent is not None
+                and state.in_flight >= quota.max_concurrent
+            ):
+                raise self._reject(
+                    state,
+                    f"tenant {tenant!r} already has {state.in_flight} "
+                    f"queries in flight (quota: {quota.max_concurrent})",
+                    "over-concurrency",
+                )
+            if quota.max_per_window is not None:
+                horizon = now - quota.window_seconds
+                recent = state.recent
+                while recent and recent[0] <= horizon:
+                    recent.popleft()
+                if len(recent) >= quota.max_per_window:
+                    raise self._reject(
+                        state,
+                        f"tenant {tenant!r} exceeded "
+                        f"{quota.max_per_window} queries per "
+                        f"{quota.window_seconds:g}s window",
+                        "over-rate",
+                        retry_after_seconds=max(
+                            0.0, recent[0] + quota.window_seconds - now
+                        ),
+                    )
+                recent.append(now)
+            state.in_flight += 1
+            state.admitted += 1
+        return AdmissionTicket(
+            tenant=tenant,
+            admitted_at=now,
+            deadline_seconds=(
+                deadline_seconds if deadline_seconds is not None else cap
+            ),
+        )
+
+    def release(self, ticket: AdmissionTicket, failed: bool = False) -> None:
+        """Finish one admitted query; *failed* feeds the tenant breaker.
+
+        Idempotent: a ticket releases at most once, so a server error
+        path that releases in two places cannot drive ``in_flight``
+        negative.
+        """
+        with self._lock:
+            if ticket.released:
+                return
+            ticket.released = True
+            state = self._state(ticket.tenant)
+            state.in_flight = max(0, state.in_flight - 1)
+            breaker = self.breakers.get(ticket.tenant)
+            if failed:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+
+    def stats(self) -> dict:
+        """Per-tenant admission counters plus breaker states."""
+        with self._lock:
+            tenants = {
+                tenant: {
+                    "in_flight": state.in_flight,
+                    "admitted": state.admitted,
+                    "rejected": dict(state.rejected),
+                }
+                for tenant, state in sorted(self._tenants.items())
+            }
+            return {
+                "tenants": tenants,
+                "breakers": self.breakers.states(),
+            }

@@ -1,0 +1,303 @@
+"""The ``concurrent-clients`` bench: warm server vs per-invocation CLI.
+
+The resident server exists to amortise cold-start -- interpreter boot,
+dataset parse, store block builds, worker-pool spin-up -- across
+queries.  This scenario measures exactly that trade on one query mix:
+
+* **cold CLI**: every request is one ``python -m repro run`` subprocess
+  over the same on-disk datasets -- the pre-server cost of a query;
+* **warm server**: an in-process :class:`~repro.serve.server.
+  ServerThread` over the same directories, hit by N concurrent client
+  threads issuing M requests each over keep-alive connections.
+
+Reported: served throughput (qps), latency percentiles (p50/p90/p99),
+the warm result-cache hit rate, coalescing counts, byte-identity of
+served results against the CLI runs, and the headline
+``warm_p50_speedup_vs_cold_cli`` ratio the regression gate
+(``benchmarks/check_bench_regression.py --require-serving``) checks.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+
+from repro.resilience.clock import perf_counter
+
+#: Default query mix: one MAP (result-cache friendly, two sources), one
+#: JOIN and one COVER -- the paper's three headline region operations.
+DEFAULT_MIX = ("map", "join", "cover")
+
+
+def _percentile(samples: list, fraction: float) -> float:
+    """Nearest-rank percentile of *samples* (which must be non-empty)."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _subprocess_env_from_env() -> dict:
+    """Environment for CLI subprocesses, derived from this process's.
+
+    ``PYTHONPATH`` is prefixed with this repro checkout so the child
+    resolves the same code under test; store/result-cache variables are
+    stripped so the child is genuinely cold (nothing warm survives into
+    it -- that is the number being measured).
+    """
+    import repro
+
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    previous = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        src_dir + (os.pathsep + previous if previous else "")
+    )
+    for name in (
+        "REPRO_STORE_DIR",
+        "REPRO_RESULT_CACHE_DIR",
+        "REPRO_RESULT_CACHE_ENABLED",
+    ):
+        env.pop(name, None)
+    return env
+
+
+def _write_source_dirs(sources: dict, root: str) -> dict:
+    """Materialise *sources* under *root*; returns ``{name: directory}``."""
+    from repro.formats import write_dataset
+
+    directories = {}
+    for name, dataset in sources.items():
+        directory = os.path.join(root, name)
+        write_dataset(dataset, directory)
+        directories[name] = directory
+    return directories
+
+
+def _cold_cli_run(
+    scenario: str, program: str, source_dirs: dict, engine: str, root: str
+) -> tuple:
+    """One timed ``repro run`` subprocess; returns ``(seconds, digest)``.
+
+    The digest is computed from the materialised output directories the
+    child wrote, with the same :func:`~repro.gdm.digest.results_digest`
+    the server answers with -- identity is checked on bytes that went
+    through the full write/read round trip.
+    """
+    from repro.formats import read_dataset
+    from repro.gdm.digest import results_digest
+
+    program_path = os.path.join(root, f"{scenario}.gmql")
+    with open(program_path, "w") as handle:
+        handle.write(program)
+    out_dir = os.path.join(root, f"out-{scenario}")
+    command = [sys.executable, "-m", "repro", "run", program_path,
+               "--engine", engine, "--out", out_dir]
+    for name, directory in sorted(source_dirs.items()):
+        command.extend(["--source", f"{name}={directory}"])
+    started = perf_counter()
+    completed = subprocess.run(
+        command, env=_subprocess_env_from_env(),
+        capture_output=True, text=True,
+    )
+    elapsed = perf_counter() - started
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"cold CLI run of {scenario!r} failed "
+            f"(exit {completed.returncode}): {completed.stderr.strip()}"
+        )
+    results = {
+        name: read_dataset(os.path.join(out_dir, name), name)
+        for name in sorted(os.listdir(out_dir))
+    }
+    return elapsed, results_digest(results)
+
+
+def run_concurrent_clients_bench(
+    scale: str = "smoke",
+    seed: int = 42,
+    clients: int = 4,
+    requests_per_client: int = 6,
+    engine: str = "auto",
+    scenarios: tuple | None = None,
+    workers: int | None = None,
+    max_concurrency: int | None = None,
+    cold_repeat: int = 2,
+) -> dict:
+    """Run the concurrent-clients scenario; returns its report dict."""
+    from repro.bench import PROGRAMS, _sources
+    from repro.formats import read_dataset
+    from repro.serve.admission import AdmissionController, TenantQuota
+    from repro.serve.client import ServeClient
+    from repro.serve.server import QueryServer, ServerThread
+    from repro.serve.state import WarmState
+    from repro.store.cache import reset_result_cache
+
+    mix = tuple(scenarios or DEFAULT_MIX)
+    unknown = [name for name in mix if name not in PROGRAMS]
+    if unknown:
+        raise ValueError(f"unknown scenarios {unknown}; choose from "
+                         f"{sorted(PROGRAMS)}")
+    report: dict = {
+        "scale": scale,
+        "seed": seed,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "engine": engine,
+        "mix": list(mix),
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as root:
+        source_dirs = _write_source_dirs(_sources(scale, seed), root)
+
+        # -- cold CLI reference: one subprocess per request ------------------
+        cold_latencies: dict = {name: [] for name in mix}
+        cli_digests: dict = {}
+        for scenario in mix:
+            for __ in range(max(1, cold_repeat)):
+                elapsed, digest = _cold_cli_run(
+                    scenario, PROGRAMS[scenario], source_dirs, engine, root
+                )
+                cold_latencies[scenario].append(elapsed)
+                cli_digests[scenario] = digest
+        cold_all = [s for values in cold_latencies.values() for s in values]
+        report["cold_cli"] = {
+            "runs": {name: values for name, values in cold_latencies.items()},
+            "p50_seconds": _percentile(cold_all, 0.50),
+            "mean_seconds": sum(cold_all) / len(cold_all),
+        }
+
+        # -- warm server under concurrent load -------------------------------
+        # The server parses the same directories the CLI read, so both
+        # sides digest data that went through one write/read round trip.
+        served_sources = {
+            name: read_dataset(directory, name)
+            for name, directory in source_dirs.items()
+        }
+        reset_result_cache()
+        state = WarmState(
+            served_sources, engine=engine, workers=workers,
+            result_cache_enabled=True,
+        )
+        admission = AdmissionController(
+            default_quota=TenantQuota(
+                max_concurrent=max(8, clients * 2),
+                max_per_window=None,
+                max_deadline_seconds=None,
+            )
+        )
+        server = QueryServer(
+            state, admission=admission,
+            max_concurrency=max_concurrency or max(2, min(clients, 8)),
+        )
+        latencies: list = []
+        errors: list = []
+        mismatches: list = []
+        lock = threading.Lock()
+
+        def client_worker(index: int) -> None:
+            client = ServeClient(port=thread.port)
+            try:
+                for request in range(requests_per_client):
+                    scenario = mix[(index + request) % len(mix)]
+                    started = perf_counter()
+                    response = client.query(
+                        PROGRAMS[scenario], tenant=f"client-{index}"
+                    )
+                    elapsed = perf_counter() - started
+                    with lock:
+                        if not response.ok:
+                            errors.append(
+                                (scenario, response.status,
+                                 response.payload.get("error"))
+                            )
+                        else:
+                            latencies.append(elapsed)
+                            if (response.payload["digest"]
+                                    != cli_digests[scenario]):
+                                mismatches.append(scenario)
+            finally:
+                client.close()
+
+        with ServerThread(server) as thread:
+            warm_client = ServeClient(port=thread.port)
+            warm_seconds = state.warm_seconds
+            # Warm-up pass: every scenario once, so steady-state numbers
+            # measure the resident server, not its first-touch misses.
+            for scenario in mix:
+                response = warm_client.query(PROGRAMS[scenario])
+                if not response.ok:
+                    raise RuntimeError(
+                        f"warm-up of {scenario!r} failed: {response.payload}"
+                    )
+            workers_started = perf_counter()
+            threads = [
+                threading.Thread(target=client_worker, args=(index,))
+                for index in range(clients)
+            ]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join()
+            wall_seconds = perf_counter() - workers_started
+            stats = warm_client.stats().payload
+            warm_client.close()
+
+    cache = stats["result_cache"]
+    lookups = cache["hits"] + cache["misses"]
+    report["warm_server"] = {
+        "warm_seconds": warm_seconds,
+        "wall_seconds": wall_seconds,
+        "requests": len(latencies),
+        "errors": len(errors),
+        "error_detail": errors[:5],
+        "qps": len(latencies) / wall_seconds if wall_seconds else None,
+        "p50_seconds": _percentile(latencies, 0.50) if latencies else None,
+        "p90_seconds": _percentile(latencies, 0.90) if latencies else None,
+        "p99_seconds": _percentile(latencies, 0.99) if latencies else None,
+        "cache_hits": cache["hits"],
+        "cache_misses": cache["misses"],
+        "cache_hit_rate": cache["hits"] / lookups if lookups else 0.0,
+        "coalesced": stats["scheduler"]["coalesced"],
+        "scheduler": stats["scheduler"],
+    }
+    report["identical_to_cli"] = not mismatches and not errors and bool(
+        latencies
+    )
+    warm_p50 = report["warm_server"]["p50_seconds"]
+    report["warm_p50_speedup_vs_cold_cli"] = (
+        report["cold_cli"]["p50_seconds"] / warm_p50 if warm_p50 else None
+    )
+    return report
+
+
+def render_serving_summary(report: dict) -> str:
+    """Human-readable lines for the CLI output."""
+    warm = report["warm_server"]
+    lines = [
+        f"\nconcurrent-clients:  {report['clients']} client(s) x "
+        f"{report['requests_per_client']} request(s), mix "
+        f"{'/'.join(report['mix'])}, engine {report['engine']}",
+        f"  cold CLI   p50 {report['cold_cli']['p50_seconds'] * 1000:9.1f} ms"
+        f"  (one subprocess per query)",
+    ]
+    if warm["p50_seconds"] is not None:
+        lines.append(
+            f"  warm serve p50 {warm['p50_seconds'] * 1000:9.1f} ms"
+            f"  p99 {warm['p99_seconds'] * 1000:9.1f} ms"
+            f"  {warm['qps']:8.1f} qps"
+        )
+    lines.append(
+        f"  cache hit rate {warm['cache_hit_rate'] * 100:5.1f}%"
+        f"  ({warm['cache_hits']}/{warm['cache_hits'] + warm['cache_misses']}"
+        f" lookups), {warm['coalesced']} coalesced, {warm['errors']} error(s)"
+    )
+    speedup = report["warm_p50_speedup_vs_cold_cli"]
+    if speedup is not None:
+        lines.append(
+            f"  warm server vs cold CLI: {speedup:.1f}x at p50"
+        )
+    if not report["identical_to_cli"]:
+        lines.append("  WARNING: served results differ from CLI runs")
+    return "\n".join(lines)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 from collections import OrderedDict
 
 #: Default number of cached operator results kept by the global cache.
@@ -110,6 +111,14 @@ class ResultCache:
     in-memory misses consult the files before giving up -- the second
     cache level that survives restarts.  Memory eviction never removes
     files (they back the next process's warm start); ``clear`` does.
+
+    The cache is thread-safe: a long-lived query server runs many
+    queries against one process-wide instance concurrently, and an
+    unguarded ``OrderedDict`` would corrupt its recency order (or lose
+    entries mid-``move_to_end``) under interleaved get/put/evict.  One
+    re-entrant lock serialises every mutation; disk writes stay inside
+    it so two threads never race the same ``.tmp`` file (the atomic
+    rename already protects separate *processes*).
     """
 
     def __init__(
@@ -122,6 +131,7 @@ class ResultCache:
             directory if directory is not None else cache_directory_from_env()
         )
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -129,10 +139,12 @@ class ResultCache:
         self.disk_stores = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def _path(self, key: str) -> str:
         # Fingerprints are hex digests, but hash defensively so any
@@ -173,75 +185,81 @@ class ResultCache:
 
     def get(self, key: str):
         """The cached dataset for *key*, or ``None`` (recency updated)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            entry = self._load(key)
+        with self._lock:
+            entry = self._entries.get(key)
             if entry is None:
-                self.misses += 1
-                return None
-            self.disk_hits += 1
-            if self.capacity > 0:
-                self._entries[key] = entry
-                self._entries.move_to_end(key)
-                while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
-                    self.evictions += 1
+                entry = self._load(key)
+                if entry is None:
+                    self.misses += 1
+                    return None
+                self.disk_hits += 1
+                if self.capacity > 0:
+                    self._entries[key] = entry
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+                        self.evictions += 1
+                self.hits += 1
+                return entry
+            self._entries.move_to_end(key)
             self.hits += 1
             return entry
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
 
     def put(self, key: str, value) -> None:
         """Insert (or refresh) an entry, evicting the least recent."""
-        if self.capacity <= 0:
-            return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        self._persist(key, value)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if self.capacity <= 0:
+                return
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self._persist(key, value)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (disk files included) and reset the counters."""
-        self._entries.clear()
-        if self.directory is not None and os.path.isdir(self.directory):
-            for name in os.listdir(self.directory):
-                if name.endswith(".result"):
-                    try:
-                        os.unlink(os.path.join(self.directory, name))
-                    except OSError:  # pragma: no cover - concurrent clear
-                        pass
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.disk_hits = 0
-        self.disk_stores = 0
+        with self._lock:
+            self._entries.clear()
+            if self.directory is not None and os.path.isdir(self.directory):
+                for name in os.listdir(self.directory):
+                    if name.endswith(".result"):
+                        try:
+                            os.unlink(os.path.join(self.directory, name))
+                        except OSError:  # pragma: no cover - concurrent clear
+                            pass
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.disk_hits = 0
+            self.disk_stores = 0
 
     def stats(self) -> dict:
         """Plain-dict counter snapshot (bench/CLI reporting)."""
-        return {
-            "entries": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "disk_hits": self.disk_hits,
-            "disk_stores": self.disk_stores,
-            "directory": self.directory,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "disk_hits": self.disk_hits,
+                "disk_stores": self.disk_stores,
+                "directory": self.directory,
+            }
 
 
 _GLOBAL_CACHE: ResultCache | None = None
+_GLOBAL_CACHE_LOCK = threading.Lock()
 
 
 def result_cache() -> ResultCache:
     """The process-wide result cache (created on first use)."""
     global _GLOBAL_CACHE
-    if _GLOBAL_CACHE is None:
-        _GLOBAL_CACHE = ResultCache()
-    return _GLOBAL_CACHE
+    with _GLOBAL_CACHE_LOCK:
+        if _GLOBAL_CACHE is None:
+            _GLOBAL_CACHE = ResultCache()
+        return _GLOBAL_CACHE
 
 
 def reset_result_cache(
@@ -254,5 +272,6 @@ def reset_result_cache(
     exactly the restart-survival behaviour being modelled.
     """
     global _GLOBAL_CACHE
-    _GLOBAL_CACHE = ResultCache(capacity, directory)
-    return _GLOBAL_CACHE
+    with _GLOBAL_CACHE_LOCK:
+        _GLOBAL_CACHE = ResultCache(capacity, directory)
+        return _GLOBAL_CACHE

@@ -1,0 +1,176 @@
+"""Admission control: quotas, breakers, tickets — all in virtual time."""
+
+import pytest
+
+from repro.resilience.clock import SimulatedClock
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    TenantQuota,
+)
+
+
+def controller(default=None, quotas=None, **breaker):
+    return AdmissionController(
+        default_quota=default,
+        quotas=quotas,
+        clock=SimulatedClock(),
+        **breaker,
+    )
+
+
+class TestQuotaParse:
+    def test_full_spec(self):
+        quota = TenantQuota.parse(
+            "concurrent=2, rate=10, window=30, deadline=5"
+        )
+        assert quota.max_concurrent == 2
+        assert quota.max_per_window == 10
+        assert quota.window_seconds == 30.0
+        assert quota.max_deadline_seconds == 5.0
+
+    def test_partial_spec_keeps_defaults(self):
+        quota = TenantQuota.parse("concurrent=8")
+        assert quota.max_concurrent == 8
+        assert quota.max_deadline_seconds == 30.0  # class default
+
+    def test_unknown_key_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown quota key"):
+            TenantQuota.parse("concurrency=8")
+
+    def test_missing_equals_fails(self):
+        with pytest.raises(ValueError, match="KEY=VALUE"):
+            TenantQuota.parse("concurrent")
+
+
+class TestConcurrencyQuota:
+    def test_over_concurrency_rejected_then_admitted_after_release(self):
+        ctl = controller(TenantQuota(max_concurrent=2))
+        t1 = ctl.admit("lab")
+        ctl.admit("lab")
+        with pytest.raises(AdmissionRejected) as info:
+            ctl.admit("lab")
+        assert info.value.reason == "over-concurrency"
+        assert info.value.status == 429
+        ctl.release(t1)
+        ctl.admit("lab")  # slot freed
+
+    def test_tenants_do_not_share_slots(self):
+        ctl = controller(TenantQuota(max_concurrent=1))
+        ctl.admit("a")
+        ctl.admit("b")  # different tenant, own budget
+        with pytest.raises(AdmissionRejected):
+            ctl.admit("a")
+
+    def test_release_is_idempotent(self):
+        ctl = controller(TenantQuota(max_concurrent=1))
+        ticket = ctl.admit("lab")
+        ctl.release(ticket)
+        ctl.release(ticket)  # double release must not free a phantom slot
+        assert ctl.stats()["tenants"]["lab"]["in_flight"] == 0
+        ctl.admit("lab")
+        with pytest.raises(AdmissionRejected):
+            ctl.admit("lab")
+
+
+class TestRateQuota:
+    def test_sliding_window(self):
+        ctl = controller(
+            TenantQuota(max_concurrent=None, max_per_window=2,
+                        window_seconds=60.0)
+        )
+        ctl.release(ctl.admit("lab"))
+        ctl.release(ctl.admit("lab"))
+        with pytest.raises(AdmissionRejected) as info:
+            ctl.admit("lab")
+        assert info.value.reason == "over-rate"
+        assert info.value.status == 429
+        # the hint points at when the oldest admission leaves the window
+        assert info.value.retry_after_seconds == pytest.approx(60.0)
+        ctl.clock.advance(61.0)
+        ctl.admit("lab")  # window slid past both admissions
+
+    def test_rejections_do_not_consume_rate(self):
+        ctl = controller(
+            TenantQuota(max_concurrent=None, max_per_window=1,
+                        window_seconds=60.0)
+        )
+        ctl.admit("lab")
+        for _ in range(5):
+            with pytest.raises(AdmissionRejected):
+                ctl.admit("lab")
+        ctl.clock.advance(61.0)
+        ctl.admit("lab")  # the 5 rejections did not refill the window
+
+
+class TestDeadlineQuota:
+    def test_over_cap_rejected_as_422(self):
+        ctl = controller(TenantQuota(max_deadline_seconds=5.0))
+        with pytest.raises(AdmissionRejected) as info:
+            ctl.admit("lab", deadline_seconds=10.0)
+        assert info.value.reason == "over-deadline"
+        assert info.value.status == 422
+
+    def test_non_positive_deadline_rejected(self):
+        ctl = controller(TenantQuota(max_deadline_seconds=None))
+        with pytest.raises(AdmissionRejected) as info:
+            ctl.admit("lab", deadline_seconds=-1.0)
+        assert info.value.reason == "over-deadline"
+
+    def test_cap_is_the_default_budget(self):
+        ctl = controller(TenantQuota(max_deadline_seconds=5.0))
+        assert ctl.admit("lab").deadline_seconds == 5.0
+        assert ctl.admit("lab", deadline_seconds=2.0).deadline_seconds == 2.0
+
+    def test_no_cap_means_no_deadline(self):
+        ctl = controller(TenantQuota(max_deadline_seconds=None))
+        assert ctl.admit("lab").deadline_seconds is None
+
+
+class TestBreaker:
+    def test_opens_after_failures_and_recovers(self):
+        ctl = controller(
+            TenantQuota(max_concurrent=None),
+            breaker_failure_threshold=2,
+            breaker_reset_seconds=30.0,
+        )
+        for _ in range(2):
+            ctl.release(ctl.admit("flaky"), failed=True)
+        with pytest.raises(AdmissionRejected) as info:
+            ctl.admit("flaky")
+        assert info.value.reason == "breaker-open"
+        assert info.value.status == 503
+        assert info.value.retry_after_seconds == 30.0
+        # other tenants keep their own service health
+        ctl.admit("healthy")
+        ctl.clock.advance(31.0)
+        ticket = ctl.admit("flaky")  # half-open probe admitted
+        ctl.release(ticket, failed=False)
+        ctl.admit("flaky")  # success closed the breaker
+
+
+class TestPerTenantQuotas:
+    def test_named_quota_overrides_default(self):
+        ctl = controller(
+            TenantQuota(max_concurrent=1),
+            quotas={"big": TenantQuota(max_concurrent=3)},
+        )
+        for _ in range(3):
+            ctl.admit("big")
+        ctl.admit("small")
+        with pytest.raises(AdmissionRejected):
+            ctl.admit("small")
+
+    def test_stats_shape(self):
+        ctl = controller(TenantQuota(max_concurrent=1))
+        ticket = ctl.admit("lab")
+        with pytest.raises(AdmissionRejected):
+            ctl.admit("lab")
+        ctl.release(ticket)
+        stats = ctl.stats()
+        assert stats["tenants"]["lab"] == {
+            "in_flight": 0,
+            "admitted": 1,
+            "rejected": {"over-concurrency": 1},
+        }
+        assert "lab" in stats["breakers"]

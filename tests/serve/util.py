@@ -1,0 +1,86 @@
+"""Shared fixtures for the serve suite: tiny sources + naive digests."""
+
+from repro.engine.dispatch import get_backend
+from repro.gdm import Dataset, GenomicRegion, Metadata, RegionSchema, Sample
+from repro.gdm.digest import results_digest
+from repro.gmql.lang import Interpreter, compile_program, optimize
+
+
+def _region(chrom, left, right, strand="*"):
+    return GenomicRegion(chrom, left, right, strand, ())
+
+
+def make_sources():
+    """Two small deterministic datasets exercising MAP/COVER/SELECT."""
+    ref = Dataset(
+        "REF",
+        RegionSchema.empty(),
+        [
+            Sample(
+                1,
+                [_region("chr1", 0, 100), _region("chr1", 200, 320),
+                 _region("chr2", 50, 150)],
+                Metadata({"kind": "promoter"}),
+            ),
+            Sample(
+                2,
+                [_region("chr1", 80, 260), _region("chr2", 0, 90),
+                 _region("chr3", 10, 40)],
+                Metadata({"kind": "enhancer"}),
+            ),
+        ],
+        validate=False,
+    )
+    exp = Dataset(
+        "EXP",
+        RegionSchema.empty(),
+        [
+            Sample(
+                10,
+                [_region("chr1", 10 + 7 * i, 60 + 7 * i)
+                 for i in range(12)]
+                + [_region("chr2", 20 + 11 * i, 70 + 11 * i)
+                   for i in range(8)],
+                Metadata({"cell": "A", "rep": "1"}),
+            ),
+            Sample(
+                11,
+                [_region("chr1", 5 + 13 * i, 45 + 13 * i)
+                 for i in range(10)]
+                + [_region("chr3", 3 + 9 * i, 33 + 9 * i)
+                   for i in range(6)],
+                Metadata({"cell": "A", "rep": "2"}),
+            ),
+            Sample(
+                12,
+                [_region("chr2", 8 + 17 * i, 58 + 17 * i)
+                 for i in range(9)],
+                Metadata({"cell": "B", "rep": "1"}),
+            ),
+        ],
+        validate=False,
+    )
+    return {"REF": ref, "EXP": exp}
+
+
+P_SELECT = "OUT = SELECT(cell == 'A') EXP; MATERIALIZE OUT;"
+P_COVER = "OUT = COVER(1, ANY) EXP; MATERIALIZE OUT;"
+P_MAP = "OUT = MAP(n AS COUNT) REF EXP; MATERIALIZE OUT;"
+
+PROGRAMS = (P_SELECT, P_COVER, P_MAP)
+
+
+def naive_digest(program, sources):
+    """The reference digest: a fresh single-shot naive-engine run."""
+    compiled = optimize(compile_program(program, datasets=sources))
+    backend = get_backend("naive")
+    try:
+        results = Interpreter(backend, sources).run_program(compiled)
+    finally:
+        backend.close()
+    return results_digest(results)
+
+
+def reference_digests(sources):
+    return {program: naive_digest(program, sources)
+            for program in PROGRAMS}
